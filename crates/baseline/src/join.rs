@@ -1,0 +1,311 @@
+//! A generic conjunctive-query join evaluator.
+//!
+//! Backtracking over atoms with a statically chosen, connectivity-greedy
+//! atom order, probing hash indexes on the columns bound by earlier atoms.
+//! This is the workhorse of the recompute and IVM baselines and of the
+//! lower-bound harness (where it evaluates the *hard* queries the paper's
+//! engine rightfully refuses).
+
+use cqu_common::FxHashMap;
+use cqu_query::{AtomId, Query, Var};
+use cqu_storage::{Const, Database, Index};
+use std::collections::BTreeSet;
+
+/// A static evaluation plan: atom order plus, per step, which argument
+/// positions are bound when the step runs.
+#[derive(Debug, Clone)]
+pub struct JoinPlan {
+    /// Atom evaluation order.
+    pub order: Vec<AtomId>,
+    /// For each step: the *index key* positions — first-occurrence argument
+    /// positions of variables bound by earlier steps.
+    pub key_cols: Vec<Vec<usize>>,
+}
+
+impl JoinPlan {
+    /// Builds a plan with a greedy connectivity order: repeatedly pick the
+    /// atom sharing the most variables with the already-bound set (ties
+    /// broken by body order). `first` optionally forces the initial atom
+    /// (used by the IVM delta decomposition).
+    pub fn new(q: &Query, first: Option<AtomId>) -> Self {
+        let d = q.atoms().len();
+        let mut remaining: Vec<AtomId> = (0..d).collect();
+        let mut order: Vec<AtomId> = Vec::with_capacity(d);
+        let mut bound: Vec<bool> = vec![false; q.num_vars()];
+        if let Some(f) = first {
+            remaining.retain(|&a| a != f);
+            order.push(f);
+            for v in q.atom(f).vars() {
+                bound[v.index()] = true;
+            }
+        }
+        while !remaining.is_empty() {
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &a)| {
+                    let shared =
+                        q.atom(a).vars().iter().filter(|v| bound[v.index()]).count();
+                    (pos, shared)
+                })
+                .max_by(|(pa, sa), (pb, sb)| sa.cmp(sb).then(pb.cmp(pa)))
+                .unwrap();
+            let a = remaining.remove(pos);
+            for v in q.atom(a).vars() {
+                bound[v.index()] = true;
+            }
+            order.push(a);
+        }
+        // Key columns per step.
+        let mut bound: Vec<bool> = vec![false; q.num_vars()];
+        let mut key_cols: Vec<Vec<usize>> = Vec::with_capacity(d);
+        for &a in &order {
+            let atom = q.atom(a);
+            let mut cols = Vec::new();
+            let mut seen: Vec<Var> = Vec::new();
+            for (p, &v) in atom.args.iter().enumerate() {
+                if bound[v.index()] && !seen.contains(&v) {
+                    cols.push(p);
+                }
+                if !seen.contains(&v) {
+                    seen.push(v);
+                }
+            }
+            key_cols.push(cols);
+            for v in atom.vars() {
+                bound[v.index()] = true;
+            }
+        }
+        JoinPlan { order, key_cols }
+    }
+}
+
+/// One evaluation of a query against a database, with per-run index cache.
+pub struct JoinEvaluator<'a> {
+    q: &'a Query,
+    db: &'a Database,
+    plan: JoinPlan,
+    indexes: FxHashMap<(u32, Vec<usize>), Index>,
+}
+
+impl<'a> JoinEvaluator<'a> {
+    /// Prepares an evaluation of `q` over `db`.
+    pub fn new(q: &'a Query, db: &'a Database) -> Self {
+        let plan = JoinPlan::new(q, None);
+        JoinEvaluator { q, db, plan, indexes: FxHashMap::default() }
+    }
+
+    /// All distinct result tuples, sorted.
+    pub fn results(&mut self) -> Vec<Vec<Const>> {
+        let mut out: BTreeSet<Vec<Const>> = BTreeSet::new();
+        self.run(&mut |free| {
+            out.insert(free.to_vec());
+            true
+        });
+        out.into_iter().collect()
+    }
+
+    /// `|ϕ(D)|`: the number of distinct result tuples.
+    pub fn count(&mut self) -> u64 {
+        let mut out: BTreeSet<Vec<Const>> = BTreeSet::new();
+        self.run(&mut |free| {
+            out.insert(free.to_vec());
+            true
+        });
+        out.len() as u64
+    }
+
+    /// Early-exit emptiness check.
+    pub fn is_nonempty(&mut self) -> bool {
+        let mut found = false;
+        self.run(&mut |_| {
+            found = true;
+            false // stop at the first valuation
+        });
+        found
+    }
+
+    /// Runs the backtracking join; `emit` receives the free projection of
+    /// every valuation and returns `false` to abort.
+    fn run(&mut self, emit: &mut dyn FnMut(&[Const]) -> bool) {
+        let mut assign: Vec<Option<Const>> = vec![None; self.q.num_vars()];
+        // Pre-build indexes for every step (borrow discipline: indexes are
+        // created up front, then only read during recursion).
+        for (step, &aid) in self.plan.order.iter().enumerate() {
+            let rel = self.q.atom(aid).relation;
+            let cols = self.plan.key_cols[step].clone();
+            self.indexes
+                .entry((rel.0, cols.clone()))
+                .or_insert_with(|| Index::build(self.db.relation(rel), cols));
+        }
+        let plan = self.plan.clone();
+        let free: Vec<Var> = self.q.free().to_vec();
+        let mut out_buf: Vec<Const> = vec![0; free.len()];
+        self.recurse(&plan, 0, &mut assign, &free, &mut out_buf, emit);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        &self,
+        plan: &JoinPlan,
+        step: usize,
+        assign: &mut Vec<Option<Const>>,
+        free: &[Var],
+        out_buf: &mut Vec<Const>,
+        emit: &mut dyn FnMut(&[Const]) -> bool,
+    ) -> bool {
+        if step == plan.order.len() {
+            for (i, v) in free.iter().enumerate() {
+                out_buf[i] = assign[v.index()].expect("free vars bound at leaves");
+            }
+            return emit(out_buf);
+        }
+        let aid = plan.order[step];
+        let atom = self.q.atom(aid);
+        let cols = &plan.key_cols[step];
+        let key: Vec<Const> =
+            cols.iter().map(|&p| assign[atom.args[p].index()].unwrap()).collect();
+        let index = &self.indexes[&(atom.relation.0, cols.clone())];
+        for fact in index.probe(&key) {
+            let mut bound: Vec<Var> = Vec::new();
+            let mut ok = true;
+            for (p, &v) in atom.args.iter().enumerate() {
+                match assign[v.index()] {
+                    Some(c) if c != fact[p] => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        assign[v.index()] = Some(fact[p]);
+                        bound.push(v);
+                    }
+                }
+            }
+            let keep_going = !ok
+                || self.recurse(plan, step + 1, assign, free, out_buf, emit);
+            for v in bound {
+                assign[v.index()] = None;
+            }
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Convenience: evaluate `q` on `db` and return the sorted distinct result.
+pub fn evaluate(q: &Query, db: &Database) -> Vec<Vec<Const>> {
+    JoinEvaluator::new(q, db).results()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqu_query::parse_query;
+
+    fn db_for(q: &Query) -> Database {
+        Database::new(q.schema().clone())
+    }
+
+    #[test]
+    fn plan_orders_connected_atoms_adjacently() {
+        let q = parse_query("Q() :- A(x), B(y), C(x, y).").unwrap();
+        let plan = JoinPlan::new(&q, None);
+        assert_eq!(plan.order.len(), 3);
+        assert_eq!(plan.order[0], 0, "ties break by body order");
+        // Second atom should be the connected C(x, y), not the disconnected B.
+        assert_eq!(plan.order[1], 2);
+        assert_eq!(plan.key_cols[1], vec![0], "x is bound when C runs");
+    }
+
+    #[test]
+    fn forced_first_atom() {
+        let q = parse_query("Q() :- A(x), B(x, y).").unwrap();
+        let plan = JoinPlan::new(&q, Some(1));
+        assert_eq!(plan.order, vec![1, 0]);
+        assert_eq!(plan.key_cols[0], Vec::<usize>::new());
+        assert_eq!(plan.key_cols[1], vec![0]);
+    }
+
+    #[test]
+    fn evaluates_s_e_t() {
+        let q = parse_query("Q(x, y) :- S(x), E(x, y), T(y).").unwrap();
+        let mut db = db_for(&q);
+        let s = q.schema().relation("S").unwrap();
+        let e = q.schema().relation("E").unwrap();
+        let t = q.schema().relation("T").unwrap();
+        db.insert(s, vec![1]);
+        db.insert(s, vec![2]);
+        db.insert(e, vec![1, 10]);
+        db.insert(e, vec![2, 11]);
+        db.insert(e, vec![3, 10]);
+        db.insert(t, vec![10]);
+        assert_eq!(evaluate(&q, &db), vec![vec![1, 10]]);
+        let mut ev = JoinEvaluator::new(&q, &db);
+        assert_eq!(ev.count(), 1);
+        assert!(JoinEvaluator::new(&q, &db).is_nonempty());
+    }
+
+    #[test]
+    fn projection_deduplicates() {
+        let q = parse_query("Q(x) :- E(x, y).").unwrap();
+        let mut db = db_for(&q);
+        let e = q.schema().relation("E").unwrap();
+        db.insert(e, vec![1, 10]);
+        db.insert(e, vec![1, 11]);
+        db.insert(e, vec![2, 10]);
+        assert_eq!(evaluate(&q, &db), vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn repeated_vars_and_self_joins() {
+        let q = parse_query("Q(x, y) :- E(x, x), E(x, y), E(y, y).").unwrap();
+        let mut db = db_for(&q);
+        let e = q.schema().relation("E").unwrap();
+        for (a, b) in [(1, 1), (2, 2), (1, 2), (2, 3)] {
+            db.insert(e, vec![a, b]);
+        }
+        assert_eq!(
+            evaluate(&q, &db),
+            vec![vec![1, 1], vec![1, 2], vec![2, 2]]
+        );
+    }
+
+    #[test]
+    fn cyclic_triangle_query() {
+        let q = parse_query("Q(x, y, z) :- E(x, y), F(y, z), G(z, x).").unwrap();
+        let mut db = db_for(&q);
+        let e = q.schema().relation("E").unwrap();
+        let f = q.schema().relation("F").unwrap();
+        let g = q.schema().relation("G").unwrap();
+        db.insert(e, vec![1, 2]);
+        db.insert(f, vec![2, 3]);
+        db.insert(g, vec![3, 1]);
+        db.insert(g, vec![3, 9]);
+        assert_eq!(evaluate(&q, &db), vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn early_exit_emptiness() {
+        let q = parse_query("Q() :- E(x, y), T(y).").unwrap();
+        let mut db = db_for(&q);
+        let e = q.schema().relation("E").unwrap();
+        assert!(!JoinEvaluator::new(&q, &db).is_nonempty());
+        db.insert(e, vec![1, 2]);
+        assert!(!JoinEvaluator::new(&q, &db).is_nonempty());
+        let t = q.schema().relation("T").unwrap();
+        db.insert(t, vec![2]);
+        assert!(JoinEvaluator::new(&q, &db).is_nonempty());
+    }
+
+    #[test]
+    fn boolean_result_is_empty_tuple() {
+        let q = parse_query("Q() :- E(x, y).").unwrap();
+        let mut db = db_for(&q);
+        let e = q.schema().relation("E").unwrap();
+        db.insert(e, vec![4, 4]);
+        assert_eq!(evaluate(&q, &db), vec![Vec::<Const>::new()]);
+    }
+}

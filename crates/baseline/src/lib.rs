@@ -1,0 +1,135 @@
+//! Baseline dynamic engines for the `cq-updates` reproduction.
+//!
+//! The paper's dichotomies compare the q-hierarchical dynamic algorithm
+//! against "whatever else one could do". This crate supplies those
+//! comparators, all implementing [`cqu_dynamic::DynamicEngine`]:
+//!
+//! * [`RecomputeEngine`] — O(1) updates, full join re-evaluation per
+//!   request (the classical static approach applied naively).
+//! * [`DeltaIvmEngine`] — classical incremental view maintenance: a
+//!   materialised result with per-update delta joins; O(1) requests,
+//!   polynomially expensive updates.
+//! * [`SemiJoinEngine`] — Yannakakis-style semi-join reduction per request;
+//!   the static free-connex comparator of Bagan–Durand–Grandjean.
+//! * [`join`] — the shared backtracking join evaluator with greedy plans
+//!   and hash indexes.
+//!
+//! All three work on *every* CQ, including the non-q-hierarchical queries
+//! [`cqu_dynamic::QhEngine`] rejects; the benchmarks measure exactly how
+//! much that generality costs per update/request as `n` grows.
+
+
+#![warn(missing_docs)]
+pub mod ivm;
+pub mod join;
+pub mod naive;
+pub mod semijoin;
+
+pub use ivm::DeltaIvmEngine;
+pub use join::{evaluate, JoinEvaluator, JoinPlan};
+pub use naive::RecomputeEngine;
+pub use semijoin::SemiJoinEngine;
+
+use cqu_dynamic::{DynamicEngine, QhEngine};
+use cqu_query::Query;
+use cqu_storage::Database;
+
+/// Every engine in the workspace, for harnesses that sweep over them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// [`cqu_dynamic::QhEngine`] (the paper's algorithm).
+    QHierarchical,
+    /// [`RecomputeEngine`].
+    Recompute,
+    /// [`DeltaIvmEngine`].
+    DeltaIvm,
+    /// [`SemiJoinEngine`].
+    SemiJoin,
+}
+
+impl EngineKind {
+    /// Short display name (used by benches and the experiments binary).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::QHierarchical => "qh-dynamic",
+            EngineKind::Recompute => "recompute",
+            EngineKind::DeltaIvm => "delta-ivm",
+            EngineKind::SemiJoin => "semijoin",
+        }
+    }
+
+    /// Instantiates the engine over `db0`, if the engine supports `q`
+    /// (the q-hierarchical engine refuses hard queries).
+    pub fn build(self, q: &Query, db0: &Database) -> Option<Box<dyn DynamicEngine>> {
+        match self {
+            EngineKind::QHierarchical => {
+                QhEngine::new(q, db0).ok().map(|e| Box::new(e) as Box<dyn DynamicEngine>)
+            }
+            EngineKind::Recompute => Some(Box::new(RecomputeEngine::new(q, db0))),
+            EngineKind::DeltaIvm => Some(Box::new(DeltaIvmEngine::new(q, db0))),
+            EngineKind::SemiJoin => Some(Box::new(SemiJoinEngine::new(q, db0))),
+        }
+    }
+
+    /// All engine kinds.
+    pub fn all() -> [EngineKind; 4] {
+        [
+            EngineKind::QHierarchical,
+            EngineKind::Recompute,
+            EngineKind::DeltaIvm,
+            EngineKind::SemiJoin,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqu_query::parse_query;
+    use cqu_storage::Update;
+
+    #[test]
+    fn engine_kinds_build_where_applicable() {
+        let easy = parse_query("Q(x, y) :- E(x, y), T(y).").unwrap();
+        let hard = parse_query("Q(x, y) :- S(x), E(x, y), T(y).").unwrap();
+        let db_easy = Database::new(easy.schema().clone());
+        let db_hard = Database::new(hard.schema().clone());
+        for kind in EngineKind::all() {
+            assert!(kind.build(&easy, &db_easy).is_some(), "{}", kind.name());
+        }
+        assert!(EngineKind::QHierarchical.build(&hard, &db_hard).is_none());
+        assert!(EngineKind::Recompute.build(&hard, &db_hard).is_some());
+    }
+
+    #[test]
+    fn all_engines_agree_end_to_end() {
+        let q = parse_query("Q(x, y) :- E(x, y), T(y).").unwrap();
+        let db = Database::new(q.schema().clone());
+        let er = q.schema().relation("E").unwrap();
+        let tr = q.schema().relation("T").unwrap();
+        let mut engines: Vec<(EngineKind, Box<dyn DynamicEngine>)> = EngineKind::all()
+            .into_iter()
+            .map(|k| (k, k.build(&q, &db).unwrap()))
+            .collect();
+        let script = [
+            Update::Insert(er, vec![1, 2]),
+            Update::Insert(er, vec![3, 2]),
+            Update::Insert(tr, vec![2]),
+            Update::Delete(er, vec![1, 2]),
+            Update::Insert(er, vec![3, 4]),
+            Update::Insert(tr, vec![4]),
+        ];
+        for u in &script {
+            for (_, e) in engines.iter_mut() {
+                e.apply(u);
+            }
+        }
+        let reference = engines[0].1.results_sorted();
+        assert_eq!(reference, vec![vec![3, 2], vec![3, 4]]);
+        for (k, e) in &engines {
+            assert_eq!(e.results_sorted(), reference, "{}", k.name());
+            assert_eq!(e.count(), 2, "{}", k.name());
+            assert!(e.is_nonempty(), "{}", k.name());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! E1 (Theorem 3.2(a) / 1.1): update time and enumeration delay for a
+//! q-hierarchical query, dynamic engine vs baselines, across `n`.
+//!
+//! Expected shape: `qh-dynamic` flat in `n` for both metrics; `delta-ivm`
+//! updates grow with delta size; `recompute` pays `Θ(‖D‖)` for the first
+//! tuple.
+
+use cqu_baseline::EngineKind;
+use cqu_bench::workloads::{star_churn, star_database, star_query};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_update_time");
+    group.sample_size(20).warm_up_time(Duration::from_millis(150)).measurement_time(Duration::from_millis(900));
+    let q = star_query();
+    for n in [1_000usize, 8_000, 64_000] {
+        let db0 = star_database(n, 42);
+        let churn = star_churn(n, 10_000, 7);
+        for kind in [EngineKind::QHierarchical, EngineKind::DeltaIvm, EngineKind::Recompute] {
+            let mut engine = kind.build(&q, &db0).unwrap();
+            let mut pos = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        // One effective update per iteration; the churn
+                        // stream is long enough that wrap-around no-ops are
+                        // rare and visible only as noise.
+                        let u = &churn[pos % churn.len()];
+                        pos += 1;
+                        engine.apply(u)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_delay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_first_1000_tuples");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(1_500));
+    let q = star_query();
+    for n in [1_000usize, 8_000, 64_000] {
+        let db0 = star_database(n, 42);
+        for kind in [EngineKind::QHierarchical, EngineKind::DeltaIvm, EngineKind::Recompute] {
+            let engine = kind.build(&q, &db0).unwrap();
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| engine.enumerate().take(1_000).count())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(e1, bench_updates, bench_delay);
+criterion_main!(e1);

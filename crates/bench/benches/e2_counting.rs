@@ -1,0 +1,52 @@
+//! E2 (Theorem 3.2(b) / 1.3): counting under updates. `count()` is an O(1)
+//! register read for the dynamic engine (including quantified variables via
+//! the C̃ machinery); recompute pays a full join per call.
+
+use cqu_baseline::EngineKind;
+use cqu_bench::workloads::{star_churn, star_database};
+use cqu_query::parse_query;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_count_latency");
+    group.sample_size(20).warm_up_time(Duration::from_millis(150)).measurement_time(Duration::from_millis(900));
+    // Quantified star: Q(x) :- ∃y∃z R(x,y) ∧ S(x,z) ∧ T(x).
+    let q = parse_query("Q(x) :- R(x, y), S(x, z), T(x).").unwrap();
+    for n in [1_000usize, 8_000, 64_000] {
+        let db0 = star_database(n, 43);
+        for kind in [EngineKind::QHierarchical, EngineKind::DeltaIvm, EngineKind::Recompute] {
+            let engine = kind.build(&q, &db0).unwrap();
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| engine.count())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_update_then_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_update_plus_count");
+    group.sample_size(20).warm_up_time(Duration::from_millis(150)).measurement_time(Duration::from_millis(900));
+    let q = parse_query("Q(x) :- R(x, y), S(x, z), T(x).").unwrap();
+    for n in [1_000usize, 8_000, 64_000] {
+        let db0 = star_database(n, 43);
+        let churn = star_churn(n, 10_000, 11);
+        for kind in [EngineKind::QHierarchical, EngineKind::DeltaIvm] {
+            let mut engine = kind.build(&q, &db0).unwrap();
+            let mut pos = 0usize;
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    let u = &churn[pos % churn.len()];
+                    pos += 1;
+                    engine.apply(u);
+                    engine.count()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(e2, bench_count, bench_update_then_count);
+criterion_main!(e2);

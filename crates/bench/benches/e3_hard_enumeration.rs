@@ -1,0 +1,111 @@
+//! E3 (Theorem 3.3 / 1.1 lower bound): per-round cost on the hard query
+//! `ϕ_S-E-T(x,y) = Sx ∧ Exy ∧ Ty` for every engine that accepts it, vs the
+//! q-hierarchical sibling `Sx ∧ Exy` under the same update pressure.
+//!
+//! Expected shape: the hard query's round cost grows with `n` on every
+//! engine (the OMv barrier); the sibling's stays flat on `qh-dynamic`.
+
+use cqu_baseline::{DeltaIvmEngine, RecomputeEngine};
+use cqu_bench::workloads::easy_set_sibling;
+use cqu_dynamic::{DynamicEngine, QhEngine};
+use cqu_lowerbounds::{phi_set_join, OuMvInstance};
+use cqu_storage::{Const, Update};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// One OuMv-style round: replace S/T contents per `(u, v)` and enumerate.
+fn round(
+    engine: &mut dyn DynamicEngine,
+    inst: &OuMvInstance,
+    t_round: usize,
+    prev: &mut (Vec<Const>, Vec<Const>),
+) -> usize {
+    let n = inst.n();
+    let schema = engine.query().schema().clone();
+    let s = schema.relation("S").unwrap();
+    let t = schema.relation("T");
+    let (u, v) = &inst.pairs[t_round % n];
+    for &x in &prev.0 {
+        engine.apply(&Update::Delete(s, vec![x]));
+    }
+    prev.0 = u.iter_ones().map(|i| (i + 1) as Const).collect();
+    for &x in &prev.0 {
+        engine.apply(&Update::Insert(s, vec![x]));
+    }
+    if let Some(t) = t {
+        for &x in &prev.1 {
+            engine.apply(&Update::Delete(t, vec![x]));
+        }
+        prev.1 = v.iter_ones().map(|j| (n + j + 1) as Const).collect();
+        for &x in &prev.1 {
+            engine.apply(&Update::Insert(t, vec![x]));
+        }
+    }
+    engine.enumerate().count()
+}
+
+fn load_matrix(engine: &mut dyn DynamicEngine, inst: &OuMvInstance) {
+    let n = inst.n();
+    let e = engine.query().schema().relation("E").unwrap();
+    for i in 0..n {
+        for j in 0..n {
+            if inst.matrix.get(i, j) {
+                engine.apply(&Update::Insert(e, vec![(i + 1) as Const, (n + j + 1) as Const]));
+            }
+        }
+    }
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_round_cost");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1_200));
+    let hard = phi_set_join();
+    let easy = easy_set_sibling();
+    assert!(QhEngine::empty(&hard).is_err());
+    for n in [128usize, 256, 512] {
+        let inst = OuMvInstance::random(n, 0.05, 3);
+        {
+            let mut engine = RecomputeEngine::empty(&hard);
+            load_matrix(&mut engine, &inst);
+            let mut prev = (Vec::new(), Vec::new());
+            let mut t = 0usize;
+            group.bench_with_input(BenchmarkId::new("recompute/hard", n), &n, |b, _| {
+                b.iter(|| {
+                    t += 1;
+                    round(&mut engine, &inst, t, &mut prev)
+                })
+            });
+        }
+        {
+            let mut engine = DeltaIvmEngine::empty(&hard);
+            load_matrix(&mut engine, &inst);
+            let mut prev = (Vec::new(), Vec::new());
+            let mut t = 0usize;
+            group.bench_with_input(BenchmarkId::new("delta-ivm/hard", n), &n, |b, _| {
+                b.iter(|| {
+                    t += 1;
+                    round(&mut engine, &inst, t, &mut prev)
+                })
+            });
+        }
+        {
+            let mut engine = QhEngine::empty(&easy).unwrap();
+            load_matrix(&mut engine, &inst);
+            let mut prev = (Vec::new(), Vec::new());
+            let mut t = 0usize;
+            group.bench_with_input(BenchmarkId::new("qh-dynamic/easy-sibling", n), &n, |b, _| {
+                b.iter(|| {
+                    t += 1;
+                    round(&mut engine, &inst, t, &mut prev)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(e3, bench_rounds);
+criterion_main!(e3);

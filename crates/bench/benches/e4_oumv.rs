@@ -1,0 +1,38 @@
+//! E4 (Theorem 3.4 / Lemma 5.3): total time to solve an OuMv instance
+//! through a Boolean `ϕ'_S-E-T` engine vs the naive matrix solver.
+
+use cqu_baseline::{DeltaIvmEngine, RecomputeEngine};
+use cqu_lowerbounds::{oumv_via_boolean_set, phi_set_boolean, OuMvInstance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_oumv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_oumv_total");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1_500));
+    let q = phi_set_boolean();
+    for n in [32usize, 64, 128] {
+        let inst = OuMvInstance::random(n, 0.10, 17);
+        group.bench_with_input(BenchmarkId::new("naive-matrix", n), &n, |b, _| {
+            b.iter(|| inst.solve_naive())
+        });
+        group.bench_with_input(BenchmarkId::new("via-recompute", n), &n, |b, _| {
+            b.iter(|| {
+                let mut e = RecomputeEngine::empty(&q);
+                oumv_via_boolean_set(&inst, &mut e)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("via-delta-ivm", n), &n, |b, _| {
+            b.iter(|| {
+                let mut e = DeltaIvmEngine::empty(&q);
+                oumv_via_boolean_set(&inst, &mut e)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e4, bench_oumv);
+criterion_main!(e4);

@@ -1,0 +1,39 @@
+//! E5 (Theorem 3.5 / Lemma 5.5): total time to solve an OV instance
+//! through counting of `ϕ_E-T` vs the naive all-pairs solver.
+
+use cqu_baseline::{DeltaIvmEngine, RecomputeEngine};
+use cqu_lowerbounds::{ov_via_counting, phi_et, OvInstance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_ov(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_ov_total");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1_500));
+    let q = phi_et();
+    for n in [256usize, 512, 1024] {
+        // High density: no orthogonal pair, so every round runs (worst case).
+        let inst = OvInstance::random(n, 0.9, 5);
+        group.bench_with_input(BenchmarkId::new("naive-pairs", n), &n, |b, _| {
+            b.iter(|| inst.solve_naive())
+        });
+        group.bench_with_input(BenchmarkId::new("via-delta-ivm", n), &n, |b, _| {
+            b.iter(|| {
+                let mut e = DeltaIvmEngine::empty(&q);
+                ov_via_counting(&inst, &mut e)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("via-recompute", n), &n, |b, _| {
+            b.iter(|| {
+                let mut e = RecomputeEngine::empty(&q);
+                ov_via_counting(&inst, &mut e)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e5, bench_ov);
+criterion_main!(e5);

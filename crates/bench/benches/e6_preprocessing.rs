@@ -1,0 +1,27 @@
+//! E6 (Theorem 3.2): preprocessing is linear in `‖D₀‖` — construction time
+//! per database-size unit should stay constant across the sweep.
+
+use cqu_bench::workloads::{star_database, star_query};
+use cqu_dynamic::QhEngine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_preprocessing");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1_500));
+    let q = star_query();
+    for n in [5_000usize, 10_000, 20_000, 40_000] {
+        let db0 = star_database(n, 44);
+        group.throughput(Throughput::Elements(db0.size() as u64));
+        group.bench_with_input(BenchmarkId::new("qh-preprocess", n), &n, |b, _| {
+            b.iter(|| QhEngine::new(&q, &db0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e6, bench_preprocessing);
+criterion_main!(e6);

@@ -1,0 +1,86 @@
+//! E7 (Section 7 / Appendix A): the self-join product query `ϕ₂` — the
+//! amortised Lemma A.2 engine vs recompute: update cost and time to the
+//! first 1000 tuples.
+
+use cqu_dynamic::selfjoin::Phi2Engine;
+use cqu_baseline::RecomputeEngine;
+use cqu_dynamic::DynamicEngine;
+use cqu_query::parse_query;
+use cqu_storage::{Const, Update};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn graph(n: usize, seed: u64) -> Vec<(Const, Const)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dom = (n as Const / 2).max(2);
+    (0..n)
+        .map(|_| {
+            let a = rng.gen_range(1..=dom);
+            let b = if rng.gen_bool(0.3) { a } else { rng.gen_range(1..=dom) };
+            (a, b)
+        })
+        .collect()
+}
+
+fn engines(q2: &cqu_query::Query, n: usize) -> Vec<(&'static str, Box<dyn DynamicEngine>)> {
+    let mut out: Vec<(&'static str, Box<dyn DynamicEngine>)> =
+        vec![("phi2-amortised", Box::new(Phi2Engine::new()) as Box<dyn DynamicEngine>)];
+    // Recompute materialises |ϕ₁(D)|·|E| tuples per request — quadratic in
+    // |E|; only run it where that fits comfortably in memory.
+    if n <= 1_000 {
+        out.push(("recompute", Box::new(RecomputeEngine::empty(q2))));
+    }
+    out
+}
+
+fn bench_phi2(c: &mut Criterion) {
+    let q2 = parse_query("Q(x, y, z1, z2) :- E(x,x), E(x,y), E(y,y), E(z1,z2).").unwrap();
+    let er = q2.schema().relation("E").unwrap();
+
+    let mut group = c.benchmark_group("e7_update_time");
+    group.sample_size(20).warm_up_time(Duration::from_millis(150)).measurement_time(Duration::from_millis(900));
+    for n in [1_000usize, 8_000, 64_000] {
+        for (name, mut engine) in engines(&q2, n) {
+            for (a, b) in graph(n, 9) {
+                engine.apply(&Update::Insert(er, vec![a, b]));
+            }
+            let mut toggle = false;
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    // Alternate insert/delete of a fresh edge: two effective
+                    // updates, state returns to baseline every other iter.
+                    let u = if toggle {
+                        Update::Delete(er, vec![999_999, 999_998])
+                    } else {
+                        Update::Insert(er, vec![999_999, 999_998])
+                    };
+                    toggle = !toggle;
+                    engine.apply(&u)
+                })
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e7_first_1000_tuples");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(1_200));
+    for n in [1_000usize, 8_000, 64_000] {
+        for (name, mut engine) in engines(&q2, n) {
+            for (a, b) in graph(n, 9) {
+                engine.apply(&Update::Insert(er, vec![a, b]));
+            }
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| engine.enumerate().take(1_000).count())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(e7, bench_phi2);
+criterion_main!(e7);

@@ -1,0 +1,92 @@
+//! E8 ablation: how the `poly(ϕ)` factors of Theorem 3.2 show up in
+//! practice — update time vs q-tree depth (path queries) and enumeration
+//! delay vs output arity (star queries). Both should grow with the query,
+//! not with the database.
+
+use cqu_dynamic::{DynamicEngine, QhEngine};
+use cqu_query::{parse_query, Query};
+use cqu_storage::{Const, Update};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// `Q(x1,…,xd) :- R1(x1), R2(x1,x2), …, Rd(x1,…,xd)` — a depth-`d` q-tree.
+fn path_query(depth: usize) -> Query {
+    let vars: Vec<String> = (1..=depth).map(|i| format!("x{i}")).collect();
+    let head = vars.join(", ");
+    let atoms: Vec<String> =
+        (1..=depth).map(|i| format!("R{i}({})", vars[..i].join(", "))).collect();
+    parse_query(&format!("Q({head}) :- {}.", atoms.join(", "))).unwrap()
+}
+
+/// `Q(x, y1,…,yk) :- R1(x,y1), …, Rk(x,yk)` — a width-`k` q-tree.
+fn star_query_k(k: usize) -> Query {
+    let head: Vec<String> =
+        std::iter::once("x".to_string()).chain((1..=k).map(|i| format!("y{i}"))).collect();
+    let atoms: Vec<String> = (1..=k).map(|i| format!("R{i}(x, y{i})")).collect();
+    parse_query(&format!("Q({}) :- {}.", head.join(", "), atoms.join(", "))).unwrap()
+}
+
+fn load_path(engine: &mut QhEngine, q: &Query, n: usize, depth: usize) {
+    let mut rng = SmallRng::seed_from_u64(13);
+    for _ in 0..n {
+        let consts: Vec<Const> = (0..depth).map(|_| rng.gen_range(1..=50)).collect();
+        for i in 1..=depth {
+            let rel = q.schema().relation(&format!("R{i}")).unwrap();
+            engine.apply(&Update::Insert(rel, consts[..i].to_vec()));
+        }
+    }
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_update_vs_qtree_depth");
+    group.sample_size(20).warm_up_time(Duration::from_millis(150)).measurement_time(Duration::from_millis(900));
+    for depth in [1usize, 2, 4, 6] {
+        let q = path_query(depth);
+        let mut engine = QhEngine::empty(&q).unwrap();
+        load_path(&mut engine, &q, 2_000, depth);
+        let deep = q.schema().relation(&format!("R{depth}")).unwrap();
+        let mut toggle = false;
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let tuple: Vec<Const> = (0..depth as u64).map(|i| 900 + i).collect();
+                let u = if toggle {
+                    Update::Delete(deep, tuple)
+                } else {
+                    Update::Insert(deep, tuple)
+                };
+                toggle = !toggle;
+                engine.apply(&u)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_arity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_delay_vs_arity");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(1_000));
+    for k in [1usize, 2, 4, 6] {
+        let q = star_query_k(k);
+        let mut engine = QhEngine::empty(&q).unwrap();
+        let mut rng = SmallRng::seed_from_u64(14);
+        for _ in 0..3_000 {
+            let x = rng.gen_range(1..=40);
+            for i in 1..=k {
+                let rel = q.schema().relation(&format!("R{i}")).unwrap();
+                engine.apply(&Update::Insert(rel, vec![x, rng.gen_range(100..=200)]));
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| engine.enumerate().take(1_000).count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e8, bench_depth, bench_arity);
+criterion_main!(e8);

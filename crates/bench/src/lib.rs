@@ -1,0 +1,19 @@
+//! Experiment harness for the `cq-updates` reproduction.
+//!
+//! * [`measure`] — per-operation timing (update time, enumeration delay,
+//!   counting time) with percentile statistics.
+//! * [`workloads`] — the queries and data distributions the experiments
+//!   sweep over.
+//! * [`experiments`] — one function per experiment in DESIGN.md's index
+//!   (T1, F1, F2/F3, E1–E8), each printing a paper-shaped table.
+//!
+//! The `experiments` binary runs them (`cargo run --release -p cqu-bench`),
+//! and `benches/` holds the Criterion counterparts.
+
+
+#![warn(missing_docs)]
+pub mod experiments;
+pub mod measure;
+pub mod workloads;
+
+pub use measure::Stats;

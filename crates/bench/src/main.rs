@@ -1,0 +1,60 @@
+//! The `experiments` binary: regenerates every table and figure of the
+//! paper plus the per-theorem scaling experiments.
+//!
+//! ```text
+//! cargo run --release -p cqu-bench --bin experiments            # everything
+//! cargo run --release -p cqu-bench --bin experiments -- --table1 --fig3
+//! ```
+
+use cqu_bench::experiments as ex;
+use cqu_bench::workloads::sweep;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--all") {
+        ex::run_all();
+        return;
+    }
+    for arg in &args {
+        match arg.as_str() {
+            "--table1" => {
+                ex::table1();
+            }
+            "--fig1" => {
+                ex::figure1();
+            }
+            "--fig3" => {
+                ex::figure3();
+            }
+            "--classify" => {
+                ex::e8_classify();
+            }
+            "--e1" => {
+                ex::e1_enumeration(&sweep(1_000, 4, 4), 2_000, 1_000);
+            }
+            "--e2" => {
+                ex::e2_counting(&sweep(1_000, 4, 4), 2_000);
+            }
+            "--e3" => {
+                ex::e3_hard_enumeration(&[256, 512, 1024, 2048], 8);
+            }
+            "--e4" => {
+                ex::e4_oumv(&[64, 128, 256, 512]);
+                ex::e4b_omv(&[64, 128, 256, 512]);
+            }
+            "--e5" => {
+                ex::e5_ov_counting(&[512, 1024, 2048]);
+            }
+            "--e6" => {
+                ex::e6_preprocessing(&sweep(10_000, 2, 4));
+            }
+            "--e7" => {
+                ex::e7_selfjoins(&[1_000, 4_000, 16_000], 2_000, 1_000);
+            }
+            other => {
+                eprintln!("unknown flag {other}; see --help in README");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Timing utilities for the experiment harness.
+
+use cqu_dynamic::DynamicEngine;
+use cqu_storage::Update;
+use std::time::Instant;
+
+/// Summary statistics over nanosecond samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean, ns.
+    pub mean_ns: f64,
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 95th percentile, ns.
+    pub p95_ns: u64,
+    /// Maximum, ns.
+    pub max_ns: u64,
+}
+
+impl Stats {
+    /// Computes statistics from raw samples.
+    pub fn from_samples(mut samples: Vec<u64>) -> Stats {
+        assert!(!samples.is_empty());
+        samples.sort_unstable();
+        let n = samples.len();
+        let sum: u128 = samples.iter().map(|&s| s as u128).sum();
+        Stats {
+            n,
+            mean_ns: sum as f64 / n as f64,
+            p50_ns: samples[n / 2],
+            p95_ns: samples[(n * 95 / 100).min(n - 1)],
+            max_ns: samples[n - 1],
+        }
+    }
+
+    /// Mean in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns / 1000.0
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mean {:>9.2}µs  p50 {:>9.2}µs  p95 {:>9.2}µs  max {:>9.2}µs",
+            self.mean_ns / 1e3,
+            self.p50_ns as f64 / 1e3,
+            self.p95_ns as f64 / 1e3,
+            self.max_ns as f64 / 1e3
+        )
+    }
+}
+
+/// Times each update individually through `engine`.
+pub fn time_updates(engine: &mut dyn DynamicEngine, updates: &[Update]) -> Stats {
+    let mut samples = Vec::with_capacity(updates.len());
+    for u in updates {
+        let t0 = Instant::now();
+        engine.apply(u);
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    Stats::from_samples(samples)
+}
+
+/// Times the enumeration delay: per-`next()` latency over at most `limit`
+/// tuples (including the first). Returns `None` if the result is empty.
+pub fn time_delays(engine: &dyn DynamicEngine, limit: usize) -> Option<Stats> {
+    let mut samples = Vec::with_capacity(limit.min(4096));
+    // Iterator construction counts towards the first delay — engines that
+    // materialise eagerly (recompute) must not get it for free.
+    let t_construct = Instant::now();
+    let mut iter = engine.enumerate();
+    let mut construction = t_construct.elapsed().as_nanos() as u64;
+    loop {
+        let t0 = Instant::now();
+        let item = iter.next();
+        let dt = t0.elapsed().as_nanos() as u64 + std::mem::take(&mut construction);
+        match item {
+            Some(_) => {
+                samples.push(dt);
+                if samples.len() >= limit {
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    if samples.is_empty() {
+        None
+    } else {
+        Some(Stats::from_samples(samples))
+    }
+}
+
+/// Times a single closure.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Times `count()` calls, one after each of the given updates.
+pub fn time_counts(engine: &mut dyn DynamicEngine, updates: &[Update]) -> (Stats, Stats) {
+    let mut update_samples = Vec::with_capacity(updates.len());
+    let mut count_samples = Vec::with_capacity(updates.len());
+    for u in updates {
+        let t0 = Instant::now();
+        engine.apply(u);
+        update_samples.push(t0.elapsed().as_nanos() as u64);
+        let t1 = Instant::now();
+        let c = engine.count();
+        count_samples.push(t1.elapsed().as_nanos() as u64);
+        std::hint::black_box(c);
+    }
+    (Stats::from_samples(update_samples), Stats::from_samples(count_samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_percentiles() {
+        let s = Stats::from_samples((1..=100).collect());
+        assert_eq!(s.n, 100);
+        assert_eq!(s.p50_ns, 51);
+        assert_eq!(s.p95_ns, 96);
+        assert_eq!(s.max_ns, 100);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_single_sample() {
+        let s = Stats::from_samples(vec![42]);
+        assert_eq!(s.p50_ns, 42);
+        assert_eq!(s.p95_ns, 42);
+        assert_eq!(s.max_ns, 42);
+    }
+}

@@ -1,0 +1,93 @@
+//! Experiment workloads: the queries and data distributions the harness
+//! sweeps over.
+
+use cqu_query::{parse_query, Query};
+use cqu_storage::workload::{churn_updates, rng, ChurnConfig};
+use cqu_storage::{Const, Database, Update};
+use rand::Rng;
+
+/// The q-hierarchical star query `Q(x, y, z) :- R(x,y), S(x,z), T(x)` —
+/// the canonical tractable query with a branching q-tree.
+pub fn star_query() -> Query {
+    parse_query("Q(x, y, z) :- R(x, y), S(x, z), T(x).").unwrap()
+}
+
+/// The q-hierarchical sibling of `ϕ_S-E-T` with the offending `T` dropped.
+pub fn easy_set_sibling() -> Query {
+    parse_query("Q(x, y) :- S(x), E(x, y).").unwrap()
+}
+
+/// Example 6.1's query (deep q-tree with five variables).
+pub fn example_query() -> Query {
+    parse_query("Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).").unwrap()
+}
+
+/// A random star-shaped database with ~`n` active-domain constants:
+/// `T(x)` for hub constants, `R(x,y)`/`S(x,z)` random spokes.
+pub fn star_database(n: usize, seed: u64) -> Database {
+    let q = star_query();
+    let mut db = Database::new(q.schema().clone());
+    let r = q.schema().relation("R").unwrap();
+    let s = q.schema().relation("S").unwrap();
+    let t = q.schema().relation("T").unwrap();
+    let hubs = (n / 4).max(1) as Const;
+    let leaves = n as Const;
+    let mut rand = rng(seed);
+    for x in 1..=hubs {
+        if rand.gen_bool(0.8) {
+            db.insert(t, vec![x]);
+        }
+        for _ in 0..3 {
+            db.insert(r, vec![x, hubs + rand.gen_range(1..=leaves)]);
+            db.insert(s, vec![x, hubs + rand.gen_range(1..=leaves)]);
+        }
+    }
+    db
+}
+
+/// A churn stream over the star schema, sized to the database.
+pub fn star_churn(n: usize, steps: usize, seed: u64) -> Vec<Update> {
+    let q = star_query();
+    let mut rand = rng(seed ^ 0x5747);
+    churn_updates(
+        &mut rand,
+        q.schema(),
+        steps,
+        ChurnConfig { domain: (n as Const).max(4), insert_bias: 0.55 },
+    )
+}
+
+/// The standard geometric sweep of active-domain sizes.
+pub fn sweep(base: usize, factor: usize, points: usize) -> Vec<usize> {
+    (0..points).map(|i| base * factor.pow(i as u32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_database_has_expected_shape() {
+        let db = star_database(1000, 1);
+        assert!(db.cardinality() > 1000);
+        assert!(db.active_domain_size() > 200);
+        let db2 = star_database(1000, 1);
+        assert_eq!(db.cardinality(), db2.cardinality(), "deterministic");
+    }
+
+    #[test]
+    fn churn_replays_effectively() {
+        let ups = star_churn(100, 500, 2);
+        assert_eq!(ups.len(), 500);
+        let q = star_query();
+        let mut db = Database::new(q.schema().clone());
+        for u in &ups {
+            assert!(db.apply(u));
+        }
+    }
+
+    #[test]
+    fn sweep_is_geometric() {
+        assert_eq!(sweep(100, 4, 3), vec![100, 400, 1600]);
+    }
+}

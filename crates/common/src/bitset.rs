@@ -1,0 +1,267 @@
+//! Dense bitsets and square boolean matrices.
+//!
+//! Section 5 of the paper reduces online matrix-vector multiplication (OMv),
+//! its vector variant (OuMv), and the orthogonal-vectors problem (OV) to
+//! dynamic query evaluation. All arithmetic there is over the Boolean
+//! semiring, so vectors are bitsets and matrices are packed rows of bits.
+
+/// A fixed-length dense bitset over `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitSet {
+    /// An all-zero bitset of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(WORD_BITS)], len }
+    }
+
+    /// Builds a bitset from an iterator of booleans.
+    pub fn from_bools(bits: impl IntoIterator<Item = bool>) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut set = BitSet::zeros(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            if *b {
+                set.set(i, true);
+            }
+        }
+        set
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the bitset has length zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] >> (i % WORD_BITS) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            self.words[i / WORD_BITS] |= mask;
+        } else {
+            self.words[i / WORD_BITS] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Boolean dot product: `true` iff some position is set in both.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + bit)
+                }
+            })
+        })
+    }
+
+    /// Sets all bits to zero, keeping the length.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// The raw words backing this bitset.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+/// A square boolean matrix with bit-packed rows.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: Vec<BitSet>,
+    n: usize,
+}
+
+impl BitMatrix {
+    /// The all-zero `n × n` matrix.
+    pub fn zeros(n: usize) -> Self {
+        BitMatrix { rows: vec![BitSet::zeros(n); n], n }
+    }
+
+    /// Builds a matrix from a closure over `(row, col)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = BitMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if f(i, j) {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Matrix dimension `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.rows[i].get(j)
+    }
+
+    /// Writes entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        self.rows[i].set(j, value);
+    }
+
+    /// Row `i` as a bitset.
+    #[inline]
+    pub fn row(&self, i: usize) -> &BitSet {
+        &self.rows[i]
+    }
+
+    /// Boolean matrix-vector product `M v` over the Boolean semiring.
+    pub fn mul_vec(&self, v: &BitSet) -> BitSet {
+        debug_assert_eq!(v.len(), self.n);
+        BitSet::from_bools((0..self.n).map(|i| self.rows[i].intersects(v)))
+    }
+
+    /// Boolean bilinear form `uᵀ M v`.
+    pub fn bilinear(&self, u: &BitSet, v: &BitSet) -> bool {
+        u.iter_ones().any(|i| self.rows[i].intersects(v))
+    }
+
+    /// Number of set entries.
+    pub fn count_ones(&self) -> usize {
+        self.rows.iter().map(BitSet::count_ones).sum()
+    }
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for row in &self.rows {
+            writeln!(f, "{row:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = BitSet::zeros(130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!b.get(i));
+            b.set(i, true);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count_ones(), 8);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 7);
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let bools: Vec<bool> = (0..200).map(|i| i % 7 == 0 || i % 31 == 3).collect();
+        let b = BitSet::from_bools(bools.iter().copied());
+        let ones: Vec<usize> = b.iter_ones().collect();
+        let expected: Vec<usize> =
+            bools.iter().enumerate().filter(|(_, &x)| x).map(|(i, _)| i).collect();
+        assert_eq!(ones, expected);
+    }
+
+    #[test]
+    fn intersects_is_boolean_dot() {
+        let a = BitSet::from_bools([true, false, true, false]);
+        let b = BitSet::from_bools([false, true, false, true]);
+        let c = BitSet::from_bools([false, false, true, false]);
+        assert!(!a.intersects(&b));
+        assert!(a.intersects(&c));
+        assert!(!b.intersects(&c));
+    }
+
+    #[test]
+    fn matrix_vector_product() {
+        // M = [[1,0],[1,1]], v = (0,1) => Mv = (0,1).
+        let m = BitMatrix::from_fn(2, |i, j| (i, j) != (0, 1));
+        let v = BitSet::from_bools([false, true]);
+        let mv = m.mul_vec(&v);
+        assert!(!mv.get(0));
+        assert!(mv.get(1));
+    }
+
+    #[test]
+    fn bilinear_form() {
+        let m = BitMatrix::from_fn(3, |i, j| i == 1 && j == 2);
+        let u = BitSet::from_bools([false, true, false]);
+        let v = BitSet::from_bools([false, false, true]);
+        assert!(m.bilinear(&u, &v));
+        let u2 = BitSet::from_bools([true, false, false]);
+        assert!(!m.bilinear(&u2, &v));
+    }
+
+    #[test]
+    fn mul_vec_agrees_with_naive() {
+        let n = 67;
+        let m = BitMatrix::from_fn(n, |i, j| (i * 31 + j * 17) % 5 == 0);
+        let v = BitSet::from_bools((0..n).map(|j| j % 3 == 1));
+        let fast = m.mul_vec(&v);
+        for i in 0..n {
+            let naive = (0..n).any(|j| m.get(i, j) && v.get(j));
+            assert_eq!(fast.get(i), naive, "row {i}");
+        }
+    }
+
+    #[test]
+    fn clear_zeroes_all() {
+        let mut b = BitSet::from_bools((0..100).map(|i| i % 2 == 0));
+        assert!(b.count_ones() > 0);
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.len(), 100);
+    }
+}

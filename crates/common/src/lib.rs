@@ -1,0 +1,26 @@
+//! Shared substrate for the `cq-updates` workspace.
+//!
+//! This crate provides the low-level building blocks that the rest of the
+//! reproduction of *Answering Conjunctive Queries under Updates* (Berkholz,
+//! Keppeler, Schweikardt; PODS 2017) is built on:
+//!
+//! * [`hash`] — an Fx-style fast hasher plus `FxHashMap`/`FxHashSet`
+//!   aliases. The paper's RAM-model `d`-ary arrays `A_v` are replaced by
+//!   hash maps keyed on path constants, exactly as the paper's footnote 2
+//!   prescribes for real-world machines.
+//! * [`slab`] — a slab arena with a free list. Items of the dynamic data
+//!   structure (Section 6 of the paper) live in a slab and are addressed by
+//!   dense `u32` ids so the intrusive doubly-linked "fit lists" need no
+//!   allocation per link operation.
+//! * [`bitset`] — dense bitsets and square boolean matrices used by the
+//!   OMv/OuMv/OV lower-bound machinery (Section 5 of the paper).
+
+
+#![warn(missing_docs)]
+pub mod bitset;
+pub mod hash;
+pub mod slab;
+
+pub use bitset::{BitMatrix, BitSet};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use slab::{Slab, SlabId};

@@ -1,0 +1,84 @@
+//! Property tests for the substrate crate: the slab behaves like a map
+//! with stable keys, and bitset operations agree with naive Vec<bool>
+//! models.
+
+use cqu_common::{BitMatrix, BitSet, Slab};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn slab_behaves_like_a_map(ops in prop::collection::vec((any::<bool>(), 0usize..24, any::<u32>()), 1..200)) {
+        let mut slab: Slab<u32> = Slab::new();
+        let mut model: Vec<(cqu_common::SlabId, u32)> = Vec::new();
+        for (insert, pick, value) in ops {
+            if insert || model.is_empty() {
+                let id = slab.insert(value);
+                // Fresh ids never collide with live ones.
+                prop_assert!(model.iter().all(|(other, _)| *other != id));
+                model.push((id, value));
+            } else {
+                let (id, v) = model.swap_remove(pick % model.len());
+                prop_assert_eq!(slab.remove(id), v);
+            }
+            prop_assert_eq!(slab.len(), model.len());
+            for (id, v) in &model {
+                prop_assert_eq!(slab.get(*id), Some(v));
+            }
+        }
+        let mut collected: Vec<u32> = slab.iter().map(|(_, &v)| v).collect();
+        let mut expected: Vec<u32> = model.iter().map(|(_, v)| *v).collect();
+        collected.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(collected, expected);
+    }
+
+    #[test]
+    fn bitset_agrees_with_bool_vec(bools in prop::collection::vec(any::<bool>(), 0..300)) {
+        let set = BitSet::from_bools(bools.iter().copied());
+        prop_assert_eq!(set.len(), bools.len());
+        prop_assert_eq!(set.count_ones(), bools.iter().filter(|&&b| b).count());
+        for (i, &b) in bools.iter().enumerate() {
+            prop_assert_eq!(set.get(i), b);
+        }
+        let ones: Vec<usize> = set.iter_ones().collect();
+        let expected: Vec<usize> =
+            bools.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        prop_assert_eq!(ones, expected);
+    }
+
+    #[test]
+    fn bitset_intersects_is_symmetric_dot(
+        a in prop::collection::vec(any::<bool>(), 1..150),
+        flips in prop::collection::vec(any::<bool>(), 1..150),
+    ) {
+        let len = a.len().min(flips.len());
+        let b: Vec<bool> = a[..len].iter().zip(&flips[..len]).map(|(&x, &f)| x ^ f).collect();
+        let sa = BitSet::from_bools(a[..len].iter().copied());
+        let sb = BitSet::from_bools(b.iter().copied());
+        let naive = (0..len).any(|i| a[i] && b[i]);
+        prop_assert_eq!(sa.intersects(&sb), naive);
+        prop_assert_eq!(sb.intersects(&sa), naive);
+    }
+
+    #[test]
+    fn matrix_vector_product_model(n in 1usize..24, seed in any::<u64>()) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let m = BitMatrix::from_fn(n, |_, _| next() % 3 == 0);
+        let v = BitSet::from_bools((0..n).map(|_| next() % 2 == 0));
+        let mv = m.mul_vec(&v);
+        for i in 0..n {
+            let naive = (0..n).any(|j| m.get(i, j) && v.get(j));
+            prop_assert_eq!(mv.get(i), naive);
+        }
+        // bilinear(e_i, v) == (Mv)_i.
+        for i in 0..n {
+            let mut ei = BitSet::zeros(n);
+            ei.set(i, true);
+            prop_assert_eq!(m.bilinear(&ei, &v), mv.get(i));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The dynamic-engine interface shared by the paper's algorithm and all
+//! baselines.
+//!
+//! A dynamic query evaluation algorithm (paper, Section 2) consists of
+//! `preprocess` (the constructor), `update`, and — depending on the task —
+//! `enumerate`, `count`, and `answer`. This trait captures the latter four;
+//! construction is engine-specific because preprocessing guarantees differ.
+
+use cqu_query::Query;
+use cqu_storage::{Const, Update};
+
+/// A dynamic query-evaluation algorithm over a fixed query.
+pub trait DynamicEngine {
+    /// The query this engine maintains.
+    fn query(&self) -> &Query;
+
+    /// Applies a single-tuple update; returns `true` iff the database
+    /// changed (set semantics: duplicate inserts / absent deletes are
+    /// no-ops and must be tolerated).
+    fn apply(&mut self, update: &Update) -> bool;
+
+    /// `|ϕ(D)|` on the current database.
+    fn count(&self) -> u64;
+
+    /// `ϕ(D) ≠ ∅` (the `answer` routine for Boolean queries).
+    fn is_nonempty(&self) -> bool;
+
+    /// Enumerates `ϕ(D)` without repetition. Tuples follow the query's
+    /// free-variable order.
+    fn enumerate<'a>(&'a self) -> Box<dyn Iterator<Item = Vec<Const>> + 'a>;
+
+    /// The `answer` routine: alias for [`DynamicEngine::is_nonempty`].
+    fn answer(&self) -> bool {
+        self.is_nonempty()
+    }
+
+    /// Collects and sorts the full result — test/debug convenience.
+    fn results_sorted(&self) -> Vec<Vec<Const>> {
+        let mut v: Vec<Vec<Const>> = self.enumerate().collect();
+        v.sort_unstable();
+        v
+    }
+}

@@ -1,0 +1,230 @@
+//! Constant-delay enumeration (paper, Section 6.3 / Algorithm 1).
+//!
+//! Enumeration walks the free-variable subtree `T'` in document order
+//! `y₁,…,y_k`. The first output is obtained by taking the first item of
+//! the start list and, inductively, the first item of each `y_μ`-list of
+//! the chosen parent item; successive outputs advance the *deepest*
+//! advanceable position and re-seed everything after it. Because every fit
+//! item has nonempty child lists, each step costs `O(k)` — constant in the
+//! database.
+//!
+//! For queries with several connected components the result is the
+//! cross product `ϕ(D) = ϕ₁(D) × ⋯ × ϕⱼ(D)`; [`ResultIter`] runs the
+//! component iterators as an odometer (the nested-loop scheme the paper
+//! sketches at the start of Section 6).
+
+use crate::structure::ComponentStructure;
+use cqu_common::SlabId;
+use cqu_storage::Const;
+
+/// Algorithm 1 over one component. Yields tuples aligned with
+/// [`ComponentStructure::output_vars`] (document order).
+pub struct ComponentIter<'a> {
+    s: &'a ComponentStructure,
+    /// Current item per position of `free_order`.
+    current: Vec<SlabId>,
+    done: bool,
+}
+
+impl<'a> ComponentIter<'a> {
+    /// Starts an enumeration over the component's current state.
+    ///
+    /// For Boolean components (no free variables) the iterator is empty —
+    /// use [`ComponentStructure::is_nonempty`] as the guard instead.
+    pub fn new(s: &'a ComponentStructure) -> Self {
+        let k = s.free_order().len();
+        let mut it = ComponentIter { s, current: vec![SlabId::NONE; k], done: false };
+        if k == 0 || s.start_head().is_none() {
+            it.done = true;
+            return it;
+        }
+        it.current[0] = s.start_head();
+        for mu in 1..k {
+            it.current[mu] = it.seed(mu);
+        }
+        it
+    }
+
+    /// `Set(I, μ)` of Algorithm 1: the first element of the `y_μ`-list of
+    /// the current parent item.
+    fn seed(&self, mu: usize) -> SlabId {
+        let node = self.s.free_order()[mu];
+        let parent_item = self.current[self.s.parent_pos()[mu]];
+        let slot = self.s.pos_in_parent(node);
+        let head = self.s.child_head(parent_item, slot);
+        debug_assert!(head.is_some(), "fit items have nonempty child lists");
+        head
+    }
+
+    /// The output tuple of the current item vector: each item contributes
+    /// the last constant of its key (its own variable's value).
+    fn emit(&self) -> Vec<Const> {
+        self.current.iter().map(|&id| self.s.item_constant(id)).collect()
+    }
+
+    /// Advances to the next item vector; returns `false` at the end.
+    fn advance(&mut self) -> bool {
+        let k = self.current.len();
+        // Maximal j whose item has a successor in its list.
+        let mut j = k;
+        for cand in (0..k).rev() {
+            if self.s.item_next(self.current[cand]).is_some() {
+                j = cand;
+                break;
+            }
+        }
+        if j == k {
+            return false;
+        }
+        self.current[j] = self.s.item_next(self.current[j]);
+        for mu in (j + 1)..k {
+            self.current[mu] = self.seed(mu);
+        }
+        true
+    }
+}
+
+impl Iterator for ComponentIter<'_> {
+    type Item = Vec<Const>;
+
+    fn next(&mut self) -> Option<Vec<Const>> {
+        if self.done {
+            return None;
+        }
+        let out = self.emit();
+        if !self.advance() {
+            self.done = true;
+        }
+        Some(out)
+    }
+}
+
+/// Cross-product enumeration over all components of a query.
+///
+/// Emits tuples in the query's free-variable order. Boolean components act
+/// as guards: if any is empty, the whole result is empty.
+pub struct ResultIter<'a> {
+    comps: Vec<&'a ComponentStructure>,
+    /// Iterator and current tuple per component with free variables.
+    iters: Vec<ComponentIter<'a>>,
+    current: Vec<Vec<Const>>,
+    /// For component `c` and document-order position `p`:
+    /// `out_slots[c][p]` is the position in the final output tuple.
+    out_slots: Vec<Vec<usize>>,
+    arity: usize,
+    /// Special case `k = 0`: a Boolean query's nonempty result is `{()}`.
+    emit_empty_tuple: bool,
+    done: bool,
+}
+
+impl<'a> ResultIter<'a> {
+    /// Builds the product iterator. `free` is the query's output tuple.
+    pub fn new(components: &'a [ComponentStructure], free: &[cqu_query::Var]) -> Self {
+        let nonempty_guards = components.iter().all(ComponentStructure::is_nonempty);
+        let with_free: Vec<&ComponentStructure> =
+            components.iter().filter(|c| !c.output_vars().is_empty()).collect();
+        let out_slots: Vec<Vec<usize>> = with_free
+            .iter()
+            .map(|c| {
+                c.output_vars()
+                    .iter()
+                    .map(|v| free.iter().position(|f| f == v).expect("output var is free"))
+                    .collect()
+            })
+            .collect();
+        let mut it = ResultIter {
+            comps: with_free,
+            iters: Vec::new(),
+            current: Vec::new(),
+            out_slots,
+            arity: free.len(),
+            emit_empty_tuple: free.is_empty() && nonempty_guards,
+            done: !nonempty_guards,
+        };
+        if it.done || it.emit_empty_tuple {
+            return it;
+        }
+        for &c in &it.comps {
+            let mut ci = ComponentIter::new(c);
+            match ci.next() {
+                Some(t) => {
+                    it.iters.push(ci);
+                    it.current.push(t);
+                }
+                None => {
+                    it.done = true;
+                    return it;
+                }
+            }
+        }
+        it
+    }
+
+    fn emit(&self) -> Vec<Const> {
+        let mut out = vec![0; self.arity];
+        for (ci, tuple) in self.current.iter().enumerate() {
+            for (p, &v) in tuple.iter().enumerate() {
+                out[self.out_slots[ci][p]] = v;
+            }
+        }
+        out
+    }
+
+    fn advance(&mut self) -> bool {
+        for i in (0..self.iters.len()).rev() {
+            if let Some(t) = self.iters[i].next() {
+                self.current[i] = t;
+                for j in (i + 1)..self.iters.len() {
+                    let mut fresh = ComponentIter::new(self.comps[j]);
+                    self.current[j] = fresh.next().expect("component was nonempty");
+                    self.iters[j] = fresh;
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Iterator for ResultIter<'_> {
+    type Item = Vec<Const>;
+
+    fn next(&mut self) -> Option<Vec<Const>> {
+        if self.done {
+            return None;
+        }
+        if self.emit_empty_tuple {
+            self.done = true;
+            return Some(Vec::new());
+        }
+        if self.iters.is_empty() {
+            // No free components at all, but arity > 0 cannot happen: every
+            // free variable lives in some component.
+            self.done = true;
+            return None;
+        }
+        let out = self.emit();
+        if !self.advance() {
+            self.done = true;
+        }
+        Some(out)
+    }
+}
+
+impl ComponentStructure {
+    pub(crate) fn start_head(&self) -> SlabId {
+        self.start_head
+    }
+
+    pub(crate) fn child_head(&self, item: SlabId, slot: usize) -> SlabId {
+        self.items[item].child_heads[slot]
+    }
+
+    pub(crate) fn item_next(&self, item: SlabId) -> SlabId {
+        self.items[item].next
+    }
+
+    pub(crate) fn item_constant(&self, item: SlabId) -> Const {
+        *self.items[item].key.last().expect("keys are nonempty")
+    }
+}

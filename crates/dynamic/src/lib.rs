@@ -1,0 +1,365 @@
+//! The dynamic query-evaluation algorithm of *Answering Conjunctive
+//! Queries under Updates* (Berkholz, Keppeler, Schweikardt; PODS 2017).
+//!
+//! [`QhEngine`] implements Theorem 3.2: for every **q-hierarchical**
+//! conjunctive query it offers
+//!
+//! * `preprocess` in time `poly(ϕ) · O(‖D₀‖)` (the constructor replays the
+//!   initial database through constant-time updates),
+//! * `update` in time `poly(ϕ)` per inserted/deleted tuple,
+//! * `enumerate` with delay `poly(ϕ)` ([`ResultIter`], Algorithm 1),
+//! * `count` (`|ϕ(D)|`) and `answer` in time `O(1)` (reading the maintained
+//!   `C̃_start` / `C_start` registers).
+//!
+//! ```
+//! use cqu_dynamic::{DynamicEngine, QhEngine};
+//! use cqu_query::parse_query;
+//! use cqu_storage::{Database, Update};
+//!
+//! let q = parse_query("Q(x, y) :- E(x, y), T(y).").unwrap();
+//! let mut engine = QhEngine::new(&q, &Database::new(q.schema().clone())).unwrap();
+//! let e = q.schema().relation("E").unwrap();
+//! let t = q.schema().relation("T").unwrap();
+//! engine.apply(&Update::Insert(e, vec![1, 2]));
+//! engine.apply(&Update::Insert(t, vec![2]));
+//! assert_eq!(engine.count(), 1);
+//! assert_eq!(engine.results_sorted(), vec![vec![1, 2]]);
+//! engine.apply(&Update::Delete(t, vec![2]));
+//! assert_eq!(engine.count(), 0);
+//! ```
+//!
+//! Non-q-hierarchical queries are rejected at construction with the
+//! Definition 3.1 violation witness — by Theorems 3.3–3.5 no engine of
+//! this kind can exist for them (conditionally on OMv/OV). Use the
+//! baselines in `cqu-baseline` for those, or [`selfjoin::Phi2Engine`] for
+//! the Appendix A product family.
+
+
+#![warn(missing_docs)]
+pub mod audit;
+pub mod engine;
+pub mod enumerate;
+pub mod selfjoin;
+pub mod structure;
+
+pub use engine::DynamicEngine;
+pub use enumerate::{ComponentIter, ResultIter};
+pub use structure::ComponentStructure;
+
+use cqu_query::qtree::QTree;
+use cqu_query::{Query, QueryError};
+use cqu_storage::{Database, Update};
+use std::sync::Arc;
+
+/// The dynamic engine for q-hierarchical conjunctive queries
+/// (Theorem 3.2).
+pub struct QhEngine {
+    query: Arc<Query>,
+    db: Database,
+    components: Vec<ComponentStructure>,
+    /// Items visited by the most recent effective update (see
+    /// [`QhEngine::last_update_work`]).
+    last_work: u64,
+}
+
+impl QhEngine {
+    /// `preprocess(ϕ, D₀)`: builds the q-tree forest, then loads `db0` by
+    /// replaying its facts as insertions — `O(poly(ϕ) · ‖D₀‖)` total.
+    ///
+    /// Fails with [`QueryError::NotQHierarchical`] iff `query` is not
+    /// q-hierarchical.
+    pub fn new(query: &Query, db0: &Database) -> Result<Self, QueryError> {
+        let mut engine = Self::empty(query)?;
+        for rel in db0.schema().relations() {
+            for tuple in db0.relation(rel).iter() {
+                engine.apply(&Update::Insert(rel, tuple.clone()));
+            }
+        }
+        Ok(engine)
+    }
+
+    /// `preprocess(ϕ, ∅)`: an engine over the empty database.
+    pub fn empty(query: &Query) -> Result<Self, QueryError> {
+        let forest = QTree::forest(query)?;
+        let query = Arc::new(query.clone());
+        let components = forest
+            .into_iter()
+            .map(|(comp, tree)| ComponentStructure::new(Arc::clone(&query), comp, tree))
+            .collect();
+        let db = Database::new(query.schema().clone());
+        Ok(QhEngine { query, db, components, last_work: 0 })
+    }
+
+    /// The engine's internal copy of the current database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The per-component structures (for auditing and instrumentation).
+    pub fn components(&self) -> &[ComponentStructure] {
+        &self.components
+    }
+
+    /// Total number of live items across components — linear in `|D|`
+    /// (each fact creates at most `‖ϕ‖` items).
+    pub fn num_items(&self) -> usize {
+        self.components.iter().map(ComponentStructure::num_items).sum()
+    }
+
+    /// Structural work of the most recent effective update: the number of
+    /// item visits performed. Theorem 3.2's "constant update time" shows up
+    /// here as a bound depending only on the query — integration tests
+    /// assert it never grows with the database.
+    pub fn last_update_work(&self) -> u64 {
+        self.last_work
+    }
+}
+
+impl DynamicEngine for QhEngine {
+    fn query(&self) -> &Query {
+        &self.query
+    }
+
+    fn apply(&mut self, update: &Update) -> bool {
+        // Set semantics: only effective changes reach the structures.
+        if !self.db.apply(update) {
+            return false;
+        }
+        let rel = update.relation();
+        let insert = update.is_insert();
+        let tuple = update.tuple();
+        self.last_work =
+            self.components.iter_mut().map(|c| c.apply_fact(rel, tuple, insert)).sum();
+        true
+    }
+
+    fn count(&self) -> u64 {
+        // |ϕ(D)| = Π_i |ϕ_i(D)| over the connected components; Boolean
+        // components contribute 1 (nonempty) or 0 (empty).
+        self.components.iter().fold(1u64, |acc, c| {
+            acc.checked_mul(c.result_count()).expect("result count overflowed u64")
+        })
+    }
+
+    fn is_nonempty(&self) -> bool {
+        self.components.iter().all(ComponentStructure::is_nonempty)
+    }
+
+    fn enumerate<'a>(&'a self) -> Box<dyn Iterator<Item = Vec<cqu_storage::Const>> + 'a> {
+        Box::new(ResultIter::new(&self.components, self.query.free()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqu_query::parse_query;
+    use cqu_storage::Const;
+
+    fn engine_for(src: &str) -> QhEngine {
+        let q = parse_query(src).unwrap();
+        QhEngine::empty(&q).unwrap()
+    }
+
+    fn ins(e: &mut QhEngine, rel: &str, t: &[Const]) -> bool {
+        let r = e.query().schema().relation(rel).unwrap();
+        e.apply(&Update::Insert(r, t.to_vec()))
+    }
+
+    fn del(e: &mut QhEngine, rel: &str, t: &[Const]) -> bool {
+        let r = e.query().schema().relation(rel).unwrap();
+        e.apply(&Update::Delete(r, t.to_vec()))
+    }
+
+    #[test]
+    fn rejects_non_q_hierarchical() {
+        let q = parse_query("Q(x, y) :- S(x), E(x, y), T(y).").unwrap();
+        assert!(matches!(
+            QhEngine::empty(&q),
+            Err(QueryError::NotQHierarchical(_))
+        ));
+    }
+
+    #[test]
+    fn single_edge_join() {
+        let mut e = engine_for("Q(x, y) :- E(x, y), T(y).");
+        assert_eq!(e.count(), 0);
+        assert!(!e.is_nonempty());
+        ins(&mut e, "E", &[1, 2]);
+        assert_eq!(e.count(), 0, "E(1,2) alone has no T(2) witness");
+        ins(&mut e, "T", &[2]);
+        assert_eq!(e.count(), 1);
+        assert!(e.is_nonempty());
+        assert_eq!(e.results_sorted(), vec![vec![1, 2]]);
+        ins(&mut e, "E", &[3, 2]);
+        assert_eq!(e.count(), 2);
+        del(&mut e, "T", &[2]);
+        assert_eq!(e.count(), 0);
+        assert!(e.results_sorted().is_empty());
+    }
+
+    #[test]
+    fn duplicate_updates_are_noops() {
+        let mut e = engine_for("Q(x) :- R(x).");
+        assert!(ins(&mut e, "R", &[5]));
+        assert!(!ins(&mut e, "R", &[5]));
+        assert_eq!(e.count(), 1);
+        assert!(del(&mut e, "R", &[5]));
+        assert!(!del(&mut e, "R", &[5]));
+        assert_eq!(e.count(), 0);
+    }
+
+    #[test]
+    fn quantified_variable_counting() {
+        // Q(x) :- ∃y E(x, y): count is the number of distinct x, not edges.
+        let mut e = engine_for("Q(x) :- E(x, y).");
+        ins(&mut e, "E", &[1, 10]);
+        ins(&mut e, "E", &[1, 11]);
+        ins(&mut e, "E", &[2, 10]);
+        assert_eq!(e.count(), 2, "C̃ must deduplicate the quantified y");
+        assert_eq!(e.results_sorted(), vec![vec![1], vec![2]]);
+        del(&mut e, "E", &[1, 10]);
+        assert_eq!(e.count(), 2);
+        del(&mut e, "E", &[1, 11]);
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn boolean_query_answer() {
+        let mut e = engine_for("Q() :- E(x, y), T(y).");
+        assert!(!e.answer());
+        ins(&mut e, "E", &[1, 2]);
+        assert!(!e.answer());
+        ins(&mut e, "T", &[2]);
+        assert!(e.answer());
+        // Boolean result set is {()}.
+        let res: Vec<Vec<Const>> = e.enumerate().collect();
+        assert_eq!(res, vec![Vec::<Const>::new()]);
+        del(&mut e, "E", &[1, 2]);
+        assert!(!e.answer());
+        assert_eq!(e.enumerate().count(), 0);
+    }
+
+    #[test]
+    fn star_query_counts_products() {
+        // Q(x, y, z) :- R(x,y), S(x,z), T(x).
+        let mut e = engine_for("Q(x, y, z) :- R(x, y), S(x, z), T(x).");
+        ins(&mut e, "T", &[1]);
+        for y in [10, 11, 12] {
+            ins(&mut e, "R", &[1, y]);
+        }
+        for z in [20, 21] {
+            ins(&mut e, "S", &[1, z]);
+        }
+        assert_eq!(e.count(), 6);
+        let results = e.results_sorted();
+        assert_eq!(results.len(), 6);
+        assert!(results.contains(&vec![1, 12, 20]));
+        // A second star that lacks T.
+        ins(&mut e, "R", &[2, 10]);
+        ins(&mut e, "S", &[2, 20]);
+        assert_eq!(e.count(), 6);
+        ins(&mut e, "T", &[2]);
+        assert_eq!(e.count(), 7);
+        del(&mut e, "T", &[1]);
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn cross_product_components() {
+        let mut e = engine_for("Q(x, z) :- R(x), S(z).");
+        ins(&mut e, "R", &[1]);
+        ins(&mut e, "R", &[2]);
+        assert_eq!(e.count(), 0, "empty S component");
+        ins(&mut e, "S", &[7]);
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.results_sorted(), vec![vec![1, 7], vec![2, 7]]);
+        ins(&mut e, "S", &[8]);
+        assert_eq!(e.count(), 4);
+    }
+
+    #[test]
+    fn boolean_guard_component() {
+        let mut e = engine_for("Q(x) :- R(x), S(u, v).");
+        ins(&mut e, "R", &[1]);
+        assert_eq!(e.count(), 0);
+        assert!(e.results_sorted().is_empty());
+        ins(&mut e, "S", &[5, 6]);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.results_sorted(), vec![vec![1]]);
+        del(&mut e, "S", &[5, 6]);
+        assert_eq!(e.count(), 0);
+    }
+
+    #[test]
+    fn self_join_q_hierarchical() {
+        // Theorem 3.2 does not need self-join-freeness:
+        // Q(a) :- R(a, b), R(a, a) is q-hierarchical with a self-join.
+        let mut e = engine_for("Q(a) :- R(a, b), R(a, a).");
+        ins(&mut e, "R", &[1, 2]);
+        assert_eq!(e.count(), 0);
+        ins(&mut e, "R", &[1, 1]);
+        // R(1,1) matches both atoms (b := 1) and provides the loop.
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.results_sorted(), vec![vec![1]]);
+        del(&mut e, "R", &[1, 2]);
+        assert_eq!(e.count(), 1, "R(1,1) still witnesses both atoms");
+        del(&mut e, "R", &[1, 1]);
+        assert_eq!(e.count(), 0);
+    }
+
+    #[test]
+    fn repeated_variable_atom() {
+        // Q(x) :- E(x, x): only loops match.
+        let mut e = engine_for("Q(x) :- E(x, x).");
+        ins(&mut e, "E", &[1, 2]);
+        assert_eq!(e.count(), 0);
+        ins(&mut e, "E", &[3, 3]);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.results_sorted(), vec![vec![3]]);
+    }
+
+    #[test]
+    fn preprocessing_replays_initial_database() {
+        let q = parse_query("Q(x, y) :- E(x, y), T(y).").unwrap();
+        let mut db = Database::new(q.schema().clone());
+        let e = q.schema().relation("E").unwrap();
+        let t = q.schema().relation("T").unwrap();
+        db.insert(e, vec![1, 2]);
+        db.insert(e, vec![3, 2]);
+        db.insert(t, vec![2]);
+        let engine = QhEngine::new(&q, &db).unwrap();
+        assert_eq!(engine.count(), 2);
+        assert_eq!(engine.results_sorted(), vec![vec![1, 2], vec![3, 2]]);
+        assert_eq!(engine.database().cardinality(), 3);
+    }
+
+    #[test]
+    fn items_scale_linearly_with_facts() {
+        let mut e = engine_for("Q(x, y) :- E(x, y), T(y).");
+        for i in 0..100 {
+            ins(&mut e, "E", &[i, i + 1000]);
+        }
+        // Each E-fact creates ≤ 2 items in the E-T component.
+        assert!(e.num_items() <= 300, "items = {}", e.num_items());
+        for i in 0..100 {
+            del(&mut e, "E", &[i, i + 1000]);
+        }
+        assert_eq!(e.num_items(), 0, "all items must be garbage-collected");
+    }
+
+    #[test]
+    fn deep_path_query() {
+        // Q(a, b, c) :- R(a, b, c), S(a, b), T(a): a chain q-tree.
+        let mut e = engine_for("Q(a, b, c) :- R(a, b, c), S(a, b), T(a).");
+        ins(&mut e, "R", &[1, 2, 3]);
+        ins(&mut e, "S", &[1, 2]);
+        assert_eq!(e.count(), 0);
+        ins(&mut e, "T", &[1]);
+        assert_eq!(e.count(), 1);
+        ins(&mut e, "R", &[1, 2, 4]);
+        assert_eq!(e.count(), 2);
+        del(&mut e, "S", &[1, 2]);
+        assert_eq!(e.count(), 0);
+    }
+}

@@ -1,0 +1,486 @@
+//! The per-component dynamic data structure (paper, Section 6.2/6.4/6.5).
+//!
+//! For one connected q-hierarchical component with q-tree `T`, the
+//! structure stores **items** `i = [v, α, a]` — a q-tree node `v`, an
+//! assignment `α` to `path[v)`, and a constant `a` for `v` itself. An item
+//! is *present* iff some atom `ψ ∈ atoms(v)` has a matching expansion in
+//! the database (condition (a) of Section 6.4), and *fit* iff its weight
+//!
+//! ```text
+//!   C^i = Π_{ψ ∈ rep(v)} C^i_ψ · Π_{u ∈ N(v)} C^i_u        (Lemma 6.3)
+//! ```
+//!
+//! is positive. Exactly the fit items sit in the doubly-linked list of
+//! their parent (`L^i_u`), root items in the start list; the per-child sums
+//! `C^i_u = Σ_{i' ∈ L^i_u} C^{i'}` and the free-variable weights
+//!
+//! ```text
+//!   C̃^i = 0 if C^i = 0, else Π_{u ∈ N(v) ∩ free(ϕ)} C̃^i_u   (Lemma 6.4)
+//! ```
+//!
+//! are maintained incrementally, so a single-tuple update touches only the
+//! `O(‖ϕ‖)` items along the updated atom's q-tree path.
+//!
+//! The paper's RAM-model arrays `A_v` become per-node hash maps keyed by
+//! the item's path constants (the substitution its footnote 2 prescribes).
+
+use cqu_common::{FxHashMap, Slab, SlabId};
+use cqu_query::qtree::{NodeId, QTree};
+use cqu_query::{Component, Query, RelId};
+use cqu_storage::Const;
+use std::sync::Arc;
+
+/// One item `[v, α, a]`. The assignment and constant are packed into `key`:
+/// the constants along `path[v]`, the item's own constant last.
+#[derive(Debug)]
+pub(crate) struct Item {
+    /// The q-tree node `v`.
+    pub node: NodeId,
+    /// Constants along `path[v]` (root first, own constant last).
+    pub key: Box<[Const]>,
+    /// The parent item `[parent(v), α|path[parent(v)), α(parent(v))]`,
+    /// `SlabId::NONE` for root items.
+    pub parent: SlabId,
+    /// `C^i_ψ` for each `ψ ∈ atoms(v)`, indexed like
+    /// [`cqu_query::qtree::QTreeNode::atoms`].
+    pub atom_counts: Box<[u64]>,
+    /// `C^i_u` for each child `u ∈ N(v)`, indexed by child position.
+    pub child_sums: Box<[u64]>,
+    /// Head of the list `L^i_u` for each child position.
+    pub child_heads: Box<[SlabId]>,
+    /// `C̃^i_u` for each child position (only free children are used).
+    pub free_child_sums: Box<[u64]>,
+    /// The weight `C^i`.
+    pub weight: u64,
+    /// The free weight `C̃^i` (meaningful only when `v` is free).
+    pub free_weight: u64,
+    /// Intrusive links within the containing fit list.
+    pub prev: SlabId,
+    /// See [`Item::prev`].
+    pub next: SlabId,
+    /// Whether the item currently sits in its fit list.
+    pub in_list: bool,
+}
+
+/// The dynamic structure for one connected component.
+pub struct ComponentStructure {
+    query: Arc<Query>,
+    comp: Component,
+    tree: QTree,
+    pub(crate) items: Slab<Item>,
+    /// Per q-tree node: path-constants → item id (replaces the array `A_v`).
+    lookup: Vec<FxHashMap<Box<[Const]>, SlabId>>,
+    /// Head of the start list `L_start` (fit root items).
+    pub(crate) start_head: SlabId,
+    /// `C_start = Σ_{i ∈ L_start} C^i`.
+    c_start: u64,
+    /// `C̃_start = Σ_{i ∈ L_start} C̃^i` (only when the component has free
+    /// variables).
+    ct_start: u64,
+    /// Free q-tree nodes in document order (pre-order) — the tree `T'` of
+    /// Algorithm 1.
+    free_order: Vec<NodeId>,
+    /// For each node: its position within its parent's child list
+    /// (`usize::MAX` for the root).
+    pos_in_parent: Vec<usize>,
+    /// For each position `μ` in `free_order` (except 0): the position of
+    /// the parent node in `free_order`.
+    parent_pos: Vec<usize>,
+    /// For each position in `free_order`: whether the node's var is free —
+    /// always true; kept for the output mapping below.
+    out_vars: Vec<cqu_query::Var>,
+}
+
+impl ComponentStructure {
+    /// Creates the structure for a component, empty database.
+    pub fn new(query: Arc<Query>, comp: Component, tree: QTree) -> Self {
+        let n = tree.len();
+        let mut pos_in_parent = vec![usize::MAX; n];
+        for (id, node) in tree.nodes().iter().enumerate() {
+            for (pos, &c) in node.children.iter().enumerate() {
+                debug_assert_eq!(tree.node(c).parent, Some(id));
+                pos_in_parent[c] = pos;
+            }
+        }
+        let free_order = tree.free_preorder();
+        let parent_pos: Vec<usize> = free_order
+            .iter()
+            .map(|&nid| {
+                tree.node(nid)
+                    .parent
+                    .map(|p| free_order.iter().position(|&q| q == p).expect("free prefix"))
+                    .unwrap_or(usize::MAX)
+            })
+            .collect();
+        let out_vars: Vec<cqu_query::Var> =
+            free_order.iter().map(|&nid| tree.node(nid).var).collect();
+        ComponentStructure {
+            query,
+            comp,
+            tree,
+            items: Slab::new(),
+            lookup: vec![FxHashMap::default(); n],
+            start_head: SlabId::NONE,
+            c_start: 0,
+            ct_start: 0,
+            free_order,
+            pos_in_parent,
+            parent_pos,
+            out_vars,
+        }
+    }
+
+    /// The component's q-tree.
+    pub fn tree(&self) -> &QTree {
+        &self.tree
+    }
+
+    /// The component description.
+    pub fn component(&self) -> &Component {
+        &self.comp
+    }
+
+    /// The query this component belongs to.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// `C_start`: for quantifier-free components this is `|ϕ_i(D)|`; it is
+    /// positive iff the component's result is nonempty.
+    pub fn c_start(&self) -> u64 {
+        self.c_start
+    }
+
+    /// `C̃_start = |ϕ_i(D)|` for components with free variables.
+    pub fn ct_start(&self) -> u64 {
+        self.ct_start
+    }
+
+    /// The number of result tuples this component contributes:
+    /// `C̃_start` if it has free variables, else `1/0` for nonempty/empty.
+    pub fn result_count(&self) -> u64 {
+        if self.free_order.is_empty() {
+            u64::from(self.c_start > 0)
+        } else {
+            self.ct_start
+        }
+    }
+
+    /// Returns `true` iff the component's result is nonempty.
+    pub fn is_nonempty(&self) -> bool {
+        self.c_start > 0
+    }
+
+    /// Free q-tree nodes in document order (Algorithm 1's `y₁,…,y_k`).
+    pub(crate) fn free_order(&self) -> &[NodeId] {
+        &self.free_order
+    }
+
+    /// Parent positions within `free_order`.
+    pub(crate) fn parent_pos(&self) -> &[usize] {
+        &self.parent_pos
+    }
+
+    /// Position of `node` within its parent's child list.
+    pub(crate) fn pos_in_parent(&self, node: NodeId) -> usize {
+        self.pos_in_parent[node]
+    }
+
+    /// The component's output variables in document order.
+    pub fn output_vars(&self) -> &[cqu_query::Var] {
+        &self.out_vars
+    }
+
+    /// Number of live items (for linear-preprocessing assertions).
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Applies one effective fact change for relation `rel`.
+    ///
+    /// Called once per update command (after the storage layer has
+    /// confirmed it changes the database). Walks every atom of the
+    /// component over `rel` whose equality pattern matches `fact` —
+    /// self-joins mean several atoms may match (Section 6.4's loop over
+    /// atoms `ψ = R z₁⋯z_r` with `z_s = z_t ⇒ b_s = b_t`).
+    /// Returns the number of items visited — the structural "work" of the
+    /// update, which Theorem 3.2 bounds by `poly(ϕ)` independent of the
+    /// database (asserted by integration tests without timing noise).
+    pub fn apply_fact(&mut self, rel: RelId, fact: &[Const], insert: bool) -> u64 {
+        let mut work = 0u64;
+        for ap_idx in 0..self.tree.atom_paths().len() {
+            let ap = &self.tree.atom_paths()[ap_idx];
+            if self.query.atom(ap.atom).relation != rel {
+                continue;
+            }
+            if !ap.canon.iter().enumerate().all(|(p, &c)| fact[p] == fact[c]) {
+                continue;
+            }
+            work += self.apply_atom(ap_idx, fact, insert);
+        }
+        work
+    }
+
+    /// The per-atom update walk of Section 6.4: create/locate the items
+    /// `i_1,…,i_d` along the atom's q-tree path, bump `C^{i_d…}_ψ`, then
+    /// recompute weights bottom-up, fixing list membership and propagating
+    /// sum deltas.
+    fn apply_atom(&mut self, ap_idx: usize, fact: &[Const], insert: bool) -> u64 {
+        let ap = &self.tree.atom_paths()[ap_idx];
+        let atom_id = ap.atom;
+        let path: Vec<NodeId> = self.tree.node(ap.rep).path.clone();
+        let consts: Vec<Const> = ap.extract.iter().map(|&p| fact[p]).collect();
+        let atom_pos: Vec<usize> = ap.atom_pos.clone();
+        let d = path.len();
+
+        // Locate (and for inserts create) the items top-down so parents
+        // exist before children reference them.
+        let mut ids: Vec<SlabId> = Vec::with_capacity(d);
+        for j in 0..d {
+            let node = path[j];
+            let key: Box<[Const]> = consts[..=j].into();
+            let id = match self.lookup[node].get(&key) {
+                Some(&id) => id,
+                None => {
+                    assert!(
+                        insert,
+                        "delete of untracked fact {fact:?} for atom #{atom_id}: \
+                         engine updates must mirror effective database updates"
+                    );
+                    let parent = ids.last().copied().unwrap_or(SlabId::NONE);
+                    self.create_item(node, key, parent)
+                }
+            };
+            ids.push(id);
+        }
+
+        // Bottom-up: bump the atom counter and recompute (steps 1–5 of the
+        // update procedure, plus 2a/4a for the free weights).
+        for j in (0..d).rev() {
+            let id = ids[j];
+            {
+                let item = &mut self.items[id];
+                let slot = atom_pos[j];
+                if insert {
+                    item.atom_counts[slot] += 1;
+                } else {
+                    debug_assert!(item.atom_counts[slot] > 0, "atom counter underflow");
+                    item.atom_counts[slot] -= 1;
+                }
+            }
+            self.recompute(id);
+            // Step 5: drop items that no longer satisfy the presence
+            // condition (no atom of atoms(v) has a matching expansion).
+            if !insert && self.items[id].atom_counts.iter().all(|&c| c == 0) {
+                self.destroy_item(id);
+            }
+        }
+        2 * d as u64
+    }
+
+    /// Allocates a fresh (unfit, weight-0) item.
+    fn create_item(&mut self, node: NodeId, key: Box<[Const]>, parent: SlabId) -> SlabId {
+        let meta = self.tree.node(node);
+        let item = Item {
+            node,
+            key: key.clone(),
+            parent,
+            atom_counts: vec![0; meta.atoms.len()].into(),
+            child_sums: vec![0; meta.children.len()].into(),
+            child_heads: vec![SlabId::NONE; meta.children.len()].into(),
+            free_child_sums: vec![0; meta.children.len()].into(),
+            weight: 0,
+            free_weight: 0,
+            prev: SlabId::NONE,
+            next: SlabId::NONE,
+            in_list: false,
+        };
+        let id = self.items.insert(item);
+        self.lookup[node].insert(key, id);
+        id
+    }
+
+    /// Frees an item that is no longer present. The item must be unfit
+    /// (weight 0, not in any list) and — by the monotone presence invariant
+    /// — must have no live children.
+    fn destroy_item(&mut self, id: SlabId) {
+        let item = &self.items[id];
+        debug_assert_eq!(item.weight, 0);
+        debug_assert!(!item.in_list);
+        debug_assert!(item.child_heads.iter().all(|h| h.is_none()));
+        let node = item.node;
+        let key = item.key.clone();
+        self.lookup[node].remove(&key);
+        self.items.remove(id);
+    }
+
+    /// Recomputes `C^i` (Lemma 6.3) and `C̃^i` (Lemma 6.4) for one item,
+    /// updates its fit-list membership, and propagates the weight deltas to
+    /// the parent's sums (or to `C_start`/`C̃_start` for root items).
+    fn recompute(&mut self, id: SlabId) {
+        let (node, old_weight, old_free_weight, new_weight, new_free_weight) = {
+            let item = &self.items[id];
+            let meta = self.tree.node(item.node);
+            let mut w: u64 = 1;
+            for &pos in &meta.rep_positions {
+                w = w
+                    .checked_mul(item.atom_counts[pos])
+                    .expect("result weight overflowed u64");
+            }
+            for &s in item.child_sums.iter() {
+                w = w.checked_mul(s).expect("result weight overflowed u64");
+            }
+            let fw = if !meta.free || w == 0 {
+                u64::from(meta.free && w > 0)
+            } else {
+                let mut fw: u64 = 1;
+                for (pos, &c) in meta.children.iter().enumerate() {
+                    if self.tree.node(c).free {
+                        fw = fw
+                            .checked_mul(item.free_child_sums[pos])
+                            .expect("result count overflowed u64");
+                    }
+                }
+                fw
+            };
+            (item.node, item.weight, item.free_weight, w, fw)
+        };
+        {
+            let item = &mut self.items[id];
+            item.weight = new_weight;
+            item.free_weight = new_free_weight;
+        }
+        // Fit-list membership: fit ⇔ C^i > 0.
+        if new_weight > 0 && !self.items[id].in_list {
+            self.list_push(id);
+        } else if new_weight == 0 && self.items[id].in_list {
+            self.list_remove(id);
+        }
+        // Propagate sum deltas upward (one level only; the caller's
+        // bottom-up loop recomputes the parent next).
+        let parent = self.items[id].parent;
+        if parent.is_none() {
+            self.c_start = self.c_start - old_weight + new_weight;
+            if self.tree.node(self.tree.root()).free {
+                self.ct_start = self.ct_start - old_free_weight + new_free_weight;
+            }
+        } else {
+            let pos = self.pos_in_parent[node];
+            let p = &mut self.items[parent];
+            p.child_sums[pos] = p.child_sums[pos] - old_weight + new_weight;
+            p.free_child_sums[pos] =
+                p.free_child_sums[pos] - old_free_weight + new_free_weight;
+        }
+    }
+
+    /// Pushes `id` at the front of its containing fit list.
+    fn list_push(&mut self, id: SlabId) {
+        let (parent, node) = {
+            let item = &self.items[id];
+            (item.parent, item.node)
+        };
+        let old_head = if parent.is_none() {
+            std::mem::replace(&mut self.start_head, id)
+        } else {
+            let pos = self.pos_in_parent[node];
+            std::mem::replace(&mut self.items[parent].child_heads[pos], id)
+        };
+        {
+            let item = &mut self.items[id];
+            item.prev = SlabId::NONE;
+            item.next = old_head;
+            item.in_list = true;
+        }
+        if old_head.is_some() {
+            self.items[old_head].prev = id;
+        }
+    }
+
+    /// Unlinks `id` from its containing fit list.
+    fn list_remove(&mut self, id: SlabId) {
+        let (parent, node, prev, next) = {
+            let item = &self.items[id];
+            (item.parent, item.node, item.prev, item.next)
+        };
+        if prev.is_some() {
+            self.items[prev].next = next;
+        } else if parent.is_none() {
+            debug_assert_eq!(self.start_head, id);
+            self.start_head = next;
+        } else {
+            let pos = self.pos_in_parent[node];
+            debug_assert_eq!(self.items[parent].child_heads[pos], id);
+            self.items[parent].child_heads[pos] = next;
+        }
+        if next.is_some() {
+            self.items[next].prev = prev;
+        }
+        let item = &mut self.items[id];
+        item.prev = SlabId::NONE;
+        item.next = SlabId::NONE;
+        item.in_list = false;
+    }
+
+    /// Looks up an item id by node and path constants (audit/debug).
+    pub(crate) fn lookup_item(&self, node: NodeId, key: &[Const]) -> Option<SlabId> {
+        self.lookup[node].get(key).copied()
+    }
+
+    /// Iterates over all live items (audit/debug).
+    pub(crate) fn iter_items(&self) -> impl Iterator<Item = (SlabId, &Item)> {
+        self.items.iter()
+    }
+
+    /// Public inspection hook: the weight pair `(C^i, C̃^i)` of the item at
+    /// the q-tree node whose variable is named `var`, with path constants
+    /// `key` (root constant first). Used to reproduce Figure 3.
+    pub fn item_weights(&self, var: &str, key: &[Const]) -> Option<(u64, u64)> {
+        let node = (0..self.tree.len())
+            .find(|&n| self.query.var_name(self.tree.node(n).var) == var)?;
+        let id = self.lookup[node].get(key).copied()?;
+        let item = &self.items[id];
+        Some((item.weight, item.free_weight))
+    }
+}
+
+impl ComponentStructure {
+    /// Renders the structure in the style of Figure 3: one line per item,
+    /// grouped by q-tree node in document order, with weights. Intended
+    /// for debugging and the experiments binary.
+    pub fn render_structure(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Cstart = {}{}",
+            self.c_start,
+            if self.tree.node(self.tree.root()).free {
+                format!(", C̃start = {}", self.ct_start)
+            } else {
+                String::new()
+            }
+        );
+        // Stable order: nodes by id, items by key.
+        for node in 0..self.tree.len() {
+            let var = self.query.var_name(self.tree.node(node).var);
+            let mut items: Vec<&Item> =
+                self.iter_items().filter(|(_, it)| it.node == node).map(|(_, it)| it).collect();
+            items.sort_by(|a, b| a.key.cmp(&b.key));
+            for item in items {
+                let _ = writeln!(
+                    out,
+                    "  [{var}, {:?}] C = {}{}{}",
+                    item.key,
+                    item.weight,
+                    if self.tree.node(node).free {
+                        format!(", C̃ = {}", item.free_weight)
+                    } else {
+                        String::new()
+                    },
+                    if item.in_list { "" } else { "  (unfit)" }
+                );
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,152 @@
+//! Focused tests for Algorithm 1's enumeration semantics: document-order
+//! grouping, duplicate freedom (Lemma 6.2), cross-product interleaving,
+//! restartability, and the structure renderer.
+
+use cqu_dynamic::{DynamicEngine, QhEngine};
+use cqu_query::parse_query;
+use cqu_storage::{Const, Update};
+
+fn engine(src: &str, facts: &[(&str, &[Const])]) -> QhEngine {
+    let q = parse_query(src).unwrap();
+    let mut e = QhEngine::empty(&q).unwrap();
+    for (rel, t) in facts {
+        let r = q.schema().relation(rel).unwrap();
+        assert!(e.apply(&Update::Insert(r, t.to_vec())), "ineffective fixture fact");
+    }
+    e
+}
+
+#[test]
+fn iterators_are_independent_and_restartable() {
+    let e = engine(
+        "Q(x, y) :- E(x, y), T(y).",
+        &[("E", &[1, 9]), ("E", &[2, 9]), ("E", &[3, 8]), ("T", &[9]), ("T", &[8])],
+    );
+    let full1: Vec<_> = e.enumerate().collect();
+    // A second iterator starts fresh and yields the same sequence.
+    let full2: Vec<_> = e.enumerate().collect();
+    assert_eq!(full1, full2);
+    // Interleaved iterators do not disturb each other.
+    let mut a = e.enumerate();
+    let mut b = e.enumerate();
+    let a1 = a.next().unwrap();
+    let b1 = b.next().unwrap();
+    let a2 = a.next().unwrap();
+    assert_eq!(a1, b1);
+    assert_eq!(b.next().unwrap(), a2);
+    assert_eq!(full1.len(), 3);
+}
+
+#[test]
+fn exhausted_iterator_stays_exhausted() {
+    let e = engine("Q(x) :- R(x).", &[("R", &[1]), ("R", &[2])]);
+    let mut iter = e.enumerate();
+    assert!(iter.next().is_some());
+    assert!(iter.next().is_some());
+    assert!(iter.next().is_none());
+    assert!(iter.next().is_none(), "fused after EOE");
+}
+
+#[test]
+fn document_order_groups_prefixes() {
+    // Two x-hubs with two y's and two z's each: 8 results; x must be
+    // contiguous, and within each x the y's contiguous.
+    let e = engine(
+        "Q(x, y, z) :- R(x, y), S(x, z), T(x).",
+        &[
+            ("T", &[1]),
+            ("T", &[2]),
+            ("R", &[1, 10]),
+            ("R", &[1, 11]),
+            ("R", &[2, 10]),
+            ("R", &[2, 11]),
+            ("S", &[1, 20]),
+            ("S", &[1, 21]),
+            ("S", &[2, 20]),
+            ("S", &[2, 21]),
+        ],
+    );
+    let rows: Vec<Vec<Const>> = e.enumerate().collect();
+    assert_eq!(rows.len(), 8);
+    // Grouping property per prefix length.
+    for plen in 1..=3 {
+        let mut seen: Vec<Vec<Const>> = Vec::new();
+        for row in &rows {
+            let prefix = row[..plen].to_vec();
+            if seen.last() != Some(&prefix) {
+                assert!(!seen.contains(&prefix), "prefix {prefix:?} recurred");
+                seen.push(prefix);
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_product_enumeration_is_complete() {
+    let e = engine(
+        "Q(a, b) :- R(a), S(b).",
+        &[("R", &[1]), ("R", &[2]), ("R", &[3]), ("S", &[7]), ("S", &[8])],
+    );
+    let mut rows: Vec<Vec<Const>> = e.enumerate().collect();
+    assert_eq!(rows.len(), 6);
+    rows.sort_unstable();
+    rows.dedup();
+    assert_eq!(rows.len(), 6, "no duplicates in the product");
+    assert_eq!(e.count(), 6);
+}
+
+#[test]
+fn three_way_product_with_boolean_guard() {
+    let e = engine(
+        "Q(a, b) :- R(a), S(b), G(u, v).",
+        &[("R", &[1]), ("R", &[2]), ("S", &[5]), ("G", &[9, 9])],
+    );
+    assert_eq!(e.count(), 2);
+    assert_eq!(e.enumerate().count(), 2);
+    // Remove the guard: everything vanishes.
+    let q = e.query().clone();
+    let mut e = e;
+    let g = q.schema().relation("G").unwrap();
+    e.apply(&Update::Delete(g, vec![9, 9]));
+    assert_eq!(e.count(), 0);
+    assert_eq!(e.enumerate().count(), 0);
+}
+
+#[test]
+fn quantified_suffix_not_enumerated() {
+    // Q(x) :- R(x, y): y quantified; output arity 1; multiple y's do not
+    // duplicate the x.
+    let e = engine(
+        "Q(x) :- R(x, y).",
+        &[("R", &[1, 10]), ("R", &[1, 11]), ("R", &[1, 12]), ("R", &[2, 10])],
+    );
+    let rows: Vec<Vec<Const>> = e.enumerate().collect();
+    assert_eq!(rows.len(), 2);
+    assert!(rows.contains(&vec![1]));
+    assert!(rows.contains(&vec![2]));
+}
+
+#[test]
+fn renderer_shows_weights_and_unfit_items() {
+    let e = engine(
+        "Q(x, y) :- E(x, y), T(y).",
+        &[("E", &[1, 2]), ("E", &[5, 6]), ("T", &[2])],
+    );
+    let comp = &e.components()[0];
+    let rendered = comp.render_structure();
+    assert!(rendered.contains("Cstart = 1"));
+    assert!(rendered.contains("(unfit)"), "E(5,6) has no T(6): an unfit item exists\n{rendered}");
+    assert!(rendered.contains("C̃"));
+}
+
+#[test]
+fn output_order_follows_head_not_document_order() {
+    // Head (y, x) while the q-tree is rooted at... whichever; the output
+    // tuple must honour the head order.
+    let e = engine("Q(y, x) :- E(x, y), T(y), U(x, y).", &[
+        ("E", &[1, 2]),
+        ("T", &[2]),
+        ("U", &[1, 2]),
+    ]);
+    assert_eq!(e.results_sorted(), vec![vec![2, 1]], "head is (y, x)");
+}

@@ -1,0 +1,188 @@
+//! The OMv, OuMv, and OV problems (paper, Sections 5.1–5.2).
+//!
+//! * **OMv** — online matrix-vector multiplication: preprocess an `n × n`
+//!   Boolean matrix `M`, then receive vectors `v¹,…,vⁿ` one at a time and
+//!   output `M vᵗ` before seeing `v^{t+1}`. Conjectured to need `n^{3-o(1)}`
+//!   total time.
+//! * **OuMv** — the bilinear variant: pairs `(uᵗ, vᵗ)` arrive and
+//!   `(uᵗ)ᵀ M vᵗ ∈ {0,1}` must be output; as hard as OMv (Theorem 5.1).
+//! * **OV** — orthogonal vectors: given sets `U, V` of `n` Boolean vectors
+//!   of dimension `d = ⌈log₂ n⌉`, decide whether some `u ∈ U`, `v ∈ V` have
+//!   `uᵀv = 0`. Conjectured (and implied by SETH) to need `n^{2-o(1)}`.
+//!
+//! The naive solvers here are both the correctness oracles for the
+//! reductions in [`crate::reduction`] and the comparison points for the
+//! harness's timing experiments.
+
+use cqu_common::{BitMatrix, BitSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// An OMv instance: matrix plus the online vector stream.
+#[derive(Clone)]
+pub struct OmvInstance {
+    /// The `n × n` matrix, fixed at preprocessing time.
+    pub matrix: BitMatrix,
+    /// The `n` online vectors.
+    pub vectors: Vec<BitSet>,
+}
+
+impl OmvInstance {
+    /// Generates a random instance with the given entry density.
+    pub fn random(n: usize, density: f64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let matrix = BitMatrix::from_fn(n, |_, _| rng.gen_bool(density));
+        let vectors =
+            (0..n).map(|_| BitSet::from_bools((0..n).map(|_| rng.gen_bool(density)))).collect();
+        OmvInstance { matrix, vectors }
+    }
+
+    /// Dimension `n`.
+    pub fn n(&self) -> usize {
+        self.matrix.n()
+    }
+
+    /// The naive `O(n³)` solution: one matrix-vector product per round.
+    pub fn solve_naive(&self) -> Vec<BitSet> {
+        self.vectors.iter().map(|v| self.matrix.mul_vec(v)).collect()
+    }
+}
+
+/// An OuMv instance: matrix plus the online `(u, v)` pair stream.
+#[derive(Clone)]
+pub struct OuMvInstance {
+    /// The `n × n` matrix.
+    pub matrix: BitMatrix,
+    /// The `n` online vector pairs.
+    pub pairs: Vec<(BitSet, BitSet)>,
+}
+
+impl OuMvInstance {
+    /// Generates a random instance.
+    pub fn random(n: usize, density: f64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let matrix = BitMatrix::from_fn(n, |_, _| rng.gen_bool(density));
+        let pairs = (0..n)
+            .map(|_| {
+                (
+                    BitSet::from_bools((0..n).map(|_| rng.gen_bool(density))),
+                    BitSet::from_bools((0..n).map(|_| rng.gen_bool(density))),
+                )
+            })
+            .collect();
+        OuMvInstance { matrix, pairs }
+    }
+
+    /// Dimension `n`.
+    pub fn n(&self) -> usize {
+        self.matrix.n()
+    }
+
+    /// The naive solution: `(uᵗ)ᵀ M vᵗ` per round.
+    pub fn solve_naive(&self) -> Vec<bool> {
+        self.pairs.iter().map(|(u, v)| self.matrix.bilinear(u, v)).collect()
+    }
+}
+
+/// An OV instance.
+#[derive(Clone)]
+pub struct OvInstance {
+    /// The set `U` of `n` vectors of dimension `d`.
+    pub u: Vec<BitSet>,
+    /// The set `V` of `n` vectors of dimension `d`.
+    pub v: Vec<BitSet>,
+}
+
+impl OvInstance {
+    /// Generates a random instance with `d = ⌈log₂ n⌉` (Conjecture 5.2's
+    /// regime) and the given bit density.
+    pub fn random(n: usize, density: f64, seed: u64) -> Self {
+        let d = (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize;
+        Self::random_with_dim(n, d, density, seed)
+    }
+
+    /// Generates a random instance with explicit dimension.
+    pub fn random_with_dim(n: usize, d: usize, density: f64, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let gen = |rng: &mut SmallRng| {
+            (0..n)
+                .map(|_| BitSet::from_bools((0..d).map(|_| rng.gen_bool(density))))
+                .collect::<Vec<_>>()
+        };
+        let u = gen(&mut rng);
+        let v = gen(&mut rng);
+        OvInstance { u, v }
+    }
+
+    /// Number of vectors per side.
+    pub fn n(&self) -> usize {
+        self.u.len()
+    }
+
+    /// Vector dimension `d`.
+    pub fn d(&self) -> usize {
+        self.u.first().map_or(0, BitSet::len)
+    }
+
+    /// The naive `O(n² d)` solution: check all pairs.
+    pub fn solve_naive(&self) -> bool {
+        self.u.iter().any(|u| self.v.iter().any(|v| !u.intersects(v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn omv_naive_matches_manual() {
+        // M = identity: Mv = v.
+        let mut inst = OmvInstance::random(8, 0.3, 1);
+        inst.matrix = BitMatrix::from_fn(8, |i, j| i == j);
+        for (v, mv) in inst.vectors.iter().zip(inst.solve_naive()) {
+            assert_eq!(v, &mv);
+        }
+    }
+
+    #[test]
+    fn oumv_naive_matches_definition() {
+        let inst = OuMvInstance::random(16, 0.2, 2);
+        for ((u, v), ans) in inst.pairs.iter().zip(inst.solve_naive()) {
+            let mut expected = false;
+            for i in 0..16 {
+                for j in 0..16 {
+                    expected |= u.get(i) && inst.matrix.get(i, j) && v.get(j);
+                }
+            }
+            assert_eq!(ans, expected);
+        }
+    }
+
+    #[test]
+    fn ov_dimension_is_logarithmic() {
+        let inst = OvInstance::random(100, 0.5, 3);
+        assert_eq!(inst.d(), 7); // ⌈log₂ 100⌉
+        assert_eq!(inst.n(), 100);
+    }
+
+    #[test]
+    fn ov_naive_finds_orthogonal_pair() {
+        let mut inst = OvInstance::random_with_dim(10, 5, 0.9, 4);
+        // Dense instance is unlikely orthogonal... force it.
+        inst.u[3] = BitSet::from_bools([true, false, false, false, false]);
+        inst.v[7] = BitSet::from_bools([false, true, true, true, true]);
+        assert!(inst.solve_naive());
+        // All-ones vs all-ones is never orthogonal (d ≥ 1).
+        let ones = BitSet::from_bools(vec![true; 5]);
+        let inst2 = OvInstance { u: vec![ones.clone(); 4], v: vec![ones; 4] };
+        assert!(!inst2.solve_naive());
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = OmvInstance::random(12, 0.4, 9);
+        let b = OmvInstance::random(12, 0.4, 9);
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.vectors, b.vectors);
+    }
+}

@@ -1,0 +1,256 @@
+//! Random query generation for property-based testing.
+//!
+//! Two generators:
+//!
+//! * [`random_query`] — arbitrary CQs (arities, shared variables,
+//!   quantifiers, optional self-joins). Used to test that the q-tree
+//!   construction (Lemma 4.2) agrees with the pairwise Definition 3.1
+//!   check on *arbitrary* inputs.
+//! * [`random_q_hierarchical`] — CQs built from a random q-tree, so they
+//!   are q-hierarchical **by construction**: every atom's variable set is
+//!   a root-started path and the free variables form a root-containing
+//!   prefix. Used to drive the dynamic engine against oracles on a much
+//!   richer query space than a hand-written catalogue.
+//!
+//! Generation is deterministic in the seed (plain LCG, no external RNG
+//! dependency in this crate).
+
+use crate::ast::{Query, QueryBuilder, Var};
+
+/// A tiny deterministic RNG (64-bit LCG) so this crate needs no `rand`
+/// dependency; quality is irrelevant here, coverage variety is the point.
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1))
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    /// Uniform value in `0..bound` (bound ≥ 1).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+
+    /// Bernoulli with probability `num/den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Shape parameters for the generators.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Maximum number of variables.
+    pub max_vars: usize,
+    /// Maximum number of atoms.
+    pub max_atoms: usize,
+    /// Maximum relation arity.
+    pub max_arity: usize,
+    /// Percent chance (0–100) that two atoms share a relation symbol
+    /// (self-joins).
+    pub self_join_pct: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { max_vars: 6, max_atoms: 5, max_arity: 3, self_join_pct: 25 }
+    }
+}
+
+/// Generates an arbitrary (usually *not* q-hierarchical) conjunctive query.
+pub fn random_query(rng: &mut Lcg, cfg: GenConfig) -> Query {
+    let num_vars = 1 + rng.below(cfg.max_vars);
+    let num_atoms = 1 + rng.below(cfg.max_atoms);
+    // Generate atoms as index lists first, so only variables that actually
+    // occur in the body get interned (a variable occurring nowhere would
+    // violate the query invariants).
+    let mut rel_arities: Vec<usize> = Vec::new();
+    let mut atoms: Vec<(usize, Vec<usize>)> = Vec::new();
+    for _ in 0..num_atoms {
+        let reuse = !rel_arities.is_empty() && rng.chance(cfg.self_join_pct, 100);
+        let rel = if reuse {
+            rng.below(rel_arities.len())
+        } else {
+            rel_arities.push(1 + rng.below(cfg.max_arity));
+            rel_arities.len() - 1
+        };
+        let args: Vec<usize> = (0..rel_arities[rel]).map(|_| rng.below(num_vars)).collect();
+        atoms.push((rel, args));
+    }
+    let mut b = QueryBuilder::new("Q");
+    let mut interned: Vec<Option<Var>> = vec![None; num_vars];
+    for (rel, args) in &atoms {
+        let vars: Vec<Var> = args
+            .iter()
+            .map(|&i| *interned[i].get_or_insert_with(|| b.var(&format!("v{i}"))))
+            .collect();
+        b.atom(&format!("R{rel}"), &vars).expect("arities are consistent by construction");
+    }
+    // Free tuple: a random subset of the used variables.
+    let free: Vec<Var> =
+        interned.iter().flatten().copied().filter(|_| rng.chance(1, 2)).collect();
+    b.head(&free);
+    b.build().expect("generated query is well-formed")
+}
+
+/// Generates a q-hierarchical query from a random q-tree.
+///
+/// Construction: sample a random rooted tree over `k` variables, mark a
+/// root-containing prefix as free, and emit atoms whose variable sets are
+/// root-started paths `path[v]` (every node gets at least one representing
+/// atom so the tree is exactly the q-tree the builder will reconstruct).
+/// Repeated variables inside atoms and self-joins on equal-arity paths are
+/// sprinkled in — Theorem 3.2 covers them.
+pub fn random_q_hierarchical(rng: &mut Lcg, cfg: GenConfig) -> Query {
+    let k = 1 + rng.below(cfg.max_vars);
+    // parent[i] < i for i > 0: a random rooted tree in index order.
+    let parent: Vec<usize> = (0..k).map(|i| if i == 0 { 0 } else { rng.below(i) }).collect();
+    let depth_path = |mut v: usize| -> Vec<usize> {
+        let mut path = vec![v];
+        while v != 0 {
+            v = parent[v];
+            path.push(v);
+        }
+        path.reverse();
+        path
+    };
+    // Free prefix: BFS order prefix of random length (possibly 0 = Boolean).
+    // A node is free iff its path length ≤ cutoff... that is exactly a
+    // root-containing connected set only if chosen per-branch; instead mark
+    // free = nodes whose every ancestor is free, sampled top-down.
+    let mut free_flag = vec![false; k];
+    for i in 0..k {
+        let parent_free = i == 0 || free_flag[parent[i]];
+        free_flag[i] = parent_free && rng.chance(2, 3);
+    }
+    let mut b = QueryBuilder::new("Q");
+    let vars: Vec<Var> = (0..k).map(|i| b.var(&format!("v{i}"))).collect();
+    // One representing atom per node (ensures vars(ψ) = path[v]), plus a
+    // few extra atoms on random paths.
+    let num_extra = rng.below(cfg.max_atoms);
+    let mut next_rel = 0usize;
+    let mut emitted: Vec<(String, usize)> = Vec::new();
+    for v in 0..k {
+        emit_path_atom(&mut b, rng, &vars, &depth_path(v), &mut next_rel, &mut emitted, cfg);
+    }
+    for _ in 0..num_extra {
+        let v = rng.below(k);
+        emit_path_atom(&mut b, rng, &vars, &depth_path(v), &mut next_rel, &mut emitted, cfg);
+    }
+    let free: Vec<Var> =
+        (0..k).filter(|&i| free_flag[i]).map(|i| vars[i]).collect();
+    b.head(&free);
+    b.build().expect("generated query is well-formed")
+}
+
+/// Emits one atom whose variable set is exactly the given root path.
+fn emit_path_atom(
+    b: &mut QueryBuilder,
+    rng: &mut Lcg,
+    vars: &[Var],
+    path: &[usize],
+    next_rel: &mut usize,
+    emitted: &mut Vec<(String, usize)>,
+    cfg: GenConfig,
+) {
+    // Arity: path length plus some repeats.
+    let repeats = rng.below(2);
+    let arity = path.len() + repeats;
+    // Self-join: reuse a previously emitted relation with the same arity.
+    let reusable: Vec<&(String, usize)> =
+        emitted.iter().filter(|(_, a)| *a == arity).collect();
+    let name = if !reusable.is_empty() && rng.chance(cfg.self_join_pct, 100) {
+        reusable[rng.below(reusable.len())].0.clone()
+    } else {
+        let name = format!("P{}", *next_rel);
+        *next_rel += 1;
+        emitted.push((name.clone(), arity));
+        name
+    };
+    // Argument list: every path var at least once, repeats drawn from the
+    // path (keeps vars(ψ) = path).
+    let mut args: Vec<Var> = path.iter().map(|&i| vars[i]).collect();
+    for _ in 0..repeats {
+        let pick = path[rng.below(path.len())];
+        args.insert(rng.below(args.len() + 1), vars[pick]);
+    }
+    b.atom(&name, &args).expect("consistent arity by construction");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchical::is_q_hierarchical;
+    use crate::hypergraph::connected_components;
+    use crate::qtree::QTree;
+
+    #[test]
+    fn q_hierarchical_generator_is_sound() {
+        let cfg = GenConfig::default();
+        for seed in 0..500 {
+            let mut rng = Lcg::new(seed);
+            let q = random_q_hierarchical(&mut rng, cfg);
+            assert!(is_q_hierarchical(&q), "seed {seed}: {q}");
+            for comp in connected_components(&q) {
+                let tree = QTree::build(&q, &comp).unwrap();
+                assert!(tree.is_valid_for(&q, &comp), "seed {seed}: {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_4_2_on_random_queries() {
+        // Construction succeeds ⇔ pairwise Definition 3.1 check passes,
+        // over arbitrary random queries (both outcomes are exercised).
+        let cfg = GenConfig::default();
+        let (mut yes, mut no) = (0usize, 0usize);
+        for seed in 0..800 {
+            let mut rng = Lcg::new(seed ^ 0xABCD);
+            let q = random_query(&mut rng, cfg);
+            let built =
+                connected_components(&q).iter().all(|c| QTree::build(&q, c).is_ok());
+            assert_eq!(built, is_q_hierarchical(&q), "seed {seed}: {q}");
+            if built {
+                yes += 1;
+            } else {
+                no += 1;
+            }
+        }
+        assert!(yes > 50, "too few q-hierarchical samples: {yes}");
+        assert!(no > 50, "too few non-q-hierarchical samples: {no}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let cfg = GenConfig::default();
+        let a = random_q_hierarchical(&mut Lcg::new(7), cfg);
+        let b = random_q_hierarchical(&mut Lcg::new(7), cfg);
+        assert_eq!(a.display(), b.display());
+    }
+
+    #[test]
+    fn generator_produces_quantifiers_and_self_joins() {
+        let cfg = GenConfig { self_join_pct: 60, ..GenConfig::default() };
+        let mut saw_boolean = false;
+        let mut saw_quantified = false;
+        let mut saw_self_join = false;
+        for seed in 0..300 {
+            let mut rng = Lcg::new(seed * 31 + 5);
+            let q = random_q_hierarchical(&mut rng, cfg);
+            saw_boolean |= q.is_boolean();
+            saw_quantified |= !q.is_full() && !q.is_boolean();
+            saw_self_join |= !q.is_self_join_free();
+        }
+        assert!(saw_boolean, "generator never produced a Boolean query");
+        assert!(saw_quantified, "generator never produced quantified vars");
+        assert!(saw_self_join, "generator never produced self-joins");
+    }
+}

@@ -1,0 +1,308 @@
+//! The hierarchical and q-hierarchical properties (Definition 3.1).
+//!
+//! A CQ `ϕ` is **q-hierarchical** if for any two variables
+//! `x, y ∈ vars(ϕ)`:
+//!
+//! 1. `atoms(x) ⊆ atoms(y)` or `atoms(x) ⊇ atoms(y)` or
+//!    `atoms(x) ∩ atoms(y) = ∅`, and
+//! 2. if `atoms(x) ⊊ atoms(y)` and `x ∈ free(ϕ)`, then `y ∈ free(ϕ)`.
+//!
+//! Dropping condition (2) gives the classical *hierarchical* property of
+//! Dalvi and Suciu (in Koutris–Suciu form, quantified over all variables).
+//!
+//! When a query is not q-hierarchical we return a [`Violation`] carrying the
+//! witnessing variables and atoms. These witnesses are exactly the gadgets
+//! the Section 5 lower-bound reductions need: an incomparability violation
+//! yields the atom triple `(ψ_x, ψ_{x,y}, ψ_y)` used to encode OuMv
+//! matrices, and a free/quantified violation yields the pair
+//! `(ψ_{x,y}, ψ_y)` used for the OMv-enumeration and OV-counting encodings.
+
+use crate::ast::{AtomId, Query, Var};
+
+/// Witness that a query fails Definition 3.1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Condition (i) fails: `atoms(x)` and `atoms(y)` overlap but are
+    /// incomparable. `psi_x` contains `x` but not `y`; `psi_xy` contains
+    /// both; `psi_y` contains `y` but not `x`.
+    Incomparable {
+        /// The variable `x`.
+        x: Var,
+        /// The variable `y`.
+        y: Var,
+        /// An atom with `vars(ψ) ∩ {x,y} = {x}`.
+        psi_x: AtomId,
+        /// An atom with `vars(ψ) ∩ {x,y} = {x,y}`.
+        psi_xy: AtomId,
+        /// An atom with `vars(ψ) ∩ {x,y} = {y}`.
+        psi_y: AtomId,
+    },
+    /// Condition (ii) fails: `atoms(x) ⊊ atoms(y)`, `x` is free, `y` is
+    /// quantified. `psi_xy` contains both; `psi_y` contains `y` but not `x`.
+    FreeQuantified {
+        /// The free variable `x`.
+        x: Var,
+        /// The quantified variable `y` with strictly more atoms.
+        y: Var,
+        /// An atom with `vars(ψ) ∩ {x,y} = {x,y}`.
+        psi_xy: AtomId,
+        /// An atom with `vars(ψ) ∩ {x,y} = {y}`.
+        psi_y: AtomId,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Incomparable { x, y, psi_x, psi_xy, psi_y } => write!(
+                f,
+                "variables v{} and v{} have overlapping incomparable atom sets \
+                 (witnesses: atoms #{psi_x}, #{psi_xy}, #{psi_y})",
+                x.0, y.0
+            ),
+            Violation::FreeQuantified { x, y, psi_xy, psi_y } => write!(
+                f,
+                "free variable v{} is dominated by quantified variable v{} \
+                 (witnesses: atoms #{psi_xy}, #{psi_y})",
+                x.0, y.0
+            ),
+        }
+    }
+}
+
+/// Relationship between two atom sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SetRel {
+    Equal,
+    /// `atoms(x) ⊊ atoms(y)`.
+    XSubY,
+    /// `atoms(x) ⊋ atoms(y)`.
+    XSupY,
+    Disjoint,
+    Incomparable,
+}
+
+fn atom_set_relation(ax: &[AtomId], ay: &[AtomId]) -> SetRel {
+    // Atom-id lists from `Query::atoms_of` are sorted.
+    let mut only_x = false;
+    let mut only_y = false;
+    let mut both = false;
+    let (mut i, mut j) = (0, 0);
+    while i < ax.len() && j < ay.len() {
+        match ax[i].cmp(&ay[j]) {
+            std::cmp::Ordering::Less => {
+                only_x = true;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                only_y = true;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                both = true;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    only_x |= i < ax.len();
+    only_y |= j < ay.len();
+    match (both, only_x, only_y) {
+        (_, false, false) => SetRel::Equal,
+        (true, true, false) => SetRel::XSupY,
+        (true, false, true) => SetRel::XSubY,
+        (false, _, _) => SetRel::Disjoint,
+        (true, true, true) => SetRel::Incomparable,
+    }
+}
+
+/// Checks the *hierarchical* property (condition (i) only, over all
+/// variables — Koutris–Suciu form). Returns the first violation found.
+pub fn hierarchical_violation(q: &Query) -> Option<Violation> {
+    let atom_sets: Vec<Vec<AtomId>> = q.vars().map(|v| q.atoms_of(v)).collect();
+    for x in q.vars() {
+        for y in q.vars() {
+            if x >= y {
+                continue;
+            }
+            let (ax, ay) = (&atom_sets[x.index()], &atom_sets[y.index()]);
+            if atom_set_relation(ax, ay) == SetRel::Incomparable {
+                let psi_x = *ax.iter().find(|a| !ay.contains(a)).unwrap();
+                let psi_y = *ay.iter().find(|a| !ax.contains(a)).unwrap();
+                let psi_xy = *ax.iter().find(|a| ay.contains(a)).unwrap();
+                return Some(Violation::Incomparable { x, y, psi_x, psi_xy, psi_y });
+            }
+        }
+    }
+    None
+}
+
+/// Checks the **q-hierarchical** property (Definition 3.1). Returns the
+/// first violation found, or `None` if the query is q-hierarchical.
+pub fn q_hierarchical_violation(q: &Query) -> Option<Violation> {
+    if let Some(v) = hierarchical_violation(q) {
+        return Some(v);
+    }
+    let atom_sets: Vec<Vec<AtomId>> = q.vars().map(|v| q.atoms_of(v)).collect();
+    for x in q.vars() {
+        if !q.is_free(x) {
+            continue;
+        }
+        for y in q.vars() {
+            if x == y || q.is_free(y) {
+                continue;
+            }
+            let (ax, ay) = (&atom_sets[x.index()], &atom_sets[y.index()]);
+            if atom_set_relation(ax, ay) == SetRel::XSubY {
+                let psi_xy = ax[0];
+                let psi_y = *ay.iter().find(|a| !ax.contains(a)).unwrap();
+                return Some(Violation::FreeQuantified { x, y, psi_xy, psi_y });
+            }
+        }
+    }
+    None
+}
+
+/// Convenience predicate: is `q` q-hierarchical?
+pub fn is_q_hierarchical(q: &Query) -> bool {
+    q_hierarchical_violation(q).is_none()
+}
+
+/// Convenience predicate: is `q` hierarchical (condition (i) only)?
+pub fn is_hierarchical(q: &Query) -> bool {
+    hierarchical_violation(q).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    /// The paper's running examples, Section 3.
+    #[test]
+    fn s_e_t_join_query_not_hierarchical() {
+        // ϕ_S-E-T = (Sx ∧ Exy ∧ Ty), Eq. (2): fails condition (i).
+        let q = parse_query("Q(x, y) :- S(x), E(x, y), T(y).").unwrap();
+        let v = q_hierarchical_violation(&q).expect("must violate");
+        match v {
+            Violation::Incomparable { psi_x, psi_xy, psi_y, .. } => {
+                assert_eq!((psi_x, psi_xy, psi_y), (0, 1, 2));
+            }
+            other => panic!("expected Incomparable, got {other:?}"),
+        }
+        assert!(hierarchical_violation(&q).is_some());
+    }
+
+    #[test]
+    fn boolean_s_e_t_not_hierarchical() {
+        // ϕ'_S-E-T = ∃x∃y (Sx ∧ Exy ∧ Ty), Eq. (3).
+        let q = parse_query("Q() :- S(x), E(x, y), T(y).").unwrap();
+        assert!(!is_q_hierarchical(&q));
+        assert!(!is_hierarchical(&q));
+    }
+
+    #[test]
+    fn e_t_hierarchical_but_not_q_hierarchical() {
+        // ϕ_E-T(x) = ∃y (Exy ∧ Ty), Eq. (4): hierarchical, fails (ii).
+        let q = parse_query("Q(x) :- E(x, y), T(y).").unwrap();
+        assert!(is_hierarchical(&q));
+        let v = q_hierarchical_violation(&q).expect("must violate (ii)");
+        match v {
+            Violation::FreeQuantified { x, y, psi_xy, psi_y } => {
+                assert_eq!(x, crate::Var(0));
+                assert_eq!(y, crate::Var(1));
+                assert_eq!(psi_xy, 0);
+                assert_eq!(psi_y, 1);
+            }
+            other => panic!("expected FreeQuantified, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn e_t_variants_are_q_hierarchical() {
+        // The paper notes all other versions of ϕ_E-T are q-hierarchical.
+        for src in [
+            "Q(y) :- E(x, y), T(y).",    // ∃x (Exy ∧ Ty)
+            "Q(x, y) :- E(x, y), T(y).", // join query
+            "Q() :- E(x, y), T(y).",     // Boolean
+        ] {
+            let q = parse_query(src).unwrap();
+            assert!(is_q_hierarchical(&q), "{src}");
+        }
+    }
+
+    #[test]
+    fn dalvi_suciu_example_is_hierarchical() {
+        // ∃x∃y∃z∃y'∃z' (Rxyz ∧ Rxyz' ∧ Exy ∧ Exy') — from Section 3.
+        let q = parse_query("Q() :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y').").unwrap();
+        assert!(is_q_hierarchical(&q));
+    }
+
+    #[test]
+    fn example_6_1_is_q_hierarchical() {
+        let q = parse_query(
+            "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).",
+        )
+        .unwrap();
+        assert!(is_q_hierarchical(&q));
+    }
+
+    #[test]
+    fn figure_1_query_is_q_hierarchical() {
+        // ϕ(x1,x2,x3) = ∃x4∃x5 (Ex1x2 ∧ Rx4x1x2x1 ∧ Rx5x3x2x1)
+        let q = parse_query("Q(x1, x2, x3) :- E(x1,x2), R(x4,x1,x2,x1), R(x5,x3,x2,x1).").unwrap();
+        assert!(is_q_hierarchical(&q));
+    }
+
+    #[test]
+    fn loop_core_pair_from_section_3() {
+        // ϕ = ∃x∃y (Exx ∧ Exy ∧ Eyy) is NOT q-hierarchical,
+        // its core ϕ' = ∃x Exx IS.
+        let q = parse_query("Q() :- E(x,x), E(x,y), E(y,y).").unwrap();
+        assert!(!is_q_hierarchical(&q));
+        let core = parse_query("Q() :- E(x,x).").unwrap();
+        assert!(is_q_hierarchical(&core));
+    }
+
+    #[test]
+    fn single_atom_always_q_hierarchical() {
+        for src in ["Q(x) :- R(x).", "Q(x, y) :- R(x, y, x).", "Q() :- R(a, b, c)."] {
+            let q = parse_query(src).unwrap();
+            assert!(is_q_hierarchical(&q), "{src}");
+        }
+    }
+
+    #[test]
+    fn disconnected_query_checked_globally() {
+        // Components are independent; a hard component makes the query hard.
+        let q = parse_query("Q(x, y) :- S(x), E(x, y), T(y), U(w).").unwrap();
+        assert!(!is_q_hierarchical(&q));
+        let q2 = parse_query("Q(x) :- S(x), U(w).").unwrap();
+        assert!(is_q_hierarchical(&q2));
+    }
+
+    #[test]
+    fn star_query_q_hierarchical() {
+        let q = parse_query("Q(x, y, z) :- R(x, y), S(x, z), T(x).").unwrap();
+        assert!(is_q_hierarchical(&q));
+    }
+
+    #[test]
+    fn quantified_star_center_violates_ii() {
+        // Q(y) :- R(x, y): atoms(y) ⊆ atoms(x), fine. But
+        // Q(y) :- R(x, y), S(x): atoms(y) ⊊ atoms(x), y free, x quantified.
+        let q = parse_query("Q(y) :- R(x, y), S(x).").unwrap();
+        let v = q_hierarchical_violation(&q).unwrap();
+        assert!(matches!(v, Violation::FreeQuantified { .. }));
+    }
+
+    #[test]
+    fn set_relation_cases() {
+        assert_eq!(atom_set_relation(&[0, 1], &[0, 1]), SetRel::Equal);
+        assert_eq!(atom_set_relation(&[0], &[0, 1]), SetRel::XSubY);
+        assert_eq!(atom_set_relation(&[0, 1], &[1]), SetRel::XSupY);
+        assert_eq!(atom_set_relation(&[0], &[1]), SetRel::Disjoint);
+        assert_eq!(atom_set_relation(&[0, 1], &[1, 2]), SetRel::Incomparable);
+        assert_eq!(atom_set_relation(&[], &[]), SetRel::Equal);
+    }
+}

@@ -1,0 +1,203 @@
+//! The query hypergraph `H_ϕ` and connected components.
+//!
+//! The paper (Section 4) associates with every CQ `ϕ` the hypergraph with
+//! vertex set `vars(ϕ)` and one hyperedge `vars(ψ)` per atom `ψ`. A query is
+//! *connected* if any two variables are linked by a path of overlapping
+//! atoms; every CQ decomposes into connected components over pairwise
+//! disjoint variable sets, and `ϕ(D) = ϕ₁(D) × ⋯ × ϕⱼ(D)`.
+
+use crate::ast::{AtomId, Query, Var};
+
+/// A connected component of a query: a subset of variables and atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Variables of this component, in ascending index order.
+    pub vars: Vec<Var>,
+    /// Atoms of this component, in body order.
+    pub atoms: Vec<AtomId>,
+    /// Free variables of this component, in the query's output order.
+    pub free: Vec<Var>,
+}
+
+impl Component {
+    /// Returns `true` if the component has no free variables.
+    pub fn is_boolean(&self) -> bool {
+        self.free.is_empty()
+    }
+}
+
+/// Union-find over variable indices.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect() }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Decomposes `q` into its connected components.
+///
+/// Components are returned in order of their smallest variable index, so the
+/// decomposition is deterministic. The concatenation of all component `free`
+/// lists is a permutation of `q.free()`.
+pub fn connected_components(q: &Query) -> Vec<Component> {
+    let n = q.num_vars();
+    let mut uf = UnionFind::new(n);
+    for atom in q.atoms() {
+        let vars = atom.vars();
+        for w in vars.windows(2) {
+            uf.union(w[0].0, w[1].0);
+        }
+    }
+    // Group variables by root, ordered by smallest member.
+    let mut root_order: Vec<u32> = Vec::new();
+    let mut comp_of_root: Vec<Option<usize>> = vec![None; n];
+    let mut comps: Vec<Component> = Vec::new();
+    for v in 0..n as u32 {
+        let r = uf.find(v);
+        let idx = match comp_of_root[r as usize] {
+            Some(i) => i,
+            None => {
+                let i = comps.len();
+                comp_of_root[r as usize] = Some(i);
+                root_order.push(r);
+                comps.push(Component { vars: Vec::new(), atoms: Vec::new(), free: Vec::new() });
+                i
+            }
+        };
+        comps[idx].vars.push(Var(v));
+    }
+    for (aid, atom) in q.atoms().iter().enumerate() {
+        let r = uf.find(atom.args[0].0);
+        let idx = comp_of_root[r as usize].expect("atom variable not in any component");
+        comps[idx].atoms.push(aid);
+    }
+    for &v in q.free() {
+        let r = uf.find(v.0);
+        let idx = comp_of_root[r as usize].unwrap();
+        comps[idx].free.push(v);
+    }
+    comps
+}
+
+/// Extracts component `c` of `q` as a standalone [`Query`].
+///
+/// The component's free variables keep their relative output order; other
+/// components' variables disappear. Used to run per-component engines and by
+/// the classifier.
+pub fn component_query(q: &Query, c: &Component) -> Query {
+    // Restrict to the component's atoms, but preserve the free-variable
+    // order restricted to this component.
+    let mut sub = q.clone_with_free(&c.free);
+    sub = sub.restrict_to_atoms(&c.atoms);
+    sub
+}
+
+impl Query {
+    /// Clones the query with a different free-variable tuple.
+    ///
+    /// Panics (via the builder invariants being bypassed) only if `free`
+    /// contains variables not in the query; callers pass subsets of the
+    /// existing free tuple.
+    pub(crate) fn clone_with_free(&self, free: &[Var]) -> Query {
+        let mut q = self.clone();
+        q.set_free(free.to_vec());
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn single_component() {
+        let q = parse_query("Q(x, y) :- S(x), E(x, y), T(y).").unwrap();
+        let comps = connected_components(&q);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].vars, vec![Var(0), Var(1)]);
+        assert_eq!(comps[0].atoms, vec![0, 1, 2]);
+        assert_eq!(comps[0].free, vec![Var(0), Var(1)]);
+    }
+
+    #[test]
+    fn two_components() {
+        // ϕ₂ from Section 7: (Exx ∧ Exy ∧ Eyy ∧ Ez1z2).
+        let q = parse_query("Q(x, y, z1, z2) :- E(x,x), E(x,y), E(y,y), E(z1,z2).").unwrap();
+        let comps = connected_components(&q);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].vars, vec![Var(0), Var(1)]);
+        assert_eq!(comps[0].atoms, vec![0, 1, 2]);
+        assert_eq!(comps[1].vars, vec![Var(2), Var(3)]);
+        assert_eq!(comps[1].atoms, vec![3]);
+        assert_eq!(comps[1].free, vec![Var(2), Var(3)]);
+    }
+
+    #[test]
+    fn boolean_component_mixed_with_free() {
+        // Q(x) :- S(x), E(u, v): second component is a Boolean guard.
+        let q = parse_query("Q(x) :- S(x), E(u, v).").unwrap();
+        let comps = connected_components(&q);
+        assert_eq!(comps.len(), 2);
+        assert!(!comps[0].is_boolean());
+        assert!(comps[1].is_boolean());
+    }
+
+    #[test]
+    fn component_query_extraction() {
+        let q = parse_query("Q(x, z1) :- E(x,x), F(z1,z2).").unwrap();
+        let comps = connected_components(&q);
+        let q0 = component_query(&q, &comps[0]);
+        assert_eq!(q0.atoms().len(), 1);
+        assert_eq!(q0.num_vars(), 1);
+        assert_eq!(q0.arity(), 1);
+        let q1 = component_query(&q, &comps[1]);
+        assert_eq!(q1.atoms().len(), 1);
+        assert_eq!(q1.num_vars(), 2);
+        assert_eq!(q1.arity(), 1);
+    }
+
+    #[test]
+    fn free_vars_partition_across_components() {
+        let q = parse_query("Q(a, c) :- R(a, b), S(c, d), T(e).").unwrap();
+        let comps = connected_components(&q);
+        assert_eq!(comps.len(), 3);
+        let total_free: usize = comps.iter().map(|c| c.free.len()).sum();
+        assert_eq!(total_free, 2);
+        assert!(comps[2].is_boolean());
+    }
+
+    #[test]
+    fn path_connectivity_through_shared_atom() {
+        // x–y via E, y–z via F: all one component.
+        let q = parse_query("Q() :- E(x, y), F(y, z).").unwrap();
+        let comps = connected_components(&q);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].vars.len(), 3);
+    }
+}

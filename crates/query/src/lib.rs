@@ -1,0 +1,84 @@
+//! Conjunctive-query representation and structural analysis.
+//!
+//! This crate implements the query-side theory of *Answering Conjunctive
+//! Queries under Updates* (Berkholz, Keppeler, Schweikardt; PODS 2017):
+//!
+//! * [`ast`] — variables, atoms, schemas, and k-ary conjunctive queries
+//!   `ϕ(x₁,…,x_k) = ∃y₁…∃y_ℓ (ψ₁ ∧ … ∧ ψ_d)`, plus a builder API.
+//! * [`parser`] — a Datalog-style concrete syntax,
+//!   `Q(x, y) :- R(x, y), S(y).`
+//! * [`hypergraph`] — the query hypergraph, connected components, and
+//!   `atoms(x)` incidence structure.
+//! * [`hierarchical`] — the hierarchical and **q-hierarchical** properties
+//!   (Definition 3.1) with explicit violation witnesses, which double as the
+//!   gadgets of the Section 5 lower-bound reductions.
+//! * [`qtree`] — **q-trees** (Definition 4.1) and the constructive
+//!   characterisation of Lemma 4.2.
+//! * [`homomorphism`] — homomorphisms between queries and the
+//!   **homomorphic core**, needed for the Boolean/counting dichotomies.
+//! * [`acyclic`] — GYO α-acyclicity and the free-connex property, situating
+//!   q-hierarchical queries strictly inside free-connex ones.
+//! * [`classify`] — the dichotomy classifier implementing Theorems 1.1–1.3.
+
+
+#![warn(missing_docs)]
+pub mod acyclic;
+pub mod generator;
+pub mod ast;
+pub mod classify;
+pub mod hierarchical;
+pub mod homomorphism;
+pub mod hypergraph;
+pub mod parser;
+pub mod qtree;
+
+pub use ast::{Atom, AtomId, Query, QueryBuilder, RelId, Schema, Var};
+pub use classify::{Classification, Conjecture, Verdict};
+pub use hierarchical::{hierarchical_violation, q_hierarchical_violation, Violation};
+pub use homomorphism::{core_of, find_homomorphism};
+pub use hypergraph::Component;
+pub use parser::{parse_query, ParseError};
+pub use qtree::QTree;
+
+/// Errors produced when constructing or analysing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A relation was used with two different arities.
+    ArityMismatch {
+        /// The offending relation name.
+        relation: String,
+        /// The arity it was first declared with.
+        expected: usize,
+        /// The conflicting arity.
+        found: usize,
+    },
+    /// A head (free) variable does not occur in any body atom.
+    UnboundHeadVariable(String),
+    /// The query has no atoms (`d ≥ 1` is required by the paper's Eq. (1)).
+    EmptyBody,
+    /// A duplicate variable in the head.
+    DuplicateHeadVariable(String),
+    /// The query is not q-hierarchical (returned by engines that require it).
+    NotQHierarchical(Violation),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::ArityMismatch { relation, expected, found } => write!(
+                f,
+                "relation {relation} used with arity {found}, but earlier with {expected}"
+            ),
+            QueryError::UnboundHeadVariable(v) => {
+                write!(f, "head variable {v} does not occur in the body")
+            }
+            QueryError::EmptyBody => write!(f, "conjunctive query must have at least one atom"),
+            QueryError::DuplicateHeadVariable(v) => {
+                write!(f, "head variable {v} is repeated")
+            }
+            QueryError::NotQHierarchical(v) => write!(f, "query is not q-hierarchical: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}

@@ -1,0 +1,357 @@
+//! A Datalog-style concrete syntax for conjunctive queries.
+//!
+//! ```text
+//! Q(x, y) :- S(x), E(x, y), T(y).          -- join query
+//! Q(x)    :- E(x, y), T(y).                -- ∃y (E x y ∧ T y)
+//! Q()     :- S(x), E(x, y), T(y).          -- Boolean query
+//! ```
+//!
+//! Head variables are the free variables in output order; body-only
+//! variables are existentially quantified. The trailing period is optional.
+//! `%` starts a line comment.
+
+use crate::ast::{Query, QueryBuilder};
+use crate::QueryError;
+
+/// A parse failure with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<QueryError> for ParseError {
+    fn from(e: QueryError) -> Self {
+        ParseError { offset: 0, message: e.to_string() }
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token<'a> {
+    Ident(&'a str),
+    LParen,
+    RParen,
+    Comma,
+    Turnstile,
+    Period,
+    Eof,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, pos: 0 }
+    }
+
+    fn skip_trivia(&mut self) {
+        let bytes = self.src.as_bytes();
+        loop {
+            while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < bytes.len() && bytes[self.pos] == b'%' {
+                while self.pos < bytes.len() && bytes[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<(usize, Token<'a>), ParseError> {
+        self.skip_trivia();
+        let start = self.pos;
+        let bytes = self.src.as_bytes();
+        if start >= bytes.len() {
+            return Ok((start, Token::Eof));
+        }
+        let c = bytes[start];
+        let tok = match c {
+            b'(' => {
+                self.pos += 1;
+                Token::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                Token::RParen
+            }
+            b',' => {
+                self.pos += 1;
+                Token::Comma
+            }
+            b'.' => {
+                self.pos += 1;
+                Token::Period
+            }
+            b':' => {
+                if bytes.get(start + 1) == Some(&b'-') {
+                    self.pos += 2;
+                    Token::Turnstile
+                } else {
+                    return Err(ParseError {
+                        offset: start,
+                        message: "expected `:-`".to_string(),
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut end = start + 1;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_' || bytes[end] == b'\'')
+                {
+                    end += 1;
+                }
+                self.pos = end;
+                Token::Ident(&self.src[start..end])
+            }
+            other => {
+                return Err(ParseError {
+                    offset: start,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        };
+        Ok((start, tok))
+    }
+
+    fn peek(&mut self) -> Result<(usize, Token<'a>), ParseError> {
+        let saved = self.pos;
+        let tok = self.next();
+        self.pos = saved;
+        tok
+    }
+}
+
+/// Parses a single conjunctive query from `src`.
+///
+/// ```
+/// let q = cqu_query::parse_query("Q(x) :- E(x, y), T(y).").unwrap();
+/// assert_eq!(q.arity(), 1);
+/// assert_eq!(q.num_vars(), 2);
+/// ```
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    let mut lex = Lexer::new(src);
+    let (off, head_name) = match lex.next()? {
+        (off, Token::Ident(name)) => (off, name),
+        (off, other) => {
+            return Err(ParseError {
+                offset: off,
+                message: format!("expected query name, found {other:?}"),
+            })
+        }
+    };
+    if !head_name.chars().next().is_some_and(|c| c.is_ascii_uppercase() || c == '_') {
+        // Permissive: we accept lowercase heads too, but this keeps the
+        // convention documented.
+        let _ = off;
+    }
+    let mut builder = QueryBuilder::new(head_name);
+
+    expect(&mut lex, Token::LParen, "`(` after query name")?;
+    let mut free = Vec::new();
+    if lex.peek()?.1 != Token::RParen {
+        loop {
+            match lex.next()? {
+                (_, Token::Ident(v)) => free.push(builder.var(v)),
+                (o, t) => {
+                    return Err(ParseError {
+                        offset: o,
+                        message: format!("expected head variable, found {t:?}"),
+                    })
+                }
+            }
+            match lex.next()? {
+                (_, Token::Comma) => continue,
+                (_, Token::RParen) => break,
+                (o, t) => {
+                    return Err(ParseError {
+                        offset: o,
+                        message: format!("expected `,` or `)`, found {t:?}"),
+                    })
+                }
+            }
+        }
+    } else {
+        lex.next()?; // consume `)`
+    }
+    expect(&mut lex, Token::Turnstile, "`:-` after head")?;
+
+    loop {
+        let (o, t) = lex.next()?;
+        let rel = match t {
+            Token::Ident(r) => r,
+            other => {
+                return Err(ParseError {
+                    offset: o,
+                    message: format!("expected atom, found {other:?}"),
+                })
+            }
+        };
+        expect(&mut lex, Token::LParen, "`(` after relation name")?;
+        let mut args = Vec::new();
+        if lex.peek()?.1 == Token::RParen {
+            let (o, _) = lex.next()?;
+            return Err(ParseError {
+                offset: o,
+                message: format!("relation {rel} must have at least one argument (ar(R) ≥ 1)"),
+            });
+        }
+        loop {
+            match lex.next()? {
+                (_, Token::Ident(v)) => args.push(builder.var(v)),
+                (o, t) => {
+                    return Err(ParseError {
+                        offset: o,
+                        message: format!("expected variable, found {t:?}"),
+                    })
+                }
+            }
+            match lex.next()? {
+                (_, Token::Comma) => continue,
+                (_, Token::RParen) => break,
+                (o, t) => {
+                    return Err(ParseError {
+                        offset: o,
+                        message: format!("expected `,` or `)`, found {t:?}"),
+                    })
+                }
+            }
+        }
+        builder.atom(rel, &args)?;
+        match lex.next()? {
+            (_, Token::Comma) => continue,
+            (_, Token::Period) | (_, Token::Eof) => break,
+            (o, t) => {
+                return Err(ParseError {
+                    offset: o,
+                    message: format!("expected `,`, `.` or end of input, found {t:?}"),
+                })
+            }
+        }
+    }
+    match lex.next()? {
+        (_, Token::Eof) | (_, Token::Period) => {}
+        (o, t) => {
+            return Err(ParseError {
+                offset: o,
+                message: format!("trailing input: {t:?}"),
+            })
+        }
+    }
+
+    builder.head(&free);
+    Ok(builder.build()?)
+}
+
+fn expect(lex: &mut Lexer<'_>, want: Token<'_>, what: &str) -> Result<(), ParseError> {
+    let (o, t) = lex.next()?;
+    if t == want {
+        Ok(())
+    } else {
+        Err(ParseError { offset: o, message: format!("expected {what}, found {t:?}") })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Var;
+
+    #[test]
+    fn parses_join_query() {
+        let q = parse_query("Q(x, y) :- S(x), E(x, y), T(y).").unwrap();
+        assert_eq!(q.arity(), 2);
+        assert_eq!(q.atoms().len(), 3);
+        assert!(q.is_full());
+        assert_eq!(q.var_name(Var(0)), "x");
+        assert_eq!(q.var_name(Var(1)), "y");
+    }
+
+    #[test]
+    fn parses_boolean_query() {
+        let q = parse_query("Q() :- S(x), E(x, y), T(y)").unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.num_vars(), 2);
+    }
+
+    #[test]
+    fn parses_quantified_query() {
+        let q = parse_query("Q(x) :- E(x, y), T(y).").unwrap();
+        assert_eq!(q.arity(), 1);
+        assert!(!q.is_full());
+        assert!(!q.is_boolean());
+    }
+
+    #[test]
+    fn parses_self_join_and_repeated_vars() {
+        let q = parse_query("Q(x, y) :- E(x, x), E(x, y), E(y, y).").unwrap();
+        assert!(!q.is_self_join_free());
+        assert_eq!(q.atoms().len(), 3);
+        assert_eq!(q.atom(0).args, vec![Var(0), Var(0)]);
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let q = parse_query(
+            "% the hard query from the paper\nQ(x, y) :- % head\n  S(x),\n  E(x, y), T(y).",
+        )
+        .unwrap();
+        assert_eq!(q.atoms().len(), 3);
+    }
+
+    #[test]
+    fn primes_in_variable_names() {
+        // Example 6.1 uses variables y' and z'.
+        let q = parse_query("Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z)")
+            .unwrap();
+        assert_eq!(q.num_vars(), 5);
+        assert_eq!(q.var_name(Var(3)), "y'");
+    }
+
+    #[test]
+    fn rejects_nullary_atom() {
+        let err = parse_query("Q(x) :- S(), E(x, y)").unwrap_err();
+        assert!(err.message.contains("at least one argument"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let err = parse_query("Q(x) :- E(x, x), E(x)").unwrap_err();
+        assert!(err.message.contains("arity"));
+    }
+
+    #[test]
+    fn rejects_unbound_head_var() {
+        let err = parse_query("Q(z) :- E(x, y)").unwrap_err();
+        assert!(err.message.contains("does not occur"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("Q(x) :- E(x, 5)").is_err());
+        assert!(parse_query("Q(x) := E(x, x)").is_err());
+        assert!(parse_query("").is_err());
+        assert!(parse_query("Q(x) :- E(x, x) extra").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = parse_query("Q(x) :- E(x, y), ?").unwrap_err();
+        assert_eq!(err.offset, 17);
+    }
+}

@@ -1,0 +1,674 @@
+//! q-trees (Definition 4.1) and the construction of Lemma 4.2.
+//!
+//! A *q-tree* for a connected CQ `ϕ` is a rooted directed tree `T` with
+//! vertex set `vars(ϕ)` such that
+//!
+//! 1. for every atom `ψ` of `ϕ`, `vars(ψ)` is a directed path in `T`
+//!    starting at the root, and
+//! 2. if `free(ϕ) ≠ ∅`, the free variables form a connected subset of `T`
+//!    containing the root.
+//!
+//! Lemma 4.2: a connected CQ is q-hierarchical **iff** it has a q-tree, and
+//! a q-tree can be constructed in polynomial time by repeatedly picking a
+//! variable contained in every atom (preferring free variables, Claim 4.3),
+//! deleting it, and recursing on the connected components of the remainder.
+//!
+//! Beyond the bare tree, [`QTree`] precomputes everything the Section 6
+//! dynamic data structure needs per node and per atom: `rep(v)`,
+//! `atoms(v)`, root-to-node paths, and for each atom the argument positions
+//! from which to extract constants along its path.
+
+use crate::ast::{AtomId, Query, Var};
+use crate::hierarchical::q_hierarchical_violation;
+use crate::hypergraph::Component;
+use crate::QueryError;
+
+/// Index of a node within a [`QTree`].
+pub type NodeId = usize;
+
+/// A node of a q-tree: one variable of the component.
+#[derive(Debug, Clone)]
+pub struct QTreeNode {
+    /// The variable at this node.
+    pub var: Var,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Children in deterministic construction order.
+    pub children: Vec<NodeId>,
+    /// Depth (root = 0).
+    pub depth: usize,
+    /// Node ids on the path `root ..= self`, in order.
+    pub path: Vec<NodeId>,
+    /// Whether the variable is free in the query.
+    pub free: bool,
+    /// `atoms(v)`: atoms of the component containing this variable,
+    /// in body order.
+    pub atoms: Vec<AtomId>,
+    /// Positions within [`QTreeNode::atoms`] of the atoms *represented* by
+    /// this node (`vars(ψ) = path[v]`).
+    pub rep_positions: Vec<usize>,
+}
+
+/// Per-atom metadata relating the atom to its q-tree path.
+#[derive(Debug, Clone)]
+pub struct AtomPath {
+    /// The atom.
+    pub atom: AtomId,
+    /// The node representing this atom (`vars(ψ) = path[rep]`).
+    pub rep: NodeId,
+    /// For each node on `path[rep]` (root first), an argument position of
+    /// that node's variable within the atom. Used to extract the constants
+    /// `a₁,…,a_d` of an update from a fact.
+    pub extract: Vec<usize>,
+    /// For each node on `path[rep]`, the index of this atom inside that
+    /// node's [`QTreeNode::atoms`] list (the slot of the counter `C^i_ψ`).
+    pub atom_pos: Vec<usize>,
+    /// For each argument position `p` of the atom, the first position with
+    /// the same variable. A fact `(b₁,…,b_r)` matches the atom's equality
+    /// pattern iff `b_p = b_{canon[p]}` for all `p`.
+    pub canon: Vec<usize>,
+}
+
+/// A q-tree for one connected component of a query, with the derived
+/// structure used by the dynamic engine.
+#[derive(Debug, Clone)]
+pub struct QTree {
+    nodes: Vec<QTreeNode>,
+    root: NodeId,
+    atom_paths: Vec<AtomPath>,
+}
+
+impl QTree {
+    /// Builds a q-tree for component `comp` of `q` using the construction
+    /// of Lemma 4.2.
+    ///
+    /// Fails with [`QueryError::NotQHierarchical`] (carrying a witness from
+    /// the pairwise check) iff the component is not q-hierarchical.
+    pub fn build(q: &Query, comp: &Component) -> Result<QTree, QueryError> {
+        let atom_sets: Vec<(AtomId, Vec<Var>)> =
+            comp.atoms.iter().map(|&aid| (aid, q.atom(aid).vars())).collect();
+        let mut tree = QTree { nodes: Vec::new(), root: 0, atom_paths: Vec::new() };
+        let mut rep_of_atom: Vec<(AtomId, NodeId)> = Vec::new();
+        match tree.grow(q, atom_sets, None, &mut rep_of_atom) {
+            Some(root) => {
+                tree.root = root;
+                tree.finish(q, comp, &rep_of_atom);
+                Ok(tree)
+            }
+            None => {
+                let violation = q_hierarchical_violation(q)
+                    .expect("q-tree construction failed, so a violation must exist");
+                Err(QueryError::NotQHierarchical(violation))
+            }
+        }
+    }
+
+    /// Builds q-trees for all components of `q`, failing if any component
+    /// (equivalently, `q` itself) is not q-hierarchical.
+    pub fn forest(q: &Query) -> Result<Vec<(Component, QTree)>, QueryError> {
+        crate::hypergraph::connected_components(q)
+            .into_iter()
+            .map(|c| QTree::build(q, &c).map(|t| (c, t)))
+            .collect()
+    }
+
+    /// Recursive step of Lemma 4.2. Returns the root of the subtree built
+    /// from `atom_sets`, or `None` if no valid pivot variable exists.
+    fn grow(
+        &mut self,
+        q: &Query,
+        atom_sets: Vec<(AtomId, Vec<Var>)>,
+        parent: Option<NodeId>,
+        rep_of_atom: &mut Vec<(AtomId, NodeId)>,
+    ) -> Option<NodeId> {
+        debug_assert!(!atom_sets.is_empty());
+        // Candidate pivots: variables contained in every atom (Claim 4.3).
+        let mut candidates: Vec<Var> = atom_sets[0].1.clone();
+        for (_, set) in &atom_sets[1..] {
+            candidates.retain(|v| set.contains(v));
+        }
+        candidates.sort_unstable();
+        let scope_has_free = atom_sets.iter().any(|(_, set)| set.iter().any(|&v| q.is_free(v)));
+        let pivot = if scope_has_free {
+            // Claim 4.3: if free variables remain in scope, a free pivot
+            // must exist — otherwise the query is not q-hierarchical.
+            *candidates.iter().find(|&&v| q.is_free(v))?
+        } else {
+            *candidates.first()?
+        };
+
+        let node_id = self.nodes.len();
+        self.nodes.push(QTreeNode {
+            var: pivot,
+            parent,
+            children: Vec::new(),
+            depth: 0,
+            path: Vec::new(),
+            free: q.is_free(pivot),
+            atoms: Vec::new(),
+            rep_positions: Vec::new(),
+        });
+
+        // Remove the pivot; fully-consumed atoms are represented here.
+        let mut remaining: Vec<(AtomId, Vec<Var>)> = Vec::with_capacity(atom_sets.len());
+        for (aid, mut set) in atom_sets {
+            set.retain(|&v| v != pivot);
+            if set.is_empty() {
+                rep_of_atom.push((aid, node_id));
+            } else {
+                remaining.push((aid, set));
+            }
+        }
+
+        // Split the remainder into connected components (by variable
+        // overlap) and recurse; deterministic order by first atom id.
+        let groups = split_components(remaining);
+        for group in groups {
+            let child = self.grow(q, group, Some(node_id), rep_of_atom)?;
+            self.nodes[node_id].children.push(child);
+        }
+        Some(node_id)
+    }
+
+    /// Fills in depths, paths, `atoms(v)` lists, rep positions, and
+    /// per-atom path metadata after the shape has been built.
+    fn finish(&mut self, q: &Query, comp: &Component, rep_of_atom: &[(AtomId, NodeId)]) {
+        // Depths and paths, top-down (parents precede children is NOT
+        // guaranteed by construction order, so walk explicitly).
+        let mut stack = vec![self.root];
+        self.nodes[self.root].path = vec![self.root];
+        while let Some(n) = stack.pop() {
+            let path = self.nodes[n].path.clone();
+            let depth = path.len() - 1;
+            self.nodes[n].depth = depth;
+            for c in self.nodes[n].children.clone() {
+                let mut cp = path.clone();
+                cp.push(c);
+                self.nodes[c].path = cp;
+                stack.push(c);
+            }
+        }
+        // atoms(v) per node, in body order.
+        let node_of_var: std::collections::BTreeMap<Var, NodeId> =
+            self.nodes.iter().enumerate().map(|(i, n)| (n.var, i)).collect();
+        for &aid in &comp.atoms {
+            for v in q.atom(aid).vars() {
+                let n = node_of_var[&v];
+                self.nodes[n].atoms.push(aid);
+            }
+        }
+        // Per-atom path metadata.
+        let mut rep_map: std::collections::BTreeMap<AtomId, NodeId> =
+            rep_of_atom.iter().copied().collect();
+        for &aid in &comp.atoms {
+            let rep = rep_map.remove(&aid).expect("every atom is represented exactly once");
+            let atom = q.atom(aid);
+            let path = self.nodes[rep].path.clone();
+            let extract: Vec<usize> = path
+                .iter()
+                .map(|&n| {
+                    let var = self.nodes[n].var;
+                    atom.args
+                        .iter()
+                        .position(|&a| a == var)
+                        .expect("path variable must occur in represented atom")
+                })
+                .collect();
+            let atom_pos: Vec<usize> = path
+                .iter()
+                .map(|&n| {
+                    self.nodes[n]
+                        .atoms
+                        .iter()
+                        .position(|&a| a == aid)
+                        .expect("atom must be listed at every node on its path")
+                })
+                .collect();
+            let canon: Vec<usize> = atom
+                .args
+                .iter()
+                .enumerate()
+                .map(|(p, &v)| atom.args.iter().position(|&w| w == v).unwrap().min(p))
+                .collect();
+            self.atom_paths.push(AtomPath { atom: aid, rep, extract, atom_pos, canon });
+        }
+        // rep positions within each node's atoms list.
+        for ap in &self.atom_paths {
+            let node = &mut self.nodes[ap.rep];
+            let pos = node.atoms.iter().position(|&a| a == ap.atom).unwrap();
+            node.rep_positions.push(pos);
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[QTreeNode] {
+        &self.nodes
+    }
+
+    /// The node with id `n`.
+    pub fn node(&self, n: NodeId) -> &QTreeNode {
+        &self.nodes[n]
+    }
+
+    /// Number of nodes (= number of component variables).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the tree has no nodes (never for valid components).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Per-atom path metadata, in component-atom order.
+    pub fn atom_paths(&self) -> &[AtomPath] {
+        &self.atom_paths
+    }
+
+    /// The free-variable subtree `T'` in document order (pre-order,
+    /// children in construction order). Empty iff the component is Boolean.
+    pub fn free_preorder(&self) -> Vec<NodeId> {
+        let mut order = Vec::new();
+        if !self.nodes[self.root].free {
+            return order;
+        }
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            // Push free children in reverse so they pop in order.
+            for &c in self.nodes[n].children.iter().rev() {
+                if self.nodes[c].free {
+                    stack.push(c);
+                }
+            }
+        }
+        order
+    }
+
+    /// Validates Definition 4.1 against query `q` and component `comp`.
+    /// Used by tests and by [`QTree::from_edges`].
+    pub fn is_valid_for(&self, q: &Query, comp: &Component) -> bool {
+        // Vertex set equals component variables.
+        let mut tree_vars: Vec<Var> = self.nodes.iter().map(|n| n.var).collect();
+        tree_vars.sort_unstable();
+        let mut comp_vars = comp.vars.clone();
+        comp_vars.sort_unstable();
+        if tree_vars != comp_vars {
+            return false;
+        }
+        let node_of_var: std::collections::BTreeMap<Var, NodeId> =
+            self.nodes.iter().enumerate().map(|(i, n)| (n.var, i)).collect();
+        // (1) every atom's variable set is a root-started path.
+        for &aid in &comp.atoms {
+            let vars = q.atom(aid).vars();
+            let mut node_ids: Vec<NodeId> = vars.iter().map(|v| node_of_var[v]).collect();
+            node_ids.sort_by_key(|&n| self.nodes[n].depth);
+            let deepest = *node_ids.last().unwrap();
+            let path = &self.nodes[deepest].path;
+            if path.len() != node_ids.len() {
+                return false;
+            }
+            let mut sorted_path = path.clone();
+            sorted_path.sort_by_key(|&n| self.nodes[n].depth);
+            if sorted_path != node_ids {
+                return false;
+            }
+        }
+        // (2) free variables form a connected subset containing the root.
+        let has_free = self.nodes.iter().any(|n| n.free);
+        if has_free {
+            if !self.nodes[self.root].free {
+                return false;
+            }
+            for n in &self.nodes {
+                if n.free {
+                    if let Some(p) = n.parent {
+                        if !self.nodes[p].free {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Constructs a q-tree from explicit parent edges `(child, parent)` and
+    /// a root variable, validating Definition 4.1. Used to express the two
+    /// alternative q-trees of Figure 1.
+    pub fn from_edges(
+        q: &Query,
+        comp: &Component,
+        root: Var,
+        edges: &[(Var, Var)],
+    ) -> Result<QTree, QueryError> {
+        let mut nodes: Vec<QTreeNode> = Vec::new();
+        let mut id_of: std::collections::BTreeMap<Var, NodeId> = std::collections::BTreeMap::new();
+        for &v in &comp.vars {
+            id_of.insert(v, nodes.len());
+            nodes.push(QTreeNode {
+                var: v,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+                path: Vec::new(),
+                free: q.is_free(v),
+                atoms: Vec::new(),
+                rep_positions: Vec::new(),
+            });
+        }
+        for &(child, parent) in edges {
+            let (c, p) = (id_of[&child], id_of[&parent]);
+            nodes[c].parent = Some(p);
+            nodes[p].children.push(c);
+        }
+        let mut tree = QTree { nodes, root: id_of[&root], atom_paths: Vec::new() };
+        // Derive rep assignments: the deepest variable of each atom.
+        // Compute paths first.
+        let mut stack = vec![tree.root];
+        tree.nodes[tree.root].path = vec![tree.root];
+        while let Some(n) = stack.pop() {
+            let path = tree.nodes[n].path.clone();
+            tree.nodes[n].depth = path.len() - 1;
+            for c in tree.nodes[n].children.clone() {
+                let mut cp = path.clone();
+                cp.push(c);
+                tree.nodes[c].path = cp;
+                stack.push(c);
+            }
+        }
+        if !tree.is_valid_for(q, comp) {
+            let violation = q_hierarchical_violation(q).unwrap_or(
+                crate::hierarchical::Violation::FreeQuantified {
+                    x: root,
+                    y: root,
+                    psi_xy: 0,
+                    psi_y: 0,
+                },
+            );
+            return Err(QueryError::NotQHierarchical(violation));
+        }
+        let id_of_ref = &id_of;
+        let rep_of_atom: Vec<(AtomId, NodeId)> = comp
+            .atoms
+            .iter()
+            .map(|&aid| {
+                let deepest = q
+                    .atom(aid)
+                    .vars()
+                    .into_iter()
+                    .map(|v| id_of_ref[&v])
+                    .max_by_key(|&n| tree.nodes[n].depth)
+                    .unwrap();
+                (aid, deepest)
+            })
+            .collect();
+        // Reset derived fields that `finish` recomputes.
+        for n in &mut tree.nodes {
+            n.atoms.clear();
+            n.rep_positions.clear();
+        }
+        tree.finish(q, comp, &rep_of_atom);
+        Ok(tree)
+    }
+
+    /// Pretty-prints the tree with one node per line (for debugging and the
+    /// Figure 1 reproduction).
+    pub fn render(&self, q: &Query) -> String {
+        let mut out = String::new();
+        self.render_node(q, self.root, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, q: &Query, n: NodeId, indent: usize, out: &mut String) {
+        use std::fmt::Write;
+        let node = &self.nodes[n];
+        let _ = writeln!(
+            out,
+            "{:indent$}{}{}",
+            "",
+            q.var_name(node.var),
+            if node.free { "" } else { " (∃)" },
+            indent = indent * 2
+        );
+        for &c in &node.children {
+            self.render_node(q, c, indent + 1, out);
+        }
+    }
+}
+
+/// Splits atom sets into groups connected by shared variables.
+fn split_components(atom_sets: Vec<(AtomId, Vec<Var>)>) -> Vec<Vec<(AtomId, Vec<Var>)>> {
+    let n = atom_sets.len();
+    let mut group: Vec<usize> = (0..n).collect();
+    fn find(group: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while group[root] != root {
+            root = group[root];
+        }
+        let mut cur = x;
+        while group[cur] != root {
+            let next = group[cur];
+            group[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if atom_sets[i].1.iter().any(|v| atom_sets[j].1.contains(v)) {
+                let (ri, rj) = (find(&mut group, i), find(&mut group, j));
+                if ri != rj {
+                    group[ri] = rj;
+                }
+            }
+        }
+    }
+    let mut out: Vec<Vec<(AtomId, Vec<Var>)>> = Vec::new();
+    let mut slot: Vec<Option<usize>> = vec![None; n];
+    for (i, entry) in atom_sets.into_iter().enumerate() {
+        let r = find(&mut group, i);
+        let idx = match slot[r] {
+            Some(s) => s,
+            None => {
+                slot[r] = Some(out.len());
+                out.push(Vec::new());
+                out.len() - 1
+            }
+        };
+        out[idx].push(entry);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchical::is_q_hierarchical;
+    use crate::hypergraph::connected_components;
+    use crate::parse_query;
+
+    fn build_single(src: &str) -> (crate::Query, Component, QTree) {
+        let q = parse_query(src).unwrap();
+        let comps = connected_components(&q);
+        assert_eq!(comps.len(), 1, "{src}");
+        let tree = QTree::build(&q, &comps[0]).unwrap();
+        (q, comps[0].clone(), tree)
+    }
+
+    #[test]
+    fn figure_1_query_builds_valid_tree() {
+        let (q, comp, tree) =
+            build_single("Q(x1, x2, x3) :- E(x1,x2), R(x4,x1,x2,x1), R(x5,x3,x2,x1).");
+        assert!(tree.is_valid_for(&q, &comp));
+        assert_eq!(tree.len(), 5);
+        // The root must be x1 or x2 (the two variables in every atom);
+        // construction picks the smallest free one: x1.
+        assert_eq!(q.var_name(tree.node(tree.root()).var), "x1");
+    }
+
+    #[test]
+    fn figure_1_both_published_trees_validate() {
+        let q = parse_query("Q(x1, x2, x3) :- E(x1,x2), R(x4,x1,x2,x1), R(x5,x3,x2,x1).").unwrap();
+        let comp = connected_components(&q)[0].clone();
+        let v = |name: &str| {
+            q.vars().find(|&v| q.var_name(v) == name).unwrap()
+        };
+        // Left tree of Figure 1: x1 root, x2 child, x3/x4 under x2, x5 under x3.
+        let left = QTree::from_edges(
+            &q,
+            &comp,
+            v("x1"),
+            &[(v("x2"), v("x1")), (v("x3"), v("x2")), (v("x4"), v("x2")), (v("x5"), v("x3"))],
+        )
+        .unwrap();
+        assert!(left.is_valid_for(&q, &comp));
+        // Right tree of Figure 1: x2 root, x1 child, x3/x4 under x1, x5 under x3.
+        let right = QTree::from_edges(
+            &q,
+            &comp,
+            v("x2"),
+            &[(v("x1"), v("x2")), (v("x3"), v("x1")), (v("x4"), v("x1")), (v("x5"), v("x3"))],
+        )
+        .unwrap();
+        assert!(right.is_valid_for(&q, &comp));
+    }
+
+    #[test]
+    fn invalid_manual_tree_rejected() {
+        let q = parse_query("Q(x1, x2, x3) :- E(x1,x2), R(x4,x1,x2,x1), R(x5,x3,x2,x1).").unwrap();
+        let comp = connected_components(&q)[0].clone();
+        let v = |name: &str| q.vars().find(|&v| q.var_name(v) == name).unwrap();
+        // x3 as root: E(x1,x2) does not pass through the root — invalid.
+        let res = QTree::from_edges(
+            &q,
+            &comp,
+            v("x3"),
+            &[(v("x2"), v("x3")), (v("x1"), v("x2")), (v("x4"), v("x1")), (v("x5"), v("x1"))],
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn non_q_hierarchical_fails_with_witness() {
+        let q = parse_query("Q(x, y) :- S(x), E(x, y), T(y).").unwrap();
+        let comp = connected_components(&q)[0].clone();
+        let err = QTree::build(&q, &comp).unwrap_err();
+        assert!(matches!(err, QueryError::NotQHierarchical(_)));
+    }
+
+    #[test]
+    fn condition_ii_failure_detected_by_construction() {
+        // ϕ_E-T(x) = ∃y (Exy ∧ Ty): hierarchical but not q-hierarchical.
+        let q = parse_query("Q(x) :- E(x, y), T(y).").unwrap();
+        let comp = connected_components(&q)[0].clone();
+        assert!(QTree::build(&q, &comp).is_err());
+        // But the fully-quantified version works, rooted at y.
+        let qb = parse_query("Q() :- E(x, y), T(y).").unwrap();
+        let comp = connected_components(&qb)[0].clone();
+        let tree = QTree::build(&qb, &comp).unwrap();
+        assert!(tree.is_valid_for(&qb, &comp));
+        assert_eq!(qb.var_name(tree.node(tree.root()).var), "y");
+    }
+
+    #[test]
+    fn example_6_1_tree_matches_figure_2() {
+        let (q, comp, tree) = build_single(
+            "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).",
+        );
+        assert!(tree.is_valid_for(&q, &comp));
+        let name = |n: NodeId| q.var_name(tree.node(n).var).to_string();
+        let root = tree.root();
+        assert_eq!(name(root), "x");
+        let children: Vec<String> = tree.node(root).children.iter().map(|&c| name(c)).collect();
+        assert_eq!(children.len(), 2);
+        assert!(children.contains(&"y".to_string()));
+        assert!(children.contains(&"y'".to_string()));
+        // rep sets per Figure 2: rep(x) = ∅, rep(y) = {Exy}, rep(y') = {Exy'},
+        // rep(z) = {Rxyz, Sxyz}, rep(z') = {Rxyz'}.
+        let rep_count = |n: NodeId| tree.node(n).rep_positions.len();
+        assert_eq!(rep_count(root), 0);
+        let y = *tree.node(root).children.iter().find(|&&c| name(c) == "y").unwrap();
+        assert_eq!(rep_count(y), 1);
+        let z = *tree.node(y).children.iter().find(|&&c| name(c) == "z").unwrap();
+        assert_eq!(rep_count(z), 2);
+        // atoms(x) = all five atoms; atoms(y) = 4 (all except Exy').
+        assert_eq!(tree.node(root).atoms.len(), 5);
+        assert_eq!(tree.node(y).atoms.len(), 4);
+    }
+
+    #[test]
+    fn free_preorder_covers_free_prefix() {
+        let (q, _, tree) = build_single("Q(x, y) :- R(x, y, z), S(x).");
+        let order = tree.free_preorder();
+        assert_eq!(order.len(), 2);
+        assert_eq!(q.var_name(tree.node(order[0]).var), "x");
+        assert_eq!(q.var_name(tree.node(order[1]).var), "y");
+    }
+
+    #[test]
+    fn boolean_component_has_empty_free_preorder() {
+        let (_, _, tree) = build_single("Q() :- R(x, y), S(x).");
+        assert!(tree.free_preorder().is_empty());
+    }
+
+    #[test]
+    fn atom_paths_extract_positions() {
+        let (q, _, tree) = build_single("Q(x, y) :- R(y, x, y).");
+        // Root is x or y; path vars must extract correct positions.
+        for ap in tree.atom_paths() {
+            let atom = q.atom(ap.atom);
+            for (step, &pos) in ap.extract.iter().enumerate() {
+                let node = tree.node(tree.node(ap.rep).path[step]);
+                assert_eq!(atom.args[pos], node.var);
+            }
+            // canon: positions 0 and 2 share variable y.
+            assert_eq!(ap.canon[0], 0);
+            assert_eq!(ap.canon[2], 0);
+            assert_eq!(ap.canon[1], 1);
+        }
+    }
+
+    #[test]
+    fn construction_agrees_with_pairwise_check() {
+        // Lemma 4.2, tested over a catalogue of queries.
+        let sources = [
+            "Q(x, y) :- S(x), E(x, y), T(y).",
+            "Q(x) :- E(x, y), T(y).",
+            "Q(y) :- E(x, y), T(y).",
+            "Q() :- S(x), E(x, y), T(y).",
+            "Q(x, y, z) :- R(x, y), S(x, z), T(x).",
+            "Q(x) :- R(x, y), S(y, z).",
+            "Q() :- R(x, y), S(y, z).",
+            "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).",
+            "Q(a) :- R(a, b), R(a, c).",
+            "Q(a, b) :- R(a, b), S(b, a).",
+            "Q() :- E(x,x), E(x,y), E(y,y).",
+            "Q(x1, x2, x3) :- E(x1,x2), R(x4,x1,x2,x1), R(x5,x3,x2,x1).",
+        ];
+        for src in sources {
+            let q = parse_query(src).unwrap();
+            let comps = connected_components(&q);
+            let all_built = comps.iter().all(|c| QTree::build(&q, c).is_ok());
+            assert_eq!(all_built, is_q_hierarchical(&q), "{src}");
+            for c in &comps {
+                if let Ok(t) = QTree::build(&q, c) {
+                    assert!(t.is_valid_for(&q, c), "{src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn render_is_reasonable() {
+        let (q, _, tree) = build_single("Q(x) :- R(x, y).");
+        let rendered = tree.render(&q);
+        assert!(rendered.contains('x'));
+        assert!(rendered.contains("y (∃)"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Display ↔ parse round-trips and classifier stability over generated
+//! queries.
+
+use cqu_query::generator::{random_q_hierarchical, random_query, GenConfig, Lcg};
+use cqu_query::hierarchical::is_q_hierarchical;
+use cqu_query::classify::classify;
+use cqu_query::{core_of, parse_query};
+
+#[test]
+fn generated_queries_roundtrip_through_concrete_syntax() {
+    let cfg = GenConfig::default();
+    for seed in 0..300 {
+        let mut rng = Lcg::new(seed * 3 + 1);
+        let q = random_query(&mut rng, cfg);
+        let text = q.display();
+        let q2 = parse_query(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(q2.display(), text, "display/parse not idempotent");
+        assert_eq!(q2.arity(), q.arity());
+        assert_eq!(q2.atoms().len(), q.atoms().len());
+        assert_eq!(is_q_hierarchical(&q2), is_q_hierarchical(&q), "{text}");
+    }
+}
+
+#[test]
+fn core_is_idempotent_on_generated_queries() {
+    let cfg = GenConfig { self_join_pct: 50, ..GenConfig::default() };
+    for seed in 0..200 {
+        let mut rng = Lcg::new(seed * 17 + 11);
+        let q = random_query(&mut rng, cfg);
+        let core = core_of(&q);
+        let core2 = core_of(&core);
+        assert_eq!(
+            core.atoms().len(),
+            core2.atoms().len(),
+            "core not idempotent for {q} (core {core})"
+        );
+        assert!(core.atoms().len() <= q.atoms().len());
+        assert_eq!(core.arity(), q.arity(), "cores preserve the free tuple");
+    }
+}
+
+#[test]
+fn classifier_is_consistent_with_core_structure() {
+    // On generated queries: counting is tractable iff core is
+    // q-hierarchical; enumeration tractable implies counting tractable;
+    // counting tractable implies Boolean tractable.
+    let cfg = GenConfig { self_join_pct: 40, ..GenConfig::default() };
+    for seed in 0..200 {
+        let mut rng = Lcg::new(seed * 29 + 7);
+        let q = random_query(&mut rng, cfg);
+        let c = classify(&q);
+        assert_eq!(c.counting.is_tractable(), is_q_hierarchical(&c.core), "{q}");
+        if c.enumeration.is_tractable() {
+            assert!(c.counting.is_tractable(), "{q}");
+        }
+        if c.counting.is_tractable() {
+            assert!(c.boolean.is_tractable(), "{q}");
+        }
+        // Hard enumeration verdicts only occur for self-join-free queries.
+        if c.enumeration.is_hard() {
+            assert!(q.is_self_join_free(), "{q}");
+        }
+    }
+}
+
+#[test]
+fn q_hierarchical_generator_roundtrips() {
+    let cfg = GenConfig::default();
+    for seed in 0..200 {
+        let mut rng = Lcg::new(seed + 999);
+        let q = random_q_hierarchical(&mut rng, cfg);
+        let q2 = parse_query(&q.display()).unwrap();
+        assert!(is_q_hierarchical(&q2), "{q}");
+        let c = classify(&q2);
+        assert!(c.enumeration.is_tractable(), "{q}");
+        assert!(c.counting.is_tractable(), "{q}");
+        assert!(c.boolean.is_tractable(), "{q}");
+    }
+}

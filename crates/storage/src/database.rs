@@ -1,0 +1,178 @@
+//! The database: one relation per schema symbol, plus active-domain
+//! reference counting.
+//!
+//! The paper measures everything in `n = |adom(D)|`, the size of the active
+//! domain of the *current* database, and defines
+//! `|D| = Σ_R |R^D|` (cardinality) and
+//! `‖D‖ = |σ| + |adom(D)| + Σ_R ar(R)·|R^D|` (size). Since updates may both
+//! grow and shrink the active domain, we maintain per-constant reference
+//! counts across all relation slots.
+
+use crate::update::Update;
+use crate::{Const, Relation, Tuple};
+use cqu_common::FxHashMap;
+use cqu_query::{RelId, Schema};
+
+/// A relational database over a fixed schema.
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: Schema,
+    relations: Vec<Relation>,
+    /// Reference count of each active-domain constant: the number of tuple
+    /// slots (relation, tuple, position) holding it.
+    adom: FxHashMap<Const, u64>,
+}
+
+impl Database {
+    /// Creates an empty database over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let relations = schema.relations().map(|r| Relation::new(schema.arity(r))).collect();
+        Database { schema, relations, adom: FxHashMap::default() }
+    }
+
+    /// The database schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The instance of relation `rel`.
+    pub fn relation(&self, rel: RelId) -> &Relation {
+        &self.relations[rel.index()]
+    }
+
+    /// Inserts `tuple` into `rel`; returns `true` iff the database changed.
+    pub fn insert(&mut self, rel: RelId, tuple: Tuple) -> bool {
+        let changed = self.relations[rel.index()].insert(tuple.clone());
+        if changed {
+            for &c in &tuple {
+                *self.adom.entry(c).or_insert(0) += 1;
+            }
+        }
+        changed
+    }
+
+    /// Deletes `tuple` from `rel`; returns `true` iff the database changed.
+    pub fn delete(&mut self, rel: RelId, tuple: &[Const]) -> bool {
+        let changed = self.relations[rel.index()].delete(tuple);
+        if changed {
+            for &c in tuple {
+                let cnt = self.adom.get_mut(&c).expect("adom refcount missing");
+                *cnt -= 1;
+                if *cnt == 0 {
+                    self.adom.remove(&c);
+                }
+            }
+        }
+        changed
+    }
+
+    /// Applies an update command; returns `true` iff the database changed.
+    pub fn apply(&mut self, update: &Update) -> bool {
+        match update {
+            Update::Insert(rel, tuple) => self.insert(*rel, tuple.clone()),
+            Update::Delete(rel, tuple) => self.delete(*rel, tuple),
+        }
+    }
+
+    /// Applies a sequence of updates, returning how many changed the
+    /// database.
+    pub fn apply_all<'a>(&mut self, updates: impl IntoIterator<Item = &'a Update>) -> usize {
+        updates.into_iter().filter(|u| self.apply(u)).count()
+    }
+
+    /// `n = |adom(D)|`: the number of distinct constants currently stored.
+    pub fn active_domain_size(&self) -> usize {
+        self.adom.len()
+    }
+
+    /// Iterates over the active-domain constants (unspecified order).
+    pub fn active_domain(&self) -> impl Iterator<Item = Const> + '_ {
+        self.adom.keys().copied()
+    }
+
+    /// `|D| = Σ_R |R^D]`: total number of stored tuples.
+    pub fn cardinality(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// `‖D‖ = |σ| + |adom(D)| + Σ_R ar(R)·|R^D|`.
+    pub fn size(&self) -> usize {
+        self.schema.len()
+            + self.adom.len()
+            + self.relations.iter().map(|r| r.arity() * r.len()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema_et() -> Schema {
+        let mut s = Schema::new();
+        s.intern("E", 2).unwrap();
+        s.intern("T", 1).unwrap();
+        s
+    }
+
+    #[test]
+    fn insert_delete_track_active_domain() {
+        let s = schema_et();
+        let e = s.relation("E").unwrap();
+        let t = s.relation("T").unwrap();
+        let mut db = Database::new(s);
+        assert!(db.insert(e, vec![1, 2]));
+        assert!(db.insert(t, vec![2]));
+        assert_eq!(db.active_domain_size(), 2);
+        assert_eq!(db.cardinality(), 2);
+        // ‖D‖ = |σ| + |adom| + Σ ar·|R| = 2 + 2 + (2·1 + 1·1) = 7.
+        assert_eq!(db.size(), 7);
+        // Deleting E(1,2) removes 1 from the active domain but keeps 2.
+        assert!(db.delete(e, &[1, 2]));
+        assert_eq!(db.active_domain_size(), 1);
+        assert!(db.active_domain().any(|c| c == 2));
+        assert!(db.delete(t, &[2]));
+        assert_eq!(db.active_domain_size(), 0);
+    }
+
+    #[test]
+    fn duplicate_operations_do_not_corrupt_refcounts() {
+        let s = schema_et();
+        let e = s.relation("E").unwrap();
+        let mut db = Database::new(s);
+        assert!(db.insert(e, vec![7, 7]));
+        assert!(!db.insert(e, vec![7, 7]));
+        assert_eq!(db.active_domain_size(), 1);
+        assert!(!db.delete(e, &[7, 8]));
+        assert_eq!(db.active_domain_size(), 1);
+        assert!(db.delete(e, &[7, 7]));
+        assert_eq!(db.active_domain_size(), 0);
+        assert!(!db.delete(e, &[7, 7]));
+    }
+
+    #[test]
+    fn repeated_constant_in_tuple_counts_per_slot() {
+        let s = schema_et();
+        let e = s.relation("E").unwrap();
+        let t = s.relation("T").unwrap();
+        let mut db = Database::new(s);
+        db.insert(e, vec![3, 3]);
+        db.insert(t, vec![3]);
+        // Deleting the edge must keep 3 alive through T(3).
+        db.delete(e, &[3, 3]);
+        assert_eq!(db.active_domain_size(), 1);
+    }
+
+    #[test]
+    fn apply_updates() {
+        let s = schema_et();
+        let e = s.relation("E").unwrap();
+        let mut db = Database::new(s);
+        let ups = vec![
+            Update::Insert(e, vec![1, 2]),
+            Update::Insert(e, vec![1, 2]),
+            Update::Delete(e, vec![1, 2]),
+        ];
+        assert_eq!(db.apply_all(&ups), 2);
+        assert_eq!(db.cardinality(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Hash indexes on column subsets.
+//!
+//! The recompute baseline builds one-shot indexes per evaluation; the IVM
+//! baseline maintains them incrementally as tuples arrive and leave. An
+//! index on columns `cols` of a relation maps each projection
+//! `(t[c₁],…,t[c_m])` to the list of matching tuples.
+
+use crate::{Const, Relation, Tuple};
+use cqu_common::FxHashMap;
+
+/// A hash index on a subset of a relation's columns.
+#[derive(Debug, Clone)]
+pub struct Index {
+    cols: Vec<usize>,
+    map: FxHashMap<Vec<Const>, Vec<Tuple>>,
+}
+
+impl Index {
+    /// Creates an empty index on the given columns.
+    pub fn new(cols: Vec<usize>) -> Self {
+        Index { cols, map: FxHashMap::default() }
+    }
+
+    /// Builds an index over the current contents of `relation`.
+    pub fn build(relation: &Relation, cols: Vec<usize>) -> Self {
+        let mut idx = Index::new(cols);
+        for t in relation.iter() {
+            idx.insert(t.clone());
+        }
+        idx
+    }
+
+    /// The indexed columns.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Projects `tuple` onto the indexed columns.
+    pub fn key_of(&self, tuple: &[Const]) -> Vec<Const> {
+        self.cols.iter().map(|&c| tuple[c]).collect()
+    }
+
+    /// Adds a tuple to the index (used by maintained indexes).
+    pub fn insert(&mut self, tuple: Tuple) {
+        let key = self.key_of(&tuple);
+        self.map.entry(key).or_default().push(tuple);
+    }
+
+    /// Removes a tuple from the index; returns `true` if it was present.
+    pub fn remove(&mut self, tuple: &[Const]) -> bool {
+        let key = self.key_of(tuple);
+        if let Some(bucket) = self.map.get_mut(&key) {
+            if let Some(pos) = bucket.iter().position(|t| t == tuple) {
+                bucket.swap_remove(pos);
+                if bucket.is_empty() {
+                    self.map.remove(&key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Looks up all tuples whose projection equals `key`.
+    pub fn probe(&self, key: &[Const]) -> &[Tuple] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_probe() {
+        let mut r = Relation::new(2);
+        r.insert(vec![1, 10]);
+        r.insert(vec![1, 11]);
+        r.insert(vec![2, 20]);
+        let idx = Index::build(&r, vec![0]);
+        let mut hits: Vec<Tuple> = idx.probe(&[1]).to_vec();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![vec![1, 10], vec![1, 11]]);
+        assert_eq!(idx.probe(&[2]).len(), 1);
+        assert!(idx.probe(&[3]).is_empty());
+        assert_eq!(idx.num_keys(), 2);
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let mut r = Relation::new(3);
+        r.insert(vec![1, 2, 3]);
+        r.insert(vec![1, 2, 4]);
+        r.insert(vec![1, 3, 5]);
+        let idx = Index::build(&r, vec![0, 1]);
+        assert_eq!(idx.probe(&[1, 2]).len(), 2);
+        assert_eq!(idx.probe(&[1, 3]).len(), 1);
+        assert_eq!(idx.key_of(&[7, 8, 9]), vec![7, 8]);
+    }
+
+    #[test]
+    fn maintained_insert_remove() {
+        let mut idx = Index::new(vec![1]);
+        idx.insert(vec![1, 5]);
+        idx.insert(vec![2, 5]);
+        assert_eq!(idx.probe(&[5]).len(), 2);
+        assert!(idx.remove(&[1, 5]));
+        assert_eq!(idx.probe(&[5]).len(), 1);
+        assert!(!idx.remove(&[1, 5]));
+        assert!(idx.remove(&[2, 5]));
+        assert_eq!(idx.num_keys(), 0);
+    }
+
+    #[test]
+    fn empty_column_index_acts_as_scan() {
+        let mut r = Relation::new(2);
+        r.insert(vec![1, 2]);
+        r.insert(vec![3, 4]);
+        let idx = Index::build(&r, vec![]);
+        assert_eq!(idx.probe(&[]).len(), 2);
+    }
+}

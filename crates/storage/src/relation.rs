@@ -1,0 +1,105 @@
+//! A relation instance: a finite set of tuples of fixed arity.
+
+use crate::{Const, Tuple};
+use cqu_common::FxHashSet;
+
+/// A relation instance under set semantics.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: FxHashSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation { arity, tuples: FxHashSet::default() }
+    }
+
+    /// The relation's arity.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Returns `true` if the relation holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Returns `true` if `tuple` is present.
+    #[inline]
+    pub fn contains(&self, tuple: &[Const]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        self.tuples.contains(tuple)
+    }
+
+    /// Inserts `tuple`; returns `true` iff the relation changed
+    /// (set semantics: re-inserting an existing tuple is a no-op).
+    ///
+    /// # Panics
+    /// Panics if the tuple's length differs from the relation's arity.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        self.tuples.insert(tuple)
+    }
+
+    /// Deletes `tuple`; returns `true` iff the relation changed.
+    pub fn delete(&mut self, tuple: &[Const]) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        self.tuples.remove(tuple)
+    }
+
+    /// Iterates over all tuples (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// All tuples, sorted lexicographically (for deterministic output).
+    pub fn sorted(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_semantics() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(vec![1, 2]));
+        assert!(!r.insert(vec![1, 2]), "duplicate insert is a no-op");
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[1, 2]));
+        assert!(!r.contains(&[2, 1]));
+        assert!(r.delete(&[1, 2]));
+        assert!(!r.delete(&[1, 2]), "deleting absent tuple is a no-op");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut r = Relation::new(2);
+        r.insert(vec![1]);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut r = Relation::new(1);
+        for v in [5, 3, 9, 1] {
+            r.insert(vec![v]);
+        }
+        assert_eq!(r.sorted(), vec![vec![1], vec![3], vec![5], vec![9]]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Deterministic pseudo-random workload generators.
+//!
+//! The experiment harness (crate `cqu-bench`) measures update time, delay,
+//! and counting time as functions of the active-domain size `n`. These
+//! generators produce the update streams: bulk loads of distinct random
+//! tuples, mixed insert/delete churn that keeps the database size roughly
+//! stationary, and skewed (Zipf) constant choices to exercise hot keys.
+
+use crate::{Const, Update};
+use cqu_common::FxHashSet;
+use cqu_query::{RelId, Schema};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG for reproducible workloads.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Generates `count` *distinct* random insertions into `rel` with constants
+/// drawn uniformly from `1..=domain`.
+pub fn random_inserts(
+    rng: &mut SmallRng,
+    rel: RelId,
+    arity: usize,
+    domain: Const,
+    count: usize,
+) -> Vec<Update> {
+    assert!(
+        (domain as u128).pow(arity as u32) >= count as u128,
+        "domain too small for {count} distinct tuples"
+    );
+    let mut seen: FxHashSet<Vec<Const>> = FxHashSet::default();
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let t: Vec<Const> = (0..arity).map(|_| rng.gen_range(1..=domain)).collect();
+        if seen.insert(t.clone()) {
+            out.push(Update::Insert(rel, t));
+        }
+    }
+    out
+}
+
+/// Configuration for [`churn_updates`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnConfig {
+    /// Constants are drawn from `1..=domain`.
+    pub domain: Const,
+    /// Probability of an insert (vs a delete of a live tuple) per step.
+    pub insert_bias: f64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig { domain: 1000, insert_bias: 0.5 }
+    }
+}
+
+/// Generates a stream of `steps` *effective* updates over all relations of
+/// `schema`: inserts of fresh random tuples and deletes of currently live
+/// ones, so every command changes the database when replayed in order onto
+/// a database that starts empty (or that already contains `live` tuples).
+pub fn churn_updates(
+    rng: &mut SmallRng,
+    schema: &Schema,
+    steps: usize,
+    cfg: ChurnConfig,
+) -> Vec<Update> {
+    let rels: Vec<RelId> = schema.relations().collect();
+    let mut live: Vec<Vec<Vec<Const>>> = vec![Vec::new(); rels.len()];
+    let mut live_set: Vec<FxHashSet<Vec<Const>>> = vec![FxHashSet::default(); rels.len()];
+    let mut out = Vec::with_capacity(steps);
+    let total_live = |live: &Vec<Vec<Vec<Const>>>| live.iter().map(Vec::len).sum::<usize>();
+    while out.len() < steps {
+        let do_insert = total_live(&live) == 0 || rng.gen_bool(cfg.insert_bias);
+        if do_insert {
+            let ri = rng.gen_range(0..rels.len());
+            let arity = schema.arity(rels[ri]);
+            let t: Vec<Const> = (0..arity).map(|_| rng.gen_range(1..=cfg.domain)).collect();
+            if live_set[ri].insert(t.clone()) {
+                live[ri].push(t.clone());
+                out.push(Update::Insert(rels[ri], t));
+            }
+        } else {
+            // Delete from a uniformly random nonempty relation.
+            let nonempty: Vec<usize> =
+                (0..rels.len()).filter(|&i| !live[i].is_empty()).collect();
+            let ri = nonempty[rng.gen_range(0..nonempty.len())];
+            let pos = rng.gen_range(0..live[ri].len());
+            let t = live[ri].swap_remove(pos);
+            live_set[ri].remove(&t);
+            out.push(Update::Delete(rels[ri], t));
+        }
+    }
+    out
+}
+
+/// Samples from a Zipf-like distribution over `1..=n` with exponent `s`
+/// using inverse-CDF on a precomputed table.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for support `1..=n` and skew `s ≥ 0`
+    /// (`s = 0` is uniform; larger `s` is more skewed).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cdf.push(total);
+        }
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a sample in `1..=n`.
+    pub fn sample(&self, rng: &mut SmallRng) -> Const {
+        let u: f64 = rng.gen();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()) as Const,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Database;
+
+    fn schema_rst() -> Schema {
+        let mut s = Schema::new();
+        s.intern("R", 2).unwrap();
+        s.intern("S", 2).unwrap();
+        s.intern("T", 1).unwrap();
+        s
+    }
+
+    #[test]
+    fn random_inserts_are_distinct_and_in_domain() {
+        let mut r = rng(42);
+        let ups = random_inserts(&mut r, RelId(0), 2, 50, 200);
+        assert_eq!(ups.len(), 200);
+        let mut seen = FxHashSet::default();
+        for u in &ups {
+            assert!(u.is_insert());
+            assert!(u.tuple().iter().all(|&c| (1..=50).contains(&c)));
+            assert!(seen.insert(u.tuple().to_vec()), "duplicate tuple generated");
+        }
+    }
+
+    #[test]
+    fn churn_is_always_effective() {
+        let schema = schema_rst();
+        let mut r = rng(7);
+        let ups = churn_updates(&mut r, &schema, 2000, ChurnConfig { domain: 30, insert_bias: 0.5 });
+        assert_eq!(ups.len(), 2000);
+        let mut db = Database::new(schema);
+        for (i, u) in ups.iter().enumerate() {
+            assert!(db.apply(u), "update {i} was a no-op: {u:?}");
+        }
+    }
+
+    #[test]
+    fn churn_deterministic_under_seed() {
+        let schema = schema_rst();
+        let a = churn_updates(&mut rng(9), &schema, 500, ChurnConfig::default());
+        let b = churn_updates(&mut rng(9), &schema, 500, ChurnConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zipf_skews_towards_small_values() {
+        let z = Zipf::new(100, 1.2);
+        let mut r = rng(3);
+        let mut small = 0;
+        let samples = 10_000;
+        for _ in 0..samples {
+            let v = z.sample(&mut r);
+            assert!((1..=100).contains(&v));
+            if v <= 10 {
+                small += 1;
+            }
+        }
+        assert!(small > samples / 2, "zipf(1.2) should concentrate on small values: {small}");
+    }
+
+    #[test]
+    fn zipf_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = rng(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[(z.sample(&mut r) - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 1000, "uniform bucket too small: {counts:?}");
+        }
+    }
+}

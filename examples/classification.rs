@@ -1,0 +1,65 @@
+//! Walk through the paper's query zoo with the dichotomy classifier:
+//! hierarchical vs q-hierarchical, homomorphic cores, q-trees, free-connex
+//! membership, and the tractability verdicts of Theorems 1.1–1.3.
+//!
+//! ```text
+//! cargo run --example classification
+//! ```
+
+use cq_updates::prelude::*;
+use cq_updates::query::acyclic::{is_acyclic, is_free_connex};
+use cq_updates::query::hierarchical::{is_hierarchical, is_q_hierarchical};
+use cq_updates::query::hypergraph::connected_components;
+use cq_updates::query::qtree::QTree;
+
+fn main() {
+    let zoo: &[(&str, &str)] = &[
+        // The paper's running examples (Section 3).
+        ("ϕ_S-E-T, Eq. (2)", "Q(x, y) :- S(x), E(x, y), T(y)."),
+        ("ϕ'_S-E-T, Eq. (3)", "Q() :- S(x), E(x, y), T(y)."),
+        ("ϕ_E-T, Eq. (4)", "Q(x) :- E(x, y), T(y)."),
+        ("∃x swap of ϕ_E-T", "Q(y) :- E(x, y), T(y)."),
+        // Section 3's core example: ϕ vs its core ∃x Exx.
+        ("loop closure", "Q() :- E(x,x), E(x,y), E(y,y)."),
+        // Section 7's open self-join pair.
+        ("ϕ1", "Q(x, y) :- E(x,x), E(x,y), E(y,y)."),
+        ("ϕ2", "Q(x, y, z1, z2) :- E(x,x), E(x,y), E(y,y), E(z1,z2)."),
+        // Figure 1 and Example 6.1.
+        ("Figure 1", "Q(x1, x2, x3) :- E(x1,x2), R(x4,x1,x2,x1), R(x5,x3,x2,x1)."),
+        ("Example 6.1", "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z)."),
+        // The classical acyclic-but-not-free-connex query.
+        ("path projection", "Q(x, z) :- R(x, y), S(y, z)."),
+    ];
+
+    for (label, src) in zoo {
+        let q = parse_query(src).unwrap();
+        println!("── {label}\n   {q}");
+        println!(
+            "   hierarchical: {:5}  q-hierarchical: {:5}  acyclic: {:5}  free-connex: {:5}",
+            is_hierarchical(&q),
+            is_q_hierarchical(&q),
+            is_acyclic(&q),
+            is_free_connex(&q)
+        );
+        let core = core_of(&q);
+        if core.atoms().len() != q.atoms().len() {
+            println!("   core: {core}");
+        }
+        let v = classify(&q);
+        println!("   enumerate: {}", v.enumeration);
+        println!("   count:     {}", v.counting);
+        println!("   boolean:   {}", v.boolean);
+        if is_q_hierarchical(&q) {
+            // Show the constructed q-tree(s), Lemma 4.2.
+            for comp in connected_components(&q) {
+                let tree = QTree::build(&q, &comp).unwrap();
+                print!("   q-tree:\n{}", indent(&tree.render(&q)));
+            }
+        }
+        println!();
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("     {l}\n")).collect()
+}

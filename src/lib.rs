@@ -1,0 +1,70 @@
+//! # cq-updates
+//!
+//! A Rust implementation of **Answering Conjunctive Queries under Updates**
+//! (Christoph Berkholz, Jens Keppeler, Nicole Schweikardt; PODS 2017,
+//! arXiv:1702.06370).
+//!
+//! The paper classifies conjunctive queries by whether their results can be
+//! maintained under single-tuple inserts and deletes. Its central notion is
+//! the **q-hierarchical** query: for such queries a data structure exists
+//! with linear preprocessing, *constant* update time, *constant-delay*
+//! enumeration and O(1) counting — and (conditionally on the OMv and OV
+//! conjectures) for everything else no such structure can exist.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`query`] — query AST/parser, q-hierarchical checks, q-trees, cores,
+//!   and the dichotomy classifier (`cqu-query`).
+//! * [`storage`] — databases, updates, indexes, workloads (`cqu-storage`).
+//! * [`dynamic`] — the paper's dynamic engine (`cqu-dynamic`).
+//! * [`baseline`] — recompute / IVM / semi-join comparators
+//!   (`cqu-baseline`).
+//! * [`lowerbounds`] — OMv/OuMv/OV and the hardness reductions
+//!   (`cqu-lowerbounds`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cq_updates::prelude::*;
+//!
+//! // ∃-free CQ over schema E/2, T/1; head variables are the output.
+//! let q = parse_query("Q(x, y) :- E(x, y), T(y).").unwrap();
+//!
+//! // The classifier implements the paper's Theorems 1.1–1.3.
+//! let verdicts = classify(&q);
+//! assert!(verdicts.enumeration.is_tractable());
+//!
+//! // Build the dynamic engine (rejects non-q-hierarchical queries).
+//! let mut engine = QhEngine::new(&q, &Database::new(q.schema().clone())).unwrap();
+//! let e = q.schema().relation("E").unwrap();
+//! let t = q.schema().relation("T").unwrap();
+//!
+//! engine.apply(&Update::Insert(e, vec![1, 2]));
+//! engine.apply(&Update::Insert(t, vec![2]));
+//! assert_eq!(engine.count(), 1);                       // O(1)
+//! assert_eq!(engine.results_sorted(), vec![vec![1, 2]]); // constant delay
+//!
+//! engine.apply(&Update::Delete(t, vec![2]));
+//! assert_eq!(engine.count(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cqu_baseline as baseline;
+pub use cqu_common as common;
+pub use cqu_dynamic as dynamic;
+pub use cqu_lowerbounds as lowerbounds;
+pub use cqu_query as query;
+pub use cqu_storage as storage;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use cqu_baseline::{DeltaIvmEngine, EngineKind, RecomputeEngine, SemiJoinEngine};
+    pub use cqu_dynamic::{selfjoin::Phi2Engine, DynamicEngine, QhEngine};
+    pub use cqu_query::classify::classify;
+    pub use cqu_query::{
+        core_of, parse_query, Classification, Query, QueryBuilder, QueryError, Schema, Var,
+        Verdict,
+    };
+    pub use cqu_storage::{Const, Database, Update, UpdateLog};
+}

@@ -1,0 +1,149 @@
+//! Structural complexity assertions that do not depend on wall-clock
+//! timing (those live in the benches): item counts are linear in the
+//! database, update work is independent of `n` by construction, and the
+//! O(1)-count register equals the enumerated cardinality at scale.
+
+use cq_updates::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn load_star(engine: &mut QhEngine, n: u64, seed: u64) {
+    let q = engine.query().clone();
+    let r = q.schema().relation("R").unwrap();
+    let s = q.schema().relation("S").unwrap();
+    let t = q.schema().relation("T").unwrap();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for x in 1..=n / 4 {
+        engine.apply(&Update::Insert(t, vec![x]));
+        for _ in 0..3 {
+            engine.apply(&Update::Insert(r, vec![x, n + rng.gen_range(1..=n)]));
+            engine.apply(&Update::Insert(s, vec![x, 2 * n + rng.gen_range(1..=n)]));
+        }
+    }
+}
+
+#[test]
+fn item_count_linear_in_database() {
+    let q = parse_query("Q(x, y, z) :- R(x, y), S(x, z), T(x).").unwrap();
+    let mut prev_ratio = None;
+    for n in [1_000u64, 4_000, 16_000] {
+        let mut engine = QhEngine::new(&q, &Database::new(q.schema().clone())).unwrap();
+        load_star(&mut engine, n, 3);
+        let facts = engine.database().cardinality();
+        let items = engine.num_items();
+        let ratio = items as f64 / facts as f64;
+        // Each fact creates at most ‖ϕ‖ items; the ratio must be bounded
+        // and stable across n (linearity).
+        assert!(ratio < 3.0, "n={n}: ratio {ratio}");
+        if let Some(prev) = prev_ratio {
+            let drift: f64 = ratio / prev;
+            assert!((0.5..2.0).contains(&drift), "n={n}: ratio drifted {prev} -> {ratio}");
+        }
+        prev_ratio = Some(ratio);
+    }
+}
+
+#[test]
+fn count_register_matches_enumeration_at_scale() {
+    let q = parse_query("Q(x, y, z) :- R(x, y), S(x, z), T(x).").unwrap();
+    let mut engine = QhEngine::new(&q, &Database::new(q.schema().clone())).unwrap();
+    load_star(&mut engine, 8_000, 4);
+    let count = engine.count();
+    assert!(count > 1_000, "workload should produce a large result, got {count}");
+    let enumerated = engine.enumerate().count() as u64;
+    assert_eq!(count, enumerated);
+    // And again after churn.
+    let r = q.schema().relation("R").unwrap();
+    let mut rng = SmallRng::seed_from_u64(5);
+    for _ in 0..2_000 {
+        let x = rng.gen_range(1..=2_000u64);
+        let y = 8_000 + rng.gen_range(1..=8_000);
+        let u = if rng.gen_bool(0.5) {
+            Update::Insert(r, vec![x, y])
+        } else {
+            Update::Delete(r, vec![x, y])
+        };
+        engine.apply(&u);
+    }
+    assert_eq!(engine.count(), engine.enumerate().count() as u64);
+}
+
+#[test]
+fn quantified_count_deduplicates_at_scale() {
+    // Q(x) :- ∃y R(x, y) with many y per x: C̃ must count x's, not pairs.
+    let q = parse_query("Q(x) :- R(x, y).").unwrap();
+    let mut engine = QhEngine::new(&q, &Database::new(q.schema().clone())).unwrap();
+    let r = q.schema().relation("R").unwrap();
+    for x in 1..=500u64 {
+        for y in 1..=20u64 {
+            engine.apply(&Update::Insert(r, vec![x, 1_000 + y]));
+        }
+    }
+    assert_eq!(engine.count(), 500);
+    assert_eq!(engine.database().cardinality(), 10_000);
+    // Delete 19 of 20 partners of each x: count unchanged.
+    for x in 1..=500u64 {
+        for y in 2..=20u64 {
+            engine.apply(&Update::Delete(r, vec![x, 1_000 + y]));
+        }
+    }
+    assert_eq!(engine.count(), 500);
+    for x in 1..=500u64 {
+        engine.apply(&Update::Delete(r, vec![x, 1_001]));
+    }
+    assert_eq!(engine.count(), 0);
+    assert_eq!(engine.num_items(), 0);
+}
+
+#[test]
+fn enumeration_delay_is_output_sensitive() {
+    // With a huge database but a tiny result, the first tuple (or EOE) must
+    // not require scanning the data: we check this structurally by timing
+    // nothing — just that enumeration of an empty result terminates
+    // immediately even though the database is large.
+    let q = parse_query("Q(x, y) :- E(x, y), T(y).").unwrap();
+    let mut engine = QhEngine::new(&q, &Database::new(q.schema().clone())).unwrap();
+    let e = q.schema().relation("E").unwrap();
+    for i in 0..50_000u64 {
+        engine.apply(&Update::Insert(e, vec![i, i + 1]));
+    }
+    // No T facts: the result is empty, the start list is empty, and the
+    // iterator must yield None on the first call.
+    assert_eq!(engine.count(), 0);
+    let mut iter = engine.enumerate();
+    assert!(iter.next().is_none());
+}
+
+#[test]
+fn update_work_is_constant_in_database_size() {
+    // The timing-free version of "constant update time": the number of
+    // item visits per update is bounded by a query-dependent constant,
+    // no matter how large the database grows.
+    let q = parse_query("Q(x, y, z) :- R(x, y), S(x, z), T(x).").unwrap();
+    let r = q.schema().relation("R").unwrap();
+    let mut max_work_per_n = Vec::new();
+    for n in [1_000u64, 8_000, 64_000] {
+        let mut engine = QhEngine::new(&q, &Database::new(q.schema().clone())).unwrap();
+        load_star(&mut engine, n, 6);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut max_work = 0;
+        for _ in 0..500 {
+            let x = rng.gen_range(1..=n / 4);
+            let y = n + rng.gen_range(1..=n);
+            let u = if rng.gen_bool(0.5) {
+                Update::Insert(r, vec![x, y])
+            } else {
+                Update::Delete(r, vec![x, y])
+            };
+            if engine.apply(&u) {
+                max_work = max_work.max(engine.last_update_work());
+            }
+        }
+        max_work_per_n.push(max_work);
+    }
+    // Identical bound across three orders of magnitude of n.
+    assert_eq!(max_work_per_n[0], max_work_per_n[1]);
+    assert_eq!(max_work_per_n[1], max_work_per_n[2]);
+    // And small in absolute terms: the R-atom's path has 2 nodes.
+    assert!(max_work_per_n[0] <= 8, "work {max_work_per_n:?}");
+}

@@ -1,0 +1,155 @@
+//! Cross-engine integration tests: the paper's dynamic engine, the
+//! recompute baseline, delta-IVM, and the semi-join baseline must agree
+//! with each other (and with a brute-force oracle) on randomized update
+//! scripts, across easy and hard queries.
+
+use cq_updates::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Brute-force ϕ(D) by backtracking over atoms.
+fn brute_force(q: &Query, db: &Database) -> Vec<Vec<Const>> {
+    fn go(
+        q: &Query,
+        db: &Database,
+        idx: usize,
+        assign: &mut std::collections::BTreeMap<Var, Const>,
+        out: &mut std::collections::BTreeSet<Vec<Const>>,
+    ) {
+        if idx == q.atoms().len() {
+            out.insert(q.free().iter().map(|v| assign[v]).collect());
+            return;
+        }
+        let atom = &q.atoms()[idx];
+        let facts: Vec<Vec<Const>> = db.relation(atom.relation).iter().cloned().collect();
+        for fact in facts {
+            let mut bound = Vec::new();
+            let mut ok = true;
+            for (pos, &v) in atom.args.iter().enumerate() {
+                match assign.get(&v) {
+                    Some(&c) if c != fact[pos] => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        assign.insert(v, fact[pos]);
+                        bound.push(v);
+                    }
+                }
+            }
+            if ok {
+                go(q, db, idx + 1, assign, out);
+            }
+            for v in bound {
+                assign.remove(&v);
+            }
+        }
+    }
+    let mut out = std::collections::BTreeSet::new();
+    go(q, db, 0, &mut std::collections::BTreeMap::new(), &mut out);
+    out.into_iter().collect()
+}
+
+fn random_script(q: &Query, seed: u64, steps: usize, domain: u64) -> Vec<Update> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let rels: Vec<_> = q.schema().relations().collect();
+    (0..steps)
+        .map(|_| {
+            let rel = rels[rng.gen_range(0..rels.len())];
+            let arity = q.schema().arity(rel);
+            let t: Vec<Const> = (0..arity).map(|_| rng.gen_range(1..=domain)).collect();
+            if rng.gen_bool(0.6) {
+                Update::Insert(rel, t)
+            } else {
+                Update::Delete(rel, t)
+            }
+        })
+        .collect()
+}
+
+fn run_all_engines(src: &str, seed: u64, steps: usize, domain: u64) {
+    let q = parse_query(src).unwrap();
+    let db0 = Database::new(q.schema().clone());
+    let mut engines: Vec<(&str, Box<dyn DynamicEngine>)> = EngineKind::all()
+        .into_iter()
+        .filter_map(|k| k.build(&q, &db0).map(|e| (k.name(), e)))
+        .collect();
+    assert!(!engines.is_empty());
+    let mut oracle_db = Database::new(q.schema().clone());
+    for (step, u) in random_script(&q, seed, steps, domain).into_iter().enumerate() {
+        let oracle_changed = oracle_db.apply(&u);
+        for (name, e) in engines.iter_mut() {
+            assert_eq!(e.apply(&u), oracle_changed, "{src}: {name} effectiveness @{step}");
+        }
+        if step % 11 == 0 || step == steps - 1 {
+            let expected = brute_force(&q, &oracle_db);
+            for (name, e) in engines.iter() {
+                assert_eq!(e.results_sorted(), expected, "{src}: {name} result @{step}");
+                assert_eq!(e.count() as usize, expected.len(), "{src}: {name} count @{step}");
+                assert_eq!(e.is_nonempty(), !expected.is_empty(), "{src}: {name} @{step}");
+            }
+        }
+    }
+}
+
+#[test]
+fn easy_queries_all_engines() {
+    run_all_engines("Q(x, y) :- E(x, y), T(y).", 1, 150, 5);
+    run_all_engines("Q(x, y, z) :- R(x, y), S(x, z), T(x).", 2, 150, 4);
+    run_all_engines("Q(x) :- E(x, y).", 3, 120, 5);
+    run_all_engines("Q() :- E(x, y), T(y).", 4, 120, 4);
+}
+
+#[test]
+fn hard_queries_baselines_only() {
+    // The qh engine refuses these; the baselines must still agree.
+    run_all_engines("Q(x, y) :- S(x), E(x, y), T(y).", 5, 150, 4);
+    run_all_engines("Q(x) :- E(x, y), T(y).", 6, 150, 5);
+    run_all_engines("Q(x, z) :- R(x, y), S(y, z).", 7, 120, 4);
+}
+
+#[test]
+fn self_join_queries() {
+    run_all_engines("Q(a) :- R(a, b), R(a, a).", 8, 150, 4);
+    run_all_engines("Q(x, y) :- E(x, x), E(x, y), E(y, y).", 9, 150, 4);
+}
+
+#[test]
+fn disconnected_queries() {
+    run_all_engines("Q(x, z) :- R(x), S(z).", 10, 120, 5);
+    run_all_engines("Q(x) :- R(x), S(u, v).", 11, 120, 4);
+}
+
+#[test]
+fn example_6_1_under_random_churn() {
+    run_all_engines(
+        "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).",
+        12,
+        120,
+        3,
+    );
+}
+
+#[test]
+fn phi2_amortised_engine_agrees_with_recompute() {
+    let q2 = parse_query("Q(x, y, z1, z2) :- E(x,x), E(x,y), E(y,y), E(z1,z2).").unwrap();
+    let er = q2.schema().relation("E").unwrap();
+    let mut amort = Phi2Engine::new();
+    let mut rec = RecomputeEngine::empty(&q2);
+    let mut rng = SmallRng::seed_from_u64(13);
+    for step in 0..300 {
+        let a = rng.gen_range(1..=5u64);
+        let b = if rng.gen_bool(0.4) { a } else { rng.gen_range(1..=5u64) };
+        let u = if rng.gen_bool(0.6) {
+            Update::Insert(er, vec![a, b])
+        } else {
+            Update::Delete(er, vec![a, b])
+        };
+        assert_eq!(amort.apply(&u), rec.apply(&u), "@{step}");
+        if step % 9 == 0 {
+            assert_eq!(amort.results_sorted(), rec.results_sorted(), "@{step}");
+            assert_eq!(amort.is_nonempty(), rec.is_nonempty(), "@{step}");
+        }
+    }
+}
