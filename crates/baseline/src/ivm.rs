@@ -49,14 +49,17 @@ impl DeltaIvmEngine {
 
     /// Builds the engine over the empty database.
     pub fn empty(query: &Query) -> Self {
-        let delta_plans: Vec<JoinPlan> =
-            (0..query.atoms().len()).map(|i| JoinPlan::new(query, Some(i))).collect();
+        let delta_plans: Vec<JoinPlan> = (0..query.atoms().len())
+            .map(|i| JoinPlan::new(query, Some(i)))
+            .collect();
         let mut indexes: FxHashMap<(u32, Vec<usize>), Index> = FxHashMap::default();
         for plan in &delta_plans {
             for (step, &aid) in plan.order.iter().enumerate() {
                 let rel = query.atom(aid).relation;
                 let cols = plan.key_cols[step].clone();
-                indexes.entry((rel.0, cols.clone())).or_insert_with(|| Index::new(cols));
+                indexes
+                    .entry((rel.0, cols.clone()))
+                    .or_insert_with(|| Index::new(cols));
             }
         }
         DeltaIvmEngine {
@@ -105,16 +108,22 @@ impl DeltaIvmEngine {
         delta: &mut FxHashMap<Vec<Const>, u64>,
     ) {
         if step == plan.order.len() {
-            let tuple: Vec<Const> =
-                self.query.free().iter().map(|v| assign[v.index()].unwrap()).collect();
+            let tuple: Vec<Const> = self
+                .query
+                .free()
+                .iter()
+                .map(|v| assign[v.index()].unwrap())
+                .collect();
             *delta.entry(tuple).or_insert(0) += 1;
             return;
         }
         let aid = plan.order[step];
         let atom = self.query.atom(aid);
         let cols = &plan.key_cols[step];
-        let key: Vec<Const> =
-            cols.iter().map(|&p| assign[atom.args[p].index()].unwrap()).collect();
+        let key: Vec<Const> = cols
+            .iter()
+            .map(|&p| assign[atom.args[p].index()].unwrap())
+            .collect();
 
         let try_fact = |this: &Self,
                         fact: &[Const],
@@ -155,7 +164,9 @@ impl DeltaIvmEngine {
         }
         // "New"-state atoms (body index > fixed) additionally see `t`.
         if aid > fixed && atom.relation == rel {
-            let matches_key = cols.iter().all(|&p| t[p] == assign[atom.args[p].index()].unwrap());
+            let matches_key = cols
+                .iter()
+                .all(|&p| t[p] == assign[atom.args[p].index()].unwrap());
             if matches_key {
                 try_fact(self, t, assign, delta);
             }
@@ -168,7 +179,10 @@ impl DeltaIvmEngine {
             if positive {
                 *self.support.entry(tuple).or_insert(0) += n;
             } else {
-                let entry = self.support.get_mut(&tuple).expect("negative delta on absent tuple");
+                let entry = self
+                    .support
+                    .get_mut(&tuple)
+                    .expect("negative delta on absent tuple");
                 assert!(*entry >= n, "support underflow");
                 *entry -= n;
                 if *entry == 0 {
@@ -242,12 +256,7 @@ mod tests {
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
-    fn random_script(
-        q: &Query,
-        seed: u64,
-        steps: usize,
-        domain: u64,
-    ) -> Vec<Update> {
+    fn random_script(q: &Query, seed: u64, steps: usize, domain: u64) -> Vec<Update> {
         let mut rng = SmallRng::seed_from_u64(seed);
         let rels: Vec<_> = q.schema().relations().collect();
         (0..steps)

@@ -44,8 +44,7 @@ impl JoinPlan {
                 .iter()
                 .enumerate()
                 .map(|(pos, &a)| {
-                    let shared =
-                        q.atom(a).vars().iter().filter(|v| bound[v.index()]).count();
+                    let shared = q.atom(a).vars().iter().filter(|v| bound[v.index()]).count();
                     (pos, shared)
                 })
                 .max_by(|(pa, sa), (pb, sb)| sa.cmp(sb).then(pb.cmp(pa)))
@@ -92,7 +91,12 @@ impl<'a> JoinEvaluator<'a> {
     /// Prepares an evaluation of `q` over `db`.
     pub fn new(q: &'a Query, db: &'a Database) -> Self {
         let plan = JoinPlan::new(q, None);
-        JoinEvaluator { q, db, plan, indexes: FxHashMap::default() }
+        JoinEvaluator {
+            q,
+            db,
+            plan,
+            indexes: FxHashMap::default(),
+        }
     }
 
     /// All distinct result tuples, sorted.
@@ -163,8 +167,10 @@ impl<'a> JoinEvaluator<'a> {
         let aid = plan.order[step];
         let atom = self.q.atom(aid);
         let cols = &plan.key_cols[step];
-        let key: Vec<Const> =
-            cols.iter().map(|&p| assign[atom.args[p].index()].unwrap()).collect();
+        let key: Vec<Const> = cols
+            .iter()
+            .map(|&p| assign[atom.args[p].index()].unwrap())
+            .collect();
         let index = &self.indexes[&(atom.relation.0, cols.clone())];
         for fact in index.probe(&key) {
             let mut bound: Vec<Var> = Vec::new();
@@ -182,8 +188,7 @@ impl<'a> JoinEvaluator<'a> {
                     }
                 }
             }
-            let keep_going = !ok
-                || self.recurse(plan, step + 1, assign, free, out_buf, emit);
+            let keep_going = !ok || self.recurse(plan, step + 1, assign, free, out_buf, emit);
             for v in bound {
                 assign[v.index()] = None;
             }
@@ -267,10 +272,7 @@ mod tests {
         for (a, b) in [(1, 1), (2, 2), (1, 2), (2, 3)] {
             db.insert(e, vec![a, b]);
         }
-        assert_eq!(
-            evaluate(&q, &db),
-            vec![vec![1, 1], vec![1, 2], vec![2, 2]]
-        );
+        assert_eq!(evaluate(&q, &db), vec![vec![1, 1], vec![1, 2], vec![2, 2]]);
     }
 
     #[test]

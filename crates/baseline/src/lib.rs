@@ -18,7 +18,6 @@
 //! [`cqu_dynamic::QhEngine`] rejects; the benchmarks measure exactly how
 //! much that generality costs per update/request as `n` grows.
 
-
 #![warn(missing_docs)]
 pub mod ivm;
 pub mod join;
@@ -31,7 +30,7 @@ pub use naive::RecomputeEngine;
 pub use semijoin::SemiJoinEngine;
 
 use cqu_dynamic::{DynamicEngine, QhEngine};
-use cqu_query::Query;
+use cqu_query::{Query, QueryError};
 use cqu_storage::Database;
 
 /// Every engine in the workspace, for harnesses that sweep over them.
@@ -58,16 +57,29 @@ impl EngineKind {
         }
     }
 
-    /// Instantiates the engine over `db0`, if the engine supports `q`
-    /// (the q-hierarchical engine refuses hard queries).
-    pub fn build(self, q: &Query, db0: &Database) -> Option<Box<dyn DynamicEngine>> {
+    /// Instantiates the engine over `db0`.
+    ///
+    /// The q-hierarchical engine refuses hard queries; the error carries
+    /// the Definition 3.1 violation witness
+    /// ([`QueryError::NotQHierarchical`]). The baselines accept every CQ.
+    pub fn build(self, q: &Query, db0: &Database) -> Result<Box<dyn DynamicEngine>, QueryError> {
         match self {
             EngineKind::QHierarchical => {
-                QhEngine::new(q, db0).ok().map(|e| Box::new(e) as Box<dyn DynamicEngine>)
+                QhEngine::new(q, db0).map(|e| Box::new(e) as Box<dyn DynamicEngine>)
             }
-            EngineKind::Recompute => Some(Box::new(RecomputeEngine::new(q, db0))),
-            EngineKind::DeltaIvm => Some(Box::new(DeltaIvmEngine::new(q, db0))),
-            EngineKind::SemiJoin => Some(Box::new(SemiJoinEngine::new(q, db0))),
+            EngineKind::Recompute => Ok(Box::new(RecomputeEngine::new(q, db0))),
+            EngineKind::DeltaIvm => Ok(Box::new(DeltaIvmEngine::new(q, db0))),
+            EngineKind::SemiJoin => Ok(Box::new(SemiJoinEngine::new(q, db0))),
+        }
+    }
+
+    /// Whether this engine kind admits `q` at all.
+    pub fn supports(self, q: &Query) -> bool {
+        match self {
+            EngineKind::QHierarchical => {
+                cqu_query::hierarchical::q_hierarchical_violation(q).is_none()
+            }
+            _ => true,
         }
     }
 
@@ -95,10 +107,15 @@ mod tests {
         let db_easy = Database::new(easy.schema().clone());
         let db_hard = Database::new(hard.schema().clone());
         for kind in EngineKind::all() {
-            assert!(kind.build(&easy, &db_easy).is_some(), "{}", kind.name());
+            assert!(kind.build(&easy, &db_easy).is_ok(), "{}", kind.name());
+            assert!(kind.supports(&easy), "{}", kind.name());
         }
-        assert!(EngineKind::QHierarchical.build(&hard, &db_hard).is_none());
-        assert!(EngineKind::Recompute.build(&hard, &db_hard).is_some());
+        assert!(matches!(
+            EngineKind::QHierarchical.build(&hard, &db_hard),
+            Err(cqu_query::QueryError::NotQHierarchical(_))
+        ));
+        assert!(!EngineKind::QHierarchical.supports(&hard));
+        assert!(EngineKind::Recompute.build(&hard, &db_hard).is_ok());
     }
 
     #[test]

@@ -22,13 +22,19 @@ pub struct RecomputeEngine {
 impl RecomputeEngine {
     /// Builds the engine over an initial database.
     pub fn new(query: &Query, db0: &Database) -> Self {
-        RecomputeEngine { query: query.clone(), db: db0.clone() }
+        RecomputeEngine {
+            query: query.clone(),
+            db: db0.clone(),
+        }
     }
 
     /// Builds the engine over the empty database.
     pub fn empty(query: &Query) -> Self {
         let db = Database::new(query.schema().clone());
-        RecomputeEngine { query: query.clone(), db }
+        RecomputeEngine {
+            query: query.clone(),
+            db,
+        }
     }
 
     /// The current database.
@@ -55,7 +61,11 @@ impl DynamicEngine for RecomputeEngine {
     }
 
     fn enumerate<'a>(&'a self) -> Box<dyn Iterator<Item = Vec<Const>> + 'a> {
-        Box::new(JoinEvaluator::new(&self.query, &self.db).results().into_iter())
+        Box::new(
+            JoinEvaluator::new(&self.query, &self.db)
+                .results()
+                .into_iter(),
+        )
     }
 }
 

@@ -30,13 +30,21 @@ pub struct SemiJoinEngine {
 impl SemiJoinEngine {
     /// Builds the engine over an initial database.
     pub fn new(query: &Query, db0: &Database) -> Self {
-        SemiJoinEngine { query: query.clone(), db: db0.clone(), reduces: query.is_self_join_free() }
+        SemiJoinEngine {
+            query: query.clone(),
+            db: db0.clone(),
+            reduces: query.is_self_join_free(),
+        }
     }
 
     /// Builds the engine over the empty database.
     pub fn empty(query: &Query) -> Self {
         let db = Database::new(query.schema().clone());
-        SemiJoinEngine { query: query.clone(), db, reduces: query.is_self_join_free() }
+        SemiJoinEngine {
+            query: query.clone(),
+            db,
+            reduces: query.is_self_join_free(),
+        }
     }
 
     /// Returns the semi-join-reduced copy of the current database: every
@@ -76,7 +84,12 @@ impl SemiJoinEngine {
                         .map(|v| q.atom(aid).args.iter().position(|w| w == v).unwrap())
                         .collect()
                 };
-                pairs.push(Pair { a, b, cols_a: cols_of(a), cols_b: cols_of(b) });
+                pairs.push(Pair {
+                    a,
+                    b,
+                    cols_a: cols_of(a),
+                    cols_b: cols_of(b),
+                });
             }
         }
         loop {
@@ -127,7 +140,11 @@ impl DynamicEngine for SemiJoinEngine {
 
     fn enumerate<'a>(&'a self) -> Box<dyn Iterator<Item = Vec<Const>> + 'a> {
         let reduced = self.reduced_database();
-        Box::new(JoinEvaluator::new(&self.query, &reduced).results().into_iter())
+        Box::new(
+            JoinEvaluator::new(&self.query, &reduced)
+                .results()
+                .into_iter(),
+        )
     }
 }
 
@@ -172,7 +189,11 @@ mod tests {
                 let rel = rels[(i % rels.len() as u64) as usize];
                 let arity = q.schema().arity(rel);
                 let t: Vec<Const> = (0..arity).map(|p| (i * 3 + p as u64) % 5 + 1).collect();
-                let u = if i % 4 == 3 { Update::Delete(rel, t) } else { Update::Insert(rel, t) };
+                let u = if i % 4 == 3 {
+                    Update::Delete(rel, t)
+                } else {
+                    Update::Insert(rel, t)
+                };
                 assert_eq!(a.apply(&u), b.apply(&u));
             }
             assert_eq!(a.results_sorted(), b.results_sorted(), "{src}");

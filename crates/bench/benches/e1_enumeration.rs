@@ -12,28 +12,31 @@ use std::time::Duration;
 
 fn bench_updates(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_update_time");
-    group.sample_size(20).warm_up_time(Duration::from_millis(150)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(900));
     let q = star_query();
     for n in [1_000usize, 8_000, 64_000] {
         let db0 = star_database(n, 42);
         let churn = star_churn(n, 10_000, 7);
-        for kind in [EngineKind::QHierarchical, EngineKind::DeltaIvm, EngineKind::Recompute] {
+        for kind in [
+            EngineKind::QHierarchical,
+            EngineKind::DeltaIvm,
+            EngineKind::Recompute,
+        ] {
             let mut engine = kind.build(&q, &db0).unwrap();
             let mut pos = 0usize;
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        // One effective update per iteration; the churn
-                        // stream is long enough that wrap-around no-ops are
-                        // rare and visible only as noise.
-                        let u = &churn[pos % churn.len()];
-                        pos += 1;
-                        engine.apply(u)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    // One effective update per iteration; the churn
+                    // stream is long enough that wrap-around no-ops are
+                    // rare and visible only as noise.
+                    let u = &churn[pos % churn.len()];
+                    pos += 1;
+                    engine.apply(u)
+                })
+            });
         }
     }
     group.finish();
@@ -48,7 +51,11 @@ fn bench_delay(c: &mut Criterion) {
     let q = star_query();
     for n in [1_000usize, 8_000, 64_000] {
         let db0 = star_database(n, 42);
-        for kind in [EngineKind::QHierarchical, EngineKind::DeltaIvm, EngineKind::Recompute] {
+        for kind in [
+            EngineKind::QHierarchical,
+            EngineKind::DeltaIvm,
+            EngineKind::Recompute,
+        ] {
             let engine = kind.build(&q, &db0).unwrap();
             group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
                 b.iter(|| engine.enumerate().take(1_000).count())

@@ -10,12 +10,19 @@ use std::time::Duration;
 
 fn bench_count(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_count_latency");
-    group.sample_size(20).warm_up_time(Duration::from_millis(150)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(900));
     // Quantified star: Q(x) :- ∃y∃z R(x,y) ∧ S(x,z) ∧ T(x).
     let q = parse_query("Q(x) :- R(x, y), S(x, z), T(x).").unwrap();
     for n in [1_000usize, 8_000, 64_000] {
         let db0 = star_database(n, 43);
-        for kind in [EngineKind::QHierarchical, EngineKind::DeltaIvm, EngineKind::Recompute] {
+        for kind in [
+            EngineKind::QHierarchical,
+            EngineKind::DeltaIvm,
+            EngineKind::Recompute,
+        ] {
             let engine = kind.build(&q, &db0).unwrap();
             group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
                 b.iter(|| engine.count())
@@ -27,7 +34,10 @@ fn bench_count(c: &mut Criterion) {
 
 fn bench_update_then_count(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_update_plus_count");
-    group.sample_size(20).warm_up_time(Duration::from_millis(150)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(900));
     let q = parse_query("Q(x) :- R(x, y), S(x, z), T(x).").unwrap();
     for n in [1_000usize, 8_000, 64_000] {
         let db0 = star_database(n, 43);

@@ -50,7 +50,10 @@ fn load_matrix(engine: &mut dyn DynamicEngine, inst: &OuMvInstance) {
     for i in 0..n {
         for j in 0..n {
             if inst.matrix.get(i, j) {
-                engine.apply(&Update::Insert(e, vec![(i + 1) as Const, (n + j + 1) as Const]));
+                engine.apply(&Update::Insert(
+                    e,
+                    vec![(i + 1) as Const, (n + j + 1) as Const],
+                ));
             }
         }
     }
@@ -96,12 +99,16 @@ fn bench_rounds(c: &mut Criterion) {
             load_matrix(&mut engine, &inst);
             let mut prev = (Vec::new(), Vec::new());
             let mut t = 0usize;
-            group.bench_with_input(BenchmarkId::new("qh-dynamic/easy-sibling", n), &n, |b, _| {
-                b.iter(|| {
-                    t += 1;
-                    round(&mut engine, &inst, t, &mut prev)
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new("qh-dynamic/easy-sibling", n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        t += 1;
+                        round(&mut engine, &inst, t, &mut prev)
+                    })
+                },
+            );
         }
     }
     group.finish();

@@ -2,8 +2,8 @@
 //! amortised Lemma A.2 engine vs recompute: update cost and time to the
 //! first 1000 tuples.
 
-use cqu_dynamic::selfjoin::Phi2Engine;
 use cqu_baseline::RecomputeEngine;
+use cqu_dynamic::selfjoin::Phi2Engine;
 use cqu_dynamic::DynamicEngine;
 use cqu_query::parse_query;
 use cqu_storage::{Const, Update};
@@ -18,15 +18,21 @@ fn graph(n: usize, seed: u64) -> Vec<(Const, Const)> {
     (0..n)
         .map(|_| {
             let a = rng.gen_range(1..=dom);
-            let b = if rng.gen_bool(0.3) { a } else { rng.gen_range(1..=dom) };
+            let b = if rng.gen_bool(0.3) {
+                a
+            } else {
+                rng.gen_range(1..=dom)
+            };
             (a, b)
         })
         .collect()
 }
 
 fn engines(q2: &cqu_query::Query, n: usize) -> Vec<(&'static str, Box<dyn DynamicEngine>)> {
-    let mut out: Vec<(&'static str, Box<dyn DynamicEngine>)> =
-        vec![("phi2-amortised", Box::new(Phi2Engine::new()) as Box<dyn DynamicEngine>)];
+    let mut out: Vec<(&'static str, Box<dyn DynamicEngine>)> = vec![(
+        "phi2-amortised",
+        Box::new(Phi2Engine::new()) as Box<dyn DynamicEngine>,
+    )];
     // Recompute materialises |ϕ₁(D)|·|E| tuples per request — quadratic in
     // |E|; only run it where that fits comfortably in memory.
     if n <= 1_000 {
@@ -40,7 +46,10 @@ fn bench_phi2(c: &mut Criterion) {
     let er = q2.schema().relation("E").unwrap();
 
     let mut group = c.benchmark_group("e7_update_time");
-    group.sample_size(20).warm_up_time(Duration::from_millis(150)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(900));
     for n in [1_000usize, 8_000, 64_000] {
         for (name, mut engine) in engines(&q2, n) {
             for (a, b) in graph(n, 9) {

@@ -15,15 +15,17 @@ use std::time::Duration;
 fn path_query(depth: usize) -> Query {
     let vars: Vec<String> = (1..=depth).map(|i| format!("x{i}")).collect();
     let head = vars.join(", ");
-    let atoms: Vec<String> =
-        (1..=depth).map(|i| format!("R{i}({})", vars[..i].join(", "))).collect();
+    let atoms: Vec<String> = (1..=depth)
+        .map(|i| format!("R{i}({})", vars[..i].join(", ")))
+        .collect();
     parse_query(&format!("Q({head}) :- {}.", atoms.join(", "))).unwrap()
 }
 
 /// `Q(x, y1,…,yk) :- R1(x,y1), …, Rk(x,yk)` — a width-`k` q-tree.
 fn star_query_k(k: usize) -> Query {
-    let head: Vec<String> =
-        std::iter::once("x".to_string()).chain((1..=k).map(|i| format!("y{i}"))).collect();
+    let head: Vec<String> = std::iter::once("x".to_string())
+        .chain((1..=k).map(|i| format!("y{i}")))
+        .collect();
     let atoms: Vec<String> = (1..=k).map(|i| format!("R{i}(x, y{i})")).collect();
     parse_query(&format!("Q({}) :- {}.", head.join(", "), atoms.join(", "))).unwrap()
 }
@@ -41,7 +43,10 @@ fn load_path(engine: &mut QhEngine, q: &Query, n: usize, depth: usize) {
 
 fn bench_depth(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_update_vs_qtree_depth");
-    group.sample_size(20).warm_up_time(Duration::from_millis(150)).measurement_time(Duration::from_millis(900));
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(900));
     for depth in [1usize, 2, 4, 6] {
         let q = path_query(depth);
         let mut engine = QhEngine::empty(&q).unwrap();

@@ -1,0 +1,102 @@
+//! E9: batched vs sequential updates on the E1 enumeration workload.
+//!
+//! Measures `DynamicEngine::apply_batch` against N× single `apply` on the
+//! star-query churn stream, for the dynamic engine (which nets the batch:
+//! cancelling insert/delete pairs never touch the q-tree structures and
+//! the survivors are grouped by relation) and for delta-IVM (which only
+//! gets the default loop — the baseline for "no batching win").
+//!
+//! Expected shape: per-window cost of `qh-dynamic/apply_batch` tracks the
+//! *net* change, not the update count; the cancelling-churn group makes
+//! the gap explicit.
+
+use cqu_baseline::EngineKind;
+use cqu_bench::workloads::{star_churn, star_database, star_query};
+use cqu_storage::Update;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+const N: usize = 32_000;
+const BATCH_SIZES: [usize; 3] = [64, 256, 1024];
+
+fn bench_batch_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_batch_vs_sequential");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(900));
+    let q = star_query();
+    let db0 = star_database(N, 42);
+    for kind in [EngineKind::QHierarchical, EngineKind::DeltaIvm] {
+        for batch in BATCH_SIZES {
+            let stream = star_churn(N, batch * 8, 7);
+            group.throughput(Throughput::Elements(batch as u64));
+
+            let mut engine = kind.build(&q, &db0).unwrap();
+            let mut pos = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/sequential", kind.name()), batch),
+                &batch,
+                |b, &batch| {
+                    b.iter(|| {
+                        // One window of `batch` updates, applied one by one.
+                        let mut applied = 0usize;
+                        for _ in 0..batch {
+                            applied += engine.apply(&stream[pos % stream.len()]) as usize;
+                            pos += 1;
+                        }
+                        applied
+                    })
+                },
+            );
+
+            let mut engine = kind.build(&q, &db0).unwrap();
+            let mut pos = 0usize;
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/apply_batch", kind.name()), batch),
+                &batch,
+                |b, &batch| {
+                    b.iter(|| {
+                        let start = (pos * batch) % (stream.len() - batch);
+                        pos += 1;
+                        engine.apply_batch(&stream[start..start + batch]).applied
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Worst case for sequential, best case for netting: pure
+/// insert/delete churn of the same tuples.
+fn bench_cancelling_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_cancelling_churn");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(900));
+    let q = star_query();
+    let db0 = star_database(N, 42);
+    let stream = star_churn(N, 512, 7);
+    // insert u; delete u — the batch nets to nothing.
+    let cancelling: Vec<Update> = stream
+        .iter()
+        .flat_map(|u| {
+            let ins = match u {
+                Update::Insert(r, t) | Update::Delete(r, t) => Update::Insert(*r, t.clone()),
+            };
+            [ins.clone(), ins.inverse()]
+        })
+        .collect();
+    for kind in [EngineKind::QHierarchical, EngineKind::DeltaIvm] {
+        let mut engine = kind.build(&q, &db0).unwrap();
+        group.bench_with_input(BenchmarkId::new(kind.name(), "1024"), &(), |b, _| {
+            b.iter(|| engine.apply_batch(&cancelling).applied)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e9, bench_batch_vs_sequential, bench_cancelling_churn);
+criterion_main!(e9);

@@ -39,7 +39,10 @@ pub fn table1() -> String {
         if c == 16 {
             "p".to_string()
         } else {
-            names.get(c as usize).map(|s| s.to_string()).unwrap_or_else(|| c.to_string())
+            names
+                .get(c as usize)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| c.to_string())
         }
     };
     let (a, b, c, d, e, f, g, h, p) = (1, 2, 3, 4, 5, 6, 7, 8, 16);
@@ -57,15 +60,17 @@ pub fn table1() -> String {
         engine.apply(&Update::Insert(rr, vec![x, y, z]));
     }
     let _ = writeln!(out, "|ϕ(D₀)| = {} (paper: 23)", engine.count());
-    let _ = writeln!(out, "rows in enumeration order, columns x y z z' y' as in Table 1:");
+    let _ = writeln!(
+        out,
+        "rows in enumeration order, columns x y z z' y' as in Table 1:"
+    );
     let rows: Vec<Vec<Const>> = engine.enumerate().collect();
     for chunk in rows.chunks(12) {
         for label in 0..5usize {
             // Output tuple order is head order (x, y, z, y', z');
             // Table 1 prints (x, y, z, z', y').
             let reorder = [0usize, 1, 2, 4, 3];
-            let row: Vec<String> =
-                chunk.iter().map(|t| name(t[reorder[label]])).collect();
+            let row: Vec<String> = chunk.iter().map(|t| name(t[reorder[label]])).collect();
             let _ = writeln!(
                 out,
                 "  {} {}",
@@ -82,7 +87,10 @@ pub fn table1() -> String {
 /// F1 — Figure 1: two valid q-trees for the same query.
 pub fn figure1() -> String {
     let mut out = String::new();
-    header(&mut out, "F1 / Figure 1: two q-trees for ϕ(x1,x2,x3) = ∃x4∃x5(Ex1x2 ∧ Rx4x1x2x1 ∧ Rx5x3x2x1)");
+    header(
+        &mut out,
+        "F1 / Figure 1: two q-trees for ϕ(x1,x2,x3) = ∃x4∃x5(Ex1x2 ∧ Rx4x1x2x1 ∧ Rx5x3x2x1)",
+    );
     let q = parse_query("Q(x1, x2, x3) :- E(x1,x2), R(x4,x1,x2,x1), R(x5,x3,x2,x1).").unwrap();
     let comp = connected_components(&q)[0].clone();
     let v = |n: &str| q.vars().find(|&v| q.var_name(v) == n).unwrap();
@@ -90,14 +98,24 @@ pub fn figure1() -> String {
         &q,
         &comp,
         v("x1"),
-        &[(v("x2"), v("x1")), (v("x3"), v("x2")), (v("x4"), v("x2")), (v("x5"), v("x3"))],
+        &[
+            (v("x2"), v("x1")),
+            (v("x3"), v("x2")),
+            (v("x4"), v("x2")),
+            (v("x5"), v("x3")),
+        ],
     )
     .unwrap();
     let right = QTree::from_edges(
         &q,
         &comp,
         v("x2"),
-        &[(v("x1"), v("x2")), (v("x3"), v("x1")), (v("x4"), v("x1")), (v("x5"), v("x3"))],
+        &[
+            (v("x1"), v("x2")),
+            (v("x3"), v("x1")),
+            (v("x4"), v("x1")),
+            (v("x5"), v("x3")),
+        ],
     )
     .unwrap();
     let _ = writeln!(out, "left tree (root x1):\n{}", left.render(&q));
@@ -139,7 +157,17 @@ pub fn figure3() -> String {
         for (var, keys) in [
             ("x", vec![vec![a], vec![b]]),
             ("y", vec![vec![a, e], vec![a, f], vec![b, g], vec![b, p]]),
-            ("y'", vec![vec![a, e], vec![a, f], vec![b, d], vec![b, g], vec![b, h], vec![b, p]]),
+            (
+                "y'",
+                vec![
+                    vec![a, e],
+                    vec![a, f],
+                    vec![b, d],
+                    vec![b, g],
+                    vec![b, h],
+                    vec![b, p],
+                ],
+            ),
         ] {
             for key in keys {
                 if let Some(weight) = w(var, &key) {
@@ -149,13 +177,22 @@ pub fn figure3() -> String {
         }
         let _ = (c, d, f, g, h);
     };
-    let _ = writeln!(out, "Figure 3(a) — D₀ (paper: Cstart = 23, C[x,a]=14, C[x,b]=9):");
+    let _ = writeln!(
+        out,
+        "Figure 3(a) — D₀ (paper: Cstart = 23, C[x,a]=14, C[x,b]=9):"
+    );
     dump(&engine, &mut out);
     engine.apply(&Update::Insert(er, vec![b, p]));
-    let _ = writeln!(out, "Figure 3(b) — after insert E(b,p) (paper: Cstart = 38, C[x,b]=24):");
+    let _ = writeln!(
+        out,
+        "Figure 3(b) — after insert E(b,p) (paper: Cstart = 38, C[x,b]=24):"
+    );
     dump(&engine, &mut out);
     cqu_dynamic::audit::check_invariants(&engine).unwrap();
-    let _ = writeln!(out, "  audit: all maintained registers match from-scratch recomputation ✓");
+    let _ = writeln!(
+        out,
+        "  audit: all maintained registers match from-scratch recomputation ✓"
+    );
     print!("{out}");
     out
 }
@@ -165,7 +202,10 @@ pub fn figure3() -> String {
 /// while the baselines grow.
 pub fn e1_enumeration(ns: &[usize], churn_steps: usize, delay_limit: usize) -> String {
     let mut out = String::new();
-    header(&mut out, "E1 / Thm 3.2(a): q-hierarchical enumeration under updates (star query)");
+    header(
+        &mut out,
+        "E1 / Thm 3.2(a): q-hierarchical enumeration under updates (star query)",
+    );
     let _ = writeln!(
         out,
         "{:>8}  {:<10}  {:>12}  {:>12}  {:>14}  {:>14}",
@@ -174,7 +214,11 @@ pub fn e1_enumeration(ns: &[usize], churn_steps: usize, delay_limit: usize) -> S
     let q = star_query();
     for &n in ns {
         let db0 = star_database(n, 42);
-        for kind in [EngineKind::QHierarchical, EngineKind::DeltaIvm, EngineKind::Recompute] {
+        for kind in [
+            EngineKind::QHierarchical,
+            EngineKind::DeltaIvm,
+            EngineKind::Recompute,
+        ] {
             let mut engine = kind.build(&q, &db0).expect("star query is q-hierarchical");
             let updates = star_churn(n, churn_steps, 7);
             let upd = time_updates(engine.as_mut(), &updates);
@@ -209,7 +253,10 @@ pub fn e1_enumeration(ns: &[usize], churn_steps: usize, delay_limit: usize) -> S
 /// including a query with quantified variables (the C̃ machinery).
 pub fn e2_counting(ns: &[usize], churn_steps: usize) -> String {
     let mut out = String::new();
-    header(&mut out, "E2 / Thm 3.2(b): O(1) counting under updates (quantified star query)");
+    header(
+        &mut out,
+        "E2 / Thm 3.2(b): O(1) counting under updates (quantified star query)",
+    );
     let q = parse_query("Q(x) :- R(x, y), S(x, z), T(x).").unwrap();
     let _ = writeln!(
         out,
@@ -218,7 +265,11 @@ pub fn e2_counting(ns: &[usize], churn_steps: usize) -> String {
     );
     for &n in ns {
         let db0 = star_database(n, 43);
-        for kind in [EngineKind::QHierarchical, EngineKind::DeltaIvm, EngineKind::Recompute] {
+        for kind in [
+            EngineKind::QHierarchical,
+            EngineKind::DeltaIvm,
+            EngineKind::Recompute,
+        ] {
             let mut engine = kind.build(&q, &db0).expect("query is q-hierarchical");
             let updates = star_churn(n, churn_steps, 11);
             let (upd, cnt) = time_counts(engine.as_mut(), &updates);
@@ -247,11 +298,20 @@ pub fn e2_counting(ns: &[usize], churn_steps: usize) -> String {
 /// its q-hierarchical sibling stays flat under the same update pressure.
 pub fn e3_hard_enumeration(ns: &[usize], rounds: usize) -> String {
     let mut out = String::new();
-    header(&mut out, "E3 / Thm 3.3: non-q-hierarchical enumeration under updates (ϕ_S-E-T)");
+    header(
+        &mut out,
+        "E3 / Thm 3.3: non-q-hierarchical enumeration under updates (ϕ_S-E-T)",
+    );
     let hard = phi_set_join();
     let easy = easy_set_sibling();
-    assert!(QhEngine::empty(&hard).is_err(), "qh-dynamic rejects ϕ_S-E-T (Definition 3.1)");
-    let _ = writeln!(out, "qh-dynamic on ϕ_S-E-T: rejected (not q-hierarchical) — as Theorem 3.3 demands");
+    assert!(
+        QhEngine::empty(&hard).is_err(),
+        "qh-dynamic rejects ϕ_S-E-T (Definition 3.1)"
+    );
+    let _ = writeln!(
+        out,
+        "qh-dynamic on ϕ_S-E-T: rejected (not q-hierarchical) — as Theorem 3.3 demands"
+    );
     let _ = writeln!(
         out,
         "{:>8}  {:<22}  {:>16}  {:>14}",
@@ -270,7 +330,10 @@ pub fn e3_hard_enumeration(ns: &[usize], rounds: usize) -> String {
             for i in 0..n {
                 for j in 0..n {
                     if inst.matrix.get(i, j) {
-                        engine.apply(&Update::Insert(e, vec![(i + 1) as Const, (n + j + 1) as Const]));
+                        engine.apply(&Update::Insert(
+                            e,
+                            vec![(i + 1) as Const, (n + j + 1) as Const],
+                        ));
                     }
                 }
             }
@@ -331,7 +394,10 @@ pub fn e3_hard_enumeration(ns: &[usize], rounds: usize) -> String {
 /// engines, validated against the naive solver.
 pub fn e4_oumv(ns: &[usize]) -> String {
     let mut out = String::new();
-    header(&mut out, "E4 / Thm 3.4: OuMv through Boolean ϕ'_S-E-T (Lemma 5.3)");
+    header(
+        &mut out,
+        "E4 / Thm 3.4: OuMv through Boolean ϕ'_S-E-T (Lemma 5.3)",
+    );
     let _ = writeln!(
         out,
         "{:>6}  {:<12}  {:>12}  {:>9}",
@@ -341,13 +407,34 @@ pub fn e4_oumv(ns: &[usize]) -> String {
     for &n in ns {
         let inst = OuMvInstance::random(n, 0.08, 17);
         let (naive, t_naive) = time_once(|| inst.solve_naive());
-        let _ = writeln!(out, "{:>6}  {:<12}  {:>12.2}  {:>9}", n, "naive-matrix", t_naive * 1e3, "-");
+        let _ = writeln!(
+            out,
+            "{:>6}  {:<12}  {:>12.2}  {:>9}",
+            n,
+            "naive-matrix",
+            t_naive * 1e3,
+            "-"
+        );
         let mut rec = RecomputeEngine::empty(&q);
         let (ans, t) = time_once(|| oumv_via_boolean_set(&inst, &mut rec));
-        let _ = writeln!(out, "{:>6}  {:<12}  {:>12.2}  {:>9}", n, "recompute", t * 1e3, ans == naive);
+        let _ = writeln!(
+            out,
+            "{:>6}  {:<12}  {:>12.2}  {:>9}",
+            n,
+            "recompute",
+            t * 1e3,
+            ans == naive
+        );
         let mut ivm = DeltaIvmEngine::empty(&q);
         let (ans, t) = time_once(|| oumv_via_boolean_set(&inst, &mut ivm));
-        let _ = writeln!(out, "{:>6}  {:<12}  {:>12.2}  {:>9}", n, "delta-ivm", t * 1e3, ans == naive);
+        let _ = writeln!(
+            out,
+            "{:>6}  {:<12}  {:>12.2}  {:>9}",
+            n,
+            "delta-ivm",
+            t * 1e3,
+            ans == naive
+        );
     }
     let _ = writeln!(
         out,
@@ -361,7 +448,10 @@ pub fn e4_oumv(ns: &[usize]) -> String {
 /// E5 — Theorem 3.5 / Lemma 5.5: OV through counting `ϕ_E-T`.
 pub fn e5_ov_counting(ns: &[usize]) -> String {
     let mut out = String::new();
-    header(&mut out, "E5 / Thm 3.5: OV through counting ϕ_E-T (Lemma 5.5)");
+    header(
+        &mut out,
+        "E5 / Thm 3.5: OV through counting ϕ_E-T (Lemma 5.5)",
+    );
     let _ = writeln!(
         out,
         "{:>6}  {:>3}  {:<12}  {:>12}  {:>9}",
@@ -375,7 +465,11 @@ pub fn e5_ov_counting(ns: &[usize]) -> String {
             let _ = writeln!(
                 out,
                 "{:>6}  {:>3}  {:<12}  {:>12.2}  {:>9}",
-                n, inst.d(), "naive-pairs", t_naive * 1e3, naive
+                n,
+                inst.d(),
+                "naive-pairs",
+                t_naive * 1e3,
+                naive
             );
             let mut ivm = DeltaIvmEngine::empty(&q);
             let (ans, t) = time_once(|| ov_via_counting(&inst, &mut ivm));
@@ -447,7 +541,10 @@ pub fn e6_preprocessing(ns: &[usize]) -> String {
 /// amortised engine with flat update cost and delay, vs recompute.
 pub fn e7_selfjoins(ns: &[usize], churn_steps: usize, delay_limit: usize) -> String {
     let mut out = String::new();
-    header(&mut out, "E7 / Appendix A: self-join product query ϕ₂ = (Exx ∧ Exy ∧ Eyy ∧ Ez1z2)");
+    header(
+        &mut out,
+        "E7 / Appendix A: self-join product query ϕ₂ = (Exx ∧ Exy ∧ Eyy ∧ Ez1z2)",
+    );
     let _ = writeln!(
         out,
         "{:>8}  {:<12}  {:>12}  {:>14}  {:>14}",
@@ -461,14 +558,21 @@ pub fn e7_selfjoins(ns: &[usize], churn_steps: usize, delay_limit: usize) -> Str
         let mut initial: Vec<Update> = Vec::new();
         for _ in 0..n {
             let a = rand.gen_range(1..=(n as Const / 2).max(2));
-            let b = if rand.gen_bool(0.3) { a } else { rand.gen_range(1..=(n as Const / 2).max(2)) };
+            let b = if rand.gen_bool(0.3) {
+                a
+            } else {
+                rand.gen_range(1..=(n as Const / 2).max(2))
+            };
             initial.push(Update::Insert(er, vec![a, b]));
         }
         let churn: Vec<Update> = (0..churn_steps)
             .map(|_| {
                 let a = rand.gen_range(1..=(n as Const / 2).max(2));
-                let b =
-                    if rand.gen_bool(0.3) { a } else { rand.gen_range(1..=(n as Const / 2).max(2)) };
+                let b = if rand.gen_bool(0.3) {
+                    a
+                } else {
+                    rand.gen_range(1..=(n as Const / 2).max(2))
+                };
                 if rand.gen_bool(0.5) {
                     Update::Insert(er, vec![a, b])
                 } else {
@@ -479,12 +583,18 @@ pub fn e7_selfjoins(ns: &[usize], churn_steps: usize, delay_limit: usize) -> Str
         // The recompute baseline materialises |ϕ₁(D)|·|E| tuples per
         // request — quadratic blow-up; cap it to small |E| so the harness
         // fits in memory (the shape is already unmistakable there).
-        let mut contenders: Vec<(&str, Box<dyn DynamicEngine>)> =
-            vec![("phi2-amort", Box::new(Phi2Engine::new()) as Box<dyn DynamicEngine>)];
+        let mut contenders: Vec<(&str, Box<dyn DynamicEngine>)> = vec![(
+            "phi2-amort",
+            Box::new(Phi2Engine::new()) as Box<dyn DynamicEngine>,
+        )];
         if n <= 4_000 {
             contenders.push(("recompute", Box::new(RecomputeEngine::empty(&q2))));
         } else {
-            let _ = writeln!(out, "{:>8}  {:<12}  (skipped: materialises |ϕ1|·|E| tuples)", n, "recompute");
+            let _ = writeln!(
+                out,
+                "{:>8}  {:<12}  (skipped: materialises |ϕ1|·|E| tuples)",
+                n, "recompute"
+            );
         }
         for (label, mut engine) in contenders {
             for u in &initial {
@@ -518,7 +628,10 @@ pub fn e7_selfjoins(ns: &[usize], churn_steps: usize, delay_limit: usize) -> Str
 /// E8 — the dichotomy classifier on the paper's query catalogue.
 pub fn e8_classify() -> String {
     let mut out = String::new();
-    header(&mut out, "E8 / Theorems 1.1-1.3: dichotomy classification of the paper's queries");
+    header(
+        &mut out,
+        "E8 / Theorems 1.1-1.3: dichotomy classification of the paper's queries",
+    );
     let catalogue: &[(&str, &str)] = &[
         ("ϕ_S-E-T (Eq. 2)", "Q(x, y) :- S(x), E(x, y), T(y)."),
         ("ϕ'_S-E-T (Eq. 3)", "Q() :- S(x), E(x, y), T(y)."),
@@ -527,10 +640,22 @@ pub fn e8_classify() -> String {
         ("join(E,T)", "Q(x, y) :- E(x, y), T(y)."),
         ("loops ∃ (§3)", "Q() :- E(x,x), E(x,y), E(y,y)."),
         ("ϕ1 (§7)", "Q(x, y) :- E(x,x), E(x,y), E(y,y)."),
-        ("ϕ2 (§7)", "Q(x, y, z1, z2) :- E(x,x), E(x,y), E(y,y), E(z1,z2)."),
-        ("Example 6.1", "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z)."),
-        ("Figure 1", "Q(x1, x2, x3) :- E(x1,x2), R(x4,x1,x2,x1), R(x5,x3,x2,x1)."),
-        ("hier. DS (§3)", "Q() :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y')."),
+        (
+            "ϕ2 (§7)",
+            "Q(x, y, z1, z2) :- E(x,x), E(x,y), E(y,y), E(z1,z2).",
+        ),
+        (
+            "Example 6.1",
+            "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).",
+        ),
+        (
+            "Figure 1",
+            "Q(x1, x2, x3) :- E(x1,x2), R(x4,x1,x2,x1), R(x5,x3,x2,x1).",
+        ),
+        (
+            "hier. DS (§3)",
+            "Q() :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y').",
+        ),
     ];
     let _ = writeln!(
         out,
@@ -571,19 +696,47 @@ pub fn e8_classify() -> String {
 /// E4b — Lemma 5.4: OMv through enumeration of `ϕ_E-T`, correctness check.
 pub fn e4b_omv(ns: &[usize]) -> String {
     let mut out = String::new();
-    header(&mut out, "E4b / Lemma 5.4: OMv through enumeration of ϕ_E-T");
-    let _ = writeln!(out, "{:>6}  {:<12}  {:>12}  {:>9}", "n", "solver", "total ms", "correct");
+    header(
+        &mut out,
+        "E4b / Lemma 5.4: OMv through enumeration of ϕ_E-T",
+    );
+    let _ = writeln!(
+        out,
+        "{:>6}  {:<12}  {:>12}  {:>9}",
+        "n", "solver", "total ms", "correct"
+    );
     let q = phi_et();
     for &n in ns {
         let inst = OmvInstance::random(n, 0.08, 23);
         let (naive, t_naive) = time_once(|| inst.solve_naive());
-        let _ = writeln!(out, "{:>6}  {:<12}  {:>12.2}  {:>9}", n, "naive-matrix", t_naive * 1e3, "-");
+        let _ = writeln!(
+            out,
+            "{:>6}  {:<12}  {:>12.2}  {:>9}",
+            n,
+            "naive-matrix",
+            t_naive * 1e3,
+            "-"
+        );
         let mut ivm = DeltaIvmEngine::empty(&q);
         let (ans, t) = time_once(|| omv_via_enumeration(&inst, &mut ivm));
-        let _ = writeln!(out, "{:>6}  {:<12}  {:>12.2}  {:>9}", n, "delta-ivm", t * 1e3, ans == naive);
+        let _ = writeln!(
+            out,
+            "{:>6}  {:<12}  {:>12.2}  {:>9}",
+            n,
+            "delta-ivm",
+            t * 1e3,
+            ans == naive
+        );
         let mut rec = RecomputeEngine::empty(&q);
         let (ans, t) = time_once(|| omv_via_enumeration(&inst, &mut rec));
-        let _ = writeln!(out, "{:>6}  {:<12}  {:>12.2}  {:>9}", n, "recompute", t * 1e3, ans == naive);
+        let _ = writeln!(
+            out,
+            "{:>6}  {:<12}  {:>12.2}  {:>9}",
+            n,
+            "recompute",
+            t * 1e3,
+            ans == naive
+        );
     }
     print!("{out}");
     out

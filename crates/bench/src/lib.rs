@@ -10,7 +10,6 @@
 //! The `experiments` binary runs them (`cargo run --release -p cqu-bench`),
 //! and `benches/` holds the Criterion counterparts.
 
-
 #![warn(missing_docs)]
 pub mod experiments;
 pub mod measure;

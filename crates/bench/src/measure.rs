@@ -115,7 +115,10 @@ pub fn time_counts(engine: &mut dyn DynamicEngine, updates: &[Update]) -> (Stats
         count_samples.push(t1.elapsed().as_nanos() as u64);
         std::hint::black_box(c);
     }
-    (Stats::from_samples(update_samples), Stats::from_samples(count_samples))
+    (
+        Stats::from_samples(update_samples),
+        Stats::from_samples(count_samples),
+    )
 }
 
 #[cfg(test)]

@@ -53,7 +53,10 @@ pub fn star_churn(n: usize, steps: usize, seed: u64) -> Vec<Update> {
         &mut rand,
         q.schema(),
         steps,
-        ChurnConfig { domain: (n as Const).max(4), insert_bias: 0.55 },
+        ChurnConfig {
+            domain: (n as Const).max(4),
+            insert_bias: 0.55,
+        },
     )
 }
 

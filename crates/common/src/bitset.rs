@@ -17,7 +17,10 @@ const WORD_BITS: usize = 64;
 impl BitSet {
     /// An all-zero bitset of length `len`.
     pub fn zeros(len: usize) -> Self {
-        BitSet { words: vec![0; len.div_ceil(WORD_BITS)], len }
+        BitSet {
+            words: vec![0; len.div_ceil(WORD_BITS)],
+            len,
+        }
     }
 
     /// Builds a bitset from an iterator of booleans.
@@ -120,7 +123,10 @@ pub struct BitMatrix {
 impl BitMatrix {
     /// The all-zero `n × n` matrix.
     pub fn zeros(n: usize) -> Self {
-        BitMatrix { rows: vec![BitSet::zeros(n); n], n }
+        BitMatrix {
+            rows: vec![BitSet::zeros(n); n],
+            n,
+        }
     }
 
     /// Builds a matrix from a closure over `(row, col)`.
@@ -209,8 +215,12 @@ mod tests {
         let bools: Vec<bool> = (0..200).map(|i| i % 7 == 0 || i % 31 == 3).collect();
         let b = BitSet::from_bools(bools.iter().copied());
         let ones: Vec<usize> = b.iter_ones().collect();
-        let expected: Vec<usize> =
-            bools.iter().enumerate().filter(|(_, &x)| x).map(|(i, _)| i).collect();
+        let expected: Vec<usize> = bools
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(ones, expected);
     }
 

@@ -15,7 +15,6 @@
 //! * [`bitset`] — dense bitsets and square boolean matrices used by the
 //!   OMv/OuMv/OV lower-bound machinery (Section 5 of the paper).
 
-
 #![warn(missing_docs)]
 pub mod bitset;
 pub mod hash;

@@ -59,12 +59,20 @@ impl<T> Default for Slab<T> {
 impl<T> Slab<T> {
     /// Creates an empty slab.
     pub fn new() -> Self {
-        Slab { slots: Vec::new(), free_head: SlabId::NONE, len: 0 }
+        Slab {
+            slots: Vec::new(),
+            free_head: SlabId::NONE,
+            len: 0,
+        }
     }
 
     /// Creates an empty slab with room for `cap` entries.
     pub fn with_capacity(cap: usize) -> Self {
-        Slab { slots: Vec::with_capacity(cap), free_head: SlabId::NONE, len: 0 }
+        Slab {
+            slots: Vec::with_capacity(cap),
+            free_head: SlabId::NONE,
+            len: 0,
+        }
     }
 
     /// Number of occupied slots.
@@ -90,7 +98,10 @@ impl<T> Slab<T> {
             }
             id
         } else {
-            assert!(self.slots.len() < u32::MAX as usize - 1, "slab exhausted u32 id space");
+            assert!(
+                self.slots.len() < u32::MAX as usize - 1,
+                "slab exhausted u32 id space"
+            );
             let id = SlabId(self.slots.len() as u32);
             self.slots.push(Slot::Occupied(value));
             id
@@ -144,10 +155,13 @@ impl<T> Slab<T> {
 
     /// Iterates over `(id, &value)` pairs of occupied slots.
     pub fn iter(&self) -> impl Iterator<Item = (SlabId, &T)> {
-        self.slots.iter().enumerate().filter_map(|(i, slot)| match slot {
-            Slot::Occupied(v) => Some((SlabId(i as u32), v)),
-            Slot::Vacant(_) => None,
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot {
+                Slot::Occupied(v) => Some((SlabId(i as u32), v)),
+                Slot::Vacant(_) => None,
+            })
     }
 
     /// Removes every entry, keeping the allocation.
@@ -182,7 +196,9 @@ impl<T> std::ops::IndexMut<SlabId> for Slab<T> {
 
 impl<T: std::fmt::Debug> std::fmt::Debug for Slab<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_map().entries(self.iter().map(|(id, v)| (id.0, v))).finish()
+        f.debug_map()
+            .entries(self.iter().map(|(id, v)| (id.0, v)))
+            .finish()
     }
 }
 

@@ -39,7 +39,12 @@ fn check_component(ci: usize, comp: &ComponentStructure, db: &Database) -> Resul
     for ap in tree.atom_paths() {
         let atom = q.atom(ap.atom);
         for fact in db.relation(atom.relation).iter() {
-            if !ap.canon.iter().enumerate().all(|(p, &c)| fact[p] == fact[c]) {
+            if !ap
+                .canon
+                .iter()
+                .enumerate()
+                .all(|(p, &c)| fact[p] == fact[c])
+            {
                 continue;
             }
             let consts: Vec<Const> = ap.extract.iter().map(|&p| fact[p]).collect();
@@ -215,7 +220,16 @@ fn reference_weights(
     let mut assign = fixed.clone();
     let mut count = 0u64;
     let mut projections: FxHashSet<Vec<Const>> = FxHashSet::default();
-    backtrack(q, db, atoms, 0, &mut assign, &free_u, &mut count, &mut projections);
+    backtrack(
+        q,
+        db,
+        atoms,
+        0,
+        &mut assign,
+        &free_u,
+        &mut count,
+        &mut projections,
+    );
     (count, projections.len() as u64)
 }
 

@@ -9,6 +9,36 @@
 use cqu_query::Query;
 use cqu_storage::{Const, Update};
 
+/// Outcome of a batched update application ([`DynamicEngine::apply_batch`]).
+///
+/// `applied` counts the updates that would have been effective had the
+/// batch been applied one at a time — engines that net out the batch
+/// internally (see `QhEngine`) still report sequential-equivalent
+/// numbers, so callers can swap batching in and out without changing
+/// the final state or the report. Engine-internal instrumentation (e.g.
+/// `QhEngine::last_update_work`) reflects the work *actually* done and
+/// may legitimately differ under netting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Number of updates in the batch.
+    pub total: usize,
+    /// Updates that changed the database (as-if-sequential).
+    pub applied: usize,
+}
+
+impl UpdateReport {
+    /// Updates that were set-semantics no-ops.
+    pub fn noops(&self) -> usize {
+        self.total - self.applied
+    }
+
+    /// Folds another report into this one (for multi-engine fan-out).
+    pub fn merge(&mut self, other: UpdateReport) {
+        self.total += other.total;
+        self.applied += other.applied;
+    }
+}
+
 /// A dynamic query-evaluation algorithm over a fixed query.
 pub trait DynamicEngine {
     /// The query this engine maintains.
@@ -18,6 +48,21 @@ pub trait DynamicEngine {
     /// changed (set semantics: duplicate inserts / absent deletes are
     /// no-ops and must be tolerated).
     fn apply(&mut self, update: &Update) -> bool;
+
+    /// Applies a batch of updates, equivalent to applying them in order.
+    ///
+    /// The default implementation loops [`DynamicEngine::apply`]; engines
+    /// can override it to amortise work across the batch (grouping by
+    /// relation, cancelling insert/delete pairs, deferring propagation)
+    /// as long as the final state and the report match the sequential
+    /// semantics.
+    fn apply_batch(&mut self, updates: &[Update]) -> UpdateReport {
+        let applied = updates.iter().filter(|u| self.apply(u)).count();
+        UpdateReport {
+            total: updates.len(),
+            applied,
+        }
+    }
 
     /// `|ϕ(D)|` on the current database.
     fn count(&self) -> u64;
@@ -39,5 +84,11 @@ pub trait DynamicEngine {
         let mut v: Vec<Vec<Const>> = self.enumerate().collect();
         v.sort_unstable();
         v
+    }
+}
+
+impl cqu_storage::ApplyUpdate for Box<dyn DynamicEngine> {
+    fn apply_update(&mut self, update: &Update) -> bool {
+        self.apply(update)
     }
 }

@@ -33,7 +33,11 @@ impl<'a> ComponentIter<'a> {
     /// use [`ComponentStructure::is_nonempty`] as the guard instead.
     pub fn new(s: &'a ComponentStructure) -> Self {
         let k = s.free_order().len();
-        let mut it = ComponentIter { s, current: vec![SlabId::NONE; k], done: false };
+        let mut it = ComponentIter {
+            s,
+            current: vec![SlabId::NONE; k],
+            done: false,
+        };
         if k == 0 || s.start_head().is_none() {
             it.done = true;
             return it;
@@ -59,7 +63,10 @@ impl<'a> ComponentIter<'a> {
     /// The output tuple of the current item vector: each item contributes
     /// the last constant of its key (its own variable's value).
     fn emit(&self) -> Vec<Const> {
-        self.current.iter().map(|&id| self.s.item_constant(id)).collect()
+        self.current
+            .iter()
+            .map(|&id| self.s.item_constant(id))
+            .collect()
     }
 
     /// Advances to the next item vector; returns `false` at the end.
@@ -121,14 +128,20 @@ impl<'a> ResultIter<'a> {
     /// Builds the product iterator. `free` is the query's output tuple.
     pub fn new(components: &'a [ComponentStructure], free: &[cqu_query::Var]) -> Self {
         let nonempty_guards = components.iter().all(ComponentStructure::is_nonempty);
-        let with_free: Vec<&ComponentStructure> =
-            components.iter().filter(|c| !c.output_vars().is_empty()).collect();
+        let with_free: Vec<&ComponentStructure> = components
+            .iter()
+            .filter(|c| !c.output_vars().is_empty())
+            .collect();
         let out_slots: Vec<Vec<usize>> = with_free
             .iter()
             .map(|c| {
                 c.output_vars()
                     .iter()
-                    .map(|v| free.iter().position(|f| f == v).expect("output var is free"))
+                    .map(|v| {
+                        free.iter()
+                            .position(|f| f == v)
+                            .expect("output var is free")
+                    })
                     .collect()
             })
             .collect();

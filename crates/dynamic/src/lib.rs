@@ -34,7 +34,6 @@
 //! baselines in `cqu-baseline` for those, or [`selfjoin::Phi2Engine`] for
 //! the Appendix A product family.
 
-
 #![warn(missing_docs)]
 pub mod audit;
 pub mod engine;
@@ -42,13 +41,14 @@ pub mod enumerate;
 pub mod selfjoin;
 pub mod structure;
 
-pub use engine::DynamicEngine;
+pub use engine::{DynamicEngine, UpdateReport};
 pub use enumerate::{ComponentIter, ResultIter};
 pub use structure::ComponentStructure;
 
+use cqu_common::FxHashMap;
 use cqu_query::qtree::QTree;
-use cqu_query::{Query, QueryError};
-use cqu_storage::{Database, Update};
+use cqu_query::{Query, QueryError, RelId};
+use cqu_storage::{Const, Database, Update};
 use std::sync::Arc;
 
 /// The dynamic engine for q-hierarchical conjunctive queries
@@ -87,7 +87,12 @@ impl QhEngine {
             .map(|(comp, tree)| ComponentStructure::new(Arc::clone(&query), comp, tree))
             .collect();
         let db = Database::new(query.schema().clone());
-        Ok(QhEngine { query, db, components, last_work: 0 })
+        Ok(QhEngine {
+            query,
+            db,
+            components,
+            last_work: 0,
+        })
     }
 
     /// The engine's internal copy of the current database.
@@ -103,7 +108,10 @@ impl QhEngine {
     /// Total number of live items across components — linear in `|D|`
     /// (each fact creates at most `‖ϕ‖` items).
     pub fn num_items(&self) -> usize {
-        self.components.iter().map(ComponentStructure::num_items).sum()
+        self.components
+            .iter()
+            .map(ComponentStructure::num_items)
+            .sum()
     }
 
     /// Structural work of the most recent effective update: the number of
@@ -128,16 +136,87 @@ impl DynamicEngine for QhEngine {
         let rel = update.relation();
         let insert = update.is_insert();
         let tuple = update.tuple();
-        self.last_work =
-            self.components.iter_mut().map(|c| c.apply_fact(rel, tuple, insert)).sum();
+        self.last_work = self
+            .components
+            .iter_mut()
+            .map(|c| c.apply_fact(rel, tuple, insert))
+            .sum();
         true
+    }
+
+    /// Batched updates with netting: the batch is first replayed against a
+    /// shadow of the affected tuples' presence bits (hash lookups only),
+    /// which yields the sequential-equivalent `applied` count; then only
+    /// the tuples whose presence actually *changed* are propagated into
+    /// the q-tree structures, grouped by relation. An insert/delete pair
+    /// of the same tuple therefore costs two hash probes instead of two
+    /// full structure walks.
+    ///
+    /// After an effective batch, [`QhEngine::last_update_work`] holds the
+    /// *total* structural work of the netted commits (0 for a fully
+    /// cancelling batch) — not the last single update's work as in the
+    /// sequential path.
+    fn apply_batch(&mut self, updates: &[Update]) -> UpdateReport {
+        if updates.len() < 2 {
+            let applied = updates.iter().filter(|u| self.apply(u)).count();
+            return UpdateReport {
+                total: updates.len(),
+                applied,
+            };
+        }
+        // (initial presence, current presence) per touched tuple.
+        let mut shadow: FxHashMap<(RelId, &[Const]), (bool, bool)> = FxHashMap::default();
+        let mut applied = 0usize;
+        for u in updates {
+            let key = (u.relation(), u.tuple());
+            let db = &self.db;
+            let entry = shadow.entry(key).or_insert_with(|| {
+                let present = db.relation(key.0).contains(key.1);
+                (present, present)
+            });
+            let target = u.is_insert();
+            if entry.1 != target {
+                entry.1 = target;
+                applied += 1;
+            }
+        }
+        // Commit the net effect, grouped by relation for index locality.
+        let mut net: Vec<(RelId, &[Const], bool)> = shadow
+            .into_iter()
+            .filter(|(_, (initial, current))| initial != current)
+            .map(|((rel, tuple), (_, current))| (rel, tuple, current))
+            .collect();
+        net.sort_unstable();
+        let mut work = 0u64;
+        for (rel, tuple, insert) in net {
+            let u = if insert {
+                Update::Insert(rel, tuple.to_vec())
+            } else {
+                Update::Delete(rel, tuple.to_vec())
+            };
+            let changed = self.db.apply(&u);
+            debug_assert!(changed, "netted update must be effective");
+            work += self
+                .components
+                .iter_mut()
+                .map(|c| c.apply_fact(rel, tuple, insert))
+                .sum::<u64>();
+        }
+        if applied > 0 {
+            self.last_work = work;
+        }
+        UpdateReport {
+            total: updates.len(),
+            applied,
+        }
     }
 
     fn count(&self) -> u64 {
         // |ϕ(D)| = Π_i |ϕ_i(D)| over the connected components; Boolean
         // components contribute 1 (nonempty) or 0 (empty).
         self.components.iter().fold(1u64, |acc, c| {
-            acc.checked_mul(c.result_count()).expect("result count overflowed u64")
+            acc.checked_mul(c.result_count())
+                .expect("result count overflowed u64")
         })
     }
 
@@ -346,6 +425,61 @@ mod tests {
             del(&mut e, "E", &[i, i + 1000]);
         }
         assert_eq!(e.num_items(), 0, "all items must be garbage-collected");
+    }
+
+    #[test]
+    fn apply_batch_equals_sequential_apply() {
+        let src = "Q(x, y) :- E(x, y), T(y).";
+        let batch: Vec<(bool, &str, Vec<Const>)> = vec![
+            (true, "E", vec![1, 2]),
+            (true, "T", vec![2]),
+            (true, "E", vec![1, 2]),  // duplicate: no-op
+            (false, "E", vec![1, 2]), // cancels the first insert
+            (true, "E", vec![3, 2]),
+            (false, "T", vec![9]),   // absent: no-op
+            (true, "E", vec![1, 2]), // reinserted after the delete
+        ];
+        let mut seq = engine_for(src);
+        let mut bat = engine_for(src);
+        let updates: Vec<Update> = batch
+            .iter()
+            .map(|(insert, rel, t)| {
+                let r = seq.query().schema().relation(rel).unwrap();
+                if *insert {
+                    Update::Insert(r, t.clone())
+                } else {
+                    Update::Delete(r, t.clone())
+                }
+            })
+            .collect();
+        let seq_applied = updates.iter().filter(|u| seq.apply(u)).count();
+        let report = bat.apply_batch(&updates);
+        assert_eq!(report.total, updates.len());
+        assert_eq!(report.applied, seq_applied);
+        assert_eq!(report.noops(), updates.len() - seq_applied);
+        assert_eq!(bat.count(), seq.count());
+        assert_eq!(bat.results_sorted(), seq.results_sorted());
+        assert_eq!(bat.num_items(), seq.num_items());
+        assert_eq!(bat.database().cardinality(), seq.database().cardinality());
+    }
+
+    #[test]
+    fn apply_batch_cancelling_pairs_touch_no_structures() {
+        let mut e = engine_for("Q(x, y) :- E(x, y), T(y).");
+        let r = e.query().schema().relation("E").unwrap();
+        let batch: Vec<Update> = (0..50)
+            .flat_map(|i| {
+                [
+                    Update::Insert(r, vec![i, i + 1]),
+                    Update::Delete(r, vec![i, i + 1]),
+                ]
+            })
+            .collect();
+        let report = e.apply_batch(&batch);
+        assert_eq!(report.applied, 100, "each op is effective in sequence");
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.num_items(), 0);
+        assert_eq!(e.last_update_work(), 0, "netted batch skips propagation");
     }
 
     #[test]

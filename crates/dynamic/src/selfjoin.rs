@@ -75,7 +75,12 @@ impl Phi2Engine {
         let query = parse_query("Q(x, y, z1, z2) :- E(x,x), E(x,y), E(y,y), E(z1,z2).")
             .expect("fixed query parses");
         let rel = query.schema().relation("E").unwrap();
-        Phi2Engine { query, rel, edges: VecSet::default(), loops: VecSet::default() }
+        Phi2Engine {
+            query,
+            rel,
+            edges: VecSet::default(),
+            loops: VecSet::default(),
+        }
     }
 
     /// Number of edges currently stored.
@@ -101,10 +106,18 @@ impl DynamicEngine for Phi2Engine {
     }
 
     fn apply(&mut self, update: &Update) -> bool {
-        assert_eq!(update.relation(), self.rel, "ϕ₂ engine has a single relation E");
+        assert_eq!(
+            update.relation(),
+            self.rel,
+            "ϕ₂ engine has a single relation E"
+        );
         let t = update.tuple();
         let e = (t[0], t[1]);
-        let changed = if update.is_insert() { self.edges.insert(e) } else { self.edges.remove(e) };
+        let changed = if update.is_insert() {
+            self.edges.insert(e)
+        } else {
+            self.edges.remove(e)
+        };
         if changed && e.0 == e.1 {
             if update.is_insert() {
                 self.loops.insert(e);
@@ -161,7 +174,15 @@ const SCAN_BUDGET: usize = 2;
 impl<'a> Phi2Iter<'a> {
     fn new(e: &'a Phi2Engine) -> Self {
         let c0 = e.loops.items.first().map(|&(c, _)| c);
-        Phi2Iter { e, c0, phase1_pos: 0, scan_pos: 0, pairs: Vec::new(), pair_pos: 0, edge_pos: 0 }
+        Phi2Iter {
+            e,
+            c0,
+            phase1_pos: 0,
+            scan_pos: 0,
+            pairs: Vec::new(),
+            pair_pos: 0,
+            edge_pos: 0,
+        }
     }
 
     /// Advances the background scan by [`SCAN_BUDGET`] edges: an edge

@@ -108,7 +108,12 @@ impl ComponentStructure {
             .map(|&nid| {
                 tree.node(nid)
                     .parent
-                    .map(|p| free_order.iter().position(|&q| q == p).expect("free prefix"))
+                    .map(|p| {
+                        free_order
+                            .iter()
+                            .position(|&q| q == p)
+                            .expect("free prefix")
+                    })
                     .unwrap_or(usize::MAX)
             })
             .collect();
@@ -213,7 +218,12 @@ impl ComponentStructure {
             if self.query.atom(ap.atom).relation != rel {
                 continue;
             }
-            if !ap.canon.iter().enumerate().all(|(p, &c)| fact[p] == fact[c]) {
+            if !ap
+                .canon
+                .iter()
+                .enumerate()
+                .all(|(p, &c)| fact[p] == fact[c])
+            {
                 continue;
             }
             work += self.apply_atom(ap_idx, fact, insert);
@@ -368,8 +378,7 @@ impl ComponentStructure {
             let pos = self.pos_in_parent[node];
             let p = &mut self.items[parent];
             p.child_sums[pos] = p.child_sums[pos] - old_weight + new_weight;
-            p.free_child_sums[pos] =
-                p.free_child_sums[pos] - old_free_weight + new_free_weight;
+            p.free_child_sums[pos] = p.free_child_sums[pos] - old_free_weight + new_free_weight;
         }
     }
 
@@ -435,8 +444,8 @@ impl ComponentStructure {
     /// the q-tree node whose variable is named `var`, with path constants
     /// `key` (root constant first). Used to reproduce Figure 3.
     pub fn item_weights(&self, var: &str, key: &[Const]) -> Option<(u64, u64)> {
-        let node = (0..self.tree.len())
-            .find(|&n| self.query.var_name(self.tree.node(n).var) == var)?;
+        let node =
+            (0..self.tree.len()).find(|&n| self.query.var_name(self.tree.node(n).var) == var)?;
         let id = self.lookup[node].get(key).copied()?;
         let item = &self.items[id];
         Some((item.weight, item.free_weight))
@@ -463,8 +472,11 @@ impl ComponentStructure {
         // Stable order: nodes by id, items by key.
         for node in 0..self.tree.len() {
             let var = self.query.var_name(self.tree.node(node).var);
-            let mut items: Vec<&Item> =
-                self.iter_items().filter(|(_, it)| it.node == node).map(|(_, it)| it).collect();
+            let mut items: Vec<&Item> = self
+                .iter_items()
+                .filter(|(_, it)| it.node == node)
+                .map(|(_, it)| it)
+                .collect();
             items.sort_by(|a, b| a.key.cmp(&b.key));
             for item in items {
                 let _ = writeln!(

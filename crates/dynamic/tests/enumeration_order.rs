@@ -11,7 +11,10 @@ fn engine(src: &str, facts: &[(&str, &[Const])]) -> QhEngine {
     let mut e = QhEngine::empty(&q).unwrap();
     for (rel, t) in facts {
         let r = q.schema().relation(rel).unwrap();
-        assert!(e.apply(&Update::Insert(r, t.to_vec())), "ineffective fixture fact");
+        assert!(
+            e.apply(&Update::Insert(r, t.to_vec())),
+            "ineffective fixture fact"
+        );
     }
     e
 }
@@ -20,7 +23,13 @@ fn engine(src: &str, facts: &[(&str, &[Const])]) -> QhEngine {
 fn iterators_are_independent_and_restartable() {
     let e = engine(
         "Q(x, y) :- E(x, y), T(y).",
-        &[("E", &[1, 9]), ("E", &[2, 9]), ("E", &[3, 8]), ("T", &[9]), ("T", &[8])],
+        &[
+            ("E", &[1, 9]),
+            ("E", &[2, 9]),
+            ("E", &[3, 8]),
+            ("T", &[9]),
+            ("T", &[8]),
+        ],
     );
     let full1: Vec<_> = e.enumerate().collect();
     // A second iterator starts fresh and yields the same sequence.
@@ -85,7 +94,13 @@ fn document_order_groups_prefixes() {
 fn cross_product_enumeration_is_complete() {
     let e = engine(
         "Q(a, b) :- R(a), S(b).",
-        &[("R", &[1]), ("R", &[2]), ("R", &[3]), ("S", &[7]), ("S", &[8])],
+        &[
+            ("R", &[1]),
+            ("R", &[2]),
+            ("R", &[3]),
+            ("S", &[7]),
+            ("S", &[8]),
+        ],
     );
     let mut rows: Vec<Vec<Const>> = e.enumerate().collect();
     assert_eq!(rows.len(), 6);
@@ -118,7 +133,12 @@ fn quantified_suffix_not_enumerated() {
     // duplicate the x.
     let e = engine(
         "Q(x) :- R(x, y).",
-        &[("R", &[1, 10]), ("R", &[1, 11]), ("R", &[1, 12]), ("R", &[2, 10])],
+        &[
+            ("R", &[1, 10]),
+            ("R", &[1, 11]),
+            ("R", &[1, 12]),
+            ("R", &[2, 10]),
+        ],
     );
     let rows: Vec<Vec<Const>> = e.enumerate().collect();
     assert_eq!(rows.len(), 2);
@@ -135,7 +155,10 @@ fn renderer_shows_weights_and_unfit_items() {
     let comp = &e.components()[0];
     let rendered = comp.render_structure();
     assert!(rendered.contains("Cstart = 1"));
-    assert!(rendered.contains("(unfit)"), "E(5,6) has no T(6): an unfit item exists\n{rendered}");
+    assert!(
+        rendered.contains("(unfit)"),
+        "E(5,6) has no T(6): an unfit item exists\n{rendered}"
+    );
     assert!(rendered.contains("C̃"));
 }
 
@@ -143,10 +166,9 @@ fn renderer_shows_weights_and_unfit_items() {
 fn output_order_follows_head_not_document_order() {
     // Head (y, x) while the q-tree is rooted at... whichever; the output
     // tuple must honour the head order.
-    let e = engine("Q(y, x) :- E(x, y), T(y), U(x, y).", &[
-        ("E", &[1, 2]),
-        ("T", &[2]),
-        ("U", &[1, 2]),
-    ]);
+    let e = engine(
+        "Q(y, x) :- E(x, y), T(y), U(x, y).",
+        &[("E", &[1, 2]), ("T", &[2]), ("U", &[1, 2])],
+    );
     assert_eq!(e.results_sorted(), vec![vec![2, 1]], "head is (y, x)");
 }

@@ -83,7 +83,12 @@ fn drive(q: &Query, seed: u64, steps: usize) {
 
 #[test]
 fn generated_queries_match_oracle() {
-    let cfg = GenConfig { max_vars: 4, max_atoms: 3, max_arity: 3, self_join_pct: 30 };
+    let cfg = GenConfig {
+        max_vars: 4,
+        max_atoms: 3,
+        max_arity: 3,
+        self_join_pct: 30,
+    };
     for seed in 0..60 {
         let q = random_q_hierarchical(&mut Lcg::new(seed * 977 + 3), cfg);
         drive(&q, seed, 60);
@@ -93,7 +98,12 @@ fn generated_queries_match_oracle() {
 #[test]
 fn generated_deep_queries_match_oracle() {
     // Deeper trees, fewer seeds (brute force grows fast).
-    let cfg = GenConfig { max_vars: 6, max_atoms: 2, max_arity: 4, self_join_pct: 40 };
+    let cfg = GenConfig {
+        max_vars: 6,
+        max_atoms: 2,
+        max_arity: 4,
+        self_join_pct: 40,
+    };
     for seed in 0..25 {
         let q = random_q_hierarchical(&mut Lcg::new(seed * 7919 + 1), cfg);
         drive(&q, seed ^ 0xF00, 40);

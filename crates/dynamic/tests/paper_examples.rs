@@ -20,10 +20,8 @@ const P: Const = 16;
 /// Builds the engine for Example 6.1 loaded with `D₀`.
 fn example_6_1() -> QhEngine {
     // ϕ(x, y, z, y', z') = (Rxyz ∧ Rxyz' ∧ Exy ∧ Exy' ∧ Sxyz).
-    let q = parse_query(
-        "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).",
-    )
-    .unwrap();
+    let q = parse_query("Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).")
+        .unwrap();
     let mut engine = QhEngine::empty(&q).unwrap();
     let er = q.schema().relation("E").unwrap();
     let sr = q.schema().relation("S").unwrap();
@@ -93,7 +91,11 @@ fn figure_3a_weights_and_cstart() {
     // z-items under [y, a/x, e]: both z = a and z = b are fit.
     assert_eq!(w("z", &[A, E, A]), 1);
     assert_eq!(w("z", &[A, E, B]), 1);
-    assert_eq!(w("z", &[A, E, C]), 0, "R(a,e,c) exists but S(a,e,c) does not");
+    assert_eq!(
+        w("z", &[A, E, C]),
+        0,
+        "R(a,e,c) exists but S(a,e,c) does not"
+    );
     // z'-items need only Rxyz'.
     assert_eq!(w("z'", &[A, E, C]), 1);
     // Unfit z-items listed at the end of Example 6.1.
@@ -120,7 +122,11 @@ fn figure_3b_after_inserting_e_b_p() {
     let w = |var: &str, key: &[Const]| comp.item_weights(var, key).unwrap().0;
     assert_eq!(w("x", &[A]), 14);
     assert_eq!(w("x", &[B]), 24);
-    assert_eq!(w("y", &[B, P]), 3, "item [y, b/x, p] becomes fit with weight 3");
+    assert_eq!(
+        w("y", &[B, P]),
+        3,
+        "item [y, b/x, p] becomes fit with weight 3"
+    );
     assert_eq!(w("y'", &[B, P]), 1);
     cqu_dynamic::audit::check_invariants(&engine).unwrap();
 
@@ -138,8 +144,10 @@ fn table_1_enumeration() {
     let engine = example_6_1();
     // Output tuples follow the head order (x, y, z, y', z'); Table 1 prints
     // document order (x, y, z, z', y'). Reorder for comparison.
-    let got: Vec<[Const; 5]> =
-        engine.enumerate().map(|t| [t[0], t[1], t[2], t[4], t[3]]).collect();
+    let got: Vec<[Const; 5]> = engine
+        .enumerate()
+        .map(|t| [t[0], t[1], t[2], t[4], t[3]])
+        .collect();
     assert_eq!(got.len(), 23, "exactly the 23 rows of Table 1");
 
     // (1) As a set, the output is exactly Table 1.

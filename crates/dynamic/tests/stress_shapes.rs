@@ -9,8 +9,9 @@ use cqu_storage::{Const, Update};
 /// `Q(x1,…,xd) :- R1(x1), R2(x1,x2), …, Rd(x1,…,xd)`.
 fn chain_query(depth: usize) -> Query {
     let vars: Vec<String> = (1..=depth).map(|i| format!("x{i}")).collect();
-    let atoms: Vec<String> =
-        (1..=depth).map(|i| format!("R{i}({})", vars[..i].join(", "))).collect();
+    let atoms: Vec<String> = (1..=depth)
+        .map(|i| format!("R{i}({})", vars[..i].join(", ")))
+        .collect();
     parse_query(&format!("Q({}) :- {}.", vars.join(", "), atoms.join(", "))).unwrap()
 }
 
@@ -56,8 +57,9 @@ fn deep_chain_counts_products_along_paths() {
 fn wide_star_count_is_product_of_fanouts() {
     // Q(x, y1..y6) :- R1(x,y1), …, R6(x,y6): count = Π fanout_i per hub.
     let k = 6;
-    let head: Vec<String> =
-        std::iter::once("x".into()).chain((1..=k).map(|i| format!("y{i}"))).collect();
+    let head: Vec<String> = std::iter::once("x".into())
+        .chain((1..=k).map(|i| format!("y{i}")))
+        .collect();
     let atoms: Vec<String> = (1..=k).map(|i| format!("R{i}(x, y{i})")).collect();
     let q = parse_query(&format!("Q({}) :- {}.", head.join(", "), atoms.join(", "))).unwrap();
     let mut e = QhEngine::empty(&q).unwrap();
@@ -126,7 +128,9 @@ fn hundred_thousand_updates_stay_consistent() {
     let mut live: Vec<Update> = Vec::new();
     let mut state = 0x12345u64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         state >> 33
     };
     for step in 0..100_000u64 {

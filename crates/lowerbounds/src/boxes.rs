@@ -63,7 +63,7 @@ impl BoxCounter {
     ) -> Self {
         let k = query.arity();
         assert_eq!(boxes.len(), k, "one box per free variable");
-        assert!(k >= 1 && k <= 8, "box counting supports 1 ≤ k ≤ 8");
+        assert!((1..=8).contains(&k), "box counting supports 1 ≤ k ≤ 8");
         let mut box_of: FxHashMap<Const, usize> = FxHashMap::default();
         for (i, b) in boxes.iter().enumerate() {
             for &c in b {
@@ -86,9 +86,16 @@ impl BoxCounter {
             }
         }
         debug_assert!(pi_size >= 1, "the identity is always an endomorphism");
-        let engines: Vec<Vec<Box<dyn DynamicEngine>>> =
-            (0..1usize << k).map(|_| (0..=k).map(|_| factory(query)).collect()).collect();
-        BoxCounter { query: query.clone(), k, box_of, pi_size, engines }
+        let engines: Vec<Vec<Box<dyn DynamicEngine>>> = (0..1usize << k)
+            .map(|_| (0..=k).map(|_| factory(query)).collect())
+            .collect();
+        BoxCounter {
+            query: query.clone(),
+            k,
+            box_of,
+            pi_size,
+            engines,
+        }
     }
 
     /// `|Π|` — the endomorphism permutation group size of the free tuple.
@@ -110,9 +117,7 @@ impl BoxCounter {
             let box_positions: Vec<usize> = tuple
                 .iter()
                 .enumerate()
-                .filter(|(_, c)| {
-                    self.box_of.get(c).is_some_and(|&i| mask >> i & 1 == 1)
-                })
+                .filter(|(_, c)| self.box_of.get(c).is_some_and(|&i| mask >> i & 1 == 1))
                 .map(|(p, _)| p)
                 .collect();
             for ell in 0..=self.k {
@@ -167,7 +172,11 @@ impl BoxCounter {
         let mut sum: i128 = 0;
         for ell in 0..=self.k {
             let c = self.engines[mask][ell].count() as i128;
-            let sign = if (self.k - ell) % 2 == 0 { 1 } else { -1 };
+            let sign = if (self.k - ell).is_multiple_of(2) {
+                1
+            } else {
+                -1
+            };
             sum += sign * binomial(self.k, ell) * c;
         }
         let fact: i128 = (1..=k).product();
@@ -180,7 +189,11 @@ impl BoxCounter {
         let full = (1usize << self.k) - 1;
         let mut r: i128 = 0;
         for i_mask in 0..(1usize << self.k) {
-            let sign = if (i_mask as u32).count_ones() % 2 == 0 { 1 } else { -1 };
+            let sign = if (i_mask as u32).count_ones().is_multiple_of(2) {
+                1
+            } else {
+                -1
+            };
             r += sign * self.r_k(full & !i_mask);
         }
         debug_assert!(r >= 0, "inclusion-exclusion must be non-negative");
@@ -231,7 +244,9 @@ mod tests {
     use cqu_query::parse_query;
     use cqu_storage::Database;
 
-    fn ivm_factory() -> Box<dyn Fn(&Query) -> Box<dyn DynamicEngine>> {
+    type EngineFactory = dyn Fn(&Query) -> Box<dyn DynamicEngine>;
+
+    fn ivm_factory() -> Box<EngineFactory> {
         Box::new(|q: &Query| Box::new(DeltaIvmEngine::empty(q)) as Box<dyn DynamicEngine>)
     }
 
@@ -310,16 +325,20 @@ mod tests {
         let q = parse_query("Q(x) :- E(x, y).").unwrap();
         let xa: FxHashSet<Const> = [1, 2, 3].into_iter().collect();
         let factory = ivm_factory();
-        let mut counter = BoxCounter::new(&q, &[xa.clone()], &factory);
+        let mut counter = BoxCounter::new(&q, std::slice::from_ref(&xa), &factory);
         let mut db = Database::new(q.schema().clone());
         let e = q.schema().relation("E").unwrap();
         for (a, b) in [(1u64, 100u64), (1, 101), (2, 100), (9, 100)] {
             let u = Update::Insert(e, vec![a, b]);
             db.apply(&u);
             counter.apply(&u);
-            assert_eq!(counter.count(), brute(&q, &db, &[xa.clone()]));
+            assert_eq!(counter.count(), brute(&q, &db, std::slice::from_ref(&xa)));
         }
-        assert_eq!(counter.count(), 2, "x ∈ {{1,2}} have witnesses; 9 is outside the box");
+        assert_eq!(
+            counter.count(),
+            2,
+            "x ∈ {{1,2}} have witnesses; 9 is outside the box"
+        );
     }
 
     #[test]

@@ -14,7 +14,6 @@
 //! engine grows polynomially in `n` for the hard queries, flat for the
 //! easy ones).
 
-
 #![warn(missing_docs)]
 pub mod boxes;
 pub mod omv;

@@ -32,8 +32,9 @@ impl OmvInstance {
     pub fn random(n: usize, density: f64, seed: u64) -> Self {
         let mut rng = SmallRng::seed_from_u64(seed);
         let matrix = BitMatrix::from_fn(n, |_, _| rng.gen_bool(density));
-        let vectors =
-            (0..n).map(|_| BitSet::from_bools((0..n).map(|_| rng.gen_bool(density)))).collect();
+        let vectors = (0..n)
+            .map(|_| BitSet::from_bools((0..n).map(|_| rng.gen_bool(density))))
+            .collect();
         OmvInstance { matrix, vectors }
     }
 
@@ -44,7 +45,10 @@ impl OmvInstance {
 
     /// The naive `O(n³)` solution: one matrix-vector product per round.
     pub fn solve_naive(&self) -> Vec<BitSet> {
-        self.vectors.iter().map(|v| self.matrix.mul_vec(v)).collect()
+        self.vectors
+            .iter()
+            .map(|v| self.matrix.mul_vec(v))
+            .collect()
     }
 }
 
@@ -80,7 +84,10 @@ impl OuMvInstance {
 
     /// The naive solution: `(uᵗ)ᵀ M vᵗ` per round.
     pub fn solve_naive(&self) -> Vec<bool> {
-        self.pairs.iter().map(|(u, v)| self.matrix.bilinear(u, v)).collect()
+        self.pairs
+            .iter()
+            .map(|(u, v)| self.matrix.bilinear(u, v))
+            .collect()
     }
 }
 
@@ -126,7 +133,9 @@ impl OvInstance {
 
     /// The naive `O(n² d)` solution: check all pairs.
     pub fn solve_naive(&self) -> bool {
-        self.u.iter().any(|u| self.v.iter().any(|v| !u.intersects(v)))
+        self.u
+            .iter()
+            .any(|u| self.v.iter().any(|v| !u.intersects(v)))
     }
 }
 
@@ -174,7 +183,10 @@ mod tests {
         assert!(inst.solve_naive());
         // All-ones vs all-ones is never orthogonal (d ≥ 1).
         let ones = BitSet::from_bools(vec![true; 5]);
-        let inst2 = OvInstance { u: vec![ones.clone(); 4], v: vec![ones; 4] };
+        let inst2 = OvInstance {
+            u: vec![ones.clone(); 4],
+            v: vec![ones; 4],
+        };
         assert!(!inst2.solve_naive());
     }
 

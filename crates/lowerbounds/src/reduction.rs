@@ -63,10 +63,7 @@ fn sync_relation(
 ///
 /// `engine` must be a freshly built engine for [`phi_set_boolean`] over the
 /// empty database. Returns the round answers `(uᵗ)ᵀ M vᵗ`.
-pub fn oumv_via_boolean_set(
-    instance: &OuMvInstance,
-    engine: &mut dyn DynamicEngine,
-) -> Vec<bool> {
+pub fn oumv_via_boolean_set(instance: &OuMvInstance, engine: &mut dyn DynamicEngine) -> Vec<bool> {
     let schema = engine.query().schema();
     let s = schema.relation("S").expect("phi_set schema");
     let e = schema.relation("E").expect("phi_set schema");
@@ -175,12 +172,21 @@ pub fn oumv_via_core(
     engine: &mut dyn DynamicEngine,
 ) -> Vec<bool> {
     let (x, y, psi_x, psi_xy, psi_y) = match violation {
-        Violation::Incomparable { x, y, psi_x, psi_xy, psi_y } => (*x, *y, *psi_x, *psi_xy, *psi_y),
+        Violation::Incomparable {
+            x,
+            y,
+            psi_x,
+            psi_xy,
+            psi_y,
+        } => (*x, *y, *psi_x, *psi_xy, *psi_y),
         Violation::FreeQuantified { .. } => {
             panic!("oumv_via_core requires a condition-(i) violation")
         }
     };
-    assert!(core.is_boolean(), "Theorem 3.4's reduction targets Boolean cores");
+    assert!(
+        core.is_boolean(),
+        "Theorem 3.4's reduction targets Boolean cores"
+    );
     let n = instance.n();
     let a = |i: usize| (i + 1) as Const;
     let b = |j: usize| (n + j + 1) as Const;
@@ -204,8 +210,7 @@ pub fn oumv_via_core(
     // Desired relation contents as a function of (u, v): per atom ψ the
     // tuple set prescribed by Section 5.4, unioned per relation symbol.
     let desired = |u: &BitSet, v: &BitSet| -> Vec<FxHashSet<Vec<Const>>> {
-        let mut rels: Vec<FxHashSet<Vec<Const>>> =
-            vec![FxHashSet::default(); core.schema().len()];
+        let mut rels: Vec<FxHashSet<Vec<Const>>> = vec![FxHashSet::default(); core.schema().len()];
         for (aid, atom) in core.atoms().iter().enumerate() {
             let dst = &mut rels[atom.relation.index()];
             let has_x = atom.contains(x);

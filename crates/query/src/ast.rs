@@ -8,10 +8,9 @@
 
 use crate::QueryError;
 use cqu_common::FxHashMap;
-use serde::{Deserialize, Serialize};
 
 /// A query variable, identified by index into [`Query::var_names`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Var(pub u32);
 
 impl Var {
@@ -23,7 +22,7 @@ impl Var {
 }
 
 /// A relation symbol, identified by index into a [`Schema`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RelId(pub u32);
 
 impl RelId {
@@ -38,11 +37,10 @@ impl RelId {
 pub type AtomId = usize;
 
 /// A database schema: a finite list of relation symbols with fixed arities.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schema {
     names: Vec<String>,
     arities: Vec<usize>,
-    #[serde(skip)]
     by_name: FxHashMap<String, RelId>,
 }
 
@@ -116,7 +114,7 @@ impl Schema {
 }
 
 /// An atomic query `R u₁ ⋯ u_r`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Atom {
     /// The relation symbol.
     pub relation: RelId,
@@ -150,7 +148,7 @@ impl Atom {
 /// * every free variable occurs in some atom;
 /// * free variables are pairwise distinct;
 /// * variable indices are dense: `vars() == 0..num_vars()`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Query {
     schema: Schema,
     name: String,
@@ -287,7 +285,13 @@ impl Query {
                 args: self.atoms[aid].args.iter().map(|v| var_map[v]).collect(),
             })
             .collect();
-        Query { schema: self.schema.clone(), name: self.name.clone(), var_names, free, atoms }
+        Query {
+            schema: self.schema.clone(),
+            name: self.name.clone(),
+            var_names,
+            free,
+            atoms,
+        }
     }
 
     /// Replaces the free-variable tuple (crate-internal; callers must pass
@@ -394,7 +398,10 @@ impl QueryBuilder {
     /// Appends a body atom `relation(args…)`.
     pub fn atom(&mut self, relation: &str, args: &[Var]) -> Result<&mut Self, QueryError> {
         let rel = self.schema.intern(relation, args.len())?;
-        self.atoms.push(Atom { relation: rel, args: args.to_vec() });
+        self.atoms.push(Atom {
+            relation: rel,
+            args: args.to_vec(),
+        });
         Ok(self)
     }
 
@@ -426,13 +433,18 @@ impl QueryBuilder {
         }
         for &v in &free {
             if !in_body[v.index()] {
-                return Err(QueryError::UnboundHeadVariable(self.var_names[v.index()].clone()));
+                return Err(QueryError::UnboundHeadVariable(
+                    self.var_names[v.index()].clone(),
+                ));
             }
         }
         // All interned variables must occur in the body (a variable that
         // never occurs anywhere would be meaningless for evaluation).
         debug_assert!(
-            self.var_names.iter().enumerate().all(|(i, _)| in_body[i] || !in_body.is_empty()),
+            self.var_names
+                .iter()
+                .enumerate()
+                .all(|(i, _)| in_body[i] || !in_body.is_empty()),
             "builder interned a variable that occurs nowhere"
         );
         Ok(Query {

@@ -84,7 +84,10 @@ impl std::fmt::Display for Verdict {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Verdict::Tractable { reason } => write!(f, "tractable ({reason})"),
-            Verdict::Hard { conjecture, violation } => {
+            Verdict::Hard {
+                conjecture,
+                violation,
+            } => {
                 write!(f, "hard under {conjecture} ({violation})")
             }
             Verdict::Open { note } => write!(f, "open ({note})"),
@@ -120,14 +123,20 @@ pub fn classify(q: &Query) -> Classification {
                 "homomorphic core is q-hierarchical; evaluate the core".to_string()
             },
         },
-        Some(violation) => Verdict::Hard { conjecture: Conjecture::OMvAndOV, violation },
+        Some(violation) => Verdict::Hard {
+            conjecture: Conjecture::OMvAndOV,
+            violation,
+        },
     };
 
     let boolean = match q_hierarchical_violation(&boolean_core) {
         None => Verdict::Tractable {
             reason: "core of the existential closure is q-hierarchical".to_string(),
         },
-        Some(violation) => Verdict::Hard { conjecture: Conjecture::OMv, violation },
+        Some(violation) => Verdict::Hard {
+            conjecture: Conjecture::OMv,
+            violation,
+        },
     };
 
     let enumeration = match q_hierarchical_violation(&core) {
@@ -140,7 +149,10 @@ pub fn classify(q: &Query) -> Classification {
         },
         Some(violation) => {
             if q.is_self_join_free() {
-                Verdict::Hard { conjecture: Conjecture::OMv, violation }
+                Verdict::Hard {
+                    conjecture: Conjecture::OMv,
+                    violation,
+                }
             } else {
                 Verdict::Open {
                     note: "non-q-hierarchical core with self-joins: \
@@ -151,7 +163,13 @@ pub fn classify(q: &Query) -> Classification {
         }
     };
 
-    Classification { enumeration, counting, boolean, core, boolean_core }
+    Classification {
+        enumeration,
+        counting,
+        boolean,
+        core,
+        boolean_core,
+    }
 }
 
 #[cfg(test)]

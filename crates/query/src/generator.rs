@@ -30,7 +30,10 @@ impl Lcg {
 
     /// Next raw value.
     pub fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 11
     }
 
@@ -61,7 +64,12 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { max_vars: 6, max_atoms: 5, max_arity: 3, self_join_pct: 25 }
+        GenConfig {
+            max_vars: 6,
+            max_atoms: 5,
+            max_arity: 3,
+            self_join_pct: 25,
+        }
     }
 }
 
@@ -92,11 +100,16 @@ pub fn random_query(rng: &mut Lcg, cfg: GenConfig) -> Query {
             .iter()
             .map(|&i| *interned[i].get_or_insert_with(|| b.var(&format!("v{i}"))))
             .collect();
-        b.atom(&format!("R{rel}"), &vars).expect("arities are consistent by construction");
+        b.atom(&format!("R{rel}"), &vars)
+            .expect("arities are consistent by construction");
     }
     // Free tuple: a random subset of the used variables.
-    let free: Vec<Var> =
-        interned.iter().flatten().copied().filter(|_| rng.chance(1, 2)).collect();
+    let free: Vec<Var> = interned
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|_| rng.chance(1, 2))
+        .collect();
     b.head(&free);
     b.build().expect("generated query is well-formed")
 }
@@ -112,7 +125,9 @@ pub fn random_query(rng: &mut Lcg, cfg: GenConfig) -> Query {
 pub fn random_q_hierarchical(rng: &mut Lcg, cfg: GenConfig) -> Query {
     let k = 1 + rng.below(cfg.max_vars);
     // parent[i] < i for i > 0: a random rooted tree in index order.
-    let parent: Vec<usize> = (0..k).map(|i| if i == 0 { 0 } else { rng.below(i) }).collect();
+    let parent: Vec<usize> = (0..k)
+        .map(|i| if i == 0 { 0 } else { rng.below(i) })
+        .collect();
     let depth_path = |mut v: usize| -> Vec<usize> {
         let mut path = vec![v];
         while v != 0 {
@@ -139,14 +154,29 @@ pub fn random_q_hierarchical(rng: &mut Lcg, cfg: GenConfig) -> Query {
     let mut next_rel = 0usize;
     let mut emitted: Vec<(String, usize)> = Vec::new();
     for v in 0..k {
-        emit_path_atom(&mut b, rng, &vars, &depth_path(v), &mut next_rel, &mut emitted, cfg);
+        emit_path_atom(
+            &mut b,
+            rng,
+            &vars,
+            &depth_path(v),
+            &mut next_rel,
+            &mut emitted,
+            cfg,
+        );
     }
     for _ in 0..num_extra {
         let v = rng.below(k);
-        emit_path_atom(&mut b, rng, &vars, &depth_path(v), &mut next_rel, &mut emitted, cfg);
+        emit_path_atom(
+            &mut b,
+            rng,
+            &vars,
+            &depth_path(v),
+            &mut next_rel,
+            &mut emitted,
+            cfg,
+        );
     }
-    let free: Vec<Var> =
-        (0..k).filter(|&i| free_flag[i]).map(|i| vars[i]).collect();
+    let free: Vec<Var> = (0..k).filter(|&i| free_flag[i]).map(|i| vars[i]).collect();
     b.head(&free);
     b.build().expect("generated query is well-formed")
 }
@@ -165,8 +195,7 @@ fn emit_path_atom(
     let repeats = rng.below(2);
     let arity = path.len() + repeats;
     // Self-join: reuse a previously emitted relation with the same arity.
-    let reusable: Vec<&(String, usize)> =
-        emitted.iter().filter(|(_, a)| *a == arity).collect();
+    let reusable: Vec<&(String, usize)> = emitted.iter().filter(|(_, a)| *a == arity).collect();
     let name = if !reusable.is_empty() && rng.chance(cfg.self_join_pct, 100) {
         reusable[rng.below(reusable.len())].0.clone()
     } else {
@@ -182,7 +211,8 @@ fn emit_path_atom(
         let pick = path[rng.below(path.len())];
         args.insert(rng.below(args.len() + 1), vars[pick]);
     }
-    b.atom(&name, &args).expect("consistent arity by construction");
+    b.atom(&name, &args)
+        .expect("consistent arity by construction");
 }
 
 #[cfg(test)]
@@ -215,8 +245,9 @@ mod tests {
         for seed in 0..800 {
             let mut rng = Lcg::new(seed ^ 0xABCD);
             let q = random_query(&mut rng, cfg);
-            let built =
-                connected_components(&q).iter().all(|c| QTree::build(&q, c).is_ok());
+            let built = connected_components(&q)
+                .iter()
+                .all(|c| QTree::build(&q, c).is_ok());
             assert_eq!(built, is_q_hierarchical(&q), "seed {seed}: {q}");
             if built {
                 yes += 1;
@@ -238,7 +269,10 @@ mod tests {
 
     #[test]
     fn generator_produces_quantifiers_and_self_joins() {
-        let cfg = GenConfig { self_join_pct: 60, ..GenConfig::default() };
+        let cfg = GenConfig {
+            self_join_pct: 60,
+            ..GenConfig::default()
+        };
         let mut saw_boolean = false;
         let mut saw_quantified = false;
         let mut saw_self_join = false;

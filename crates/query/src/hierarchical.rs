@@ -54,13 +54,24 @@ pub enum Violation {
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Violation::Incomparable { x, y, psi_x, psi_xy, psi_y } => write!(
+            Violation::Incomparable {
+                x,
+                y,
+                psi_x,
+                psi_xy,
+                psi_y,
+            } => write!(
                 f,
                 "variables v{} and v{} have overlapping incomparable atom sets \
                  (witnesses: atoms #{psi_x}, #{psi_xy}, #{psi_y})",
                 x.0, y.0
             ),
-            Violation::FreeQuantified { x, y, psi_xy, psi_y } => write!(
+            Violation::FreeQuantified {
+                x,
+                y,
+                psi_xy,
+                psi_y,
+            } => write!(
                 f,
                 "free variable v{} is dominated by quantified variable v{} \
                  (witnesses: atoms #{psi_xy}, #{psi_y})",
@@ -130,7 +141,13 @@ pub fn hierarchical_violation(q: &Query) -> Option<Violation> {
                 let psi_x = *ax.iter().find(|a| !ay.contains(a)).unwrap();
                 let psi_y = *ay.iter().find(|a| !ax.contains(a)).unwrap();
                 let psi_xy = *ax.iter().find(|a| ay.contains(a)).unwrap();
-                return Some(Violation::Incomparable { x, y, psi_x, psi_xy, psi_y });
+                return Some(Violation::Incomparable {
+                    x,
+                    y,
+                    psi_x,
+                    psi_xy,
+                    psi_y,
+                });
             }
         }
     }
@@ -156,7 +173,12 @@ pub fn q_hierarchical_violation(q: &Query) -> Option<Violation> {
             if atom_set_relation(ax, ay) == SetRel::XSubY {
                 let psi_xy = ax[0];
                 let psi_y = *ay.iter().find(|a| !ax.contains(a)).unwrap();
-                return Some(Violation::FreeQuantified { x, y, psi_xy, psi_y });
+                return Some(Violation::FreeQuantified {
+                    x,
+                    y,
+                    psi_xy,
+                    psi_y,
+                });
             }
         }
     }
@@ -185,7 +207,12 @@ mod tests {
         let q = parse_query("Q(x, y) :- S(x), E(x, y), T(y).").unwrap();
         let v = q_hierarchical_violation(&q).expect("must violate");
         match v {
-            Violation::Incomparable { psi_x, psi_xy, psi_y, .. } => {
+            Violation::Incomparable {
+                psi_x,
+                psi_xy,
+                psi_y,
+                ..
+            } => {
                 assert_eq!((psi_x, psi_xy, psi_y), (0, 1, 2));
             }
             other => panic!("expected Incomparable, got {other:?}"),
@@ -208,7 +235,12 @@ mod tests {
         assert!(is_hierarchical(&q));
         let v = q_hierarchical_violation(&q).expect("must violate (ii)");
         match v {
-            Violation::FreeQuantified { x, y, psi_xy, psi_y } => {
+            Violation::FreeQuantified {
+                x,
+                y,
+                psi_xy,
+                psi_y,
+            } => {
                 assert_eq!(x, crate::Var(0));
                 assert_eq!(y, crate::Var(1));
                 assert_eq!(psi_xy, 0);
@@ -240,10 +272,9 @@ mod tests {
 
     #[test]
     fn example_6_1_is_q_hierarchical() {
-        let q = parse_query(
-            "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).",
-        )
-        .unwrap();
+        let q =
+            parse_query("Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).")
+                .unwrap();
         assert!(is_q_hierarchical(&q));
     }
 
@@ -266,7 +297,11 @@ mod tests {
 
     #[test]
     fn single_atom_always_q_hierarchical() {
-        for src in ["Q(x) :- R(x).", "Q(x, y) :- R(x, y, x).", "Q() :- R(a, b, c)."] {
+        for src in [
+            "Q(x) :- R(x).",
+            "Q(x, y) :- R(x, y, x).",
+            "Q() :- R(a, b, c).",
+        ] {
             let q = parse_query(src).unwrap();
             assert!(is_q_hierarchical(&q), "{src}");
         }

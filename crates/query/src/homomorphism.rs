@@ -22,7 +22,11 @@ use crate::ast::{AtomId, Query, Var};
 /// Returns the variable mapping indexed by `from`'s variable index, or
 /// `None` if no homomorphism exists. Requires `from.arity() == to.arity()`.
 pub fn find_homomorphism(from: &Query, to: &Query) -> Option<Vec<Var>> {
-    assert_eq!(from.arity(), to.arity(), "homomorphisms must preserve the free tuple");
+    assert_eq!(
+        from.arity(),
+        to.arity(),
+        "homomorphisms must preserve the free tuple"
+    );
     let mut assignment: Vec<Option<Var>> = vec![None; from.num_vars()];
     for (i, &x) in from.free().iter().enumerate() {
         let y = to.free()[i];
@@ -32,7 +36,12 @@ pub fn find_homomorphism(from: &Query, to: &Query) -> Option<Vec<Var>> {
         }
     }
     if search(from, to, None, &mut assignment, 0) {
-        Some(assignment.into_iter().map(|v| v.expect("total after search")).collect())
+        Some(
+            assignment
+                .into_iter()
+                .map(|v| v.expect("total after search"))
+                .collect(),
+        )
     } else {
         None
     }
@@ -42,11 +51,7 @@ pub fn find_homomorphism(from: &Query, to: &Query) -> Option<Vec<Var>> {
 /// fixed variable images (instead of the positional free-tuple fixing of
 /// [`find_homomorphism`]). Used by the Lemma 5.8 permutation group `Π`,
 /// which asks whether `xᵢ ↦ x_{π(i)}` extends to an endomorphism.
-pub fn find_homomorphism_with(
-    from: &Query,
-    to: &Query,
-    fixed: &[(Var, Var)],
-) -> Option<Vec<Var>> {
+pub fn find_homomorphism_with(from: &Query, to: &Query, fixed: &[(Var, Var)]) -> Option<Vec<Var>> {
     let mut assignment: Vec<Option<Var>> = vec![None; from.num_vars()];
     for &(x, y) in fixed {
         match assignment[x.index()] {
@@ -55,7 +60,12 @@ pub fn find_homomorphism_with(
         }
     }
     if search(from, to, None, &mut assignment, 0) {
-        Some(assignment.into_iter().map(|v| v.expect("total after search")).collect())
+        Some(
+            assignment
+                .into_iter()
+                .map(|v| v.expect("total after search"))
+                .collect(),
+        )
     } else {
         None
     }
@@ -70,7 +80,12 @@ pub fn find_retraction_avoiding(q: &Query, avoid: AtomId) -> Option<Vec<Var>> {
         assignment[x.index()] = Some(x);
     }
     if search(q, q, Some(avoid), &mut assignment, 0) {
-        Some(assignment.into_iter().map(|v| v.expect("total after search")).collect())
+        Some(
+            assignment
+                .into_iter()
+                .map(|v| v.expect("total after search"))
+                .collect(),
+        )
     } else {
         None
     }

@@ -33,7 +33,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect() }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
     }
 
     fn find(&mut self, x: u32) -> u32 {
@@ -85,7 +87,11 @@ pub fn connected_components(q: &Query) -> Vec<Component> {
                 let i = comps.len();
                 comp_of_root[r as usize] = Some(i);
                 root_order.push(r);
-                comps.push(Component { vars: Vec::new(), atoms: Vec::new(), free: Vec::new() });
+                comps.push(Component {
+                    vars: Vec::new(),
+                    atoms: Vec::new(),
+                    free: Vec::new(),
+                });
                 i
             }
         };

@@ -20,12 +20,11 @@
 //!   q-hierarchical queries strictly inside free-connex ones.
 //! * [`classify`] — the dichotomy classifier implementing Theorems 1.1–1.3.
 
-
 #![warn(missing_docs)]
 pub mod acyclic;
-pub mod generator;
 pub mod ast;
 pub mod classify;
+pub mod generator;
 pub mod hierarchical;
 pub mod homomorphism;
 pub mod hypergraph;
@@ -65,7 +64,11 @@ pub enum QueryError {
 impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            QueryError::ArityMismatch { relation, expected, found } => write!(
+            QueryError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
                 f,
                 "relation {relation} used with arity {found}, but earlier with {expected}"
             ),

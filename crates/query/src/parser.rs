@@ -32,7 +32,10 @@ impl std::error::Error for ParseError {}
 
 impl From<QueryError> for ParseError {
     fn from(e: QueryError) -> Self {
-        ParseError { offset: 0, message: e.to_string() }
+        ParseError {
+            offset: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -112,7 +115,9 @@ impl<'a> Lexer<'a> {
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let mut end = start + 1;
                 while end < bytes.len()
-                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_' || bytes[end] == b'\'')
+                    && (bytes[end].is_ascii_alphanumeric()
+                        || bytes[end] == b'_'
+                        || bytes[end] == b'\'')
                 {
                     end += 1;
                 }
@@ -155,7 +160,11 @@ pub fn parse_query(src: &str) -> Result<Query, ParseError> {
             })
         }
     };
-    if !head_name.chars().next().is_some_and(|c| c.is_ascii_uppercase() || c == '_') {
+    if !head_name
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_uppercase() || c == '_')
+    {
         // Permissive: we accept lowercase heads too, but this keeps the
         // convention documented.
         let _ = off;
@@ -263,7 +272,10 @@ fn expect(lex: &mut Lexer<'_>, want: Token<'_>, what: &str) -> Result<(), ParseE
     if t == want {
         Ok(())
     } else {
-        Err(ParseError { offset: o, message: format!("expected {what}, found {t:?}") })
+        Err(ParseError {
+            offset: o,
+            message: format!("expected {what}, found {t:?}"),
+        })
     }
 }
 

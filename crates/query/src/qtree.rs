@@ -85,9 +85,16 @@ impl QTree {
     /// Fails with [`QueryError::NotQHierarchical`] (carrying a witness from
     /// the pairwise check) iff the component is not q-hierarchical.
     pub fn build(q: &Query, comp: &Component) -> Result<QTree, QueryError> {
-        let atom_sets: Vec<(AtomId, Vec<Var>)> =
-            comp.atoms.iter().map(|&aid| (aid, q.atom(aid).vars())).collect();
-        let mut tree = QTree { nodes: Vec::new(), root: 0, atom_paths: Vec::new() };
+        let atom_sets: Vec<(AtomId, Vec<Var>)> = comp
+            .atoms
+            .iter()
+            .map(|&aid| (aid, q.atom(aid).vars()))
+            .collect();
+        let mut tree = QTree {
+            nodes: Vec::new(),
+            root: 0,
+            atom_paths: Vec::new(),
+        };
         let mut rep_of_atom: Vec<(AtomId, NodeId)> = Vec::new();
         match tree.grow(q, atom_sets, None, &mut rep_of_atom) {
             Some(root) => {
@@ -128,7 +135,9 @@ impl QTree {
             candidates.retain(|v| set.contains(v));
         }
         candidates.sort_unstable();
-        let scope_has_free = atom_sets.iter().any(|(_, set)| set.iter().any(|&v| q.is_free(v)));
+        let scope_has_free = atom_sets
+            .iter()
+            .any(|(_, set)| set.iter().any(|&v| q.is_free(v)));
         let pivot = if scope_has_free {
             // Claim 4.3: if free variables remain in scope, a free pivot
             // must exist — otherwise the query is not q-hierarchical.
@@ -189,8 +198,12 @@ impl QTree {
             }
         }
         // atoms(v) per node, in body order.
-        let node_of_var: std::collections::BTreeMap<Var, NodeId> =
-            self.nodes.iter().enumerate().map(|(i, n)| (n.var, i)).collect();
+        let node_of_var: std::collections::BTreeMap<Var, NodeId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.var, i))
+            .collect();
         for &aid in &comp.atoms {
             for v in q.atom(aid).vars() {
                 let n = node_of_var[&v];
@@ -201,7 +214,9 @@ impl QTree {
         let mut rep_map: std::collections::BTreeMap<AtomId, NodeId> =
             rep_of_atom.iter().copied().collect();
         for &aid in &comp.atoms {
-            let rep = rep_map.remove(&aid).expect("every atom is represented exactly once");
+            let rep = rep_map
+                .remove(&aid)
+                .expect("every atom is represented exactly once");
             let atom = q.atom(aid);
             let path = self.nodes[rep].path.clone();
             let extract: Vec<usize> = path
@@ -230,7 +245,13 @@ impl QTree {
                 .enumerate()
                 .map(|(p, &v)| atom.args.iter().position(|&w| w == v).unwrap().min(p))
                 .collect();
-            self.atom_paths.push(AtomPath { atom: aid, rep, extract, atom_pos, canon });
+            self.atom_paths.push(AtomPath {
+                atom: aid,
+                rep,
+                extract,
+                atom_pos,
+                canon,
+            });
         }
         // rep positions within each node's atoms list.
         for ap in &self.atom_paths {
@@ -301,8 +322,12 @@ impl QTree {
         if tree_vars != comp_vars {
             return false;
         }
-        let node_of_var: std::collections::BTreeMap<Var, NodeId> =
-            self.nodes.iter().enumerate().map(|(i, n)| (n.var, i)).collect();
+        let node_of_var: std::collections::BTreeMap<Var, NodeId> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.var, i))
+            .collect();
         // (1) every atom's variable set is a root-started path.
         for &aid in &comp.atoms {
             let vars = q.atom(aid).vars();
@@ -367,7 +392,11 @@ impl QTree {
             nodes[c].parent = Some(p);
             nodes[p].children.push(c);
         }
-        let mut tree = QTree { nodes, root: id_of[&root], atom_paths: Vec::new() };
+        let mut tree = QTree {
+            nodes,
+            root: id_of[&root],
+            atom_paths: Vec::new(),
+        };
         // Derive rep assignments: the deepest variable of each atom.
         // Compute paths first.
         let mut stack = vec![tree.root];
@@ -516,15 +545,18 @@ mod tests {
     fn figure_1_both_published_trees_validate() {
         let q = parse_query("Q(x1, x2, x3) :- E(x1,x2), R(x4,x1,x2,x1), R(x5,x3,x2,x1).").unwrap();
         let comp = connected_components(&q)[0].clone();
-        let v = |name: &str| {
-            q.vars().find(|&v| q.var_name(v) == name).unwrap()
-        };
+        let v = |name: &str| q.vars().find(|&v| q.var_name(v) == name).unwrap();
         // Left tree of Figure 1: x1 root, x2 child, x3/x4 under x2, x5 under x3.
         let left = QTree::from_edges(
             &q,
             &comp,
             v("x1"),
-            &[(v("x2"), v("x1")), (v("x3"), v("x2")), (v("x4"), v("x2")), (v("x5"), v("x3"))],
+            &[
+                (v("x2"), v("x1")),
+                (v("x3"), v("x2")),
+                (v("x4"), v("x2")),
+                (v("x5"), v("x3")),
+            ],
         )
         .unwrap();
         assert!(left.is_valid_for(&q, &comp));
@@ -533,7 +565,12 @@ mod tests {
             &q,
             &comp,
             v("x2"),
-            &[(v("x1"), v("x2")), (v("x3"), v("x1")), (v("x4"), v("x1")), (v("x5"), v("x3"))],
+            &[
+                (v("x1"), v("x2")),
+                (v("x3"), v("x1")),
+                (v("x4"), v("x1")),
+                (v("x5"), v("x3")),
+            ],
         )
         .unwrap();
         assert!(right.is_valid_for(&q, &comp));
@@ -549,7 +586,12 @@ mod tests {
             &q,
             &comp,
             v("x3"),
-            &[(v("x2"), v("x3")), (v("x1"), v("x2")), (v("x4"), v("x1")), (v("x5"), v("x1"))],
+            &[
+                (v("x2"), v("x3")),
+                (v("x1"), v("x2")),
+                (v("x4"), v("x1")),
+                (v("x5"), v("x1")),
+            ],
         );
         assert!(res.is_err());
     }
@@ -578,9 +620,8 @@ mod tests {
 
     #[test]
     fn example_6_1_tree_matches_figure_2() {
-        let (q, comp, tree) = build_single(
-            "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).",
-        );
+        let (q, comp, tree) =
+            build_single("Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).");
         assert!(tree.is_valid_for(&q, &comp));
         let name = |n: NodeId| q.var_name(tree.node(n).var).to_string();
         let root = tree.root();
@@ -593,9 +634,19 @@ mod tests {
         // rep(z) = {Rxyz, Sxyz}, rep(z') = {Rxyz'}.
         let rep_count = |n: NodeId| tree.node(n).rep_positions.len();
         assert_eq!(rep_count(root), 0);
-        let y = *tree.node(root).children.iter().find(|&&c| name(c) == "y").unwrap();
+        let y = *tree
+            .node(root)
+            .children
+            .iter()
+            .find(|&&c| name(c) == "y")
+            .unwrap();
         assert_eq!(rep_count(y), 1);
-        let z = *tree.node(y).children.iter().find(|&&c| name(c) == "z").unwrap();
+        let z = *tree
+            .node(y)
+            .children
+            .iter()
+            .find(|&&c| name(c) == "z")
+            .unwrap();
         assert_eq!(rep_count(z), 2);
         // atoms(x) = all five atoms; atoms(y) = 4 (all except Exy').
         assert_eq!(tree.node(root).atoms.len(), 5);

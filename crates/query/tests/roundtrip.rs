@@ -1,9 +1,9 @@
 //! Display ↔ parse round-trips and classifier stability over generated
 //! queries.
 
+use cqu_query::classify::classify;
 use cqu_query::generator::{random_q_hierarchical, random_query, GenConfig, Lcg};
 use cqu_query::hierarchical::is_q_hierarchical;
-use cqu_query::classify::classify;
 use cqu_query::{core_of, parse_query};
 
 #[test]
@@ -23,7 +23,10 @@ fn generated_queries_roundtrip_through_concrete_syntax() {
 
 #[test]
 fn core_is_idempotent_on_generated_queries() {
-    let cfg = GenConfig { self_join_pct: 50, ..GenConfig::default() };
+    let cfg = GenConfig {
+        self_join_pct: 50,
+        ..GenConfig::default()
+    };
     for seed in 0..200 {
         let mut rng = Lcg::new(seed * 17 + 11);
         let q = random_query(&mut rng, cfg);
@@ -44,7 +47,10 @@ fn classifier_is_consistent_with_core_structure() {
     // On generated queries: counting is tractable iff core is
     // q-hierarchical; enumeration tractable implies counting tractable;
     // counting tractable implies Boolean tractable.
-    let cfg = GenConfig { self_join_pct: 40, ..GenConfig::default() };
+    let cfg = GenConfig {
+        self_join_pct: 40,
+        ..GenConfig::default()
+    };
     for seed in 0..200 {
         let mut rng = Lcg::new(seed * 29 + 7);
         let q = random_query(&mut rng, cfg);

@@ -26,13 +26,48 @@ pub struct Database {
 impl Database {
     /// Creates an empty database over `schema`.
     pub fn new(schema: Schema) -> Self {
-        let relations = schema.relations().map(|r| Relation::new(schema.arity(r))).collect();
-        Database { schema, relations, adom: FxHashMap::default() }
+        let relations = schema
+            .relations()
+            .map(|r| Relation::new(schema.arity(r)))
+            .collect();
+        Database {
+            schema,
+            relations,
+            adom: FxHashMap::default(),
+        }
     }
 
     /// The database schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// Adopts a grown version of this database's schema: `schema` must
+    /// extend the current one (same relations, same arities, same ids —
+    /// new symbols appended), and empty instances are created for the new
+    /// symbols. Existing data is untouched. Panics if `schema` disagrees
+    /// with the current one on an existing relation.
+    pub fn adopt_schema(&mut self, schema: &Schema) {
+        assert!(
+            schema.len() >= self.schema.len(),
+            "adopt_schema: schema shrank"
+        );
+        for rel in self.schema.relations() {
+            assert_eq!(
+                self.schema.name(rel),
+                schema.name(rel),
+                "adopt_schema: relation renamed"
+            );
+            assert_eq!(
+                self.schema.arity(rel),
+                schema.arity(rel),
+                "adopt_schema: arity changed"
+            );
+        }
+        for rel in schema.relations().skip(self.schema.len()) {
+            self.relations.push(Relation::new(schema.arity(rel)));
+        }
+        self.schema = schema.clone();
     }
 
     /// The instance of relation `rel`.
@@ -99,7 +134,11 @@ impl Database {
     pub fn size(&self) -> usize {
         self.schema.len()
             + self.adom.len()
-            + self.relations.iter().map(|r| r.arity() * r.len()).sum::<usize>()
+            + self
+                .relations
+                .iter()
+                .map(|r| r.arity() * r.len())
+                .sum::<usize>()
     }
 }
 

@@ -18,7 +18,10 @@ pub struct Index {
 impl Index {
     /// Creates an empty index on the given columns.
     pub fn new(cols: Vec<usize>) -> Self {
-        Index { cols, map: FxHashMap::default() }
+        Index {
+            cols,
+            map: FxHashMap::default(),
+        }
     }
 
     /// Builds an index over the current contents of `relation`.

@@ -13,20 +13,24 @@
 //! * [`index`] — hash indexes on arbitrary column subsets, both one-shot
 //!   (for recompute baselines) and incrementally maintained (for the IVM
 //!   baseline).
+//! * [`transaction`] — all-or-nothing update batches: effective updates
+//!   are recorded and rolled back via [`Update::inverse`] unless
+//!   committed.
 //! * [`workload`] — deterministic pseudo-random workload generators for the
 //!   experiment harness (matrix-shaped, star-shaped, churn streams).
-
 
 #![warn(missing_docs)]
 pub mod database;
 pub mod index;
 pub mod relation;
+pub mod transaction;
 pub mod update;
 pub mod workload;
 
 pub use database::Database;
 pub use index::Index;
 pub use relation::Relation;
+pub use transaction::{ApplyUpdate, Transaction};
 pub use update::{Update, UpdateLog};
 
 /// A database constant (`dom = N≥1`; 0 is valid for us too, but generators

@@ -13,7 +13,10 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
-        Relation { arity, tuples: FxHashSet::default() }
+        Relation {
+            arity,
+            tuples: FxHashSet::default(),
+        }
     }
 
     /// The relation's arity.

@@ -1,0 +1,171 @@
+//! All-or-nothing update application via [`Update::inverse`] rollback.
+//!
+//! Set semantics make every *effective* update invertible: replaying the
+//! inverses of the effective prefix in reverse order restores the exact
+//! prior state (paper, Section 2 — inserts and deletes are their own
+//! undo). [`Transaction`] packages that: it records each effective update
+//! and, unless committed, rolls them back on drop. It works against any
+//! [`ApplyUpdate`] target — a bare [`Database`](crate::Database), a
+//! dynamic engine, or a whole session of engines.
+
+use crate::update::Update;
+
+/// Anything that can consume single-tuple updates under set semantics.
+///
+/// Implementations must return `true` iff the update was *effective*
+/// (duplicate inserts / absent deletes are no-ops), and must guarantee
+/// that applying the inverse of an effective update restores the previous
+/// state — exactly the contract [`Transaction`] relies on.
+pub trait ApplyUpdate {
+    /// Applies one update; returns `true` iff state changed.
+    fn apply_update(&mut self, update: &Update) -> bool;
+}
+
+impl ApplyUpdate for crate::Database {
+    fn apply_update(&mut self, update: &Update) -> bool {
+        self.apply(update)
+    }
+}
+
+/// An in-flight all-or-nothing batch over an [`ApplyUpdate`] target.
+///
+/// Dropping the transaction without calling [`Transaction::commit`] rolls
+/// back every effective update by applying inverses in reverse order.
+///
+/// ```
+/// use cqu_query::Schema;
+/// use cqu_storage::{ApplyUpdate, Database, Transaction, Update};
+///
+/// let mut schema = Schema::new();
+/// let e = schema.intern("E", 2).unwrap();
+/// let mut db = Database::new(schema);
+/// {
+///     let mut txn = Transaction::begin(&mut db);
+///     txn.apply(&Update::Insert(e, vec![1, 2]));
+///     txn.apply(&Update::Insert(e, vec![3, 4]));
+///     // No commit: both inserts are rolled back here.
+/// }
+/// assert_eq!(db.cardinality(), 0);
+/// ```
+#[derive(Debug)]
+pub struct Transaction<'a, A: ApplyUpdate + ?Sized> {
+    target: &'a mut A,
+    effective: Vec<Update>,
+    committed: bool,
+}
+
+impl<'a, A: ApplyUpdate + ?Sized> Transaction<'a, A> {
+    /// Starts a transaction over `target`.
+    pub fn begin(target: &'a mut A) -> Self {
+        Transaction {
+            target,
+            effective: Vec::new(),
+            committed: false,
+        }
+    }
+
+    /// Applies one update inside the transaction; returns `true` iff it
+    /// was effective. Effective updates are recorded for rollback.
+    pub fn apply(&mut self, update: &Update) -> bool {
+        let changed = self.target.apply_update(update);
+        if changed {
+            self.effective.push(update.clone());
+        }
+        changed
+    }
+
+    /// Read access to the target mid-transaction.
+    pub fn target(&self) -> &A {
+        self.target
+    }
+
+    /// Number of effective updates so far.
+    pub fn effective_len(&self) -> usize {
+        self.effective.len()
+    }
+
+    /// Makes the transaction's effects permanent; returns how many of its
+    /// updates were effective.
+    pub fn commit(mut self) -> usize {
+        self.committed = true;
+        self.effective.len()
+    }
+
+    /// Explicitly undoes the transaction (equivalent to dropping it).
+    pub fn rollback(self) {}
+}
+
+impl<A: ApplyUpdate + ?Sized> Drop for Transaction<'_, A> {
+    fn drop(&mut self) {
+        if self.committed {
+            return;
+        }
+        for u in self.effective.drain(..).rev() {
+            let undone = self.target.apply_update(&u.inverse());
+            debug_assert!(undone, "rollback of an effective update must be effective");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Database;
+    use cqu_query::Schema;
+
+    fn db_et() -> (Database, cqu_query::RelId, cqu_query::RelId) {
+        let mut s = Schema::new();
+        let e = s.intern("E", 2).unwrap();
+        let t = s.intern("T", 1).unwrap();
+        (Database::new(s), e, t)
+    }
+
+    #[test]
+    fn commit_keeps_changes() {
+        let (mut db, e, t) = db_et();
+        let mut txn = Transaction::begin(&mut db);
+        assert!(txn.apply(&Update::Insert(e, vec![1, 2])));
+        assert!(txn.apply(&Update::Insert(t, vec![2])));
+        assert!(
+            !txn.apply(&Update::Insert(t, vec![2])),
+            "duplicate is a no-op"
+        );
+        assert_eq!(txn.commit(), 2);
+        assert_eq!(db.cardinality(), 2);
+    }
+
+    #[test]
+    fn drop_rolls_back_only_effective_updates() {
+        let (mut db, e, t) = db_et();
+        db.insert(e, vec![9, 9]);
+        {
+            let mut txn = Transaction::begin(&mut db);
+            txn.apply(&Update::Insert(e, vec![1, 2]));
+            txn.apply(&Update::Insert(e, vec![9, 9])); // no-op: already present
+            txn.apply(&Update::Delete(t, vec![5])); // no-op: absent
+            txn.apply(&Update::Delete(e, vec![9, 9]));
+            assert_eq!(txn.effective_len(), 2);
+        }
+        assert_eq!(db.cardinality(), 1, "only the pre-existing fact survives");
+        assert!(db.relation(e).contains(&[9, 9]));
+        assert!(!db.relation(e).contains(&[1, 2]));
+    }
+
+    #[test]
+    fn rollback_restores_interleaved_inserts_and_deletes() {
+        let (mut db, e, _) = db_et();
+        db.insert(e, vec![1, 1]);
+        db.insert(e, vec![2, 2]);
+        let before = db.relation(e).sorted();
+        {
+            let mut txn = Transaction::begin(&mut db);
+            txn.apply(&Update::Delete(e, vec![1, 1]));
+            txn.apply(&Update::Insert(e, vec![3, 3]));
+            txn.apply(&Update::Delete(e, vec![2, 2]));
+            txn.apply(&Update::Insert(e, vec![1, 1])); // reinsert what we deleted
+            txn.rollback();
+        }
+        assert_eq!(db.relation(e).sorted(), before);
+        assert_eq!(db.active_domain_size(), 2);
+    }
+}

@@ -8,10 +8,9 @@
 use crate::{Const, Tuple};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use cqu_query::RelId;
-use serde::{Deserialize, Serialize};
 
 /// A single-tuple update command.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Update {
     /// `insert R(a₁,…,a_r)`.
     Insert(RelId, Tuple),
@@ -49,7 +48,7 @@ impl Update {
 }
 
 /// A replayable sequence of updates.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct UpdateLog {
     /// The commands, in application order.
     pub updates: Vec<Update>,

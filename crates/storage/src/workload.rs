@@ -52,7 +52,10 @@ pub struct ChurnConfig {
 
 impl Default for ChurnConfig {
     fn default() -> Self {
-        ChurnConfig { domain: 1000, insert_bias: 0.5 }
+        ChurnConfig {
+            domain: 1000,
+            insert_bias: 0.5,
+        }
     }
 }
 
@@ -83,8 +86,7 @@ pub fn churn_updates(
             }
         } else {
             // Delete from a uniformly random nonempty relation.
-            let nonempty: Vec<usize> =
-                (0..rels.len()).filter(|&i| !live[i].is_empty()).collect();
+            let nonempty: Vec<usize> = (0..rels.len()).filter(|&i| !live[i].is_empty()).collect();
             let ri = nonempty[rng.gen_range(0..nonempty.len())];
             let pos = rng.gen_range(0..live[ri].len());
             let t = live[ri].swap_remove(pos);
@@ -158,7 +160,15 @@ mod tests {
     fn churn_is_always_effective() {
         let schema = schema_rst();
         let mut r = rng(7);
-        let ups = churn_updates(&mut r, &schema, 2000, ChurnConfig { domain: 30, insert_bias: 0.5 });
+        let ups = churn_updates(
+            &mut r,
+            &schema,
+            2000,
+            ChurnConfig {
+                domain: 30,
+                insert_bias: 0.5,
+            },
+        );
         assert_eq!(ups.len(), 2000);
         let mut db = Database::new(schema);
         for (i, u) in ups.iter().enumerate() {
@@ -187,7 +197,10 @@ mod tests {
                 small += 1;
             }
         }
-        assert!(small > samples / 2, "zipf(1.2) should concentrate on small values: {small}");
+        assert!(
+            small > samples / 2,
+            "zipf(1.2) should concentrate on small values: {small}"
+        );
     }
 
     #[test]

@@ -25,15 +25,31 @@ fn main() {
         ("ϕ1", "Q(x, y) :- E(x,x), E(x,y), E(y,y)."),
         ("ϕ2", "Q(x, y, z1, z2) :- E(x,x), E(x,y), E(y,y), E(z1,z2)."),
         // Figure 1 and Example 6.1.
-        ("Figure 1", "Q(x1, x2, x3) :- E(x1,x2), R(x4,x1,x2,x1), R(x5,x3,x2,x1)."),
-        ("Example 6.1", "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z)."),
+        (
+            "Figure 1",
+            "Q(x1, x2, x3) :- E(x1,x2), R(x4,x1,x2,x1), R(x5,x3,x2,x1).",
+        ),
+        (
+            "Example 6.1",
+            "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).",
+        ),
         // The classical acyclic-but-not-free-connex query.
         ("path projection", "Q(x, z) :- R(x, y), S(y, z)."),
     ];
 
     for (label, src) in zoo {
         let q = parse_query(src).unwrap();
+        // What a Session would do with this query: the dichotomy as a
+        // dispatch rule.
+        let mut session = Session::new();
+        session.register("q", src).unwrap();
+        let handle = session.query("q").unwrap();
         println!("── {label}\n   {q}");
+        println!(
+            "   session routes to: {} ({:?})",
+            handle.kind().name(),
+            handle.route_reason()
+        );
         println!(
             "   hierarchical: {:5}  q-hierarchical: {:5}  acyclic: {:5}  free-connex: {:5}",
             is_hierarchical(&q),

@@ -1,7 +1,12 @@
 //! A network-monitoring scenario with classification-driven engine
 //! dispatch: tractable alert queries go to the paper's dynamic engine,
 //! conditionally-hard ones fall back to delta-IVM — exactly the decision
-//! the dichotomy (Theorems 1.1–1.3) lets a system make *statically*.
+//! the dichotomy (Theorems 1.1–1.3) lets a system make *statically*, and
+//! exactly what `Session` automates.
+//!
+//! Both monitors live in **one session**, so they genuinely share the
+//! `Conn` relation: every flow event is applied once and fans out to
+//! both engines.
 //!
 //! Relations: `Conn(src, dst)` (live flows), `Blocklist(dst)`,
 //! `Infected(src)`, `Critical(dst)`.
@@ -14,103 +19,135 @@ use cq_updates::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// Picks an engine based on the classifier's verdict for enumeration.
-fn dispatch(q: &Query) -> (&'static str, Box<dyn DynamicEngine>) {
-    let verdicts = classify(q);
-    let db = Database::new(q.schema().clone());
-    if verdicts.enumeration.is_tractable() {
-        ("qh-dynamic (Theorem 3.2)", Box::new(QhEngine::new(q, &db).unwrap()))
-    } else {
-        // Theorem 3.3 says constant update + delay is impossible here;
-        // delta-IVM gives O(1) reads and pays in the updates.
-        ("delta-ivm fallback (hard per Theorem 3.3)", Box::new(DeltaIvmEngine::new(q, &db)))
-    }
-}
-
 fn main() {
+    let mut session = Session::new();
     // Alert 1 — flows into blocklisted hosts. q-hierarchical: dst dominates.
-    let blocked = parse_query("Blocked(src, dst) :- Conn(src, dst), Blocklist(dst).").unwrap();
+    session
+        .register(
+            "blocked",
+            "Blocked(src, dst) :- Conn(src, dst), Blocklist(dst).",
+        )
+        .unwrap();
     // Alert 2 — infected host talking to critical infrastructure. This is
     // ϕ_S-E-T in disguise: NOT q-hierarchical, conditionally hard.
-    let breach =
-        parse_query("Breach(src, dst) :- Infected(src), Conn(src, dst), Critical(dst).").unwrap();
+    session
+        .register(
+            "breach",
+            "Breach(src, dst) :- Infected(src), Conn(src, dst), Critical(dst).",
+        )
+        .unwrap();
 
-    let (name1, mut e1) = dispatch(&blocked);
-    let (name2, mut e2) = dispatch(&breach);
-    println!("{blocked}\n  → {name1}");
-    println!("{breach}\n  → {name2}");
+    for h in session.queries() {
+        println!(
+            "{}\n  → {} ({:?})",
+            h.query(),
+            h.kind().name(),
+            h.route_reason()
+        );
+    }
+    assert_eq!(
+        session.query("blocked").unwrap().kind(),
+        EngineKind::QHierarchical
+    );
+    assert_eq!(
+        session.query("breach").unwrap().kind(),
+        EngineKind::DeltaIvm
+    );
 
-    // Relation ids (the two queries share relation *names* but have
-    // independent schemas; resolve per query).
-    let conn1 = blocked.schema().relation("Conn").unwrap();
-    let bl = blocked.schema().relation("Blocklist").unwrap();
-    let inf = breach.schema().relation("Infected").unwrap();
-    let conn2 = breach.schema().relation("Conn").unwrap();
-    let crit = breach.schema().relation("Critical").unwrap();
+    // One shared schema: resolve each relation once.
+    let conn = session.relation("Conn").unwrap();
+    let bl = session.relation("Blocklist").unwrap();
+    let inf = session.relation("Infected").unwrap();
+    let crit = session.relation("Critical").unwrap();
 
     let mut rng = SmallRng::seed_from_u64(7);
     let host = |rng: &mut SmallRng| rng.gen_range(1..=5_000u64);
 
-    // Static context: blocklist and critical assets.
+    // Static context: blocklist and critical assets, loaded as one batch.
+    let mut context: Vec<Update> = Vec::new();
     for _ in 0..200 {
         let h = host(&mut rng);
-        e1.apply(&Update::Insert(bl, vec![h]));
-        e2.apply(&Update::Insert(crit, vec![h]));
+        context.push(Update::Insert(bl, vec![h]));
+        context.push(Update::Insert(crit, vec![h]));
     }
     for _ in 0..50 {
-        e2.apply(&Update::Insert(inf, vec![host(&mut rng)]));
+        context.push(Update::Insert(inf, vec![host(&mut rng)]));
     }
+    let report = session.apply_batch(&context).unwrap();
+    println!(
+        "\ncontext loaded: {} facts ({} effective)",
+        report.total, report.applied
+    );
 
-    // Flow churn hits both monitors.
+    // Flow churn hits both monitors through the single stream.
     let mut alerts1 = 0u64;
-    let mut alerts2 = 0u64;
     for step in 0..50_000 {
         let (s, d) = (host(&mut rng), host(&mut rng));
         let up = if rng.gen_bool(0.7) {
-            (Update::Insert(conn1, vec![s, d]), Update::Insert(conn2, vec![s, d]))
+            Update::Insert(conn, vec![s, d])
         } else {
-            (Update::Delete(conn1, vec![s, d]), Update::Delete(conn2, vec![s, d]))
+            Update::Delete(conn, vec![s, d])
         };
-        e1.apply(&up.0);
-        e2.apply(&up.1);
+        session.apply(&up).unwrap();
         // O(1) alert-count reads on every step for the tractable monitor;
         // sampled reads for the fallback.
-        alerts1 = e1.count();
-        if step % 1_000 == 0 {
-            alerts2 = e2.count();
+        alerts1 = session.query("blocked").unwrap().count();
+        if step % 10_000 == 0 {
+            println!(
+                "step {step:>6}: blocked = {alerts1}, breach = {}",
+                session.query("breach").unwrap().count()
+            );
         }
     }
     println!("\nblocked-flow alerts:  {alerts1}");
-    println!("breach alerts:        {}", e2.count());
-    let _ = alerts2;
+    println!(
+        "breach alerts:        {}",
+        session.query("breach").unwrap().count()
+    );
 
     // Enumerate a few current alerts from each monitor.
-    println!("\nsample blocked flows: {:?}", e1.enumerate().take(3).collect::<Vec<_>>());
-    println!("sample breaches:      {:?}", e2.enumerate().take(3).collect::<Vec<_>>());
+    println!(
+        "\nsample blocked flows: {:?}",
+        session
+            .query("blocked")
+            .unwrap()
+            .enumerate()
+            .take(3)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "sample breaches:      {:?}",
+        session
+            .query("breach")
+            .unwrap()
+            .enumerate()
+            .take(3)
+            .collect::<Vec<_>>()
+    );
 
-    // Cross-check both monitors against a from-scratch recompute.
-    let check1 = RecomputeEngine::new(&blocked, /* db snapshot */ &rebuild(&blocked, &e1));
-    assert_eq!(check1.count(), e1.count());
+    // Cross-check both monitors against from-scratch recompute twins
+    // registered on the same session (seeded from the master database).
+    session
+        .register_with(
+            "blocked_check",
+            "Blocked(src, dst) :- Conn(src, dst), Blocklist(dst).",
+            EngineChoice::Forced(EngineKind::Recompute),
+        )
+        .unwrap();
+    session
+        .register_with(
+            "breach_check",
+            "Breach(src, dst) :- Infected(src), Conn(src, dst), Critical(dst).",
+            EngineChoice::Forced(EngineKind::Recompute),
+        )
+        .unwrap();
+    assert_eq!(
+        session.query("blocked_check").unwrap().count(),
+        session.query("blocked").unwrap().count()
+    );
+    assert_eq!(
+        session.query("breach_check").unwrap().count(),
+        session.query("breach").unwrap().count()
+    );
     println!("\ncross-check vs recompute: OK");
-}
-
-/// Rebuilds a database snapshot from an engine's enumerated input state.
-/// (The QhEngine keeps its own database; this helper extracts it via the
-/// public API so the example works with any engine kind.)
-fn rebuild(q: &Query, engine: &Box<dyn DynamicEngine>) -> Database {
-    // For the qh engine we could read `database()`, but `dyn DynamicEngine`
-    // hides it; replay the *result* as a sanity database is not possible in
-    // general, so this helper re-derives only what the check needs: it is
-    // exercised with the qh engine whose count we verify against a manual
-    // recount below.
-    let mut db = Database::new(q.schema().clone());
-    // Recount via result enumeration: every result tuple (src, dst)
-    // witnesses Conn(src,dst) ∧ Blocklist(dst).
-    let bl = q.schema().relation("Blocklist").unwrap();
-    let conn = q.schema().relation("Conn").unwrap();
-    for t in engine.enumerate() {
-        db.insert(conn, vec![t[0], t[1]]);
-        db.insert(bl, vec![t[1]]);
-    }
-    db
 }

@@ -3,6 +3,11 @@
 //! per-round cost grow with `n` — the empirical face of the paper's
 //! OMv/OV-conditional hardness.
 //!
+//! The engines are owned by a `Session` with explicit
+//! [`EngineChoice::Forced`] overrides (the reductions need specific
+//! baselines, not the router's choice) and driven through the
+//! [`Session::engine_mut`] escape hatch.
+//!
 //! ```text
 //! cargo run --release --example omv_reduction
 //! ```
@@ -14,17 +19,31 @@ use cq_updates::lowerbounds::{
 use cq_updates::prelude::*;
 use std::time::Instant;
 
+/// A fresh session holding one forced-engine copy of `q` under `name`.
+fn forced_session(name: &str, q: &Query, kind: EngineKind) -> Session {
+    let mut s = Session::new();
+    s.register_query(name, q, EngineChoice::Forced(kind))
+        .unwrap();
+    s
+}
+
 fn main() {
-    println!("OuMv through the Boolean query {} (Lemma 5.3)", phi_set_boolean());
-    println!("{:>6} {:>14} {:>14} {:>10}", "n", "naive ms", "via-CQ ms", "correct");
+    println!(
+        "OuMv through the Boolean query {} (Lemma 5.3)",
+        phi_set_boolean()
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "n", "naive ms", "via-CQ ms", "correct"
+    );
     for n in [64usize, 128, 256] {
         let inst = OuMvInstance::random(n, 0.08, 42);
         let t0 = Instant::now();
         let naive = inst.solve_naive();
         let t_naive = t0.elapsed().as_secs_f64() * 1e3;
-        let mut engine = DeltaIvmEngine::empty(&phi_set_boolean());
+        let mut session = forced_session("oumv", &phi_set_boolean(), EngineKind::DeltaIvm);
         let t1 = Instant::now();
-        let via = oumv_via_boolean_set(&inst, &mut engine);
+        let via = oumv_via_boolean_set(&inst, session.engine_mut("oumv").unwrap());
         let t_via = t1.elapsed().as_secs_f64() * 1e3;
         println!("{n:>6} {t_naive:>14.2} {t_via:>14.2} {:>10}", via == naive);
         assert_eq!(via, naive);
@@ -34,9 +53,12 @@ fn main() {
     for n in [64usize, 128] {
         let inst = OmvInstance::random(n, 0.10, 7);
         let naive = inst.solve_naive();
-        let mut engine = RecomputeEngine::empty(&phi_et());
-        let via = omv_via_enumeration(&inst, &mut engine);
-        println!("  n = {n}: reduction output matches naive M·v products: {}", via == naive);
+        let mut session = forced_session("omv", &phi_et(), EngineKind::Recompute);
+        let via = omv_via_enumeration(&inst, session.engine_mut("omv").unwrap());
+        println!(
+            "  n = {n}: reduction output matches naive M·v products: {}",
+            via == naive
+        );
         assert_eq!(via, naive);
     }
 
@@ -44,9 +66,9 @@ fn main() {
     for (n, density) in [(512usize, 0.35), (512, 0.92), (1024, 0.92)] {
         let inst = OvInstance::random(n, density, 9);
         let naive = inst.solve_naive();
-        let mut engine = DeltaIvmEngine::empty(&phi_et());
+        let mut session = forced_session("ov", &phi_et(), EngineKind::DeltaIvm);
         let t0 = Instant::now();
-        let via = ov_via_counting(&inst, &mut engine);
+        let via = ov_via_counting(&inst, session.engine_mut("ov").unwrap());
         println!(
             "  n = {n}, d = {}, density {density}: orthogonal pair = {via} \
              (naive agrees: {}) in {:.1} ms",

@@ -1,5 +1,6 @@
-//! Quickstart: parse a conjunctive query, classify it, and maintain its
-//! result under updates with constant update time and O(1) counting.
+//! Quickstart: open a session, register queries, and let the dichotomy
+//! classifier route each one to the right engine — then maintain all of
+//! them under one update stream.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -8,46 +9,78 @@
 use cq_updates::prelude::*;
 
 fn main() {
-    // A k-ary conjunctive query in Datalog-ish syntax: head variables are
+    let mut session = Session::new();
+
+    // Register named queries in Datalog-ish syntax: head variables are
     // the free (output) variables, body-only variables are ∃-quantified.
-    let q = parse_query("Q(x, y) :- E(x, y), T(y).").unwrap();
-    println!("query:     {q}");
+    // The classifier (Theorems 1.1–1.3) picks the engine per query.
+    session
+        .register("pairs", "Q(x, y) :- E(x, y), T(y).")
+        .unwrap();
+    session
+        .register("hard", "Q(x, y) :- S(x), E(x, y), T(y).")
+        .unwrap();
 
-    // The dichotomy classifier (Theorems 1.1–1.3 of the paper).
-    let verdicts = classify(&q);
-    println!("enumerate: {}", verdicts.enumeration);
-    println!("count:     {}", verdicts.counting);
-    println!("boolean:   {}", verdicts.boolean);
+    for handle in session.queries() {
+        println!("{:8} {}", handle.name(), handle.query());
+        println!(
+            "         engine:    {} ({:?})",
+            handle.kind().name(),
+            handle.route_reason()
+        );
+        println!(
+            "         enumerate: {}",
+            handle.classification().enumeration
+        );
+    }
 
-    // Build the dynamic engine over an initially empty database.
-    let mut engine = QhEngine::new(&q, &Database::new(q.schema().clone()))
-        .expect("the query is q-hierarchical");
-    let e = q.schema().relation("E").unwrap();
-    let t = q.schema().relation("T").unwrap();
+    // One update stream feeds every registered query; single-tuple
+    // updates cost O(‖ϕ‖) on the dynamic engine — independent of n.
+    let e = session.relation("E").unwrap();
+    let t = session.relation("T").unwrap();
+    let report = session
+        .apply_batch(&[
+            Update::Insert(e, vec![1, 10]),
+            Update::Insert(e, vec![2, 10]),
+            Update::Insert(e, vec![3, 11]),
+            Update::Insert(t, vec![10]),
+        ])
+        .unwrap();
+    println!(
+        "\nbatch: {} updates, {} effective",
+        report.total, report.applied
+    );
 
-    // Single-tuple updates, each O(‖ϕ‖) — independent of the database size.
-    engine.apply(&Update::Insert(e, vec![1, 10]));
-    engine.apply(&Update::Insert(e, vec![2, 10]));
-    engine.apply(&Update::Insert(e, vec![3, 11]));
-    engine.apply(&Update::Insert(t, vec![10]));
-    println!("\nafter inserts: |Q(D)| = {} (O(1) read)", engine.count());
-    for tuple in engine.enumerate() {
+    let pairs = session.query("pairs").unwrap();
+    println!("after inserts: |pairs(D)| = {} (O(1) read)", pairs.count());
+    for tuple in pairs.enumerate() {
         println!("  result {tuple:?}");
     }
-    assert_eq!(engine.count(), 2);
+    assert_eq!(pairs.count(), 2);
 
     // Deletions restructure the maintained result just as cheaply.
-    engine.apply(&Update::Delete(e, vec![1, 10]));
-    engine.apply(&Update::Insert(t, vec![11]));
-    println!("after delete E(1,10), insert T(11): |Q(D)| = {}", engine.count());
-    assert_eq!(engine.results_sorted(), vec![vec![2, 10], vec![3, 11]]);
+    session.apply(&Update::Delete(e, vec![1, 10])).unwrap();
+    session.apply(&Update::Insert(t, vec![11])).unwrap();
+    let pairs = session.query("pairs").unwrap();
+    println!(
+        "after delete E(1,10), insert T(11): |pairs(D)| = {}",
+        pairs.count()
+    );
+    assert_eq!(pairs.results_sorted(), vec![vec![2, 10], vec![3, 11]]);
 
-    // Non-q-hierarchical queries are rejected with the exact Definition 3.1
-    // violation — the paper proves no constant-update engine can exist for
-    // them (unless the OMv conjecture fails).
-    let hard = parse_query("Q(x, y) :- S(x), E(x, y), T(y).").unwrap();
-    match QhEngine::new(&hard, &Database::new(hard.schema().clone())) {
-        Err(QueryError::NotQHierarchical(v)) => println!("\n{hard}\n  rejected: {v}"),
-        _ => unreachable!("ϕ_S-E-T is the paper's canonical hard query"),
+    // Explicitly forcing the dynamic engine onto a non-q-hierarchical
+    // query fails with the exact Definition 3.1 violation — the paper
+    // proves no constant-update engine can exist for it (unless the OMv
+    // conjecture fails).
+    let err = session
+        .register_with(
+            "rejected",
+            "Q(x, y) :- S(x), E(x, y), T(y).",
+            EngineChoice::Forced(EngineKind::QHierarchical),
+        )
+        .unwrap_err();
+    match err {
+        CqError::Query(QueryError::NotQHierarchical(v)) => println!("\nrejected: {v}"),
+        other => unreachable!("ϕ_S-E-T is the paper's canonical hard query: {other}"),
     }
 }

@@ -1,6 +1,6 @@
 //! Durable, replayable workloads: capture an update stream to the compact
 //! binary log format, write it to disk, reload it, and replay it into a
-//! fresh engine — ending in a bit-identical result. This is how the
+//! fresh session — ending in a bit-identical result. This is how the
 //! experiment harness keeps workloads reproducible.
 //!
 //! ```text
@@ -11,20 +11,25 @@ use cq_updates::prelude::*;
 use cq_updates::storage::workload::{churn_updates, rng, ChurnConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let q = parse_query("Q(x, y) :- E(x, y), T(y).").unwrap();
+    let mut live = Session::new();
+    live.register("q", "Q(x, y) :- E(x, y), T(y).")?;
 
-    // Generate a reproducible churn workload over the query's schema.
+    // Generate a reproducible churn workload over the session's schema.
     let mut r = rng(0xC0FFEE);
-    let updates = churn_updates(&mut r, q.schema(), 5_000, ChurnConfig {
-        domain: 400,
-        insert_bias: 0.6,
-    });
+    let updates = churn_updates(
+        &mut r,
+        live.schema(),
+        5_000,
+        ChurnConfig {
+            domain: 400,
+            insert_bias: 0.6,
+        },
+    );
     let log = UpdateLog::from_updates(updates);
 
-    // Engine A consumes the live stream.
-    let mut live = QhEngine::new(&q, &Database::new(q.schema().clone()))?;
-    for u in log.iter() {
-        live.apply(u);
+    // Session A consumes the live stream, one batch per 500 events.
+    for chunk in log.updates.chunks(500) {
+        live.apply_batch(chunk)?;
     }
 
     // Persist the log and read it back.
@@ -40,21 +45,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert_eq!(replayed_log, log);
 
-    // Engine B replays from disk.
-    let mut replayed = QhEngine::new(&q, &Database::new(q.schema().clone()))?;
+    // Session B replays from disk, update by update.
+    let mut replayed = Session::new();
+    replayed.register("q", "Q(x, y) :- E(x, y), T(y).")?;
     for u in replayed_log.iter() {
-        replayed.apply(u);
+        replayed.apply(u)?;
     }
 
-    assert_eq!(live.count(), replayed.count());
-    assert_eq!(live.results_sorted(), replayed.results_sorted());
+    let (a, b) = (live.query("q")?, replayed.query("q")?);
+    assert_eq!(a.count(), b.count());
+    assert_eq!(a.results_sorted(), b.results_sorted());
     assert_eq!(
         live.database().active_domain_size(),
         replayed.database().active_domain_size()
     );
     println!(
         "replay verified: |Q(D)| = {}, n = {}, {} facts",
-        live.count(),
+        a.count(),
         live.database().active_domain_size(),
         live.database().cardinality()
     );

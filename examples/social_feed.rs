@@ -1,6 +1,6 @@
 //! A social-network feed maintained under follows/unfollows and
 //! post/delete churn — the classic materialised-view workload the paper's
-//! introduction motivates.
+//! introduction motivates, served through the `Session` front door.
 //!
 //! The feed query
 //!
@@ -9,10 +9,11 @@
 //! ```
 //!
 //! is q-hierarchical (`v` dominates both atoms; the q-tree is
-//! `v → {u, p}`), so the engine maintains it with constant time per event
-//! and serves both the *global feed size* and *per-event enumeration* with
-//! no recomputation — compare the printed per-event costs against the
-//! recompute baseline at the end.
+//! `v → {u, p}`), so the session routes it to the dynamic engine and
+//! maintains it with constant time per event. Events arrive in batches,
+//! exercising the netting fast path; a subscription tails the feed of a
+//! single celebrity query; and a forced-recompute twin registered on the
+//! same session cross-checks the final count.
 //!
 //! ```text
 //! cargo run --release --example social_feed
@@ -26,6 +27,7 @@ use std::time::Instant;
 
 const USERS: u64 = 20_000;
 const EVENTS: usize = 100_000;
+const BATCH: usize = 256;
 
 fn random_event(rng: &mut SmallRng, follows: RelId, posts: RelId) -> Update {
     let a = 1 + rng.gen_range(0..USERS);
@@ -40,54 +42,85 @@ fn random_event(rng: &mut SmallRng, follows: RelId, posts: RelId) -> Update {
 }
 
 fn main() {
-    let q = parse_query("Feed(u, v, p) :- Follows(u, v), Posts(v, p).").unwrap();
-    println!("feed query: {q}");
-    let verdicts = classify(&q);
-    assert!(verdicts.enumeration.is_tractable());
-    println!("classifier: {}", verdicts.enumeration);
+    let mut session = Session::new();
+    session
+        .register("feed", "Feed(u, v, p) :- Follows(u, v), Posts(v, p).")
+        .unwrap();
+    let feed = session.query("feed").unwrap();
+    println!("feed query: {}", feed.query());
+    println!(
+        "routed to:  {} ({:?})",
+        feed.kind().name(),
+        feed.route_reason()
+    );
+    assert_eq!(feed.kind(), EngineKind::QHierarchical);
 
-    let mut engine = QhEngine::new(&q, &Database::new(q.schema().clone())).unwrap();
-    let follows = q.schema().relation("Follows").unwrap();
-    let posts = q.schema().relation("Posts").unwrap();
+    let follows = session.relation("Follows").unwrap();
+    let posts = session.relation("Posts").unwrap();
 
     let mut rng = SmallRng::seed_from_u64(2024);
-    let events: Vec<Update> =
-        (0..EVENTS).map(|_| random_event(&mut rng, follows, posts)).collect();
+    let events: Vec<Update> = (0..EVENTS)
+        .map(|_| random_event(&mut rng, follows, posts))
+        .collect();
 
     let t0 = Instant::now();
-    let mut effective = 0usize;
-    for ev in &events {
-        if engine.apply(ev) {
-            effective += 1;
-        }
+    let mut report = UpdateReport::default();
+    for batch in events.chunks(BATCH) {
+        report.merge(session.apply_batch(batch).unwrap());
     }
     let elapsed = t0.elapsed();
     println!(
-        "\nprocessed {EVENTS} events ({effective} effective) in {:.1} ms \
+        "\nprocessed {EVENTS} events in {} batches ({} effective) in {:.1} ms \
          ({:.2} µs/event)",
+        EVENTS / BATCH,
+        report.applied,
         elapsed.as_secs_f64() * 1e3,
         elapsed.as_secs_f64() * 1e6 / EVENTS as f64
     );
-    println!("feed entries now: {} (O(1) count)", engine.count());
+    let feed = session.query("feed").unwrap();
+    println!("feed entries now: {} (O(1) count)", feed.count());
     println!(
         "database: {} tuples, active domain {}",
-        engine.database().cardinality(),
-        engine.database().active_domain_size()
+        session.database().cardinality(),
+        session.database().active_domain_size()
     );
 
     // Constant-delay peek at the first few feed entries.
     let t1 = Instant::now();
-    let first: Vec<Vec<Const>> = engine.enumerate().take(5).collect();
-    println!("first 5 feed rows in {:.1} µs: {first:?}", t1.elapsed().as_secs_f64() * 1e6);
-
-    // The recompute baseline answers the same count — by re-joining
-    // everything. Same answer, very different latency profile.
-    let baseline = RecomputeEngine::new(&q, engine.database());
-    let t2 = Instant::now();
-    let recount = baseline.count();
+    let first: Vec<Vec<Const>> = feed.enumerate().take(5).collect();
     println!(
-        "recompute-baseline count = {recount} in {:.1} ms (engine: O(1))",
+        "first 5 feed rows in {:.1} µs: {first:?}",
+        t1.elapsed().as_secs_f64() * 1e6
+    );
+
+    // Tail one user's follow edge through the change feed.
+    let subscription = feed.subscribe();
+    let celebrity = first.first().map(|row| row[1]).unwrap_or(1);
+    session
+        .apply(&Update::Insert(follows, vec![777_777, celebrity]))
+        .unwrap();
+    for event in subscription.drain() {
+        println!(
+            "change feed: +{} −{} rows after following user {celebrity}",
+            event.added.len(),
+            event.removed.len()
+        );
+    }
+
+    // A recompute twin on the same session answers the same count — by
+    // re-joining everything. Same answer, very different latency profile.
+    session
+        .register_with(
+            "feed_recompute",
+            "Feed(u, v, p) :- Follows(u, v), Posts(v, p).",
+            EngineChoice::Forced(EngineKind::Recompute),
+        )
+        .unwrap();
+    let t2 = Instant::now();
+    let recount = session.query("feed_recompute").unwrap().count();
+    println!(
+        "recompute-baseline count = {recount} in {:.1} ms (session engine: O(1))",
         t2.elapsed().as_secs_f64() * 1e3
     );
-    assert_eq!(recount, engine.count());
+    assert_eq!(recount, session.query("feed").unwrap().count());
 }

@@ -11,44 +11,63 @@
 //! enumeration and O(1) counting — and (conditionally on the OMv and OV
 //! conjectures) for everything else no such structure can exist.
 //!
-//! This crate is a facade over the workspace:
-//!
-//! * [`query`] — query AST/parser, q-hierarchical checks, q-trees, cores,
-//!   and the dichotomy classifier (`cqu-query`).
-//! * [`storage`] — databases, updates, indexes, workloads (`cqu-storage`).
-//! * [`dynamic`] — the paper's dynamic engine (`cqu-dynamic`).
-//! * [`baseline`] — recompute / IVM / semi-join comparators
-//!   (`cqu-baseline`).
-//! * [`lowerbounds`] — OMv/OuMv/OV and the hardness reductions
-//!   (`cqu-lowerbounds`).
+//! The front door is the [`session`] API: a [`Session`](session::Session)
+//! registers many named queries, routes each to the best engine via the
+//! dichotomy classifier (the paper's Theorems 1.1–1.3 as a dispatch rule),
+//! fans updates out to all of them — singly, batched, or transactionally —
+//! and publishes per-update result deltas to subscribers.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use cq_updates::prelude::*;
 //!
-//! // ∃-free CQ over schema E/2, T/1; head variables are the output.
-//! let q = parse_query("Q(x, y) :- E(x, y), T(y).").unwrap();
+//! let mut session = Session::new();
 //!
-//! // The classifier implements the paper's Theorems 1.1–1.3.
-//! let verdicts = classify(&q);
-//! assert!(verdicts.enumeration.is_tractable());
+//! // Register named queries; the classifier picks each engine. The first
+//! // is q-hierarchical (constant-time updates, Theorem 3.2); the second
+//! // is the paper's canonical hard query and falls back to delta-IVM.
+//! session.register("pairs", "Q(x, y) :- E(x, y), T(y).").unwrap();
+//! session.register("triads", "Q(x, y) :- S(x), E(x, y), T(y).").unwrap();
+//! assert_eq!(session.query("pairs").unwrap().kind(), EngineKind::QHierarchical);
+//! assert_eq!(session.query("triads").unwrap().kind(), EngineKind::DeltaIvm);
 //!
-//! // Build the dynamic engine (rejects non-q-hierarchical queries).
-//! let mut engine = QhEngine::new(&q, &Database::new(q.schema().clone())).unwrap();
-//! let e = q.schema().relation("E").unwrap();
-//! let t = q.schema().relation("T").unwrap();
+//! // One update stream feeds every registered query.
+//! let e = session.relation("E").unwrap();
+//! let t = session.relation("T").unwrap();
+//! let report = session.apply_batch(&[
+//!     Update::Insert(e, vec![1, 2]),
+//!     Update::Insert(t, vec![2]),
+//! ]).unwrap();
+//! assert_eq!(report.applied, 2);
 //!
-//! engine.apply(&Update::Insert(e, vec![1, 2]));
-//! engine.apply(&Update::Insert(t, vec![2]));
-//! assert_eq!(engine.count(), 1);                       // O(1)
-//! assert_eq!(engine.results_sorted(), vec![vec![1, 2]]); // constant delay
+//! let pairs = session.query("pairs").unwrap();
+//! assert_eq!(pairs.count(), 1);                        // O(1)
+//! assert_eq!(pairs.results_sorted(), vec![vec![1, 2]]); // constant delay
 //!
-//! engine.apply(&Update::Delete(t, vec![2]));
-//! assert_eq!(engine.count(), 0);
+//! // Change feeds surface per-update result deltas.
+//! let feed = pairs.subscribe();
+//! session.apply(&Update::Delete(t, vec![2])).unwrap();
+//! assert_eq!(feed.poll().unwrap().removed, vec![vec![1, 2]]);
+//! assert_eq!(session.query("pairs").unwrap().count(), 0);
 //! ```
+//!
+//! The engine layer remains available for direct use:
+//!
+//! * [`query`] — query AST/parser, q-hierarchical checks, q-trees, cores,
+//!   and the dichotomy classifier (`cqu-query`).
+//! * [`storage`] — databases, updates, transactions, indexes, workloads
+//!   (`cqu-storage`).
+//! * [`dynamic`] — the paper's dynamic engine (`cqu-dynamic`).
+//! * [`baseline`] — recompute / IVM / semi-join comparators
+//!   (`cqu-baseline`).
+//! * [`lowerbounds`] — OMv/OuMv/OV and the hardness reductions
+//!   (`cqu-lowerbounds`).
 
 #![warn(missing_docs)]
+
+pub mod error;
+pub mod session;
 
 pub use cqu_baseline as baseline;
 pub use cqu_common as common;
@@ -57,14 +76,24 @@ pub use cqu_lowerbounds as lowerbounds;
 pub use cqu_query as query;
 pub use cqu_storage as storage;
 
+pub use error::CqError;
+pub use session::{
+    ChangeEvent, EngineChoice, QueryHandle, QueryId, RouteReason, Session, SessionTransaction,
+    Subscription,
+};
+
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use crate::error::CqError;
+    pub use crate::session::{
+        ChangeEvent, EngineChoice, QueryHandle, QueryId, RouteReason, Session, SessionTransaction,
+        Subscription,
+    };
     pub use cqu_baseline::{DeltaIvmEngine, EngineKind, RecomputeEngine, SemiJoinEngine};
-    pub use cqu_dynamic::{selfjoin::Phi2Engine, DynamicEngine, QhEngine};
+    pub use cqu_dynamic::{selfjoin::Phi2Engine, DynamicEngine, QhEngine, UpdateReport};
     pub use cqu_query::classify::classify;
     pub use cqu_query::{
-        core_of, parse_query, Classification, Query, QueryBuilder, QueryError, Schema, Var,
-        Verdict,
+        core_of, parse_query, Classification, Query, QueryBuilder, QueryError, Schema, Var, Verdict,
     };
-    pub use cqu_storage::{Const, Database, Update, UpdateLog};
+    pub use cqu_storage::{ApplyUpdate, Const, Database, Transaction, Update, UpdateLog};
 }

@@ -1,0 +1,652 @@
+//! The unified front door: classifier-routed query sessions.
+//!
+//! The paper is a *dichotomy*: q-hierarchical queries admit constant-time
+//! updates with constant-delay enumeration (Theorem 3.2), everything else
+//! conditionally does not (Theorems 3.3–3.5) and must fall back to
+//! IVM-style maintenance. [`Session`] turns that theorem into an API:
+//! callers register named queries, the dichotomy classifier picks the
+//! engine per query ([`EngineChoice::Auto`]), and updates fan out to all
+//! registered queries at once — singly ([`Session::apply`]), batched with
+//! netting ([`Session::apply_batch`]), or under all-or-nothing
+//! transactions ([`Session::transaction`]). [`QueryHandle`]s expose O(1)
+//! counting, Boolean answering, constant-delay enumeration, and a change
+//! feed ([`QueryHandle::subscribe`]) of per-update result deltas.
+//!
+//! ```
+//! use cq_updates::prelude::*;
+//!
+//! let mut session = Session::new();
+//! session.register("feed", "Feed(u, v, p) :- Follows(u, v), Posts(v, p).").unwrap();
+//! let follows = session.relation("Follows").unwrap();
+//! let posts = session.relation("Posts").unwrap();
+//!
+//! // The classifier routed the q-hierarchical feed query to QhEngine.
+//! assert_eq!(session.query("feed").unwrap().kind(), EngineKind::QHierarchical);
+//!
+//! session.apply_batch(&[
+//!     Update::Insert(follows, vec![1, 2]),
+//!     Update::Insert(posts, vec![2, 77]),
+//! ]).unwrap();
+//! assert_eq!(session.query("feed").unwrap().count(), 1);
+//! ```
+
+use crate::error::CqError;
+use cqu_baseline::EngineKind;
+use cqu_common::FxHashMap;
+use cqu_dynamic::{DynamicEngine, UpdateReport};
+use cqu_query::classify::{classify, Classification, Verdict};
+use cqu_query::hierarchical::{q_hierarchical_violation, Violation};
+use cqu_query::{parse_query, Query, QueryBuilder, QueryError, RelId, Schema};
+use cqu_storage::{ApplyUpdate, Database, Transaction, Tuple, Update};
+use std::cell::RefCell;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// How [`Session::register_with`] picks an engine for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// Classifier-routed (the paper's dichotomy): q-hierarchical queries
+    /// — directly or through their homomorphic core — go to the dynamic
+    /// engine; conditionally hard ones fall back to delta-IVM.
+    #[default]
+    Auto,
+    /// Use exactly this engine; registration fails with
+    /// [`CqError::Query`] if the engine cannot admit the query.
+    Forced(EngineKind),
+}
+
+/// A stable identifier for a registered query within its session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(usize);
+
+/// One result-set delta, published to [`Subscription`]s after every
+/// effective [`Session::apply`] / [`Session::apply_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeEvent {
+    /// Session-wide sequence number of the causing update (batch).
+    pub seq: u64,
+    /// Result tuples that entered `ϕ(D)`.
+    pub added: Vec<Tuple>,
+    /// Result tuples that left `ϕ(D)`.
+    pub removed: Vec<Tuple>,
+}
+
+/// The receiving end of a [`QueryHandle::subscribe`] change feed.
+///
+/// Events accumulate until polled; dropping the subscription detaches it
+/// (the session prunes dead feeds before its next delta snapshot).
+#[derive(Debug)]
+pub struct Subscription {
+    rx: Receiver<ChangeEvent>,
+    _alive: std::sync::Arc<()>,
+}
+
+impl Subscription {
+    /// Takes the next pending event, if any.
+    pub fn poll(&self) -> Option<ChangeEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drains all pending events.
+    pub fn drain(&self) -> Vec<ChangeEvent> {
+        std::iter::from_fn(|| self.poll()).collect()
+    }
+}
+
+/// Why the auto-router chose the engine it chose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteReason {
+    /// The query is q-hierarchical; Theorem 3.2 applies directly.
+    QHierarchical,
+    /// The query is not q-hierarchical but its homomorphic core is;
+    /// the engine maintains the core (`core(ϕ)(D) = ϕ(D)`).
+    QHierarchicalCore,
+    /// Conditionally hard (or open) per Theorems 3.3–3.5; a baseline
+    /// engine maintains the result.
+    Fallback,
+    /// The caller forced the engine with [`EngineChoice::Forced`].
+    Forced,
+}
+
+/// One feed endpoint: the sender plus a liveness token mirroring the
+/// [`Subscription`]'s lifetime, so dead feeds can be pruned without
+/// sending.
+struct Subscriber {
+    tx: Sender<ChangeEvent>,
+    alive: std::sync::Weak<()>,
+}
+
+struct Registered {
+    name: String,
+    /// The query as the caller wrote it, remapped onto the session schema.
+    query: Query,
+    classification: Classification,
+    kind: EngineKind,
+    reason: RouteReason,
+    engine: Box<dyn DynamicEngine>,
+    /// Schema size when the engine was built: updates to relations
+    /// interned later cannot concern this query and are not routed to it.
+    schema_len: usize,
+    subscribers: RefCell<Vec<Subscriber>>,
+}
+
+impl Registered {
+    fn wants(&self, rel: RelId) -> bool {
+        rel.index() < self.schema_len
+    }
+
+    /// Prunes dropped subscriptions and returns how many remain — called
+    /// before every snapshot so detached feeds stop costing the two
+    /// result enumerations per update immediately.
+    fn prune_subscribers(&self) -> usize {
+        let mut subs = self.subscribers.borrow_mut();
+        subs.retain(|s| s.alive.strong_count() > 0);
+        subs.len()
+    }
+
+    fn has_subscribers(&self) -> bool {
+        self.prune_subscribers() > 0
+    }
+
+    /// Publishes the delta between `before` and the current result.
+    fn publish(&self, seq: u64, before: Vec<Tuple>) {
+        let after = self.engine.results_sorted();
+        let (added, removed) = diff_sorted(&before, &after);
+        if added.is_empty() && removed.is_empty() {
+            return;
+        }
+        let event = ChangeEvent {
+            seq,
+            added,
+            removed,
+        };
+        self.subscribers
+            .borrow_mut()
+            .retain(|s| s.tx.send(event.clone()).is_ok());
+    }
+}
+
+/// Set difference of two sorted, duplicate-free result vectors:
+/// `(after ∖ before, before ∖ after)`.
+fn diff_sorted(before: &[Tuple], after: &[Tuple]) -> (Vec<Tuple>, Vec<Tuple>) {
+    let (mut added, mut removed) = (Vec::new(), Vec::new());
+    let (mut i, mut j) = (0, 0);
+    while i < before.len() && j < after.len() {
+        match before[i].cmp(&after[j]) {
+            std::cmp::Ordering::Less => {
+                removed.push(before[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added.push(after[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    removed.extend_from_slice(&before[i..]);
+    added.extend_from_slice(&after[j..]);
+    (added, removed)
+}
+
+/// A set of named queries maintained together under one update stream.
+pub struct Session {
+    schema: Schema,
+    /// Master database: the ground truth every engine was seeded from.
+    db: Database,
+    regs: Vec<Registered>,
+    by_name: FxHashMap<String, usize>,
+    seq: u64,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+impl Session {
+    /// Opens a session over a pre-declared schema. Queries registered
+    /// later may also intern new relations on the fly.
+    pub fn open(schema: Schema) -> Session {
+        let db = Database::new(schema.clone());
+        Session {
+            schema,
+            db,
+            regs: Vec::new(),
+            by_name: FxHashMap::default(),
+            seq: 0,
+        }
+    }
+
+    /// Opens a session with an empty schema (relations are interned by
+    /// the queries that mention them).
+    pub fn new() -> Session {
+        Session::open(Schema::new())
+    }
+
+    /// The session schema (the union of all registered queries' schemas).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The master database all engines were seeded from.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Resolves a relation by name.
+    pub fn relation(&self, name: &str) -> Result<RelId, CqError> {
+        self.schema
+            .relation(name)
+            .ok_or_else(|| CqError::UnknownRelation(name.to_string()))
+    }
+
+    /// Parses and registers a query under `name`, classifier-routed.
+    pub fn register(&mut self, name: &str, src: &str) -> Result<QueryId, CqError> {
+        self.register_with(name, src, EngineChoice::Auto)
+    }
+
+    /// Parses and registers a query under `name` with an explicit engine
+    /// choice.
+    pub fn register_with(
+        &mut self,
+        name: &str,
+        src: &str,
+        choice: EngineChoice,
+    ) -> Result<QueryId, CqError> {
+        let q = parse_query(src)?;
+        self.register_query(name, &q, choice)
+    }
+
+    /// Registers an already-built query under `name`.
+    ///
+    /// The query is remapped onto the session schema (new relations are
+    /// interned; arity clashes error), classified, and handed to the
+    /// chosen engine seeded from the session's current database.
+    pub fn register_query(
+        &mut self,
+        name: &str,
+        query: &Query,
+        choice: EngineChoice,
+    ) -> Result<QueryId, CqError> {
+        if self.by_name.contains_key(name) {
+            return Err(CqError::DuplicateQuery(name.to_string()));
+        }
+        // Stage everything fallible before mutating the session: a failed
+        // registration must leave schema and master database untouched.
+        let (staged_schema, query) = self.adopt(query)?;
+        let classification = classify(&query);
+        let (kind, reason) = route(&query, &classification, choice);
+        let maintained: &Query = match reason {
+            RouteReason::QHierarchicalCore => &classification.core,
+            _ => &query,
+        };
+        if let Some(violation) = admission_violation(kind, maintained) {
+            return Err(QueryError::NotQHierarchical(violation).into());
+        }
+        // Commit: grow schema + database, then build. The admission
+        // pre-check above is the only failure mode an engine constructor
+        // has, so a build error past this point is a bug — panic loudly
+        // rather than `?`-masking a broken atomicity invariant.
+        self.schema = staged_schema;
+        self.db.adopt_schema(&self.schema);
+        let engine = kind
+            .build(maintained, &self.db)
+            .expect("admission pre-check guarantees the engine admits the query");
+        let id = QueryId(self.regs.len());
+        self.by_name.insert(name.to_string(), id.0);
+        self.regs.push(Registered {
+            name: name.to_string(),
+            query,
+            classification,
+            kind,
+            reason,
+            engine,
+            schema_len: self.schema.len(),
+            subscribers: RefCell::new(Vec::new()),
+        });
+        Ok(id)
+    }
+
+    /// Remaps `query` onto a *staged* copy of the session schema, grown
+    /// with any relations the query introduces. Nothing on the session is
+    /// mutated — the caller commits the staged schema only once the whole
+    /// registration is known to succeed.
+    fn adopt(&self, query: &Query) -> Result<(Schema, Query), CqError> {
+        let theirs = query.schema();
+        let mut staged = self.schema.clone();
+        for rel in theirs.relations() {
+            staged.intern(theirs.name(rel), theirs.arity(rel))?;
+        }
+        let mut b = QueryBuilder::with_schema(query.name(), staged.clone());
+        for atom in query.atoms() {
+            let args: Vec<_> = atom
+                .args
+                .iter()
+                .map(|&v| b.var(query.var_name(v)))
+                .collect();
+            b.atom(theirs.name(atom.relation), &args)?;
+        }
+        let free: Vec<_> = query
+            .free()
+            .iter()
+            .map(|&v| b.var(query.var_name(v)))
+            .collect();
+        Ok((staged, b.head(&free).build()?))
+    }
+
+    /// Looks up a registered query by name.
+    pub fn query(&self, name: &str) -> Result<QueryHandle<'_>, CqError> {
+        let &idx = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| CqError::UnknownQuery(name.to_string()))?;
+        Ok(QueryHandle {
+            reg: &self.regs[idx],
+            id: QueryId(idx),
+        })
+    }
+
+    /// Looks up a registered query by id.
+    pub fn handle(&self, id: QueryId) -> QueryHandle<'_> {
+        QueryHandle {
+            reg: &self.regs[id.0],
+            id,
+        }
+    }
+
+    /// Iterates over all registered queries, in registration order.
+    pub fn queries(&self) -> impl Iterator<Item = QueryHandle<'_>> {
+        self.regs.iter().enumerate().map(|(i, reg)| QueryHandle {
+            reg,
+            id: QueryId(i),
+        })
+    }
+
+    /// Escape hatch: mutable access to the underlying engine of `name`,
+    /// e.g. to drive it through the lower-bound reductions.
+    pub fn engine_mut(&mut self, name: &str) -> Result<&mut dyn DynamicEngine, CqError> {
+        let &idx = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| CqError::UnknownQuery(name.to_string()))?;
+        Ok(self.regs[idx].engine.as_mut())
+    }
+
+    /// Checks an update against the session schema.
+    fn validate(&self, update: &Update) -> Result<(), CqError> {
+        let rel = update.relation();
+        if rel.index() >= self.schema.len() {
+            return Err(CqError::UnknownRelationId(rel.0));
+        }
+        let expected = self.schema.arity(rel);
+        if update.tuple().len() != expected {
+            return Err(CqError::Arity {
+                relation: self.schema.name(rel).to_string(),
+                expected,
+                found: update.tuple().len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Routes one pre-validated update to the master database and every
+    /// engine that can be concerned by it, publishing result deltas.
+    fn dispatch(&mut self, update: &Update) -> bool {
+        if !self.db.apply(update) {
+            // Set-semantics no-op: no engine state can change either.
+            return false;
+        }
+        self.seq += 1;
+        for reg in &mut self.regs {
+            if !reg.wants(update.relation()) {
+                continue;
+            }
+            let before = reg.has_subscribers().then(|| reg.engine.results_sorted());
+            reg.engine.apply(update);
+            if let Some(before) = before {
+                reg.publish(self.seq, before);
+            }
+        }
+        true
+    }
+
+    /// Applies one update to every registered query; returns `true` iff
+    /// the database changed.
+    pub fn apply(&mut self, update: &Update) -> Result<bool, CqError> {
+        self.validate(update)?;
+        Ok(self.dispatch(update))
+    }
+
+    /// Applies a batch of updates to every registered query, equivalent
+    /// to applying them in order — but amortised: each engine receives
+    /// the whole batch at once ([`DynamicEngine::apply_batch`]), so the
+    /// dynamic engine nets out cancelling updates and groups by relation.
+    ///
+    /// All-or-nothing: the batch is validated up front and nothing is
+    /// applied if any update is malformed. Subscribers see one
+    /// [`ChangeEvent`] per query with the batch's net result delta.
+    pub fn apply_batch(&mut self, updates: &[Update]) -> Result<UpdateReport, CqError> {
+        for u in updates {
+            self.validate(u)?;
+        }
+        let applied = updates.iter().filter(|u| self.db.apply(u)).count();
+        if applied == 0 {
+            return Ok(UpdateReport {
+                total: updates.len(),
+                applied: 0,
+            });
+        }
+        self.seq += 1;
+        let mut filtered: Vec<Update> = Vec::new();
+        for reg in &mut self.regs {
+            let routed: &[Update] = if reg.schema_len == self.schema.len() {
+                updates
+            } else {
+                filtered.clear();
+                filtered.extend(updates.iter().filter(|u| reg.wants(u.relation())).cloned());
+                &filtered
+            };
+            if routed.is_empty() {
+                continue;
+            }
+            let before = reg.has_subscribers().then(|| reg.engine.results_sorted());
+            reg.engine.apply_batch(routed);
+            if let Some(before) = before {
+                reg.publish(self.seq, before);
+            }
+        }
+        Ok(UpdateReport {
+            total: updates.len(),
+            applied,
+        })
+    }
+
+    /// Starts an all-or-nothing transaction over the whole session.
+    ///
+    /// Updates applied through the guard take effect immediately (reads
+    /// through [`Session::query`] are impossible while it borrows the
+    /// session, but subscribers are notified per update); unless
+    /// [`SessionTransaction::commit`] is called, dropping the guard rolls
+    /// every effective update back via [`Update::inverse`], across the
+    /// master database and every engine.
+    pub fn transaction(&mut self) -> SessionTransaction<'_> {
+        SessionTransaction {
+            inner: Transaction::begin(self),
+        }
+    }
+}
+
+impl ApplyUpdate for Session {
+    /// Pre-validated routing — used by [`Transaction`] for rollback;
+    /// panics on malformed updates (validate first).
+    fn apply_update(&mut self, update: &Update) -> bool {
+        self.dispatch(update)
+    }
+}
+
+/// An all-or-nothing update batch over a [`Session`]
+/// (see [`Session::transaction`]).
+pub struct SessionTransaction<'a> {
+    inner: Transaction<'a, Session>,
+}
+
+impl SessionTransaction<'_> {
+    /// Validates and applies one update inside the transaction; returns
+    /// `true` iff it was effective. A validation error leaves the
+    /// transaction open — the caller decides whether to commit the
+    /// prefix or drop the guard to roll it back.
+    pub fn apply(&mut self, update: &Update) -> Result<bool, CqError> {
+        self.inner.target().validate(update)?;
+        Ok(self.inner.apply(update))
+    }
+
+    /// Applies a sequence of updates, stopping at the first malformed
+    /// one. On error the transaction is left open (drop it to roll back).
+    pub fn apply_all(&mut self, updates: &[Update]) -> Result<usize, CqError> {
+        let mut applied = 0;
+        for u in updates {
+            if self.apply(u)? {
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Number of effective updates so far.
+    pub fn effective_len(&self) -> usize {
+        self.inner.effective_len()
+    }
+
+    /// Keeps the transaction's effects; returns how many updates were
+    /// effective.
+    pub fn commit(self) -> usize {
+        self.inner.commit()
+    }
+
+    /// Rolls back everything applied so far (same as dropping the guard).
+    pub fn rollback(self) {
+        self.inner.rollback()
+    }
+}
+
+/// Read access to one registered query (see [`Session::query`]).
+#[derive(Clone, Copy)]
+pub struct QueryHandle<'a> {
+    reg: &'a Registered,
+    id: QueryId,
+}
+
+impl<'a> QueryHandle<'a> {
+    /// The session-stable id of this query.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// The name the query was registered under.
+    pub fn name(&self) -> &'a str {
+        &self.reg.name
+    }
+
+    /// The query, remapped onto the session schema.
+    pub fn query(&self) -> &'a Query {
+        &self.reg.query
+    }
+
+    /// The engine maintaining this query.
+    pub fn kind(&self) -> EngineKind {
+        self.reg.kind
+    }
+
+    /// Why the router picked [`QueryHandle::kind`].
+    pub fn route_reason(&self) -> RouteReason {
+        self.reg.reason
+    }
+
+    /// The dichotomy classifier's verdicts for this query.
+    pub fn classification(&self) -> &'a Classification {
+        &self.reg.classification
+    }
+
+    /// `|ϕ(D)|` — O(1) on the dynamic engine.
+    pub fn count(&self) -> u64 {
+        self.reg.engine.count()
+    }
+
+    /// `ϕ(D) ≠ ∅` — the Boolean answer.
+    pub fn answer(&self) -> bool {
+        self.reg.engine.answer()
+    }
+
+    /// Enumerates `ϕ(D)` without repetition — constant delay on the
+    /// dynamic engine.
+    pub fn enumerate(&self) -> Box<dyn Iterator<Item = Tuple> + 'a> {
+        self.reg.engine.enumerate()
+    }
+
+    /// Collects and sorts the full result.
+    pub fn results_sorted(&self) -> Vec<Tuple> {
+        self.reg.engine.results_sorted()
+    }
+
+    /// Opens a change feed: after every effective update or batch that
+    /// changes this query's result, a [`ChangeEvent`] with the added and
+    /// removed result tuples is delivered.
+    ///
+    /// Delta extraction costs one result enumeration per update on the
+    /// publishing side, so subscribe to queries whose results you
+    /// actually consume.
+    pub fn subscribe(&self) -> Subscription {
+        let (tx, rx) = channel();
+        let alive = std::sync::Arc::new(());
+        self.reg.subscribers.borrow_mut().push(Subscriber {
+            tx,
+            alive: std::sync::Arc::downgrade(&alive),
+        });
+        Subscription { rx, _alive: alive }
+    }
+
+    /// Number of live subscriptions on this query (dropped feeds are
+    /// pruned first).
+    pub fn subscriber_count(&self) -> usize {
+        self.reg.prune_subscribers()
+    }
+}
+
+/// The admission pre-check for the chosen engine: the dynamic engine
+/// requires q-hierarchy (Definition 3.1); the baselines admit every CQ.
+/// Checked *before* the session commits any state for a registration.
+fn admission_violation(kind: EngineKind, maintained: &Query) -> Option<Violation> {
+    match kind {
+        EngineKind::QHierarchical => q_hierarchical_violation(maintained),
+        _ => None,
+    }
+}
+
+/// The classifier-driven routing decision.
+fn route(
+    query: &Query,
+    classification: &Classification,
+    choice: EngineChoice,
+) -> (EngineKind, RouteReason) {
+    match choice {
+        EngineChoice::Forced(kind) => (kind, RouteReason::Forced),
+        EngineChoice::Auto => match &classification.enumeration {
+            Verdict::Tractable { .. } => {
+                if classification.core.atoms().len() == query.atoms().len() {
+                    (EngineKind::QHierarchical, RouteReason::QHierarchical)
+                } else {
+                    // Chandra–Merlin: core(ϕ)(D) = ϕ(D); maintain the core.
+                    (EngineKind::QHierarchical, RouteReason::QHierarchicalCore)
+                }
+            }
+            // Hard (Theorems 3.3–3.5) or open: delta-IVM keeps requests
+            // O(1) and pays in the updates, the trade the ROADMAP's
+            // read-heavy service shape wants.
+            _ => (EngineKind::DeltaIvm, RouteReason::Fallback),
+        },
+    }
+}

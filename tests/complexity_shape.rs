@@ -37,7 +37,10 @@ fn item_count_linear_in_database() {
         assert!(ratio < 3.0, "n={n}: ratio {ratio}");
         if let Some(prev) = prev_ratio {
             let drift: f64 = ratio / prev;
-            assert!((0.5..2.0).contains(&drift), "n={n}: ratio drifted {prev} -> {ratio}");
+            assert!(
+                (0.5..2.0).contains(&drift),
+                "n={n}: ratio drifted {prev} -> {ratio}"
+            );
         }
         prev_ratio = Some(ratio);
     }
@@ -49,7 +52,10 @@ fn count_register_matches_enumeration_at_scale() {
     let mut engine = QhEngine::new(&q, &Database::new(q.schema().clone())).unwrap();
     load_star(&mut engine, 8_000, 4);
     let count = engine.count();
-    assert!(count > 1_000, "workload should produce a large result, got {count}");
+    assert!(
+        count > 1_000,
+        "workload should produce a large result, got {count}"
+    );
     let enumerated = engine.enumerate().count() as u64;
     assert_eq!(count, enumerated);
     // And again after churn.

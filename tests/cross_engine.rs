@@ -1,7 +1,9 @@
 //! Cross-engine integration tests: the paper's dynamic engine, the
 //! recompute baseline, delta-IVM, and the semi-join baseline must agree
 //! with each other (and with a brute-force oracle) on randomized update
-//! scripts, across easy and hard queries.
+//! scripts, across easy and hard queries. All engines are driven through
+//! one [`Session`], registered with explicit [`EngineChoice::Forced`]
+//! overrides so every supporting engine kind sees the same stream.
 
 use cq_updates::prelude::*;
 use rand::rngs::SmallRng;
@@ -69,28 +71,57 @@ fn random_script(q: &Query, seed: u64, steps: usize, domain: u64) -> Vec<Update>
 }
 
 fn run_all_engines(src: &str, seed: u64, steps: usize, domain: u64) {
-    let q = parse_query(src).unwrap();
-    let db0 = Database::new(q.schema().clone());
-    let mut engines: Vec<(&str, Box<dyn DynamicEngine>)> = EngineKind::all()
-        .into_iter()
-        .filter_map(|k| k.build(&q, &db0).map(|e| (k.name(), e)))
-        .collect();
-    assert!(!engines.is_empty());
-    let mut oracle_db = Database::new(q.schema().clone());
-    for (step, u) in random_script(&q, seed, steps, domain).into_iter().enumerate() {
-        let oracle_changed = oracle_db.apply(&u);
-        for (name, e) in engines.iter_mut() {
-            assert_eq!(e.apply(&u), oracle_changed, "{src}: {name} effectiveness @{step}");
+    // One session, one query per supporting engine kind.
+    let mut session = Session::new();
+    let mut names: Vec<&'static str> = Vec::new();
+    for kind in EngineKind::all() {
+        match session.register_with(kind.name(), src, EngineChoice::Forced(kind)) {
+            Ok(_) => names.push(kind.name()),
+            Err(CqError::Query(QueryError::NotQHierarchical(_))) => {
+                assert_eq!(
+                    kind,
+                    EngineKind::QHierarchical,
+                    "only the qh engine may refuse"
+                );
+            }
+            Err(e) => panic!("{src}: {} refused unexpectedly: {e}", kind.name()),
         }
+    }
+    assert!(!names.is_empty());
+    // The session schema is the remapped query's schema.
+    let q = session.query(names[0]).unwrap().query().clone();
+    let mut oracle_db = Database::new(session.schema().clone());
+    for (step, u) in random_script(&q, seed, steps, domain)
+        .into_iter()
+        .enumerate()
+    {
+        let oracle_changed = oracle_db.apply(&u);
+        let session_changed = session.apply(&u).unwrap();
+        assert_eq!(
+            session_changed, oracle_changed,
+            "{src}: effectiveness @{step}"
+        );
         if step % 11 == 0 || step == steps - 1 {
             let expected = brute_force(&q, &oracle_db);
-            for (name, e) in engines.iter() {
-                assert_eq!(e.results_sorted(), expected, "{src}: {name} result @{step}");
-                assert_eq!(e.count() as usize, expected.len(), "{src}: {name} count @{step}");
-                assert_eq!(e.is_nonempty(), !expected.is_empty(), "{src}: {name} @{step}");
+            for name in &names {
+                let h = session.query(name).unwrap();
+                assert_eq!(h.kind().name(), *name);
+                assert_eq!(h.results_sorted(), expected, "{src}: {name} result @{step}");
+                assert_eq!(
+                    h.count() as usize,
+                    expected.len(),
+                    "{src}: {name} count @{step}"
+                );
+                assert_eq!(h.answer(), !expected.is_empty(), "{src}: {name} @{step}");
             }
         }
     }
+    // The master database the session maintains matches the oracle's.
+    assert_eq!(session.database().cardinality(), oracle_db.cardinality());
+    assert_eq!(
+        session.database().active_domain_size(),
+        oracle_db.active_domain_size()
+    );
 }
 
 #[test]
@@ -140,7 +171,11 @@ fn phi2_amortised_engine_agrees_with_recompute() {
     let mut rng = SmallRng::seed_from_u64(13);
     for step in 0..300 {
         let a = rng.gen_range(1..=5u64);
-        let b = if rng.gen_bool(0.4) { a } else { rng.gen_range(1..=5u64) };
+        let b = if rng.gen_bool(0.4) {
+            a
+        } else {
+            rng.gen_range(1..=5u64)
+        };
         let u = if rng.gen_bool(0.6) {
             Update::Insert(er, vec![a, b])
         } else {

@@ -54,12 +54,22 @@ fn core_evaluation_equals_original() {
     let mut rng = SmallRng::seed_from_u64(77);
     for step in 0..300 {
         let a = rng.gen_range(1..=6u64);
-        let b = if rng.gen_bool(0.35) { a } else { rng.gen_range(1..=6u64) };
+        let b = if rng.gen_bool(0.35) {
+            a
+        } else {
+            rng.gen_range(1..=6u64)
+        };
         let insert = rng.gen_bool(0.6);
         let (u_core, u_full) = if insert {
-            (Update::Insert(er_core, vec![a, b]), Update::Insert(er, vec![a, b]))
+            (
+                Update::Insert(er_core, vec![a, b]),
+                Update::Insert(er, vec![a, b]),
+            )
         } else {
-            (Update::Delete(er_core, vec![a, b]), Update::Delete(er, vec![a, b]))
+            (
+                Update::Delete(er_core, vec![a, b]),
+                Update::Delete(er, vec![a, b]),
+            )
         };
         core_engine.apply(&u_core);
         full.apply(&u_full);
@@ -77,7 +87,10 @@ fn boolean_vs_counting_split_on_loop_query() {
     let non_boolean = parse_query("Q(x, y) :- E(x,x), E(x,y), E(y,y).").unwrap();
     let v = classify(&non_boolean);
     assert!(v.boolean.is_tractable(), "Boolean closure core is ∃x Exx");
-    assert!(v.counting.is_hard(), "the k-ary query is a non-q-hierarchical core");
+    assert!(
+        v.counting.is_hard(),
+        "the k-ary query is a non-q-hierarchical core"
+    );
     assert_eq!(v.boolean_core.atoms().len(), 1);
     assert_eq!(v.core.atoms().len(), 3);
 }

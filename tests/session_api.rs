@@ -1,0 +1,411 @@
+//! Integration tests for the unified `Session` API: classifier routing,
+//! batch/transactional updates, change subscriptions, and schema growth.
+
+use cq_updates::prelude::*;
+use cq_updates::query::generator::{random_query, GenConfig, Lcg};
+use proptest::prelude::*;
+
+/// Acceptance: the session routes each query class to the right engine
+/// without the caller naming one.
+#[test]
+fn auto_routing_matches_the_dichotomy() {
+    let mut s = Session::new();
+    // Theorem 3.2: q-hierarchical — the paper's algorithm.
+    s.register("easy", "Q(x, y) :- E(x, y), T(y).").unwrap();
+    // Theorem 3.3: ϕ_S-E-T, conditionally hard — baseline fallback.
+    s.register("hard", "Q(x, y) :- S(x), E(x, y), T(y).")
+        .unwrap();
+    // Core-tractable: not q-hierarchical, but its homomorphic core
+    // (∃x Exx) is — routed to the dynamic engine *on the core*.
+    s.register("via_core", "Q() :- E(x,x), E(x,y), E(y,y).")
+        .unwrap();
+    // Section 7 self-join pair: enumeration open — fallback.
+    s.register("open", "Q(x, y) :- E(x,x), E(x,y), E(y,y).")
+        .unwrap();
+
+    let easy = s.query("easy").unwrap();
+    assert_eq!(easy.kind(), EngineKind::QHierarchical);
+    assert_eq!(easy.route_reason(), RouteReason::QHierarchical);
+    assert!(easy.classification().enumeration.is_tractable());
+
+    let hard = s.query("hard").unwrap();
+    assert_eq!(hard.kind(), EngineKind::DeltaIvm);
+    assert_eq!(hard.route_reason(), RouteReason::Fallback);
+    assert!(hard.classification().enumeration.is_hard());
+
+    let via_core = s.query("via_core").unwrap();
+    assert_eq!(via_core.kind(), EngineKind::QHierarchical);
+    assert_eq!(via_core.route_reason(), RouteReason::QHierarchicalCore);
+
+    let open = s.query("open").unwrap();
+    assert_eq!(open.kind(), EngineKind::DeltaIvm);
+    assert_eq!(open.route_reason(), RouteReason::Fallback);
+    assert!(open.classification().enumeration.is_open());
+}
+
+#[test]
+fn forced_choice_overrides_and_rejects() {
+    let mut s = Session::new();
+    s.register_with(
+        "sj",
+        "Q(x, y) :- E(x, y), T(y).",
+        EngineChoice::Forced(EngineKind::SemiJoin),
+    )
+    .unwrap();
+    let sj = s.query("sj").unwrap();
+    assert_eq!(sj.kind(), EngineKind::SemiJoin);
+    assert_eq!(sj.route_reason(), RouteReason::Forced);
+
+    // Forcing the qh engine onto a hard query surfaces the violation.
+    let err = s
+        .register_with(
+            "nope",
+            "Q(x, y) :- S(x), E(x, y), T(y).",
+            EngineChoice::Forced(EngineKind::QHierarchical),
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        CqError::Query(QueryError::NotQHierarchical(_))
+    ));
+    assert!(
+        s.query("nope").is_err(),
+        "failed registration must not register"
+    );
+}
+
+#[test]
+fn session_level_errors_are_typed() {
+    let mut s = Session::new();
+    s.register("q", "Q(x) :- R(x).").unwrap();
+    assert!(matches!(
+        s.register("q", "Q(x) :- R(x)."),
+        Err(CqError::DuplicateQuery(_))
+    ));
+    assert!(matches!(
+        s.register("bad", "Q(x) :- R(x"),
+        Err(CqError::Parse(_))
+    ));
+    assert!(matches!(
+        s.register("mismatch", "Q(x, y) :- R(x, y)."),
+        Err(CqError::Query(QueryError::ArityMismatch { .. }))
+    ));
+    assert!(matches!(s.query("ghost"), Err(CqError::UnknownQuery(_))));
+    assert!(matches!(
+        s.relation("Ghost"),
+        Err(CqError::UnknownRelation(_))
+    ));
+    let r = s.relation("R").unwrap();
+    assert!(matches!(
+        s.apply(&Update::Insert(r, vec![1, 2])),
+        Err(CqError::Arity {
+            expected: 1,
+            found: 2,
+            ..
+        })
+    ));
+    assert!(matches!(
+        s.apply(&Update::Insert(cq_updates::query::RelId(99), vec![1])),
+        Err(CqError::UnknownRelationId(99))
+    ));
+    assert_eq!(
+        s.database().cardinality(),
+        0,
+        "failed updates must not apply"
+    );
+}
+
+/// A failed registration must leave the session schema and master
+/// database exactly as they were — no half-interned relations that a
+/// later update could address and crash on.
+#[test]
+fn failed_registration_leaves_schema_untouched() {
+    let mut s = Session::new();
+    s.register("ok", "Q(x) :- B(x, y).").unwrap();
+    let schema_before = s.schema().len();
+
+    // Interns A fine, then clashes on B's arity — A must not survive.
+    let err = s.register("bad", "Q(x) :- A(x), B(x, y, z).").unwrap_err();
+    assert!(matches!(
+        err,
+        CqError::Query(QueryError::ArityMismatch { .. })
+    ));
+    assert_eq!(s.schema().len(), schema_before);
+    assert!(matches!(s.relation("A"), Err(CqError::UnknownRelation(_))));
+
+    // A forced-engine rejection must not leak its new relations either.
+    let err = s
+        .register_with(
+            "forced",
+            "Q(x, y) :- S(x), E(x, y), T(y).",
+            EngineChoice::Forced(EngineKind::QHierarchical),
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        CqError::Query(QueryError::NotQHierarchical(_))
+    ));
+    assert_eq!(s.schema().len(), schema_before);
+    assert!(matches!(s.relation("E"), Err(CqError::UnknownRelation(_))));
+
+    // The session still works: updates to the surviving schema apply.
+    let b = s.relation("B").unwrap();
+    assert!(s.apply(&Update::Insert(b, vec![1, 2])).unwrap());
+    assert_eq!(s.query("ok").unwrap().count(), 1);
+}
+
+/// Dropped subscriptions are pruned before the next delta snapshot, so
+/// detached feeds stop costing result enumerations even when the result
+/// never changes again.
+#[test]
+fn dropped_subscriptions_are_pruned() {
+    let mut s = Session::new();
+    s.register("pairs", "Q(x, y) :- E(x, y), T(y).").unwrap();
+    let e = s.relation("E").unwrap();
+    let feed = s.query("pairs").unwrap().subscribe();
+    let second = s.query("pairs").unwrap().subscribe();
+    assert_eq!(s.query("pairs").unwrap().subscriber_count(), 2);
+    drop(feed);
+    // An update whose delta is empty must still shed the dead feed.
+    s.apply(&Update::Insert(e, vec![1, 2])).unwrap();
+    assert_eq!(s.query("pairs").unwrap().subscriber_count(), 1);
+    drop(second);
+    assert_eq!(s.query("pairs").unwrap().subscriber_count(), 0);
+}
+
+/// Queries registered after data has flowed are seeded from the master
+/// database, and later schema growth never disturbs earlier engines.
+#[test]
+fn late_registration_sees_existing_data() {
+    let mut s = Session::new();
+    s.register("pairs", "Q(x, y) :- E(x, y), T(y).").unwrap();
+    let e = s.relation("E").unwrap();
+    let t = s.relation("T").unwrap();
+    s.apply_batch(&[
+        Update::Insert(e, vec![1, 2]),
+        Update::Insert(t, vec![2]),
+        Update::Insert(e, vec![3, 2]),
+    ])
+    .unwrap();
+    // New query over a *new* relation plus the existing E.
+    s.register("flagged", "Q(x, y) :- E(x, y), Flag(x).")
+        .unwrap();
+    let flag = s.relation("Flag").unwrap();
+    assert_eq!(s.query("flagged").unwrap().count(), 0);
+    s.apply(&Update::Insert(flag, vec![3])).unwrap();
+    assert_eq!(
+        s.query("flagged").unwrap().results_sorted(),
+        vec![vec![3, 2]]
+    );
+    // The earlier query is untouched by the new relation's traffic.
+    assert_eq!(s.query("pairs").unwrap().count(), 2);
+}
+
+#[test]
+fn subscriptions_surface_result_deltas() {
+    let mut s = Session::new();
+    s.register("pairs", "Q(x, y) :- E(x, y), T(y).").unwrap();
+    let e = s.relation("E").unwrap();
+    let t = s.relation("T").unwrap();
+    let feed = s.query("pairs").unwrap().subscribe();
+
+    // An update that cannot change the result publishes nothing.
+    s.apply(&Update::Insert(e, vec![1, 2])).unwrap();
+    assert!(feed.poll().is_none());
+
+    // This one completes the join: one added tuple.
+    s.apply(&Update::Insert(t, vec![2])).unwrap();
+    let ev = feed.poll().expect("join completion must publish");
+    assert_eq!(ev.added, vec![vec![1, 2]]);
+    assert!(ev.removed.is_empty());
+
+    // A batch publishes its net delta in one event.
+    let report = s
+        .apply_batch(&[
+            Update::Insert(e, vec![3, 2]),
+            Update::Insert(e, vec![4, 2]),
+            Update::Delete(e, vec![1, 2]),
+        ])
+        .unwrap();
+    assert_eq!(report.applied, 3);
+    let ev = feed.poll().expect("batch must publish");
+    assert_eq!(ev.added, vec![vec![3, 2], vec![4, 2]]);
+    assert_eq!(ev.removed, vec![vec![1, 2]]);
+    assert!(feed.poll().is_none(), "one event per batch");
+
+    // Dropping the subscription detaches it; the session keeps working.
+    drop(feed);
+    s.apply(&Update::Delete(t, vec![2])).unwrap();
+    assert_eq!(s.query("pairs").unwrap().count(), 0);
+}
+
+#[test]
+fn transaction_commit_and_rollback() {
+    let mut s = Session::new();
+    s.register("pairs", "Q(x, y) :- E(x, y), T(y).").unwrap();
+    let e = s.relation("E").unwrap();
+    let t = s.relation("T").unwrap();
+    s.apply(&Update::Insert(e, vec![1, 2])).unwrap();
+
+    // Committed transaction: effects persist.
+    let mut txn = s.transaction();
+    assert!(txn.apply(&Update::Insert(t, vec![2])).unwrap());
+    assert_eq!(txn.commit(), 1);
+    assert_eq!(s.query("pairs").unwrap().count(), 1);
+
+    // Mid-batch failure: the invalid update aborts, the guard's drop
+    // rolls back the effective prefix via Update::inverse.
+    let before_results = s.query("pairs").unwrap().results_sorted();
+    let before_card = s.database().cardinality();
+    let batch = vec![
+        Update::Insert(e, vec![5, 2]),
+        Update::Insert(e, vec![6, 2]),
+        Update::Insert(t, vec![1, 2]), // arity violation: T is unary
+        Update::Insert(e, vec![7, 2]),
+    ];
+    {
+        let mut txn = s.transaction();
+        let err = txn.apply_all(&batch).unwrap_err();
+        assert!(matches!(err, CqError::Arity { .. }));
+        assert_eq!(txn.effective_len(), 2, "prefix applied before the failure");
+        // Dropped without commit → rollback.
+    }
+    assert_eq!(s.query("pairs").unwrap().results_sorted(), before_results);
+    assert_eq!(s.database().cardinality(), before_card);
+
+    // Explicit rollback of a valid prefix behaves identically.
+    {
+        let mut txn = s.transaction();
+        txn.apply(&Update::Delete(e, vec![1, 2])).unwrap();
+        assert_eq!(txn.effective_len(), 1);
+        txn.rollback();
+    }
+    assert_eq!(s.query("pairs").unwrap().count(), 1);
+}
+
+/// Subscribers observe a consistent stream across rollback: the
+/// compensating deltas cancel the transaction's published deltas.
+#[test]
+fn rollback_publishes_compensating_deltas() {
+    let mut s = Session::new();
+    s.register("pairs", "Q(x, y) :- E(x, y), T(y).").unwrap();
+    let e = s.relation("E").unwrap();
+    let t = s.relation("T").unwrap();
+    s.apply_batch(&[Update::Insert(e, vec![1, 2]), Update::Insert(t, vec![2])])
+        .unwrap();
+    let feed = s.query("pairs").unwrap().subscribe();
+    {
+        let mut txn = s.transaction();
+        txn.apply(&Update::Insert(e, vec![9, 2])).unwrap();
+        // No commit.
+    }
+    let events = feed.drain();
+    assert_eq!(events.len(), 2, "one delta in, one compensating delta out");
+    assert_eq!(events[0].added, vec![vec![9, 2]]);
+    assert_eq!(events[1].removed, vec![vec![9, 2]]);
+    assert_eq!(s.query("pairs").unwrap().results_sorted(), vec![vec![1, 2]]);
+}
+
+fn random_updates(q: &Query, seed: u64, steps: usize, domain: u64) -> Vec<Update> {
+    let mut rng = Lcg::new(seed);
+    let rels: Vec<_> = q.schema().relations().collect();
+    (0..steps)
+        .map(|_| {
+            let rel = rels[rng.below(rels.len())];
+            let arity = q.schema().arity(rel);
+            let tuple: Vec<Const> = (0..arity)
+                .map(|_| 1 + rng.below(domain as usize) as Const)
+                .collect();
+            if rng.chance(3, 5) {
+                Update::Insert(rel, tuple)
+            } else {
+                Update::Delete(rel, tuple)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The auto-routed session agrees with the naive recompute engine on
+    /// random queries (q-hierarchical or not) under random update logs.
+    #[test]
+    fn auto_routing_agrees_with_naive_recompute(seed in 0u64..100_000) {
+        let cfg = GenConfig { max_vars: 4, max_atoms: 3, max_arity: 3, self_join_pct: 25 };
+        let q = random_query(&mut Lcg::new(seed), cfg);
+        let mut session = Session::new();
+        session.register_query("q", &q, EngineChoice::Auto).unwrap();
+        let q = session.query("q").unwrap().query().clone();
+        let mut oracle = RecomputeEngine::empty(&q);
+        let log = UpdateLog::from_updates(random_updates(&q, seed ^ 0xA5A5, 60, 4));
+        for (step, u) in log.iter().enumerate() {
+            let changed = session.apply(u).unwrap();
+            prop_assert_eq!(oracle.apply(u), changed, "effectiveness @{}", step);
+            if step % 9 == 0 || step + 1 == log.len() {
+                let h = session.query("q").unwrap();
+                prop_assert_eq!(h.results_sorted(), oracle.results_sorted(), "@{}", step);
+                prop_assert_eq!(h.count(), oracle.count(), "@{}", step);
+                prop_assert_eq!(h.answer(), oracle.is_nonempty(), "@{}", step);
+            }
+        }
+    }
+
+    /// `apply_batch` is equivalent to sequential `apply`, chunk by chunk,
+    /// including the report's sequential-equivalent `applied` count.
+    #[test]
+    fn apply_batch_equals_sequential_apply(seed in 0u64..100_000, chunk in 1usize..16) {
+        let cfg = GenConfig { max_vars: 4, max_atoms: 3, max_arity: 3, self_join_pct: 25 };
+        let q = random_query(&mut Lcg::new(seed), cfg);
+        let mut batched = Session::new();
+        batched.register_query("q", &q, EngineChoice::Auto).unwrap();
+        let mut sequential = Session::new();
+        sequential.register_query("q", &q, EngineChoice::Auto).unwrap();
+        let q = batched.query("q").unwrap().query().clone();
+        let updates = random_updates(&q, seed ^ 0x5A5A, 64, 3);
+        for window in updates.chunks(chunk) {
+            let report = batched.apply_batch(window).unwrap();
+            let mut applied = 0;
+            for u in window {
+                if sequential.apply(u).unwrap() {
+                    applied += 1;
+                }
+            }
+            prop_assert_eq!(report.applied, applied);
+            prop_assert_eq!(report.total, window.len());
+            let (b, s) = (batched.query("q").unwrap(), sequential.query("q").unwrap());
+            prop_assert_eq!(b.results_sorted(), s.results_sorted());
+            prop_assert_eq!(b.count(), s.count());
+        }
+        prop_assert_eq!(
+            batched.database().cardinality(),
+            sequential.database().cardinality()
+        );
+    }
+
+    /// A rolled-back transaction is a perfect no-op mid-stream.
+    #[test]
+    fn transaction_rollback_is_a_noop(seed in 0u64..100_000, cut in 1usize..40) {
+        let cfg = GenConfig { max_vars: 4, max_atoms: 3, max_arity: 2, self_join_pct: 25 };
+        let q = random_query(&mut Lcg::new(seed), cfg);
+        let mut session = Session::new();
+        session.register_query("q", &q, EngineChoice::Auto).unwrap();
+        let q = session.query("q").unwrap().query().clone();
+        let updates = random_updates(&q, seed ^ 0x77, 50, 3);
+        let (prefix, rest) = updates.split_at(cut.min(updates.len()));
+        for u in prefix {
+            session.apply(u).unwrap();
+        }
+        let results_before = session.query("q").unwrap().results_sorted();
+        let card_before = session.database().cardinality();
+        let adom_before = session.database().active_domain_size();
+        {
+            let mut txn = session.transaction();
+            txn.apply_all(rest).unwrap();
+            // Dropped uncommitted.
+        }
+        prop_assert_eq!(session.query("q").unwrap().results_sorted(), results_before);
+        prop_assert_eq!(session.database().cardinality(), card_before);
+        prop_assert_eq!(session.database().active_domain_size(), adom_before);
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`], [`BytesMut`], and the [`Buf`]/[`BufMut`] accessor
+//! traits — just the little-endian subset the `cqu-storage` binary codec
+//! uses, backed by plain `Vec<u8>` (no refcounted slices).
+
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+
+/// An immutable byte buffer (here: an owned `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v)
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer with at least `cap` bytes of capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Creates an empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Write-side accessors (little-endian only, matching the codec).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a `u16`, little-endian.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read-side cursor accessors. Implemented for `&[u8]`, which advances
+/// the slice in place; all `get_*` methods panic when underfull, so
+/// callers must check [`Buf::remaining`] first (the codec does).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Returns `true` while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a `u16`, little-endian.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Reads a `u32`, little-endian.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a `u64`, little-endian.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0102_0304_0506_0708);
+        buf.put_slice(b"xyz");
+        let frozen = buf.freeze();
+        let mut rd: &[u8] = &frozen;
+        assert_eq!(rd.remaining(), 18);
+        assert_eq!(rd.get_u8(), 0xAB);
+        assert_eq!(rd.get_u16_le(), 0x1234);
+        assert_eq!(rd.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(rd.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(rd, b"xyz");
+        rd.advance(3);
+        assert!(!rd.has_remaining());
+    }
+}

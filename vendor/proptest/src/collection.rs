@@ -1,0 +1,62 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A length specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size` and whose elements
+/// come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! shim provides exactly the subset of the rand 0.8 API the workspace
+//! uses: [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and the
+//! [`Rng`] extension methods `gen_range` / `gen_bool` / `gen`. The
+//! generator is xoshiro256++ seeded through splitmix64 — statistically
+//! solid for workload generation, not cryptographic.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next uniform `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of RNGs from integer seeds.
+pub trait SeedableRng: Sized {
+    /// Derives a full RNG state from a 64-bit seed (splitmix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive integer ranges).
+    fn gen_range<T: SampleUniform, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Samples a value of `T` from its standard distribution
+    /// (`f64`/`f32` in `[0, 1)`, full range for integers, fair `bool`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Maps a uniform `u64` to `[0, 1)` with 53-bit precision.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types `gen_range` can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+/// Ranges over a [`SampleUniform`] type.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_between(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// Uniform `u64` below `bound` via rejection-free widening multiply.
+fn below(rng: &mut impl RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                assert!(if inclusive { lo <= hi } else { lo < hi }, "gen_range: empty range");
+                let span =
+                    (hi as u64).wrapping_sub(lo as u64).wrapping_add(inclusive as u64);
+                if span == 0 {
+                    // Inclusive over the full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo + below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                assert!(if inclusive { lo <= hi } else { lo < hi }, "gen_range: empty range");
+                let span =
+                    (hi as i64).wrapping_sub(lo as i64) as u64 + inclusive as u64;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i64).wrapping_add(below(rng, span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore>(lo: f64, hi: f64, _inclusive: bool, rng: &mut R) -> f64 {
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+/// Types samplable by [`Rng::gen`] (rand's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws a standard-distribution sample.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize);
+
+/// Named RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the small fast generator rand 0.8 uses for
+    /// `SmallRng` on 64-bit targets.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 state expansion, as rand does.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.gen_range(1..=10u64);
+            assert_eq!(x, b.gen_range(1..=10u64));
+            assert!((1..=10).contains(&x));
+            let y = a.gen_range(0..5usize);
+            assert_eq!(y, b.gen_range(0..5usize));
+            assert!(y < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut r = SmallRng::seed_from_u64(42);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+        assert!((0..1000).all(|_| !r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn unit_interval_f64() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}
