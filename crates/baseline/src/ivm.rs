@@ -16,23 +16,49 @@
 //! is that for non-q-hierarchical queries *some* polynomial per-update
 //! cost of this kind is unavoidable; for q-hierarchical queries the
 //! [`cqu_dynamic::QhEngine`] removes it entirely.
+//!
+//! Batches take the grouped form of the same formula: the batch is first
+//! netted under set semantics (an insert/delete pair costs two hash
+//! probes), the surviving commits are grouped per relation and sign, and
+//! each group runs the delta join **once** with the whole group `ΔR`
+//! bound at the fixed atom — "old" atoms probe the base state without
+//! `ΔR`, "new" atoms additionally probe a temporary index over `ΔR`.
+//! Each affected valuation is counted exactly once, at the first atom
+//! position where it uses a group tuple, so the grouped delta equals the
+//! sum of the sequential per-tuple deltas.
+//!
+//! Because support transitions (`0 → n` / `n → 0`) are observed as a side
+//! effect of view maintenance, the engine reports
+//! [`DynamicEngine::delta_hint`] and extracts change-feed deltas natively
+//! at `O(δ)` on top of the delta join it performs anyway.
 
 use crate::join::JoinPlan;
 use cqu_common::FxHashMap;
-use cqu_dynamic::DynamicEngine;
-use cqu_query::{Query, Var};
+use cqu_dynamic::{net_effective, DynamicEngine, ResultDelta, UpdateReport};
+use cqu_query::{Query, RelId, Var};
 use cqu_storage::{Const, Database, Index, Update};
+use std::collections::hash_map::Entry;
 
 /// Incremental-view-maintenance baseline engine.
 pub struct DeltaIvmEngine {
     query: Query,
     db: Database,
-    /// Persistent indexes keyed by `(relation, key columns)`.
-    indexes: FxHashMap<(u32, Vec<usize>), Index>,
+    /// Persistent hash indexes, densely stored; `(relation, columns)` is
+    /// resolved to a slot at plan-build time so the update hot path never
+    /// hashes composite keys or clones column vectors.
+    indexes: Vec<Index>,
+    /// Relation of each index in `indexes` (for maintenance fan-out).
+    index_rel: Vec<RelId>,
     /// Per body atom `i`: the join plan for the `i`-th delta term.
     delta_plans: Vec<JoinPlan>,
+    /// Per delta plan, per step ≥ 1: slot of the probe index in
+    /// `indexes` (`usize::MAX` for step 0, which binds the update tuple).
+    plan_step_index: Vec<Vec<usize>>,
     /// Materialised view: result tuple → number of supporting valuations.
     support: FxHashMap<Vec<Const>, u64>,
+    /// Reusable per-recursion-depth probe-key buffers: the delta join
+    /// performs no allocation per probe, only `mem::take` swaps.
+    scratch: Vec<Vec<Const>>,
 }
 
 impl DeltaIvmEngine {
@@ -52,22 +78,39 @@ impl DeltaIvmEngine {
         let delta_plans: Vec<JoinPlan> = (0..query.atoms().len())
             .map(|i| JoinPlan::new(query, Some(i)))
             .collect();
-        let mut indexes: FxHashMap<(u32, Vec<usize>), Index> = FxHashMap::default();
+        let mut slot_of: FxHashMap<(u32, Vec<usize>), usize> = FxHashMap::default();
+        let mut indexes: Vec<Index> = Vec::new();
+        let mut index_rel: Vec<RelId> = Vec::new();
+        let mut plan_step_index: Vec<Vec<usize>> = Vec::with_capacity(delta_plans.len());
         for plan in &delta_plans {
+            let mut steps = Vec::with_capacity(plan.order.len());
             for (step, &aid) in plan.order.iter().enumerate() {
+                if step == 0 {
+                    // The fixed atom binds the update tuple — no index.
+                    steps.push(usize::MAX);
+                    continue;
+                }
                 let rel = query.atom(aid).relation;
                 let cols = plan.key_cols[step].clone();
-                indexes
-                    .entry((rel.0, cols.clone()))
-                    .or_insert_with(|| Index::new(cols));
+                let slot = *slot_of.entry((rel.0, cols.clone())).or_insert_with(|| {
+                    indexes.push(Index::new(cols));
+                    index_rel.push(rel);
+                    indexes.len() - 1
+                });
+                steps.push(slot);
             }
+            plan_step_index.push(steps);
         }
+        let scratch = vec![Vec::new(); query.atoms().len()];
         DeltaIvmEngine {
             query: query.clone(),
             db: Database::new(query.schema().clone()),
             indexes,
+            index_rel,
             delta_plans,
+            plan_step_index,
             support: FxHashMap::default(),
+            scratch,
         }
     }
 
@@ -81,30 +124,54 @@ impl DeltaIvmEngine {
         self.support.len()
     }
 
-    /// Evaluates the full delta for tuple `t` of relation `rel` against the
-    /// current `db`/`indexes` state, which must NOT contain `t`. Atoms with
-    /// body index `> i` see `t` as an extra candidate ("new" state).
-    fn delta(&self, rel: cqu_query::RelId, t: &[Const]) -> FxHashMap<Vec<Const>, u64> {
-        let mut delta: FxHashMap<Vec<Const>, u64> = FxHashMap::default();
+    /// Evaluates the delta for the changed tuples `group` of relation
+    /// `rel` against the current `db`/`indexes` state, which must NOT
+    /// contain the group. Atoms with body index `> i` additionally see the
+    /// group as candidates ("new" state) — via `group_indexes` for real
+    /// groups, or directly via the single tuple when `group_indexes` is
+    /// `None` (the single-update fast path, `group.len() == 1`).
+    fn delta_for(
+        &self,
+        rel: RelId,
+        group: &[&[Const]],
+        group_indexes: Option<&FxHashMap<Vec<usize>, Index>>,
+        scratch: &mut [Vec<Const>],
+        delta: &mut FxHashMap<Vec<Const>, u64>,
+    ) {
+        let mut assign: Vec<Option<Const>> = vec![None; self.query.num_vars()];
         for (i, plan) in self.delta_plans.iter().enumerate() {
             if self.query.atom(i).relation != rel {
                 continue;
             }
-            let mut assign: Vec<Option<Const>> = vec![None; self.query.num_vars()];
-            self.delta_recurse(plan, i, rel, t, 0, &mut assign, &mut delta);
+            for &t in group {
+                self.delta_recurse(
+                    plan,
+                    &self.plan_step_index[i],
+                    i,
+                    rel,
+                    t,
+                    group_indexes,
+                    0,
+                    &mut assign,
+                    scratch,
+                    delta,
+                );
+            }
         }
-        delta
     }
 
     #[allow(clippy::too_many_arguments)]
     fn delta_recurse(
         &self,
         plan: &JoinPlan,
+        slots: &[usize],
         fixed: usize,
-        rel: cqu_query::RelId,
+        rel: RelId,
         t: &[Const],
+        group: Option<&FxHashMap<Vec<usize>, Index>>,
         step: usize,
         assign: &mut Vec<Option<Const>>,
+        scratch: &mut [Vec<Const>],
         delta: &mut FxHashMap<Vec<Const>, u64>,
     ) {
         if step == plan.order.len() {
@@ -120,14 +187,11 @@ impl DeltaIvmEngine {
         let aid = plan.order[step];
         let atom = self.query.atom(aid);
         let cols = &plan.key_cols[step];
-        let key: Vec<Const> = cols
-            .iter()
-            .map(|&p| assign[atom.args[p].index()].unwrap())
-            .collect();
 
         let try_fact = |this: &Self,
                         fact: &[Const],
                         assign: &mut Vec<Option<Const>>,
+                        scratch: &mut [Vec<Const>],
                         delta: &mut FxHashMap<Vec<Const>, u64>| {
             let mut bound: Vec<Var> = Vec::new();
             let mut ok = true;
@@ -145,7 +209,18 @@ impl DeltaIvmEngine {
                 }
             }
             if ok {
-                this.delta_recurse(plan, fixed, rel, t, step + 1, assign, delta);
+                this.delta_recurse(
+                    plan,
+                    slots,
+                    fixed,
+                    rel,
+                    t,
+                    group,
+                    step + 1,
+                    assign,
+                    scratch,
+                    delta,
+                );
             }
             for v in bound {
                 assign[v.index()] = None;
@@ -155,53 +230,228 @@ impl DeltaIvmEngine {
         if step == 0 {
             // The fixed atom: only the updated tuple itself.
             debug_assert_eq!(aid, fixed);
-            try_fact(self, t, assign, delta);
+            try_fact(self, t, assign, scratch, delta);
             return;
         }
-        let index = &self.indexes[&(atom.relation.0, cols.clone())];
+        // Build the probe key in this depth's reusable buffer.
+        let mut key = std::mem::take(&mut scratch[step]);
+        key.clear();
+        key.extend(cols.iter().map(|&p| assign[atom.args[p].index()].unwrap()));
+        let index = &self.indexes[slots[step]];
         for fact in index.probe(&key) {
-            try_fact(self, fact, assign, delta);
+            try_fact(self, fact, assign, scratch, delta);
         }
-        // "New"-state atoms (body index > fixed) additionally see `t`.
+        // "New"-state atoms (body index > fixed) additionally see the
+        // changed tuples.
         if aid > fixed && atom.relation == rel {
-            let matches_key = cols
-                .iter()
-                .all(|&p| t[p] == assign[atom.args[p].index()].unwrap());
-            if matches_key {
-                try_fact(self, t, assign, delta);
+            match group {
+                None => {
+                    let matches_key = cols
+                        .iter()
+                        .all(|&p| t[p] == assign[atom.args[p].index()].unwrap());
+                    if matches_key {
+                        try_fact(self, t, assign, scratch, delta);
+                    }
+                }
+                Some(g) => {
+                    for fact in g[cols].probe(&key) {
+                        try_fact(self, fact, assign, scratch, delta);
+                    }
+                }
             }
         }
+        scratch[step] = key;
     }
 
-    /// Applies a delta to the support map with the given sign.
-    fn apply_delta(&mut self, delta: FxHashMap<Vec<Const>, u64>, positive: bool) {
+    /// Applies a delta to the support map with the given sign, recording
+    /// the presence transitions (`0 → n` added, `n → 0` removed) when a
+    /// change feed is being tracked.
+    fn apply_delta(
+        &mut self,
+        delta: FxHashMap<Vec<Const>, u64>,
+        positive: bool,
+        mut track: Option<&mut ResultDelta>,
+    ) {
         for (tuple, n) in delta {
+            if n == 0 {
+                continue;
+            }
             if positive {
-                *self.support.entry(tuple).or_insert(0) += n;
+                match self.support.entry(tuple) {
+                    Entry::Occupied(mut o) => *o.get_mut() += n,
+                    Entry::Vacant(v) => {
+                        if let Some(d) = track.as_deref_mut() {
+                            d.added.push(v.key().clone());
+                        }
+                        v.insert(n);
+                    }
+                }
             } else {
-                let entry = self
-                    .support
-                    .get_mut(&tuple)
-                    .expect("negative delta on absent tuple");
-                assert!(*entry >= n, "support underflow");
-                *entry -= n;
-                if *entry == 0 {
-                    self.support.remove(&tuple);
+                match self.support.entry(tuple) {
+                    Entry::Occupied(mut o) => {
+                        assert!(*o.get() >= n, "support underflow");
+                        *o.get_mut() -= n;
+                        if *o.get() == 0 {
+                            let (k, _) = o.remove_entry();
+                            if let Some(d) = track.as_deref_mut() {
+                                d.removed.push(k);
+                            }
+                        }
+                    }
+                    Entry::Vacant(_) => panic!("negative delta on absent tuple"),
                 }
             }
         }
     }
 
     /// Adds/removes `t` in the persistent indexes.
-    fn touch_indexes(&mut self, rel: cqu_query::RelId, t: &[Const], insert: bool) {
-        for ((r, _), index) in self.indexes.iter_mut() {
-            if *r == rel.0 {
+    fn touch_indexes(&mut self, rel: RelId, t: &[Const], insert: bool) {
+        for (r, index) in self.index_rel.iter().zip(self.indexes.iter_mut()) {
+            if *r == rel {
                 if insert {
                     index.insert(t.to_vec());
                 } else {
                     index.remove(t);
                 }
             }
+        }
+    }
+
+    /// Single-update application, optionally tracking the result delta.
+    fn apply_inner(
+        &mut self,
+        update: &Update,
+        scratch: &mut [Vec<Const>],
+        track: Option<&mut ResultDelta>,
+    ) -> bool {
+        let rel = update.relation();
+        let t = update.tuple();
+        let mut counts: FxHashMap<Vec<Const>, u64> = FxHashMap::default();
+        if update.is_insert() {
+            if self.db.relation(rel).contains(t) {
+                return false;
+            }
+            // Delta is evaluated in the "without t" state.
+            self.delta_for(rel, &[t], None, scratch, &mut counts);
+            self.db.insert(rel, t.to_vec());
+            self.touch_indexes(rel, t, true);
+            self.apply_delta(counts, true, track);
+        } else {
+            if !self.db.relation(rel).contains(t) {
+                return false;
+            }
+            self.db.delete(rel, t);
+            self.touch_indexes(rel, t, false);
+            self.delta_for(rel, &[t], None, scratch, &mut counts);
+            self.apply_delta(counts, false, track);
+        }
+        true
+    }
+
+    /// Builds the temporary `ΔR` indexes a grouped delta needs: one per
+    /// distinct key-column set probed by a "new"-state atom over `rel`.
+    fn group_indexes(&self, rel: RelId, group: &[&[Const]]) -> FxHashMap<Vec<usize>, Index> {
+        let mut out: FxHashMap<Vec<usize>, Index> = FxHashMap::default();
+        for (i, plan) in self.delta_plans.iter().enumerate() {
+            if self.query.atom(i).relation != rel {
+                continue;
+            }
+            for (step, &aid) in plan.order.iter().enumerate().skip(1) {
+                if aid > i && self.query.atom(aid).relation == rel {
+                    out.entry(plan.key_cols[step].clone())
+                        .or_insert_with(|| Index::new(plan.key_cols[step].clone()));
+                }
+            }
+        }
+        for index in out.values_mut() {
+            for &t in group {
+                index.insert(t.to_vec());
+            }
+        }
+        out
+    }
+
+    /// Commits one netted per-relation group (all inserts or all deletes)
+    /// with a single grouped delta join.
+    fn commit_group(
+        &mut self,
+        rel: RelId,
+        group: &[&[Const]],
+        insert: bool,
+        scratch: &mut [Vec<Const>],
+        track: Option<&mut ResultDelta>,
+    ) {
+        let group_idx = self.group_indexes(rel, group);
+        let mut counts: FxHashMap<Vec<Const>, u64> = FxHashMap::default();
+        if insert {
+            self.delta_for(rel, group, Some(&group_idx), scratch, &mut counts);
+            for &t in group {
+                self.db.insert(rel, t.to_vec());
+                self.touch_indexes(rel, t, true);
+            }
+            self.apply_delta(counts, true, track);
+        } else {
+            for &t in group {
+                self.db.delete(rel, t);
+                self.touch_indexes(rel, t, false);
+            }
+            self.delta_for(rel, group, Some(&group_idx), scratch, &mut counts);
+            self.apply_delta(counts, false, track);
+        }
+    }
+
+    /// Netted, per-relation-grouped batch application (see module docs).
+    fn batch_inner(
+        &mut self,
+        updates: &[Update],
+        mut track: Option<&mut ResultDelta>,
+    ) -> UpdateReport {
+        if updates.len() < 2 {
+            let applied = updates
+                .iter()
+                .filter(|u| match track.as_deref_mut() {
+                    Some(d) => self.apply_tracked(u, d),
+                    None => self.apply(u),
+                })
+                .count();
+            return UpdateReport {
+                total: updates.len(),
+                applied,
+            };
+        }
+        let (applied, net) = net_effective(&self.db, updates);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut i = 0;
+        while i < net.len() {
+            let rel = net[i].0;
+            let end = net[i..]
+                .iter()
+                .position(|e| e.0 != rel)
+                .map_or(net.len(), |p| i + p);
+            // Deletes first: the base state a grouped delta probes must be
+            // consistent, and support counts depend only on it.
+            let deletes: Vec<&[Const]> = net[i..end]
+                .iter()
+                .filter(|e| !e.2)
+                .map(|e| e.1.as_slice())
+                .collect();
+            let inserts: Vec<&[Const]> = net[i..end]
+                .iter()
+                .filter(|e| e.2)
+                .map(|e| e.1.as_slice())
+                .collect();
+            if !deletes.is_empty() {
+                self.commit_group(rel, &deletes, false, &mut scratch, track.as_deref_mut());
+            }
+            if !inserts.is_empty() {
+                self.commit_group(rel, &inserts, true, &mut scratch, track.as_deref_mut());
+            }
+            i = end;
+        }
+        self.scratch = scratch;
+        UpdateReport {
+            total: updates.len(),
+            applied,
         }
     }
 }
@@ -212,27 +462,32 @@ impl DynamicEngine for DeltaIvmEngine {
     }
 
     fn apply(&mut self, update: &Update) -> bool {
-        let rel = update.relation();
-        let t = update.tuple().to_vec();
-        if update.is_insert() {
-            if self.db.relation(rel).contains(&t) {
-                return false;
-            }
-            // Delta is evaluated in the "without t" state.
-            let delta = self.delta(rel, &t);
-            self.db.insert(rel, t.clone());
-            self.touch_indexes(rel, &t, true);
-            self.apply_delta(delta, true);
-        } else {
-            if !self.db.relation(rel).contains(&t) {
-                return false;
-            }
-            self.db.delete(rel, &t);
-            self.touch_indexes(rel, &t, false);
-            let delta = self.delta(rel, &t);
-            self.apply_delta(delta, false);
-        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let changed = self.apply_inner(update, &mut scratch, None);
+        self.scratch = scratch;
+        changed
+    }
+
+    fn apply_batch(&mut self, updates: &[Update]) -> UpdateReport {
+        self.batch_inner(updates, None)
+    }
+
+    fn delta_hint(&self) -> bool {
         true
+    }
+
+    /// Native delta extraction: support transitions (`0 → n` / `n → 0`)
+    /// fall out of the view maintenance the engine performs anyway, so
+    /// tracking costs `O(δ)` on top of the delta join.
+    fn apply_tracked(&mut self, update: &Update, delta: &mut ResultDelta) -> bool {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let changed = self.apply_inner(update, &mut scratch, Some(delta));
+        self.scratch = scratch;
+        changed
+    }
+
+    fn apply_batch_tracked(&mut self, updates: &[Update], delta: &mut ResultDelta) -> UpdateReport {
+        self.batch_inner(updates, Some(delta))
     }
 
     fn count(&self) -> u64 {
@@ -252,6 +507,7 @@ impl DynamicEngine for DeltaIvmEngine {
 mod tests {
     use super::*;
     use crate::naive::RecomputeEngine;
+    use cqu_dynamic::diff_sorted_into;
     use cqu_query::parse_query;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
@@ -329,5 +585,87 @@ mod tests {
         db.insert(tr, vec![2]);
         let e = DeltaIvmEngine::new(&q, &db);
         assert_eq!(e.results_sorted(), vec![vec![1, 2]]);
+    }
+
+    /// The grouped batch path must match sequential application exactly —
+    /// state, report, and support multiset — on hard self-join queries
+    /// where the asymmetric old/new handling is most delicate.
+    #[test]
+    fn grouped_batch_equals_sequential() {
+        for src in [
+            "Q(x, y) :- S(x), E(x, y), T(y).",
+            "Q(x, y) :- E(x, x), E(x, y), E(y, y).",
+            "Q(x) :- E(x, y), T(y).",
+            "Q(x, y, z) :- E(x, y), F(y, z), G(z, x).",
+        ] {
+            let q = parse_query(src).unwrap();
+            for seed in 0..6u64 {
+                let script = random_script(&q, 100 + seed, 120, 4);
+                let mut seq = DeltaIvmEngine::empty(&q);
+                let mut bat = DeltaIvmEngine::empty(&q);
+                for window in script.chunks(16) {
+                    let applied = window.iter().filter(|u| seq.apply(u)).count();
+                    let report = bat.apply_batch(window);
+                    assert_eq!(report.applied, applied, "{src} seed {seed}");
+                    assert_eq!(report.total, window.len());
+                    assert_eq!(bat.results_sorted(), seq.results_sorted(), "{src} {seed}");
+                    assert_eq!(bat.support, seq.support, "{src} seed {seed}");
+                    assert_eq!(
+                        bat.database().cardinality(),
+                        seq.database().cardinality(),
+                        "{src} seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Native tracked deltas equal a full-result diff, per update and per
+    /// batch.
+    #[test]
+    fn tracked_deltas_match_full_diff() {
+        let q = parse_query("Q(x, y) :- S(x), E(x, y), T(y).").unwrap();
+        let script = random_script(&q, 9, 150, 4);
+        let mut e = DeltaIvmEngine::empty(&q);
+        for u in &script {
+            let before = e.results_sorted();
+            let mut got = ResultDelta::default();
+            e.apply_tracked(u, &mut got);
+            got.normalize();
+            let mut want = ResultDelta::default();
+            diff_sorted_into(&before, &e.results_sorted(), &mut want);
+            assert_eq!(got, want, "single {u:?}");
+        }
+        let mut e = DeltaIvmEngine::empty(&q);
+        for window in script.chunks(13) {
+            let before = e.results_sorted();
+            let mut got = ResultDelta::default();
+            e.apply_batch_tracked(window, &mut got);
+            got.normalize();
+            let mut want = ResultDelta::default();
+            diff_sorted_into(&before, &e.results_sorted(), &mut want);
+            assert_eq!(got, want, "batch");
+        }
+    }
+
+    #[test]
+    fn cancelling_batch_is_cheap_and_silent() {
+        let q = parse_query("Q(x, y) :- S(x), E(x, y), T(y).").unwrap();
+        let er = q.schema().relation("E").unwrap();
+        let mut e = DeltaIvmEngine::empty(&q);
+        let batch: Vec<Update> = (0..50)
+            .flat_map(|i| {
+                [
+                    Update::Insert(er, vec![i, i + 1]),
+                    Update::Delete(er, vec![i, i + 1]),
+                ]
+            })
+            .collect();
+        let mut delta = ResultDelta::default();
+        let report = e.apply_batch_tracked(&batch, &mut delta);
+        assert_eq!(report.applied, 100, "each op is effective in sequence");
+        assert!(delta.is_empty());
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.database().cardinality(), 0);
     }
 }

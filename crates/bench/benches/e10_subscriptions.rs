@@ -1,0 +1,109 @@
+//! E10: subscription overhead is independent of the result size.
+//!
+//! A `QueryHandle::subscribe()` change feed used to cost two full result
+//! enumerations per update (snapshot before, snapshot after, diff) —
+//! `O(|ϕ(D)| log |ϕ(D)|)` on what Theorem 3.2 promises is an O(1)
+//! update. With native delta extraction the q-tree structures report the
+//! flipped tuples as a side product of the update walk, so the cost per
+//! update is the plain walk plus `O(δ)`.
+//!
+//! The benchmark fixes `δ = 1` per update (toggling one joining edge of
+//! `Q(x, y) :- E(x, y), T(y)`) and sweeps the seeded result size
+//! 10² … 10⁶. Expected shape: flat per-update cost for the subscribed
+//! q-hierarchical engine across four orders of magnitude. The forced
+//! recompute engine (no native deltas — snapshot-diff fallback) is
+//! measured at the two smallest sizes as the contrast; its per-update
+//! cost grows linearly with `|ϕ(D)|`.
+
+use cq_updates::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+const QH_SIZES: [usize; 5] = [100, 1_000, 10_000, 100_000, 1_000_000];
+const DIFF_SIZES: [usize; 2] = [100, 10_000];
+
+/// A session over `Q(x, y) :- E(x, y), T(y)` with exactly `n` result
+/// tuples: `T(1)` plus `E(i, 1)` for `i = 2 ..= n+1`.
+fn seeded_session(n: usize, choice: EngineChoice) -> Session {
+    let mut s = Session::new();
+    s.register_with("pairs", "Q(x, y) :- E(x, y), T(y).", choice)
+        .unwrap();
+    let e = s.relation("E").unwrap();
+    let t = s.relation("T").unwrap();
+    s.apply(&Update::Insert(t, vec![1])).unwrap();
+    let updates: Vec<Update> = (2..=(n as Const) + 1)
+        .map(|i| Update::Insert(e, vec![i, 1]))
+        .collect();
+    for chunk in updates.chunks(4096) {
+        s.apply_batch(chunk).unwrap();
+    }
+    assert_eq!(s.query("pairs").unwrap().count(), n as u64);
+    s
+}
+
+/// One measured iteration: insert + delete of a single joining edge, so
+/// every update flips exactly one result tuple (δ = 1), and the feed is
+/// drained to keep the channel empty.
+fn toggle(s: &mut Session, feed: &Subscription, probe: Const) -> usize {
+    let e = s.relation("E").unwrap();
+    s.apply(&Update::Insert(e, vec![probe, 1])).unwrap();
+    s.apply(&Update::Delete(e, vec![probe, 1])).unwrap();
+    feed.drain().len()
+}
+
+fn bench_native_flat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_subscription_overhead");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(900));
+    group.throughput(Throughput::Elements(2));
+    for n in QH_SIZES {
+        let mut s = seeded_session(n, EngineChoice::Auto);
+        assert_eq!(
+            s.query("pairs").unwrap().kind(),
+            EngineKind::QHierarchical,
+            "the flat series must run on native q-tree deltas"
+        );
+        let feed = s.query("pairs").unwrap().subscribe();
+        let probe = (n as Const) + 10;
+        group.bench_with_input(BenchmarkId::new("qh-native", n), &n, |b, _| {
+            b.iter(|| toggle(&mut s, &feed, probe))
+        });
+    }
+    for n in DIFF_SIZES {
+        let mut s = seeded_session(n, EngineChoice::Forced(EngineKind::Recompute));
+        let feed = s.query("pairs").unwrap().subscribe();
+        let probe = (n as Const) + 10;
+        group.bench_with_input(BenchmarkId::new("recompute-diff", n), &n, |b, _| {
+            b.iter(|| toggle(&mut s, &feed, probe))
+        });
+    }
+    group.finish();
+}
+
+/// The unsubscribed baseline at the largest size: what the update costs
+/// with no feed attached. The gap to `qh-native/1000000` is the total
+/// price of a subscription at δ = 1.
+fn bench_unsubscribed_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_no_subscriber");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(900));
+    group.throughput(Throughput::Elements(2));
+    let n = *QH_SIZES.last().unwrap();
+    let mut s = seeded_session(n, EngineChoice::Auto);
+    let e = s.relation("E").unwrap();
+    let probe = (n as Const) + 10;
+    group.bench_with_input(BenchmarkId::new("qh-native", n), &n, |b, _| {
+        b.iter(|| {
+            s.apply(&Update::Insert(e, vec![probe, 1])).unwrap();
+            s.apply(&Update::Delete(e, vec![probe, 1])).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(e10, bench_native_flat, bench_unsubscribed_baseline);
+criterion_main!(e10);

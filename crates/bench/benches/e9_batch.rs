@@ -1,14 +1,16 @@
 //! E9: batched vs sequential updates on the E1 enumeration workload.
 //!
 //! Measures `DynamicEngine::apply_batch` against N× single `apply` on the
-//! star-query churn stream, for the dynamic engine (which nets the batch:
-//! cancelling insert/delete pairs never touch the q-tree structures and
-//! the survivors are grouped by relation) and for delta-IVM (which only
-//! gets the default loop — the baseline for "no batching win").
+//! star-query churn stream. Both engines now net the batch under set
+//! semantics before doing real work: the dynamic engine propagates only
+//! surviving commits into the q-tree structures, and delta-IVM groups the
+//! survivors per relation and runs one grouped delta join per group
+//! (insert/delete pairs cancel to hash probes in both).
 //!
-//! Expected shape: per-window cost of `qh-dynamic/apply_batch` tracks the
-//! *net* change, not the update count; the cancelling-churn group makes
-//! the gap explicit.
+//! Expected shape: per-window cost of `apply_batch` tracks the *net*
+//! change, not the update count — for delta-IVM too, which used to be
+//! flat across batch sizes; the cancelling-churn group makes the gap
+//! explicit for both engine families.
 
 use cqu_baseline::EngineKind;
 use cqu_bench::workloads::{star_churn, star_database, star_query};

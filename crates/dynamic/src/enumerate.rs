@@ -23,6 +23,9 @@ pub struct ComponentIter<'a> {
     s: &'a ComponentStructure,
     /// Current item per position of `free_order`.
     current: Vec<SlabId>,
+    /// Positions whose item is pinned (never advanced, never re-seeded) —
+    /// the delta extractor's prefix-constrained enumeration.
+    pinned: Vec<bool>,
     done: bool,
 }
 
@@ -33,18 +36,40 @@ impl<'a> ComponentIter<'a> {
     /// use [`ComponentStructure::is_nonempty`] as the guard instead.
     pub fn new(s: &'a ComponentStructure) -> Self {
         let k = s.free_order().len();
+        Self::with_pinned(s, vec![SlabId::NONE; k])
+    }
+
+    /// Starts an enumeration with some positions pinned to specific items
+    /// (`SlabId::NONE` entries enumerate freely). Pinned items must be fit
+    /// and must form a root-anchored chain — exactly what the update path
+    /// guarantees for the items of a fit key prefix. Used for the `O(δ)`
+    /// change-feed extraction: it yields precisely the output tuples that
+    /// extend the pinned assignment.
+    pub(crate) fn with_pinned(s: &'a ComponentStructure, fixed: Vec<SlabId>) -> Self {
+        let k = s.free_order().len();
+        debug_assert_eq!(fixed.len(), k);
+        let pinned: Vec<bool> = fixed.iter().map(|id| id.is_some()).collect();
         let mut it = ComponentIter {
             s,
-            current: vec![SlabId::NONE; k],
+            current: fixed,
+            pinned,
             done: false,
         };
-        if k == 0 || s.start_head().is_none() {
+        if k == 0 {
             it.done = true;
             return it;
         }
-        it.current[0] = s.start_head();
+        if !it.pinned[0] {
+            if s.start_head().is_none() {
+                it.done = true;
+                return it;
+            }
+            it.current[0] = s.start_head();
+        }
         for mu in 1..k {
-            it.current[mu] = it.seed(mu);
+            if !it.pinned[mu] {
+                it.current[mu] = it.seed(mu);
+            }
         }
         it
     }
@@ -72,9 +97,12 @@ impl<'a> ComponentIter<'a> {
     /// Advances to the next item vector; returns `false` at the end.
     fn advance(&mut self) -> bool {
         let k = self.current.len();
-        // Maximal j whose item has a successor in its list.
+        // Maximal advanceable (non-pinned) j whose item has a successor.
         let mut j = k;
         for cand in (0..k).rev() {
+            if self.pinned[cand] {
+                continue;
+            }
             if self.s.item_next(self.current[cand]).is_some() {
                 j = cand;
                 break;
@@ -85,7 +113,9 @@ impl<'a> ComponentIter<'a> {
         }
         self.current[j] = self.s.item_next(self.current[j]);
         for mu in (j + 1)..k {
-            self.current[mu] = self.seed(mu);
+            if !self.pinned[mu] {
+                self.current[mu] = self.seed(mu);
+            }
         }
         true
     }
@@ -132,19 +162,7 @@ impl<'a> ResultIter<'a> {
             .iter()
             .filter(|c| !c.output_vars().is_empty())
             .collect();
-        let out_slots: Vec<Vec<usize>> = with_free
-            .iter()
-            .map(|c| {
-                c.output_vars()
-                    .iter()
-                    .map(|v| {
-                        free.iter()
-                            .position(|f| f == v)
-                            .expect("output var is free")
-                    })
-                    .collect()
-            })
-            .collect();
+        let out_slots: Vec<Vec<usize>> = with_free.iter().map(|c| c.output_slots(free)).collect();
         let mut it = ResultIter {
             comps: with_free,
             iters: Vec::new(),

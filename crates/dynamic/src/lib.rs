@@ -41,11 +41,10 @@ pub mod enumerate;
 pub mod selfjoin;
 pub mod structure;
 
-pub use engine::{DynamicEngine, UpdateReport};
+pub use engine::{diff_sorted_into, net_effective, DynamicEngine, ResultDelta, UpdateReport};
 pub use enumerate::{ComponentIter, ResultIter};
 pub use structure::ComponentStructure;
 
-use cqu_common::FxHashMap;
 use cqu_query::qtree::QTree;
 use cqu_query::{Query, QueryError, RelId};
 use cqu_storage::{Const, Database, Update};
@@ -57,6 +56,9 @@ pub struct QhEngine {
     query: Arc<Query>,
     db: Database,
     components: Vec<ComponentStructure>,
+    /// Per component: positions of its output variables within the
+    /// query's free tuple (delta assembly scatter map).
+    out_slots: Vec<Vec<usize>>,
     /// Items visited by the most recent effective update (see
     /// [`QhEngine::last_update_work`]).
     last_work: u64,
@@ -82,15 +84,20 @@ impl QhEngine {
     pub fn empty(query: &Query) -> Result<Self, QueryError> {
         let forest = QTree::forest(query)?;
         let query = Arc::new(query.clone());
-        let components = forest
+        let components: Vec<ComponentStructure> = forest
             .into_iter()
             .map(|(comp, tree)| ComponentStructure::new(Arc::clone(&query), comp, tree))
+            .collect();
+        let out_slots: Vec<Vec<usize>> = components
+            .iter()
+            .map(|c| c.output_slots(query.free()))
             .collect();
         let db = Database::new(query.schema().clone());
         Ok(QhEngine {
             query,
             db,
             components,
+            out_slots,
             last_work: 0,
         })
     }
@@ -120,6 +127,143 @@ impl QhEngine {
     /// assert it never grows with the database.
     pub fn last_update_work(&self) -> u64 {
         self.last_work
+    }
+
+    /// Shared body of `apply_batch` / `apply_batch_tracked`: net the
+    /// batch against the shadow presence bits, commit the survivors
+    /// grouped by relation, optionally extracting deltas.
+    fn batch_inner(
+        &mut self,
+        updates: &[Update],
+        mut track: Option<&mut ResultDelta>,
+    ) -> UpdateReport {
+        if updates.len() < 2 {
+            let applied = updates
+                .iter()
+                .filter(|u| match track.as_deref_mut() {
+                    Some(d) => self.apply_tracked(u, d),
+                    None => self.apply(u),
+                })
+                .count();
+            return UpdateReport {
+                total: updates.len(),
+                applied,
+            };
+        }
+        let (applied, net) = net_effective(&self.db, updates);
+        let mut work = 0u64;
+        for (rel, tuple, insert) in net {
+            let u = if insert {
+                Update::Insert(rel, tuple)
+            } else {
+                Update::Delete(rel, tuple)
+            };
+            let changed = self.db.apply(&u);
+            debug_assert!(changed, "netted update must be effective");
+            work += match track.as_deref_mut() {
+                Some(d) => self.track_fact(rel, u.tuple(), insert, d),
+                None => self
+                    .components
+                    .iter_mut()
+                    .map(|c| c.apply_fact(rel, u.tuple(), insert))
+                    .sum::<u64>(),
+            };
+        }
+        if applied > 0 {
+            self.last_work = work;
+        }
+        UpdateReport {
+            total: updates.len(),
+            applied,
+        }
+    }
+
+    /// Applies one effective fact to every component while assembling the
+    /// full-query result delta into `delta`. Returns the structural work
+    /// of the plain update walks.
+    fn track_fact(
+        &mut self,
+        rel: RelId,
+        tuple: &[Const],
+        insert: bool,
+        delta: &mut ResultDelta,
+    ) -> u64 {
+        let mut work = 0u64;
+        let mut local_added: Vec<Vec<Const>> = Vec::new();
+        let mut local_removed: Vec<Vec<Const>> = Vec::new();
+        for ci in 0..self.components.len() {
+            local_added.clear();
+            local_removed.clear();
+            work += self.components[ci].apply_fact_tracked(
+                rel,
+                tuple,
+                insert,
+                &mut local_added,
+                &mut local_removed,
+            );
+            if !local_added.is_empty() {
+                self.cross_assemble(ci, &local_added, &mut delta.added);
+            }
+            if !local_removed.is_empty() {
+                self.cross_assemble(ci, &local_removed, &mut delta.removed);
+            }
+        }
+        work
+    }
+
+    /// Crosses component `ci`'s flipped output tuples with every *other*
+    /// component's current result — `ϕ(D) = ϕ₁(D) × ⋯ × ϕⱼ(D)`, so a
+    /// component-local delta multiplies with the sibling results, which
+    /// makes every emitted tuple part of the true result delta (the cost
+    /// stays `O(δ)`). Components before `ci` are already post-update,
+    /// later ones pre-update: exactly the sequential semantics of the
+    /// per-component walk. Scatters into the query's free-variable order.
+    fn cross_assemble(&self, ci: usize, local: &[Vec<Const>], out: &mut Vec<Vec<Const>>) {
+        // Any empty sibling component annuls the whole product.
+        if self
+            .components
+            .iter()
+            .enumerate()
+            .any(|(j, c)| j != ci && c.result_count() == 0)
+        {
+            return;
+        }
+        // Materialize the sibling results once; each is a factor of δ.
+        let others: Vec<(usize, Vec<Vec<Const>>)> = self
+            .components
+            .iter()
+            .enumerate()
+            .filter(|&(j, c)| j != ci && !c.output_vars().is_empty())
+            .map(|(j, c)| (j, ComponentIter::new(c).collect()))
+            .collect();
+        let mut tuple = vec![0 as Const; self.query.free().len()];
+        for t in local {
+            for (p, &v) in t.iter().enumerate() {
+                tuple[self.out_slots[ci][p]] = v;
+            }
+            // Odometer over the sibling results.
+            let mut pos = vec![0usize; others.len()];
+            'odometer: loop {
+                for (k, (j, rows)) in others.iter().enumerate() {
+                    for (p, &v) in rows[pos[k]].iter().enumerate() {
+                        tuple[self.out_slots[*j][p]] = v;
+                    }
+                }
+                out.push(tuple.clone());
+                let mut k = others.len();
+                loop {
+                    if k == 0 {
+                        break 'odometer;
+                    }
+                    k -= 1;
+                    pos[k] += 1;
+                    if pos[k] < others[k].1.len() {
+                        break;
+                    }
+                    pos[k] = 0;
+                }
+            }
+        }
     }
 }
 
@@ -157,58 +301,32 @@ impl DynamicEngine for QhEngine {
     /// cancelling batch) — not the last single update's work as in the
     /// sequential path.
     fn apply_batch(&mut self, updates: &[Update]) -> UpdateReport {
-        if updates.len() < 2 {
-            let applied = updates.iter().filter(|u| self.apply(u)).count();
-            return UpdateReport {
-                total: updates.len(),
-                applied,
-            };
+        self.batch_inner(updates, None)
+    }
+
+    fn delta_hint(&self) -> bool {
+        true
+    }
+
+    /// Native `O(δ)` delta extraction: the update walk itself reports
+    /// which output assignments flipped between absent and present
+    /// ([`ComponentStructure::apply_fact_tracked`]); no result snapshot
+    /// is ever taken.
+    fn apply_tracked(&mut self, update: &Update, delta: &mut ResultDelta) -> bool {
+        if !self.db.apply(update) {
+            return false;
         }
-        // (initial presence, current presence) per touched tuple.
-        let mut shadow: FxHashMap<(RelId, &[Const]), (bool, bool)> = FxHashMap::default();
-        let mut applied = 0usize;
-        for u in updates {
-            let key = (u.relation(), u.tuple());
-            let db = &self.db;
-            let entry = shadow.entry(key).or_insert_with(|| {
-                let present = db.relation(key.0).contains(key.1);
-                (present, present)
-            });
-            let target = u.is_insert();
-            if entry.1 != target {
-                entry.1 = target;
-                applied += 1;
-            }
-        }
-        // Commit the net effect, grouped by relation for index locality.
-        let mut net: Vec<(RelId, &[Const], bool)> = shadow
-            .into_iter()
-            .filter(|(_, (initial, current))| initial != current)
-            .map(|((rel, tuple), (_, current))| (rel, tuple, current))
-            .collect();
-        net.sort_unstable();
-        let mut work = 0u64;
-        for (rel, tuple, insert) in net {
-            let u = if insert {
-                Update::Insert(rel, tuple.to_vec())
-            } else {
-                Update::Delete(rel, tuple.to_vec())
-            };
-            let changed = self.db.apply(&u);
-            debug_assert!(changed, "netted update must be effective");
-            work += self
-                .components
-                .iter_mut()
-                .map(|c| c.apply_fact(rel, tuple, insert))
-                .sum::<u64>();
-        }
-        if applied > 0 {
-            self.last_work = work;
-        }
-        UpdateReport {
-            total: updates.len(),
-            applied,
-        }
+        self.last_work =
+            self.track_fact(update.relation(), update.tuple(), update.is_insert(), delta);
+        true
+    }
+
+    /// Netted batch with native delta extraction per surviving commit.
+    /// Flips of the same tuple across commits cancel in
+    /// [`ResultDelta::normalize`]; a fully cancelling batch appends
+    /// nothing at all.
+    fn apply_batch_tracked(&mut self, updates: &[Update], delta: &mut ResultDelta) -> UpdateReport {
+        self.batch_inner(updates, Some(delta))
     }
 
     fn count(&self) -> u64 {
@@ -480,6 +598,126 @@ mod tests {
         assert_eq!(e.count(), 0);
         assert_eq!(e.num_items(), 0);
         assert_eq!(e.last_update_work(), 0, "netted batch skips propagation");
+    }
+
+    /// Drives `native` through `script` with tracked applies, checking the
+    /// normalized delta of every step against a full-result diff of an
+    /// identically-updated oracle engine.
+    fn assert_tracked_matches_diff(src: &str, script: &[(bool, &str, Vec<Const>)]) {
+        let mut native = engine_for(src);
+        let mut oracle = engine_for(src);
+        for (insert, rel, t) in script {
+            let r = native.query().schema().relation(rel).unwrap();
+            let u = if *insert {
+                Update::Insert(r, t.clone())
+            } else {
+                Update::Delete(r, t.clone())
+            };
+            let before = oracle.results_sorted();
+            let mut got = ResultDelta::default();
+            let changed = native.apply_tracked(&u, &mut got);
+            assert_eq!(oracle.apply(&u), changed, "{src}: effectiveness of {u:?}");
+            got.normalize();
+            let mut want = ResultDelta::default();
+            engine::diff_sorted_into(&before, &oracle.results_sorted(), &mut want);
+            assert_eq!(got, want, "{src}: delta of {u:?}");
+        }
+        assert_eq!(native.results_sorted(), oracle.results_sorted(), "{src}");
+    }
+
+    #[test]
+    fn tracked_deltas_match_diff_on_star() {
+        assert_tracked_matches_diff(
+            "Q(x, y, z) :- R(x, y), S(x, z), T(x).",
+            &[
+                (true, "T", vec![1]),
+                (true, "R", vec![1, 10]),
+                (true, "S", vec![1, 20]),
+                (true, "R", vec![1, 11]),
+                (true, "S", vec![1, 21]),
+                (false, "T", vec![1]),
+                (true, "T", vec![1]),
+                (false, "R", vec![1, 10]),
+                (false, "S", vec![1, 20]),
+                (false, "S", vec![1, 21]),
+            ],
+        );
+    }
+
+    #[test]
+    fn tracked_deltas_match_diff_on_quantified_and_selfjoin() {
+        assert_tracked_matches_diff(
+            "Q(x) :- E(x, y).",
+            &[
+                (true, "E", vec![1, 10]),
+                (true, "E", vec![1, 11]),
+                (false, "E", vec![1, 10]),
+                (false, "E", vec![1, 11]),
+            ],
+        );
+        assert_tracked_matches_diff(
+            "Q(a) :- R(a, b), R(a, a).",
+            &[
+                (true, "R", vec![1, 2]),
+                (true, "R", vec![1, 1]),
+                (false, "R", vec![1, 2]),
+                (false, "R", vec![1, 1]),
+            ],
+        );
+    }
+
+    #[test]
+    fn tracked_deltas_match_diff_across_components() {
+        // Cross product and Boolean guard components.
+        assert_tracked_matches_diff(
+            "Q(x, z) :- R(x), S(z).",
+            &[
+                (true, "R", vec![1]),
+                (true, "R", vec![2]),
+                (true, "S", vec![7]),
+                (true, "S", vec![8]),
+                (false, "R", vec![1]),
+                (false, "S", vec![7]),
+                (false, "S", vec![8]),
+            ],
+        );
+        assert_tracked_matches_diff(
+            "Q(x) :- R(x), S(u, v).",
+            &[
+                (true, "R", vec![1]),
+                (true, "R", vec![2]),
+                (true, "S", vec![5, 6]),
+                (true, "S", vec![5, 7]),
+                (false, "S", vec![5, 6]),
+                (false, "S", vec![5, 7]),
+                (false, "R", vec![1]),
+            ],
+        );
+        // Fully Boolean query: the delta is the empty tuple's presence.
+        assert_tracked_matches_diff(
+            "Q() :- E(x, y), T(y).",
+            &[
+                (true, "E", vec![1, 2]),
+                (true, "T", vec![2]),
+                (false, "E", vec![1, 2]),
+            ],
+        );
+    }
+
+    #[test]
+    fn tracked_batch_nets_cancelling_churn_silently() {
+        let mut e = engine_for("Q(x, y) :- E(x, y), T(y).");
+        let r = e.query().schema().relation("E").unwrap();
+        let t = e.query().schema().relation("T").unwrap();
+        e.apply(&Update::Insert(t, vec![1]));
+        let batch: Vec<Update> = (0..20)
+            .flat_map(|i| [Update::Insert(r, vec![i, 1]), Update::Delete(r, vec![i, 1])])
+            .collect();
+        let mut delta = ResultDelta::default();
+        let report = e.apply_batch_tracked(&batch, &mut delta);
+        assert_eq!(report.applied, 40);
+        delta.normalize();
+        assert!(delta.is_empty(), "cancelling batch must net to no delta");
     }
 
     #[test]

@@ -196,6 +196,20 @@ impl ComponentStructure {
         &self.out_vars
     }
 
+    /// Positions of this component's output variables within `free` (the
+    /// query's output tuple) — the scatter map shared by cross-product
+    /// enumeration and delta cross-assembly.
+    pub(crate) fn output_slots(&self, free: &[cqu_query::Var]) -> Vec<usize> {
+        self.out_vars
+            .iter()
+            .map(|v| {
+                free.iter()
+                    .position(|f| f == v)
+                    .expect("output var is free")
+            })
+            .collect()
+    }
+
     /// Number of live items (for linear-preprocessing assertions).
     pub fn num_items(&self) -> usize {
         self.items.len()
@@ -229,6 +243,127 @@ impl ComponentStructure {
             work += self.apply_atom(ap_idx, fact, insert);
         }
         work
+    }
+
+    /// Like [`ComponentStructure::apply_fact`], but also extracts the
+    /// component-local result delta *natively*: the output tuples (over
+    /// [`ComponentStructure::output_vars`], document order) that entered
+    /// `added` / left `removed` because of this fact change. For Boolean
+    /// components the empty tuple stands for "the component is nonempty".
+    ///
+    /// Cost: the plain `poly(ϕ)` update walk plus `O(δ)` to enumerate the
+    /// flipped tuples — never a full result enumeration. The argument:
+    /// free q-tree nodes form a prefix of every atom path, so the only
+    /// items whose *fitness* (`C^i > 0`, equivalently membership in the
+    /// enumeration lists) can change are the path items `i_1,…,i_f` of
+    /// the updated atom's free prefix `α`. A result tuple flips presence
+    /// iff the all-fit length of that prefix changes across its
+    /// divergence depth — and because a single fact change moves all
+    /// counters in one direction, each tuple flips at most once per fact,
+    /// even across self-join atoms. The flipped set is exactly the set of
+    /// extensions of the shortest newly-(un)fit prefix, which the pinned
+    /// enumeration walks in constant delay per tuple.
+    pub fn apply_fact_tracked(
+        &mut self,
+        rel: RelId,
+        fact: &[Const],
+        insert: bool,
+        added: &mut Vec<Vec<Const>>,
+        removed: &mut Vec<Vec<Const>>,
+    ) -> u64 {
+        if self.free_order.is_empty() {
+            // Boolean component: presence of {()} is the only observable.
+            let before = self.c_start > 0;
+            let work = self.apply_fact(rel, fact, insert);
+            let after = self.c_start > 0;
+            if before != after {
+                if after {
+                    added.push(Vec::new());
+                } else {
+                    removed.push(Vec::new());
+                }
+            }
+            return work;
+        }
+        let mut work = 0u64;
+        for ap_idx in 0..self.tree.atom_paths().len() {
+            let ap = &self.tree.atom_paths()[ap_idx];
+            if self.query.atom(ap.atom).relation != rel {
+                continue;
+            }
+            if !ap
+                .canon
+                .iter()
+                .enumerate()
+                .all(|(p, &c)| fact[p] == fact[c])
+            {
+                continue;
+            }
+            work += self.apply_atom_tracked(ap_idx, fact, insert, added, removed);
+        }
+        work
+    }
+
+    /// One tracked atom application: bracket [`ComponentStructure::apply_atom`]
+    /// with fit-prefix measurements and enumerate the flipped extensions.
+    fn apply_atom_tracked(
+        &mut self,
+        ap_idx: usize,
+        fact: &[Const],
+        insert: bool,
+        added: &mut Vec<Vec<Const>>,
+        removed: &mut Vec<Vec<Const>>,
+    ) -> u64 {
+        let ap = &self.tree.atom_paths()[ap_idx];
+        let path: Vec<NodeId> = self.tree.node(ap.rep).path.clone();
+        let consts: Vec<Const> = ap.extract.iter().map(|&p| fact[p]).collect();
+        // Free nodes form a prefix of every root-anchored path.
+        let f = path.iter().take_while(|&&n| self.tree.node(n).free).count();
+        let before = self.fit_prefix(&path[..f], &consts);
+        let work = self.apply_atom(ap_idx, fact, insert);
+        let after = self.fit_prefix(&path[..f], &consts);
+        if insert && after > before {
+            // Items i_1..i_{before+1} are fit now and i_{before+1} was
+            // unfit before: every present extension of α_{before+1} is new.
+            self.collect_extensions(&path[..=before], &consts, added);
+        } else if !insert && before > after {
+            // The flipped tuples existed only in the pre-delete state:
+            // restore it (updates are their own undo), enumerate the
+            // extensions of the shortest newly-unfit prefix, re-delete.
+            self.apply_atom(ap_idx, fact, true);
+            self.collect_extensions(&path[..=after], &consts, removed);
+            self.apply_atom(ap_idx, fact, false);
+        }
+        work
+    }
+
+    /// Length of the longest all-fit item chain along `free_path` keyed by
+    /// prefixes of `consts` (missing items count as unfit).
+    fn fit_prefix(&self, free_path: &[NodeId], consts: &[Const]) -> usize {
+        for (j, &node) in free_path.iter().enumerate() {
+            let fit = self.lookup[node]
+                .get(&consts[..=j])
+                .is_some_and(|&id| self.items[id].weight > 0);
+            if !fit {
+                return j;
+            }
+        }
+        free_path.len()
+    }
+
+    /// Appends all output tuples extending the (all-fit) item chain of
+    /// `prefix`/`consts` to `out` — the pinned Algorithm 1 walk.
+    fn collect_extensions(&self, prefix: &[NodeId], consts: &[Const], out: &mut Vec<Vec<Const>>) {
+        let mut fixed: Vec<SlabId> = vec![SlabId::NONE; self.free_order.len()];
+        for (j, &node) in prefix.iter().enumerate() {
+            let pos = self
+                .free_order
+                .iter()
+                .position(|&n| n == node)
+                .expect("path free prefix lies in the free subtree");
+            fixed[pos] = self.lookup[node][&consts[..=j]];
+        }
+        out.extend(crate::enumerate::ComponentIter::with_pinned(self, fixed));
     }
 
     /// The per-atom update walk of Section 6.4: create/locate the items

@@ -1,0 +1,142 @@
+//! Property tests for native change-feed extraction: the `O(δ)` deltas
+//! the q-tree structures report ([`DynamicEngine::apply_tracked`]) must
+//! equal a full-result diff around every update — across quantifiers,
+//! self-joins, repeated variables, multiple components, Boolean guards,
+//! and cancelling churn, both per single update and per netted batch.
+
+use cqu_dynamic::{diff_sorted_into, DynamicEngine, QhEngine, ResultDelta};
+use cqu_query::{parse_query, Query};
+use cqu_storage::{Const, Update};
+use proptest::prelude::*;
+
+const CATALOGUE: &[&str] = &[
+    "Q(x, y) :- E(x, y), T(y).",
+    "Q(x) :- E(x, y).",
+    "Q(y) :- E(x, y), T(y).",
+    "Q() :- E(x, y), T(y).",
+    "Q(x, y, z) :- R(x, y), S(x, z), T(x).",
+    "Q(a, b, c) :- R(a, b, c), S(a, b), T(a).",
+    "Q(x, z) :- R(x), S(z).",
+    "Q(x) :- R(x), S(u, v).",
+    "Q(a) :- R(a, b), R(a, a).",
+    "Q(x) :- E(x, x).",
+    "Q(x, y, z, y', z') :- R(x,y,z), R(x,y,z'), E(x,y), E(x,y'), S(x,y,z).",
+    "Q() :- R(x, y), S(y, z).",
+];
+
+fn usable_catalogue() -> Vec<Query> {
+    CATALOGUE
+        .iter()
+        .filter_map(|src| {
+            let q = parse_query(src).unwrap();
+            QhEngine::empty(&q).ok().map(|_| q)
+        })
+        .collect()
+}
+
+fn script_strategy(max_arity: usize) -> impl Strategy<Value = Vec<(bool, usize, Vec<Const>)>> {
+    // Constants from a small pool so joins happen and deletes cancel
+    // earlier inserts (churn).
+    prop::collection::vec(
+        (
+            any::<bool>(),
+            0usize..8,
+            prop::collection::vec(1u64..5, max_arity),
+        ),
+        1..100,
+    )
+}
+
+fn build_updates(q: &Query, script: &[(bool, usize, Vec<Const>)]) -> Vec<Update> {
+    let rels: Vec<_> = q.schema().relations().collect();
+    script
+        .iter()
+        .map(|(insert, rel_choice, consts)| {
+            let rel = rels[rel_choice % rels.len()];
+            let arity = q.schema().arity(rel);
+            let tuple: Vec<Const> = consts[..arity].to_vec();
+            if *insert {
+                Update::Insert(rel, tuple)
+            } else {
+                Update::Delete(rel, tuple)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Per single update: native delta ≡ full-result diff.
+    #[test]
+    fn tracked_deltas_equal_full_result_diff(
+        qi in 0usize..16,
+        script in script_strategy(3),
+    ) {
+        let catalogue = usable_catalogue();
+        let q = &catalogue[qi % catalogue.len()];
+        let mut engine = QhEngine::empty(q).unwrap();
+        for u in build_updates(q, &script) {
+            let before = engine.results_sorted();
+            let mut got = ResultDelta::default();
+            let changed = engine.apply_tracked(&u, &mut got);
+            prop_assert!(changed || got.is_empty(), "no-ops must not report deltas");
+            got.normalize();
+            let mut want = ResultDelta::default();
+            diff_sorted_into(&before, &engine.results_sorted(), &mut want);
+            prop_assert_eq!(&got, &want, "delta of {:?}", u);
+        }
+    }
+
+    /// Per batch window: the netted batch delta ≡ full-result diff around
+    /// the window, and batched state ≡ sequential state.
+    #[test]
+    fn tracked_batch_deltas_equal_window_diff(
+        qi in 0usize..16,
+        script in script_strategy(3),
+        chunk in 1usize..24,
+    ) {
+        let catalogue = usable_catalogue();
+        let q = &catalogue[qi % catalogue.len()];
+        let mut batched = QhEngine::empty(q).unwrap();
+        let mut sequential = QhEngine::empty(q).unwrap();
+        let updates = build_updates(q, &script);
+        for window in updates.chunks(chunk) {
+            let before = batched.results_sorted();
+            let mut got = ResultDelta::default();
+            let report = batched.apply_batch_tracked(window, &mut got);
+            let applied = window.iter().filter(|u| sequential.apply(u)).count();
+            prop_assert_eq!(report.applied, applied);
+            got.normalize();
+            let mut want = ResultDelta::default();
+            diff_sorted_into(&before, &batched.results_sorted(), &mut want);
+            prop_assert_eq!(&got, &want);
+            prop_assert_eq!(batched.results_sorted(), sequential.results_sorted());
+        }
+    }
+
+    /// Pure insert/delete churn of the same tuples nets to silence.
+    #[test]
+    fn cancelling_churn_is_silent(
+        qi in 0usize..16,
+        script in script_strategy(3),
+    ) {
+        let catalogue = usable_catalogue();
+        let q = &catalogue[qi % catalogue.len()];
+        let mut engine = QhEngine::empty(q).unwrap();
+        let cancelling: Vec<Update> = build_updates(q, &script)
+            .into_iter()
+            .flat_map(|u| {
+                let ins = Update::Insert(u.relation(), u.tuple().to_vec());
+                let del = ins.inverse();
+                [ins, del]
+            })
+            .collect();
+        let mut delta = ResultDelta::default();
+        engine.apply_batch_tracked(&cancelling, &mut delta);
+        delta.normalize();
+        prop_assert!(delta.is_empty(), "cancelling batch leaked {:?}", delta);
+        prop_assert_eq!(engine.count(), 0);
+        prop_assert_eq!(engine.num_items(), 0);
+    }
+}

@@ -9,10 +9,18 @@ use crate::{Const, Relation, Tuple};
 use cqu_common::FxHashMap;
 
 /// A hash index on a subset of a relation's columns.
+///
+/// The maintenance operations ([`Index::insert`] / [`Index::remove`]) sit
+/// on the IVM update hot path, so they project keys into a reusable
+/// buffer and look buckets up by borrowed slice — the only allocation is
+/// the key of a freshly created bucket. [`Index::probe`] is borrow-keyed
+/// and never allocates.
 #[derive(Debug, Clone)]
 pub struct Index {
     cols: Vec<usize>,
     map: FxHashMap<Vec<Const>, Vec<Tuple>>,
+    /// Scratch for key projection on the mutation paths.
+    key_buf: Vec<Const>,
 }
 
 impl Index {
@@ -21,6 +29,7 @@ impl Index {
         Index {
             cols,
             map: FxHashMap::default(),
+            key_buf: Vec::new(),
         }
     }
 
@@ -43,20 +52,30 @@ impl Index {
         self.cols.iter().map(|&c| tuple[c]).collect()
     }
 
-    /// Adds a tuple to the index (used by maintained indexes).
+    /// Adds a tuple to the index (used by maintained indexes). Allocates
+    /// a key only when this opens a new bucket.
     pub fn insert(&mut self, tuple: Tuple) {
-        let key = self.key_of(&tuple);
-        self.map.entry(key).or_default().push(tuple);
+        self.key_buf.clear();
+        self.key_buf.extend(self.cols.iter().map(|&c| tuple[c]));
+        let Index { map, key_buf, .. } = self;
+        if let Some(bucket) = map.get_mut(key_buf.as_slice()) {
+            bucket.push(tuple);
+        } else {
+            map.insert(key_buf.clone(), vec![tuple]);
+        }
     }
 
-    /// Removes a tuple from the index; returns `true` if it was present.
+    /// Removes a tuple from the index (allocation-free, `swap_remove`
+    /// within the bucket); returns `true` if it was present.
     pub fn remove(&mut self, tuple: &[Const]) -> bool {
-        let key = self.key_of(tuple);
-        if let Some(bucket) = self.map.get_mut(&key) {
+        self.key_buf.clear();
+        self.key_buf.extend(self.cols.iter().map(|&c| tuple[c]));
+        let Index { map, key_buf, .. } = self;
+        if let Some(bucket) = map.get_mut(key_buf.as_slice()) {
             if let Some(pos) = bucket.iter().position(|t| t == tuple) {
                 bucket.swap_remove(pos);
                 if bucket.is_empty() {
-                    self.map.remove(&key);
+                    map.remove(key_buf.as_slice());
                 }
                 return true;
             }

@@ -90,7 +90,9 @@ pub mod prelude {
         Subscription,
     };
     pub use cqu_baseline::{DeltaIvmEngine, EngineKind, RecomputeEngine, SemiJoinEngine};
-    pub use cqu_dynamic::{selfjoin::Phi2Engine, DynamicEngine, QhEngine, UpdateReport};
+    pub use cqu_dynamic::{
+        selfjoin::Phi2Engine, DynamicEngine, QhEngine, ResultDelta, UpdateReport,
+    };
     pub use cqu_query::classify::classify;
     pub use cqu_query::{
         core_of, parse_query, Classification, Query, QueryBuilder, QueryError, Schema, Var, Verdict,

@@ -33,11 +33,11 @@
 use crate::error::CqError;
 use cqu_baseline::EngineKind;
 use cqu_common::FxHashMap;
-use cqu_dynamic::{DynamicEngine, UpdateReport};
+use cqu_dynamic::{DynamicEngine, ResultDelta, UpdateReport};
 use cqu_query::classify::{classify, Classification, Verdict};
 use cqu_query::hierarchical::{q_hierarchical_violation, Violation};
 use cqu_query::{parse_query, Query, QueryBuilder, QueryError, RelId, Schema};
-use cqu_storage::{ApplyUpdate, Database, Transaction, Tuple, Update};
+use cqu_storage::{ApplyUpdate, Database, Tuple, Update};
 use std::cell::RefCell;
 use std::sync::mpsc::{channel, Receiver, Sender};
 
@@ -59,10 +59,16 @@ pub enum EngineChoice {
 pub struct QueryId(usize);
 
 /// One result-set delta, published to [`Subscription`]s after every
-/// effective [`Session::apply`] / [`Session::apply_batch`].
+/// effective [`Session::apply`] / [`Session::apply_batch`] — or, inside a
+/// [`Session::transaction`], once at commit with the transaction's net
+/// delta (nothing at all on rollback).
+///
+/// Both sides are sorted and duplicate-free; a tuple never appears on
+/// both sides of one event.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChangeEvent {
-    /// Session-wide sequence number of the causing update (batch).
+    /// Session-wide sequence number of the causing update (for batches
+    /// and transactions: of their last effective update).
     pub seq: u64,
     /// Result tuples that entered `ϕ(D)`.
     pub added: Vec<Tuple>,
@@ -73,7 +79,7 @@ pub struct ChangeEvent {
 /// The receiving end of a [`QueryHandle::subscribe`] change feed.
 ///
 /// Events accumulate until polled; dropping the subscription detaches it
-/// (the session prunes dead feeds before its next delta snapshot).
+/// (the session prunes dead feeds before its next delta extraction).
 #[derive(Debug)]
 pub struct Subscription {
     rx: Receiver<ChangeEvent>,
@@ -123,20 +129,23 @@ struct Registered {
     kind: EngineKind,
     reason: RouteReason,
     engine: Box<dyn DynamicEngine>,
-    /// Schema size when the engine was built: updates to relations
-    /// interned later cannot concern this query and are not routed to it.
-    schema_len: usize,
+    /// Per relation (indexed by `RelId`, sized to the schema at build
+    /// time): whether the *maintained* query references it. Updates to
+    /// unreferenced relations — including relations interned after this
+    /// registration — provably cannot change the result and are not
+    /// routed; in particular they never trigger delta extraction.
+    relevant: Vec<bool>,
     subscribers: RefCell<Vec<Subscriber>>,
 }
 
 impl Registered {
     fn wants(&self, rel: RelId) -> bool {
-        rel.index() < self.schema_len
+        self.relevant.get(rel.index()).copied().unwrap_or(false)
     }
 
     /// Prunes dropped subscriptions and returns how many remain — called
-    /// before every snapshot so detached feeds stop costing the two
-    /// result enumerations per update immediately.
+    /// before every tracked update so detached feeds stop costing delta
+    /// extraction immediately.
     fn prune_subscribers(&self) -> usize {
         let mut subs = self.subscribers.borrow_mut();
         subs.retain(|s| s.alive.strong_count() > 0);
@@ -147,17 +156,17 @@ impl Registered {
         self.prune_subscribers() > 0
     }
 
-    /// Publishes the delta between `before` and the current result.
-    fn publish(&self, seq: u64, before: Vec<Tuple>) {
-        let after = self.engine.results_sorted();
-        let (added, removed) = diff_sorted(&before, &after);
-        if added.is_empty() && removed.is_empty() {
+    /// Publishes a normalized engine-produced delta; empty deltas are
+    /// dropped silently.
+    fn publish(&self, seq: u64, mut delta: ResultDelta) {
+        delta.normalize();
+        if delta.is_empty() {
             return;
         }
         let event = ChangeEvent {
             seq,
-            added,
-            removed,
+            added: delta.added,
+            removed: delta.removed,
         };
         self.subscribers
             .borrow_mut()
@@ -165,30 +174,22 @@ impl Registered {
     }
 }
 
-/// Set difference of two sorted, duplicate-free result vectors:
-/// `(after ∖ before, before ∖ after)`.
-fn diff_sorted(before: &[Tuple], after: &[Tuple]) -> (Vec<Tuple>, Vec<Tuple>) {
-    let (mut added, mut removed) = (Vec::new(), Vec::new());
-    let (mut i, mut j) = (0, 0);
-    while i < before.len() && j < after.len() {
-        match before[i].cmp(&after[j]) {
-            std::cmp::Ordering::Less => {
-                removed.push(before[i].clone());
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                added.push(after[j].clone());
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    removed.extend_from_slice(&before[i..]);
-    added.extend_from_slice(&after[j..]);
-    (added, removed)
+/// Per-query subscriber-delta accumulation inside a transaction.
+///
+/// Engines with native delta extraction accumulate raw flips per update
+/// (`Native`); engines on the snapshot-diff fallback would pay two full
+/// result enumerations *per update* that way, so for them the session
+/// snapshots the result once, at the query's first touched update, and
+/// performs a single diff at commit (`Snapshot`) — the same net event
+/// for one enumeration per transaction instead of two per update.
+#[derive(Debug, Clone)]
+enum TxTrack {
+    /// No subscribed, concerned update has reached this query yet.
+    Untouched,
+    /// Accumulated native flips ([`DynamicEngine::delta_hint`]).
+    Native(ResultDelta),
+    /// The sorted result as of the first touched update (diff fallback).
+    Snapshot(Vec<Tuple>),
 }
 
 /// A set of named queries maintained together under one update stream.
@@ -199,6 +200,16 @@ pub struct Session {
     regs: Vec<Registered>,
     by_name: FxHashMap<String, usize>,
     seq: u64,
+    /// While a [`SessionTransaction`] is open: per-registration
+    /// accumulators for subscriber deltas. Events are netted here and
+    /// emitted once at commit; a rollback discards the buffer, so
+    /// nothing is ever published.
+    tx_buffer: Option<Vec<TxTrack>>,
+    /// Set while a rolled-back transaction replays its inverses:
+    /// suppresses delta tracking entirely (the buffer is about to be
+    /// discarded, so extracting deltas would be pure waste — up to two
+    /// full result enumerations per inverse on diff-fallback engines).
+    rolling_back: bool,
 }
 
 impl Default for Session {
@@ -218,6 +229,8 @@ impl Session {
             regs: Vec::new(),
             by_name: FxHashMap::default(),
             seq: 0,
+            tx_buffer: None,
+            rolling_back: false,
         }
     }
 
@@ -293,6 +306,12 @@ impl Session {
         // rather than `?`-masking a broken atomicity invariant.
         self.schema = staged_schema;
         self.db.adopt_schema(&self.schema);
+        // Route only relations the maintained query references (for
+        // core-routed queries that is the core, whose atoms are a subset).
+        let mut relevant = vec![false; self.schema.len()];
+        for atom in maintained.atoms() {
+            relevant[atom.relation.index()] = true;
+        }
         let engine = kind
             .build(maintained, &self.db)
             .expect("admission pre-check guarantees the engine admits the query");
@@ -305,7 +324,7 @@ impl Session {
             kind,
             reason,
             engine,
-            schema_len: self.schema.len(),
+            relevant,
             subscribers: RefCell::new(Vec::new()),
         });
         Ok(id)
@@ -394,21 +413,55 @@ impl Session {
     }
 
     /// Routes one pre-validated update to the master database and every
-    /// engine that can be concerned by it, publishing result deltas.
+    /// engine that can be concerned by it, forwarding engine-produced
+    /// result deltas to subscribers (or to the open transaction's buffer).
+    ///
+    /// Delta extraction is the engine's business
+    /// ([`DynamicEngine::apply_tracked`]): q-hierarchical, delta-IVM, and
+    /// ϕ₂ engines produce deltas natively at O(δ) as a side product of
+    /// their maintenance; only engines without
+    /// [`DynamicEngine::delta_hint`] fall back to snapshot diffing, inside
+    /// the engine layer. No result materialization happens here.
     fn dispatch(&mut self, update: &Update) -> bool {
         if !self.db.apply(update) {
             // Set-semantics no-op: no engine state can change either.
             return false;
         }
         self.seq += 1;
-        for reg in &mut self.regs {
+        for (idx, reg) in self.regs.iter_mut().enumerate() {
             if !reg.wants(update.relation()) {
                 continue;
             }
-            let before = reg.has_subscribers().then(|| reg.engine.results_sorted());
-            reg.engine.apply(update);
-            if let Some(before) = before {
-                reg.publish(self.seq, before);
+            // Rollback replay needs no deltas — its buffer is discarded —
+            // so it takes the untracked path even under subscription.
+            if !self.rolling_back && reg.has_subscribers() {
+                match self.tx_buffer.as_mut() {
+                    Some(buf) if !reg.engine.delta_hint() => {
+                        // Diff-fallback engine inside a transaction: one
+                        // snapshot at first touch, one diff at commit,
+                        // plain applies in between.
+                        if matches!(buf[idx], TxTrack::Untouched) {
+                            buf[idx] = TxTrack::Snapshot(reg.engine.results_sorted());
+                        }
+                        reg.engine.apply(update);
+                    }
+                    Some(buf) => {
+                        if matches!(buf[idx], TxTrack::Untouched) {
+                            buf[idx] = TxTrack::Native(ResultDelta::default());
+                        }
+                        let TxTrack::Native(acc) = &mut buf[idx] else {
+                            unreachable!("native engines never snapshot")
+                        };
+                        reg.engine.apply_tracked(update, acc);
+                    }
+                    None => {
+                        let mut delta = ResultDelta::default();
+                        reg.engine.apply_tracked(update, &mut delta);
+                        reg.publish(self.seq, delta);
+                    }
+                }
+            } else {
+                reg.engine.apply(update);
             }
         }
         true
@@ -433,7 +486,23 @@ impl Session {
         for u in updates {
             self.validate(u)?;
         }
-        let applied = updates.iter().filter(|u| self.db.apply(u)).count();
+        // Only updates that change the master database can concern any
+        // engine: set-semantics no-ops are dropped here, so an engine
+        // whose relations saw only no-ops is skipped entirely — no batch
+        // call, no delta extraction, no (empty) publish. The common
+        // all-effective batch stays zero-copy (`kept` only materializes
+        // once the first no-op appears).
+        let mut kept: Option<Vec<Update>> = None;
+        for (i, u) in updates.iter().enumerate() {
+            match (self.db.apply(u), &mut kept) {
+                (true, None) => {}
+                (true, Some(v)) => v.push(u.clone()),
+                (false, None) => kept = Some(updates[..i].to_vec()),
+                (false, Some(_)) => {}
+            }
+        }
+        let effective: &[Update] = kept.as_deref().unwrap_or(updates);
+        let applied = effective.len();
         if applied == 0 {
             return Ok(UpdateReport {
                 total: updates.len(),
@@ -443,20 +512,29 @@ impl Session {
         self.seq += 1;
         let mut filtered: Vec<Update> = Vec::new();
         for reg in &mut self.regs {
-            let routed: &[Update] = if reg.schema_len == self.schema.len() {
-                updates
+            // Zero-copy when every effective update concerns this query;
+            // otherwise route the relevant subset (possibly empty).
+            let routed: &[Update] = if effective.iter().all(|u| reg.wants(u.relation())) {
+                effective
             } else {
                 filtered.clear();
-                filtered.extend(updates.iter().filter(|u| reg.wants(u.relation())).cloned());
+                filtered.extend(
+                    effective
+                        .iter()
+                        .filter(|u| reg.wants(u.relation()))
+                        .cloned(),
+                );
                 &filtered
             };
             if routed.is_empty() {
                 continue;
             }
-            let before = reg.has_subscribers().then(|| reg.engine.results_sorted());
-            reg.engine.apply_batch(routed);
-            if let Some(before) = before {
-                reg.publish(self.seq, before);
+            if reg.has_subscribers() {
+                let mut delta = ResultDelta::default();
+                reg.engine.apply_batch_tracked(routed, &mut delta);
+                reg.publish(self.seq, delta);
+            } else {
+                reg.engine.apply_batch(routed);
             }
         }
         Ok(UpdateReport {
@@ -469,20 +547,59 @@ impl Session {
     ///
     /// Updates applied through the guard take effect immediately (reads
     /// through [`Session::query`] are impossible while it borrows the
-    /// session, but subscribers are notified per update); unless
-    /// [`SessionTransaction::commit`] is called, dropping the guard rolls
-    /// every effective update back via [`Update::inverse`], across the
-    /// master database and every engine.
+    /// session); unless [`SessionTransaction::commit`] is called,
+    /// dropping the guard rolls every effective update back via
+    /// [`Update::inverse`], across the master database and every engine.
+    ///
+    /// Subscriber events are **buffered**: during the transaction each
+    /// query's deltas accumulate and net out; `commit` emits at most one
+    /// [`ChangeEvent`] per query with the transaction's net result delta,
+    /// and a rollback emits nothing at all (the buffer is discarded and
+    /// the inverse replay skips delta extraction entirely).
     pub fn transaction(&mut self) -> SessionTransaction<'_> {
+        debug_assert!(self.tx_buffer.is_none(), "transactions cannot nest");
+        self.tx_buffer = Some(vec![TxTrack::Untouched; self.regs.len()]);
         SessionTransaction {
-            inner: Transaction::begin(self),
+            session: self,
+            effective: Vec::new(),
+            committed: false,
+        }
+    }
+
+    /// Emits the buffered per-query net events of a committing
+    /// transaction and closes the buffer.
+    fn flush_tx_buffer(&mut self) {
+        if let Some(buf) = self.tx_buffer.take() {
+            for (reg, track) in self.regs.iter().zip(buf) {
+                let delta = match track {
+                    TxTrack::Untouched => continue,
+                    // Feeds can detach mid-transaction (Subscription is
+                    // owned independently of the session borrow): skip
+                    // the commit diff and publish outright then.
+                    _ if !reg.has_subscribers() => continue,
+                    TxTrack::Native(delta) => delta,
+                    TxTrack::Snapshot(before) => {
+                        let mut delta = ResultDelta::default();
+                        cqu_dynamic::diff_sorted_into(
+                            &before,
+                            &reg.engine.results_sorted(),
+                            &mut delta,
+                        );
+                        delta
+                    }
+                };
+                if !delta.is_empty() {
+                    reg.publish(self.seq, delta);
+                }
+            }
         }
     }
 }
 
 impl ApplyUpdate for Session {
-    /// Pre-validated routing — used by [`Transaction`] for rollback;
-    /// panics on malformed updates (validate first).
+    /// Pre-validated routing — e.g. for driving a session through a bare
+    /// [`cqu_storage::Transaction`]; panics on malformed updates
+    /// (validate first).
     fn apply_update(&mut self, update: &Update) -> bool {
         self.dispatch(update)
     }
@@ -491,7 +608,10 @@ impl ApplyUpdate for Session {
 /// An all-or-nothing update batch over a [`Session`]
 /// (see [`Session::transaction`]).
 pub struct SessionTransaction<'a> {
-    inner: Transaction<'a, Session>,
+    session: &'a mut Session,
+    /// Effective updates, in order, for reverse rollback.
+    effective: Vec<Update>,
+    committed: bool,
 }
 
 impl SessionTransaction<'_> {
@@ -500,8 +620,12 @@ impl SessionTransaction<'_> {
     /// transaction open — the caller decides whether to commit the
     /// prefix or drop the guard to roll it back.
     pub fn apply(&mut self, update: &Update) -> Result<bool, CqError> {
-        self.inner.target().validate(update)?;
-        Ok(self.inner.apply(update))
+        self.session.validate(update)?;
+        let changed = self.session.dispatch(update);
+        if changed {
+            self.effective.push(update.clone());
+        }
+        Ok(changed)
     }
 
     /// Applies a sequence of updates, stopping at the first malformed
@@ -518,18 +642,39 @@ impl SessionTransaction<'_> {
 
     /// Number of effective updates so far.
     pub fn effective_len(&self) -> usize {
-        self.inner.effective_len()
+        self.effective.len()
     }
 
-    /// Keeps the transaction's effects; returns how many updates were
+    /// Keeps the transaction's effects and emits one net [`ChangeEvent`]
+    /// per query whose result changed; returns how many updates were
     /// effective.
-    pub fn commit(self) -> usize {
-        self.inner.commit()
+    pub fn commit(mut self) -> usize {
+        self.committed = true;
+        let n = self.effective.len();
+        self.session.flush_tx_buffer();
+        n
     }
 
     /// Rolls back everything applied so far (same as dropping the guard).
-    pub fn rollback(self) {
-        self.inner.rollback()
+    /// Subscribers see nothing: the buffered deltas cancel.
+    pub fn rollback(self) {}
+}
+
+impl Drop for SessionTransaction<'_> {
+    fn drop(&mut self) {
+        if !self.committed {
+            // Replay inverses in reverse order with delta tracking
+            // suppressed: the buffered deltas are discarded wholesale, so
+            // nothing is published and no extraction work is done.
+            self.session.rolling_back = true;
+            for u in self.effective.drain(..).rev() {
+                let undone = self.session.dispatch(&u.inverse());
+                debug_assert!(undone, "rollback of an effective update must be effective");
+            }
+            self.session.rolling_back = false;
+            self.session.tx_buffer = None;
+        }
+        debug_assert!(self.session.tx_buffer.is_none());
     }
 }
 
@@ -594,11 +739,15 @@ impl<'a> QueryHandle<'a> {
 
     /// Opens a change feed: after every effective update or batch that
     /// changes this query's result, a [`ChangeEvent`] with the added and
-    /// removed result tuples is delivered.
+    /// removed result tuples is delivered. Inside a transaction, events
+    /// are buffered and emitted once, netted, at commit.
     ///
-    /// Delta extraction costs one result enumeration per update on the
-    /// publishing side, so subscribe to queries whose results you
-    /// actually consume.
+    /// Cost model: engines with native delta extraction
+    /// ([`DynamicEngine::delta_hint`] — the q-hierarchical engine,
+    /// delta-IVM, and ϕ₂) publish at `O(δ)` per update on top of their
+    /// ordinary maintenance work, independent of `|ϕ(D)|`. Engines
+    /// without it (recompute, semi-join) pay a full result enumeration
+    /// and diff per update while subscribed.
     pub fn subscribe(&self) -> Subscription {
         let (tx, rx) = channel();
         let alive = std::sync::Arc::new(());

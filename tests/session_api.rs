@@ -283,12 +283,66 @@ fn transaction_commit_and_rollback() {
     assert_eq!(s.query("pairs").unwrap().count(), 1);
 }
 
-/// Subscribers observe a consistent stream across rollback: the
-/// compensating deltas cancel the transaction's published deltas.
+/// Transactions buffer subscriber events: a rollback publishes nothing
+/// at all, and a commit publishes exactly one *net* event per query —
+/// intermediate states and compensating deltas never reach the feed.
 #[test]
-fn rollback_publishes_compensating_deltas() {
+fn transactions_buffer_events_until_commit() {
     let mut s = Session::new();
     s.register("pairs", "Q(x, y) :- E(x, y), T(y).").unwrap();
+    let e = s.relation("E").unwrap();
+    let t = s.relation("T").unwrap();
+    s.apply_batch(&[Update::Insert(e, vec![1, 2]), Update::Insert(t, vec![2])])
+        .unwrap();
+    let feed = s.query("pairs").unwrap().subscribe();
+
+    // Rollback: the update's delta and its compensating inverse cancel
+    // in the buffer — subscribers see nothing.
+    {
+        let mut txn = s.transaction();
+        txn.apply(&Update::Insert(e, vec![9, 2])).unwrap();
+        // No commit.
+    }
+    assert!(feed.drain().is_empty(), "rollback must publish nothing");
+    assert_eq!(s.query("pairs").unwrap().results_sorted(), vec![vec![1, 2]]);
+
+    // Commit: churn inside the transaction nets out; one event carries
+    // only the surviving delta.
+    {
+        let mut txn = s.transaction();
+        txn.apply(&Update::Insert(e, vec![9, 2])).unwrap(); // net: added
+        txn.apply(&Update::Insert(e, vec![8, 2])).unwrap(); // cancelled below
+        txn.apply(&Update::Delete(e, vec![8, 2])).unwrap();
+        txn.apply(&Update::Delete(e, vec![1, 2])).unwrap(); // net: removed
+        assert_eq!(txn.commit(), 4);
+    }
+    let events = feed.drain();
+    assert_eq!(events.len(), 1, "one net event per query per transaction");
+    assert_eq!(events[0].added, vec![vec![9, 2]]);
+    assert_eq!(events[0].removed, vec![vec![1, 2]]);
+
+    // A committed transaction whose net delta is empty publishes nothing.
+    {
+        let mut txn = s.transaction();
+        txn.apply(&Update::Insert(e, vec![5, 2])).unwrap();
+        txn.apply(&Update::Delete(e, vec![5, 2])).unwrap();
+        txn.commit();
+    }
+    assert!(feed.drain().is_empty(), "empty net delta publishes nothing");
+}
+
+/// Diff-fallback engines (no native deltas) get the snapshot-at-first-
+/// touch transaction path: one enumeration per transaction instead of
+/// two per update, same net event semantics.
+#[test]
+fn transactions_net_events_on_diff_fallback_engines() {
+    let mut s = Session::new();
+    s.register_with(
+        "pairs",
+        "Q(x, y) :- E(x, y), T(y).",
+        EngineChoice::Forced(EngineKind::Recompute),
+    )
+    .unwrap();
     let e = s.relation("E").unwrap();
     let t = s.relation("T").unwrap();
     s.apply_batch(&[Update::Insert(e, vec![1, 2]), Update::Insert(t, vec![2])])
@@ -297,13 +351,22 @@ fn rollback_publishes_compensating_deltas() {
     {
         let mut txn = s.transaction();
         txn.apply(&Update::Insert(e, vec![9, 2])).unwrap();
-        // No commit.
+        txn.apply(&Update::Insert(e, vec![8, 2])).unwrap(); // cancelled
+        txn.apply(&Update::Delete(e, vec![8, 2])).unwrap();
+        txn.apply(&Update::Delete(e, vec![1, 2])).unwrap();
+        txn.commit();
     }
     let events = feed.drain();
-    assert_eq!(events.len(), 2, "one delta in, one compensating delta out");
+    assert_eq!(events.len(), 1);
     assert_eq!(events[0].added, vec![vec![9, 2]]);
-    assert_eq!(events[1].removed, vec![vec![9, 2]]);
-    assert_eq!(s.query("pairs").unwrap().results_sorted(), vec![vec![1, 2]]);
+    assert_eq!(events[0].removed, vec![vec![1, 2]]);
+    {
+        let mut txn = s.transaction();
+        txn.apply(&Update::Delete(t, vec![2])).unwrap();
+        // Dropped uncommitted.
+    }
+    assert!(feed.drain().is_empty(), "rollback publishes nothing");
+    assert_eq!(s.query("pairs").unwrap().count(), 1);
 }
 
 fn random_updates(q: &Query, seed: u64, steps: usize, domain: u64) -> Vec<Update> {
@@ -383,6 +446,80 @@ proptest! {
         );
     }
 
+    /// Subscription deltas equal a full-result diff around every update,
+    /// whatever engine the router picked (native q-tree extraction,
+    /// delta-IVM support transitions, or the baselines' diff fallback).
+    #[test]
+    fn subscription_deltas_equal_result_diffs(seed in 0u64..100_000) {
+        let cfg = GenConfig { max_vars: 4, max_atoms: 3, max_arity: 3, self_join_pct: 25 };
+        let q = random_query(&mut Lcg::new(seed), cfg);
+        let mut session = Session::new();
+        session.register_query("q", &q, EngineChoice::Auto).unwrap();
+        let q = session.query("q").unwrap().query().clone();
+        let feed = session.query("q").unwrap().subscribe();
+        for u in random_updates(&q, seed ^ 0xBEEF, 50, 3) {
+            let before = session.query("q").unwrap().results_sorted();
+            session.apply(&u).unwrap();
+            let after = session.query("q").unwrap().results_sorted();
+            let mut want = ResultDelta::default();
+            cq_updates::dynamic::diff_sorted_into(&before, &after, &mut want);
+            match feed.poll() {
+                Some(ev) => {
+                    prop_assert_eq!(&ev.added, &want.added, "added after {:?}", &u);
+                    prop_assert_eq!(&ev.removed, &want.removed, "removed after {:?}", &u);
+                    prop_assert!(feed.poll().is_none(), "at most one event per update");
+                }
+                None => prop_assert!(want.is_empty(), "missing event after {:?}", &u),
+            }
+        }
+    }
+
+    /// A committed transaction's single net event per query equals the
+    /// netted fold of the per-update events the same updates produce when
+    /// replayed individually.
+    #[test]
+    fn transaction_net_events_equal_replayed_events(seed in 0u64..100_000) {
+        let cfg = GenConfig { max_vars: 4, max_atoms: 3, max_arity: 3, self_join_pct: 25 };
+        let q = random_query(&mut Lcg::new(seed), cfg);
+        let mut tx_session = Session::new();
+        tx_session.register_query("q", &q, EngineChoice::Auto).unwrap();
+        let mut replay_session = Session::new();
+        replay_session.register_query("q", &q, EngineChoice::Auto).unwrap();
+        let q = tx_session.query("q").unwrap().query().clone();
+        let updates = random_updates(&q, seed ^ 0xC0DE, 40, 3);
+
+        let tx_feed = tx_session.query("q").unwrap().subscribe();
+        {
+            let mut txn = tx_session.transaction();
+            txn.apply_all(&updates).unwrap();
+            txn.commit();
+        }
+        let tx_events = tx_feed.drain();
+        prop_assert!(tx_events.len() <= 1, "one net event per query per commit");
+
+        let replay_feed = replay_session.query("q").unwrap().subscribe();
+        let mut net = ResultDelta::default();
+        for u in &updates {
+            replay_session.apply(u).unwrap();
+            for ev in replay_feed.drain() {
+                net.added.extend(ev.added);
+                net.removed.extend(ev.removed);
+            }
+        }
+        net.normalize();
+        match tx_events.first() {
+            Some(ev) => {
+                prop_assert_eq!(&ev.added, &net.added);
+                prop_assert_eq!(&ev.removed, &net.removed);
+            }
+            None => prop_assert!(net.is_empty(), "tx published nothing but replay netted {:?}", &net),
+        }
+        prop_assert_eq!(
+            tx_session.query("q").unwrap().results_sorted(),
+            replay_session.query("q").unwrap().results_sorted()
+        );
+    }
+
     /// A rolled-back transaction is a perfect no-op mid-stream.
     #[test]
     fn transaction_rollback_is_a_noop(seed in 0u64..100_000, cut in 1usize..40) {
@@ -399,11 +536,13 @@ proptest! {
         let results_before = session.query("q").unwrap().results_sorted();
         let card_before = session.database().cardinality();
         let adom_before = session.database().active_domain_size();
+        let feed = session.query("q").unwrap().subscribe();
         {
             let mut txn = session.transaction();
             txn.apply_all(rest).unwrap();
             // Dropped uncommitted.
         }
+        prop_assert!(feed.drain().is_empty(), "rollback must publish nothing");
         prop_assert_eq!(session.query("q").unwrap().results_sorted(), results_before);
         prop_assert_eq!(session.database().cardinality(), card_before);
         prop_assert_eq!(session.database().active_domain_size(), adom_before);
