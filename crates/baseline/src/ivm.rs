@@ -501,6 +501,17 @@ impl DynamicEngine for DeltaIvmEngine {
     fn enumerate<'a>(&'a self) -> Box<dyn Iterator<Item = Vec<Const>> + 'a> {
         Box::new(self.support.keys().cloned())
     }
+
+    /// Pins a clone of the materialized view's key set (multiplicities
+    /// are an engine-internal detail and are dropped) — the view *is*
+    /// the result, so the pin is one `O(|ϕ(D)|)` key copy, and the
+    /// sorted-rows snapshot then serves `results_sorted` without
+    /// re-sorting per call.
+    fn snapshot(&self) -> Box<dyn cqu_dynamic::ResultSnapshot> {
+        Box::new(cqu_dynamic::MaterializedSnapshot::new(
+            self.support.keys().cloned().collect(),
+        ))
+    }
 }
 
 #[cfg(test)]

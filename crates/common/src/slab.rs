@@ -37,6 +37,7 @@ impl SlabId {
     }
 }
 
+#[derive(Clone)]
 enum Slot<T> {
     Occupied(T),
     /// Free slot, storing the next entry of the free list.
@@ -44,6 +45,12 @@ enum Slot<T> {
 }
 
 /// A growable arena of `T` with O(1) insert and remove and stable ids.
+///
+/// Cloning a slab (for `T: Clone`) preserves every id — occupied slots,
+/// vacancies, and the free list are copied verbatim, so intrusive links
+/// stored inside `T` stay valid in the copy. The snapshot machinery of
+/// `cqu-dynamic` relies on this.
+#[derive(Clone)]
 pub struct Slab<T> {
     slots: Vec<Slot<T>>,
     free_head: SlabId,

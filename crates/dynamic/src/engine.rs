@@ -152,8 +152,77 @@ impl UpdateReport {
     }
 }
 
+/// An immutable, thread-safe view of a query result pinned at one point
+/// of the update stream ([`DynamicEngine::snapshot`]).
+///
+/// A snapshot stays valid — and keeps answering from its pinned state —
+/// no matter how many updates the engine applies afterwards. It is
+/// `Send + Sync`, so reader threads enumerate and count without any
+/// lock while a writer maintains the live engine.
+pub trait ResultSnapshot: Send + Sync {
+    /// `|ϕ(D)|` at pin time.
+    fn count(&self) -> u64;
+
+    /// `ϕ(D) ≠ ∅` at pin time.
+    fn is_nonempty(&self) -> bool {
+        self.count() > 0
+    }
+
+    /// Enumerates the pinned `ϕ(D)` without repetition.
+    fn enumerate<'a>(&'a self) -> Box<dyn Iterator<Item = Vec<Const>> + 'a>;
+
+    /// Collects and sorts the pinned result.
+    fn results_sorted(&self) -> Vec<Vec<Const>> {
+        let mut v: Vec<Vec<Const>> = self.enumerate().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// The fallback [`ResultSnapshot`]: the result materialized into a sorted
+/// vector at pin time. `Ω(|ϕ(D)|)` to pin — engines with cheaper
+/// enumeration structures (the q-tree engine's copy-on-pin, delta-IVM's
+/// view clone) override [`DynamicEngine::snapshot`] instead.
+pub struct MaterializedSnapshot {
+    rows: Vec<Vec<Const>>,
+}
+
+impl MaterializedSnapshot {
+    /// Wraps a result; `rows` need not be sorted or deduplicated yet.
+    pub fn new(mut rows: Vec<Vec<Const>>) -> Self {
+        rows.sort_unstable();
+        rows.dedup();
+        MaterializedSnapshot { rows }
+    }
+
+    /// Wraps an already sorted, duplicate-free result.
+    pub fn from_sorted(rows: Vec<Vec<Const>>) -> Self {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        MaterializedSnapshot { rows }
+    }
+}
+
+impl ResultSnapshot for MaterializedSnapshot {
+    fn count(&self) -> u64 {
+        self.rows.len() as u64
+    }
+
+    fn enumerate<'a>(&'a self) -> Box<dyn Iterator<Item = Vec<Const>> + 'a> {
+        Box::new(self.rows.iter().cloned())
+    }
+
+    fn results_sorted(&self) -> Vec<Vec<Const>> {
+        self.rows.clone()
+    }
+}
+
 /// A dynamic query-evaluation algorithm over a fixed query.
-pub trait DynamicEngine {
+///
+/// Engines are `Send + Sync`: they hold plain data (no interior
+/// mutability), writers go through `&mut self`, and concurrent readers
+/// share `&self` — the session layer serializes the former and hands the
+/// latter out behind its reader lock or via [`DynamicEngine::snapshot`].
+pub trait DynamicEngine: Send + Sync {
     /// The query this engine maintains.
     fn query(&self) -> &Query;
 
@@ -252,6 +321,19 @@ pub trait DynamicEngine {
         let mut v: Vec<Vec<Const>> = self.enumerate().collect();
         v.sort_unstable();
         v
+    }
+
+    /// Pins an immutable, `Send + Sync` snapshot of the current result.
+    ///
+    /// The snapshot answers `count`/`is_nonempty`/`enumerate` from the
+    /// state at pin time forever, regardless of updates applied to the
+    /// engine afterwards. The default materializes the full result
+    /// (`Ω(|ϕ(D)|)`); engines whose enumeration structures are cheap to
+    /// copy override it (`QhEngine` clones its q-tree structures —
+    /// `O(‖D‖)`, never the potentially much larger result; delta-IVM
+    /// clones its materialized view).
+    fn snapshot(&self) -> Box<dyn ResultSnapshot> {
+        Box::new(MaterializedSnapshot::from_sorted(self.results_sorted()))
     }
 }
 

@@ -41,7 +41,10 @@ pub mod enumerate;
 pub mod selfjoin;
 pub mod structure;
 
-pub use engine::{diff_sorted_into, net_effective, DynamicEngine, ResultDelta, UpdateReport};
+pub use engine::{
+    diff_sorted_into, net_effective, DynamicEngine, MaterializedSnapshot, ResultDelta,
+    ResultSnapshot, UpdateReport,
+};
 pub use enumerate::{ComponentIter, ResultIter};
 pub use structure::ComponentStructure;
 
@@ -344,6 +347,40 @@ impl DynamicEngine for QhEngine {
 
     fn enumerate<'a>(&'a self) -> Box<dyn Iterator<Item = Vec<cqu_storage::Const>> + 'a> {
         Box::new(ResultIter::new(&self.components, self.query.free()))
+    }
+
+    /// Copy-on-pin: clones the q-tree component structures (slab ids and
+    /// intrusive links survive a clone verbatim), *not* the result. The
+    /// pin costs `O(‖D‖)` however large `ϕ(D)` is — for cross products
+    /// the result can be exponentially bigger than the structures — and
+    /// the snapshot keeps O(1) counting and constant-delay enumeration.
+    fn snapshot(&self) -> Box<dyn engine::ResultSnapshot> {
+        Box::new(QhSnapshot {
+            count: self.count(),
+            components: self.components.clone(),
+            free: self.query.free().to_vec(),
+        })
+    }
+}
+
+/// [`QhEngine`]'s pinned view: a clone of the per-component enumeration
+/// structures (see [`DynamicEngine::snapshot`] on [`QhEngine`]).
+/// Nonemptiness is the trait default `count > 0` — equivalent to the
+/// engine's all-components-nonempty check, since a component's result
+/// count is zero exactly when it is empty.
+pub struct QhSnapshot {
+    components: Vec<ComponentStructure>,
+    free: Vec<cqu_query::Var>,
+    count: u64,
+}
+
+impl engine::ResultSnapshot for QhSnapshot {
+    fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn enumerate<'a>(&'a self) -> Box<dyn Iterator<Item = Vec<Const>> + 'a> {
+        Box::new(ResultIter::new(&self.components, &self.free))
     }
 }
 

@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 /// One item `[v, α, a]`. The assignment and constant are packed into `key`:
 /// the constants along `path[v]`, the item's own constant last.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub(crate) struct Item {
     /// The q-tree node `v`.
     pub node: NodeId,
@@ -63,6 +63,13 @@ pub(crate) struct Item {
 }
 
 /// The dynamic structure for one connected component.
+///
+/// Cloning copies the whole item arena and lookup maps — slab ids (and
+/// with them all intrusive list links) survive verbatim, so the copy
+/// enumerates identically. This is the copy-on-pin path behind
+/// [`crate::QhEngine`]'s snapshots: `O(‖D‖)` per pin, independent of the
+/// (possibly much larger) result size.
+#[derive(Clone)]
 pub struct ComponentStructure {
     query: Arc<Query>,
     comp: Component,

@@ -3,10 +3,12 @@
 //! equal a full-result diff around every update — across quantifiers,
 //! self-joins, repeated variables, multiple components, Boolean guards,
 //! and cancelling churn, both per single update and per netted batch.
+//! Update scripts come from the shared `cqu-testutil` workload harness.
 
 use cqu_dynamic::{diff_sorted_into, DynamicEngine, QhEngine, ResultDelta};
 use cqu_query::{parse_query, Query};
-use cqu_storage::{Const, Update};
+use cqu_storage::Update;
+use cqu_testutil::{cancelling_pairs, random_updates, WorkloadConfig};
 use proptest::prelude::*;
 
 const CATALOGUE: &[&str] = &[
@@ -34,34 +36,18 @@ fn usable_catalogue() -> Vec<Query> {
         .collect()
 }
 
-fn script_strategy(max_arity: usize) -> impl Strategy<Value = Vec<(bool, usize, Vec<Const>)>> {
-    // Constants from a small pool so joins happen and deletes cancel
-    // earlier inserts (churn).
-    prop::collection::vec(
-        (
-            any::<bool>(),
-            0usize..8,
-            prop::collection::vec(1u64..5, max_arity),
-        ),
-        1..100,
+/// Churny stream over the query's schema: constants from a small pool so
+/// joins happen and deletes cancel earlier inserts.
+fn script(q: &Query, seed: u64, steps: usize) -> Vec<Update> {
+    random_updates(
+        q.schema(),
+        seed,
+        WorkloadConfig {
+            steps,
+            domain: 4,
+            insert_permille: 500,
+        },
     )
-}
-
-fn build_updates(q: &Query, script: &[(bool, usize, Vec<Const>)]) -> Vec<Update> {
-    let rels: Vec<_> = q.schema().relations().collect();
-    script
-        .iter()
-        .map(|(insert, rel_choice, consts)| {
-            let rel = rels[rel_choice % rels.len()];
-            let arity = q.schema().arity(rel);
-            let tuple: Vec<Const> = consts[..arity].to_vec();
-            if *insert {
-                Update::Insert(rel, tuple)
-            } else {
-                Update::Delete(rel, tuple)
-            }
-        })
-        .collect()
 }
 
 proptest! {
@@ -71,12 +57,13 @@ proptest! {
     #[test]
     fn tracked_deltas_equal_full_result_diff(
         qi in 0usize..16,
-        script in script_strategy(3),
+        seed in 0u64..1_000_000,
+        steps in 1usize..100,
     ) {
         let catalogue = usable_catalogue();
         let q = &catalogue[qi % catalogue.len()];
         let mut engine = QhEngine::empty(q).unwrap();
-        for u in build_updates(q, &script) {
+        for u in script(q, seed, steps) {
             let before = engine.results_sorted();
             let mut got = ResultDelta::default();
             let changed = engine.apply_tracked(&u, &mut got);
@@ -93,14 +80,15 @@ proptest! {
     #[test]
     fn tracked_batch_deltas_equal_window_diff(
         qi in 0usize..16,
-        script in script_strategy(3),
+        seed in 0u64..1_000_000,
+        steps in 1usize..100,
         chunk in 1usize..24,
     ) {
         let catalogue = usable_catalogue();
         let q = &catalogue[qi % catalogue.len()];
         let mut batched = QhEngine::empty(q).unwrap();
         let mut sequential = QhEngine::empty(q).unwrap();
-        let updates = build_updates(q, &script);
+        let updates = script(q, seed, steps);
         for window in updates.chunks(chunk) {
             let before = batched.results_sorted();
             let mut got = ResultDelta::default();
@@ -119,19 +107,13 @@ proptest! {
     #[test]
     fn cancelling_churn_is_silent(
         qi in 0usize..16,
-        script in script_strategy(3),
+        seed in 0u64..1_000_000,
+        steps in 1usize..100,
     ) {
         let catalogue = usable_catalogue();
         let q = &catalogue[qi % catalogue.len()];
         let mut engine = QhEngine::empty(q).unwrap();
-        let cancelling: Vec<Update> = build_updates(q, &script)
-            .into_iter()
-            .flat_map(|u| {
-                let ins = Update::Insert(u.relation(), u.tuple().to_vec());
-                let del = ins.inverse();
-                [ins, del]
-            })
-            .collect();
+        let cancelling = cancelling_pairs(&script(q, seed, steps));
         let mut delta = ResultDelta::default();
         engine.apply_batch_tracked(&cancelling, &mut delta);
         delta.normalize();

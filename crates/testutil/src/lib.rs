@@ -1,0 +1,216 @@
+//! Shared randomized-workload and oracle harness for the test suites.
+//!
+//! Every integration suite in the workspace drives engines through the
+//! same three ingredients, so they live here exactly once:
+//!
+//! * [`random_updates`] — a deterministic (seeded, [`Lcg`]-driven) mixed
+//!   insert/delete stream over a schema, with churny small domains so
+//!   joins happen and deletes cancel earlier inserts;
+//! * [`brute_force`] — the backtracking oracle `ϕ(D)` every engine must
+//!   agree with;
+//! * [`result_timeline`] — the frozen per-prefix ground truth that
+//!   snapshot-isolation and concurrency tests compare pinned reads
+//!   against.
+//!
+//! Determinism matters more than statistical quality here: the generator
+//! is a bare LCG, so a failing seed reproduces bit-identically on every
+//! platform, without a `rand` dependency.
+
+#![warn(missing_docs)]
+
+use cqu_query::generator::Lcg;
+use cqu_query::{Query, RelId, Schema, Var};
+use cqu_storage::{Const, Database, Update};
+use std::collections::{BTreeMap, BTreeSet};
+
+pub use cqu_query::generator::{random_query, GenConfig};
+
+/// Shape of a [`random_updates`] stream.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Number of update commands to generate.
+    pub steps: usize,
+    /// Constants are drawn uniformly from `1..=domain`; keep it small so
+    /// joins complete and deletes hit live tuples.
+    pub domain: Const,
+    /// Probability of an insert (vs a delete) per step, in permille.
+    pub insert_permille: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            steps: 60,
+            domain: 4,
+            insert_permille: 600,
+        }
+    }
+}
+
+/// Generates a deterministic mixed insert/delete stream over every
+/// relation of `schema`. Updates are *not* guaranteed effective —
+/// duplicate inserts and absent deletes are part of the workload, so
+/// set-semantics no-op handling gets exercised too.
+pub fn random_updates(schema: &Schema, seed: u64, cfg: WorkloadConfig) -> Vec<Update> {
+    let rels: Vec<RelId> = schema.relations().collect();
+    assert!(!rels.is_empty(), "workload over an empty schema");
+    let mut rng = Lcg::new(seed);
+    (0..cfg.steps)
+        .map(|_| {
+            let rel = rels[rng.below(rels.len())];
+            let arity = schema.arity(rel);
+            let tuple: Vec<Const> = (0..arity)
+                .map(|_| 1 + rng.below(cfg.domain as usize) as Const)
+                .collect();
+            if rng.chance(cfg.insert_permille, 1000) {
+                Update::Insert(rel, tuple)
+            } else {
+                Update::Delete(rel, tuple)
+            }
+        })
+        .collect()
+}
+
+/// Doubles a stream into cancelling churn: every update becomes an
+/// insert immediately followed by its inverse delete, so the database
+/// (and every maintained result) returns to its pre-pair state after
+/// each pair. Concurrency tests use this to make results flip while the
+/// net state stays put.
+pub fn cancelling_pairs(updates: &[Update]) -> Vec<Update> {
+    updates
+        .iter()
+        .flat_map(|u| {
+            let ins = Update::Insert(u.relation(), u.tuple().to_vec());
+            let del = ins.inverse();
+            [ins, del]
+        })
+        .collect()
+}
+
+/// Brute-force `ϕ(D)` by backtracking over atoms — the oracle every
+/// engine's result must equal. Output is sorted and duplicate-free.
+pub fn brute_force(q: &Query, db: &Database) -> Vec<Vec<Const>> {
+    fn go(
+        q: &Query,
+        db: &Database,
+        idx: usize,
+        assign: &mut BTreeMap<Var, Const>,
+        out: &mut BTreeSet<Vec<Const>>,
+    ) {
+        if idx == q.atoms().len() {
+            out.insert(q.free().iter().map(|v| assign[v]).collect());
+            return;
+        }
+        let atom = &q.atoms()[idx];
+        let facts: Vec<Vec<Const>> = db.relation(atom.relation).iter().cloned().collect();
+        for fact in facts {
+            let mut bound = Vec::new();
+            let mut ok = true;
+            for (pos, &v) in atom.args.iter().enumerate() {
+                match assign.get(&v) {
+                    Some(&c) if c != fact[pos] => {
+                        ok = false;
+                        break;
+                    }
+                    Some(_) => {}
+                    None => {
+                        assign.insert(v, fact[pos]);
+                        bound.push(v);
+                    }
+                }
+            }
+            if ok {
+                go(q, db, idx + 1, assign, out);
+            }
+            for v in bound {
+                assign.remove(&v);
+            }
+        }
+    }
+    let mut out = BTreeSet::new();
+    go(q, db, 0, &mut BTreeMap::new(), &mut out);
+    out.into_iter().collect()
+}
+
+/// Replays `updates` in order onto an empty database over `schema`,
+/// brute-forcing `query`'s result after every *effective* update:
+/// `timeline[k]` is the sorted `ϕ(D)` after the first `k` effective
+/// updates (`timeline[0]` is the empty-database result).
+///
+/// This is the frozen ground truth for snapshot isolation: for a stream
+/// applied through `Session::apply`/`apply_batch` (sequence numbers
+/// count effective updates one by one, batched or not), a snapshot
+/// pinned at session sequence number `k` must equal `timeline[k]`
+/// exactly — anything else is a torn read. Rolled-back transactions are
+/// outside this mapping: their compensating inverses advance the
+/// session's sequence number without a corresponding timeline frame.
+pub fn result_timeline(schema: &Schema, query: &Query, updates: &[Update]) -> Vec<Vec<Vec<Const>>> {
+    let mut db = Database::new(schema.clone());
+    let mut timeline = vec![brute_force(query, &db)];
+    for u in updates {
+        if db.apply(u) {
+            timeline.push(brute_force(query, &db));
+        }
+    }
+    timeline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqu_query::parse_query;
+
+    #[test]
+    fn random_updates_are_deterministic() {
+        let q = parse_query("Q(x, y) :- E(x, y), T(y).").unwrap();
+        let a = random_updates(q.schema(), 7, WorkloadConfig::default());
+        let b = random_updates(q.schema(), 7, WorkloadConfig::default());
+        assert_eq!(a, b);
+        let c = random_updates(q.schema(), 8, WorkloadConfig::default());
+        assert_ne!(a, c, "different seeds should differ");
+        assert_eq!(a.len(), WorkloadConfig::default().steps);
+    }
+
+    #[test]
+    fn brute_force_joins() {
+        let q = parse_query("Q(x, y) :- E(x, y), T(y).").unwrap();
+        let mut db = Database::new(q.schema().clone());
+        let e = q.schema().relation("E").unwrap();
+        let t = q.schema().relation("T").unwrap();
+        db.insert(e, vec![1, 2]);
+        db.insert(e, vec![3, 4]);
+        db.insert(t, vec![2]);
+        assert_eq!(brute_force(&q, &db), vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn timeline_tracks_effective_prefixes() {
+        let q = parse_query("Q(x) :- R(x).").unwrap();
+        let r = q.schema().relation("R").unwrap();
+        let updates = vec![
+            Update::Insert(r, vec![1]),
+            Update::Insert(r, vec![1]), // no-op: not a timeline step
+            Update::Insert(r, vec![2]),
+            Update::Delete(r, vec![1]),
+        ];
+        let tl = result_timeline(q.schema(), &q, &updates);
+        assert_eq!(tl.len(), 4);
+        assert_eq!(tl[0], Vec::<Vec<Const>>::new());
+        assert_eq!(tl[1], vec![vec![1]]);
+        assert_eq!(tl[2], vec![vec![1], vec![2]]);
+        assert_eq!(tl[3], vec![vec![2]]);
+    }
+
+    #[test]
+    fn cancelling_pairs_net_to_nothing() {
+        let q = parse_query("Q(x) :- R(x).").unwrap();
+        let updates = random_updates(q.schema(), 3, WorkloadConfig::default());
+        let pairs = cancelling_pairs(&updates);
+        assert_eq!(pairs.len(), 2 * updates.len());
+        let mut db = Database::new(q.schema().clone());
+        for u in &pairs {
+            db.apply(u);
+        }
+        assert_eq!(db.cardinality(), 0);
+    }
+}

@@ -123,4 +123,48 @@ fn main() {
         t2.elapsed().as_secs_f64() * 1e3
     );
     assert_eq!(recount, session.query("feed").unwrap().count());
+
+    // Production shape: one writer thread keeps absorbing event batches
+    // while reader threads serve from pinned snapshots — each pin stays
+    // valid (and keeps O(1) count / constant-delay enumeration) however
+    // far the writer advances past it.
+    let shared = SharedSession::new(session);
+    let more: Vec<Update> = (0..EVENTS / 4)
+        .map(|_| random_event(&mut rng, follows, posts))
+        .collect();
+    let writer = {
+        let shared = shared.clone();
+        std::thread::spawn(move || {
+            for batch in more.chunks(BATCH) {
+                shared.apply_batch(batch).unwrap();
+            }
+        })
+    };
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let shared = shared.clone();
+            std::thread::spawn(move || {
+                let mut pins = 0u64;
+                let mut last_seq = 0;
+                while pins < 200 {
+                    let snap = shared.snapshot("feed").unwrap();
+                    assert!(snap.seq() >= last_seq);
+                    last_seq = snap.seq();
+                    // Lock-free reads off the pin while the writer runs.
+                    let peek: Vec<Const> = snap.enumerate().take(3).flatten().collect();
+                    assert_eq!(snap.answer(), !peek.is_empty());
+                    pins += 1;
+                }
+                (pins, last_seq)
+            })
+        })
+        .collect();
+    writer.join().unwrap();
+    let served: u64 = readers.into_iter().map(|r| r.join().unwrap().0).sum();
+    println!(
+        "concurrent phase: 3 snapshot readers served {served} pins while \
+         the writer streamed {} more events; final feed size {}",
+        EVENTS / 4,
+        shared.count("feed").unwrap()
+    );
 }

@@ -33,6 +33,10 @@ pub enum CqError {
         /// The offending tuple's width.
         found: usize,
     },
+    /// A writer panicked while holding the shared session lock
+    /// ([`SharedSession`](crate::session::SharedSession)): engines may
+    /// have absorbed half an update, so the session refuses further use.
+    Poisoned,
 }
 
 impl std::fmt::Display for CqError {
@@ -60,6 +64,10 @@ impl std::fmt::Display for CqError {
             } => write!(
                 f,
                 "update tuple has {found} constants, but {relation} has arity {expected}"
+            ),
+            CqError::Poisoned => write!(
+                f,
+                "session lock poisoned: a writer panicked mid-update, engine state is suspect"
             ),
         }
     }

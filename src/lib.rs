@@ -78,20 +78,20 @@ pub use cqu_storage as storage;
 
 pub use error::CqError;
 pub use session::{
-    ChangeEvent, EngineChoice, QueryHandle, QueryId, RouteReason, Session, SessionTransaction,
-    Subscription,
+    ChangeEvent, EngineChoice, QueryHandle, QueryId, QuerySnapshot, RouteReason, Session,
+    SessionTransaction, SharedSession, Subscription,
 };
 
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::error::CqError;
     pub use crate::session::{
-        ChangeEvent, EngineChoice, QueryHandle, QueryId, RouteReason, Session, SessionTransaction,
-        Subscription,
+        ChangeEvent, EngineChoice, QueryHandle, QueryId, QuerySnapshot, RouteReason, Session,
+        SessionTransaction, SharedSession, Subscription,
     };
     pub use cqu_baseline::{DeltaIvmEngine, EngineKind, RecomputeEngine, SemiJoinEngine};
     pub use cqu_dynamic::{
-        selfjoin::Phi2Engine, DynamicEngine, QhEngine, ResultDelta, UpdateReport,
+        selfjoin::Phi2Engine, DynamicEngine, QhEngine, ResultDelta, ResultSnapshot, UpdateReport,
     };
     pub use cqu_query::classify::classify;
     pub use cqu_query::{

@@ -12,6 +12,25 @@
 //! counting, Boolean answering, constant-delay enumeration, and a change
 //! feed ([`QueryHandle::subscribe`]) of per-update result deltas.
 //!
+//! # Threading model
+//!
+//! [`Session`] is `Send + Sync`: all interior state is either plain data
+//! behind the `&mut self` write path or guarded by short-lived mutexes
+//! (subscriber lists, snapshot caches). Writers are serialized by
+//! construction — every update flows through one `&mut self` dispatch
+//! path. Readers scale out through two lock-free mechanisms:
+//!
+//! * **Snapshots** ([`QueryHandle::snapshot`]): an immutable, `Send +
+//!   Sync` [`QuerySnapshot`] pinned at the current update sequence
+//!   number. It answers count/answer/enumerate from the pinned state
+//!   forever, however many updates commit afterwards.
+//! * **Change feeds** ([`QueryHandle::subscribe`]): [`Subscription`]s are
+//!   `Send` and deliver [`Arc<ChangeEvent>`]s — one allocation per event,
+//!   shared zero-copy by every subscriber, receivable on any thread.
+//!
+//! [`SharedSession`] packages the standard deployment: `Arc<RwLock>`
+//! writer serialization with snapshot-pinning readers.
+//!
 //! ```
 //! use cq_updates::prelude::*;
 //!
@@ -28,18 +47,33 @@
 //!     Update::Insert(posts, vec![2, 77]),
 //! ]).unwrap();
 //! assert_eq!(session.query("feed").unwrap().count(), 1);
+//!
+//! // Snapshot isolation: a pinned view survives later updates.
+//! let snap = session.query("feed").unwrap().snapshot();
+//! session.apply(&Update::Delete(posts, vec![2, 77])).unwrap();
+//! assert_eq!(snap.count(), 1);
+//! assert_eq!(session.query("feed").unwrap().count(), 0);
 //! ```
 
 use crate::error::CqError;
 use cqu_baseline::EngineKind;
 use cqu_common::FxHashMap;
-use cqu_dynamic::{DynamicEngine, ResultDelta, UpdateReport};
+use cqu_dynamic::{DynamicEngine, ResultDelta, ResultSnapshot, UpdateReport};
 use cqu_query::classify::{classify, Classification, Verdict};
 use cqu_query::hierarchical::{q_hierarchical_violation, Violation};
 use cqu_query::{parse_query, Query, QueryBuilder, QueryError, RelId, Schema};
 use cqu_storage::{ApplyUpdate, Database, Tuple, Update};
-use std::cell::RefCell;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, Weak};
+use std::time::Duration;
+
+/// Locks an internal fine-grained mutex, shrugging off poisoning: the
+/// guarded state (subscriber lists, snapshot caches) is replaced
+/// wholesale under the lock, so a panicked holder cannot leave it
+/// half-written.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How [`Session::register_with`] picks an engine for a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +97,10 @@ pub struct QueryId(usize);
 /// [`Session::transaction`], once at commit with the transaction's net
 /// delta (nothing at all on rollback).
 ///
+/// Events are delivered as [`Arc<ChangeEvent>`]: one allocation per
+/// update, shared by every subscriber on the query (multi-subscriber
+/// fan-out never clones the payload).
+///
 /// Both sides are sorted and duplicate-free; a tuple never appears on
 /// both sides of one event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,21 +118,34 @@ pub struct ChangeEvent {
 ///
 /// Events accumulate until polled; dropping the subscription detaches it
 /// (the session prunes dead feeds before its next delta extraction).
+/// Subscriptions are `Send`: hand one to a reader thread and drain it
+/// there while the session keeps applying updates.
 #[derive(Debug)]
 pub struct Subscription {
-    rx: Receiver<ChangeEvent>,
-    _alive: std::sync::Arc<()>,
+    rx: Receiver<Arc<ChangeEvent>>,
+    _alive: Arc<()>,
 }
 
 impl Subscription {
-    /// Takes the next pending event, if any.
-    pub fn poll(&self) -> Option<ChangeEvent> {
+    /// Takes the next pending event, if any (non-blocking).
+    pub fn poll(&self) -> Option<Arc<ChangeEvent>> {
         self.rx.try_recv().ok()
     }
 
-    /// Drains all pending events.
-    pub fn drain(&self) -> Vec<ChangeEvent> {
+    /// Drains all pending events (non-blocking).
+    pub fn drain(&self) -> Vec<Arc<ChangeEvent>> {
         std::iter::from_fn(|| self.poll()).collect()
+    }
+
+    /// Blocks until the next event arrives; `None` once the feed is
+    /// disconnected (the session — or its query — was dropped).
+    pub fn recv(&self) -> Option<Arc<ChangeEvent>> {
+        self.rx.recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the next event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Arc<ChangeEvent>> {
+        self.rx.recv_timeout(timeout).ok()
     }
 }
 
@@ -117,12 +168,12 @@ pub enum RouteReason {
 /// [`Subscription`]'s lifetime, so dead feeds can be pruned without
 /// sending.
 struct Subscriber {
-    tx: Sender<ChangeEvent>,
-    alive: std::sync::Weak<()>,
+    tx: Sender<Arc<ChangeEvent>>,
+    alive: Weak<()>,
 }
 
 struct Registered {
-    name: String,
+    name: Arc<str>,
     /// The query as the caller wrote it, remapped onto the session schema.
     query: Query,
     classification: Classification,
@@ -135,7 +186,13 @@ struct Registered {
     /// registration — provably cannot change the result and are not
     /// routed; in particular they never trigger delta extraction.
     relevant: Vec<bool>,
-    subscribers: RefCell<Vec<Subscriber>>,
+    /// Monotone engine-state version: bumped before every mutation of
+    /// `engine`, so cached snapshots know when they go stale.
+    version: u64,
+    /// The most recent pin `(version, snapshot)`: repeated snapshots with
+    /// no intervening update share one allocation.
+    snap_cache: Mutex<Option<(u64, Arc<dyn ResultSnapshot>)>>,
+    subscribers: Mutex<Vec<Subscriber>>,
 }
 
 impl Registered {
@@ -147,7 +204,7 @@ impl Registered {
     /// before every tracked update so detached feeds stop costing delta
     /// extraction immediately.
     fn prune_subscribers(&self) -> usize {
-        let mut subs = self.subscribers.borrow_mut();
+        let mut subs = lock(&self.subscribers);
         subs.retain(|s| s.alive.strong_count() > 0);
         subs.len()
     }
@@ -157,20 +214,33 @@ impl Registered {
     }
 
     /// Publishes a normalized engine-produced delta; empty deltas are
-    /// dropped silently.
+    /// dropped silently. The event is allocated once and fanned out as
+    /// `Arc` clones.
     fn publish(&self, seq: u64, mut delta: ResultDelta) {
         delta.normalize();
         if delta.is_empty() {
             return;
         }
-        let event = ChangeEvent {
+        let event = Arc::new(ChangeEvent {
             seq,
             added: delta.added,
             removed: delta.removed,
-        };
-        self.subscribers
-            .borrow_mut()
-            .retain(|s| s.tx.send(event.clone()).is_ok());
+        });
+        lock(&self.subscribers).retain(|s| s.tx.send(Arc::clone(&event)).is_ok());
+    }
+
+    /// Returns the pinned snapshot for the current engine version,
+    /// building (and caching) it on first demand.
+    fn pinned(&self) -> Arc<dyn ResultSnapshot> {
+        let mut cache = lock(&self.snap_cache);
+        match &*cache {
+            Some((v, snap)) if *v == self.version => Arc::clone(snap),
+            _ => {
+                let snap: Arc<dyn ResultSnapshot> = Arc::from(self.engine.snapshot());
+                *cache = Some((self.version, Arc::clone(&snap)));
+                snap
+            }
+        }
     }
 }
 
@@ -193,6 +263,11 @@ enum TxTrack {
 }
 
 /// A set of named queries maintained together under one update stream.
+///
+/// `Session` is `Send + Sync`; writers are serialized through `&mut self`
+/// and readers either borrow `&self` or pin [`QuerySnapshot`]s. See the
+/// module docs for the threading model and [`SharedSession`] for the
+/// packaged `Arc<RwLock>` deployment.
 pub struct Session {
     schema: Schema,
     /// Master database: the ground truth every engine was seeded from.
@@ -215,6 +290,20 @@ pub struct Session {
 impl Default for Session {
     fn default() -> Self {
         Session::new()
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field(
+                "queries",
+                &self.regs.iter().map(|r| &*r.name).collect::<Vec<_>>(),
+            )
+            .field("relations", &self.schema.len())
+            .field("cardinality", &self.db.cardinality())
+            .field("seq", &self.seq)
+            .finish_non_exhaustive()
     }
 }
 
@@ -248,6 +337,14 @@ impl Session {
     /// The master database all engines were seeded from.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// Number of effective update commands dispatched so far: single
+    /// applies and batch members each count one; a rolled-back
+    /// transaction also counts its compensating inverses (they are
+    /// effective commands, even though the net state change is zero).
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
     /// Resolves a relation by name.
@@ -318,14 +415,16 @@ impl Session {
         let id = QueryId(self.regs.len());
         self.by_name.insert(name.to_string(), id.0);
         self.regs.push(Registered {
-            name: name.to_string(),
+            name: Arc::from(name),
             query,
             classification,
             kind,
             reason,
             engine,
             relevant,
-            subscribers: RefCell::new(Vec::new()),
+            version: 0,
+            snap_cache: Mutex::new(None),
+            subscribers: Mutex::new(Vec::new()),
         });
         Ok(id)
     }
@@ -366,6 +465,7 @@ impl Session {
         Ok(QueryHandle {
             reg: &self.regs[idx],
             id: QueryId(idx),
+            seq: self.seq,
         })
     }
 
@@ -374,6 +474,7 @@ impl Session {
         QueryHandle {
             reg: &self.regs[id.0],
             id,
+            seq: self.seq,
         }
     }
 
@@ -382,6 +483,7 @@ impl Session {
         self.regs.iter().enumerate().map(|(i, reg)| QueryHandle {
             reg,
             id: QueryId(i),
+            seq: self.seq,
         })
     }
 
@@ -392,6 +494,8 @@ impl Session {
             .by_name
             .get(name)
             .ok_or_else(|| CqError::UnknownQuery(name.to_string()))?;
+        // The caller may mutate the engine arbitrarily: stale any pin.
+        self.regs[idx].version += 1;
         Ok(self.regs[idx].engine.as_mut())
     }
 
@@ -432,6 +536,8 @@ impl Session {
             if !reg.wants(update.relation()) {
                 continue;
             }
+            // Every branch below mutates the engine: stale cached pins.
+            reg.version += 1;
             // Rollback replay needs no deltas — its buffer is discarded —
             // so it takes the untracked path even under subscription.
             if !self.rolling_back && reg.has_subscribers() {
@@ -509,7 +615,11 @@ impl Session {
                 applied: 0,
             });
         }
-        self.seq += 1;
+        // Each effective member advances the stream position, exactly as
+        // if applied singly — so a snapshot's `seq()` always counts
+        // effective updates, batched or not — but subscribers still get
+        // one netted event, stamped with the last member's number.
+        self.seq += applied as u64;
         let mut filtered: Vec<Update> = Vec::new();
         for reg in &mut self.regs {
             // Zero-copy when every effective update concerns this query;
@@ -529,6 +639,7 @@ impl Session {
             if routed.is_empty() {
                 continue;
             }
+            reg.version += 1;
             if reg.has_subscribers() {
                 let mut delta = ResultDelta::default();
                 reg.engine.apply_batch_tracked(routed, &mut delta);
@@ -683,6 +794,9 @@ impl Drop for SessionTransaction<'_> {
 pub struct QueryHandle<'a> {
     reg: &'a Registered,
     id: QueryId,
+    /// The session's update sequence number when this handle was taken —
+    /// stamped onto snapshots pinned through it.
+    seq: u64,
 }
 
 impl<'a> QueryHandle<'a> {
@@ -737,10 +851,34 @@ impl<'a> QueryHandle<'a> {
         self.reg.engine.results_sorted()
     }
 
+    /// Pins an immutable, `Send + Sync` [`QuerySnapshot`] of the current
+    /// result. The snapshot keeps answering from the pinned state while
+    /// any number of later updates commit — snapshot isolation for
+    /// readers, without holding up the writer.
+    ///
+    /// Cost model: the q-hierarchical engine pins by cloning its q-tree
+    /// enumeration structures (`O(‖D‖)`, never the result, which can be
+    /// exponentially larger); delta-IVM clones its materialized view
+    /// (`O(|ϕ(D)|)`); diff-fallback engines materialize. Repeated pins
+    /// with no intervening update share one cached snapshot — those are
+    /// O(1).
+    pub fn snapshot(&self) -> QuerySnapshot {
+        QuerySnapshot {
+            name: Arc::clone(&self.reg.name),
+            kind: self.reg.kind,
+            seq: self.seq,
+            inner: self.reg.pinned(),
+        }
+    }
+
     /// Opens a change feed: after every effective update or batch that
     /// changes this query's result, a [`ChangeEvent`] with the added and
     /// removed result tuples is delivered. Inside a transaction, events
     /// are buffered and emitted once, netted, at commit.
+    ///
+    /// Every subscriber receives the *same* `Arc<ChangeEvent>` per
+    /// update: fan-out costs one channel send per subscriber, never a
+    /// payload clone.
     ///
     /// Cost model: engines with native delta extraction
     /// ([`DynamicEngine::delta_hint`] — the q-hierarchical engine,
@@ -750,10 +888,10 @@ impl<'a> QueryHandle<'a> {
     /// and diff per update while subscribed.
     pub fn subscribe(&self) -> Subscription {
         let (tx, rx) = channel();
-        let alive = std::sync::Arc::new(());
-        self.reg.subscribers.borrow_mut().push(Subscriber {
+        let alive = Arc::new(());
+        lock(&self.reg.subscribers).push(Subscriber {
             tx,
-            alive: std::sync::Arc::downgrade(&alive),
+            alive: Arc::downgrade(&alive),
         });
         Subscription { rx, _alive: alive }
     }
@@ -763,6 +901,243 @@ impl<'a> QueryHandle<'a> {
     pub fn subscriber_count(&self) -> usize {
         self.reg.prune_subscribers()
     }
+}
+
+/// An immutable, `Send + Sync` view of one query's result, pinned at a
+/// point of the update stream ([`QueryHandle::snapshot`]).
+///
+/// Cloning is O(1) (the pinned state is shared behind an `Arc`); ship
+/// clones to as many reader threads as needed. On the dynamic engine a
+/// snapshot still counts in O(1) and enumerates with constant delay.
+#[derive(Clone)]
+pub struct QuerySnapshot {
+    name: Arc<str>,
+    kind: EngineKind,
+    seq: u64,
+    inner: Arc<dyn ResultSnapshot>,
+}
+
+impl QuerySnapshot {
+    /// The name of the query this snapshot was pinned from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The engine kind that produced the pinned state.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The session update sequence number at pin time: this snapshot
+    /// reflects exactly the first `seq()` effective update commands the
+    /// session dispatched — batch members count individually, and a
+    /// rolled-back transaction contributes both its updates and their
+    /// compensating inverses (see [`Session::seq`]).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// `|ϕ(D)|` at pin time.
+    pub fn count(&self) -> u64 {
+        self.inner.count()
+    }
+
+    /// `ϕ(D) ≠ ∅` at pin time.
+    pub fn answer(&self) -> bool {
+        self.inner.is_nonempty()
+    }
+
+    /// Enumerates the pinned result without repetition.
+    pub fn enumerate(&self) -> Box<dyn Iterator<Item = Tuple> + '_> {
+        self.inner.enumerate()
+    }
+
+    /// Collects and sorts the pinned result.
+    pub fn results_sorted(&self) -> Vec<Tuple> {
+        self.inner.results_sorted()
+    }
+}
+
+impl std::fmt::Debug for QuerySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuerySnapshot")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("seq", &self.seq)
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+/// A cloneable, thread-safe handle to a [`Session`]: writers serialize
+/// through an internal `RwLock`, readers pin [`QuerySnapshot`]s and get
+/// out of the writer's way immediately.
+///
+/// ```
+/// use cq_updates::prelude::*;
+/// use std::thread;
+///
+/// let mut session = Session::new();
+/// session.register("pairs", "Q(x, y) :- E(x, y), T(y).").unwrap();
+/// let e = session.relation("E").unwrap();
+/// let t = session.relation("T").unwrap();
+/// let shared = SharedSession::new(session);
+///
+/// let writer = {
+///     let shared = shared.clone();
+///     thread::spawn(move || {
+///         shared.apply(&Update::Insert(e, vec![1, 2])).unwrap();
+///         shared.apply(&Update::Insert(t, vec![2])).unwrap();
+///     })
+/// };
+/// writer.join().unwrap();
+/// let snap = shared.snapshot("pairs").unwrap();
+/// assert_eq!(snap.count(), 1);
+/// ```
+#[derive(Clone)]
+pub struct SharedSession {
+    inner: Arc<RwLock<Session>>,
+}
+
+impl SharedSession {
+    /// Wraps a session for shared multi-threaded use.
+    pub fn new(session: Session) -> SharedSession {
+        SharedSession {
+            inner: Arc::new(RwLock::new(session)),
+        }
+    }
+
+    /// Runs a closure with shared read access. Prefer
+    /// [`SharedSession::snapshot`] for anything longer than a couple of
+    /// O(1) reads — snapshots release the lock immediately.
+    ///
+    /// Errors with [`CqError::Poisoned`] if a writer panicked mid-update
+    /// (engine state can no longer be trusted).
+    pub fn read<R>(&self, f: impl FnOnce(&Session) -> R) -> Result<R, CqError> {
+        let guard = self.inner.read().map_err(|_| CqError::Poisoned)?;
+        Ok(f(&guard))
+    }
+
+    /// Runs a closure with exclusive write access (the serialized writer
+    /// path). Errors with [`CqError::Poisoned`] if a previous writer
+    /// panicked mid-update.
+    pub fn write<R>(&self, f: impl FnOnce(&mut Session) -> R) -> Result<R, CqError> {
+        let mut guard = self.inner.write().map_err(|_| CqError::Poisoned)?;
+        Ok(f(&mut guard))
+    }
+
+    /// Parses and registers a query, classifier-routed
+    /// (see [`Session::register`]).
+    pub fn register(&self, name: &str, src: &str) -> Result<QueryId, CqError> {
+        self.write(|s| s.register(name, src))?
+    }
+
+    /// Parses and registers a query with an explicit engine choice
+    /// (see [`Session::register_with`]).
+    pub fn register_with(
+        &self,
+        name: &str,
+        src: &str,
+        choice: EngineChoice,
+    ) -> Result<QueryId, CqError> {
+        self.write(|s| s.register_with(name, src, choice))?
+    }
+
+    /// Applies one update through the serialized writer path
+    /// (see [`Session::apply`]).
+    pub fn apply(&self, update: &Update) -> Result<bool, CqError> {
+        self.write(|s| s.apply(update))?
+    }
+
+    /// Applies a batch through the serialized writer path
+    /// (see [`Session::apply_batch`]).
+    pub fn apply_batch(&self, updates: &[Update]) -> Result<UpdateReport, CqError> {
+        self.write(|s| s.apply_batch(updates))?
+    }
+
+    /// Runs `f` inside an all-or-nothing transaction: committed when `f`
+    /// returns `Ok`, rolled back (and the error forwarded) when it
+    /// returns `Err`. See [`Session::transaction`].
+    pub fn transaction<R>(
+        &self,
+        f: impl FnOnce(&mut SessionTransaction<'_>) -> Result<R, CqError>,
+    ) -> Result<R, CqError> {
+        let mut guard = self.inner.write().map_err(|_| CqError::Poisoned)?;
+        let mut txn = guard.transaction();
+        match f(&mut txn) {
+            Ok(r) => {
+                txn.commit();
+                Ok(r)
+            }
+            Err(e) => {
+                txn.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Resolves a relation by name (see [`Session::relation`]).
+    pub fn relation(&self, name: &str) -> Result<RelId, CqError> {
+        self.read(|s| s.relation(name))?
+    }
+
+    /// Pins a snapshot of `name`'s current result and releases the read
+    /// lock before returning — the caller enumerates lock-free while the
+    /// writer proceeds. See [`QueryHandle::snapshot`].
+    pub fn snapshot(&self, name: &str) -> Result<QuerySnapshot, CqError> {
+        self.read(|s| s.query(name).map(|h| h.snapshot()))?
+    }
+
+    /// Opens a change feed on `name` (see [`QueryHandle::subscribe`]).
+    pub fn subscribe(&self, name: &str) -> Result<Subscription, CqError> {
+        self.read(|s| s.query(name).map(|h| h.subscribe()))?
+    }
+
+    /// O(1) count of `name`'s current result.
+    pub fn count(&self, name: &str) -> Result<u64, CqError> {
+        self.read(|s| s.query(name).map(|h| h.count()))?
+    }
+
+    /// Recovers the owned [`Session`] if this is the last handle.
+    ///
+    /// Returns `Err(self)` while other handles are alive — and also when
+    /// the lock is poisoned: a panicked writer may have left engines
+    /// half-updated, so the suspect state stays quarantined behind the
+    /// handle (whose every access keeps reporting [`CqError::Poisoned`])
+    /// instead of being laundered into an apparently healthy `Session`.
+    pub fn try_unwrap(self) -> Result<Session, SharedSession> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(lock) if lock.is_poisoned() => Err(SharedSession {
+                inner: Arc::new(lock),
+            }),
+            Ok(lock) => Ok(lock
+                .into_inner()
+                .expect("exclusively owned and checked unpoisoned")),
+            Err(inner) => Err(SharedSession { inner }),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedSession")
+            .field("handles", &Arc::strong_count(&self.inner))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Compile-time thread-safety contract of the session layer (the
+/// tentpole guarantee: sessions cross threads, snapshots and feeds fan
+/// out to reader threads).
+#[allow(dead_code)]
+fn _assert_thread_safe() {
+    fn send_sync<T: Send + Sync>() {}
+    fn send<T: Send>() {}
+    send_sync::<Session>();
+    send_sync::<SharedSession>();
+    send_sync::<QuerySnapshot>();
+    send_sync::<ChangeEvent>();
+    send::<Subscription>();
 }
 
 /// The admission pre-check for the chosen engine: the dynamic engine

@@ -1,0 +1,287 @@
+//! Concurrency tests for the thread-safe session layer: snapshot
+//! isolation under a live writer, cross-thread change feeds, and the
+//! `Arc<ChangeEvent>` fan-out contract.
+//!
+//! The ground truth throughout is the shared `cqu-testutil` harness:
+//! [`result_timeline`] brute-forces the query result after every
+//! effective update of a script, so a snapshot pinned at session
+//! sequence number `k` must equal `timeline[k]` *exactly* — one tuple
+//! off, one tuple torn between two states, and the test fails.
+//!
+//! The stress dimensions scale with `CQ_STRESS_STEPS` (script length,
+//! default 240) for the release-mode CI job.
+
+use cq_updates::prelude::*;
+use cqu_testutil::{cancelling_pairs, random_updates, result_timeline, WorkloadConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// Script length, overridable for the release-mode stress CI job.
+fn stress_steps(default: usize) -> usize {
+    std::env::var("CQ_STRESS_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+const EASY: &str = "Q(x, y) :- E(x, y), T(y)."; // q-hierarchical
+const HARD: &str = "Q(x, y) :- S(x), E(x, y), T(y)."; // delta-IVM fallback
+
+/// A churn-heavy script over the session schema: mixed random updates
+/// followed by cancelling insert/delete pairs, so results keep flipping
+/// while the net state stays put — maximal opportunity for torn reads.
+fn churny_script(schema: &cq_updates::query::Schema, seed: u64, steps: usize) -> Vec<Update> {
+    let mut script = random_updates(
+        schema,
+        seed,
+        WorkloadConfig {
+            steps,
+            domain: 4,
+            insert_permille: 550,
+        },
+    );
+    let flips = random_updates(
+        schema,
+        seed ^ 0xF11F,
+        WorkloadConfig {
+            steps: steps / 3,
+            domain: 4,
+            insert_permille: 1000,
+        },
+    );
+    script.extend(cancelling_pairs(&flips));
+    script
+}
+
+/// The tentpole acceptance criterion, single-threaded: a snapshot taken
+/// before an update still enumerates the pre-update result after the
+/// update commits — on both the q-hierarchical engine (structure-clone
+/// pin) and the delta-IVM fallback (view-clone pin).
+#[test]
+fn snapshot_pins_pre_update_result() {
+    let mut s = Session::new();
+    s.register("easy", EASY).unwrap();
+    s.register("hard", HARD).unwrap();
+    let e = s.relation("E").unwrap();
+    let t = s.relation("T").unwrap();
+    let sr = s.relation("S").unwrap();
+    s.apply_batch(&[
+        Update::Insert(e, vec![1, 2]),
+        Update::Insert(t, vec![2]),
+        Update::Insert(sr, vec![1]),
+    ])
+    .unwrap();
+
+    let easy_before = s.query("easy").unwrap().results_sorted();
+    let hard_before = s.query("hard").unwrap().results_sorted();
+    let easy_snap = s.query("easy").unwrap().snapshot();
+    let hard_snap = s.query("hard").unwrap().snapshot();
+    assert_eq!(easy_before, vec![vec![1, 2]]);
+    assert_eq!(hard_before, vec![vec![1, 2]]);
+
+    // Change both results: grow one join, cut the other's support.
+    s.apply(&Update::Insert(e, vec![3, 2])).unwrap();
+    s.apply(&Update::Delete(sr, vec![1])).unwrap();
+    assert_eq!(s.query("easy").unwrap().count(), 2);
+    assert_eq!(s.query("hard").unwrap().count(), 0);
+
+    // The pins still answer from their pre-update state.
+    assert_eq!(easy_snap.results_sorted(), easy_before);
+    assert_eq!(hard_snap.results_sorted(), hard_before);
+    assert_eq!(easy_snap.count(), 1);
+    assert!(hard_snap.answer());
+    assert_eq!(easy_snap.kind(), EngineKind::QHierarchical);
+    assert_eq!(hard_snap.kind(), EngineKind::DeltaIvm);
+
+    // Repinning without an intervening update reuses the cached pin;
+    // the next update stales it.
+    let again = s.query("easy").unwrap().snapshot();
+    assert_eq!(again.count(), 2);
+    let repin = s.query("easy").unwrap().snapshot();
+    assert_eq!(repin.seq(), again.seq());
+    s.apply(&Update::Delete(e, vec![3, 2])).unwrap();
+    assert_eq!(s.query("easy").unwrap().snapshot().count(), 1);
+    assert_eq!(again.count(), 2, "older pin unaffected");
+}
+
+/// The stress test: N reader threads pin snapshots from both routed
+/// engines while one writer thread applies churn (mixed + cancelling).
+/// Every snapshot must equal the frozen brute-force recompute of its
+/// pinned sequence number — no torn results, ever.
+#[test]
+fn concurrent_readers_never_observe_torn_snapshots() {
+    const READERS: usize = 4;
+    let steps = stress_steps(240);
+
+    let mut session = Session::new();
+    session.register("easy", EASY).unwrap();
+    session.register("hard", HARD).unwrap();
+    let schema = session.schema().clone();
+    let easy_q = session.query("easy").unwrap().query().clone();
+    let hard_q = session.query("hard").unwrap().query().clone();
+    let script = churny_script(&schema, 0xD1CE, steps);
+    let easy_tl = Arc::new(result_timeline(&schema, &easy_q, &script));
+    let hard_tl = Arc::new(result_timeline(&schema, &hard_q, &script));
+
+    let shared = SharedSession::new(session);
+    let done = Arc::new(AtomicBool::new(false));
+    let pins = Arc::new(AtomicU64::new(0));
+
+    let writer = {
+        let shared = shared.clone();
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            for u in &script {
+                shared.apply(u).unwrap();
+            }
+            done.store(true, Ordering::Release);
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|r| {
+            let shared = shared.clone();
+            let done = Arc::clone(&done);
+            let pins = Arc::clone(&pins);
+            let (easy_tl, hard_tl) = (Arc::clone(&easy_tl), Arc::clone(&hard_tl));
+            thread::spawn(move || {
+                let mut last_seq = 0;
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    for (name, tl) in [("easy", &easy_tl), ("hard", &hard_tl)] {
+                        let snap = shared.snapshot(name).unwrap();
+                        let expected = &tl[snap.seq() as usize];
+                        let rows = snap.results_sorted();
+                        assert_eq!(
+                            &rows,
+                            expected,
+                            "reader {r}: torn snapshot of {name} at seq {}",
+                            snap.seq()
+                        );
+                        assert_eq!(snap.count() as usize, rows.len());
+                        assert_eq!(snap.answer(), !rows.is_empty());
+                        assert!(snap.seq() >= last_seq, "seq went backwards");
+                        last_seq = snap.seq();
+                        pins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // O(1) reads under the read lock stay coherent too.
+                    shared
+                        .read(|s| {
+                            let h = s.query("easy").unwrap();
+                            assert_eq!(
+                                h.count() as usize,
+                                easy_tl[s.seq() as usize].len(),
+                                "reader {r}: live count diverged from timeline"
+                            );
+                        })
+                        .unwrap();
+                    if finished {
+                        break;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer panicked");
+    for reader in readers {
+        reader.join().expect("reader observed a torn snapshot");
+    }
+
+    // Every effective update landed: the final state is the last frame.
+    let final_seq = (easy_tl.len() - 1) as u64;
+    let easy_fin = shared.snapshot("easy").unwrap();
+    let hard_fin = shared.snapshot("hard").unwrap();
+    assert_eq!(easy_fin.seq(), final_seq);
+    assert_eq!(&easy_fin.results_sorted(), easy_tl.last().unwrap());
+    assert_eq!(&hard_fin.results_sorted(), hard_tl.last().unwrap());
+    assert!(
+        pins.load(Ordering::Relaxed) >= (READERS * 2) as u64,
+        "readers must have pinned at least once each"
+    );
+}
+
+/// Snapshots outlive the session entirely: pin, drop everything, read.
+#[test]
+fn snapshots_outlive_the_session() {
+    let mut s = Session::new();
+    s.register("easy", EASY).unwrap();
+    let e = s.relation("E").unwrap();
+    let t = s.relation("T").unwrap();
+    s.apply_batch(&[Update::Insert(e, vec![7, 8]), Update::Insert(t, vec![8])])
+        .unwrap();
+    let snap = s.query("easy").unwrap().snapshot();
+    drop(s);
+    let from_other_thread = thread::spawn(move || snap.results_sorted()).join().unwrap();
+    assert_eq!(from_other_thread, vec![vec![7, 8]]);
+}
+
+/// `SharedSession::transaction` commits on `Ok` and rolls back — with
+/// silent feeds — on `Err`.
+#[test]
+fn shared_transaction_commits_on_ok_and_rolls_back_on_err() {
+    let mut session = Session::new();
+    session.register("easy", EASY).unwrap();
+    let e = session.relation("E").unwrap();
+    let t = session.relation("T").unwrap();
+    let shared = SharedSession::new(session);
+    let feed = shared.subscribe("easy").unwrap();
+
+    shared
+        .transaction(|txn| {
+            txn.apply(&Update::Insert(e, vec![1, 2]))?;
+            txn.apply(&Update::Insert(t, vec![2]))?;
+            Ok(())
+        })
+        .unwrap();
+    assert_eq!(shared.count("easy").unwrap(), 1);
+    let events = feed.drain();
+    assert_eq!(events.len(), 1, "one net event per committed transaction");
+    assert_eq!(events[0].added, vec![vec![1, 2]]);
+
+    let err = shared
+        .transaction::<()>(|txn| {
+            txn.apply(&Update::Insert(e, vec![9, 2]))?;
+            Err(CqError::UnknownQuery("abort".into()))
+        })
+        .unwrap_err();
+    assert!(matches!(err, CqError::UnknownQuery(_)));
+    assert_eq!(shared.count("easy").unwrap(), 1, "rolled back");
+    assert!(feed.drain().is_empty(), "rollback publishes nothing");
+}
+
+/// Satellite: two subscribers on one query observe identical event
+/// sequences from a single update stream — and each event is the *same*
+/// allocation (`Arc::ptr_eq`), the zero-copy fan-out contract.
+#[test]
+fn two_subscribers_observe_identical_event_sequences() {
+    let mut s = Session::new();
+    s.register("easy", EASY).unwrap();
+    let schema = s.schema().clone();
+    let first = s.query("easy").unwrap().subscribe();
+    let second = s.query("easy").unwrap().subscribe();
+
+    for u in random_updates(
+        &schema,
+        0xFA11,
+        WorkloadConfig {
+            steps: stress_steps(240),
+            domain: 3,
+            insert_permille: 600,
+        },
+    ) {
+        s.apply(&u).unwrap();
+    }
+
+    let a = first.drain();
+    let b = second.drain();
+    assert!(!a.is_empty(), "churn at domain 3 must change the result");
+    assert_eq!(a.len(), b.len(), "identical sequence lengths");
+    for (x, y) in a.iter().zip(&b) {
+        assert!(Arc::ptr_eq(x, y), "fan-out must share one allocation");
+        assert_eq!(x, y);
+    }
+    let seqs: Vec<u64> = a.iter().map(|ev| ev.seq).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "strictly ordered");
+}

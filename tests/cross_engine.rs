@@ -1,74 +1,15 @@
 //! Cross-engine integration tests: the paper's dynamic engine, the
 //! recompute baseline, delta-IVM, and the semi-join baseline must agree
-//! with each other (and with a brute-force oracle) on randomized update
-//! scripts, across easy and hard queries. All engines are driven through
+//! with each other (and with the shared `cqu-testutil` brute-force
+//! oracle) on randomized update scripts from the shared workload
+//! harness, across easy and hard queries. All engines are driven through
 //! one [`Session`], registered with explicit [`EngineChoice::Forced`]
 //! overrides so every supporting engine kind sees the same stream.
 
 use cq_updates::prelude::*;
+use cqu_testutil::{brute_force, random_updates, WorkloadConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-
-/// Brute-force ϕ(D) by backtracking over atoms.
-fn brute_force(q: &Query, db: &Database) -> Vec<Vec<Const>> {
-    fn go(
-        q: &Query,
-        db: &Database,
-        idx: usize,
-        assign: &mut std::collections::BTreeMap<Var, Const>,
-        out: &mut std::collections::BTreeSet<Vec<Const>>,
-    ) {
-        if idx == q.atoms().len() {
-            out.insert(q.free().iter().map(|v| assign[v]).collect());
-            return;
-        }
-        let atom = &q.atoms()[idx];
-        let facts: Vec<Vec<Const>> = db.relation(atom.relation).iter().cloned().collect();
-        for fact in facts {
-            let mut bound = Vec::new();
-            let mut ok = true;
-            for (pos, &v) in atom.args.iter().enumerate() {
-                match assign.get(&v) {
-                    Some(&c) if c != fact[pos] => {
-                        ok = false;
-                        break;
-                    }
-                    Some(_) => {}
-                    None => {
-                        assign.insert(v, fact[pos]);
-                        bound.push(v);
-                    }
-                }
-            }
-            if ok {
-                go(q, db, idx + 1, assign, out);
-            }
-            for v in bound {
-                assign.remove(&v);
-            }
-        }
-    }
-    let mut out = std::collections::BTreeSet::new();
-    go(q, db, 0, &mut std::collections::BTreeMap::new(), &mut out);
-    out.into_iter().collect()
-}
-
-fn random_script(q: &Query, seed: u64, steps: usize, domain: u64) -> Vec<Update> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let rels: Vec<_> = q.schema().relations().collect();
-    (0..steps)
-        .map(|_| {
-            let rel = rels[rng.gen_range(0..rels.len())];
-            let arity = q.schema().arity(rel);
-            let t: Vec<Const> = (0..arity).map(|_| rng.gen_range(1..=domain)).collect();
-            if rng.gen_bool(0.6) {
-                Update::Insert(rel, t)
-            } else {
-                Update::Delete(rel, t)
-            }
-        })
-        .collect()
-}
 
 fn run_all_engines(src: &str, seed: u64, steps: usize, domain: u64) {
     // One session, one query per supporting engine kind.
@@ -91,10 +32,16 @@ fn run_all_engines(src: &str, seed: u64, steps: usize, domain: u64) {
     // The session schema is the remapped query's schema.
     let q = session.query(names[0]).unwrap().query().clone();
     let mut oracle_db = Database::new(session.schema().clone());
-    for (step, u) in random_script(&q, seed, steps, domain)
-        .into_iter()
-        .enumerate()
-    {
+    let script = random_updates(
+        q.schema(),
+        seed,
+        WorkloadConfig {
+            steps,
+            domain,
+            insert_permille: 600,
+        },
+    );
+    for (step, u) in script.into_iter().enumerate() {
         let oracle_changed = oracle_db.apply(&u);
         let session_changed = session.apply(&u).unwrap();
         assert_eq!(

@@ -2,7 +2,8 @@
 //! batch/transactional updates, change subscriptions, and schema growth.
 
 use cq_updates::prelude::*;
-use cq_updates::query::generator::{random_query, GenConfig, Lcg};
+use cq_updates::query::generator::Lcg;
+use cqu_testutil::{random_query, random_updates, GenConfig, WorkloadConfig};
 use proptest::prelude::*;
 
 /// Acceptance: the session routes each query class to the right engine
@@ -369,23 +370,18 @@ fn transactions_net_events_on_diff_fallback_engines() {
     assert_eq!(s.query("pairs").unwrap().count(), 1);
 }
 
-fn random_updates(q: &Query, seed: u64, steps: usize, domain: u64) -> Vec<Update> {
-    let mut rng = Lcg::new(seed);
-    let rels: Vec<_> = q.schema().relations().collect();
-    (0..steps)
-        .map(|_| {
-            let rel = rels[rng.below(rels.len())];
-            let arity = q.schema().arity(rel);
-            let tuple: Vec<Const> = (0..arity)
-                .map(|_| 1 + rng.below(domain as usize) as Const)
-                .collect();
-            if rng.chance(3, 5) {
-                Update::Insert(rel, tuple)
-            } else {
-                Update::Delete(rel, tuple)
-            }
-        })
-        .collect()
+/// Shared-harness stream shaped like this suite's historical generator
+/// (60% inserts, small churny domain).
+fn workload(q: &Query, seed: u64, steps: usize, domain: u64) -> Vec<Update> {
+    random_updates(
+        q.schema(),
+        seed,
+        WorkloadConfig {
+            steps,
+            domain,
+            insert_permille: 600,
+        },
+    )
 }
 
 proptest! {
@@ -401,7 +397,7 @@ proptest! {
         session.register_query("q", &q, EngineChoice::Auto).unwrap();
         let q = session.query("q").unwrap().query().clone();
         let mut oracle = RecomputeEngine::empty(&q);
-        let log = UpdateLog::from_updates(random_updates(&q, seed ^ 0xA5A5, 60, 4));
+        let log = UpdateLog::from_updates(workload(&q, seed ^ 0xA5A5, 60, 4));
         for (step, u) in log.iter().enumerate() {
             let changed = session.apply(u).unwrap();
             prop_assert_eq!(oracle.apply(u), changed, "effectiveness @{}", step);
@@ -425,7 +421,7 @@ proptest! {
         let mut sequential = Session::new();
         sequential.register_query("q", &q, EngineChoice::Auto).unwrap();
         let q = batched.query("q").unwrap().query().clone();
-        let updates = random_updates(&q, seed ^ 0x5A5A, 64, 3);
+        let updates = workload(&q, seed ^ 0x5A5A, 64, 3);
         for window in updates.chunks(chunk) {
             let report = batched.apply_batch(window).unwrap();
             let mut applied = 0;
@@ -457,7 +453,7 @@ proptest! {
         session.register_query("q", &q, EngineChoice::Auto).unwrap();
         let q = session.query("q").unwrap().query().clone();
         let feed = session.query("q").unwrap().subscribe();
-        for u in random_updates(&q, seed ^ 0xBEEF, 50, 3) {
+        for u in workload(&q, seed ^ 0xBEEF, 50, 3) {
             let before = session.query("q").unwrap().results_sorted();
             session.apply(&u).unwrap();
             let after = session.query("q").unwrap().results_sorted();
@@ -486,7 +482,7 @@ proptest! {
         let mut replay_session = Session::new();
         replay_session.register_query("q", &q, EngineChoice::Auto).unwrap();
         let q = tx_session.query("q").unwrap().query().clone();
-        let updates = random_updates(&q, seed ^ 0xC0DE, 40, 3);
+        let updates = workload(&q, seed ^ 0xC0DE, 40, 3);
 
         let tx_feed = tx_session.query("q").unwrap().subscribe();
         {
@@ -502,8 +498,8 @@ proptest! {
         for u in &updates {
             replay_session.apply(u).unwrap();
             for ev in replay_feed.drain() {
-                net.added.extend(ev.added);
-                net.removed.extend(ev.removed);
+                net.added.extend_from_slice(&ev.added);
+                net.removed.extend_from_slice(&ev.removed);
             }
         }
         net.normalize();
@@ -528,7 +524,7 @@ proptest! {
         let mut session = Session::new();
         session.register_query("q", &q, EngineChoice::Auto).unwrap();
         let q = session.query("q").unwrap().query().clone();
-        let updates = random_updates(&q, seed ^ 0x77, 50, 3);
+        let updates = workload(&q, seed ^ 0x77, 50, 3);
         let (prefix, rest) = updates.split_at(cut.min(updates.len()));
         for u in prefix {
             session.apply(u).unwrap();
