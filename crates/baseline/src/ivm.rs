@@ -22,7 +22,11 @@
 //! probes), the surviving commits are grouped per relation and sign, and
 //! each group runs the delta join **once** with the whole group `ΔR`
 //! bound at the fixed atom — "old" atoms probe the base state without
-//! `ΔR`, "new" atoms additionally probe a temporary index over `ΔR`.
+//! `ΔR`, "new" atoms additionally probe a **persistent ΔR slot**: one
+//! pre-built index per distinct `(relation, key columns)` pair, resolved
+//! to a dense slot id at plan-build time and cleared/refilled per group,
+//! so a steady stream of batches allocates no indexes at all
+//! ([`DeltaIvmEngine::delta_slot_builds`] is the tripwire).
 //! Each affected valuation is counted exactly once, at the first atom
 //! position where it uses a group tuple, so the grouped delta equals the
 //! sum of the sequential per-tuple deltas.
@@ -39,6 +43,16 @@ use cqu_query::{Query, RelId, Var};
 use cqu_storage::{Const, Database, Index, Update};
 use std::collections::hash_map::Entry;
 
+/// The one ΔR `Index` constructor: every construction bumps the
+/// engine's build counter, so [`DeltaIvmEngine::delta_slot_builds`]
+/// measures real allocation events. Batch-path code must route any ΔR
+/// index it ever needs through here (never bare `Index::new`), or the
+/// persistence tripwire in `e9_batch.rs` loses its teeth.
+fn new_delta_index(cols: Vec<usize>, builds: &mut u64) -> Index {
+    *builds += 1;
+    Index::new(cols)
+}
+
 /// Incremental-view-maintenance baseline engine.
 pub struct DeltaIvmEngine {
     query: Query,
@@ -54,6 +68,20 @@ pub struct DeltaIvmEngine {
     /// Per delta plan, per step ≥ 1: slot of the probe index in
     /// `indexes` (`usize::MAX` for step 0, which binds the update tuple).
     plan_step_index: Vec<Vec<usize>>,
+    /// Persistent ΔR slots for the grouped batch path: one per distinct
+    /// `(relation, key columns)` a "new"-state atom probes the change
+    /// group with. Built once here, cleared and refilled per group —
+    /// never reallocated across batches.
+    delta_slots: Vec<Index>,
+    /// Relation of each ΔR slot (fill fan-out per group).
+    delta_slot_rel: Vec<RelId>,
+    /// Per delta plan, per step: the ΔR slot a "new"-state atom probes
+    /// (`usize::MAX` when the step never sees the change group).
+    plan_step_dslot: Vec<Vec<usize>>,
+    /// Lifetime count of ΔR `Index` constructions — stays equal to
+    /// `delta_slots.len()` forever; the regression tripwire for the old
+    /// rebuild-per-group behaviour.
+    delta_slot_builds: u64,
     /// Materialised view: result tuple → number of supporting valuations.
     support: FxHashMap<Vec<Const>, u64>,
     /// Reusable per-recursion-depth probe-key buffers: the delta join
@@ -101,6 +129,34 @@ impl DeltaIvmEngine {
             }
             plan_step_index.push(steps);
         }
+        // Persistent ΔR slots: every (relation, key columns) pair a
+        // "new"-state atom (body index > the plan's fixed atom, same
+        // relation as the change group) probes the group with. Resolved
+        // to dense slot ids here, so the grouped delta join never hashes
+        // column sets or allocates indexes again.
+        let mut dslot_of: FxHashMap<(u32, Vec<usize>), usize> = FxHashMap::default();
+        let mut delta_slots: Vec<Index> = Vec::new();
+        let mut delta_slot_rel: Vec<RelId> = Vec::new();
+        let mut plan_step_dslot: Vec<Vec<usize>> = Vec::with_capacity(delta_plans.len());
+        let mut delta_slot_builds = 0u64;
+        for (i, plan) in delta_plans.iter().enumerate() {
+            let group_rel = query.atom(i).relation;
+            let mut steps = vec![usize::MAX; plan.order.len()];
+            for (step, &aid) in plan.order.iter().enumerate().skip(1) {
+                if aid > i && query.atom(aid).relation == group_rel {
+                    let cols = plan.key_cols[step].clone();
+                    let slot = *dslot_of
+                        .entry((group_rel.0, cols.clone()))
+                        .or_insert_with(|| {
+                            delta_slots.push(new_delta_index(cols, &mut delta_slot_builds));
+                            delta_slot_rel.push(group_rel);
+                            delta_slots.len() - 1
+                        });
+                    steps[step] = slot;
+                }
+            }
+            plan_step_dslot.push(steps);
+        }
         let scratch = vec![Vec::new(); query.atoms().len()];
         DeltaIvmEngine {
             query: query.clone(),
@@ -109,9 +165,27 @@ impl DeltaIvmEngine {
             index_rel,
             delta_plans,
             plan_step_index,
+            delta_slots,
+            delta_slot_rel,
+            plan_step_dslot,
+            delta_slot_builds,
             support: FxHashMap::default(),
             scratch,
         }
+    }
+
+    /// Number of persistent ΔR slots the grouped batch path reuses.
+    pub fn delta_slot_count(&self) -> usize {
+        self.delta_slots.len()
+    }
+
+    /// Lifetime number of ΔR index constructions. Equal to
+    /// [`DeltaIvmEngine::delta_slot_count`] by construction — the slots
+    /// are built once and refilled per group. Benchmarks assert this
+    /// stays put across batches (the old code rebuilt temporary indexes
+    /// for every group of every batch).
+    pub fn delta_slot_builds(&self) -> u64 {
+        self.delta_slot_builds
     }
 
     /// The current database.
@@ -126,15 +200,17 @@ impl DeltaIvmEngine {
 
     /// Evaluates the delta for the changed tuples `group` of relation
     /// `rel` against the current `db`/`indexes` state, which must NOT
-    /// contain the group. Atoms with body index `> i` additionally see the
-    /// group as candidates ("new" state) — via `group_indexes` for real
-    /// groups, or directly via the single tuple when `group_indexes` is
-    /// `None` (the single-update fast path, `group.len() == 1`).
+    /// contain the group. Atoms with body index `> i` additionally see
+    /// the group as candidates ("new" state) — via the persistent ΔR
+    /// slots when `use_slots` is set (the grouped batch path; the caller
+    /// filled them with [`DeltaIvmEngine::fill_delta_slots`]), or
+    /// directly via the single tuple otherwise (the single-update fast
+    /// path, `group.len() == 1`).
     fn delta_for(
         &self,
         rel: RelId,
         group: &[&[Const]],
-        group_indexes: Option<&FxHashMap<Vec<usize>, Index>>,
+        use_slots: bool,
         scratch: &mut [Vec<Const>],
         delta: &mut FxHashMap<Vec<Const>, u64>,
     ) {
@@ -150,7 +226,7 @@ impl DeltaIvmEngine {
                     i,
                     rel,
                     t,
-                    group_indexes,
+                    use_slots,
                     0,
                     &mut assign,
                     scratch,
@@ -168,7 +244,7 @@ impl DeltaIvmEngine {
         fixed: usize,
         rel: RelId,
         t: &[Const],
-        group: Option<&FxHashMap<Vec<usize>, Index>>,
+        use_slots: bool,
         step: usize,
         assign: &mut Vec<Option<Const>>,
         scratch: &mut [Vec<Const>],
@@ -215,7 +291,7 @@ impl DeltaIvmEngine {
                     fixed,
                     rel,
                     t,
-                    group,
+                    use_slots,
                     step + 1,
                     assign,
                     scratch,
@@ -244,19 +320,20 @@ impl DeltaIvmEngine {
         // "New"-state atoms (body index > fixed) additionally see the
         // changed tuples.
         if aid > fixed && atom.relation == rel {
-            match group {
-                None => {
-                    let matches_key = cols
-                        .iter()
-                        .all(|&p| t[p] == assign[atom.args[p].index()].unwrap());
-                    if matches_key {
-                        try_fact(self, t, assign, scratch, delta);
-                    }
+            if use_slots {
+                // Grouped path: probe the persistent ΔR slot resolved at
+                // plan-build time (no hash on the column set, no per-
+                // group index construction).
+                let dslot = self.plan_step_dslot[fixed][step];
+                for fact in self.delta_slots[dslot].probe(&key) {
+                    try_fact(self, fact, assign, scratch, delta);
                 }
-                Some(g) => {
-                    for fact in g[cols].probe(&key) {
-                        try_fact(self, fact, assign, scratch, delta);
-                    }
+            } else {
+                let matches_key = cols
+                    .iter()
+                    .all(|&p| t[p] == assign[atom.args[p].index()].unwrap());
+                if matches_key {
+                    try_fact(self, t, assign, scratch, delta);
                 }
             }
         }
@@ -332,7 +409,7 @@ impl DeltaIvmEngine {
                 return false;
             }
             // Delta is evaluated in the "without t" state.
-            self.delta_for(rel, &[t], None, scratch, &mut counts);
+            self.delta_for(rel, &[t], false, scratch, &mut counts);
             self.db.insert(rel, t.to_vec());
             self.touch_indexes(rel, t, true);
             self.apply_delta(counts, true, track);
@@ -342,37 +419,29 @@ impl DeltaIvmEngine {
             }
             self.db.delete(rel, t);
             self.touch_indexes(rel, t, false);
-            self.delta_for(rel, &[t], None, scratch, &mut counts);
+            self.delta_for(rel, &[t], false, scratch, &mut counts);
             self.apply_delta(counts, false, track);
         }
         true
     }
 
-    /// Builds the temporary `ΔR` indexes a grouped delta needs: one per
-    /// distinct key-column set probed by a "new"-state atom over `rel`.
-    fn group_indexes(&self, rel: RelId, group: &[&[Const]]) -> FxHashMap<Vec<usize>, Index> {
-        let mut out: FxHashMap<Vec<usize>, Index> = FxHashMap::default();
-        for (i, plan) in self.delta_plans.iter().enumerate() {
-            if self.query.atom(i).relation != rel {
-                continue;
-            }
-            for (step, &aid) in plan.order.iter().enumerate().skip(1) {
-                if aid > i && self.query.atom(aid).relation == rel {
-                    out.entry(plan.key_cols[step].clone())
-                        .or_insert_with(|| Index::new(plan.key_cols[step].clone()));
+    /// Loads `group` into the persistent `ΔR` slots of `rel` (clearing
+    /// their previous contents, bucket allocations retained). Slots of
+    /// other relations are left alone — a grouped delta over `rel` never
+    /// probes them.
+    fn fill_delta_slots(&mut self, rel: RelId, group: &[&[Const]]) {
+        for (slot_rel, index) in self.delta_slot_rel.iter().zip(self.delta_slots.iter_mut()) {
+            if *slot_rel == rel {
+                index.clear();
+                for &t in group {
+                    index.insert(t.to_vec());
                 }
             }
         }
-        for index in out.values_mut() {
-            for &t in group {
-                index.insert(t.to_vec());
-            }
-        }
-        out
     }
 
     /// Commits one netted per-relation group (all inserts or all deletes)
-    /// with a single grouped delta join.
+    /// with a single grouped delta join over the persistent ΔR slots.
     fn commit_group(
         &mut self,
         rel: RelId,
@@ -381,10 +450,10 @@ impl DeltaIvmEngine {
         scratch: &mut [Vec<Const>],
         track: Option<&mut ResultDelta>,
     ) {
-        let group_idx = self.group_indexes(rel, group);
+        self.fill_delta_slots(rel, group);
         let mut counts: FxHashMap<Vec<Const>, u64> = FxHashMap::default();
         if insert {
-            self.delta_for(rel, group, Some(&group_idx), scratch, &mut counts);
+            self.delta_for(rel, group, true, scratch, &mut counts);
             for &t in group {
                 self.db.insert(rel, t.to_vec());
                 self.touch_indexes(rel, t, true);
@@ -395,7 +464,7 @@ impl DeltaIvmEngine {
                 self.db.delete(rel, t);
                 self.touch_indexes(rel, t, false);
             }
-            self.delta_for(rel, group, Some(&group_idx), scratch, &mut counts);
+            self.delta_for(rel, group, true, scratch, &mut counts);
             self.apply_delta(counts, false, track);
         }
     }
@@ -657,6 +726,32 @@ mod tests {
             diff_sorted_into(&before, &e.results_sorted(), &mut want);
             assert_eq!(got, want, "batch");
         }
+    }
+
+    /// The ΔR slots are built once at plan time and merely refilled per
+    /// group — a long stream of grouped batches must not construct a
+    /// single additional index.
+    #[test]
+    fn delta_slots_are_persistent_across_batches() {
+        let q = parse_query("Q(x, y) :- E(x, x), E(x, y), E(y, y).").unwrap();
+        let mut e = DeltaIvmEngine::empty(&q);
+        assert!(
+            e.delta_slot_count() > 0,
+            "self-join query must need ΔR slots"
+        );
+        let builds = e.delta_slot_builds();
+        assert_eq!(builds, e.delta_slot_count() as u64);
+        let script = random_script(&q, 11, 240, 4);
+        for window in script.chunks(16) {
+            e.apply_batch(window);
+            assert_eq!(e.delta_slot_builds(), builds, "slot rebuilt mid-stream");
+        }
+        // Queries without self-joins never probe the group from a "new"
+        // atom: zero slots, zero builds.
+        let q = parse_query("Q(x, y) :- S(x), E(x, y), T(y).").unwrap();
+        let e = DeltaIvmEngine::empty(&q);
+        assert_eq!(e.delta_slot_count(), 0);
+        assert_eq!(e.delta_slot_builds(), 0);
     }
 
     #[test]

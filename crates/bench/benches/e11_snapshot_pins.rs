@@ -1,0 +1,119 @@
+//! E11: snapshot pin latency vs database size.
+//!
+//! The epoch-publication tentpole's acceptance shape: a lock-free
+//! [`PinReader::pin`] and a cached locked snapshot are **flat** from 10³
+//! to 10⁶ tuples (an atomic load plus `Arc` clones — O(1) in `‖D‖` and
+//! `|ϕ(D)|`), where the old clone-on-pin first pin was linear. The
+//! honest counterpart is measured next to it: `writer_divergence` is the
+//! copy-on-write cost the *writer* pays on its next touch of a pinned
+//! component — the old reader-side linear cost, moved off the read path
+//! and amortized to once per retained epoch — and `structure_clone` is
+//! the retired clone-on-pin itself, for the linear contrast line.
+
+use cq_updates::prelude::*;
+use cqu_bench::workloads::{star_database, star_query};
+use cqu_query::RelId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+
+const SIZES: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// A session serving the star query over a ~`n`-constant star database.
+fn serving_session(n: usize) -> (SharedSession, RelId, Const) {
+    let mut session = Session::new();
+    session
+        .register_query("star", &star_query(), EngineChoice::Auto)
+        .unwrap();
+    assert_eq!(
+        session.query("star").unwrap().kind(),
+        EngineKind::QHierarchical
+    );
+    let r = session.relation("R").unwrap();
+    let db0 = star_database(n, 42);
+    let mut batch = Vec::with_capacity(8192);
+    for rel in db0.schema().relations() {
+        let sid = session.relation(db0.schema().name(rel)).unwrap();
+        for tuple in db0.relation(rel).iter() {
+            batch.push(Update::Insert(sid, tuple.clone()));
+            if batch.len() == 8192 {
+                session.apply_batch(&batch).unwrap();
+                batch.clear();
+            }
+        }
+    }
+    session.apply_batch(&batch).unwrap();
+    let hubs = (n / 4).max(1) as Const;
+    (SharedSession::new(session), r, hubs)
+}
+
+fn bench_pin_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_snapshot_pins");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+    group.throughput(Throughput::Elements(1));
+    for n in SIZES {
+        let (shared, r, hubs) = serving_session(n);
+        // Steady serving state: an update has happened and the epoch was
+        // republished, so pins measure the published-epoch fast path.
+        shared.apply(&Update::Insert(r, vec![1, hubs + 1])).unwrap();
+        let _ = shared.snapshot("star").unwrap();
+        let reader = shared.reader("star").unwrap();
+
+        // The headline: lock-free pins, flat in ‖D‖.
+        group.bench_with_input(BenchmarkId::new("pin", n), &n, |b, _| {
+            b.iter(|| reader.pin().seq())
+        });
+
+        // The locked path with a warm epoch: read lock + atomic load.
+        group.bench_with_input(BenchmarkId::new("locked_snapshot", n), &n, |b, _| {
+            b.iter(|| shared.snapshot("star").unwrap().seq())
+        });
+
+        // The writer's copy-on-write divergence: one effective update
+        // against a just-published epoch (clones the touched component),
+        // plus the republication the pin demands. This is the retired
+        // first-pin cost, relocated to the write path — expect linear.
+        let mut flip = true;
+        group.bench_with_input(BenchmarkId::new("writer_divergence", n), &n, |b, _| {
+            b.iter(|| {
+                let u = if flip {
+                    Update::Insert(r, vec![hubs + 7, 1])
+                } else {
+                    Update::Delete(r, vec![hubs + 7, 1])
+                };
+                flip = !flip;
+                shared.apply(&u).unwrap();
+                shared.snapshot("star").unwrap().seq()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The linear contrast: what clone-on-pin used to cost — a full deep
+/// clone of the q-tree component structures at each size.
+fn bench_structure_clone_contrast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_clone_on_pin_contrast");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+    for n in SIZES {
+        let q = star_query();
+        let db0 = star_database(n, 42);
+        let engine = QhEngine::new(&q, &db0).unwrap();
+        group.bench_with_input(BenchmarkId::new("structure_clone", n), &n, |b, _| {
+            b.iter(|| {
+                let cloned: Vec<cqu_dynamic::ComponentStructure> =
+                    engine.components().iter().map(|c| (**c).clone()).collect();
+                cloned.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e11, bench_pin_latency, bench_structure_clone_contrast);
+criterion_main!(e11);

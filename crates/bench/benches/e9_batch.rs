@@ -12,8 +12,9 @@
 //! flat across batch sizes; the cancelling-churn group makes the gap
 //! explicit for both engine families.
 
-use cqu_baseline::EngineKind;
+use cqu_baseline::{DeltaIvmEngine, EngineKind};
 use cqu_bench::workloads::{star_churn, star_database, star_query};
+use cqu_query::parse_query;
 use cqu_storage::Update;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
@@ -100,5 +101,43 @@ fn bench_cancelling_churn(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(e9, bench_batch_vs_sequential, bench_cancelling_churn);
+/// Regression tripwire for the grouped delta-IVM batch: the ΔR indexes
+/// are persistent slots, built once at plan time and refilled per group
+/// — a stream of grouped batches must not construct a single additional
+/// index (the old code rebuilt them for every group of every batch).
+fn assert_delta_slots_persist(_c: &mut Criterion) {
+    use cqu_dynamic::DynamicEngine as _;
+    // A self-join query, so "new"-state atoms genuinely probe ΔR slots.
+    let q = parse_query("Q(x, y) :- E(x, x), E(x, y), E(y, y).").unwrap();
+    let mut engine = DeltaIvmEngine::empty(&q);
+    let builds = engine.delta_slot_builds();
+    assert!(
+        engine.delta_slot_count() > 0,
+        "query must exercise ΔR slots"
+    );
+    let stream = cqu_testutil::effective_churn(
+        q.schema(),
+        0xE9,
+        cqu_testutil::WorkloadConfig {
+            steps: 4096,
+            domain: 64,
+            insert_permille: 550,
+        },
+    );
+    for window in stream.chunks(256) {
+        engine.apply_batch(window);
+    }
+    assert_eq!(
+        engine.delta_slot_builds(),
+        builds,
+        "grouped batches rebuilt their ΔR indexes — persistence regressed"
+    );
+}
+
+criterion_group!(
+    e9,
+    assert_delta_slots_persist,
+    bench_batch_vs_sequential,
+    bench_cancelling_churn
+);
 criterion_main!(e9);

@@ -19,9 +19,7 @@ use cqu_lowerbounds::{
 use cqu_query::hypergraph::connected_components;
 use cqu_query::qtree::QTree;
 use cqu_query::{classify, parse_query};
-use cqu_storage::workload::rng;
 use cqu_storage::{Const, Update};
-use rand::Rng;
 use std::fmt::Write as _;
 
 fn header(out: &mut String, title: &str) {
@@ -553,30 +551,28 @@ pub fn e7_selfjoins(ns: &[usize], churn_steps: usize, delay_limit: usize) -> Str
     let q2 = parse_query("Q(x, y, z1, z2) :- E(x,x), E(x,y), E(y,y), E(z1,z2).").unwrap();
     assert!(QhEngine::empty(&q2).is_err(), "ϕ₂ is not q-hierarchical");
     for &n in ns {
-        let mut rand = rng(9);
-        let er = q2.schema().relation("E").unwrap();
-        let mut initial: Vec<Update> = Vec::new();
-        for _ in 0..n {
-            let a = rand.gen_range(1..=(n as Const / 2).max(2));
-            let b = if rand.gen_bool(0.3) {
+        // Loop-heavy edge sampling (deterministic, shared Lcg harness):
+        // ~30% of edges are loops so ϕ₂'s Exx/Eyy atoms fire.
+        let mut rng = cqu_testutil::Lcg::new(9);
+        let half = (n as Const / 2).max(2) as usize;
+        let edge = |rng: &mut cqu_testutil::Lcg| {
+            let a = 1 + rng.below(half) as Const;
+            let b = if rng.chance(300, 1000) {
                 a
             } else {
-                rand.gen_range(1..=(n as Const / 2).max(2))
+                1 + rng.below(half) as Const
             };
-            initial.push(Update::Insert(er, vec![a, b]));
-        }
+            vec![a, b]
+        };
+        let er = q2.schema().relation("E").unwrap();
+        let initial: Vec<Update> = (0..n).map(|_| Update::Insert(er, edge(&mut rng))).collect();
         let churn: Vec<Update> = (0..churn_steps)
             .map(|_| {
-                let a = rand.gen_range(1..=(n as Const / 2).max(2));
-                let b = if rand.gen_bool(0.3) {
-                    a
+                let t = edge(&mut rng);
+                if rng.chance(500, 1000) {
+                    Update::Insert(er, t)
                 } else {
-                    rand.gen_range(1..=(n as Const / 2).max(2))
-                };
-                if rand.gen_bool(0.5) {
-                    Update::Insert(er, vec![a, b])
-                } else {
-                    Update::Delete(er, vec![a, b])
+                    Update::Delete(er, t)
                 }
             })
             .collect();

@@ -1,10 +1,16 @@
 //! Experiment workloads: the queries and data distributions the harness
 //! sweeps over.
+//!
+//! Streams and databases are generated through the shared `cqu-testutil`
+//! harness — the same deterministic [`Lcg`] generators the correctness
+//! suites replay against the brute-force oracle — so a benchmark workload
+//! reproduces bit-identically on every platform and any stream can be
+//! cross-checked against `cqu_testutil::brute_force` without translation.
+//! (The old rand-based generators this module carried are gone.)
 
 use cqu_query::{parse_query, Query};
-use cqu_storage::workload::{churn_updates, rng, ChurnConfig};
 use cqu_storage::{Const, Database, Update};
-use rand::Rng;
+use cqu_testutil::{effective_churn, Lcg, WorkloadConfig};
 
 /// The q-hierarchical star query `Q(x, y, z) :- R(x,y), S(x,z), T(x)` —
 /// the canonical tractable query with a branching q-tree.
@@ -31,31 +37,32 @@ pub fn star_database(n: usize, seed: u64) -> Database {
     let s = q.schema().relation("S").unwrap();
     let t = q.schema().relation("T").unwrap();
     let hubs = (n / 4).max(1) as Const;
-    let leaves = n as Const;
-    let mut rand = rng(seed);
+    let leaves = n.max(1);
+    let mut rng = Lcg::new(seed);
     for x in 1..=hubs {
-        if rand.gen_bool(0.8) {
+        if rng.chance(800, 1000) {
             db.insert(t, vec![x]);
         }
         for _ in 0..3 {
-            db.insert(r, vec![x, hubs + rand.gen_range(1..=leaves)]);
-            db.insert(s, vec![x, hubs + rand.gen_range(1..=leaves)]);
+            db.insert(r, vec![x, hubs + 1 + rng.below(leaves) as Const]);
+            db.insert(s, vec![x, hubs + 1 + rng.below(leaves) as Const]);
         }
     }
     db
 }
 
-/// A churn stream over the star schema, sized to the database.
+/// An always-effective churn stream over the star schema, sized to the
+/// database — [`cqu_testutil::effective_churn`] with benchmark-shaped
+/// parameters (every measured command does real work).
 pub fn star_churn(n: usize, steps: usize, seed: u64) -> Vec<Update> {
     let q = star_query();
-    let mut rand = rng(seed ^ 0x5747);
-    churn_updates(
-        &mut rand,
+    effective_churn(
         q.schema(),
-        steps,
-        ChurnConfig {
+        seed ^ 0x5747,
+        WorkloadConfig {
+            steps,
             domain: (n as Const).max(4),
-            insert_bias: 0.55,
+            insert_permille: 550,
         },
     )
 }
@@ -87,6 +94,22 @@ mod tests {
         for u in &ups {
             assert!(db.apply(u));
         }
+    }
+
+    #[test]
+    fn churn_matches_the_testutil_oracle_stream() {
+        // The bench stream IS a testutil stream — no translation layer.
+        let q = star_query();
+        let direct = effective_churn(
+            q.schema(),
+            7 ^ 0x5747,
+            WorkloadConfig {
+                steps: 64,
+                domain: 100,
+                insert_permille: 550,
+            },
+        );
+        assert_eq!(star_churn(100, 64, 7), direct);
     }
 
     #[test]

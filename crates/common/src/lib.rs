@@ -14,12 +14,17 @@
 //!   allocation per link operation.
 //! * [`bitset`] — dense bitsets and square boolean matrices used by the
 //!   OMv/OuMv/OV lower-bound machinery (Section 5 of the paper).
+//! * [`epoch`] — a hand-rolled arc-swap ([`EpochCell`]): lock-free O(1)
+//!   epoch publication and pinning, the substrate of the session layer's
+//!   snapshot fast path.
 
 #![warn(missing_docs)]
 pub mod bitset;
+pub mod epoch;
 pub mod hash;
 pub mod slab;
 
 pub use bitset::{BitMatrix, BitSet};
+pub use epoch::EpochCell;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use slab::{Slab, SlabId};

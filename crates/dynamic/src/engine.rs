@@ -329,11 +329,20 @@ pub trait DynamicEngine: Send + Sync {
     /// state at pin time forever, regardless of updates applied to the
     /// engine afterwards. The default materializes the full result
     /// (`Ω(|ϕ(D)|)`); engines whose enumeration structures are cheap to
-    /// copy override it (`QhEngine` clones its q-tree structures —
-    /// `O(‖D‖)`, never the potentially much larger result; delta-IVM
-    /// clones its materialized view).
+    /// share override it (`QhEngine` pins by `Arc`-sharing its q-tree
+    /// component structures — O(1) per component, copy-on-write on the
+    /// writer side; delta-IVM clones its materialized view).
     fn snapshot(&self) -> Box<dyn ResultSnapshot> {
         Box::new(MaterializedSnapshot::from_sorted(self.results_sorted()))
+    }
+
+    /// Whether [`DynamicEngine::snapshot`] is cheap enough — O(1) in the
+    /// database and the result — for the session layer to republish an
+    /// epoch eagerly after updates (`QhEngine`: `Arc` clones per
+    /// component). When `false` (the default), snapshots cost `Ω` of the
+    /// view or result size, so epochs are republished lazily, on demand.
+    fn snapshot_is_cheap(&self) -> bool {
+        false
     }
 }
 

@@ -16,6 +16,7 @@
 use crate::structure::ComponentStructure;
 use cqu_common::SlabId;
 use cqu_storage::Const;
+use std::sync::Arc;
 
 /// Algorithm 1 over one component. Yields tuples aligned with
 /// [`ComponentStructure::output_vars`] (document order).
@@ -155,11 +156,18 @@ pub struct ResultIter<'a> {
 }
 
 impl<'a> ResultIter<'a> {
-    /// Builds the product iterator. `free` is the query's output tuple.
-    pub fn new(components: &'a [ComponentStructure], free: &[cqu_query::Var]) -> Self {
-        let nonempty_guards = components.iter().all(ComponentStructure::is_nonempty);
+    /// Builds the product iterator over epoch-shared components (the
+    /// engine's live `Arc`s or a pin's clones of them). `free` is the
+    /// query's output tuple.
+    pub fn new(components: &'a [Arc<ComponentStructure>], free: &[cqu_query::Var]) -> Self {
+        Self::from_refs(components.iter().map(|c| &**c).collect(), free)
+    }
+
+    /// Builds the product iterator from plain component borrows.
+    pub fn from_refs(components: Vec<&'a ComponentStructure>, free: &[cqu_query::Var]) -> Self {
+        let nonempty_guards = components.iter().all(|c| c.is_nonempty());
         let with_free: Vec<&ComponentStructure> = components
-            .iter()
+            .into_iter()
             .filter(|c| !c.output_vars().is_empty())
             .collect();
         let out_slots: Vec<Vec<usize>> = with_free.iter().map(|c| c.output_slots(free)).collect();

@@ -58,7 +58,12 @@ use std::sync::Arc;
 pub struct QhEngine {
     query: Arc<Query>,
     db: Database,
-    components: Vec<ComponentStructure>,
+    /// The per-component dynamic structures, behind `Arc`s for epoch
+    /// snapshots: a pin clones the `Arc`s (O(1) per component), and the
+    /// writer goes copy-on-write — [`Arc::make_mut`] mutates in place
+    /// while unshared and clones a component only when a live pin still
+    /// references it, at most once per retained pin per component.
+    components: Vec<Arc<ComponentStructure>>,
     /// Per component: positions of its output variables within the
     /// query's free tuple (delta assembly scatter map).
     out_slots: Vec<Vec<usize>>,
@@ -87,9 +92,9 @@ impl QhEngine {
     pub fn empty(query: &Query) -> Result<Self, QueryError> {
         let forest = QTree::forest(query)?;
         let query = Arc::new(query.clone());
-        let components: Vec<ComponentStructure> = forest
+        let components: Vec<Arc<ComponentStructure>> = forest
             .into_iter()
-            .map(|(comp, tree)| ComponentStructure::new(Arc::clone(&query), comp, tree))
+            .map(|(comp, tree)| Arc::new(ComponentStructure::new(Arc::clone(&query), comp, tree)))
             .collect();
         let out_slots: Vec<Vec<usize>> = components
             .iter()
@@ -111,17 +116,16 @@ impl QhEngine {
     }
 
     /// The per-component structures (for auditing and instrumentation).
-    pub fn components(&self) -> &[ComponentStructure] {
+    /// Each sits behind the `Arc` that epoch snapshots share — its strong
+    /// count is exactly 1 plus the number of live pins referencing it.
+    pub fn components(&self) -> &[Arc<ComponentStructure>] {
         &self.components
     }
 
     /// Total number of live items across components — linear in `|D|`
     /// (each fact creates at most `‖ϕ‖` items).
     pub fn num_items(&self) -> usize {
-        self.components
-            .iter()
-            .map(ComponentStructure::num_items)
-            .sum()
+        self.components.iter().map(|c| c.num_items()).sum()
     }
 
     /// Structural work of the most recent effective update: the number of
@@ -168,7 +172,8 @@ impl QhEngine {
                 None => self
                     .components
                     .iter_mut()
-                    .map(|c| c.apply_fact(rel, u.tuple(), insert))
+                    .filter(|c| c.uses_relation(rel))
+                    .map(|c| Arc::make_mut(c).apply_fact(rel, u.tuple(), insert))
                     .sum::<u64>(),
             };
         }
@@ -195,9 +200,15 @@ impl QhEngine {
         let mut local_added: Vec<Vec<Const>> = Vec::new();
         let mut local_removed: Vec<Vec<Const>> = Vec::new();
         for ci in 0..self.components.len() {
+            if !self.components[ci].uses_relation(rel) {
+                // The fact cannot touch this component: skip it before
+                // `make_mut`, so a pinned (shared) component is never
+                // cloned for an update that provably leaves it unchanged.
+                continue;
+            }
             local_added.clear();
             local_removed.clear();
-            work += self.components[ci].apply_fact_tracked(
+            work += Arc::make_mut(&mut self.components[ci]).apply_fact_tracked(
                 rel,
                 tuple,
                 insert,
@@ -286,7 +297,8 @@ impl DynamicEngine for QhEngine {
         self.last_work = self
             .components
             .iter_mut()
-            .map(|c| c.apply_fact(rel, tuple, insert))
+            .filter(|c| c.uses_relation(rel))
+            .map(|c| Arc::make_mut(c).apply_fact(rel, tuple, insert))
             .sum();
         true
     }
@@ -342,18 +354,20 @@ impl DynamicEngine for QhEngine {
     }
 
     fn is_nonempty(&self) -> bool {
-        self.components.iter().all(ComponentStructure::is_nonempty)
+        self.components.iter().all(|c| c.is_nonempty())
     }
 
     fn enumerate<'a>(&'a self) -> Box<dyn Iterator<Item = Vec<cqu_storage::Const>> + 'a> {
         Box::new(ResultIter::new(&self.components, self.query.free()))
     }
 
-    /// Copy-on-pin: clones the q-tree component structures (slab ids and
-    /// intrusive links survive a clone verbatim), *not* the result. The
-    /// pin costs `O(‖D‖)` however large `ϕ(D)` is — for cross products
-    /// the result can be exponentially bigger than the structures — and
-    /// the snapshot keeps O(1) counting and constant-delay enumeration.
+    /// Epoch pins are O(1) per component: the snapshot *shares* the live
+    /// component structures through their `Arc`s (slab ids and intrusive
+    /// links are untouched — nothing is copied at all). The writer pays
+    /// instead, copy-on-write: its next mutation of a component this pin
+    /// still references clones that one component (`Arc::make_mut`), once
+    /// — everything the update doesn't touch stays structurally shared.
+    /// The snapshot keeps O(1) counting and constant-delay enumeration.
     fn snapshot(&self) -> Box<dyn engine::ResultSnapshot> {
         Box::new(QhSnapshot {
             count: self.count(),
@@ -361,15 +375,22 @@ impl DynamicEngine for QhEngine {
             free: self.query.free().to_vec(),
         })
     }
+
+    /// Pins are O(components), independent of the database: cheap enough
+    /// for the session layer to republish eagerly after updates.
+    fn snapshot_is_cheap(&self) -> bool {
+        true
+    }
 }
 
-/// [`QhEngine`]'s pinned view: a clone of the per-component enumeration
-/// structures (see [`DynamicEngine::snapshot`] on [`QhEngine`]).
-/// Nonemptiness is the trait default `count > 0` — equivalent to the
-/// engine's all-components-nonempty check, since a component's result
-/// count is zero exactly when it is empty.
+/// [`QhEngine`]'s pinned view: the per-component enumeration structures,
+/// structurally shared with the live engine via `Arc` until the writer's
+/// next copy-on-write divergence (see [`DynamicEngine::snapshot`] on
+/// [`QhEngine`]). Nonemptiness is the trait default `count > 0` —
+/// equivalent to the engine's all-components-nonempty check, since a
+/// component's result count is zero exactly when it is empty.
 pub struct QhSnapshot {
-    components: Vec<ComponentStructure>,
+    components: Vec<Arc<ComponentStructure>>,
     free: Vec<cqu_query::Var>,
     count: u64,
 }
@@ -580,6 +601,81 @@ mod tests {
             del(&mut e, "E", &[i, i + 1000]);
         }
         assert_eq!(e.num_items(), 0, "all items must be garbage-collected");
+    }
+
+    /// The copy-on-write pin contract: pins share the live component
+    /// `Arc`s (O(1), strong count observable), dropped pins release them,
+    /// and a writer mutation under a live pin diverges — cloning the
+    /// touched component once — while the pin keeps its frozen state.
+    #[test]
+    fn pins_share_components_and_writers_diverge_on_demand() {
+        let mut e = engine_for("Q(x, y) :- E(x, y), T(y).");
+        ins(&mut e, "E", &[1, 2]);
+        ins(&mut e, "T", &[2]);
+        assert_eq!(Arc::strong_count(&e.components()[0]), 1, "unshared");
+
+        let snap = e.snapshot();
+        assert_eq!(
+            Arc::strong_count(&e.components()[0]),
+            2,
+            "pin shares the live structure, no copy"
+        );
+        {
+            let again = e.snapshot();
+            assert_eq!(Arc::strong_count(&e.components()[0]), 3);
+            drop(again);
+        }
+        assert_eq!(
+            Arc::strong_count(&e.components()[0]),
+            2,
+            "dropped pins release their share immediately"
+        );
+
+        // Writer mutates under the live pin: copy-on-write divergence.
+        ins(&mut e, "E", &[3, 2]);
+        assert_eq!(
+            Arc::strong_count(&e.components()[0]),
+            1,
+            "the live engine moved to its own copy"
+        );
+        assert_eq!(e.count(), 2);
+        assert_eq!(snap.count(), 1, "pin still answers from its epoch");
+        assert_eq!(snap.results_sorted(), vec![vec![1, 2]]);
+        drop(snap);
+
+        // With no pin outstanding, updates never clone: the engine stays
+        // on the same allocation across arbitrary churn.
+        let before = Arc::as_ptr(&e.components()[0]);
+        for i in 0..100 {
+            ins(&mut e, "E", &[i + 10, 2]);
+        }
+        assert_eq!(
+            Arc::as_ptr(&e.components()[0]),
+            before,
+            "unpinned updates must mutate in place"
+        );
+    }
+
+    /// Updates to relations outside a component never clone it, even
+    /// while a pin shares it (the `uses_relation` guard).
+    #[test]
+    fn foreign_relation_updates_do_not_clone_pinned_components() {
+        let mut e = engine_for("Q(x, z) :- R(x), S(z).");
+        ins(&mut e, "R", &[1]);
+        ins(&mut e, "S", &[7]);
+        let snap = e.snapshot();
+        let r_ptr = Arc::as_ptr(&e.components()[0]);
+        let s_ptr = Arc::as_ptr(&e.components()[1]);
+        // Touch only S: the R component must stay shared verbatim.
+        ins(&mut e, "S", &[8]);
+        let (r_after, s_after) = (
+            Arc::as_ptr(&e.components()[0]),
+            Arc::as_ptr(&e.components()[1]),
+        );
+        assert_eq!(r_ptr, r_after, "untouched component stays shared");
+        assert_ne!(s_ptr, s_after, "touched component diverged");
+        assert_eq!(snap.count(), 1);
+        assert_eq!(e.count(), 2);
     }
 
     #[test]

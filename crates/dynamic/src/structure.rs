@@ -66,14 +66,20 @@ pub(crate) struct Item {
 ///
 /// Cloning copies the whole item arena and lookup maps — slab ids (and
 /// with them all intrusive list links) survive verbatim, so the copy
-/// enumerates identically. This is the copy-on-pin path behind
-/// [`crate::QhEngine`]'s snapshots: `O(‖D‖)` per pin, independent of the
-/// (possibly much larger) result size.
+/// enumerates identically. This is the copy-on-*write* path behind
+/// [`crate::QhEngine`]'s epoch snapshots: components live behind `Arc`s
+/// that pins share for free, and the writer clones a component only when
+/// it must mutate one that a live pin still references — `O(‖D_i‖)` once
+/// per retained epoch per touched component, never on the pin itself.
 #[derive(Clone)]
 pub struct ComponentStructure {
     query: Arc<Query>,
     comp: Component,
     tree: QTree,
+    /// Per relation id: whether any atom of this component is over it —
+    /// the guard that keeps updates to foreign relations from touching
+    /// (and under copy-on-write: from cloning) this component.
+    uses_rel: Box<[bool]>,
     pub(crate) items: Slab<Item>,
     /// Per q-tree node: path-constants → item id (replaces the array `A_v`).
     lookup: Vec<FxHashMap<Box<[Const]>, SlabId>>,
@@ -126,10 +132,15 @@ impl ComponentStructure {
             .collect();
         let out_vars: Vec<cqu_query::Var> =
             free_order.iter().map(|&nid| tree.node(nid).var).collect();
+        let mut uses_rel = vec![false; query.schema().len()];
+        for &aid in &comp.atoms {
+            uses_rel[query.atom(aid).relation.index()] = true;
+        }
         ComponentStructure {
             query,
             comp,
             tree,
+            uses_rel: uses_rel.into(),
             items: Slab::new(),
             lookup: vec![FxHashMap::default(); n],
             start_head: SlabId::NONE,
@@ -150,6 +161,12 @@ impl ComponentStructure {
     /// The component description.
     pub fn component(&self) -> &Component {
         &self.comp
+    }
+
+    /// Whether any atom of this component is over `rel` — updates to
+    /// other relations provably cannot change this component's state.
+    pub fn uses_relation(&self, rel: RelId) -> bool {
+        self.uses_rel.get(rel.index()).copied().unwrap_or(false)
     }
 
     /// The query this component belongs to.

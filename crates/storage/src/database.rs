@@ -21,6 +21,12 @@ pub struct Database {
     /// Reference count of each active-domain constant: the number of tuple
     /// slots (relation, tuple, position) holding it.
     adom: FxHashMap<Const, u64>,
+    /// Generation stamp: the number of effective changes ever applied.
+    /// Two databases with equal generation (and shared history) hold
+    /// identical states, so epoch snapshots stamp themselves with it —
+    /// staleness becomes an integer comparison, and a replaced epoch can
+    /// be dropped deterministically the moment its generation is passed.
+    generation: u64,
 }
 
 impl Database {
@@ -34,6 +40,7 @@ impl Database {
             schema,
             relations,
             adom: FxHashMap::default(),
+            generation: 0,
         }
     }
 
@@ -79,6 +86,7 @@ impl Database {
     pub fn insert(&mut self, rel: RelId, tuple: Tuple) -> bool {
         let changed = self.relations[rel.index()].insert(tuple.clone());
         if changed {
+            self.generation += 1;
             for &c in &tuple {
                 *self.adom.entry(c).or_insert(0) += 1;
             }
@@ -90,6 +98,7 @@ impl Database {
     pub fn delete(&mut self, rel: RelId, tuple: &[Const]) -> bool {
         let changed = self.relations[rel.index()].delete(tuple);
         if changed {
+            self.generation += 1;
             for &c in tuple {
                 let cnt = self.adom.get_mut(&c).expect("adom refcount missing");
                 *cnt -= 1;
@@ -99,6 +108,14 @@ impl Database {
             }
         }
         changed
+    }
+
+    /// The generation stamp: a monotone counter of effective changes.
+    /// Snapshots pinned at equal generations of the same database are
+    /// guaranteed identical; epoch publication uses this to detect (and
+    /// deterministically retire) stale views.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Applies an update command; returns `true` iff the database changed.
@@ -213,5 +230,19 @@ mod tests {
         ];
         assert_eq!(db.apply_all(&ups), 2);
         assert_eq!(db.cardinality(), 0);
+    }
+
+    #[test]
+    fn generation_counts_effective_changes_only() {
+        let s = schema_et();
+        let e = s.relation("E").unwrap();
+        let mut db = Database::new(s);
+        assert_eq!(db.generation(), 0);
+        assert!(db.insert(e, vec![1, 2]));
+        assert!(!db.insert(e, vec![1, 2])); // no-op: generation frozen
+        assert_eq!(db.generation(), 1);
+        assert!(!db.delete(e, &[9, 9])); // absent: no-op
+        assert!(db.delete(e, &[1, 2]));
+        assert_eq!(db.generation(), 2, "back to the same state, new stamp");
     }
 }

@@ -92,6 +92,13 @@ impl Index {
     pub fn num_keys(&self) -> usize {
         self.map.len()
     }
+
+    /// Empties the index, retaining its bucket allocation — persistent
+    /// scratch indexes (the IVM batch path's ΔR slots) are cleared and
+    /// refilled across batches instead of being rebuilt.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
 }
 
 #[cfg(test)]

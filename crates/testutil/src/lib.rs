@@ -18,12 +18,12 @@
 
 #![warn(missing_docs)]
 
-use cqu_query::generator::Lcg;
+use cqu_common::FxHashSet;
 use cqu_query::{Query, RelId, Schema, Var};
 use cqu_storage::{Const, Database, Update};
 use std::collections::{BTreeMap, BTreeSet};
 
-pub use cqu_query::generator::{random_query, GenConfig};
+pub use cqu_query::generator::{random_query, GenConfig, Lcg};
 
 /// Shape of a [`random_updates`] stream.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +69,67 @@ pub fn random_updates(schema: &Schema, seed: u64, cfg: WorkloadConfig) -> Vec<Up
             }
         })
         .collect()
+}
+
+/// Generates a deterministic stream of `cfg.steps` *effective* updates
+/// over every relation of `schema`: inserts of fresh random tuples and
+/// deletes of currently live ones, so every command changes the database
+/// when replayed in order onto one that starts empty. This is the
+/// experiment-shaped sibling of [`random_updates`] — benchmarks want
+/// every measured command to do real work, while correctness suites want
+/// no-ops in the mix.
+///
+/// Same [`Lcg`] determinism contract as [`random_updates`]: one seed, one
+/// bit-identical stream, on every platform.
+pub fn effective_churn(schema: &Schema, seed: u64, cfg: WorkloadConfig) -> Vec<Update> {
+    let rels: Vec<RelId> = schema.relations().collect();
+    assert!(!rels.is_empty(), "workload over an empty schema");
+    let mut rng = Lcg::new(seed);
+    let mut live: Vec<Vec<Vec<Const>>> = vec![Vec::new(); rels.len()];
+    let mut live_set: Vec<FxHashSet<Vec<Const>>> = vec![FxHashSet::default(); rels.len()];
+    let mut total_live = 0usize;
+    let mut out = Vec::with_capacity(cfg.steps);
+    // Bounds the insert-branch rejection streak: once the random tuple
+    // space looks saturated, fall back to a delete (or fail loudly if
+    // there is nothing to delete) instead of spinning forever — e.g. an
+    // all-insert config (`insert_permille >= 1000`) over a tiny domain.
+    let mut failed_inserts = 0u32;
+    while out.len() < cfg.steps {
+        let force_delete = failed_inserts >= 1000 && total_live > 0;
+        assert!(
+            failed_inserts < 10_000,
+            "effective_churn cannot make progress: tuple space saturated \
+             (domain {} too small for {} effective steps?)",
+            cfg.domain,
+            cfg.steps
+        );
+        if !force_delete && (total_live == 0 || rng.chance(cfg.insert_permille, 1000)) {
+            let ri = rng.below(rels.len());
+            let arity = schema.arity(rels[ri]);
+            let tuple: Vec<Const> = (0..arity)
+                .map(|_| 1 + rng.below(cfg.domain as usize) as Const)
+                .collect();
+            if live_set[ri].insert(tuple.clone()) {
+                live[ri].push(tuple.clone());
+                total_live += 1;
+                out.push(Update::Insert(rels[ri], tuple));
+                failed_inserts = 0;
+            } else {
+                failed_inserts += 1;
+            }
+        } else {
+            // Delete from a uniformly random nonempty relation.
+            let nonempty: Vec<usize> = (0..rels.len()).filter(|&i| !live[i].is_empty()).collect();
+            let ri = nonempty[rng.below(nonempty.len())];
+            let pos = rng.below(live[ri].len());
+            let tuple = live[ri].swap_remove(pos);
+            live_set[ri].remove(&tuple);
+            total_live -= 1;
+            out.push(Update::Delete(rels[ri], tuple));
+            failed_inserts = 0;
+        }
+    }
+    out
 }
 
 /// Doubles a stream into cancelling churn: every update becomes an
@@ -199,6 +260,46 @@ mod tests {
         assert_eq!(tl[1], vec![vec![1]]);
         assert_eq!(tl[2], vec![vec![1], vec![2]]);
         assert_eq!(tl[3], vec![vec![2]]);
+    }
+
+    #[test]
+    fn effective_churn_survives_saturating_configs() {
+        // All-insert over a tiny tuple space: progress must come from the
+        // forced-delete fallback instead of spinning forever.
+        let q = parse_query("Q(x) :- R(x).").unwrap();
+        let ups = effective_churn(
+            q.schema(),
+            5,
+            WorkloadConfig {
+                steps: 50,
+                domain: 2,
+                insert_permille: 1000,
+            },
+        );
+        assert_eq!(ups.len(), 50);
+        let mut db = Database::new(q.schema().clone());
+        for u in &ups {
+            assert!(db.apply(u), "every step still effective: {u:?}");
+        }
+    }
+
+    #[test]
+    fn effective_churn_is_always_effective_and_deterministic() {
+        let q = parse_query("Q(x, y) :- E(x, y), T(y).").unwrap();
+        let cfg = WorkloadConfig {
+            steps: 500,
+            domain: 16,
+            insert_permille: 550,
+        };
+        let a = effective_churn(q.schema(), 42, cfg);
+        let b = effective_churn(q.schema(), 42, cfg);
+        assert_eq!(a, b, "one seed, one stream");
+        assert_eq!(a.len(), 500);
+        let mut db = Database::new(q.schema().clone());
+        for (i, u) in a.iter().enumerate() {
+            assert!(db.apply(u), "update {i} was a no-op: {u:?}");
+        }
+        assert_ne!(a, effective_churn(q.schema(), 43, cfg));
     }
 
     #[test]

@@ -86,8 +86,8 @@ pub use session::{
 pub mod prelude {
     pub use crate::error::CqError;
     pub use crate::session::{
-        ChangeEvent, EngineChoice, QueryHandle, QueryId, QuerySnapshot, RouteReason, Session,
-        SessionTransaction, SharedSession, Subscription,
+        ChangeEvent, EngineChoice, PinReader, QueryHandle, QueryId, QuerySnapshot, RouteReason,
+        Session, SessionTransaction, SharedSession, Subscription,
     };
     pub use cqu_baseline::{DeltaIvmEngine, EngineKind, RecomputeEngine, SemiJoinEngine};
     pub use cqu_dynamic::{

@@ -16,20 +16,33 @@
 //!
 //! [`Session`] is `Send + Sync`: all interior state is either plain data
 //! behind the `&mut self` write path or guarded by short-lived mutexes
-//! (subscriber lists, snapshot caches). Writers are serialized by
+//! (subscriber lists, epoch build locks). Writers are serialized by
 //! construction — every update flows through one `&mut self` dispatch
-//! path. Readers scale out through two lock-free mechanisms:
+//! path. Readers scale out through **epoch publication**: each query's
+//! latest pinned state sits in an atomically swappable cell
+//! ([`cqu_common::EpochCell`]), and every pin is an exact, internally
+//! consistent `(seq, result)` frame:
 //!
-//! * **Snapshots** ([`QueryHandle::snapshot`]): an immutable, `Send +
-//!   Sync` [`QuerySnapshot`] pinned at the current update sequence
-//!   number. It answers count/answer/enumerate from the pinned state
-//!   forever, however many updates commit afterwards.
+//! * **Lock-free pins** ([`PinReader::pin`], via
+//!   [`QueryHandle::pin_reader`] / [`SharedSession::reader`]): a single
+//!   atomic load — no session lock, ever. Pins complete while a writer
+//!   or open transaction holds the lock exclusively (and never see its
+//!   uncommitted state); a reader holding an arbitrarily old epoch
+//!   never delays publication, and replaced epochs free themselves the
+//!   moment their last pin drops.
+//! * **Locked snapshots** ([`QueryHandle::snapshot`]): an immutable,
+//!   `Send + Sync` [`QuerySnapshot`] pinned at the current update
+//!   sequence number, republishing the epoch first when updates have
+//!   landed since. On the q-hierarchical engine republication costs
+//!   O(components) — the engine's structures are `Arc`-shared into the
+//!   epoch and the *writer* pays the divergence, copy-on-write, once
+//!   per retained epoch per touched component.
 //! * **Change feeds** ([`QueryHandle::subscribe`]): [`Subscription`]s are
 //!   `Send` and deliver [`Arc<ChangeEvent>`]s — one allocation per event,
 //!   shared zero-copy by every subscriber, receivable on any thread.
 //!
 //! [`SharedSession`] packages the standard deployment: `Arc<RwLock>`
-//! writer serialization with snapshot-pinning readers.
+//! writer serialization with epoch-pinning readers.
 //!
 //! ```
 //! use cq_updates::prelude::*;
@@ -57,7 +70,7 @@
 
 use crate::error::CqError;
 use cqu_baseline::EngineKind;
-use cqu_common::FxHashMap;
+use cqu_common::{EpochCell, FxHashMap};
 use cqu_dynamic::{DynamicEngine, ResultDelta, ResultSnapshot, UpdateReport};
 use cqu_query::classify::{classify, Classification, Verdict};
 use cqu_query::hierarchical::{q_hierarchical_violation, Violation};
@@ -172,6 +185,22 @@ struct Subscriber {
     alive: Weak<()>,
 }
 
+/// One published epoch of a query: an immutable, internally consistent
+/// `(seq, version, generation, snapshot)` quadruple. The snapshot is
+/// exactly the query's result after the first `seq` effective updates of
+/// the session stream — epochs freeze the stamp and the state *together*,
+/// so a pin of any epoch, however stale, is never torn.
+struct Epoch {
+    /// Session sequence number at publication (`timeline[seq]` index).
+    seq: u64,
+    /// The engine-state version ([`Registered::version`]) this reflects.
+    version: u64,
+    /// Master-database generation stamp at publication
+    /// ([`cqu_storage::Database::generation`]).
+    generation: u64,
+    snap: Arc<dyn ResultSnapshot>,
+}
+
 struct Registered {
     name: Arc<str>,
     /// The query as the caller wrote it, remapped onto the session schema.
@@ -187,11 +216,17 @@ struct Registered {
     /// routed; in particular they never trigger delta extraction.
     relevant: Vec<bool>,
     /// Monotone engine-state version: bumped before every mutation of
-    /// `engine`, so cached snapshots know when they go stale.
+    /// `engine`, so published epochs know when they go stale.
     version: u64,
-    /// The most recent pin `(version, snapshot)`: repeated snapshots with
-    /// no intervening update share one allocation.
-    snap_cache: Mutex<Option<(u64, Arc<dyn ResultSnapshot>)>>,
+    /// The published epoch: the per-registration pin cache *and* the
+    /// lock-free reader fast path ([`PinReader`]) in one cell. Pinning is
+    /// a single atomic load; publication atomically retires the previous
+    /// epoch, which is freed the moment its last pin drops.
+    cell: Arc<EpochCell<Epoch>>,
+    /// Serializes lazy epoch rebuilds among concurrent `&self` readers,
+    /// so a stale epoch is rebuilt once, not once per racing reader.
+    /// Never touched by [`PinReader::pin`].
+    build_lock: Mutex<()>,
     subscribers: Mutex<Vec<Subscriber>>,
 }
 
@@ -229,17 +264,59 @@ impl Registered {
         lock(&self.subscribers).retain(|s| s.tx.send(Arc::clone(&event)).is_ok());
     }
 
-    /// Returns the pinned snapshot for the current engine version,
-    /// building (and caching) it on first demand.
-    fn pinned(&self) -> Arc<dyn ResultSnapshot> {
-        let mut cache = lock(&self.snap_cache);
-        match &*cache {
-            Some((v, snap)) if *v == self.version => Arc::clone(snap),
-            _ => {
-                let snap: Arc<dyn ResultSnapshot> = Arc::from(self.engine.snapshot());
-                *cache = Some((self.version, Arc::clone(&snap)));
-                snap
-            }
+    /// Returns the published epoch for the *current* engine version,
+    /// rebuilding and republishing it on first demand after an update.
+    /// Repeated pins with no intervening update are an atomic load.
+    ///
+    /// Callers hold the session at least shared (`&self` with no live
+    /// writer), so `self.version` is stable across the call.
+    fn pinned(&self, seq: u64, generation: u64) -> Arc<Epoch> {
+        let epoch = self.cell.load();
+        if epoch.version == self.version {
+            return epoch;
+        }
+        // Stale: rebuild under the build lock so racing readers share one
+        // rebuild; re-check after acquisition (another reader may have
+        // published while we waited).
+        let _build = lock(&self.build_lock);
+        let epoch = self.cell.load();
+        if epoch.version == self.version {
+            return epoch;
+        }
+        self.publish_epoch(seq, generation);
+        self.cell.load()
+    }
+
+    /// Builds a snapshot of the engine's current state and publishes it
+    /// as the new epoch, consuming any pending refresh request.
+    fn publish_epoch(&self, seq: u64, generation: u64) {
+        let snap: Arc<dyn ResultSnapshot> = Arc::from(self.engine.snapshot());
+        self.cell.take_refresh_request();
+        self.cell.store(Arc::new(Epoch {
+            seq,
+            version: self.version,
+            generation,
+            snap,
+        }));
+    }
+
+    /// Writer-side bookkeeping around an engine mutation: bump the state
+    /// version and mirror it into the cell so lock-free pins can detect
+    /// (and request refresh for) a lagging epoch.
+    fn touch(&mut self) {
+        self.version += 1;
+        self.cell.set_live_version(self.version);
+    }
+
+    /// Writer-side demand-driven publication: republish the epoch iff a
+    /// pin observed staleness since the last publication *and* this
+    /// engine's snapshots are cheap (O(components) `Arc` clones on the
+    /// q-hierarchical engine). Engines with `Ω(|view|)` snapshots
+    /// (delta-IVM, diff fallbacks) never stall the writer: their epochs
+    /// refresh lazily, on the next locked pin.
+    fn republish_on_demand(&self, seq: u64, generation: u64) {
+        if self.engine.snapshot_is_cheap() && self.cell.take_refresh_request() {
+            self.publish_epoch(seq, generation);
         }
     }
 }
@@ -414,6 +491,16 @@ impl Session {
             .expect("admission pre-check guarantees the engine admits the query");
         let id = QueryId(self.regs.len());
         self.by_name.insert(name.to_string(), id.0);
+        // Publish the genesis epoch: readers acquired before the first
+        // update pin the seed state, stamped with the current stream
+        // position and database generation.
+        let snap: Arc<dyn ResultSnapshot> = Arc::from(engine.snapshot());
+        let cell = Arc::new(EpochCell::new(Arc::new(Epoch {
+            seq: self.seq,
+            version: 0,
+            generation: self.db.generation(),
+            snap,
+        })));
         self.regs.push(Registered {
             name: Arc::from(name),
             query,
@@ -423,7 +510,8 @@ impl Session {
             engine,
             relevant,
             version: 0,
-            snap_cache: Mutex::new(None),
+            cell,
+            build_lock: Mutex::new(()),
             subscribers: Mutex::new(Vec::new()),
         });
         Ok(id)
@@ -466,6 +554,7 @@ impl Session {
             reg: &self.regs[idx],
             id: QueryId(idx),
             seq: self.seq,
+            generation: self.db.generation(),
         })
     }
 
@@ -475,16 +564,22 @@ impl Session {
             reg: &self.regs[id.0],
             id,
             seq: self.seq,
+            generation: self.db.generation(),
         }
     }
 
     /// Iterates over all registered queries, in registration order.
     pub fn queries(&self) -> impl Iterator<Item = QueryHandle<'_>> {
-        self.regs.iter().enumerate().map(|(i, reg)| QueryHandle {
-            reg,
-            id: QueryId(i),
-            seq: self.seq,
-        })
+        let generation = self.db.generation();
+        self.regs
+            .iter()
+            .enumerate()
+            .map(move |(i, reg)| QueryHandle {
+                reg,
+                id: QueryId(i),
+                seq: self.seq,
+                generation,
+            })
     }
 
     /// Escape hatch: mutable access to the underlying engine of `name`,
@@ -495,7 +590,7 @@ impl Session {
             .get(name)
             .ok_or_else(|| CqError::UnknownQuery(name.to_string()))?;
         // The caller may mutate the engine arbitrarily: stale any pin.
-        self.regs[idx].version += 1;
+        self.regs[idx].touch();
         Ok(self.regs[idx].engine.as_mut())
     }
 
@@ -532,12 +627,14 @@ impl Session {
             return false;
         }
         self.seq += 1;
+        let in_tx = self.tx_buffer.is_some();
         for (idx, reg) in self.regs.iter_mut().enumerate() {
             if !reg.wants(update.relation()) {
                 continue;
             }
-            // Every branch below mutates the engine: stale cached pins.
-            reg.version += 1;
+            // Every branch below mutates the engine: stale published
+            // epochs (and with them all cached pins).
+            reg.touch();
             // Rollback replay needs no deltas — its buffer is discarded —
             // so it takes the untracked path even under subscription.
             if !self.rolling_back && reg.has_subscribers() {
@@ -568,6 +665,13 @@ impl Session {
                 }
             } else {
                 reg.engine.apply(update);
+            }
+            // Demand-driven epoch publication — but never inside an open
+            // transaction (lock-free pins must not observe uncommitted
+            // state; commit publishes) and never during rollback (the
+            // pre-transaction epoch content is still exact).
+            if !in_tx {
+                reg.republish_on_demand(self.seq, self.db.generation());
             }
         }
         true
@@ -639,7 +743,7 @@ impl Session {
             if routed.is_empty() {
                 continue;
             }
-            reg.version += 1;
+            reg.touch();
             if reg.has_subscribers() {
                 let mut delta = ResultDelta::default();
                 reg.engine.apply_batch_tracked(routed, &mut delta);
@@ -647,6 +751,10 @@ impl Session {
             } else {
                 reg.engine.apply_batch(routed);
             }
+            // One epoch publication per batch, stamped with the batch's
+            // final stream position (a transaction cannot be open here:
+            // it holds the session `&mut`).
+            reg.republish_on_demand(self.seq, self.db.generation());
         }
         Ok(UpdateReport {
             total: updates.len(),
@@ -702,6 +810,12 @@ impl Session {
                 if !delta.is_empty() {
                     reg.publish(self.seq, delta);
                 }
+            }
+            // Epoch publication was deferred while the transaction was
+            // open (pins must not see uncommitted state): satisfy pending
+            // refresh requests now that the state is committed.
+            for reg in &self.regs {
+                reg.republish_on_demand(self.seq, self.db.generation());
             }
         }
     }
@@ -797,6 +911,8 @@ pub struct QueryHandle<'a> {
     /// The session's update sequence number when this handle was taken —
     /// stamped onto snapshots pinned through it.
     seq: u64,
+    /// The master database's generation stamp when this handle was taken.
+    generation: u64,
 }
 
 impl<'a> QueryHandle<'a> {
@@ -856,18 +972,34 @@ impl<'a> QueryHandle<'a> {
     /// any number of later updates commit — snapshot isolation for
     /// readers, without holding up the writer.
     ///
-    /// Cost model: the q-hierarchical engine pins by cloning its q-tree
-    /// enumeration structures (`O(‖D‖)`, never the result, which can be
-    /// exponentially larger); delta-IVM clones its materialized view
-    /// (`O(|ϕ(D)|)`); diff-fallback engines materialize. Repeated pins
-    /// with no intervening update share one cached snapshot — those are
-    /// O(1).
+    /// Cost model (epoch publication): pinning loads the published epoch
+    /// — an atomic load plus an `Arc` clone, O(1). If the epoch lags the
+    /// engine state (first pin after an update), this locked path
+    /// rebuilds and republishes it first: O(components) `Arc` clones on
+    /// the q-hierarchical engine (the old `O(‖D‖)` structure clone is
+    /// gone — the writer copy-on-writes instead), `O(|ϕ(D)|)` view
+    /// clones on delta-IVM and the diff fallbacks.
     pub fn snapshot(&self) -> QuerySnapshot {
+        let epoch = self.reg.pinned(self.seq, self.generation);
         QuerySnapshot {
             name: Arc::clone(&self.reg.name),
             kind: self.reg.kind,
             seq: self.seq,
-            inner: self.reg.pinned(),
+            generation: self.generation,
+            inner: Arc::clone(&epoch.snap),
+        }
+    }
+
+    /// Acquires a [`PinReader`]: a cloneable, `Send + Sync` endpoint that
+    /// pins epoch snapshots of this query in O(1) — a single atomic load
+    /// — without ever taking a session lock again. Acquire once (under
+    /// whatever lock guards the session), then pin from any number of
+    /// reader threads forever.
+    pub fn pin_reader(&self) -> PinReader {
+        PinReader {
+            name: Arc::clone(&self.reg.name),
+            kind: self.reg.kind,
+            cell: Arc::clone(&self.reg.cell),
         }
     }
 
@@ -914,6 +1046,7 @@ pub struct QuerySnapshot {
     name: Arc<str>,
     kind: EngineKind,
     seq: u64,
+    generation: u64,
     inner: Arc<dyn ResultSnapshot>,
 }
 
@@ -935,6 +1068,29 @@ impl QuerySnapshot {
     /// compensating inverses (see [`Session::seq`]).
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// The master database's generation stamp
+    /// ([`cqu_storage::Database::generation`]) at pin time: a second,
+    /// storage-level identity for the pinned state, monotone across the
+    /// session's whole update stream.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether two snapshots share the same pinned state allocation —
+    /// `true` exactly when both were pinned from the same published
+    /// epoch (e.g. repeated pins with no intervening update). O(1).
+    pub fn shares_state_with(&self, other: &QuerySnapshot) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Diagnostic: how many references (this snapshot, its clones, other
+    /// snapshots of the same epoch, and the publication cell while the
+    /// epoch is current) keep the pinned state alive. Dropping the last
+    /// one frees the epoch — leak tests observe exactly that.
+    pub fn state_refs(&self) -> usize {
+        Arc::strong_count(&self.inner)
     }
 
     /// `|ϕ(D)|` at pin time.
@@ -964,8 +1120,77 @@ impl std::fmt::Debug for QuerySnapshot {
             .field("name", &self.name)
             .field("kind", &self.kind)
             .field("seq", &self.seq)
+            .field("generation", &self.generation)
             .field("count", &self.count())
             .finish()
+    }
+}
+
+/// A lock-free pin endpoint for one registered query (see
+/// [`QueryHandle::pin_reader`] / [`SharedSession::reader`]).
+///
+/// `PinReader` is the serving-path complement of [`QueryHandle`]: where a
+/// handle borrows the session (and, through [`SharedSession`], holds its
+/// read lock), a `PinReader` owns a reference to the query's epoch
+/// publication cell and nothing else. [`PinReader::pin`] is a single
+/// atomic load — it never takes the session lock, so pins complete even
+/// while a writer (or an open transaction) holds it exclusively, and it
+/// never blocks the writer in return.
+///
+/// **Freshness.** A pin returns the most recently *published* epoch.
+/// Engines with cheap snapshots (the q-hierarchical engine) republish
+/// on demand after every update a pin observed as missing, so the lag is
+/// at most one update behind the writer. Fallback engines with
+/// `Ω(|view|)` snapshots (delta-IVM) republish only on the locked pin
+/// path ([`QueryHandle::snapshot`]) — a lock-free pin may then lag until
+/// someone pins through the lock. Every pin, however stale, is
+/// internally exact: its result *is* `timeline[pin.seq()]`.
+#[derive(Clone)]
+pub struct PinReader {
+    name: Arc<str>,
+    kind: EngineKind,
+    cell: Arc<EpochCell<Epoch>>,
+}
+
+impl PinReader {
+    /// The name of the query this reader pins.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The engine kind maintaining the query.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// Pins the published epoch: one atomic load plus an `Arc` clone,
+    /// O(1) in the database, the result, and the number of concurrent
+    /// readers. Never touches any lock; never waits for the writer.
+    ///
+    /// If the epoch lags the live engine state, a refresh request is
+    /// raised so the writer (or the next locked pin) republishes — the
+    /// pin itself still returns immediately with the current epoch.
+    pub fn pin(&self) -> QuerySnapshot {
+        let epoch = self.cell.load();
+        if epoch.version != self.cell.live_version() {
+            self.cell.request_refresh();
+        }
+        QuerySnapshot {
+            name: Arc::clone(&self.name),
+            kind: self.kind,
+            seq: epoch.seq,
+            generation: epoch.generation,
+            inner: Arc::clone(&epoch.snap),
+        }
+    }
+}
+
+impl std::fmt::Debug for PinReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinReader")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .finish_non_exhaustive()
     }
 }
 
@@ -1088,6 +1313,15 @@ impl SharedSession {
         self.read(|s| s.query(name).map(|h| h.snapshot()))?
     }
 
+    /// Acquires a lock-free [`PinReader`] on `name`: takes the read lock
+    /// once, then every [`PinReader::pin`] is a single atomic load that
+    /// bypasses this session's `RwLock` entirely — pins complete even
+    /// while a writer or transaction holds it. Acquire readers up front
+    /// (like prepared statements) and hand clones to serving threads.
+    pub fn reader(&self, name: &str) -> Result<PinReader, CqError> {
+        self.read(|s| s.query(name).map(|h| h.pin_reader()))?
+    }
+
     /// Opens a change feed on `name` (see [`QueryHandle::subscribe`]).
     pub fn subscribe(&self, name: &str) -> Result<Subscription, CqError> {
         self.read(|s| s.query(name).map(|h| h.subscribe()))?
@@ -1136,6 +1370,7 @@ fn _assert_thread_safe() {
     send_sync::<Session>();
     send_sync::<SharedSession>();
     send_sync::<QuerySnapshot>();
+    send_sync::<PinReader>();
     send_sync::<ChangeEvent>();
     send::<Subscription>();
 }

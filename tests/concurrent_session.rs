@@ -13,13 +13,24 @@
 
 use cq_updates::prelude::*;
 use cqu_testutil::{cancelling_pairs, random_updates, result_timeline, WorkloadConfig};
+use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 /// Script length, overridable for the release-mode stress CI job.
 fn stress_steps(default: usize) -> usize {
     std::env::var("CQ_STRESS_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reader-thread count, overridable for the reader-heavy CI matrix entry.
+fn stress_readers(default: usize) -> usize {
+    std::env::var("CQ_STRESS_READERS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
@@ -111,7 +122,7 @@ fn snapshot_pins_pre_update_result() {
 /// pinned sequence number — no torn results, ever.
 #[test]
 fn concurrent_readers_never_observe_torn_snapshots() {
-    const READERS: usize = 4;
+    let readers_n = stress_readers(4);
     let steps = stress_steps(240);
 
     let mut session = Session::new();
@@ -139,13 +150,16 @@ fn concurrent_readers_never_observe_torn_snapshots() {
         })
     };
 
-    let readers: Vec<_> = (0..READERS)
+    let readers: Vec<_> = (0..readers_n)
         .map(|r| {
             let shared = shared.clone();
             let done = Arc::clone(&done);
             let pins = Arc::clone(&pins);
             let (easy_tl, hard_tl) = (Arc::clone(&easy_tl), Arc::clone(&hard_tl));
             thread::spawn(move || {
+                // Lock-free pin endpoints, acquired once up front.
+                let easy_pr = shared.reader("easy").unwrap();
+                let hard_pr = shared.reader("hard").unwrap();
                 let mut last_seq = 0;
                 loop {
                     let finished = done.load(Ordering::Acquire);
@@ -163,6 +177,23 @@ fn concurrent_readers_never_observe_torn_snapshots() {
                         assert_eq!(snap.answer(), !rows.is_empty());
                         assert!(snap.seq() >= last_seq, "seq went backwards");
                         last_seq = snap.seq();
+                        pins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Lock-free epoch pins race the writer too: whatever
+                    // epoch they catch, its stamp and rows must be one
+                    // exact timeline frame.
+                    for (name, pr, tl) in
+                        [("easy", &easy_pr, &easy_tl), ("hard", &hard_pr, &hard_tl)]
+                    {
+                        let pin = pr.pin();
+                        let rows = pin.results_sorted();
+                        assert_eq!(
+                            &rows,
+                            &tl[pin.seq() as usize],
+                            "reader {r}: torn lock-free pin of {name} at seq {}",
+                            pin.seq()
+                        );
+                        assert_eq!(pin.count() as usize, rows.len());
                         pins.fetch_add(1, Ordering::Relaxed);
                     }
                     // O(1) reads under the read lock stay coherent too.
@@ -197,9 +228,166 @@ fn concurrent_readers_never_observe_torn_snapshots() {
     assert_eq!(&easy_fin.results_sorted(), easy_tl.last().unwrap());
     assert_eq!(&hard_fin.results_sorted(), hard_tl.last().unwrap());
     assert!(
-        pins.load(Ordering::Relaxed) >= (READERS * 2) as u64,
+        pins.load(Ordering::Relaxed) >= (readers_n * 2) as u64,
         "readers must have pinned at least once each"
     );
+}
+
+/// The epoch tentpole's no-writer-lock guarantee: lock-free pins complete
+/// (and stay exact) while a transaction holds the session write lock —
+/// and they see only committed state, never the transaction's uncommitted
+/// updates.
+#[test]
+fn pins_complete_while_writer_holds_the_lock() {
+    let mut session = Session::new();
+    session.register("easy", EASY).unwrap();
+    session.register("hard", HARD).unwrap();
+    let e = session.relation("E").unwrap();
+    let t = session.relation("T").unwrap();
+    let sr = session.relation("S").unwrap();
+    let shared = SharedSession::new(session);
+    shared
+        .apply_batch(&[
+            Update::Insert(e, vec![1, 2]),
+            Update::Insert(t, vec![2]),
+            Update::Insert(sr, vec![1]),
+        ])
+        .unwrap();
+    // Publish fresh epochs, then acquire the lock-free endpoints.
+    assert_eq!(shared.snapshot("easy").unwrap().count(), 1);
+    assert_eq!(shared.snapshot("hard").unwrap().count(), 1);
+    let easy = shared.reader("easy").unwrap();
+    let hard = shared.reader("hard").unwrap();
+
+    let (locked_tx, locked_rx) = channel();
+    let (done_tx, done_rx) = channel::<()>();
+    let writer = {
+        let shared = shared.clone();
+        thread::spawn(move || {
+            shared
+                .transaction(|txn| {
+                    txn.apply(&Update::Insert(e, vec![5, 2]))?;
+                    locked_tx.send(()).unwrap();
+                    // Hold the write lock until the main thread finishes
+                    // pinning (or give up after a generous timeout so a
+                    // regression fails the elapsed assertion instead of
+                    // hanging the suite).
+                    let _ = done_rx.recv_timeout(Duration::from_secs(20));
+                    Ok(())
+                })
+                .unwrap();
+        })
+    };
+
+    locked_rx.recv().unwrap();
+    // The write lock is held RIGHT NOW, with an uncommitted insert
+    // applied. Every pin below must complete without touching it.
+    let start = Instant::now();
+    for _ in 0..10_000 {
+        let snap = easy.pin();
+        assert_eq!(
+            snap.results_sorted(),
+            vec![vec![1, 2]],
+            "pin leaked uncommitted transaction state"
+        );
+        assert_eq!(hard.pin().count(), 1);
+    }
+    let elapsed = start.elapsed();
+    done_tx.send(()).unwrap();
+    writer.join().expect("writer panicked");
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "pins took {elapsed:?} — they waited on the writer lock"
+    );
+
+    // After commit the q-hierarchical epoch was republished (pins had
+    // requested refresh): the lock-free path now sees the new row.
+    let fresh = easy.pin();
+    assert_eq!(fresh.results_sorted(), vec![vec![1, 2], vec![5, 2]]);
+    // The delta-IVM epoch refreshes on the next locked pin.
+    assert_eq!(shared.snapshot("hard").unwrap().count(), 1);
+    assert_eq!(hard.pin().count(), 1);
+}
+
+/// One query per auto-route the classifier knows (the same trio the
+/// subscription-replay suite drives).
+const ROUTED: &[(&str, &str, RouteReason)] = &[
+    ("qh", EASY, RouteReason::QHierarchical),
+    (
+        "via_core",
+        "Q() :- E(x,x), E(x,y), E(y,y).",
+        RouteReason::QHierarchicalCore,
+    ),
+    ("ivm", HARD, RouteReason::Fallback),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// For every routed engine, under mixed + cancelling churn, three
+    /// views agree at every step: the lock-free epoch pin (whatever
+    /// epoch it catches), the locked full snapshot, and the brute-force
+    /// timeline frame of each one's pinned sequence number.
+    #[test]
+    fn epoch_pins_equal_locked_snapshots_and_timeline(seed in 0u64..1_000_000) {
+        let mut session = Session::new();
+        for (name, src, reason) in ROUTED {
+            session.register(name, src).unwrap();
+            prop_assert_eq!(session.query(name).unwrap().route_reason(), *reason);
+        }
+        let schema = session.schema().clone();
+        let script = churny_script(&schema, seed, 48);
+        let timelines: Vec<_> = ROUTED
+            .iter()
+            .map(|(name, _, _)| {
+                let q = session.query(name).unwrap().query().clone();
+                result_timeline(&schema, &q, &script)
+            })
+            .collect();
+        let readers: Vec<PinReader> = ROUTED
+            .iter()
+            .map(|(name, _, _)| session.query(name).unwrap().pin_reader())
+            .collect();
+
+        for u in &script {
+            session.apply(u).unwrap();
+            let seq = session.seq() as usize;
+            for (i, (name, _, _)) in ROUTED.iter().enumerate() {
+                // A pin taken before anyone re-pinned under the lock may
+                // lag the writer — but must still be one exact frame.
+                let early = readers[i].pin();
+                prop_assert!(early.seq() as usize <= seq);
+                prop_assert_eq!(
+                    early.results_sorted(),
+                    timelines[i][early.seq() as usize].clone(),
+                    "{}: stale pin is torn", name
+                );
+                // The locked snapshot is exact and current…
+                let snap = session.query(name).unwrap().snapshot();
+                prop_assert_eq!(snap.seq() as usize, seq);
+                prop_assert_eq!(
+                    snap.results_sorted(),
+                    timelines[i][seq].clone(),
+                    "{}: locked snapshot diverged", name
+                );
+                // …and afterwards the lock-free pin shares the very same
+                // pinned state allocation (the published — possibly
+                // cached, for queries this update didn't touch — epoch),
+                // at a stamp that is itself an exact frame.
+                let repin = readers[i].pin();
+                prop_assert!(repin.seq() as usize <= seq);
+                prop_assert!(
+                    repin.shares_state_with(&snap),
+                    "{}: repin after publication must share the epoch", name
+                );
+                prop_assert_eq!(
+                    repin.results_sorted(),
+                    timelines[i][repin.seq() as usize].clone(),
+                    "{}: repin stamp is not an exact frame", name
+                );
+            }
+        }
+    }
 }
 
 /// Snapshots outlive the session entirely: pin, drop everything, read.

@@ -1,0 +1,132 @@
+//! Epoch lifecycle: pins keep exactly their own epoch alive, dropped
+//! pins release it deterministically (observed through `Arc` strong
+//! counts via [`QuerySnapshot::state_refs`]), and a reader squatting on
+//! an ancient epoch never delays — let alone blocks — publication.
+//!
+//! Together with the strong-count tests on `QhEngine::components()` in
+//! `cqu-dynamic`, this is the leak/liveness contract of the epoch
+//! publication tentpole.
+
+use cq_updates::prelude::*;
+use std::time::{Duration, Instant};
+
+const EASY: &str = "Q(x, y) :- E(x, y), T(y).";
+
+/// Dropping pins releases their epoch: once the cell has moved on, the
+/// old epoch's state is kept alive by its pins alone, and the last drop
+/// frees it (strong count goes 2 → 1 → freed).
+#[test]
+fn dropped_pins_release_their_epochs() {
+    let mut s = Session::new();
+    s.register("easy", EASY).unwrap();
+    let e = s.relation("E").unwrap();
+    let t = s.relation("T").unwrap();
+    s.apply_batch(&[Update::Insert(e, vec![1, 2]), Update::Insert(t, vec![2])])
+        .unwrap();
+
+    let old = s.query("easy").unwrap().snapshot();
+    // The publication cell holds one reference, the pin another; clones
+    // of the pin share it.
+    assert_eq!(old.state_refs(), 2);
+    let clone = old.clone();
+    assert_eq!(old.state_refs(), 3);
+    drop(clone);
+    assert_eq!(old.state_refs(), 2);
+
+    // An update stales the epoch; the next locked pin republishes and the
+    // cell drops its reference to the old epoch — deterministically, not
+    // at some future collection point.
+    s.apply(&Update::Insert(e, vec![3, 2])).unwrap();
+    let new = s.query("easy").unwrap().snapshot();
+    assert_eq!(
+        old.state_refs(),
+        1,
+        "replaced epoch must survive only through its pins"
+    );
+    assert!(!old.shares_state_with(&new));
+    assert_eq!(old.count(), 1, "ancient pin still answers from its epoch");
+    assert_eq!(new.count(), 2);
+
+    // Repins without updates share the published epoch.
+    let repin = s.query("easy").unwrap().snapshot();
+    assert!(repin.shares_state_with(&new));
+    assert_eq!(new.state_refs(), 3);
+    drop(repin);
+    assert_eq!(new.state_refs(), 2);
+}
+
+/// A reader holding an arbitrarily old epoch never blocks publication:
+/// 10⁴ updates (each republishing, thanks to a lock-free pin raising a
+/// refresh request every round) complete promptly while the ancient pin
+/// stays readable and bit-identical.
+#[test]
+fn ancient_pin_never_blocks_ten_thousand_publications() {
+    let mut s = Session::new();
+    s.register("easy", EASY).unwrap();
+    let e = s.relation("E").unwrap();
+    let t = s.relation("T").unwrap();
+    s.apply_batch(&[Update::Insert(e, vec![1, 2]), Update::Insert(t, vec![2])])
+        .unwrap();
+    let reader = s.query("easy").unwrap().pin_reader();
+    // Publish, then squat on the epoch.
+    let ancient = s.query("easy").unwrap().snapshot();
+    let ancient_gen = ancient.generation();
+
+    let start = Instant::now();
+    let mut last_gen = ancient_gen;
+    for i in 0..10_000u64 {
+        // Each round: one effective update, then a locked pin — the
+        // update stales the epoch, the pin rebuilds and republishes it.
+        // 10⁴ publications retire 10⁴ epochs against the held pin.
+        let tuple = vec![10 + ((i / 2) % 97), 2];
+        let u = if i % 2 == 0 {
+            Update::Insert(e, tuple)
+        } else {
+            Update::Delete(e, tuple)
+        };
+        assert!(s.apply(&u).unwrap(), "churn must be effective");
+        let snap = s.query("easy").unwrap().snapshot();
+        assert_eq!(
+            snap.generation(),
+            last_gen + 1,
+            "one publication per update"
+        );
+        last_gen = snap.generation();
+        // The lock-free path tracks the publications immediately.
+        assert!(reader.pin().shares_state_with(&snap));
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "publications stalled behind a held pin: {:?}",
+        start.elapsed()
+    );
+
+    // The ancient pin never decayed…
+    assert_eq!(ancient.results_sorted(), vec![vec![1, 2]]);
+    assert_eq!(ancient.generation(), ancient_gen);
+    // …and the final published epoch is the current state, 10⁴
+    // generations later.
+    let fresh = reader.pin();
+    assert_eq!(fresh.results_sorted(), vec![vec![1, 2]]);
+    assert_eq!(fresh.generation(), ancient_gen + 10_000);
+    assert!(!fresh.shares_state_with(&ancient));
+}
+
+/// `PinReader` endpoints survive the `SharedSession` wrapper and cross
+/// threads; epochs pinned through them outlive the session itself.
+#[test]
+fn pins_outlive_the_session_through_readers() {
+    let mut s = Session::new();
+    s.register("easy", EASY).unwrap();
+    let e = s.relation("E").unwrap();
+    let t = s.relation("T").unwrap();
+    let shared = SharedSession::new(s);
+    shared
+        .apply_batch(&[Update::Insert(e, vec![7, 8]), Update::Insert(t, vec![8])])
+        .unwrap();
+    let _ = shared.snapshot("easy").unwrap();
+    let reader = shared.reader("easy").unwrap();
+    drop(shared);
+    let pin = std::thread::spawn(move || reader.pin()).join().unwrap();
+    assert_eq!(pin.results_sorted(), vec![vec![7, 8]]);
+}
