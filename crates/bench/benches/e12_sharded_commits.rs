@@ -1,0 +1,217 @@
+//! E12: commit throughput vs shard count.
+//!
+//! The sharded-writer tentpole's acceptance shape, in two halves:
+//!
+//! * **Disjoint-footprint churn** — `k` query families over pairwise
+//!   disjoint relations, so the planner yields `k` shards and `k` writer
+//!   threads commit with no shared lock (the only cross-shard touch is
+//!   the global `seq` `fetch_add`). Expect near-linear scaling with the
+//!   shard count on a machine with ≥ `k` cores; on fewer cores the
+//!   threads time-slice and the curve flattens toward parity.
+//! * **Fully-overlapping churn** — the same query count over one shared
+//!   footprint: the planner collapses everything into a single shard,
+//!   writer threads serialize on its one lock, and throughput should sit
+//!   at parity with a single-writer [`SharedSession`] (the documented
+//!   cost of the design: sharding buys nothing when every query reads
+//!   every relation — the single-timeline barrier is then the whole
+//!   write path, plus a little lock-handoff overhead under contention).
+//!
+//! Workloads are cancelling insert/delete pairs from the shared
+//! deterministic testutil harness: every command is effective on every
+//! iteration (each pair restores the pre-pair state), so "commit
+//! throughput" measures real maintenance work, not no-op filtering.
+
+use cq_updates::prelude::*;
+use cqu_testutil::{cancelling_pairs, random_updates, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::thread;
+use std::time::Duration;
+
+/// Per-family source commands; doubled by `cancelling_pairs`, so each
+/// family commits `2 × STEPS` effective updates per measured round.
+const STEPS: usize = 300;
+
+/// Shard counts swept by the disjoint half (also the thread counts).
+const SHARDS: [usize; 3] = [1, 2, 4];
+
+/// `Q{i}(x, y) :- E{i}(x, y), T{i}(y).` — family footprints are pairwise
+/// disjoint, so `k` families plan into `k` shards.
+fn family_src(i: usize) -> String {
+    format!("Q{i}(x, y) :- E{i}(x, y), T{i}(y).")
+}
+
+/// A replayable effective churn script for one family, expressed in
+/// `schema`'s relation ids: cancelling insert/delete pairs over the
+/// family's two relations (domain offset per family, so overlap arms can
+/// run several streams against one relation pair without cross-stream
+/// set-semantics interference).
+fn family_script(schema: &Schema, family: usize, e_name: &str, t_name: &str) -> Vec<Update> {
+    let fam = parse_query(&format!("Q(x, y) :- {e_name}(x, y), {t_name}(y).")).unwrap();
+    let raw = random_updates(
+        fam.schema(),
+        0xE12 + family as u64,
+        WorkloadConfig {
+            steps: STEPS,
+            domain: 16,
+            insert_permille: 1000, // pairs supply the deletes
+        },
+    );
+    let offset = (family as Const) * 100_000;
+    cancelling_pairs(&raw)
+        .into_iter()
+        .map(|u| {
+            let rel = schema.relation(fam.schema().name(u.relation())).unwrap();
+            let tuple: Vec<Const> = u.tuple().iter().map(|&c| c + offset).collect();
+            match u {
+                Update::Insert(..) => Update::Insert(rel, tuple),
+                Update::Delete(..) => Update::Delete(rel, tuple),
+            }
+        })
+        .collect()
+}
+
+/// Builds the `k`-family sharded session plus one script per family.
+fn disjoint_sharded(k: usize) -> (ShardedSession, Vec<Vec<Update>>) {
+    let mut b = ShardedSessionBuilder::new();
+    for i in 0..k {
+        b.register(&format!("q{i}"), &family_src(i)).unwrap();
+    }
+    let session = b.build().unwrap();
+    assert_eq!(session.shard_count(), k, "disjoint families must not fuse");
+    let scripts = (0..k)
+        .map(|i| family_script(session.schema(), i, &format!("E{i}"), &format!("T{i}")))
+        .collect();
+    (session, scripts)
+}
+
+/// The single-writer baseline: the same queries behind one lock.
+fn disjoint_single(k: usize) -> SharedSession {
+    let mut session = Session::new();
+    for i in 0..k {
+        session.register(&format!("q{i}"), &family_src(i)).unwrap();
+    }
+    SharedSession::new(session)
+}
+
+fn bench_disjoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_disjoint_commit_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1_200));
+    for k in SHARDS {
+        let (sharded, scripts) = disjoint_sharded(k);
+        let total: usize = scripts.iter().map(Vec::len).sum();
+        group.throughput(Throughput::Elements(total as u64));
+
+        // k writer threads, one per shard, zero lock sharing.
+        group.bench_with_input(BenchmarkId::new("sharded-parallel", k), &k, |b, _| {
+            b.iter(|| {
+                thread::scope(|s| {
+                    for script in &scripts {
+                        let sharded = &sharded;
+                        s.spawn(move || {
+                            for u in script {
+                                sharded.apply(u).unwrap();
+                            }
+                        });
+                    }
+                });
+                sharded.seq()
+            })
+        });
+
+        // One writer thread pushing the same total through one lock.
+        let shared = disjoint_single(k);
+        group.bench_with_input(BenchmarkId::new("single-writer", k), &k, |b, _| {
+            b.iter(|| {
+                for script in &scripts {
+                    for u in script {
+                        shared.apply(u).unwrap();
+                    }
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_overlap_commit_throughput");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1_200));
+    // Four queries, one shared footprint: the planner must fuse them.
+    let mut b = ShardedSessionBuilder::new();
+    for i in 0..4 {
+        b.register(&format!("q{i}"), "Q(x, y) :- E(x, y), T(y).")
+            .unwrap();
+    }
+    let sharded = b.build().unwrap();
+    assert_eq!(sharded.shard_count(), 1, "shared footprint must fuse");
+    // Per-thread streams over the same relations, domain-offset so they
+    // never cancel each other's tuples across interleavings.
+    let scripts: Vec<Vec<Update>> = (0..4)
+        .map(|i| family_script(sharded.schema(), i, "E", "T"))
+        .collect();
+    let total: usize = scripts.iter().map(Vec::len).sum();
+    group.throughput(Throughput::Elements(total as u64));
+
+    for threads in SHARDS {
+        let per_thread: Vec<Vec<&[Update]>> = (0..threads)
+            .map(|t| {
+                scripts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % threads == t)
+                    .map(|(_, s)| s.as_slice())
+                    .collect()
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("sharded-contended", threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    thread::scope(|s| {
+                        for mine in &per_thread {
+                            let sharded = &sharded;
+                            s.spawn(move || {
+                                for script in mine {
+                                    for u in *script {
+                                        sharded.apply(u).unwrap();
+                                    }
+                                }
+                            });
+                        }
+                    });
+                    sharded.seq()
+                })
+            },
+        );
+    }
+
+    let shared = {
+        let mut session = Session::new();
+        for i in 0..4 {
+            session
+                .register(&format!("q{i}"), "Q(x, y) :- E(x, y), T(y).")
+                .unwrap();
+        }
+        SharedSession::new(session)
+    };
+    group.bench_with_input(BenchmarkId::new("single-writer", 1usize), &1, |b, _| {
+        b.iter(|| {
+            for script in &scripts {
+                for u in script {
+                    shared.apply(u).unwrap();
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(e12, bench_disjoint, bench_overlap);
+criterion_main!(e12);

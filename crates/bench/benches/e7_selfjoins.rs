@@ -7,21 +7,23 @@ use cqu_dynamic::selfjoin::Phi2Engine;
 use cqu_dynamic::DynamicEngine;
 use cqu_query::parse_query;
 use cqu_storage::{Const, Update};
+use cqu_testutil::Lcg;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
+/// A random multigraph edge list with a 30% self-loop bias, drawn from
+/// the shared deterministic [`Lcg`] harness (one seed, one bit-identical
+/// stream — same contract as the testutil workloads).
 fn graph(n: usize, seed: u64) -> Vec<(Const, Const)> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let dom = (n as Const / 2).max(2);
+    let mut rng = Lcg::new(seed);
+    let dom = (n / 2).max(2);
     (0..n)
         .map(|_| {
-            let a = rng.gen_range(1..=dom);
-            let b = if rng.gen_bool(0.3) {
+            let a = 1 + rng.below(dom) as Const;
+            let b = if rng.chance(300, 1000) {
                 a
             } else {
-                rng.gen_range(1..=dom)
+                1 + rng.below(dom) as Const
             };
             (a, b)
         })

@@ -6,9 +6,8 @@
 use cqu_dynamic::{DynamicEngine, QhEngine};
 use cqu_query::{parse_query, Query};
 use cqu_storage::{Const, Update};
+use cqu_testutil::Lcg;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
 /// `Q(x1,…,xd) :- R1(x1), R2(x1,x2), …, Rd(x1,…,xd)` — a depth-`d` q-tree.
@@ -31,9 +30,9 @@ fn star_query_k(k: usize) -> Query {
 }
 
 fn load_path(engine: &mut QhEngine, q: &Query, n: usize, depth: usize) {
-    let mut rng = SmallRng::seed_from_u64(13);
+    let mut rng = Lcg::new(13);
     for _ in 0..n {
-        let consts: Vec<Const> = (0..depth).map(|_| rng.gen_range(1..=50)).collect();
+        let consts: Vec<Const> = (0..depth).map(|_| 1 + rng.below(50) as Const).collect();
         for i in 1..=depth {
             let rel = q.schema().relation(&format!("R{i}")).unwrap();
             engine.apply(&Update::Insert(rel, consts[..i].to_vec()));
@@ -78,12 +77,12 @@ fn bench_arity(c: &mut Criterion) {
     for k in [1usize, 2, 4, 6] {
         let q = star_query_k(k);
         let mut engine = QhEngine::empty(&q).unwrap();
-        let mut rng = SmallRng::seed_from_u64(14);
+        let mut rng = Lcg::new(14);
         for _ in 0..3_000 {
-            let x = rng.gen_range(1..=40);
+            let x = 1 + rng.below(40) as Const;
             for i in 1..=k {
                 let rel = q.schema().relation(&format!("R{i}")).unwrap();
-                engine.apply(&Update::Insert(rel, vec![x, rng.gen_range(100..=200)]));
+                engine.apply(&Update::Insert(rel, vec![x, 100 + rng.below(101) as Const]));
             }
         }
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {

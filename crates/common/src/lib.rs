@@ -17,14 +17,19 @@
 //! * [`epoch`] — a hand-rolled arc-swap ([`EpochCell`]): lock-free O(1)
 //!   epoch publication and pinning, the substrate of the session layer's
 //!   snapshot fast path.
+//! * [`union_find`] — a disjoint-set forest ([`UnionFind`]), used by the
+//!   session layer's shard planner to partition relations into
+//!   independent write shards by transitive query-footprint overlap.
 
 #![warn(missing_docs)]
 pub mod bitset;
 pub mod epoch;
 pub mod hash;
 pub mod slab;
+pub mod union_find;
 
 pub use bitset::{BitMatrix, BitSet};
 pub use epoch::EpochCell;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use slab::{Slab, SlabId};
+pub use union_find::UnionFind;

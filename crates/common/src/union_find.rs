@@ -1,0 +1,123 @@
+//! A small union-find (disjoint-set) structure.
+//!
+//! The session layer's shard planner partitions relations into
+//! independent write shards: every registered query unions the relations
+//! of its footprint, so two relations end up in the same set iff some
+//! chain of queries (transitively) co-references them. The structure is
+//! the textbook one — union by size with path halving, so a sequence of
+//! `m` operations over `n` elements costs O(m α(n)).
+
+/// A disjoint-set forest over elements `0..len`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    /// `parent[i]` — the parent of `i`; roots point at themselves.
+    parent: Vec<usize>,
+    /// For roots: the size of their set (unspecified for non-roots).
+    size: Vec<usize>,
+    /// Number of disjoint sets.
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `len` singleton sets `{0}, {1}, …, {len-1}`.
+    pub fn new(len: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..len).collect(),
+            size: vec![1; len],
+            sets: len,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// The canonical representative of `x`'s set. Applies path halving,
+    /// so amortized near-constant.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x;
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` iff they were
+    /// disjoint before.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        // Union by size: hang the smaller tree under the larger root.
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(!uf.same(0, 1));
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(2, 0), "already merged");
+        assert_eq!(uf.set_count(), 3);
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+        assert_eq!(uf.find(3), 3);
+    }
+
+    #[test]
+    fn transitive_chains_collapse_to_one_root() {
+        let mut uf = UnionFind::new(8);
+        // Chain pairwise: {0,1}, {2,3}, then bridge 1-2 — all four join.
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 2);
+        let root = uf.find(0);
+        for x in 0..4 {
+            assert_eq!(uf.find(x), root);
+        }
+        for x in 4..8 {
+            assert_eq!(uf.find(x), x);
+        }
+        assert_eq!(uf.set_count(), 5);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+}

@@ -15,8 +15,16 @@
 //! harness's timing experiments.
 
 use cqu_common::{BitMatrix, BitSet};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cqu_query::generator::Lcg;
+
+/// Bernoulli draw at `density` (clamped to [0, 1], permille resolution)
+/// on the workspace's deterministic [`Lcg`] — the same generator the
+/// testutil workloads and benches draw from, so lower-bound instances
+/// are bit-identical across platforms without any `rand` dependency.
+fn chance(rng: &mut Lcg, density: f64) -> bool {
+    let permille = (density.clamp(0.0, 1.0) * 1000.0).round() as usize;
+    rng.chance(permille, 1000)
+}
 
 /// An OMv instance: matrix plus the online vector stream.
 #[derive(Clone)]
@@ -30,10 +38,10 @@ pub struct OmvInstance {
 impl OmvInstance {
     /// Generates a random instance with the given entry density.
     pub fn random(n: usize, density: f64, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let matrix = BitMatrix::from_fn(n, |_, _| rng.gen_bool(density));
+        let mut rng = Lcg::new(seed);
+        let matrix = BitMatrix::from_fn(n, |_, _| chance(&mut rng, density));
         let vectors = (0..n)
-            .map(|_| BitSet::from_bools((0..n).map(|_| rng.gen_bool(density))))
+            .map(|_| BitSet::from_bools((0..n).map(|_| chance(&mut rng, density))))
             .collect();
         OmvInstance { matrix, vectors }
     }
@@ -64,13 +72,13 @@ pub struct OuMvInstance {
 impl OuMvInstance {
     /// Generates a random instance.
     pub fn random(n: usize, density: f64, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let matrix = BitMatrix::from_fn(n, |_, _| rng.gen_bool(density));
+        let mut rng = Lcg::new(seed);
+        let matrix = BitMatrix::from_fn(n, |_, _| chance(&mut rng, density));
         let pairs = (0..n)
             .map(|_| {
                 (
-                    BitSet::from_bools((0..n).map(|_| rng.gen_bool(density))),
-                    BitSet::from_bools((0..n).map(|_| rng.gen_bool(density))),
+                    BitSet::from_bools((0..n).map(|_| chance(&mut rng, density))),
+                    BitSet::from_bools((0..n).map(|_| chance(&mut rng, density))),
                 )
             })
             .collect();
@@ -110,10 +118,10 @@ impl OvInstance {
 
     /// Generates a random instance with explicit dimension.
     pub fn random_with_dim(n: usize, d: usize, density: f64, seed: u64) -> Self {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let gen = |rng: &mut SmallRng| {
+        let mut rng = Lcg::new(seed);
+        let gen = |rng: &mut Lcg| {
             (0..n)
-                .map(|_| BitSet::from_bools((0..d).map(|_| rng.gen_bool(density))))
+                .map(|_| BitSet::from_bools((0..d).map(|_| chance(rng, density))))
                 .collect::<Vec<_>>()
         };
         let u = gen(&mut rng);

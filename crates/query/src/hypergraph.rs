@@ -7,6 +7,7 @@
 //! disjoint variable sets, and `ϕ(D) = ϕ₁(D) × ⋯ × ϕⱼ(D)`.
 
 use crate::ast::{AtomId, Query, Var};
+use cqu_common::UnionFind;
 
 /// A connected component of a query: a subset of variables and atoms.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,42 +27,8 @@ impl Component {
     }
 }
 
-/// Union-find over variable indices.
-struct UnionFind {
-    parent: Vec<u32>,
-}
-
-impl UnionFind {
-    fn new(n: usize) -> Self {
-        UnionFind {
-            parent: (0..n as u32).collect(),
-        }
-    }
-
-    fn find(&mut self, x: u32) -> u32 {
-        let mut root = x;
-        while self.parent[root as usize] != root {
-            root = self.parent[root as usize];
-        }
-        // Path compression.
-        let mut cur = x;
-        while self.parent[cur as usize] != root {
-            let next = self.parent[cur as usize];
-            self.parent[cur as usize] = root;
-            cur = next;
-        }
-        root
-    }
-
-    fn union(&mut self, a: u32, b: u32) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[ra as usize] = rb;
-        }
-    }
-}
-
-/// Decomposes `q` into its connected components.
+/// Decomposes `q` into its connected components (union-find over
+/// variable indices — the shared [`cqu_common::UnionFind`]).
 ///
 /// Components are returned in order of their smallest variable index, so the
 /// decomposition is deterministic. The concatenation of all component `free`
@@ -72,21 +39,19 @@ pub fn connected_components(q: &Query) -> Vec<Component> {
     for atom in q.atoms() {
         let vars = atom.vars();
         for w in vars.windows(2) {
-            uf.union(w[0].0, w[1].0);
+            uf.union(w[0].0 as usize, w[1].0 as usize);
         }
     }
     // Group variables by root, ordered by smallest member.
-    let mut root_order: Vec<u32> = Vec::new();
     let mut comp_of_root: Vec<Option<usize>> = vec![None; n];
     let mut comps: Vec<Component> = Vec::new();
-    for v in 0..n as u32 {
+    for v in 0..n {
         let r = uf.find(v);
-        let idx = match comp_of_root[r as usize] {
+        let idx = match comp_of_root[r] {
             Some(i) => i,
             None => {
                 let i = comps.len();
-                comp_of_root[r as usize] = Some(i);
-                root_order.push(r);
+                comp_of_root[r] = Some(i);
                 comps.push(Component {
                     vars: Vec::new(),
                     atoms: Vec::new(),
@@ -95,16 +60,16 @@ pub fn connected_components(q: &Query) -> Vec<Component> {
                 i
             }
         };
-        comps[idx].vars.push(Var(v));
+        comps[idx].vars.push(Var(v as u32));
     }
     for (aid, atom) in q.atoms().iter().enumerate() {
-        let r = uf.find(atom.args[0].0);
-        let idx = comp_of_root[r as usize].expect("atom variable not in any component");
+        let r = uf.find(atom.args[0].0 as usize);
+        let idx = comp_of_root[r].expect("atom variable not in any component");
         comps[idx].atoms.push(aid);
     }
     for &v in q.free() {
-        let r = uf.find(v.0);
-        let idx = comp_of_root[r as usize].unwrap();
+        let r = uf.find(v.0 as usize);
+        let idx = comp_of_root[r].unwrap();
         comps[idx].free.push(v);
     }
     comps

@@ -27,20 +27,29 @@ pub struct Database {
     /// staleness becomes an integer comparison, and a replaced epoch can
     /// be dropped deterministically the moment its generation is passed.
     generation: u64,
+    /// Per-relation generation stamps: `rel_generation[r]` is the value
+    /// [`Database::generation`] took at relation `r`'s last effective
+    /// change (0 if never touched). The global generation is always the
+    /// max of these — a write to one relation moves only that relation's
+    /// stamp, so shard-local epoch publication can stamp and compare
+    /// staleness per relation without any shared hot spot.
+    rel_generation: Vec<u64>,
 }
 
 impl Database {
     /// Creates an empty database over `schema`.
     pub fn new(schema: Schema) -> Self {
-        let relations = schema
+        let relations: Vec<Relation> = schema
             .relations()
             .map(|r| Relation::new(schema.arity(r)))
             .collect();
+        let rel_generation = vec![0; relations.len()];
         Database {
             schema,
             relations,
             adom: FxHashMap::default(),
             generation: 0,
+            rel_generation,
         }
     }
 
@@ -73,6 +82,7 @@ impl Database {
         }
         for rel in schema.relations().skip(self.schema.len()) {
             self.relations.push(Relation::new(schema.arity(rel)));
+            self.rel_generation.push(0);
         }
         self.schema = schema.clone();
     }
@@ -87,6 +97,7 @@ impl Database {
         let changed = self.relations[rel.index()].insert(tuple.clone());
         if changed {
             self.generation += 1;
+            self.rel_generation[rel.index()] = self.generation;
             for &c in &tuple {
                 *self.adom.entry(c).or_insert(0) += 1;
             }
@@ -99,6 +110,7 @@ impl Database {
         let changed = self.relations[rel.index()].delete(tuple);
         if changed {
             self.generation += 1;
+            self.rel_generation[rel.index()] = self.generation;
             for &c in tuple {
                 let cnt = self.adom.get_mut(&c).expect("adom refcount missing");
                 *cnt -= 1;
@@ -110,12 +122,27 @@ impl Database {
         changed
     }
 
-    /// The generation stamp: a monotone counter of effective changes.
+    /// The generation stamp: a monotone counter of effective changes,
+    /// always equal to the max over [`Database::relation_generation`].
     /// Snapshots pinned at equal generations of the same database are
     /// guaranteed identical; epoch publication uses this to detect (and
     /// deterministically retire) stale views.
     pub fn generation(&self) -> u64 {
+        debug_assert_eq!(
+            self.generation,
+            self.rel_generation.iter().copied().max().unwrap_or(0),
+            "global generation must be the max per-relation stamp"
+        );
         self.generation
+    }
+
+    /// The generation stamp of relation `rel`'s last effective change
+    /// (0 if it was never touched). Only writes to `rel` move this
+    /// stamp, so per-relation staleness checks — e.g. a shard deciding
+    /// whether one of its relations changed — never observe foreign
+    /// traffic. The global [`Database::generation`] is the max of these.
+    pub fn relation_generation(&self, rel: RelId) -> u64 {
+        self.rel_generation[rel.index()]
     }
 
     /// Applies an update command; returns `true` iff the database changed.
@@ -244,5 +271,47 @@ mod tests {
         assert!(!db.delete(e, &[9, 9])); // absent: no-op
         assert!(db.delete(e, &[1, 2]));
         assert_eq!(db.generation(), 2, "back to the same state, new stamp");
+    }
+
+    #[test]
+    fn per_relation_generations_track_only_their_relation() {
+        let s = schema_et();
+        let e = s.relation("E").unwrap();
+        let t = s.relation("T").unwrap();
+        let mut db = Database::new(s);
+        assert_eq!(db.relation_generation(e), 0);
+        assert_eq!(db.relation_generation(t), 0);
+        db.insert(e, vec![1, 2]); // generation 1
+        db.insert(t, vec![2]); // generation 2
+        db.insert(e, vec![3, 4]); // generation 3
+        assert_eq!(db.relation_generation(e), 3);
+        assert_eq!(db.relation_generation(t), 2, "foreign writes don't move T");
+        assert_eq!(db.generation(), 3, "global is the max per-relation stamp");
+        // No-ops freeze both levels.
+        assert!(!db.insert(t, vec![2]));
+        assert_eq!(db.relation_generation(t), 2);
+        assert_eq!(db.generation(), 3);
+        // A delete stamps its own relation only.
+        assert!(db.delete(t, &[2]));
+        assert_eq!(db.relation_generation(t), 4);
+        assert_eq!(db.relation_generation(e), 3);
+        assert_eq!(db.generation(), 4);
+    }
+
+    #[test]
+    fn adopted_relations_start_at_generation_zero() {
+        let mut s = Schema::new();
+        s.intern("E", 2).unwrap();
+        let e = s.relation("E").unwrap();
+        let mut db = Database::new(s.clone());
+        db.insert(e, vec![1, 2]);
+        s.intern("X", 1).unwrap();
+        db.adopt_schema(&s);
+        let x = s.relation("X").unwrap();
+        assert_eq!(db.relation_generation(x), 0);
+        assert_eq!(db.relation_generation(e), 1);
+        assert_eq!(db.generation(), 1);
+        assert!(db.insert(x, vec![9]));
+        assert_eq!(db.relation_generation(x), 2);
     }
 }

@@ -37,6 +37,17 @@ pub enum CqError {
     /// ([`SharedSession`](crate::session::SharedSession)): engines may
     /// have absorbed half an update, so the session refuses further use.
     Poisoned,
+    /// A scoped shard transaction
+    /// ([`ShardedSession::transaction_over`](crate::shard::ShardedSession::transaction_over))
+    /// received an update for a relation outside its declared footprint.
+    /// The scope is relation-granular: an undeclared relation is
+    /// rejected even when it happens to live on a locked shard, and for
+    /// relations on unlocked shards admitting the update would break
+    /// both isolation and the canonical lock order.
+    OutOfShardScope {
+        /// The relation the update addressed.
+        relation: String,
+    },
 }
 
 impl std::fmt::Display for CqError {
@@ -68,6 +79,11 @@ impl std::fmt::Display for CqError {
             CqError::Poisoned => write!(
                 f,
                 "session lock poisoned: a writer panicked mid-update, engine state is suspect"
+            ),
+            CqError::OutOfShardScope { relation } => write!(
+                f,
+                "update addresses relation {relation:?} outside the transaction's declared \
+                 shard footprint"
             ),
         }
     }

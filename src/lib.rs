@@ -15,7 +15,11 @@
 //! registers many named queries, routes each to the best engine via the
 //! dichotomy classifier (the paper's Theorems 1.1–1.3 as a dispatch rule),
 //! fans updates out to all of them — singly, batched, or transactionally —
-//! and publishes per-update result deltas to subscribers.
+//! and publishes per-update result deltas to subscribers. When aggregate
+//! write throughput outgrows one serialized writer, the [`shard`] API
+//! ([`ShardedSession`](shard::ShardedSession)) partitions the query set
+//! into footprint shards whose updates commit in parallel while every
+//! query stays exact on one global timeline.
 //!
 //! ## Quickstart
 //!
@@ -68,6 +72,7 @@
 
 pub mod error;
 pub mod session;
+pub mod shard;
 
 pub use cqu_baseline as baseline;
 pub use cqu_common as common;
@@ -81,6 +86,7 @@ pub use session::{
     ChangeEvent, EngineChoice, QueryHandle, QueryId, QuerySnapshot, RouteReason, Session,
     SessionTransaction, SharedSession, Subscription,
 };
+pub use shard::{ShardPlan, ShardSpec, ShardedSession, ShardedSessionBuilder, ShardedTransaction};
 
 /// One-stop imports for typical use.
 pub mod prelude {
@@ -88,6 +94,9 @@ pub mod prelude {
     pub use crate::session::{
         ChangeEvent, EngineChoice, PinReader, QueryHandle, QueryId, QuerySnapshot, RouteReason,
         Session, SessionTransaction, SharedSession, Subscription,
+    };
+    pub use crate::shard::{
+        ShardPlan, ShardSpec, ShardedSession, ShardedSessionBuilder, ShardedTransaction,
     };
     pub use cqu_baseline::{DeltaIvmEngine, EngineKind, RecomputeEngine, SemiJoinEngine};
     pub use cqu_dynamic::{

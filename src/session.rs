@@ -76,6 +76,7 @@ use cqu_query::classify::{classify, Classification, Verdict};
 use cqu_query::hierarchical::{q_hierarchical_violation, Violation};
 use cqu_query::{parse_query, Query, QueryBuilder, QueryError, RelId, Schema};
 use cqu_storage::{ApplyUpdate, Database, Tuple, Update};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, Weak};
 use std::time::Duration;
@@ -195,8 +196,12 @@ struct Epoch {
     seq: u64,
     /// The engine-state version ([`Registered::version`]) this reflects.
     version: u64,
-    /// Master-database generation stamp at publication
-    /// ([`cqu_storage::Database::generation`]).
+    /// Storage-level footprint generation at publication: the max
+    /// [`cqu_storage::Database::relation_generation`] over the query's
+    /// `relevant` relations. Moves only when one of *this query's*
+    /// relations changes — foreign traffic (other queries' relations in
+    /// this session, other shards entirely) never moves the stamp, so
+    /// equal stamps mean identical pinned states.
     generation: u64,
     snap: Arc<dyn ResultSnapshot>,
 }
@@ -215,6 +220,14 @@ struct Registered {
     /// registration — provably cannot change the result and are not
     /// routed; in particular they never trigger delta extraction.
     relevant: Vec<bool>,
+    /// The query's current footprint generation: the max per-relation
+    /// storage stamp ([`cqu_storage::Database::relation_generation`])
+    /// over its `relevant` relations. Seeded by [`footprint_generation`]
+    /// at registration, then maintained in O(1) on the write path (the
+    /// latest effective change to any footprint relation is always the
+    /// update that just landed). Moves only when one of *this query's*
+    /// relations changes.
+    footprint_gen: u64,
     /// Monotone engine-state version: bumped before every mutation of
     /// `engine`, so published epochs know when they go stale.
     version: u64,
@@ -228,6 +241,20 @@ struct Registered {
     /// Never touched by [`PinReader::pin`].
     build_lock: Mutex<()>,
     subscribers: Mutex<Vec<Subscriber>>,
+}
+
+/// The storage-level generation stamp of a query footprint: the max
+/// per-relation generation over the relations `relevant` marks. O(|σ|);
+/// computed once at registration to seed [`Registered::footprint_gen`],
+/// which the write path then maintains in O(1).
+fn footprint_generation(relevant: &[bool], db: &Database) -> u64 {
+    relevant
+        .iter()
+        .enumerate()
+        .filter(|&(_, &wanted)| wanted)
+        .map(|(i, _)| db.relation_generation(RelId(i as u32)))
+        .max()
+        .unwrap_or(0)
 }
 
 impl Registered {
@@ -313,10 +340,11 @@ impl Registered {
     /// engine's snapshots are cheap (O(components) `Arc` clones on the
     /// q-hierarchical engine). Engines with `Ω(|view|)` snapshots
     /// (delta-IVM, diff fallbacks) never stall the writer: their epochs
-    /// refresh lazily, on the next locked pin.
-    fn republish_on_demand(&self, seq: u64, generation: u64) {
+    /// refresh lazily, on the next locked pin. Stamps the maintained
+    /// footprint generation — O(1) either way.
+    fn republish_on_demand(&self, seq: u64) {
         if self.engine.snapshot_is_cheap() && self.cell.take_refresh_request() {
-            self.publish_epoch(seq, generation);
+            self.publish_epoch(seq, self.footprint_gen);
         }
     }
 }
@@ -352,6 +380,12 @@ pub struct Session {
     regs: Vec<Registered>,
     by_name: FxHashMap<String, usize>,
     seq: u64,
+    /// When set, sequence numbers are drawn from this shared counter
+    /// instead of the private `seq` field — the mechanism by which every
+    /// shard of a [`crate::shard::ShardedSession`] stamps its updates
+    /// onto one global timeline. `seq` then caches the last number this
+    /// session drew (its own updates' position in the global stream).
+    seq_source: Option<Arc<AtomicU64>>,
     /// While a [`SessionTransaction`] is open: per-registration
     /// accumulators for subscriber deltas. Events are netted here and
     /// emitted once at commit; a rollback discards the buffer, so
@@ -395,9 +429,37 @@ impl Session {
             regs: Vec::new(),
             by_name: FxHashMap::default(),
             seq: 0,
+            seq_source: None,
             tx_buffer: None,
             rolling_back: false,
         }
+    }
+
+    /// Switches this session onto a shared sequence counter: every
+    /// effective update from now on draws its number from `source`
+    /// (one atomic `fetch_add`; batches reserve a contiguous range), so
+    /// several sessions sharing one source stamp their updates onto a
+    /// single totally-ordered timeline. The shard layer calls this on
+    /// each shard's session at build time, before any update flows.
+    pub(crate) fn share_seq(&mut self, source: Arc<AtomicU64>) {
+        debug_assert_eq!(self.seq, 0, "seq sharing must precede all updates");
+        self.seq = source.load(Ordering::Relaxed);
+        self.seq_source = Some(source);
+    }
+
+    /// Draws the next `n` sequence numbers (one per effective update just
+    /// dispatched) and returns the last — the stamp for this step's
+    /// epochs and events. Standalone sessions count locally; shard
+    /// sessions reserve a contiguous range of the shared global counter.
+    fn advance_seq(&mut self, n: u64) -> u64 {
+        self.seq = match &self.seq_source {
+            None => self.seq + n,
+            // Relaxed suffices: uniqueness (not ordering) carries the
+            // correctness argument, and every consumer of the drawn value
+            // reads it through this shard's writer lock.
+            Some(source) => source.fetch_add(n, Ordering::Relaxed) + n,
+        };
+        self.seq
     }
 
     /// Opens a session with an empty schema (relations are interned by
@@ -420,6 +482,10 @@ impl Session {
     /// applies and batch members each count one; a rolled-back
     /// transaction also counts its compensating inverses (they are
     /// effective commands, even though the net state change is zero).
+    ///
+    /// Inside a [`crate::shard::ShardedSession`], where sessions share
+    /// one global counter, this is the *global* position of this shard's
+    /// most recent update (other shards may have drawn later numbers).
     pub fn seq(&self) -> u64 {
         self.seq
     }
@@ -493,12 +559,13 @@ impl Session {
         self.by_name.insert(name.to_string(), id.0);
         // Publish the genesis epoch: readers acquired before the first
         // update pin the seed state, stamped with the current stream
-        // position and database generation.
+        // position and the query's footprint generation.
+        let footprint_gen = footprint_generation(&relevant, &self.db);
         let snap: Arc<dyn ResultSnapshot> = Arc::from(engine.snapshot());
         let cell = Arc::new(EpochCell::new(Arc::new(Epoch {
             seq: self.seq,
             version: 0,
-            generation: self.db.generation(),
+            generation: footprint_gen,
             snap,
         })));
         self.regs.push(Registered {
@@ -509,6 +576,7 @@ impl Session {
             reason,
             engine,
             relevant,
+            footprint_gen,
             version: 0,
             cell,
             build_lock: Mutex::new(()),
@@ -554,7 +622,7 @@ impl Session {
             reg: &self.regs[idx],
             id: QueryId(idx),
             seq: self.seq,
-            generation: self.db.generation(),
+            generation: self.regs[idx].footprint_gen,
         })
     }
 
@@ -564,13 +632,12 @@ impl Session {
             reg: &self.regs[id.0],
             id,
             seq: self.seq,
-            generation: self.db.generation(),
+            generation: self.regs[id.0].footprint_gen,
         }
     }
 
     /// Iterates over all registered queries, in registration order.
     pub fn queries(&self) -> impl Iterator<Item = QueryHandle<'_>> {
-        let generation = self.db.generation();
         self.regs
             .iter()
             .enumerate()
@@ -578,7 +645,7 @@ impl Session {
                 reg,
                 id: QueryId(i),
                 seq: self.seq,
-                generation,
+                generation: reg.footprint_gen,
             })
     }
 
@@ -596,19 +663,7 @@ impl Session {
 
     /// Checks an update against the session schema.
     fn validate(&self, update: &Update) -> Result<(), CqError> {
-        let rel = update.relation();
-        if rel.index() >= self.schema.len() {
-            return Err(CqError::UnknownRelationId(rel.0));
-        }
-        let expected = self.schema.arity(rel);
-        if update.tuple().len() != expected {
-            return Err(CqError::Arity {
-                relation: self.schema.name(rel).to_string(),
-                expected,
-                found: update.tuple().len(),
-            });
-        }
-        Ok(())
+        validate_update(&self.schema, update)
     }
 
     /// Routes one pre-validated update to the master database and every
@@ -626,8 +681,13 @@ impl Session {
             // Set-semantics no-op: no engine state can change either.
             return false;
         }
-        self.seq += 1;
+        self.advance_seq(1);
         let in_tx = self.tx_buffer.is_some();
+        // This update's relation was the database's latest effective
+        // change, so for every query routed below (the relation is in
+        // its footprint) the footprint max is exactly this counter —
+        // O(1) maintenance, read once for the whole loop.
+        let generation = self.db.generation();
         for (idx, reg) in self.regs.iter_mut().enumerate() {
             if !reg.wants(update.relation()) {
                 continue;
@@ -635,6 +695,7 @@ impl Session {
             // Every branch below mutates the engine: stale published
             // epochs (and with them all cached pins).
             reg.touch();
+            reg.footprint_gen = generation;
             // Rollback replay needs no deltas — its buffer is discarded —
             // so it takes the untracked path even under subscription.
             if !self.rolling_back && reg.has_subscribers() {
@@ -671,7 +732,7 @@ impl Session {
             // state; commit publishes) and never during rollback (the
             // pre-transaction epoch content is still exact).
             if !in_tx {
-                reg.republish_on_demand(self.seq, self.db.generation());
+                reg.republish_on_demand(self.seq);
             }
         }
         true
@@ -696,6 +757,13 @@ impl Session {
         for u in updates {
             self.validate(u)?;
         }
+        Ok(self.apply_batch_prevalidated(updates))
+    }
+
+    /// The batch path after validation — also the entry point for the
+    /// shard router, which has already validated every update against
+    /// the (identical) union schema and must not pay for it twice.
+    pub(crate) fn apply_batch_prevalidated(&mut self, updates: &[Update]) -> UpdateReport {
         // Only updates that change the master database can concern any
         // engine: set-semantics no-ops are dropped here, so an engine
         // whose relations saw only no-ops is skipped entirely — no batch
@@ -714,16 +782,16 @@ impl Session {
         let effective: &[Update] = kept.as_deref().unwrap_or(updates);
         let applied = effective.len();
         if applied == 0 {
-            return Ok(UpdateReport {
+            return UpdateReport {
                 total: updates.len(),
                 applied: 0,
-            });
+            };
         }
         // Each effective member advances the stream position, exactly as
         // if applied singly — so a snapshot's `seq()` always counts
         // effective updates, batched or not — but subscribers still get
         // one netted event, stamped with the last member's number.
-        self.seq += applied as u64;
+        self.advance_seq(applied as u64);
         let mut filtered: Vec<Update> = Vec::new();
         for reg in &mut self.regs {
             // Zero-copy when every effective update concerns this query;
@@ -744,6 +812,14 @@ impl Session {
                 continue;
             }
             reg.touch();
+            // The batch's routed members include the most recent
+            // effective change to any footprint relation, so their max
+            // per-relation stamp is the new footprint generation.
+            reg.footprint_gen = routed
+                .iter()
+                .map(|u| self.db.relation_generation(u.relation()))
+                .max()
+                .expect("routed is nonempty");
             if reg.has_subscribers() {
                 let mut delta = ResultDelta::default();
                 reg.engine.apply_batch_tracked(routed, &mut delta);
@@ -754,12 +830,12 @@ impl Session {
             // One epoch publication per batch, stamped with the batch's
             // final stream position (a transaction cannot be open here:
             // it holds the session `&mut`).
-            reg.republish_on_demand(self.seq, self.db.generation());
+            reg.republish_on_demand(self.seq);
         }
-        Ok(UpdateReport {
+        UpdateReport {
             total: updates.len(),
             applied,
-        })
+        }
     }
 
     /// Starts an all-or-nothing transaction over the whole session.
@@ -815,7 +891,7 @@ impl Session {
             // open (pins must not see uncommitted state): satisfy pending
             // refresh requests now that the state is committed.
             for reg in &self.regs {
-                reg.republish_on_demand(self.seq, self.db.generation());
+                reg.republish_on_demand(self.seq);
             }
         }
     }
@@ -846,11 +922,18 @@ impl SessionTransaction<'_> {
     /// prefix or drop the guard to roll it back.
     pub fn apply(&mut self, update: &Update) -> Result<bool, CqError> {
         self.session.validate(update)?;
+        Ok(self.apply_prevalidated(update))
+    }
+
+    /// The transactional apply after validation — the entry point for
+    /// the shard router, which validates once against the (identical)
+    /// union schema before routing.
+    pub(crate) fn apply_prevalidated(&mut self, update: &Update) -> bool {
         let changed = self.session.dispatch(update);
         if changed {
             self.effective.push(update.clone());
         }
-        Ok(changed)
+        changed
     }
 
     /// Applies a sequence of updates, stopping at the first malformed
@@ -911,7 +994,8 @@ pub struct QueryHandle<'a> {
     /// The session's update sequence number when this handle was taken —
     /// stamped onto snapshots pinned through it.
     seq: u64,
-    /// The master database's generation stamp when this handle was taken.
+    /// The query's footprint generation (max per-relation storage stamp
+    /// over its relevant relations) when this handle was taken.
     generation: u64,
 }
 
@@ -1070,10 +1154,14 @@ impl QuerySnapshot {
         self.seq
     }
 
-    /// The master database's generation stamp
-    /// ([`cqu_storage::Database::generation`]) at pin time: a second,
-    /// storage-level identity for the pinned state, monotone across the
-    /// session's whole update stream.
+    /// The query's storage-level **footprint generation** at pin time:
+    /// the max [`cqu_storage::Database::relation_generation`] over the
+    /// relations the maintained query references. Monotone, and it moves
+    /// *only* when one of this query's relations changes — updates to
+    /// foreign relations (other queries in the session, other shards of
+    /// a [`crate::shard::ShardedSession`]) leave it untouched, so two
+    /// snapshots of one query with equal stamps pin identical states
+    /// even when the rest of the database churned between them.
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -1373,6 +1461,25 @@ fn _assert_thread_safe() {
     send_sync::<PinReader>();
     send_sync::<ChangeEvent>();
     send::<Subscription>();
+}
+
+/// Checks one update against a schema: the relation id must exist and
+/// the tuple width must match its arity. Shared by [`Session`] and the
+/// shard router (which must validate *before* it can even pick a shard).
+pub(crate) fn validate_update(schema: &Schema, update: &Update) -> Result<(), CqError> {
+    let rel = update.relation();
+    if rel.index() >= schema.len() {
+        return Err(CqError::UnknownRelationId(rel.0));
+    }
+    let expected = schema.arity(rel);
+    if update.tuple().len() != expected {
+        return Err(CqError::Arity {
+            relation: schema.name(rel).to_string(),
+            expected,
+            found: update.tuple().len(),
+        });
+    }
+    Ok(())
 }
 
 /// The admission pre-check for the chosen engine: the dynamic engine

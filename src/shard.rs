@@ -1,0 +1,966 @@
+//! Sharded writers: footprint-partitioned parallel commits.
+//!
+//! The paper's Theorem 3.2 makes every *single* update O(1) on a
+//! q-hierarchical query — but a [`Session`] still funnels all updates
+//! through one serialized dispatch path, so aggregate write throughput is
+//! bounded by one core no matter how cheap each update is.
+//! [`ShardedSession`] removes that ceiling for workloads whose queries do
+//! not all read the same relations: registered queries are partitioned
+//! into **shards by relation footprint** — a union-find over each query's
+//! relation set, so two queries share a shard iff their footprints are
+//! (transitively) connected — and each shard owns a full private
+//! [`Session`] (writer lock, engines, subscriber lists, epoch cells)
+//! behind its own `RwLock`. Updates route to exactly the shard owning
+//! their relation: commits against different shards proceed **in
+//! parallel on different threads**, while all of a query's relations
+//! always live in its own shard, so no query ever needs cross-shard
+//! coordination to stay exact.
+//!
+//! # One global timeline
+//!
+//! Every effective update still draws its sequence number from one
+//! shared atomic counter (a single `fetch_add` — the only cross-shard
+//! touch on the write path), so all shards stamp their epochs, snapshots,
+//! and change events onto a single totally-ordered global `seq` timeline:
+//! a pin of any query, from any shard, is exactly the brute-force result
+//! of its stamped global prefix. Epoch *generation* stamps are
+//! footprint-granular: every epoch carries the max per-relation storage
+//! counter over its own query's relations
+//! ([`cqu_storage::Database::relation_generation`]), which moves only
+//! when one of those relations changes — so publication never touches
+//! shared state beyond that one counter, and a query's generation stamp
+//! is blind to foreign traffic even from a co-located sibling query.
+//!
+//! # Locking discipline
+//!
+//! * Single-shard writes ([`ShardedSession::apply`], and
+//!   [`ShardedSession::apply_batch`] when the batch touches one shard)
+//!   take only that shard's writer lock.
+//! * Multi-shard batches and transactions take the locks of every
+//!   touched shard in **canonical order** (ascending shard index), so
+//!   concurrent multi-shard writers cannot deadlock.
+//! * Transactions commit behind a **cross-shard barrier**: every shard's
+//!   commit (epoch publication, netted events) happens while *all*
+//!   footprint locks are still held, and the locks release only after
+//!   the last shard committed — a locked reader can never observe shard
+//!   A committed but shard B still mid-flight.
+//! * Readers are untouched by all of this: [`ShardedSession::reader`]
+//!   hands out the same lock-free [`PinReader`]s as a single session,
+//!   and a pin remains one atomic load regardless of the shard count.
+//!
+//! ```
+//! use cq_updates::prelude::*;
+//!
+//! let mut b = ShardedSessionBuilder::new();
+//! b.register("feed", "F(u, p) :- Follows(u, v), Posts(v, p).").unwrap();
+//! b.register("dms", "D(u, m) :- Inbox(u, m), Active(u).").unwrap();
+//! let session = b.build().unwrap();
+//! // Disjoint footprints ⇒ two shards: feed and dm traffic commit in
+//! // parallel, each behind its own writer lock.
+//! assert_eq!(session.shard_count(), 2);
+//!
+//! let follows = session.relation("Follows").unwrap();
+//! let posts = session.relation("Posts").unwrap();
+//! session.apply(&Update::Insert(follows, vec![1, 2])).unwrap();
+//! session.apply(&Update::Insert(posts, vec![2, 77])).unwrap();
+//! assert_eq!(session.count("feed").unwrap(), 1);
+//! assert_eq!(session.count("dms").unwrap(), 0);
+//! ```
+
+use crate::error::CqError;
+use crate::session::{
+    validate_update, EngineChoice, PinReader, QueryId, QuerySnapshot, Session, SessionTransaction,
+    Subscription,
+};
+use cqu_common::{FxHashMap, UnionFind};
+use cqu_dynamic::UpdateReport;
+use cqu_query::{parse_query, Query, RelId, Schema};
+use cqu_storage::{ApplyUpdate, Update};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockWriteGuard};
+
+/// Collects query registrations, then partitions them into independent
+/// write shards ([`ShardedSessionBuilder::build`]).
+///
+/// Shard planning is a whole-set decision — a late query can bridge two
+/// previously independent footprints and merge their shards — so the
+/// sharded front door registers everything up front and seals the plan
+/// at build time. (A [`Session`] remains the right tool for dynamic
+/// registration; a [`ShardedSession`] is the serving-scale deployment of
+/// a known query set.)
+#[derive(Debug, Default)]
+pub struct ShardedSessionBuilder {
+    schema: Schema,
+    regs: Vec<(String, Query, EngineChoice)>,
+}
+
+impl ShardedSessionBuilder {
+    /// Starts an empty builder (relations are interned by the queries
+    /// that mention them).
+    pub fn new() -> ShardedSessionBuilder {
+        ShardedSessionBuilder::default()
+    }
+
+    /// Starts a builder over a pre-declared schema. Relations no query
+    /// ends up referencing become singleton shards of their own: updates
+    /// to them commit (and count on the global timeline) without ever
+    /// contending with query-bearing shards.
+    pub fn open(schema: Schema) -> ShardedSessionBuilder {
+        ShardedSessionBuilder {
+            schema,
+            regs: Vec::new(),
+        }
+    }
+
+    /// Parses and registers a query under `name`, classifier-routed.
+    pub fn register(&mut self, name: &str, src: &str) -> Result<&mut Self, CqError> {
+        self.register_with(name, src, EngineChoice::Auto)
+    }
+
+    /// Parses and registers a query under `name` with an explicit engine
+    /// choice.
+    pub fn register_with(
+        &mut self,
+        name: &str,
+        src: &str,
+        choice: EngineChoice,
+    ) -> Result<&mut Self, CqError> {
+        let q = parse_query(src)?;
+        self.register_query(name, &q, choice)
+    }
+
+    /// Registers an already-built query under `name`.
+    ///
+    /// The query's relations are interned into the builder schema (arity
+    /// clashes error, leaving the builder untouched). Engine admission is
+    /// checked at [`ShardedSessionBuilder::build`], exactly as a
+    /// [`Session`] checks it at registration.
+    pub fn register_query(
+        &mut self,
+        name: &str,
+        query: &Query,
+        choice: EngineChoice,
+    ) -> Result<&mut Self, CqError> {
+        if self.regs.iter().any(|(n, _, _)| n == name) {
+            return Err(CqError::DuplicateQuery(name.to_string()));
+        }
+        // Stage the schema growth so a failed intern leaves no trace.
+        let mut staged = self.schema.clone();
+        let theirs = query.schema();
+        for rel in theirs.relations() {
+            staged.intern(theirs.name(rel), theirs.arity(rel))?;
+        }
+        self.schema = staged;
+        self.regs.push((name.to_string(), query.clone(), choice));
+        Ok(self)
+    }
+
+    /// The shard partition this query set induces, without building the
+    /// sessions — for capacity planning and tests.
+    pub fn plan(&self) -> ShardPlan {
+        partition(&self.schema, &self.regs)
+    }
+
+    /// Partitions the registered queries into shards and builds the
+    /// sharded session: one [`Session`] per footprint component, all
+    /// sharing one global sequence counter. Fails (like
+    /// [`Session::register_query`] would) if a forced engine cannot
+    /// admit its query.
+    pub fn build(self) -> Result<ShardedSession, CqError> {
+        let plan = partition(&self.schema, &self.regs);
+        let seq = Arc::new(AtomicU64::new(0));
+        let mut sessions: Vec<Session> = plan
+            .shards
+            .iter()
+            .map(|_| {
+                let mut s = Session::open(self.schema.clone());
+                s.share_seq(Arc::clone(&seq));
+                s
+            })
+            .collect();
+        let mut query_shard = FxHashMap::default();
+        for (i, (name, query, choice)) in self.regs.iter().enumerate() {
+            let sid = plan.reg_shard[i];
+            sessions[sid].register_query(name, query, *choice)?;
+            query_shard.insert(name.clone(), sid);
+        }
+        let shards: Vec<RwLock<Session>> = sessions.into_iter().map(RwLock::new).collect();
+        Ok(ShardedSession {
+            inner: Arc::new(Inner {
+                schema: self.schema,
+                shards,
+                query_shard,
+                seq,
+                plan,
+            }),
+        })
+    }
+}
+
+/// How a query set partitions into write shards
+/// (see [`ShardedSessionBuilder::plan`]).
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: Vec<ShardSpec>,
+    /// Relation index → owning shard index.
+    rel_shard: Vec<usize>,
+    /// Registration index → owning shard index (same order as the
+    /// builder's registrations), so building stays linear in the query
+    /// count.
+    reg_shard: Vec<usize>,
+}
+
+/// One planned shard: the queries it maintains and the relations it
+/// owns (a connected component of the query-footprint graph).
+#[derive(Debug, Clone, Default)]
+pub struct ShardSpec {
+    queries: Vec<String>,
+    relations: Vec<RelId>,
+}
+
+impl ShardSpec {
+    /// Names of the queries this shard maintains, in registration order.
+    pub fn queries(&self) -> &[String] {
+        &self.queries
+    }
+
+    /// The relations this shard owns; updates to them route here.
+    pub fn relations(&self) -> &[RelId] {
+        &self.relations
+    }
+}
+
+impl ShardPlan {
+    /// Number of shards (independent writer locks).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The planned shards, in relation-id order of their first relation.
+    pub fn shards(&self) -> &[ShardSpec] {
+        &self.shards
+    }
+
+    /// The shard owning `rel`, if it is in the plan's schema.
+    pub fn shard_of_relation(&self, rel: RelId) -> Option<usize> {
+        self.rel_shard.get(rel.index()).copied()
+    }
+
+    /// The shard maintaining the query registered as `name`.
+    pub fn shard_of_query(&self, name: &str) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| s.queries.iter().any(|q| q == name))
+    }
+}
+
+/// Union-find over relations: each query unions its footprint, shards
+/// are the resulting components (plus singleton shards for relations no
+/// query references). Deterministic: shards are numbered by the smallest
+/// relation id they contain, queries stay in registration order.
+fn partition(schema: &Schema, regs: &[(String, Query, EngineChoice)]) -> ShardPlan {
+    let rel_ids: Vec<RelId> = schema.relations().collect();
+    let mut uf = UnionFind::new(rel_ids.len());
+    // Footprints in builder-schema ids: the *full* query footprint (not
+    // the homomorphic core's) — a superset keeps routing conservative
+    // and is always correct, since the maintained core's atoms are a
+    // subset of the query's.
+    let footprints: Vec<Vec<usize>> = regs
+        .iter()
+        .map(|(_, q, _)| {
+            let mut rels: Vec<usize> = q
+                .atoms()
+                .iter()
+                .map(|a| {
+                    schema
+                        .relation(q.schema().name(a.relation))
+                        .expect("interned at registration")
+                        .index()
+                })
+                .collect();
+            rels.sort_unstable();
+            rels.dedup();
+            rels
+        })
+        .collect();
+    for fp in &footprints {
+        for w in fp.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+    }
+    let mut root_shard: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut shards: Vec<ShardSpec> = Vec::new();
+    let mut rel_shard = vec![0usize; rel_ids.len()];
+    for (idx, &rel) in rel_ids.iter().enumerate() {
+        let root = uf.find(idx);
+        let sid = *root_shard.entry(root).or_insert_with(|| {
+            shards.push(ShardSpec::default());
+            shards.len() - 1
+        });
+        rel_shard[idx] = sid;
+        shards[sid].relations.push(rel);
+    }
+    let mut reg_shard = Vec::with_capacity(regs.len());
+    for (i, (name, _, _)) in regs.iter().enumerate() {
+        // Guaranteed non-empty: `QueryBuilder::build` rejects empty
+        // bodies (`QueryError::EmptyBody`), so every query has an atom.
+        let anchor = footprints[i][0];
+        let sid = rel_shard[anchor];
+        shards[sid].queries.push(name.clone());
+        reg_shard.push(sid);
+    }
+    ShardPlan {
+        shards,
+        rel_shard,
+        reg_shard,
+    }
+}
+
+struct Inner {
+    schema: Schema,
+    /// One shard per footprint component: a full private session behind
+    /// its own writer lock.
+    shards: Vec<RwLock<Session>>,
+    query_shard: FxHashMap<String, usize>,
+    /// The global sequence counter every shard session draws from.
+    seq: Arc<AtomicU64>,
+    plan: ShardPlan,
+}
+
+/// A cloneable, thread-safe, footprint-sharded session: independent
+/// relations commit in parallel, every query stays exact on one global
+/// timeline. See the [module docs](self) for the design and
+/// [`ShardedSessionBuilder`] for construction.
+#[derive(Clone)]
+pub struct ShardedSession {
+    inner: Arc<Inner>,
+}
+
+impl ShardedSession {
+    /// Starts a builder (synonym for [`ShardedSessionBuilder::new`]).
+    pub fn builder() -> ShardedSessionBuilder {
+        ShardedSessionBuilder::new()
+    }
+
+    /// The union schema of all registered queries.
+    pub fn schema(&self) -> &Schema {
+        &self.inner.schema
+    }
+
+    /// The shard plan this session was built from.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.inner.plan
+    }
+
+    /// Number of shards (independent writer locks).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shard maintaining the query registered as `name`.
+    pub fn shard_of_query(&self, name: &str) -> Result<usize, CqError> {
+        self.inner
+            .query_shard
+            .get(name)
+            .copied()
+            .ok_or_else(|| CqError::UnknownQuery(name.to_string()))
+    }
+
+    /// The shard owning `rel` (where updates to it commit).
+    pub fn shard_of_relation(&self, rel: RelId) -> Result<usize, CqError> {
+        self.inner
+            .plan
+            .shard_of_relation(rel)
+            .ok_or(CqError::UnknownRelationId(rel.0))
+    }
+
+    /// Resolves a relation by name.
+    pub fn relation(&self, name: &str) -> Result<RelId, CqError> {
+        self.inner
+            .schema
+            .relation(name)
+            .ok_or_else(|| CqError::UnknownRelation(name.to_string()))
+    }
+
+    /// The global sequence counter: total effective update commands
+    /// drawn across all shards so far. Monotone; each effective update
+    /// (on any shard) owns exactly one number.
+    pub fn seq(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
+    }
+
+    /// Total effective changes committed across all shards, summed from
+    /// the shards' own storage-level generation counters — no global
+    /// stamp is maintained anywhere; each shard's
+    /// [`cqu_storage::Database::generation`] counts only its own traffic
+    /// (per relation, see [`ShardedSession::relation_generation`]).
+    ///
+    /// All shard read locks are held together (acquired in canonical
+    /// order) while summing, so the total is one consistent cut: it can
+    /// never count a cross-shard transaction's effects on one shard but
+    /// not another.
+    pub fn generation(&self) -> Result<u64, CqError> {
+        let mut guards = Vec::with_capacity(self.inner.shards.len());
+        for shard in &self.inner.shards {
+            guards.push(shard.read().map_err(|_| CqError::Poisoned)?);
+        }
+        Ok(guards.iter().map(|g| g.database().generation()).sum())
+    }
+
+    /// The shard-local generation stamp of `rel`'s last effective change
+    /// (see [`cqu_storage::Database::relation_generation`]): moves only
+    /// when `rel` itself changes, wherever else traffic lands.
+    pub fn relation_generation(&self, rel: RelId) -> Result<u64, CqError> {
+        let sid = self.shard_of_relation(rel)?;
+        let guard = self.inner.shards[sid]
+            .read()
+            .map_err(|_| CqError::Poisoned)?;
+        Ok(guard.database().relation_generation(rel))
+    }
+
+    /// Applies one update through the owning shard's writer lock;
+    /// returns `true` iff the database changed. Concurrent callers
+    /// touching *different* shards commit fully in parallel — this is
+    /// the subsystem's whole point; callers on the same shard serialize
+    /// exactly like a [`crate::SharedSession`] writer.
+    pub fn apply(&self, update: &Update) -> Result<bool, CqError> {
+        validate_update(&self.inner.schema, update)?;
+        let sid = self.inner.plan.rel_shard[update.relation().index()];
+        let mut guard = self.inner.shards[sid]
+            .write()
+            .map_err(|_| CqError::Poisoned)?;
+        // Pre-validated dispatch: every shard session carries the same
+        // union schema this router just validated against, so the
+        // delegated session must not pay for validation again.
+        Ok(guard.apply_update(update))
+    }
+
+    /// Applies a batch, equivalent to applying its members in order.
+    /// All-or-nothing under validation: nothing is applied if any update
+    /// is malformed. A batch confined to one shard takes one lock and
+    /// one engine-level batch pass (netting, grouping); a batch spanning
+    /// shards locks every touched shard in canonical order, then commits
+    /// one sub-batch per shard — per-shard order is preserved, and since
+    /// every query's footprint lives inside a single shard, every query
+    /// observes exactly the relative order of the updates that concern
+    /// it.
+    pub fn apply_batch(&self, updates: &[Update]) -> Result<UpdateReport, CqError> {
+        for u in updates {
+            validate_update(&self.inner.schema, u)?;
+        }
+        let Some(first) = updates.first() else {
+            return Ok(UpdateReport {
+                total: 0,
+                applied: 0,
+            });
+        };
+        let rel_shard = &self.inner.plan.rel_shard;
+        let first_sid = rel_shard[first.relation().index()];
+        if updates
+            .iter()
+            .all(|u| rel_shard[u.relation().index()] == first_sid)
+        {
+            let mut guard = self.inner.shards[first_sid]
+                .write()
+                .map_err(|_| CqError::Poisoned)?;
+            return Ok(guard.apply_batch_prevalidated(updates));
+        }
+        // Multi-shard: split into per-shard sub-batches (order preserved
+        // within each), lock ascending, commit each sub-batch.
+        let mut groups: Vec<Vec<Update>> = vec![Vec::new(); self.inner.shards.len()];
+        for u in updates {
+            groups[rel_shard[u.relation().index()]].push(u.clone());
+        }
+        let touched: Vec<usize> = (0..groups.len())
+            .filter(|&s| !groups[s].is_empty())
+            .collect();
+        let mut guards = self.lock_shards(&touched)?;
+        let mut applied = 0;
+        for (guard, &sid) in guards.iter_mut().zip(&touched) {
+            applied += guard.apply_batch_prevalidated(&groups[sid]).applied;
+        }
+        Ok(UpdateReport {
+            total: updates.len(),
+            applied,
+        })
+    }
+
+    /// Write-locks `shards` (must be sorted ascending — the canonical
+    /// lock order that makes concurrent multi-shard writers deadlock-free).
+    fn lock_shards(&self, shards: &[usize]) -> Result<Vec<RwLockWriteGuard<'_, Session>>, CqError> {
+        debug_assert!(shards.windows(2).all(|w| w[0] < w[1]), "canonical order");
+        let mut guards = Vec::with_capacity(shards.len());
+        for &sid in shards {
+            guards.push(
+                self.inner.shards[sid]
+                    .write()
+                    .map_err(|_| CqError::Poisoned)?,
+            );
+        }
+        Ok(guards)
+    }
+
+    /// Runs `f` inside an all-or-nothing transaction spanning **all**
+    /// shards: committed when `f` returns `Ok`, rolled back (feeds
+    /// silent) when it returns `Err`. Prefer
+    /// [`ShardedSession::transaction_over`] when the write set is known —
+    /// it locks only the footprint's shards and leaves the rest
+    /// committing in parallel.
+    pub fn transaction<R>(
+        &self,
+        f: impl FnOnce(&mut ShardedTransaction<'_>) -> Result<R, CqError>,
+    ) -> Result<R, CqError> {
+        let all: Vec<usize> = (0..self.inner.shards.len()).collect();
+        self.run_transaction(&all, None, f)
+    }
+
+    /// Runs `f` inside an all-or-nothing transaction scoped to
+    /// `footprint`: only the shards owning those relations are locked
+    /// (in canonical order), and the declared relations are the write
+    /// set — an update to **any** other relation, even one co-located on
+    /// a locked shard, fails with [`CqError::OutOfShardScope`] and
+    /// leaves the transaction open for the caller to commit the rest or
+    /// abort.
+    pub fn transaction_over<R>(
+        &self,
+        footprint: &[RelId],
+        f: impl FnOnce(&mut ShardedTransaction<'_>) -> Result<R, CqError>,
+    ) -> Result<R, CqError> {
+        let mut scope = vec![false; self.inner.schema.len()];
+        let mut shards = Vec::with_capacity(footprint.len());
+        for &rel in footprint {
+            shards.push(self.shard_of_relation(rel)?);
+            scope[rel.index()] = true;
+        }
+        shards.sort_unstable();
+        shards.dedup();
+        self.run_transaction(&shards, Some(scope), f)
+    }
+
+    /// The common transaction driver over a sorted shard set: lock all
+    /// in canonical order, open one [`SessionTransaction`] per shard,
+    /// route updates (gated by the declared relation `scope`, if any),
+    /// then commit (or roll back) every shard behind the cross-shard
+    /// barrier — all locks stay held until the last shard finished, so
+    /// the transaction is atomic for every locked reader.
+    fn run_transaction<R>(
+        &self,
+        shards: &[usize],
+        scope: Option<Vec<bool>>,
+        f: impl FnOnce(&mut ShardedTransaction<'_>) -> Result<R, CqError>,
+    ) -> Result<R, CqError> {
+        let mut guards = self.lock_shards(shards)?;
+        let mut txns: Vec<Option<SessionTransaction<'_>>> =
+            (0..self.inner.shards.len()).map(|_| None).collect();
+        for (guard, &sid) in guards.iter_mut().zip(shards) {
+            txns[sid] = Some(guard.transaction());
+        }
+        let mut tx = ShardedTransaction {
+            txns,
+            scope,
+            rel_shard: &self.inner.plan.rel_shard,
+            schema: &self.inner.schema,
+        };
+        match f(&mut tx) {
+            Ok(r) => {
+                for txn in tx.txns.into_iter().flatten() {
+                    txn.commit();
+                }
+                Ok(r)
+            }
+            Err(e) => {
+                for txn in tx.txns.into_iter().flatten() {
+                    txn.rollback();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs `f` with shared read access to the session of the shard
+    /// maintaining `name` — the escape hatch for everything
+    /// [`QueryHandle`](crate::session::QueryHandle) offers beyond the
+    /// shortcuts below.
+    pub fn read_shard<R>(&self, name: &str, f: impl FnOnce(&Session) -> R) -> Result<R, CqError> {
+        let sid = self.shard_of_query(name)?;
+        let guard = self.inner.shards[sid]
+            .read()
+            .map_err(|_| CqError::Poisoned)?;
+        Ok(f(&guard))
+    }
+
+    /// The id the shard session assigned to `name` at registration.
+    pub fn query_id(&self, name: &str) -> Result<QueryId, CqError> {
+        self.read_shard(name, |s| s.query(name).map(|h| h.id()))?
+    }
+
+    /// Pins a snapshot of `name`'s current result (shard read lock held
+    /// only for the pin itself). See
+    /// [`QueryHandle::snapshot`](crate::session::QueryHandle::snapshot).
+    pub fn snapshot(&self, name: &str) -> Result<QuerySnapshot, CqError> {
+        self.read_shard(name, |s| s.query(name).map(|h| h.snapshot()))?
+    }
+
+    /// Acquires a lock-free [`PinReader`] on `name`: one shard read lock
+    /// now, then every [`PinReader::pin`] is a single atomic load that
+    /// touches no lock of any shard, ever — identical to the
+    /// single-session fast path, shard count notwithstanding.
+    pub fn reader(&self, name: &str) -> Result<PinReader, CqError> {
+        self.read_shard(name, |s| s.query(name).map(|h| h.pin_reader()))?
+    }
+
+    /// Opens a change feed on `name` (see
+    /// [`QueryHandle::subscribe`](crate::session::QueryHandle::subscribe)).
+    /// Events carry global `seq` stamps.
+    pub fn subscribe(&self, name: &str) -> Result<Subscription, CqError> {
+        self.read_shard(name, |s| s.query(name).map(|h| h.subscribe()))?
+    }
+
+    /// O(1) count of `name`'s current result.
+    pub fn count(&self, name: &str) -> Result<u64, CqError> {
+        self.read_shard(name, |s| s.query(name).map(|h| h.count()))?
+    }
+}
+
+impl std::fmt::Debug for ShardedSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSession")
+            .field("shards", &self.inner.shards.len())
+            .field(
+                "queries",
+                &self
+                    .inner
+                    .plan
+                    .shards()
+                    .iter()
+                    .map(|s| s.queries().len())
+                    .sum::<usize>(),
+            )
+            .field("seq", &self.seq())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An all-or-nothing update batch spanning one or more shards
+/// (see [`ShardedSession::transaction`] /
+/// [`ShardedSession::transaction_over`]). Routes each update to its
+/// shard's open [`SessionTransaction`]; commit and rollback are driven
+/// by the owning closure's result.
+pub struct ShardedTransaction<'a> {
+    /// Per-shard open transactions; `None` outside a scoped footprint.
+    txns: Vec<Option<SessionTransaction<'a>>>,
+    /// The declared write set of a scoped transaction, per relation
+    /// index (`None` = unscoped, every relation admissible). Checked at
+    /// relation granularity: a relation merely co-located on a locked
+    /// shard is still out of scope unless it was declared.
+    scope: Option<Vec<bool>>,
+    rel_shard: &'a [usize],
+    schema: &'a Schema,
+}
+
+impl ShardedTransaction<'_> {
+    /// Validates and applies one update inside the transaction; returns
+    /// `true` iff it was effective. Malformed or out-of-scope updates
+    /// error and leave the transaction open.
+    pub fn apply(&mut self, update: &Update) -> Result<bool, CqError> {
+        validate_update(self.schema, update)?;
+        let rel = update.relation();
+        let in_scope = self
+            .scope
+            .as_ref()
+            .is_none_or(|s| s.get(rel.index()).copied().unwrap_or(false));
+        let sid = self.rel_shard[rel.index()];
+        match &mut self.txns[sid] {
+            Some(txn) if in_scope => Ok(txn.apply_prevalidated(update)),
+            _ => Err(CqError::OutOfShardScope {
+                relation: self.schema.name(rel).to_string(),
+            }),
+        }
+    }
+
+    /// Applies a sequence of updates, stopping at the first malformed or
+    /// out-of-scope one; returns how many were effective.
+    pub fn apply_all(&mut self, updates: &[Update]) -> Result<usize, CqError> {
+        let mut applied = 0;
+        for u in updates {
+            if self.apply(u)? {
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Number of effective updates so far, across all shards in scope.
+    pub fn effective_len(&self) -> usize {
+        self.txns
+            .iter()
+            .flatten()
+            .map(SessionTransaction::effective_len)
+            .sum()
+    }
+}
+
+/// Compile-time thread-safety contract: the sharded front door crosses
+/// threads exactly like [`crate::SharedSession`] does.
+#[allow(dead_code)]
+fn _assert_thread_safe() {
+    fn send_sync<T: Send + Sync>() {}
+    send_sync::<ShardedSession>();
+    send_sync::<ShardPlan>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqu_baseline::EngineKind;
+
+    fn builder_with(queries: &[(&str, &str)]) -> ShardedSessionBuilder {
+        let mut b = ShardedSessionBuilder::new();
+        for (name, src) in queries {
+            b.register(name, src).unwrap();
+        }
+        b
+    }
+
+    #[test]
+    fn disjoint_footprints_get_their_own_shards() {
+        let b = builder_with(&[
+            ("a", "Q(x, y) :- E(x, y), T(y)."),
+            ("b", "Q(x) :- S(x), U(x)."),
+        ]);
+        let plan = b.plan();
+        assert_eq!(plan.shard_count(), 2);
+        assert_eq!(plan.shard_of_query("a"), Some(0));
+        assert_eq!(plan.shard_of_query("b"), Some(1));
+        assert_eq!(plan.shards()[0].queries(), ["a".to_string()]);
+        assert_eq!(plan.shards()[0].relations().len(), 2);
+        assert_eq!(plan.shards()[1].relations().len(), 2);
+    }
+
+    #[test]
+    fn overlapping_footprints_share_a_shard() {
+        let b = builder_with(&[
+            ("a", "Q(x, y) :- E(x, y), T(y)."),
+            ("b", "Q(y) :- T(y)."), // shares T with "a"
+            ("c", "Q(x) :- U(x)."),
+        ]);
+        let plan = b.plan();
+        assert_eq!(plan.shard_count(), 2);
+        assert_eq!(plan.shard_of_query("a"), plan.shard_of_query("b"));
+        assert_ne!(plan.shard_of_query("a"), plan.shard_of_query("c"));
+    }
+
+    #[test]
+    fn bridging_query_merges_components_transitively() {
+        // {E,T} and {S,U} are independent until "bridge" links T and S.
+        let b = builder_with(&[
+            ("a", "Q(x, y) :- E(x, y), T(y)."),
+            ("b", "Q(x) :- S(x), U(x)."),
+            ("bridge", "Q(y) :- T(y), S(y)."),
+        ]);
+        let plan = b.plan();
+        assert_eq!(plan.shard_count(), 1, "bridge fuses both components");
+        // Without the bridge they stay apart.
+        let b = builder_with(&[
+            ("a", "Q(x, y) :- E(x, y), T(y)."),
+            ("b", "Q(x) :- S(x), U(x)."),
+        ]);
+        assert_eq!(b.plan().shard_count(), 2);
+    }
+
+    #[test]
+    fn unreferenced_relations_become_singleton_shards() {
+        let mut schema = Schema::new();
+        schema.intern("Orphan", 1).unwrap();
+        let mut b = ShardedSessionBuilder::open(schema);
+        b.register("a", "Q(x) :- R(x).").unwrap();
+        let plan = b.plan();
+        assert_eq!(plan.shard_count(), 2);
+        let session = b.build().unwrap();
+        let orphan = session.relation("Orphan").unwrap();
+        // Updates to the orphan commit and draw global seqs.
+        assert!(session.apply(&Update::Insert(orphan, vec![7])).unwrap());
+        assert!(!session.apply(&Update::Insert(orphan, vec![7])).unwrap());
+        assert_eq!(session.seq(), 1);
+        assert_eq!(session.relation_generation(orphan).unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_and_arity_clashes_error_cleanly() {
+        let mut b = ShardedSessionBuilder::new();
+        b.register("a", "Q(x) :- R(x).").unwrap();
+        assert!(matches!(
+            b.register("a", "Q(x) :- S(x)."),
+            Err(CqError::DuplicateQuery(_))
+        ));
+        // Arity clash must leave the builder usable and the schema clean.
+        assert!(b.register("bad", "Q(x, y) :- R(x, y).").is_err());
+        b.register("ok", "Q(x) :- R(x), T(x).").unwrap();
+        let session = b.build().unwrap();
+        assert_eq!(session.shard_count(), 1, "R and T fused via \"ok\"");
+        assert!(session.relation("S").is_err(), "rolled-back intern leaked");
+    }
+
+    #[test]
+    fn routing_matches_the_single_session_classifier() {
+        let mut b = ShardedSessionBuilder::new();
+        b.register("easy", "Q(x, y) :- E(x, y), T(y).").unwrap();
+        b.register("hard", "Q(x, y) :- S(x), G(x, y), U(y).")
+            .unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(
+            s.read_shard("easy", |sess| sess.query("easy").unwrap().kind())
+                .unwrap(),
+            EngineKind::QHierarchical
+        );
+        assert_eq!(
+            s.read_shard("hard", |sess| sess.query("hard").unwrap().kind())
+                .unwrap(),
+            EngineKind::DeltaIvm
+        );
+        // A forced engine that cannot admit its query fails the build.
+        let mut b = ShardedSessionBuilder::new();
+        b.register_with(
+            "forced",
+            "Q(x, y) :- S(x), G(x, y), U(y).",
+            EngineChoice::Forced(EngineKind::QHierarchical),
+        )
+        .unwrap();
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn batches_span_shards_and_report_effective_counts() {
+        let mut b = ShardedSessionBuilder::new();
+        b.register("a", "Q(x, y) :- E(x, y), T(y).").unwrap();
+        b.register("b", "Q(x) :- S(x), U(x).").unwrap();
+        let s = b.build().unwrap();
+        let e = s.relation("E").unwrap();
+        let t = s.relation("T").unwrap();
+        let sr = s.relation("S").unwrap();
+        let u = s.relation("U").unwrap();
+        let report = s
+            .apply_batch(&[
+                Update::Insert(e, vec![1, 2]),
+                Update::Insert(sr, vec![5]),
+                Update::Insert(t, vec![2]),
+                Update::Insert(u, vec![5]),
+                Update::Insert(e, vec![1, 2]), // set-semantics no-op
+            ])
+            .unwrap();
+        assert_eq!(report.total, 5);
+        assert_eq!(report.applied, 4);
+        assert_eq!(s.count("a").unwrap(), 1);
+        assert_eq!(s.count("b").unwrap(), 1);
+        assert_eq!(s.seq(), 4);
+        // Malformed batches apply nothing anywhere.
+        let before = s.seq();
+        assert!(s
+            .apply_batch(&[Update::Insert(e, vec![9, 9]), Update::Insert(t, vec![])])
+            .is_err());
+        assert_eq!(s.seq(), before);
+        assert_eq!(s.count("a").unwrap(), 1);
+    }
+
+    #[test]
+    fn scoped_transactions_enforce_their_footprint() {
+        let mut b = ShardedSessionBuilder::new();
+        b.register("a", "Q(x, y) :- E(x, y), T(y).").unwrap();
+        b.register("b", "Q(x) :- S(x), U(x).").unwrap();
+        let s = b.build().unwrap();
+        let e = s.relation("E").unwrap();
+        let t = s.relation("T").unwrap();
+        let sr = s.relation("S").unwrap();
+        let out = s.transaction_over(&[e, t], |tx| {
+            tx.apply(&Update::Insert(e, vec![1, 2]))?;
+            tx.apply(&Update::Insert(t, vec![2]))?;
+            let scope_err = tx.apply(&Update::Insert(sr, vec![1])).unwrap_err();
+            assert!(matches!(scope_err, CqError::OutOfShardScope { .. }));
+            assert_eq!(tx.effective_len(), 2);
+            Ok(tx.effective_len())
+        });
+        assert_eq!(out.unwrap(), 2);
+        assert_eq!(s.count("a").unwrap(), 1);
+        assert_eq!(s.count("b").unwrap(), 0, "S never entered");
+        // The scope is relation-granular: T shares E's shard (and its
+        // lock), but an undeclared write to it must still be rejected.
+        s.transaction_over(&[e], |tx| {
+            tx.apply(&Update::Insert(e, vec![8, 9]))?;
+            let colocated = tx.apply(&Update::Insert(t, vec![9])).unwrap_err();
+            assert!(matches!(colocated, CqError::OutOfShardScope { .. }));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(s.count("a").unwrap(), 1, "T(9) never committed");
+    }
+
+    #[test]
+    fn failed_transactions_roll_back_every_shard() {
+        let mut b = ShardedSessionBuilder::new();
+        b.register("a", "Q(x, y) :- E(x, y), T(y).").unwrap();
+        b.register("b", "Q(x) :- S(x), U(x).").unwrap();
+        let s = b.build().unwrap();
+        let e = s.relation("E").unwrap();
+        let t = s.relation("T").unwrap();
+        let sr = s.relation("S").unwrap();
+        let u = s.relation("U").unwrap();
+        let feed_a = s.subscribe("a").unwrap();
+        let err = s
+            .transaction::<()>(|tx| {
+                tx.apply(&Update::Insert(e, vec![1, 2]))?;
+                tx.apply(&Update::Insert(t, vec![2]))?;
+                tx.apply(&Update::Insert(sr, vec![9]))?;
+                tx.apply(&Update::Insert(u, vec![9]))?;
+                Err(CqError::UnknownQuery("abort".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, CqError::UnknownQuery(_)));
+        assert_eq!(s.count("a").unwrap(), 0);
+        assert_eq!(s.count("b").unwrap(), 0);
+        assert!(feed_a.drain().is_empty(), "rollback publishes nothing");
+        // Committed transactions publish netted events on every shard.
+        let feed_b = s.subscribe("b").unwrap();
+        s.transaction(|tx| {
+            tx.apply(&Update::Insert(e, vec![1, 2]))?;
+            tx.apply(&Update::Insert(t, vec![2]))?;
+            tx.apply(&Update::Insert(sr, vec![9]))?;
+            tx.apply(&Update::Insert(u, vec![9]))?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(s.count("a").unwrap(), 1);
+        assert_eq!(s.count("b").unwrap(), 1);
+        let ev_a = feed_a.drain();
+        let ev_b = feed_b.drain();
+        assert_eq!(ev_a.len(), 1);
+        assert_eq!(ev_a[0].added, vec![vec![1, 2]]);
+        assert_eq!(ev_b.len(), 1);
+        assert_eq!(ev_b[0].added, vec![vec![9]]);
+    }
+
+    #[test]
+    fn global_seq_is_shared_and_generation_stays_shard_local() {
+        let mut b = ShardedSessionBuilder::new();
+        b.register("a", "Q(x, y) :- E(x, y), T(y).").unwrap();
+        b.register("b", "Q(x) :- S(x), U(x).").unwrap();
+        let s = b.build().unwrap();
+        let e = s.relation("E").unwrap();
+        let sr = s.relation("S").unwrap();
+        s.apply(&Update::Insert(e, vec![1, 2])).unwrap(); // seq 1
+        s.apply(&Update::Insert(sr, vec![3])).unwrap(); // seq 2
+        s.apply(&Update::Insert(e, vec![4, 5])).unwrap(); // seq 3
+        assert_eq!(s.seq(), 3);
+        // Each shard's storage generation counts only its own traffic…
+        assert_eq!(s.read_shard("a", |x| x.database().generation()).unwrap(), 2);
+        assert_eq!(s.read_shard("b", |x| x.database().generation()).unwrap(), 1);
+        assert_eq!(s.generation().unwrap(), 3);
+        // …and so do the per-relation stamps underneath.
+        assert_eq!(s.relation_generation(e).unwrap(), 2);
+        assert_eq!(s.relation_generation(sr).unwrap(), 1);
+        // Shard sessions stamp their snapshots with global seqs.
+        let snap_a = s.snapshot("a").unwrap();
+        let snap_b = s.snapshot("b").unwrap();
+        assert_eq!(snap_a.seq(), 3);
+        assert_eq!(snap_b.seq(), 2, "b's last own update drew global seq 2");
+    }
+}

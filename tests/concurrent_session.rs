@@ -12,6 +12,7 @@
 //! default 240) for the release-mode CI job.
 
 use cq_updates::prelude::*;
+use cq_updates::storage::Tuple;
 use cqu_testutil::{cancelling_pairs, random_updates, result_timeline, WorkloadConfig};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,6 +32,15 @@ fn stress_steps(default: usize) -> usize {
 /// Reader-thread count, overridable for the reader-heavy CI matrix entry.
 fn stress_readers(default: usize) -> usize {
     std::env::var("CQ_STRESS_READERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Shard (and shard-writer-thread) count for the sharded stress cell,
+/// overridable for the sharded CI matrix entries.
+fn stress_shards(default: usize) -> usize {
+    std::env::var("CQ_STRESS_SHARDS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
@@ -387,6 +397,136 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+/// The sharded-writer stress: one writer thread **per shard** commits
+/// its own footprint's churn in parallel (no cross-shard lock exists to
+/// serialize them) while reader threads pin every query through both
+/// the lock-free and the locked path. Every pinned result must be an
+/// exact brute-force frame of its own shard's update prefix — one torn
+/// tuple and the frame-set lookup fails — and per-query stamps must
+/// never go backwards. Scaled by `CQ_STRESS_SHARDS` ×
+/// `CQ_STRESS_READERS` × `CQ_STRESS_STEPS` in the CI matrix.
+#[test]
+fn sharded_parallel_writers_never_tear_snapshots() {
+    use std::collections::HashSet;
+
+    let shards_n = stress_shards(2);
+    let readers_n = stress_readers(4);
+    let steps = stress_steps(240);
+
+    let mut b = ShardedSessionBuilder::new();
+    for i in 0..shards_n {
+        b.register(
+            &format!("q{i}"),
+            &format!("Q(x, y) :- E{i}(x, y), T{i}(y)."),
+        )
+        .unwrap();
+    }
+    let sharded = b.build().unwrap();
+    assert_eq!(sharded.shard_count(), shards_n, "disjoint families");
+
+    // Per-family churny scripts (expressed in the session schema) and
+    // their frozen brute-force frame sets.
+    let schema = sharded.schema().clone();
+    let mut scripts: Vec<Arc<Vec<Update>>> = Vec::new();
+    let mut frame_sets: Vec<Arc<HashSet<Vec<Tuple>>>> = Vec::new();
+    let mut finals: Vec<Vec<Tuple>> = Vec::new();
+    let mut total_effective = 0u64;
+    for i in 0..shards_n {
+        let fam = parse_query(&format!("Q(x, y) :- E{i}(x, y), T{i}(y).")).unwrap();
+        let local = churny_script(fam.schema(), 0xBEEF ^ i as u64, steps / shards_n.max(1));
+        let script: Vec<Update> = local
+            .iter()
+            .map(|u| {
+                let rel = schema.relation(fam.schema().name(u.relation())).unwrap();
+                match u {
+                    Update::Insert(_, t) => Update::Insert(rel, t.clone()),
+                    Update::Delete(_, t) => Update::Delete(rel, t.clone()),
+                }
+            })
+            .collect();
+        let query = sharded
+            .read_shard(&format!("q{i}"), |s| {
+                s.query(&format!("q{i}")).unwrap().query().clone()
+            })
+            .unwrap();
+        let timeline = result_timeline(&schema, &query, &script);
+        total_effective += (timeline.len() - 1) as u64;
+        finals.push(timeline.last().unwrap().clone());
+        frame_sets.push(Arc::new(timeline.into_iter().collect()));
+        scripts.push(Arc::new(script));
+    }
+
+    let done = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..shards_n)
+        .map(|i| {
+            let sharded = sharded.clone();
+            let script = Arc::clone(&scripts[i]);
+            thread::spawn(move || {
+                for u in script.iter() {
+                    sharded.apply(u).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..readers_n)
+        .map(|r| {
+            let sharded = sharded.clone();
+            let done = Arc::clone(&done);
+            let frame_sets = frame_sets.clone();
+            thread::spawn(move || {
+                let pins: Vec<PinReader> = (0..frame_sets.len())
+                    .map(|i| sharded.reader(&format!("q{i}")).unwrap())
+                    .collect();
+                let mut last_seq = vec![0u64; frame_sets.len()];
+                loop {
+                    let finished = done.load(Ordering::Acquire);
+                    for (i, frames) in frame_sets.iter().enumerate() {
+                        for snap in [pins[i].pin(), sharded.snapshot(&format!("q{i}")).unwrap()] {
+                            let rows = snap.results_sorted();
+                            assert!(
+                                frames.contains(&rows),
+                                "reader {r}: q{i} pinned a torn frame at seq {}",
+                                snap.seq()
+                            );
+                            assert_eq!(snap.count() as usize, rows.len());
+                            assert_eq!(snap.answer(), !rows.is_empty());
+                        }
+                        // The *locked* snapshot stamp is per-query
+                        // monotone (its shard serializes that query's
+                        // updates; foreign shards never move it back).
+                        let snap = sharded.snapshot(&format!("q{i}")).unwrap();
+                        assert!(
+                            snap.seq() >= last_seq[i],
+                            "reader {r}: q{i} seq went backwards"
+                        );
+                        last_seq[i] = snap.seq();
+                    }
+                    if finished {
+                        break;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().expect("shard writer panicked");
+    }
+    done.store(true, Ordering::Release);
+    for r in readers {
+        r.join().expect("reader observed a torn sharded snapshot");
+    }
+
+    // Every shard's full script landed; the global counter accounted for
+    // every effective update exactly once.
+    assert_eq!(sharded.seq(), total_effective);
+    for (i, fin) in finals.iter().enumerate() {
+        let snap = sharded.snapshot(&format!("q{i}")).unwrap();
+        assert_eq!(&snap.results_sorted(), fin, "q{i} final state diverged");
     }
 }
 
