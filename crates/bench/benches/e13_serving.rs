@@ -1,0 +1,200 @@
+//! E13: serving-layer costs.
+//!
+//! Three claims from the streaming-server tentpole, measured:
+//!
+//! * **Fan-out batching** — commit latency with N live TCP subscribers
+//!   attached stays flat in N: the writer publishes once, the per-query
+//!   pump serializes once, and subscriber count only multiplies cheap
+//!   shared-`Arc` queue pushes on the pump thread.
+//! * **Writer isolation** — a crowd of *stalled* subscribers (connected,
+//!   subscribed, never reading) leaves commit latency at the
+//!   no-subscriber baseline: bounded queues coalesce, the writer never
+//!   blocks on a socket.
+//! * **Resume vs resync** — re-subscribing with a retention-covered
+//!   cursor (netted ring replay) against an evicted cursor (snapshot
+//!   resync, served from the shared per-query snapshot cache), next to
+//!   the raw snapshot build the cache amortizes away.
+
+use cq_updates::prelude::*;
+use cq_updates::query::RelId;
+use cq_updates::serve::{Client, LagPolicy};
+use cq_updates::serving::server::FeedSource;
+use cq_updates::serving::ServeConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Subscriber counts for the fan-out axis.
+const FANOUT: [usize; 4] = [0, 1, 8, 32];
+
+/// A session with a ~10k-row feed: 100 followers × 10 followees, 100
+/// posts per followee.
+fn feed_session() -> (SharedSession, RelId) {
+    let mut session = Session::new();
+    session
+        .register("feed", "Feed(u, v, p) :- Follows(u, v), Posts(v, p).")
+        .unwrap();
+    let follows = session.relation("Follows").unwrap();
+    let posts = session.relation("Posts").unwrap();
+    let mut batch = Vec::new();
+    for u in 1..=100u64 {
+        for v in 1..=10u64 {
+            batch.push(Update::Insert(follows, vec![u, v]));
+        }
+    }
+    for v in 1..=10u64 {
+        for p in 0..100u64 {
+            batch.push(Update::Insert(posts, vec![v, 1_000 + v * 1_000 + p]));
+        }
+    }
+    session.apply_batch(&batch).unwrap();
+    (SharedSession::new(session), follows)
+}
+
+/// Spawns `n` clients subscribed live to `feed`; draining ones keep
+/// their queues empty, stalled ones never read after the handshake.
+fn spawn_subscribers(
+    addr: SocketAddr,
+    n: usize,
+    draining: bool,
+    stop: &Arc<AtomicBool>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..n)
+        .map(|_| {
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client.subscribe("feed", None).expect("subscribe");
+                if draining {
+                    while !stop.load(Ordering::Acquire) {
+                        let _ = client.next(Duration::from_millis(1));
+                    }
+                } else {
+                    // Stalled: hold the connection, read nothing.
+                    while !stop.load(Ordering::Acquire) {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            })
+        })
+        .collect()
+}
+
+/// One effective commit: toggle a follows edge of a fresh user, which
+/// flips ~100 feed rows per event.
+fn commit_toggle(shared: &SharedSession, follows: RelId, flip: &mut bool) {
+    let u = if *flip {
+        Update::Insert(follows, vec![777_777, 5])
+    } else {
+        Update::Delete(follows, vec![777_777, 5])
+    };
+    *flip = !*flip;
+    shared.apply(&u).unwrap();
+}
+
+fn bench_commit_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_commit_fanout");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+    group.throughput(Throughput::Elements(1));
+
+    for n in FANOUT {
+        let (shared, follows) = feed_session();
+        let source = Arc::new(SessionSource::new(shared.clone(), 8192).unwrap());
+        let server = ServerHandle::bind("127.0.0.1:0", source).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let subs = spawn_subscribers(server.local_addr(), n, true, &stop);
+        let mut flip = true;
+        group.bench_with_input(BenchmarkId::new("live_subscribers", n), &n, |b, _| {
+            b.iter(|| commit_toggle(&shared, follows, &mut flip))
+        });
+        stop.store(true, Ordering::Release);
+        for h in subs {
+            h.join().unwrap();
+        }
+    }
+
+    // The isolation claim: 32 stalled subscribers vs the 0-subscriber
+    // baseline above, within noise. Their queues hit the lag policy and
+    // coalesce; the commit path never notices.
+    let (shared, follows) = feed_session();
+    let source = Arc::new(SessionSource::new(shared.clone(), 8192).unwrap());
+    let server = ServerHandle::bind_with(
+        "127.0.0.1:0",
+        source,
+        ServeConfig {
+            queue_cap: 4,
+            hard_cap: 4096,
+            lag: LagPolicy::Coalesce,
+        },
+    )
+    .unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let subs = spawn_subscribers(server.local_addr(), 32, false, &stop);
+    let mut flip = true;
+    group.bench_with_input(BenchmarkId::new("stalled_subscribers", 32), &32, |b, _| {
+        b.iter(|| commit_toggle(&shared, follows, &mut flip))
+    });
+    stop.store(true, Ordering::Release);
+    for h in subs {
+        h.join().unwrap();
+    }
+    group.finish();
+}
+
+fn bench_resume_vs_resync(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_resume_vs_resync");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+    group.throughput(Throughput::Elements(1));
+
+    // Small retention ring, then enough history that early cursors are
+    // evicted while recent ones stay covered.
+    let (shared, follows) = feed_session();
+    let source = Arc::new(SessionSource::new(shared.clone(), 32).unwrap());
+    let server = ServerHandle::bind("127.0.0.1:0", Arc::clone(&source) as _).unwrap();
+    let mut flip = true;
+    for _ in 0..200 {
+        commit_toggle(&shared, follows, &mut flip);
+    }
+    let now = shared.read(|s| s.seq()).unwrap();
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let drain = |client: &mut Client| {
+        while let Ok(Some(_)) = client.next(Duration::ZERO) {}
+    };
+
+    // Covered cursor: Subscribed + a netted catch-up delta from the ring.
+    group.bench_function(BenchmarkId::new("resume", "covered_cursor"), |b| {
+        b.iter(|| {
+            let (mode, seq) = client.subscribe("feed", Some(now - 16)).expect("resume");
+            drain(&mut client);
+            (mode, seq)
+        })
+    });
+
+    // Evicted cursor: Subscribed + the shared cached snapshot frame.
+    group.bench_function(BenchmarkId::new("resync", "evicted_cursor"), |b| {
+        b.iter(|| {
+            let (mode, seq) = client.subscribe("feed", Some(1)).expect("resync");
+            drain(&mut client);
+            (mode, seq)
+        })
+    });
+
+    // What the snapshot cache amortizes: one full enumerate-and-sort of
+    // the result, per subscriber, on every resync.
+    group.bench_function(BenchmarkId::new("snapshot", "build"), |b| {
+        b.iter(|| source.snapshot("feed").unwrap().1.len())
+    });
+    group.finish();
+}
+
+criterion_group!(e13, bench_commit_fanout, bench_resume_vs_resync);
+criterion_main!(e13);

@@ -1,0 +1,341 @@
+//! A small blocking client and a cursor-tracking result mirror.
+//!
+//! [`Client`] is deliberately simple — synchronous request/response plus
+//! a pending-frame buffer for deltas that arrive while a command awaits
+//! its reply. It is what the tests, benches, and the `social_feed`
+//! example use, and a reference for real client implementations.
+//! [`Mirror`] folds `Snapshot`/`Delta`/`Lagged` frames into a local
+//! replica and tracks the resume cursor — the client half of the
+//! resumable-cursor contract.
+
+use crate::protocol::{Frame, Row, SubscribeMode, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+use std::collections::{BTreeSet, VecDeque};
+use std::io::{self, Read};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A client-side failure: a transport/protocol error or a server
+/// `Error` frame.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The wire broke (or a frame was malformed).
+    Wire(WireError),
+    /// The server answered a command with `Error`.
+    Server {
+        /// Machine-readable cause ([`crate::protocol::ErrorCode`]).
+        code: u8,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// The awaited reply did not arrive within the deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Server { code, msg } => write!(f, "server error {code}: {msg}"),
+            ClientError::Timeout => write!(f, "timed out awaiting reply"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// A blocking client for the `cqu-serve` wire protocol.
+///
+/// Command methods ([`Client::register`], [`Client::query`],
+/// [`Client::subscribe`], …) send one frame and block for its reply;
+/// any `Delta`/`Snapshot`/`Lagged` traffic that arrives first is
+/// buffered and surfaced later through [`Client::next`]. Stream frames
+/// are therefore never lost — only reordered after command replies.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    server_seq: u64,
+    pending: VecDeque<Frame>,
+    /// Partial-frame accumulation (length prefix + body bytes so far):
+    /// a poll deadline hitting mid-frame leaves the bytes here, so short
+    /// timeouts never desynchronize the stream — essential for polling
+    /// with millisecond timeouts while a multi-megabyte snapshot frame
+    /// is in flight.
+    rbuf: Vec<u8>,
+}
+
+/// How long command replies may take before the client gives up.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(10);
+
+impl Client {
+    /// Connects and performs the `Hello` handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let mut client = Client {
+            stream,
+            server_seq: 0,
+            pending: VecDeque::new(),
+            rbuf: Vec::new(),
+        };
+        client.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            seq: 0,
+        })?;
+        match client.wait_for(|f| matches!(f, Frame::Hello { .. }))? {
+            Frame::Hello { seq, .. } => client.server_seq = seq,
+            _ => unreachable!("wait_for matched Hello"),
+        }
+        Ok(client)
+    }
+
+    /// The server's global seq as of the handshake.
+    pub fn server_seq(&self) -> u64 {
+        self.server_seq
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        crate::protocol::write_frame(&mut self.stream, frame)?;
+        Ok(())
+    }
+
+    /// Pulls socket bytes into the partial-frame buffer until one
+    /// complete frame is decodable or `deadline` passes. Returning
+    /// `None` leaves any half-received frame buffered for the next poll.
+    fn poll_frame(&mut self, deadline: Instant) -> Result<Option<Frame>, ClientError> {
+        loop {
+            if self.rbuf.len() >= 4 {
+                let len = u32::from_le_bytes(self.rbuf[..4].try_into().expect("4 bytes")) as usize;
+                if len > MAX_FRAME_LEN {
+                    return Err(WireError::Oversized(len).into());
+                }
+                if self.rbuf.len() >= 4 + len {
+                    let frame = Frame::decode_body(&self.rbuf[4..4 + len])?;
+                    self.rbuf.drain(..4 + len);
+                    return Ok(Some(frame));
+                }
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            self.stream
+                .set_read_timeout(Some((deadline - now).max(Duration::from_millis(1))))?;
+            let mut chunk = [0u8; 1 << 16];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(ClientError::Wire(WireError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))))
+                }
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Reads frames until `want` matches, buffering everything else.
+    /// An `Error` frame aborts the wait (commands are serialized on this
+    /// client, so a mid-wait error can only answer the awaited command).
+    fn wait_for(&mut self, want: impl Fn(&Frame) -> bool) -> Result<Frame, ClientError> {
+        let deadline = Instant::now() + REPLY_TIMEOUT;
+        loop {
+            if let Some(pos) = self.pending.iter().position(&want) {
+                return Ok(self.pending.remove(pos).expect("position just found"));
+            }
+            match self.poll_frame(deadline)? {
+                Some(Frame::Error { code, msg }) => return Err(ClientError::Server { code, msg }),
+                Some(frame) => self.pending.push_back(frame),
+                None => return Err(ClientError::Timeout),
+            }
+        }
+    }
+
+    /// Registers a query on the server; returns the registration seq.
+    pub fn register(&mut self, name: &str, src: &str) -> Result<u64, ClientError> {
+        self.send(&Frame::Register {
+            name: name.into(),
+            src: src.into(),
+        })?;
+        match self.wait_for(|f| matches!(f, Frame::Ack { name: n, .. } if n == name))? {
+            Frame::Ack { seq, .. } => Ok(seq),
+            _ => unreachable!("wait_for matched Ack"),
+        }
+    }
+
+    /// One-shot read: the query's current `(seq, rows)`.
+    pub fn query(&mut self, name: &str) -> Result<(u64, Vec<Row>), ClientError> {
+        self.send(&Frame::Query { name: name.into() })?;
+        match self.wait_for(|f| matches!(f, Frame::Snapshot { name: n, .. } if n == name))? {
+            Frame::Snapshot { seq, rows, .. } => Ok((seq, rows)),
+            _ => unreachable!("wait_for matched Snapshot"),
+        }
+    }
+
+    /// Opens (or, with `from = Some(cursor)`, resumes) a change feed.
+    /// Returns the server's `(mode, seq)` — the catch-up `Delta` or
+    /// `Snapshot` that follows arrives via [`Client::next`].
+    pub fn subscribe(
+        &mut self,
+        name: &str,
+        from: Option<u64>,
+    ) -> Result<(SubscribeMode, u64), ClientError> {
+        self.send(&Frame::Subscribe {
+            name: name.into(),
+            from_seq: from,
+        })?;
+        match self.wait_for(|f| matches!(f, Frame::Subscribed { name: n, .. } if n == name))? {
+            Frame::Subscribed { mode, seq, .. } => Ok((mode, seq)),
+            _ => unreachable!("wait_for matched Subscribed"),
+        }
+    }
+
+    /// Detaches the feed on `name`.
+    pub fn unsubscribe(&mut self, name: &str) -> Result<(), ClientError> {
+        self.send(&Frame::Unsubscribe { name: name.into() })?;
+        self.wait_for(|f| matches!(f, Frame::Ack { name: n, .. } if n == name))?;
+        Ok(())
+    }
+
+    /// Reports cursor progress to the server (fire-and-forget).
+    pub fn ack(&mut self, name: &str, seq: u64) -> Result<(), ClientError> {
+        self.send(&Frame::Ack {
+            name: name.into(),
+            seq,
+        })
+    }
+
+    /// The next stream frame (buffered or from the wire), or `None` if
+    /// nothing arrives within `timeout`.
+    pub fn next(&mut self, timeout: Duration) -> Result<Option<Frame>, ClientError> {
+        if let Some(frame) = self.pending.pop_front() {
+            return Ok(Some(frame));
+        }
+        self.poll_frame(Instant::now() + timeout)
+    }
+}
+
+/// A local replica of one query's result, maintained by folding in the
+/// server's stream frames — and the keeper of the resume cursor.
+///
+/// Reconnect flow: remember `mirror.seq()`, reconnect, then
+/// `client.subscribe(name, Some(mirror.seq()))` and keep folding. The
+/// mirror ignores deltas at or below its cursor, so the replay/live
+/// overlap is deduplicated client-side exactly like server-side.
+#[derive(Debug, Clone, Default)]
+pub struct Mirror {
+    rows: BTreeSet<Row>,
+    seq: u64,
+    /// Set when the server detached the feed with `Lagged` — the cue to
+    /// re-subscribe with [`Mirror::seq`] as the cursor.
+    lagged_at: Option<u64>,
+}
+
+impl Mirror {
+    /// An empty replica at seq 0.
+    pub fn new() -> Mirror {
+        Mirror::default()
+    }
+
+    /// The replica's rows.
+    pub fn rows(&self) -> &BTreeSet<Row> {
+        &self.rows
+    }
+
+    /// The rows, sorted into a vec (for comparing against snapshots).
+    pub fn rows_sorted(&self) -> Vec<Row> {
+        self.rows.iter().cloned().collect()
+    }
+
+    /// The resume cursor: everything up to and including this seq is
+    /// reflected in [`Mirror::rows`].
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Where the server cut us off, if it did ([`Frame::Lagged`]).
+    pub fn lagged_at(&self) -> Option<u64> {
+        self.lagged_at
+    }
+
+    /// Folds one stream frame into the replica; returns `true` if the
+    /// frame was one of ours (`Snapshot`/`Delta`/`Lagged` for `name`).
+    pub fn apply(&mut self, name: &str, frame: &Frame) -> bool {
+        match frame {
+            Frame::Snapshot { name: n, seq, rows } if n == name => {
+                // Snapshots are authoritative: they replace the state
+                // wholesale (resync after eviction or a fresh subscribe).
+                self.rows = rows.iter().cloned().collect();
+                self.seq = *seq;
+                self.lagged_at = None;
+                true
+            }
+            Frame::Delta {
+                name: n,
+                seq,
+                added,
+                removed,
+            } if n == name => {
+                // The overlap guard: a delta at or below the cursor is
+                // already reflected (replayed catch-up vs live feed).
+                if *seq > self.seq {
+                    for row in removed {
+                        self.rows.remove(row);
+                    }
+                    for row in added {
+                        self.rows.insert(row.clone());
+                    }
+                    self.seq = *seq;
+                }
+                true
+            }
+            Frame::Lagged { name: n, resync_at } if n == name => {
+                self.lagged_at = Some(*resync_at);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drives the mirror from a subscribe-reply plus the client's
+    /// stream until `deadline_seq` is reached or `timeout` elapses.
+    /// Convenience for tests and the example.
+    pub fn catch_up(
+        &mut self,
+        client: &mut Client,
+        name: &str,
+        deadline_seq: u64,
+        timeout: Duration,
+    ) -> Result<(), ClientError> {
+        let deadline = Instant::now() + timeout;
+        while self.seq < deadline_seq {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ClientError::Timeout);
+            }
+            if let Some(frame) = client.next(deadline - now)? {
+                self.apply(name, &frame);
+            }
+        }
+        Ok(())
+    }
+}

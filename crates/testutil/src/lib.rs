@@ -203,8 +203,10 @@ pub fn brute_force(q: &Query, db: &Database) -> Vec<Vec<Const>> {
 /// count effective updates one by one, batched or not), a snapshot
 /// pinned at session sequence number `k` must equal `timeline[k]`
 /// exactly — anything else is a torn read. Rolled-back transactions are
-/// outside this mapping: their compensating inverses advance the
-/// session's sequence number without a corresponding timeline frame.
+/// outside this mapping: their *forward* effective updates burn sequence
+/// numbers without a corresponding timeline frame (the compensating
+/// inverses draw none — `tests/sharded_session.rs` pins that budget), so
+/// a stream containing rollbacks has gaps in the seq → frame map.
 pub fn result_timeline(schema: &Schema, query: &Query, updates: &[Update]) -> Vec<Vec<Vec<Const>>> {
     let mut db = Database::new(schema.clone());
     let mut timeline = vec![brute_force(query, &db)];

@@ -67,10 +67,14 @@
 //!   (`cqu-baseline`).
 //! * [`lowerbounds`] — OMv/OuMv/OV and the hardness reductions
 //!   (`cqu-lowerbounds`).
+//! * [`serve`] / [`serving`] — the streaming subscription server: a TCP
+//!   front end with resumable seq cursors, per-client backpressure, and
+//!   one-serialization fan-out (`cqu-serve`).
 
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod serve;
 pub mod session;
 pub mod shard;
 
@@ -79,21 +83,24 @@ pub use cqu_common as common;
 pub use cqu_dynamic as dynamic;
 pub use cqu_lowerbounds as lowerbounds;
 pub use cqu_query as query;
+pub use cqu_serve as serving;
 pub use cqu_storage as storage;
 
 pub use error::CqError;
 pub use session::{
-    ChangeEvent, EngineChoice, QueryHandle, QueryId, QuerySnapshot, RouteReason, Session,
-    SessionTransaction, SharedSession, Subscription,
+    BoundedSubscription, ChangeEvent, EngineChoice, QueryHandle, QueryId, QuerySnapshot,
+    ReplayOutcome, Resume, RouteReason, Session, SessionTransaction, SharedSession, Subscription,
 };
 pub use shard::{ShardPlan, ShardSpec, ShardedSession, ShardedSessionBuilder, ShardedTransaction};
 
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use crate::error::CqError;
+    pub use crate::serve::{ServerHandle, SessionSource, ShardedSource};
     pub use crate::session::{
-        ChangeEvent, EngineChoice, PinReader, QueryHandle, QueryId, QuerySnapshot, RouteReason,
-        Session, SessionTransaction, SharedSession, Subscription,
+        BoundedSubscription, ChangeEvent, EngineChoice, PinReader, QueryHandle, QueryId,
+        QuerySnapshot, ReplayOutcome, Resume, RouteReason, Session, SessionTransaction,
+        SharedSession, Subscription,
     };
     pub use crate::shard::{
         ShardPlan, ShardSpec, ShardedSession, ShardedSessionBuilder, ShardedTransaction,

@@ -1,0 +1,263 @@
+//! Glue between the engine and the network: [`FeedSource`]
+//! implementations over [`SharedSession`] and
+//! [`ShardedSession`](crate::shard::ShardedSession), plus a convenience
+//! launcher.
+//!
+//! The serving stack is layered so `cqu-serve` stays engine-agnostic:
+//! the server runtime talks to a [`FeedSource`] of wire-level rows
+//! (`Vec<u64>` — type-identical to the engine's `Tuple`, so conversion
+//! is a clone, never a re-encoding), and this module adapts the session
+//! layer to that contract:
+//!
+//! * [`SessionSource`] — serves a [`SharedSession`]: snapshots pin
+//!   epochs, feeds subscribe, replay nets the per-query retention ring
+//!   ([`QueryHandle::retain_deltas`](crate::session::QueryHandle::retain_deltas)
+//!   is enabled on every query), and clients may even register new
+//!   queries remotely.
+//! * [`ShardedSource`] — serves a
+//!   [`ShardedSession`](crate::shard::ShardedSession): identical
+//!   semantics on the *global* seq timeline; registration is rejected
+//!   (the shard plan is sealed at build time).
+//!
+//! ```no_run
+//! use cq_updates::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let session = SharedSession::new(Session::new());
+//! session.register("feed", "Feed(u, v, p) :- Follows(u, v), Posts(v, p).").unwrap();
+//! let source = Arc::new(SessionSource::new(session.clone(), 1024).unwrap());
+//! let server = ServerHandle::bind("127.0.0.1:0", source).unwrap();
+//! println!("serving on {}", server.local_addr());
+//! ```
+
+use crate::error::CqError;
+use crate::session::{ChangeEvent, ReplayOutcome, SharedSession, Subscription};
+use crate::shard::ShardedSession;
+use cqu_serve::server::{FeedDelta, FeedPoll, FeedSource, FeedStream, Replay, SourceError};
+use cqu_serve::{Row, ServeConfig, Server};
+use std::net::ToSocketAddrs;
+use std::sync::mpsc::RecvTimeoutError;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use cqu_serve::server::ServerStats;
+pub use cqu_serve::{Client, ClientError, Frame, LagPolicy, Mirror, SubscribeMode};
+
+fn source_err(e: CqError) -> SourceError {
+    match e {
+        CqError::UnknownQuery(name) => SourceError::UnknownQuery(name),
+        CqError::DuplicateQuery(name) => SourceError::Invalid(format!("duplicate query {name:?}")),
+        other => SourceError::Invalid(other.to_string()),
+    }
+}
+
+fn to_delta(event: &ChangeEvent) -> FeedDelta {
+    FeedDelta {
+        seq: event.seq,
+        added: event.added.clone(),
+        removed: event.removed.clone(),
+    }
+}
+
+fn to_replay(outcome: ReplayOutcome) -> Replay {
+    match outcome {
+        ReplayOutcome::Covered { upto, event } => Replay::Netted {
+            upto,
+            delta: event.map(|e| to_delta(&e)),
+        },
+        ReplayOutcome::Unavailable { floor } => Replay::Evicted {
+            // Retention disabled: no cursor is ever servable.
+            floor: floor.unwrap_or(u64::MAX),
+        },
+    }
+}
+
+/// A [`Subscription`] as a serving feed: converts each
+/// `Arc<ChangeEvent>` into a wire [`FeedDelta`] — one row-clone per
+/// commit per query server-wide, since the server opens exactly one
+/// feed per query.
+struct SubscriptionFeed(Subscription);
+
+impl FeedStream for SubscriptionFeed {
+    fn recv_timeout(&mut self, timeout: Duration) -> FeedPoll {
+        match self.0.recv_timeout_raw(timeout) {
+            Ok(event) => FeedPoll::Event(to_delta(&event)),
+            Err(RecvTimeoutError::Timeout) => FeedPoll::Empty,
+            Err(RecvTimeoutError::Disconnected) => FeedPoll::Closed,
+        }
+    }
+}
+
+/// Serves a [`SharedSession`] (see the module docs). Construction turns
+/// on delta retention (`ring_cap` events per query) for every already
+/// registered query; queries registered later — locally or by a remote
+/// `Register` frame — get it on their way in.
+pub struct SessionSource {
+    session: SharedSession,
+    ring_cap: usize,
+}
+
+impl SessionSource {
+    /// Wraps `session` for serving, enabling delta retention of
+    /// `ring_cap` events on each of its queries.
+    pub fn new(session: SharedSession, ring_cap: usize) -> Result<SessionSource, CqError> {
+        session.read(|s| {
+            for handle in s.queries() {
+                handle.retain_deltas(ring_cap);
+            }
+        })?;
+        Ok(SessionSource { session, ring_cap })
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &SharedSession {
+        &self.session
+    }
+}
+
+impl FeedSource for SessionSource {
+    fn seq(&self) -> u64 {
+        self.session.read(|s| s.seq()).unwrap_or(0)
+    }
+
+    fn register(&self, name: &str, src: &str) -> Result<u64, SourceError> {
+        self.session.register(name, src).map_err(source_err)?;
+        self.session
+            .read(|s| {
+                let handle = s.query(name).expect("just registered");
+                handle.retain_deltas(self.ring_cap);
+                s.seq()
+            })
+            .map_err(source_err)
+    }
+
+    fn snapshot(&self, name: &str) -> Result<(u64, Vec<Row>), SourceError> {
+        let snap = self.session.snapshot(name).map_err(source_err)?;
+        Ok((snap.seq(), snap.results_sorted()))
+    }
+
+    fn replay(&self, name: &str, from_seq: u64) -> Result<Replay, SourceError> {
+        self.session
+            .read(|s| s.query(name).map(|h| to_replay(h.replay_since(from_seq))))
+            .map_err(source_err)?
+            .map_err(source_err)
+    }
+
+    fn open_feed(&self, name: &str) -> Result<Box<dyn FeedStream>, SourceError> {
+        let sub = self.session.subscribe(name).map_err(source_err)?;
+        Ok(Box::new(SubscriptionFeed(sub)))
+    }
+}
+
+/// Serves a [`ShardedSession`]: per-query feeds, snapshots, and replay
+/// all work on the shared **global** timeline, so a client cannot tell
+/// a sharded deployment from a single-writer one. Remote registration
+/// is rejected — the shard plan is sealed at build time.
+pub struct ShardedSource {
+    session: Arc<ShardedSession>,
+    names: Vec<String>,
+}
+
+impl ShardedSource {
+    /// Wraps `session` for serving, enabling delta retention of
+    /// `ring_cap` events on each query.
+    pub fn new(session: Arc<ShardedSession>, ring_cap: usize) -> Result<ShardedSource, CqError> {
+        let names: Vec<String> = session
+            .plan()
+            .shards()
+            .iter()
+            .flat_map(|s| s.queries().iter().cloned())
+            .collect();
+        for name in &names {
+            session.retain_deltas(name, ring_cap)?;
+        }
+        Ok(ShardedSource { session, names })
+    }
+
+    /// The wrapped sharded session.
+    pub fn session(&self) -> &Arc<ShardedSession> {
+        &self.session
+    }
+
+    /// The served query names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+impl FeedSource for ShardedSource {
+    fn seq(&self) -> u64 {
+        self.session.seq()
+    }
+
+    fn register(&self, _name: &str, _src: &str) -> Result<u64, SourceError> {
+        Err(SourceError::Unsupported(
+            "a sharded session's query set is sealed at build time".into(),
+        ))
+    }
+
+    fn snapshot(&self, name: &str) -> Result<(u64, Vec<Row>), SourceError> {
+        let snap = self.session.snapshot(name).map_err(source_err)?;
+        Ok((snap.seq(), snap.results_sorted()))
+    }
+
+    fn replay(&self, name: &str, from_seq: u64) -> Result<Replay, SourceError> {
+        self.session
+            .replay_since(name, from_seq)
+            .map(to_replay)
+            .map_err(source_err)
+    }
+
+    fn open_feed(&self, name: &str) -> Result<Box<dyn FeedStream>, SourceError> {
+        let sub = self.session.subscribe(name).map_err(source_err)?;
+        Ok(Box::new(SubscriptionFeed(sub)))
+    }
+}
+
+/// A running server plus its address — the convenience most callers
+/// want (see [`cqu_serve::Server`] for the full API).
+pub struct ServerHandle {
+    server: Server,
+}
+
+impl ServerHandle {
+    /// Binds a server with default [`ServeConfig`] over any source.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        source: Arc<dyn FeedSource>,
+    ) -> std::io::Result<ServerHandle> {
+        Self::bind_with(addr, source, ServeConfig::default())
+    }
+
+    /// Binds with explicit tuning.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        source: Arc<dyn FeedSource>,
+        config: ServeConfig,
+    ) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            server: Server::bind(addr, source, config)?,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.server.stats()
+    }
+
+    /// Stops the server and joins its threads (also happens on drop).
+    pub fn shutdown(mut self) {
+        self.server.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.server.fmt(f)
+    }
+}

@@ -75,6 +75,8 @@ use cqu_dynamic::{DynamicEngine, ResultDelta, ResultSnapshot, UpdateReport};
 use cqu_query::classify::{classify, Classification, Verdict};
 use cqu_query::hierarchical::{q_hierarchical_violation, Violation};
 use cqu_query::{parse_query, Query, QueryBuilder, QueryError, RelId, Schema};
+use cqu_serve::backpressure::{BoundedQueue, TryRecv};
+use cqu_serve::ring::SeqRing;
 use cqu_storage::{ApplyUpdate, Database, Tuple, Update};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -161,6 +163,121 @@ impl Subscription {
     pub fn recv_timeout(&self, timeout: Duration) -> Option<Arc<ChangeEvent>> {
         self.rx.recv_timeout(timeout).ok()
     }
+
+    /// Like [`Subscription::recv_timeout`], but distinguishes an idle
+    /// feed from a closed one (session or query dropped) — the serving
+    /// layer needs the difference to tear down fan-out pumps.
+    pub(crate) fn recv_timeout_raw(
+        &self,
+        timeout: Duration,
+    ) -> Result<Arc<ChangeEvent>, std::sync::mpsc::RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+}
+
+/// The receiving end of a [`QueryHandle::subscribe_bounded`] change
+/// feed: at most `cap` events are ever pending. When the consumer falls
+/// behind, the session **coalesces** — pending events plus the new one
+/// are netted into a single exact catch-up event — instead of growing
+/// the queue or blocking the writer. The same lag policy network
+/// subscribers get, for in-process feeds.
+#[derive(Debug)]
+pub struct BoundedSubscription {
+    queue: Arc<BoundedQueue<Arc<ChangeEvent>>>,
+    _alive: Arc<()>,
+}
+
+impl BoundedSubscription {
+    /// Takes the next pending event, if any (non-blocking).
+    pub fn poll(&self) -> Option<Arc<ChangeEvent>> {
+        match self.queue.try_recv() {
+            TryRecv::Item(e) => Some(e),
+            TryRecv::Empty | TryRecv::Closed => None,
+        }
+    }
+
+    /// Drains all pending events (non-blocking).
+    pub fn drain(&self) -> Vec<Arc<ChangeEvent>> {
+        self.queue.drain()
+    }
+
+    /// Blocks up to `timeout` for the next event.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Arc<ChangeEvent>> {
+        match self.queue.recv_timeout(timeout) {
+            TryRecv::Item(e) => Some(e),
+            TryRecv::Empty | TryRecv::Closed => None,
+        }
+    }
+
+    /// How many times the session had to coalesce because this consumer
+    /// lagged behind its capacity. A netted catch-up event carries the
+    /// same net delta the individual events would have, so a nonzero
+    /// count means coarser granularity, never lost changes.
+    pub fn coalesced(&self) -> u64 {
+        self.queue.coalesced()
+    }
+
+    /// Number of events currently pending (≤ the subscribed capacity).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl Drop for BoundedSubscription {
+    fn drop(&mut self) {
+        self.queue.close();
+    }
+}
+
+/// How [`QueryHandle::subscribe_from`] satisfied a resume cursor.
+#[derive(Debug)]
+pub enum Resume {
+    /// The cursor was covered by the query's delta retention ring
+    /// ([`QueryHandle::retain_deltas`]): apply `catch_up` (the netted
+    /// delta `from_seq → cursor`; `None` when the result did not change
+    /// net), then follow `feed` — every event on it with `seq` ≤
+    /// `cursor` is already folded into the catch-up and must be skipped.
+    Resumed {
+        /// The resumed stream position: everything up to and including
+        /// this seq is covered by `catch_up`.
+        cursor: u64,
+        /// The netted events `from_seq → cursor`, or `None` when they
+        /// cancelled out (or none were retained).
+        catch_up: Option<ChangeEvent>,
+        /// The live feed from `cursor` onwards.
+        feed: Subscription,
+    },
+    /// Retention is disabled — or the ring evicted the cursor: start
+    /// over from a full snapshot, then follow `feed`, skipping events
+    /// with `seq` ≤ [`QuerySnapshot::seq`].
+    Resync {
+        /// The current result, pinned; its [`QuerySnapshot::seq`] is the
+        /// new cursor.
+        snapshot: QuerySnapshot,
+        /// The live feed from the snapshot onwards.
+        feed: Subscription,
+    },
+}
+
+/// What [`QueryHandle::replay_since`] could recover from the retention
+/// ring.
+#[derive(Debug)]
+pub enum ReplayOutcome {
+    /// The cursor is covered: `event` is the netted delta stream
+    /// `from_seq → upto` (`None` when it nets to nothing).
+    Covered {
+        /// The seq the replay catches the caller up to
+        /// (`max(from_seq, last retained seq)`).
+        upto: u64,
+        /// The netted catch-up delta, stamped `upto`.
+        event: Option<ChangeEvent>,
+    },
+    /// The cursor predates the ring's floor (`Some`) or retention was
+    /// never enabled (`None`): only a snapshot resync can help.
+    Unavailable {
+        /// The ring's current coverage floor, if retention is on.
+        floor: Option<u64>,
+    },
 }
 
 /// Why the auto-router chose the engine it chose.
@@ -178,12 +295,67 @@ pub enum RouteReason {
     Forced,
 }
 
-/// One feed endpoint: the sender plus a liveness token mirroring the
-/// [`Subscription`]'s lifetime, so dead feeds can be pruned without
+/// Where a feed endpoint delivers its events.
+enum Sink {
+    /// Unbounded mpsc ([`QueryHandle::subscribe`]).
+    Channel(Sender<Arc<ChangeEvent>>),
+    /// Bounded coalescing queue ([`QueryHandle::subscribe_bounded`]).
+    Bounded(Arc<BoundedQueue<Arc<ChangeEvent>>>),
+}
+
+impl Sink {
+    /// Delivers one event; `false` means the consumer is gone and the
+    /// subscriber should be pruned.
+    fn deliver(&self, event: &Arc<ChangeEvent>) -> bool {
+        match self {
+            Sink::Channel(tx) => tx.send(Arc::clone(event)).is_ok(),
+            Sink::Bounded(q) => {
+                q.push_coalescing(Arc::clone(event), |all| Arc::new(net_events(all)))
+            }
+        }
+    }
+}
+
+/// Nets a run of per-query events into one exact catch-up event stamped
+/// with the last seq — the coalescing function for bounded feeds and the
+/// replay function for resume cursors. The net delta may be empty (the
+/// changes cancelled); callers decide whether an empty event is worth
+/// delivering.
+fn net_events<E: std::borrow::Borrow<ChangeEvent>>(events: Vec<E>) -> ChangeEvent {
+    let seq = events
+        .last()
+        .map(|e| e.borrow().seq)
+        .expect("netting requires at least one event");
+    let mut delta = ResultDelta::default();
+    for e in events {
+        let e = e.borrow();
+        delta.added.extend(e.added.iter().cloned());
+        delta.removed.extend(e.removed.iter().cloned());
+    }
+    delta.normalize();
+    ChangeEvent {
+        seq,
+        added: delta.added,
+        removed: delta.removed,
+    }
+}
+
+/// One feed endpoint: the sink plus a liveness token mirroring the
+/// subscription's lifetime, so dead feeds can be pruned without
 /// sending.
 struct Subscriber {
-    tx: Sender<Arc<ChangeEvent>>,
+    sink: Sink,
     alive: Weak<()>,
+}
+
+/// A query's change-feed state: the live subscribers and, when serving
+/// enables it, the bounded seq-keyed delta retention ring that resume
+/// cursors replay from. One mutex guards both so ring retention and
+/// fan-out observe events in the same order atomically.
+#[derive(Default)]
+struct FeedState {
+    subs: Vec<Subscriber>,
+    ring: Option<SeqRing<Arc<ChangeEvent>>>,
 }
 
 /// One published epoch of a query: an immutable, internally consistent
@@ -240,7 +412,7 @@ struct Registered {
     /// so a stale epoch is rebuilt once, not once per racing reader.
     /// Never touched by [`PinReader::pin`].
     build_lock: Mutex<()>,
-    subscribers: Mutex<Vec<Subscriber>>,
+    feed: Mutex<FeedState>,
 }
 
 /// The storage-level generation stamp of a query footprint: the max
@@ -266,18 +438,25 @@ impl Registered {
     /// before every tracked update so detached feeds stop costing delta
     /// extraction immediately.
     fn prune_subscribers(&self) -> usize {
-        let mut subs = lock(&self.subscribers);
-        subs.retain(|s| s.alive.strong_count() > 0);
-        subs.len()
+        let mut feed = lock(&self.feed);
+        feed.subs.retain(|s| s.alive.strong_count() > 0);
+        feed.subs.len()
     }
 
-    fn has_subscribers(&self) -> bool {
-        self.prune_subscribers() > 0
+    /// Whether the write path must extract result deltas for this query:
+    /// someone is subscribed, or delta retention is enabled (the ring
+    /// must see every event, subscribers or not, to keep resume cursors
+    /// servable).
+    fn wants_deltas(&self) -> bool {
+        let mut feed = lock(&self.feed);
+        feed.subs.retain(|s| s.alive.strong_count() > 0);
+        !feed.subs.is_empty() || feed.ring.is_some()
     }
 
     /// Publishes a normalized engine-produced delta; empty deltas are
-    /// dropped silently. The event is allocated once and fanned out as
-    /// `Arc` clones.
+    /// dropped silently. The event is allocated once, retained in the
+    /// ring (when enabled), and fanned out as `Arc` clones — ring and
+    /// subscribers observe it atomically under the feed lock.
     fn publish(&self, seq: u64, mut delta: ResultDelta) {
         delta.normalize();
         if delta.is_empty() {
@@ -288,7 +467,12 @@ impl Registered {
             added: delta.added,
             removed: delta.removed,
         });
-        lock(&self.subscribers).retain(|s| s.tx.send(Arc::clone(&event)).is_ok());
+        let mut feed = lock(&self.feed);
+        if let Some(ring) = feed.ring.as_mut() {
+            ring.push(seq, Arc::clone(&event));
+        }
+        feed.subs
+            .retain(|s| s.alive.strong_count() > 0 && s.sink.deliver(&event));
     }
 
     /// Returns the published epoch for the *current* engine version,
@@ -479,9 +663,12 @@ impl Session {
     }
 
     /// Number of effective update commands dispatched so far: single
-    /// applies and batch members each count one; a rolled-back
-    /// transaction also counts its compensating inverses (they are
-    /// effective commands, even though the net state change is zero).
+    /// applies and batch members each count one. A rolled-back
+    /// transaction *burns* its forward updates' numbers (the states they
+    /// numbered were never published, so those positions are simply
+    /// gaps in the visible timeline) — its compensating inverses draw
+    /// none. Single-writer and sharded sessions burn identically; the
+    /// sharded-session suite pins the equality.
     ///
     /// Inside a [`crate::shard::ShardedSession`], where sessions share
     /// one global counter, this is the *global* position of this shard's
@@ -580,7 +767,7 @@ impl Session {
             version: 0,
             cell,
             build_lock: Mutex::new(()),
-            subscribers: Mutex::new(Vec::new()),
+            feed: Mutex::new(FeedState::default()),
         });
         Ok(id)
     }
@@ -681,7 +868,16 @@ impl Session {
             // Set-semantics no-op: no engine state can change either.
             return false;
         }
-        self.advance_seq(1);
+        // Rollback inverses do NOT draw sequence numbers: a rolled-back
+        // transaction burns exactly its forward updates' numbers (which
+        // cannot be returned once drawn — under a shared shard counter
+        // other writers may already hold later ones) and nothing more.
+        // Single-writer and sharded sessions share this dispatch, so both
+        // paths burn identically by construction; `tests/sharded_session`
+        // pins the equality.
+        if !self.rolling_back {
+            self.advance_seq(1);
+        }
         let in_tx = self.tx_buffer.is_some();
         // This update's relation was the database's latest effective
         // change, so for every query routed below (the relation is in
@@ -698,7 +894,7 @@ impl Session {
             reg.footprint_gen = generation;
             // Rollback replay needs no deltas — its buffer is discarded —
             // so it takes the untracked path even under subscription.
-            if !self.rolling_back && reg.has_subscribers() {
+            if !self.rolling_back && reg.wants_deltas() {
                 match self.tx_buffer.as_mut() {
                     Some(buf) if !reg.engine.delta_hint() => {
                         // Diff-fallback engine inside a transaction: one
@@ -820,7 +1016,7 @@ impl Session {
                 .map(|u| self.db.relation_generation(u.relation()))
                 .max()
                 .expect("routed is nonempty");
-            if reg.has_subscribers() {
+            if reg.wants_deltas() {
                 let mut delta = ResultDelta::default();
                 reg.engine.apply_batch_tracked(routed, &mut delta);
                 reg.publish(self.seq, delta);
@@ -870,8 +1066,9 @@ impl Session {
                     TxTrack::Untouched => continue,
                     // Feeds can detach mid-transaction (Subscription is
                     // owned independently of the session borrow): skip
-                    // the commit diff and publish outright then.
-                    _ if !reg.has_subscribers() => continue,
+                    // the commit diff and publish outright then — unless
+                    // a retention ring still wants the net event.
+                    _ if !reg.wants_deltas() => continue,
                     TxTrack::Native(delta) => delta,
                     TxTrack::Snapshot(before) => {
                         let mut delta = ResultDelta::default();
@@ -1105,11 +1302,123 @@ impl<'a> QueryHandle<'a> {
     pub fn subscribe(&self) -> Subscription {
         let (tx, rx) = channel();
         let alive = Arc::new(());
-        lock(&self.reg.subscribers).push(Subscriber {
-            tx,
+        lock(&self.reg.feed).subs.push(Subscriber {
+            sink: Sink::Channel(tx),
             alive: Arc::downgrade(&alive),
         });
         Subscription { rx, _alive: alive }
+    }
+
+    /// Opens a **bounded** change feed holding at most `cap` pending
+    /// events. When the consumer lags, the session coalesces: the
+    /// pending events plus the new one are netted
+    /// ([`cqu_dynamic::ResultDelta::normalize`]-style multiset
+    /// cancellation) into a single exact catch-up event stamped with the
+    /// newest seq. The writer never blocks and the feed never holds more
+    /// than `cap` events — a stalled consumer costs O(cap) memory, not
+    /// OOM (the failure mode of an unbounded [`QueryHandle::subscribe`]
+    /// feed under a dead reader thread).
+    ///
+    /// [`BoundedSubscription::coalesced`] counts how often the policy
+    /// fired; a netted catch-up event may have empty `added`/`removed`
+    /// when the changes cancelled, which still advances the consumer's
+    /// cursor to its `seq`.
+    pub fn subscribe_bounded(&self, cap: usize) -> BoundedSubscription {
+        let queue = Arc::new(BoundedQueue::new(cap));
+        let alive = Arc::new(());
+        lock(&self.reg.feed).subs.push(Subscriber {
+            sink: Sink::Bounded(Arc::clone(&queue)),
+            alive: Arc::downgrade(&alive),
+        });
+        BoundedSubscription {
+            queue,
+            _alive: alive,
+        }
+    }
+
+    /// Enables (or resizes) **delta retention** on this query: the last
+    /// `cap` published [`ChangeEvent`]s are kept in a seq-keyed ring so
+    /// a consumer that detached at seq `N` can later resume with
+    /// [`QueryHandle::subscribe_from`] / [`QueryHandle::replay_since`]
+    /// and receive the netted delta `N → now` instead of a full
+    /// snapshot. Retention makes the write path extract deltas even
+    /// with zero live subscribers (the ring must not miss events);
+    /// its memory is bounded by `cap` events.
+    ///
+    /// Growing `cap` keeps the retained events; shrinking evicts the
+    /// oldest (raising the resume floor). The serving layer enables this
+    /// on every query it exposes.
+    pub fn retain_deltas(&self, cap: usize) {
+        let mut feed = lock(&self.reg.feed);
+        match feed.ring.as_mut() {
+            Some(ring) => ring.resize(cap),
+            // Coverage starts *now*: a cursor at the current seq needs
+            // exactly the events published after this call, all of which
+            // the ring will see.
+            None => feed.ring = Some(SeqRing::new(cap, self.seq)),
+        }
+    }
+
+    /// The retention ring's coverage floor — the smallest cursor
+    /// [`QueryHandle::replay_since`] can serve — or `None` when
+    /// retention is disabled.
+    pub fn retention_floor(&self) -> Option<u64> {
+        lock(&self.reg.feed).ring.as_ref().map(|r| r.floor())
+    }
+
+    /// Nets the retained delta stream after `from_seq` into at most one
+    /// catch-up event — the replay half of cursor resumption, without
+    /// opening a feed (the serving layer runs its own fan-out and calls
+    /// this per reconnecting client).
+    pub fn replay_since(&self, from_seq: u64) -> ReplayOutcome {
+        let feed = lock(&self.reg.feed);
+        let Some(ring) = feed.ring.as_ref() else {
+            return ReplayOutcome::Unavailable { floor: None };
+        };
+        if !ring.covers(from_seq) {
+            return ReplayOutcome::Unavailable {
+                floor: Some(ring.floor()),
+            };
+        }
+        let events: Vec<&ChangeEvent> = ring.since(from_seq).map(|(_, e)| &**e).collect();
+        let upto = from_seq.max(ring.head());
+        if events.is_empty() {
+            return ReplayOutcome::Covered { upto, event: None };
+        }
+        let mut event = net_events(events);
+        // The catch-up covers the whole retained span, whatever the seq
+        // of the last non-empty constituent was.
+        event.seq = upto;
+        let event = (!event.added.is_empty() || !event.removed.is_empty()).then_some(event);
+        ReplayOutcome::Covered { upto, event }
+    }
+
+    /// Resumes a change feed from a cursor: the returned [`Resume`]
+    /// either carries the netted catch-up delta `from_seq → now` (when
+    /// the retention ring still covers `from_seq`) or a full
+    /// [`QuerySnapshot`] to resync from, plus in both cases a live
+    /// [`Subscription`] attached atomically with the replay — no event
+    /// can fall between the catch-up and the feed. Events the feed
+    /// re-delivers from the overlap window carry `seq` ≤ the resume
+    /// cursor and must be skipped (they are already folded in).
+    pub fn subscribe_from(&self, from_seq: u64) -> Resume {
+        // Replay and attach need no joint lock: this handle's shared
+        // session borrow excludes every writer, so no event can be
+        // published between the two calls — the catch-up and the feed
+        // are a consistent cut of the event stream.
+        let replay = self.replay_since(from_seq);
+        let feed = self.subscribe();
+        match replay {
+            ReplayOutcome::Covered { upto, event } => Resume::Resumed {
+                cursor: upto,
+                catch_up: event,
+                feed,
+            },
+            ReplayOutcome::Unavailable { .. } => Resume::Resync {
+                snapshot: self.snapshot(),
+                feed,
+            },
+        }
     }
 
     /// Number of live subscriptions on this query (dropped feeds are
@@ -1147,9 +1456,10 @@ impl QuerySnapshot {
 
     /// The session update sequence number at pin time: this snapshot
     /// reflects exactly the first `seq()` effective update commands the
-    /// session dispatched — batch members count individually, and a
-    /// rolled-back transaction contributes both its updates and their
-    /// compensating inverses (see [`Session::seq`]).
+    /// session dispatched — batch members count individually; a
+    /// rolled-back transaction burns its forward updates' numbers
+    /// without publishing the states they numbered (see
+    /// [`Session::seq`]), so those positions never appear on a pin.
     pub fn seq(&self) -> u64 {
         self.seq
     }
@@ -1415,6 +1725,29 @@ impl SharedSession {
         self.read(|s| s.query(name).map(|h| h.subscribe()))?
     }
 
+    /// Opens a bounded, lag-coalescing change feed on `name`
+    /// (see [`QueryHandle::subscribe_bounded`]).
+    pub fn subscribe_bounded(
+        &self,
+        name: &str,
+        cap: usize,
+    ) -> Result<BoundedSubscription, CqError> {
+        self.read(|s| s.query(name).map(|h| h.subscribe_bounded(cap)))?
+    }
+
+    /// Enables (or resizes) delta retention on `name`
+    /// (see [`QueryHandle::retain_deltas`]).
+    pub fn retain_deltas(&self, name: &str, cap: usize) -> Result<(), CqError> {
+        self.read(|s| s.query(name).map(|h| h.retain_deltas(cap)))?
+    }
+
+    /// Resumes a change feed on `name` from a cursor; the replay and the
+    /// feed attachment happen under one read guard, so no event falls
+    /// between them (see [`QueryHandle::subscribe_from`]).
+    pub fn subscribe_from(&self, name: &str, from_seq: u64) -> Result<Resume, CqError> {
+        self.read(|s| s.query(name).map(|h| h.subscribe_from(from_seq)))?
+    }
+
     /// O(1) count of `name`'s current result.
     pub fn count(&self, name: &str) -> Result<u64, CqError> {
         self.read(|s| s.query(name).map(|h| h.count()))?
@@ -1461,6 +1794,7 @@ fn _assert_thread_safe() {
     send_sync::<PinReader>();
     send_sync::<ChangeEvent>();
     send::<Subscription>();
+    send::<BoundedSubscription>();
 }
 
 /// Checks one update against a schema: the relation id must exist and

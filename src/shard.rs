@@ -69,8 +69,8 @@
 
 use crate::error::CqError;
 use crate::session::{
-    validate_update, EngineChoice, PinReader, QueryId, QuerySnapshot, Session, SessionTransaction,
-    Subscription,
+    validate_update, BoundedSubscription, EngineChoice, PinReader, QueryId, QuerySnapshot,
+    ReplayOutcome, Resume, Session, SessionTransaction, Subscription,
 };
 use cqu_common::{FxHashMap, UnionFind};
 use cqu_dynamic::UpdateReport;
@@ -614,6 +614,38 @@ impl ShardedSession {
     /// Events carry global `seq` stamps.
     pub fn subscribe(&self, name: &str) -> Result<Subscription, CqError> {
         self.read_shard(name, |s| s.query(name).map(|h| h.subscribe()))?
+    }
+
+    /// Opens a bounded, lag-coalescing change feed on `name` (see
+    /// [`QueryHandle::subscribe_bounded`](crate::session::QueryHandle::subscribe_bounded)).
+    pub fn subscribe_bounded(
+        &self,
+        name: &str,
+        cap: usize,
+    ) -> Result<BoundedSubscription, CqError> {
+        self.read_shard(name, |s| s.query(name).map(|h| h.subscribe_bounded(cap)))?
+    }
+
+    /// Enables (or resizes) delta retention on `name` (see
+    /// [`QueryHandle::retain_deltas`](crate::session::QueryHandle::retain_deltas)).
+    /// Ring entries are keyed by *global* seq, so resume cursors work
+    /// identically to the single-writer path.
+    pub fn retain_deltas(&self, name: &str, cap: usize) -> Result<(), CqError> {
+        self.read_shard(name, |s| s.query(name).map(|h| h.retain_deltas(cap)))?
+    }
+
+    /// Nets the retained delta stream of `name` after `from_seq` (see
+    /// [`QueryHandle::replay_since`](crate::session::QueryHandle::replay_since)).
+    pub fn replay_since(&self, name: &str, from_seq: u64) -> Result<ReplayOutcome, CqError> {
+        self.read_shard(name, |s| s.query(name).map(|h| h.replay_since(from_seq)))?
+    }
+
+    /// Resumes a change feed on `name` from a cursor (see
+    /// [`QueryHandle::subscribe_from`](crate::session::QueryHandle::subscribe_from)).
+    /// The replay and the feed attachment happen under one shard read
+    /// guard, so no commit falls between them.
+    pub fn subscribe_from(&self, name: &str, from_seq: u64) -> Result<Resume, CqError> {
+        self.read_shard(name, |s| s.query(name).map(|h| h.subscribe_from(from_seq)))?
     }
 
     /// O(1) count of `name`'s current result.

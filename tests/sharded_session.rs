@@ -233,8 +233,9 @@ proptest! {
                     prop_assert_eq!(a, b);
                 }
                 // Rolled-back cross-shard transaction: no state change,
-                // no events, but the compensating inverses burn the same
-                // seq budget on both sides.
+                // no events; the forward updates burn seq numbers (they
+                // cannot be returned once drawn) but the compensating
+                // inverses draw none — identically on both sides.
                 _ => {
                     let err = sharded
                         .transaction::<usize>(|tx| {
@@ -277,6 +278,78 @@ proptest! {
             for (x, y) in a.iter().zip(&b) {
                 prop_assert_eq!(&x.added, &y.added, "{}: added diverged", name);
                 prop_assert_eq!(&x.removed, &y.removed, "{}: removed diverged", name);
+            }
+        }
+    }
+
+    /// The pinned seq budget of rollback, on both writer paths: a
+    /// rolled-back transaction advances the global sequence counter by
+    /// **exactly its effective forward updates** — the compensating
+    /// inverses draw no numbers — and the sharded session and the
+    /// single-writer session agree on the budget and on the final state.
+    /// (Forward numbers cannot be un-drawn: under the sharded sessions'
+    /// shared atomic counter, other writers may already hold later
+    /// ones.)
+    #[test]
+    fn rollback_burns_forward_seqs_only(seed in 0u64..1_000_000) {
+        let (sharded, mut single) = twins();
+        let schema = single.schema().clone();
+        let mut rng = Lcg::new(seed ^ 0xB0B0);
+        for round in 0..10u64 {
+            // Committed warm-up so rollbacks start from varied states.
+            let warm = random_updates(
+                &schema,
+                seed ^ (round * 2 + 1),
+                WorkloadConfig { steps: 1 + rng.below(4), domain: 4, insert_permille: 600 },
+            );
+            for u in &warm {
+                sharded.apply(u).unwrap();
+                single.apply(u).unwrap();
+            }
+            let chunk = random_updates(
+                &schema,
+                seed ^ (round * 2 + 2),
+                WorkloadConfig { steps: 1 + rng.below(6), domain: 4, insert_permille: 550 },
+            );
+            let before = single.seq();
+            prop_assert_eq!(sharded.seq(), before);
+            let state: Vec<_> = SHARDED
+                .iter()
+                .map(|(name, _, _)| single.query(name).unwrap().results_sorted())
+                .collect();
+
+            let mut txn = single.transaction();
+            let effective = txn.apply_all(&chunk).unwrap() as u64;
+            txn.rollback();
+            prop_assert_eq!(
+                single.seq(), before + effective,
+                "single writer: inverses must draw no seq numbers"
+            );
+
+            let err = sharded
+                .transaction::<usize>(|tx| {
+                    tx.apply_all(&chunk)?;
+                    Err(CqError::UnknownQuery("rollback".into()))
+                })
+                .unwrap_err();
+            prop_assert!(matches!(err, CqError::UnknownQuery(_)));
+            prop_assert_eq!(
+                sharded.seq(), before + effective,
+                "sharded: rollback seq budget diverged from single writer"
+            );
+
+            // And the rollback really rolled back, on both sides.
+            for (i, (name, _, _)) in SHARDED.iter().enumerate() {
+                prop_assert_eq!(
+                    sharded.snapshot(name).unwrap().results_sorted(),
+                    state[i].clone(),
+                    "{}: sharded rollback leaked state", name
+                );
+                prop_assert_eq!(
+                    single.query(name).unwrap().results_sorted(),
+                    state[i].clone(),
+                    "{}: single-writer rollback leaked state", name
+                );
             }
         }
     }
