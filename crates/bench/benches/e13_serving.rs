@@ -130,6 +130,7 @@ fn bench_commit_fanout(c: &mut Criterion) {
             queue_cap: 4,
             hard_cap: 4096,
             lag: LagPolicy::Coalesce,
+            ..ServeConfig::default()
         },
     )
     .unwrap();

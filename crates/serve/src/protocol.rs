@@ -2,7 +2,8 @@
 //!
 //! Every frame on the wire is `u32` little-endian body length followed by
 //! the body; the body is a one-byte tag followed by fixed little-endian
-//! fields. Strings are `u16` length + UTF-8 bytes; row sets are
+//! fields. Strings are `u16` length + UTF-8 bytes (encoders truncate
+//! longer inputs on a char boundary); row sets are
 //! `u32` row count + `u16` arity + `count × arity` little-endian `u64`
 //! constants (every row of one query result shares the head arity).
 //!
@@ -241,9 +242,16 @@ fn put_u64(buf: &mut Vec<u8>, v: u64) {
 }
 
 fn put_str(buf: &mut Vec<u8>, s: &str) {
-    debug_assert!(s.len() <= u16::MAX as usize, "wire strings are short");
-    put_u16(buf, s.len() as u16);
-    buf.extend_from_slice(s.as_bytes());
+    // Wire strings carry a `u16` length. Longer inputs are reachable
+    // remotely (error messages embed client-supplied names), so truncate
+    // on a char boundary — a wrapped length prefix would desynchronize
+    // the stream for every frame after this one.
+    let mut len = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(len) {
+        len -= 1;
+    }
+    put_u16(buf, len as u16);
+    buf.extend_from_slice(&s.as_bytes()[..len]);
 }
 
 fn put_rows(buf: &mut Vec<u8>, rows: &[Row]) {
@@ -415,6 +423,12 @@ impl<'a> Cur<'a> {
     fn rows(&mut self) -> Result<Vec<Row>, WireError> {
         let count = self.u32()? as usize;
         let arity = self.u16()? as usize;
+        // Zero-arity rows occupy no body bytes, so the byte bound below
+        // cannot constrain their count; under set semantics a nullary
+        // result holds at most one (empty) tuple, so bound it directly.
+        if arity == 0 && count > 1 {
+            return Err(WireError::Malformed("zero-arity row count exceeds 1"));
+        }
         // The remaining body bounds the claimed payload before allocation.
         let need = count.checked_mul(arity).and_then(|c| c.checked_mul(8));
         match need {
@@ -643,6 +657,47 @@ mod tests {
             Frame::decode_body(&bytes),
             Err(WireError::Malformed("row payload exceeds frame body"))
         ));
+    }
+
+    #[test]
+    fn zero_arity_rows_are_bounded() {
+        // One empty tuple (a nullary result that holds) roundtrips.
+        roundtrip(Frame::Snapshot {
+            name: "nullary".into(),
+            seq: 1,
+            rows: vec![vec![]],
+        });
+        // A tiny frame claiming u32::MAX zero-arity rows would pass the
+        // byte bound (0 * 8 = 0 bytes needed) — it must be rejected
+        // before the count drives any allocation.
+        let mut bytes = vec![tag::SNAPSHOT];
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.push(b'q');
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // rows
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // arity 0
+        assert!(matches!(
+            Frame::decode_body(&bytes),
+            Err(WireError::Malformed("zero-arity row count exceeds 1"))
+        ));
+    }
+
+    #[test]
+    fn oversized_strings_truncate_on_a_char_boundary() {
+        // 'é' is 2 bytes; an odd byte budget must shrink to a boundary.
+        let long: String = "é".repeat(40_000); // 80 000 bytes
+        let frame = Frame::Error {
+            code: ErrorCode::Other as u8,
+            msg: long.clone(),
+        };
+        let bytes = frame.encode();
+        let decoded = Frame::decode_body(&bytes[4..]).unwrap();
+        let Frame::Error { msg, .. } = decoded else {
+            panic!("wrong frame");
+        };
+        assert!(msg.len() <= u16::MAX as usize);
+        assert_eq!(msg.len(), u16::MAX as usize - 1); // 65534: char boundary
+        assert!(long.starts_with(&msg));
     }
 
     #[test]

@@ -233,6 +233,15 @@ pub struct ServeConfig {
     pub hard_cap: usize,
     /// What happens to a subscription that overflows `queue_cap`.
     pub lag: LagPolicy,
+    /// How long a fresh connection gets to complete the `Hello`
+    /// handshake before it is dropped. Connections that handshake keep
+    /// blocking reads with no deadline (a quiet subscriber is normal);
+    /// connections that never speak must not pin threads forever.
+    pub handshake_timeout: Duration,
+    /// Maximum concurrently open connections; further accepts are closed
+    /// immediately. Each connection costs two OS threads, so this bounds
+    /// the server's thread count.
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -241,6 +250,8 @@ impl Default for ServeConfig {
             queue_cap: 64,
             hard_cap: 4096,
             lag: LagPolicy::Coalesce,
+            handshake_timeout: Duration::from_secs(10),
+            max_conns: 1024,
         }
     }
 }
@@ -626,14 +637,34 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             return;
         }
         let Ok(stream) = stream else { continue };
+        // Reap threads of connections that have since closed — a
+        // long-running server must not accumulate a JoinHandle pair per
+        // connection ever served. Finished threads join instantly.
+        {
+            let mut threads = lock(&shared.threads);
+            let mut i = 0;
+            while i < threads.len() {
+                if threads[i].is_finished() {
+                    let _ = threads.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let mut conns = lock(&shared.conns);
+        conns.retain(|c| c.strong_count() > 0);
+        if conns.len() >= shared.config.max_conns {
+            // At capacity: refuse by closing. Dropping the stream sends
+            // RST/FIN; the client sees a dead socket, not a hung one.
+            drop(stream);
+            continue;
+        }
         Shared::bump(&shared.stats.connections);
         let conn = Arc::new(Conn {
             out: OutQueue::new(shared.config.queue_cap, shared.config.hard_cap),
             subs: Mutex::new(HashMap::new()),
             stream,
         });
-        let mut conns = lock(&shared.conns);
-        conns.retain(|c| c.strong_count() > 0);
         conns.push(Arc::downgrade(&conn));
         drop(conns);
 
@@ -711,6 +742,14 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
         Ok(s) => s,
         Err(_) => return,
     };
+    // Handshake under a read deadline: a client that connects and says
+    // nothing (slowloris) must not pin this thread pair forever. After
+    // the handshake the deadline comes off — an idle subscriber is a
+    // normal, healthy connection.
+    let timeout = Some(shared.config.handshake_timeout).filter(|t| !t.is_zero());
+    if stream.set_read_timeout(timeout).is_err() {
+        return;
+    }
     // Handshake: the first frame must be a version-compatible Hello.
     match read_frame(&mut stream) {
         Ok(Frame::Hello { version, .. }) if version == PROTOCOL_VERSION => {
@@ -731,6 +770,9 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
             return;
         }
         _ => return,
+    }
+    if stream.set_read_timeout(None).is_err() {
+        return;
     }
     loop {
         let frame = match read_frame(&mut stream) {

@@ -456,6 +456,7 @@ fn tcp_stalled_subscriber_never_blocks_the_writer() {
             queue_cap: 4,
             hard_cap: 1 << 20,
             lag: LagPolicy::Coalesce,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -521,6 +522,7 @@ fn tcp_lag_disconnect_policy_sheds_the_slow_consumer() {
             queue_cap: 2,
             hard_cap: 1 << 20,
             lag: LagPolicy::Disconnect,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -706,4 +708,74 @@ fn killed_and_resumed_clients_converge() {
         "stress cell must actually exercise resumes"
     );
     assert!(server.stats().connections as usize >= clients);
+}
+
+/// The slowloris guards: a connection that never speaks is reaped at
+/// the handshake deadline instead of pinning its thread pair forever,
+/// and the connection cap refuses over-limit accepts outright (closed,
+/// not hung) — with slots becoming reusable once holders disconnect.
+#[test]
+fn tcp_silent_connections_time_out_and_the_conn_cap_holds() {
+    use std::io::Read;
+
+    let mut session = Session::new();
+    session.register("feed", ROUTES[0].1).unwrap();
+    let shared = SharedSession::new(session);
+    let source = Arc::new(SessionSource::new(shared.clone(), 1 << 16).unwrap());
+    let server = ServerHandle::bind_with(
+        "127.0.0.1:0",
+        source,
+        ServeConfig {
+            handshake_timeout: Duration::from_millis(200),
+            max_conns: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let assert_closed = |stream: &mut std::net::TcpStream, what: &str| {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        match stream.read(&mut buf) {
+            Ok(0) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+            other => panic!("{what}: expected the server to close, got {other:?}"),
+        }
+    };
+    let connect_by = |deadline: Instant| -> Client {
+        loop {
+            match Client::connect(addr) {
+                Ok(c) => return c,
+                Err(_) => {
+                    assert!(Instant::now() < deadline, "no connection slot freed up");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    };
+
+    // A connection that never sends Hello is cut loose at the deadline.
+    let mut silent = std::net::TcpStream::connect(addr).unwrap();
+    let started = Instant::now();
+    assert_closed(&mut silent, "silent handshake");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "handshake reap must honor the configured deadline"
+    );
+
+    // Fill both connection slots with handshaken clients (retrying while
+    // the reaped silent connection's slot drains)…
+    let c1 = connect_by(Instant::now() + Duration::from_secs(10));
+    let c2 = connect_by(Instant::now() + Duration::from_secs(10));
+    // …then the cap refuses a third outright.
+    let mut refused = std::net::TcpStream::connect(addr).unwrap();
+    assert_closed(&mut refused, "over-cap connect");
+
+    // Freed slots are reusable.
+    drop(c1);
+    drop(c2);
+    let _ = connect_by(Instant::now() + Duration::from_secs(10));
 }
