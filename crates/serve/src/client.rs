@@ -9,7 +9,7 @@
 //! resumable-cursor contract.
 
 use crate::protocol::{Frame, Row, SubscribeMode, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::io::{self, Read};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -73,6 +73,18 @@ pub struct Client {
     /// with millisecond timeouts while a multi-megabyte snapshot frame
     /// is in flight.
     rbuf: Vec<u8>,
+    /// Resume cursor per subscribed query, advanced as stream frames
+    /// pass through [`Client::poll_frame`] — the state auto-resubscribe
+    /// resumes from.
+    cursors: HashMap<String, u64>,
+    /// Whether a `Lagged` detach triggers a transparent re-`Subscribe`
+    /// from the tracked cursor (on by default).
+    auto_resubscribe: bool,
+    /// Queries with an auto-resubscribe in flight; the matching
+    /// `Subscribed` reply is swallowed rather than surfaced.
+    pending_auto: HashSet<String>,
+    /// Auto-resubscribes performed over the connection's lifetime.
+    resubscribes: u64,
 }
 
 /// How long command replies may take before the client gives up.
@@ -87,6 +99,10 @@ impl Client {
             server_seq: 0,
             pending: VecDeque::new(),
             rbuf: Vec::new(),
+            cursors: HashMap::new(),
+            auto_resubscribe: true,
+            pending_auto: HashSet::new(),
+            resubscribes: 0,
         };
         client.send(&Frame::Hello {
             version: PROTOCOL_VERSION,
@@ -122,7 +138,10 @@ impl Client {
                 if self.rbuf.len() >= 4 + len {
                     let frame = Frame::decode_body(&self.rbuf[4..4 + len])?;
                     self.rbuf.drain(..4 + len);
-                    return Ok(Some(frame));
+                    match self.intercept(frame)? {
+                        Some(frame) => return Ok(Some(frame)),
+                        None => continue, // swallowed by auto-resubscribe
+                    }
                 }
             }
             let now = Instant::now();
@@ -151,6 +170,50 @@ impl Client {
                 Err(e) => return Err(e.into()),
             }
         }
+    }
+
+    /// The single chokepoint every inbound frame passes through:
+    /// advances the per-subscription resume cursors and, when enabled,
+    /// turns a `Lagged` detach into a transparent re-`Subscribe` from
+    /// the tracked cursor. The `Lagged` and the matching `Subscribed`
+    /// reply are swallowed (`Ok(None)`); the catch-up `Delta` or
+    /// `Snapshot` the server sends next flows to the caller unchanged,
+    /// so a [`Mirror`] heals without ever noticing the detach.
+    fn intercept(&mut self, frame: Frame) -> Result<Option<Frame>, ClientError> {
+        match &frame {
+            Frame::Snapshot { name, seq, .. }
+            | Frame::Delta { name, seq, .. }
+            | Frame::SnapshotChunk {
+                name,
+                seq,
+                last: true,
+                ..
+            } => {
+                if let Some(cursor) = self.cursors.get_mut(name) {
+                    *cursor = (*cursor).max(*seq);
+                }
+            }
+            Frame::Lagged { name, .. } if self.auto_resubscribe => {
+                if let Some(&cursor) = self.cursors.get(name) {
+                    let name = name.clone();
+                    self.resubscribes += 1;
+                    self.pending_auto.insert(name.clone());
+                    self.send(&Frame::Subscribe {
+                        name,
+                        from_seq: Some(cursor),
+                    })?;
+                    return Ok(None);
+                }
+            }
+            Frame::Subscribed { name, seq, .. } if self.pending_auto.remove(name) => {
+                if let Some(cursor) = self.cursors.get_mut(name) {
+                    *cursor = (*cursor).max(*seq);
+                }
+                return Ok(None);
+            }
+            _ => {}
+        }
+        Ok(Some(frame))
     }
 
     /// Reads frames until `want` matches, buffering everything else.
@@ -182,12 +245,31 @@ impl Client {
         }
     }
 
-    /// One-shot read: the query's current `(seq, rows)`.
+    /// One-shot read: the query's current `(seq, rows)`. Large results
+    /// arrive as a `SnapshotChunk` run and are reassembled here.
     pub fn query(&mut self, name: &str) -> Result<(u64, Vec<Row>), ClientError> {
         self.send(&Frame::Query { name: name.into() })?;
-        match self.wait_for(|f| matches!(f, Frame::Snapshot { name: n, .. } if n == name))? {
-            Frame::Snapshot { seq, rows, .. } => Ok((seq, rows)),
-            _ => unreachable!("wait_for matched Snapshot"),
+        let mut rows = Vec::new();
+        loop {
+            match self.wait_for(|f| {
+                matches!(f,
+                    Frame::Snapshot { name: n, .. } | Frame::SnapshotChunk { name: n, .. }
+                        if n == name)
+            })? {
+                Frame::Snapshot { seq, rows: all, .. } => return Ok((seq, all)),
+                Frame::SnapshotChunk {
+                    seq,
+                    last,
+                    rows: chunk,
+                    ..
+                } => {
+                    rows.extend(chunk);
+                    if last {
+                        return Ok((seq, rows));
+                    }
+                }
+                _ => unreachable!("wait_for matched a snapshot frame"),
+            }
         }
     }
 
@@ -204,7 +286,14 @@ impl Client {
             from_seq: from,
         })?;
         match self.wait_for(|f| matches!(f, Frame::Subscribed { name: n, .. } if n == name))? {
-            Frame::Subscribed { mode, seq, .. } => Ok((mode, seq)),
+            Frame::Subscribed { mode, seq, .. } => {
+                // Track the cursor from here on: every stream frame for
+                // this query that passes through the client advances it,
+                // and auto-resubscribe resumes from it.
+                let cursor = self.cursors.entry(name.to_string()).or_insert(0);
+                *cursor = (*cursor).max(seq);
+                Ok((mode, seq))
+            }
             _ => unreachable!("wait_for matched Subscribed"),
         }
     }
@@ -213,7 +302,27 @@ impl Client {
     pub fn unsubscribe(&mut self, name: &str) -> Result<(), ClientError> {
         self.send(&Frame::Unsubscribe { name: name.into() })?;
         self.wait_for(|f| matches!(f, Frame::Ack { name: n, .. } if n == name))?;
+        self.cursors.remove(name);
+        self.pending_auto.remove(name);
         Ok(())
+    }
+
+    /// Enables or disables transparent re-`Subscribe` on `Lagged`
+    /// (enabled by default). Disable it to observe `Lagged` frames and
+    /// drive recovery by hand.
+    pub fn set_auto_resubscribe(&mut self, on: bool) {
+        self.auto_resubscribe = on;
+    }
+
+    /// How many times this connection transparently re-subscribed after
+    /// a `Lagged` detach.
+    pub fn resubscribes(&self) -> u64 {
+        self.resubscribes
+    }
+
+    /// The tracked resume cursor for `name`, if subscribed.
+    pub fn cursor(&self, name: &str) -> Option<u64> {
+        self.cursors.get(name).copied()
     }
 
     /// Reports cursor progress to the server (fire-and-forget).
@@ -241,19 +350,64 @@ impl Client {
 /// `client.subscribe(name, Some(mirror.seq()))` and keep folding. The
 /// mirror ignores deltas at or below its cursor, so the replay/live
 /// overlap is deduplicated client-side exactly like server-side.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Mirror {
     rows: BTreeSet<Row>,
     seq: u64,
     /// Set when the server detached the feed with `Lagged` — the cue to
     /// re-subscribe with [`Mirror::seq`] as the cursor.
     lagged_at: Option<u64>,
+    /// In-flight `SnapshotChunk` reassembly: the pin seq and the rows
+    /// accumulated so far. The replica is only replaced once the `last`
+    /// chunk lands, so a poll loop observing the mirror mid-run never
+    /// sees a half-applied snapshot.
+    chunks: Option<(u64, Vec<Row>)>,
+    /// Bytes of chunk rows buffered so far, charged against
+    /// [`Mirror::budget`].
+    chunk_bytes: usize,
+    /// Reassembly budget in row-payload bytes; a snapshot exceeding it
+    /// trips [`Mirror::overflowed`] instead of allocating without bound.
+    budget: usize,
+    overflowed: bool,
+}
+
+/// Default [`Mirror`] reassembly budget: 1 GiB of row payload.
+const DEFAULT_REASSEMBLY_BUDGET: usize = 1 << 30;
+
+impl Default for Mirror {
+    fn default() -> Mirror {
+        Mirror::with_budget(DEFAULT_REASSEMBLY_BUDGET)
+    }
 }
 
 impl Mirror {
     /// An empty replica at seq 0.
     pub fn new() -> Mirror {
         Mirror::default()
+    }
+
+    /// An empty replica whose `SnapshotChunk` reassembly may buffer at
+    /// most `budget` bytes of row payload (default 1 GiB). A snapshot
+    /// exceeding it sets [`Mirror::overflowed`] and the mirror stops
+    /// folding — the replica cannot be maintained within the budget, so
+    /// it freezes consistent-but-stale rather than corrupting itself.
+    pub fn with_budget(budget: usize) -> Mirror {
+        Mirror {
+            rows: BTreeSet::new(),
+            seq: 0,
+            lagged_at: None,
+            chunks: None,
+            chunk_bytes: 0,
+            budget,
+            overflowed: false,
+        }
+    }
+
+    /// Whether a chunked snapshot blew the reassembly budget. Once set,
+    /// [`Mirror::apply`] ignores all further frames; the replica stays
+    /// at its last consistent state.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
     }
 
     /// The replica's rows.
@@ -278,8 +432,19 @@ impl Mirror {
     }
 
     /// Folds one stream frame into the replica; returns `true` if the
-    /// frame was one of ours (`Snapshot`/`Delta`/`Lagged` for `name`).
+    /// frame was one of ours (`Snapshot`/`SnapshotChunk`/`Delta`/
+    /// `Lagged` for `name`).
     pub fn apply(&mut self, name: &str, frame: &Frame) -> bool {
+        if self.overflowed {
+            // The replica can no longer be maintained within budget;
+            // claim our frames (so callers don't misroute them) but
+            // leave the state frozen.
+            return matches!(frame,
+                Frame::Snapshot { name: n, .. }
+                | Frame::SnapshotChunk { name: n, .. }
+                | Frame::Delta { name: n, .. }
+                | Frame::Lagged { name: n, .. } if n == name);
+        }
         match frame {
             Frame::Snapshot { name: n, seq, rows } if n == name => {
                 // Snapshots are authoritative: they replace the state
@@ -287,6 +452,38 @@ impl Mirror {
                 self.rows = rows.iter().cloned().collect();
                 self.seq = *seq;
                 self.lagged_at = None;
+                self.chunks = None;
+                self.chunk_bytes = 0;
+                true
+            }
+            Frame::SnapshotChunk {
+                name: n,
+                seq,
+                last,
+                rows,
+            } if n == name => {
+                // A different pin seq starts a new run (the server never
+                // interleaves two snapshots of one query).
+                if self.chunks.as_ref().is_none_or(|(s, _)| s != seq) {
+                    self.chunks = Some((*seq, Vec::new()));
+                    self.chunk_bytes = 0;
+                }
+                self.chunk_bytes += rows.iter().map(|r| (r.len() * 8).max(1)).sum::<usize>();
+                if self.chunk_bytes > self.budget {
+                    self.overflowed = true;
+                    self.chunks = None;
+                    self.chunk_bytes = 0;
+                    return true;
+                }
+                let (_, buf) = self.chunks.as_mut().expect("run just ensured");
+                buf.extend(rows.iter().cloned());
+                if *last {
+                    let (seq, buf) = self.chunks.take().expect("run in flight");
+                    self.rows = buf.into_iter().collect();
+                    self.seq = seq;
+                    self.lagged_at = None;
+                    self.chunk_bytes = 0;
+                }
                 true
             }
             Frame::Delta {

@@ -17,6 +17,7 @@
 //! | `Ack` | both | `name`, `seq` | client: cursor progress (observability); server: command confirmation |
 //! | `Subscribed` | s→c | `name`, `mode`, `seq` | feed opened: `Live`, `Resumed` (netted catch-up `Delta` follows if nonempty) or `Resync` (`Snapshot` follows) |
 //! | `Snapshot` | s→c | `name`, `seq`, rows | full result pinned at `seq` |
+//! | `SnapshotChunk` | s→c | `name`, `seq`, `last`, rows | one slice of a large snapshot pinned at `seq`; the receiver concatenates until `last` |
 //! | `Delta` | s→c | `name`, `seq`, added, removed | netted result delta, cursor advances to `seq` |
 //! | `Lagged` | s→c | `name`, `resync_at` | the feed overran its bounded queue and was detached; re-`Subscribe` with your cursor (ring replay makes that cheap) |
 //! | `Error` | s→c | `code`, `msg` | command failed |
@@ -29,7 +30,11 @@ use std::io::{self, Read, Write};
 
 /// Protocol version spoken by this build. The server rejects a `Hello`
 /// with a different major version.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// History: v1 shipped the base frame set; v2 added `SnapshotChunk`
+/// (servers may split large snapshots, so a v1 client would choke on
+/// the unknown tag — hence the bump).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame body; larger length prefixes are rejected
 /// before any allocation.
@@ -137,6 +142,21 @@ pub enum Frame {
         /// The pinned result rows.
         rows: Vec<Row>,
     },
+    /// One slice of a snapshot too large for a single frame. All chunks
+    /// of one snapshot carry the same pin `seq`; the receiver
+    /// concatenates their rows (server-sent in order) and treats the
+    /// whole as an authoritative `Snapshot` once `last` arrives. A chunk
+    /// run is never interleaved with another snapshot of the same query.
+    SnapshotChunk {
+        /// Query name.
+        name: String,
+        /// Pin position on the global timeline (same for every chunk).
+        seq: u64,
+        /// Whether this is the final chunk of the snapshot.
+        last: bool,
+        /// This chunk's slice of the pinned result rows.
+        rows: Vec<Row>,
+    },
     /// Netted result delta; the client's cursor advances to `seq`.
     Delta {
         /// Query name.
@@ -194,6 +214,7 @@ mod tag {
     pub const DELTA: u8 = 0x09;
     pub const LAGGED: u8 = 0x0A;
     pub const ERROR: u8 = 0x0B;
+    pub const SNAPSHOT_CHUNK: u8 = 0x0C;
 }
 
 /// Anything that can go wrong while encoding, decoding, or transporting
@@ -316,6 +337,18 @@ impl Frame {
                 put_u64(buf, *seq);
                 put_rows(buf, rows);
             }
+            Frame::SnapshotChunk {
+                name,
+                seq,
+                last,
+                rows,
+            } => {
+                buf.push(tag::SNAPSHOT_CHUNK);
+                put_str(buf, name);
+                put_u64(buf, *seq);
+                buf.push(*last as u8);
+                put_rows(buf, rows);
+            }
             Frame::Delta {
                 name,
                 seq,
@@ -378,6 +411,84 @@ pub fn encode_snapshot_frame(name: &str, seq: u64, rows: &[Row]) -> Vec<u8> {
     let len = (buf.len() - 4) as u32;
     buf[..4].copy_from_slice(&len.to_le_bytes());
     buf
+}
+
+/// Encodes a complete `SnapshotChunk` wire message directly from
+/// borrowed rows (see [`encode_delta_frame`]).
+pub fn encode_snapshot_chunk_frame(name: &str, seq: u64, last: bool, rows: &[Row]) -> Vec<u8> {
+    let mut buf = vec![0u8; 4];
+    buf.push(tag::SNAPSHOT_CHUNK);
+    put_str(&mut buf, name);
+    put_u64(&mut buf, seq);
+    buf.push(last as u8);
+    put_rows(&mut buf, rows);
+    let len = (buf.len() - 4) as u32;
+    buf[..4].copy_from_slice(&len.to_le_bytes());
+    buf
+}
+
+/// How many rows fit a `chunk_bytes` payload budget (at least one —
+/// progress is guaranteed even when a single row exceeds the budget).
+fn rows_per_chunk(rows: &[Row], chunk_bytes: usize) -> usize {
+    let row_bytes = rows.first().map(|r| r.len() * 8).unwrap_or(0).max(1);
+    (chunk_bytes / row_bytes).max(1)
+}
+
+/// Encodes a snapshot as wire messages, splitting it into
+/// `SnapshotChunk` frames (the final one marked `last`) when the row
+/// payload exceeds `chunk_bytes`. Results that fit stay one
+/// authoritative `Snapshot` frame, so small queries never pay the
+/// chunking indirection.
+pub fn encode_snapshot_frames(
+    name: &str,
+    seq: u64,
+    rows: &[Row],
+    chunk_bytes: usize,
+) -> Vec<Vec<u8>> {
+    let per = rows_per_chunk(rows, chunk_bytes);
+    if rows.len() <= per {
+        return vec![encode_snapshot_frame(name, seq, rows)];
+    }
+    let mut out = Vec::with_capacity(rows.len().div_ceil(per));
+    let mut start = 0;
+    while start < rows.len() {
+        let end = (start + per).min(rows.len());
+        out.push(encode_snapshot_chunk_frame(
+            name,
+            seq,
+            end == rows.len(),
+            &rows[start..end],
+        ));
+        start = end;
+    }
+    out
+}
+
+/// [`encode_snapshot_frames`] at the [`Frame`] level, for reply paths
+/// that hand frames (not bytes) downstream. Consumes `rows` so the
+/// single-frame fast path moves them without a copy.
+pub fn snapshot_frames(name: &str, seq: u64, rows: Vec<Row>, chunk_bytes: usize) -> Vec<Frame> {
+    let per = rows_per_chunk(&rows, chunk_bytes);
+    if rows.len() <= per {
+        return vec![Frame::Snapshot {
+            name: name.into(),
+            seq,
+            rows,
+        }];
+    }
+    let mut out = Vec::with_capacity(rows.len().div_ceil(per));
+    let mut rest = rows;
+    while !rest.is_empty() {
+        let tail = rest.split_off(per.min(rest.len()));
+        out.push(Frame::SnapshotChunk {
+            name: name.into(),
+            seq,
+            last: tail.is_empty(),
+            rows: rest,
+        });
+        rest = tail;
+    }
+    out
 }
 
 // ---- decoding ------------------------------------------------------------
@@ -492,6 +603,16 @@ impl Frame {
             tag::SNAPSHOT => Frame::Snapshot {
                 name: cur.str()?,
                 seq: cur.u64()?,
+                rows: cur.rows()?,
+            },
+            tag::SNAPSHOT_CHUNK => Frame::SnapshotChunk {
+                name: cur.str()?,
+                seq: cur.u64()?,
+                last: match cur.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Malformed("bad last-chunk flag")),
+                },
                 rows: cur.rows()?,
             },
             tag::DELTA => Frame::Delta {
@@ -609,6 +730,18 @@ mod tests {
             seq: 0,
             rows: vec![],
         });
+        roundtrip(Frame::SnapshotChunk {
+            name: "feed".into(),
+            seq: 7,
+            last: false,
+            rows: vec![vec![1, 2], vec![3, 4]],
+        });
+        roundtrip(Frame::SnapshotChunk {
+            name: "feed".into(),
+            seq: 7,
+            last: true,
+            rows: vec![],
+        });
         roundtrip(Frame::Delta {
             name: "feed".into(),
             seq: 11,
@@ -723,6 +856,72 @@ mod tests {
             }
             .encode()
         );
+    }
+
+    #[test]
+    fn bad_last_chunk_flag_is_rejected() {
+        let mut bytes = Vec::new();
+        Frame::SnapshotChunk {
+            name: "q".into(),
+            seq: 3,
+            last: true,
+            rows: vec![vec![1]],
+        }
+        .encode_body(&mut bytes);
+        // The `last` byte sits right after the name (u16 len + 1 byte)
+        // and the u64 seq.
+        let flag_at = 1 + 2 + 1 + 8;
+        assert_eq!(bytes[flag_at], 1);
+        bytes[flag_at] = 2;
+        assert!(matches!(
+            Frame::decode_body(&bytes),
+            Err(WireError::Malformed("bad last-chunk flag"))
+        ));
+    }
+
+    #[test]
+    fn snapshot_chunking_partitions_exactly() {
+        let rows: Vec<Row> = (0..100u64).map(|i| vec![i, i + 1]).collect();
+        // 16 bytes per row, 40-byte budget → 2 rows per chunk, 50 chunks.
+        let frames = snapshot_frames("q", 9, rows.clone(), 40);
+        assert_eq!(frames.len(), 50);
+        let mut rebuilt = Vec::new();
+        for (i, frame) in frames.iter().enumerate() {
+            let Frame::SnapshotChunk {
+                name,
+                seq,
+                last,
+                rows: chunk,
+            } = frame
+            else {
+                panic!("expected chunks, got {frame:?}");
+            };
+            assert_eq!(name, "q");
+            assert_eq!(*seq, 9);
+            assert_eq!(*last, i == 49);
+            assert_eq!(chunk.len(), 2);
+            rebuilt.extend(chunk.iter().cloned());
+        }
+        assert_eq!(rebuilt, rows);
+        // The byte-level encoder agrees frame for frame.
+        let encoded = encode_snapshot_frames("q", 9, &rows, 40);
+        assert_eq!(encoded.len(), frames.len());
+        for (bytes, frame) in encoded.iter().zip(&frames) {
+            assert_eq!(bytes, &frame.encode());
+        }
+        // Small results stay a single authoritative Snapshot.
+        let small = snapshot_frames("q", 9, rows[..2].to_vec(), 40);
+        assert!(matches!(&small[..], [Frame::Snapshot { .. }]));
+        let small_bytes = encode_snapshot_frames("q", 9, &rows[..2], 40);
+        assert_eq!(small_bytes, vec![small[0].encode()]);
+        // A single row over budget still makes progress, one row per chunk.
+        let wide = snapshot_frames("q", 9, vec![vec![0; 100], vec![1; 100]], 8);
+        assert_eq!(wide.len(), 2);
+        // An empty result is one (empty) Snapshot, never zero frames.
+        assert!(matches!(
+            &snapshot_frames("q", 9, vec![], 40)[..],
+            [Frame::Snapshot { rows, .. }] if rows.is_empty()
+        ));
     }
 
     #[test]

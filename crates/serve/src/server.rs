@@ -35,8 +35,8 @@
 //! commit path never blocks.
 
 use crate::protocol::{
-    encode_delta_frame, encode_snapshot_frame, read_frame, ErrorCode, Frame, Row, SubscribeMode,
-    PROTOCOL_VERSION,
+    encode_delta_frame, encode_snapshot_frames, read_frame, snapshot_frames, ErrorCode, Frame, Row,
+    SubscribeMode, PROTOCOL_VERSION,
 };
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufWriter, Write};
@@ -242,6 +242,12 @@ pub struct ServeConfig {
     /// immediately. Each connection costs two OS threads, so this bounds
     /// the server's thread count.
     pub max_conns: usize,
+    /// Row-payload budget per snapshot frame. Snapshots whose rows
+    /// exceed it are shipped as a run of `SnapshotChunk` frames instead
+    /// of one giant `Snapshot`, bounding the per-frame allocation on
+    /// both sides of the wire and letting a writer's deltas interleave
+    /// with a multi-gigabyte snapshot on other subscriptions.
+    pub snapshot_chunk_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -252,6 +258,7 @@ impl Default for ServeConfig {
             lag: LagPolicy::Coalesce,
             handshake_timeout: Duration::from_secs(10),
             max_conns: 1024,
+            snapshot_chunk_bytes: 1 << 20,
         }
     }
 }
@@ -500,6 +507,10 @@ struct ConnSub {
     live: Arc<AtomicBool>,
 }
 
+/// A pre-encoded snapshot pinned at a seq: one `Snapshot` frame, or a
+/// `SnapshotChunk` run when the rows exceeded the chunk budget.
+type EncodedSnapshot = (u64, Vec<Arc<[u8]>>);
+
 /// The per-query fan-out: one feed from the source, N subscriptions.
 struct FanOut {
     query: Arc<str>,
@@ -507,11 +518,13 @@ struct FanOut {
     /// Set when the pump exits because the source closed the feed; the
     /// next subscriber respawns the pump.
     closed: AtomicBool,
-    /// The last snapshot served, pre-encoded: `(seq, Snapshot frame
-    /// bytes)`. Fresh subscribes share these bytes and net the
-    /// staleness away with a ring replay from `seq`, so a thundering
-    /// herd of subscribers costs one snapshot serialization, not N.
-    snap_cache: Mutex<Option<(u64, Arc<[u8]>)>>,
+    /// The last snapshot served, pre-encoded: `(seq, frame bytes)` —
+    /// one `Snapshot` frame, or a `SnapshotChunk` run when the rows
+    /// exceeded the configured chunk budget. Fresh subscribes share
+    /// these bytes and net the staleness away with a ring replay from
+    /// `seq`, so a thundering herd of subscribers costs one snapshot
+    /// serialization, not N.
+    snap_cache: Mutex<Option<EncodedSnapshot>>,
 }
 
 struct Shared {
@@ -789,10 +802,9 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
                 .source
                 .register(&name, &src)
                 .map(|seq| vec![Frame::Ack { name, seq }]),
-            Frame::Query { name } => shared
-                .source
-                .snapshot(&name)
-                .map(|(seq, rows)| vec![Frame::Snapshot { name, seq, rows }]),
+            Frame::Query { name } => shared.source.snapshot(&name).map(|(seq, rows)| {
+                snapshot_frames(&name, seq, rows, shared.config.snapshot_chunk_bytes)
+            }),
             Frame::Subscribe { name, from_seq } => handle_subscribe(shared, conn, &name, from_seq),
             Frame::Unsubscribe { name } => {
                 if let Some(flag) = lock(&conn.subs).remove(&name) {
@@ -879,20 +891,18 @@ fn handle_subscribe(
     // Fresh subscribe (or resync): shared cached snapshot, computed with
     // no lock held, plus a cheap replay from its seq under the lock to
     // close the enumeration window.
-    let (snap_seq, snap_bytes) = cached_snapshot(shared, &fanout, name)?;
+    let (snap_seq, snap_frames) = cached_snapshot(shared, &fanout, name)?;
     let subs = lock(&fanout.subs);
     if let Replay::Netted { upto, delta } = shared.source.replay(name, snap_seq)? {
         let cursor = snap_seq.max(upto);
-        let mut frames = vec![
-            Frame::Subscribed {
-                name: name.into(),
-                mode,
-                seq: cursor,
-            }
-            .encode()
-            .into(),
-            snap_bytes,
-        ];
+        let mut frames: Vec<Arc<[u8]>> = vec![Frame::Subscribed {
+            name: name.into(),
+            mode,
+            seq: cursor,
+        }
+        .encode()
+        .into()];
+        frames.extend(snap_frames);
         if let Some(d) = delta {
             frames.push(encode_delta_frame(name, cursor, &d.added, &d.removed).into());
         }
@@ -903,18 +913,20 @@ fn handle_subscribe(
     // while holding the subscriber lock so nothing slips past.
     let (seq, rows) = shared.source.snapshot(name)?;
     Shared::bump(&shared.stats.snapshots_built);
-    let bytes: Arc<[u8]> = encode_snapshot_frame(name, seq, &rows).into();
-    *lock(&fanout.snap_cache) = Some((seq, Arc::clone(&bytes)));
-    let frames = vec![
-        Frame::Subscribed {
-            name: name.into(),
-            mode,
-            seq,
-        }
-        .encode()
-        .into(),
-        bytes,
-    ];
+    let encoded: Vec<Arc<[u8]>> =
+        encode_snapshot_frames(name, seq, &rows, shared.config.snapshot_chunk_bytes)
+            .into_iter()
+            .map(Arc::from)
+            .collect();
+    *lock(&fanout.snap_cache) = Some((seq, encoded.clone()));
+    let mut frames: Vec<Arc<[u8]>> = vec![Frame::Subscribed {
+        name: name.into(),
+        mode,
+        seq,
+    }
+    .encode()
+    .into()];
+    frames.extend(encoded);
     attach(conn, subs, name, frames, seq)
 }
 
@@ -923,27 +935,32 @@ fn handle_subscribe(
 /// ever-growing reconcile delta.
 const SNAPSHOT_CACHE_LAG: u64 = 1024;
 
-/// Returns the fan-out's `(seq, encoded Snapshot frame)`, building and
-/// caching it when missing or lagging more than [`SNAPSHOT_CACHE_LAG`]
-/// behind the source. The cache mutex is deliberately held across the
-/// build: under a subscribe storm one thread computes while the rest
-/// wait here and then share the same bytes.
+/// Returns the fan-out's `(seq, encoded snapshot frames)` — one
+/// `Snapshot` or a `SnapshotChunk` run — building and caching them when
+/// missing or lagging more than [`SNAPSHOT_CACHE_LAG`] behind the
+/// source. The cache mutex is deliberately held across the build: under
+/// a subscribe storm one thread computes while the rest wait here and
+/// then share the same bytes.
 fn cached_snapshot(
     shared: &Shared,
     fanout: &FanOut,
     name: &str,
-) -> Result<(u64, Arc<[u8]>), SourceError> {
+) -> Result<EncodedSnapshot, SourceError> {
     let mut cache = lock(&fanout.snap_cache);
-    if let Some((seq, bytes)) = cache.as_ref() {
+    if let Some((seq, frames)) = cache.as_ref() {
         if shared.source.seq().saturating_sub(*seq) <= SNAPSHOT_CACHE_LAG {
-            return Ok((*seq, Arc::clone(bytes)));
+            return Ok((*seq, frames.clone()));
         }
     }
     let (seq, rows) = shared.source.snapshot(name)?;
     Shared::bump(&shared.stats.snapshots_built);
-    let bytes: Arc<[u8]> = encode_snapshot_frame(name, seq, &rows).into();
-    *cache = Some((seq, Arc::clone(&bytes)));
-    Ok((seq, bytes))
+    let frames: Vec<Arc<[u8]>> =
+        encode_snapshot_frames(name, seq, &rows, shared.config.snapshot_chunk_bytes)
+            .into_iter()
+            .map(Arc::from)
+            .collect();
+    *cache = Some((seq, frames.clone()));
+    Ok((seq, frames))
 }
 
 /// Sends the catch-up frames and attaches the live subscription, all

@@ -25,6 +25,9 @@ use std::collections::{BTreeMap, BTreeSet};
 
 pub use cqu_query::generator::{random_query, GenConfig, Lcg};
 
+pub mod simdisk;
+pub use simdisk::SimDisk;
+
 /// Shape of a [`random_updates`] stream.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkloadConfig {

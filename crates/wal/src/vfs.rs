@@ -1,0 +1,125 @@
+//! The storage seam: a minimal directory/file abstraction the WAL
+//! writes through.
+//!
+//! Production code uses [`FsDir`] (a real directory). The fault-injection
+//! harness in `cqu-testutil` substitutes an in-memory implementation
+//! that tracks written-vs-synced bytes and kills the "process" at a
+//! chosen byte offset or sync count — which is what lets the crash
+//! proptests enumerate recovery behavior without touching a disk.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+/// An append-only file handle. The WAL never seeks: segments are
+/// created, appended to, synced, and (much later) read back whole.
+pub trait WalFile: Send {
+    /// Appends `buf` (all of it) to the file.
+    fn append(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Durably flushes everything appended so far (fsync).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A flat directory of WAL files (segments + checkpoints). No nesting,
+/// no seeking — just the handful of operations a log needs, each of
+/// which a crash simulator can model faithfully.
+pub trait WalDir: Send {
+    /// Creates (or truncates) `name` for appending.
+    fn create(&self, name: &str) -> io::Result<Box<dyn WalFile>>;
+    /// Reads the entire contents of `name`.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Lists file names in the directory (any order).
+    fn list(&self) -> io::Result<Vec<String>>;
+    /// Removes `name` (ok if it exists; error if not).
+    fn remove(&self, name: &str) -> io::Result<()>;
+    /// Atomically renames `from` to `to` (the checkpoint publish step).
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
+    /// Truncates `name` to `len` bytes (torn-tail repair at recovery).
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+    /// Durably flushes the directory entry table itself (fsync of the
+    /// directory fd — what makes a rename/create survive a crash).
+    fn sync_dir(&self) -> io::Result<()>;
+}
+
+/// [`WalDir`] over a real filesystem directory.
+pub struct FsDir {
+    path: PathBuf,
+}
+
+impl FsDir {
+    /// Opens (creating if needed) the directory at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<FsDir> {
+        let path = path.into();
+        fs::create_dir_all(&path)?;
+        Ok(FsDir { path })
+    }
+
+    /// The underlying directory path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+struct FsFile {
+    file: fs::File,
+}
+
+impl WalFile for FsFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.file.write_all(buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+impl WalDir for FsDir {
+    fn create(&self, name: &str) -> io::Result<Box<dyn WalFile>> {
+        let file = fs::File::create(self.path.join(name))?;
+        Ok(Box::new(FsFile { file }))
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.path.join(name))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.path)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    names.push(name);
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        fs::remove_file(self.path.join(name))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        fs::rename(self.path.join(from), self.path.join(to))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(self.path.join(name))?;
+        file.set_len(len)?;
+        file.sync_data()
+    }
+
+    fn sync_dir(&self) -> io::Result<()> {
+        // Durability of creates/renames requires fsyncing the directory
+        // itself on POSIX. Windows has no directory handles to sync.
+        #[cfg(unix)]
+        {
+            fs::File::open(&self.path)?.sync_data()?;
+        }
+        Ok(())
+    }
+}

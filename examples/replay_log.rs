@@ -1,7 +1,17 @@
-//! Durable, replayable workloads: capture an update stream to the compact
-//! binary log format, write it to disk, reload it, and replay it into a
-//! fresh session — ending in a bit-identical result. This is how the
-//! experiment harness keeps workloads reproducible.
+//! Durability end to end: a write-ahead-logged session that survives a
+//! restart, and a fault-injected crash mid-stream that loses nothing
+//! the caller was ever told succeeded.
+//!
+//! Two acts:
+//!
+//! 1. **Restart** — a [`DurableSession`] on a real temp directory logs a
+//!    churn workload (checkpointing partway), is dropped, and is
+//!    recovered; sequence number, counts, and rows come back exactly.
+//! 2. **Crash** — the same session type on a fault-injecting in-memory
+//!    disk ([`SimDisk`]) is killed mid-write by an armed byte budget.
+//!    Recovery from the fsynced-only survivor view must land precisely
+//!    on the acknowledged prefix of the stream (the log-before-publish
+//!    contract under `FsyncPolicy::Always`).
 //!
 //! ```text
 //! cargo run --example replay_log
@@ -9,62 +19,128 @@
 
 use cq_updates::prelude::*;
 use cq_updates::storage::workload::{churn_updates, rng, ChurnConfig};
+use cqu_testutil::SimDisk;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut live = Session::new();
-    live.register("q", "Q(x, y) :- E(x, y), T(y).")?;
+const QUERY: (&str, &str) = ("q", "Q(x, y) :- E(x, y), T(y).");
 
-    // Generate a reproducible churn workload over the session's schema.
+fn workload(schema: &Schema, steps: usize) -> Vec<Update> {
     let mut r = rng(0xC0FFEE);
-    let updates = churn_updates(
+    churn_updates(
         &mut r,
-        live.schema(),
-        5_000,
+        schema,
+        steps,
         ChurnConfig {
             domain: 400,
             insert_bias: 0.6,
         },
-    );
-    let log = UpdateLog::from_updates(updates);
+    )
+}
 
-    // Session A consumes the live stream, one batch per 500 events.
-    for chunk in log.updates.chunks(500) {
-        live.apply_batch(chunk)?;
+/// Act 1: log to a real directory, drop the session, recover it.
+fn restart_survival() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("cq_updates_wal_{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir)?;
     }
+    std::fs::create_dir_all(&dir)?;
 
-    // Persist the log and read it back.
-    let path = std::env::temp_dir().join("cq_updates_demo.cqlog");
-    std::fs::write(&path, log.encode())?;
-    let bytes = std::fs::read(&path)?;
-    let replayed_log = UpdateLog::decode(&bytes)?;
-    println!(
-        "wrote {} updates ({} bytes) to {}",
-        replayed_log.len(),
-        bytes.len(),
-        path.display()
-    );
-    assert_eq!(replayed_log, log);
+    let opts = DurableOptions {
+        fsync: FsyncPolicy::EveryN(8),
+        segment_bytes: 64 << 10, // small segments so rotation shows up
+    };
+    let session = DurableSession::create_at(&dir, opts)?;
+    session.register(QUERY.0, QUERY.1)?;
+    let schema = session
+        .shared()
+        .expect("single-writer mode")
+        .read(|s| s.schema().clone())?;
 
-    // Session B replays from disk, update by update.
-    let mut replayed = Session::new();
-    replayed.register("q", "Q(x, y) :- E(x, y), T(y).")?;
-    for u in replayed_log.iter() {
-        replayed.apply(u)?;
+    let updates = workload(&schema, 5_000);
+    for (i, chunk) in updates.chunks(500).enumerate() {
+        session.apply_batch(chunk)?;
+        if i == 4 {
+            // Checkpoint partway: recovery loads it and replays only the
+            // tail written after it.
+            let at = session.checkpoint()?;
+            println!("checkpointed at seq {at}");
+        }
     }
+    session.sync()?; // EveryN leaves a tail pending; pin it before the "restart"
 
-    let (a, b) = (live.query("q")?, replayed.query("q")?);
-    assert_eq!(a.count(), b.count());
-    assert_eq!(a.results_sorted(), b.results_sorted());
-    assert_eq!(
-        live.database().active_domain_size(),
-        replayed.database().active_domain_size()
-    );
+    let seq = session.seq()?;
+    let count = session.count(QUERY.0)?;
+    let rows = session.snapshot(QUERY.0)?.results_sorted();
+    let files: Vec<String> = std::fs::read_dir(&dir)?
+        .filter_map(|e| e.ok().map(|e| e.file_name().to_string_lossy().into_owned()))
+        .collect();
+    println!("log holds {} file(s): {}", files.len(), files.join(", "));
+    drop(session); // the "restart"
+
+    let recovered = DurableSession::recover_at(&dir, opts)?;
+    assert_eq!(recovered.seq()?, seq);
+    assert_eq!(recovered.count(QUERY.0)?, count);
+    assert_eq!(recovered.snapshot(QUERY.0)?.results_sorted(), rows);
+    println!("restart verified: seq {seq}, |Q(D)| = {count}\n");
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}
+
+/// Act 2: crash mid-stream on a fault-injecting disk, recover, and
+/// check the acknowledged prefix survived bit-exactly.
+fn crash_recovery() -> Result<(), Box<dyn std::error::Error>> {
+    let disk = SimDisk::new();
+    let opts = DurableOptions {
+        fsync: FsyncPolicy::Always, // every Ok(..) is a durability promise
+        segment_bytes: 8 << 10,
+    };
+    let session = DurableSession::create(Box::new(disk.clone()), opts)?;
+    session.register(QUERY.0, QUERY.1)?;
+    let schema = session
+        .shared()
+        .expect("single-writer mode")
+        .read(|s| s.schema().clone())?;
+    let updates = workload(&schema, 5_000);
+
+    // Pull the plug after ~40 KiB of appended log bytes: the write that
+    // crosses the budget tears mid-frame and the disk goes dead.
+    disk.arm_bytes(40 << 10);
+    let mut acknowledged = 0;
+    for chunk in updates.chunks(100) {
+        match session.apply_batch(chunk) {
+            Ok(_) => acknowledged += chunk.len(),
+            Err(e) => {
+                println!("crash mid-stream after {acknowledged} updates: {e}");
+                break;
+            }
+        }
+    }
+    assert!(disk.crashed(), "the armed byte budget must fire");
+    drop(session);
+
+    // Power-loss survivor: only fsynced bytes. Recovery truncates the
+    // torn tail frame and replays the rest.
+    let recovered = DurableSession::recover(Box::new(disk.strict_view()), opts)?;
+
+    // The oracle: a scratch in-memory session fed exactly the
+    // acknowledged prefix. Under `Always`, recovery must match it —
+    // nothing acknowledged lost, nothing unacknowledged invented.
+    let mut oracle = Session::new();
+    oracle.register(QUERY.0, QUERY.1)?;
+    for u in &updates[..acknowledged] {
+        oracle.apply(u)?;
+    }
+    let want = oracle.query(QUERY.0)?.results_sorted();
+    assert_eq!(recovered.count(QUERY.0)?, want.len() as u64);
+    assert_eq!(recovered.snapshot(QUERY.0)?.results_sorted(), want);
     println!(
-        "replay verified: |Q(D)| = {}, n = {}, {} facts",
-        a.count(),
-        live.database().active_domain_size(),
-        live.database().cardinality()
+        "crash recovery verified: {acknowledged} acknowledged updates survived, |Q(D)| = {}",
+        want.len()
     );
-    std::fs::remove_file(&path).ok();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    restart_survival()?;
+    crash_recovery()?;
     Ok(())
 }

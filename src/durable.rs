@@ -1,0 +1,1018 @@
+//! Durable sessions: the WAL-backed deployment of [`SharedSession`] /
+//! [`ShardedSession`].
+//!
+//! A [`DurableSession`] routes every mutation through a write-ahead log
+//! (`cqu-wal`) with **log-before-publish** discipline: the effective
+//! updates of a commit — with their global sequence numbers — are
+//! framed, appended, and (per [`FsyncPolicy`]) fsynced *before* the
+//! in-memory session publishes epochs or subscriber events. A crash at
+//! any instant therefore loses only work that no reader or subscriber
+//! could have observed, and [`DurableSession::recover`] rebuilds exactly
+//! `timeline[last durable seq]`: the newest valid checkpoint plus a
+//! replay of the log tail.
+//!
+//! ## What is logged
+//!
+//! * a `Mode` record (single vs sharded) opening every fresh log,
+//! * `Register` records — durable DDL; recovery re-registers in log
+//!   order, which deterministically reproduces the schema's relation
+//!   ids and, for sharded sessions, the shard plan,
+//! * one `Update` record per *effective* update (no-ops draw no seq and
+//!   take no disk space), stamped with seq and owning shard,
+//! * `TxBegin`/`TxCommit` framing around transactions — recovery applies
+//!   a transaction's updates only if its commit record hit the disk,
+//! * `SeqBurn` compensation for rollbacks: a rolled-back transaction
+//!   burns its sequence numbers in memory (inverses draw none), so the
+//!   log records the post-burn counter and recovery never reissues a
+//!   burned number to a subscriber cursor.
+//!
+//! ## Seq prediction
+//!
+//! Plain applies and batches are logged *before* they touch the session,
+//! so their seqs are predicted: under the WAL lock (which serializes
+//! every durable commit) the session's counter is stable, and
+//! effectiveness is decided by a read of the relation plus an overlay
+//! for within-batch dependencies — the same set-semantics rule the
+//! session itself applies. Transactions cannot be predicted (the
+//! closure is opaque), so they dispatch first — uncommitted state is
+//! invisible while the writer lock is held — and log inside the commit
+//! window, still before any event publishes.
+//!
+//! Durable writes serialize through the WAL lock even on a sharded
+//! backend (one log is one total order); sharding still buys parallel
+//! *reads* and feed fan-out. All mutations must go through the
+//! `DurableSession` — writing through an escape-hatch handle bypasses
+//! the log and forfeits every guarantee here.
+
+use crate::error::CqError;
+use crate::session::{
+    validate_update, EngineChoice, QueryId, QuerySnapshot, Session, SessionTransaction,
+    SharedSession,
+};
+use crate::shard::{ShardedSession, ShardedSessionBuilder, ShardedTransaction};
+use cqu_baseline::EngineKind;
+use cqu_common::FxHashMap;
+use cqu_dynamic::UpdateReport;
+use cqu_query::{RelId, Schema};
+use cqu_storage::{Tuple, Update};
+use cqu_wal::{FsDir, FsyncPolicy, Rec, Wal, WalDir, WalError, WalOptions};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Batch size for checkpoint loading and log replay (bounds peak
+/// allocation without changing semantics — batches apply in order).
+const REPLAY_CHUNK: usize = 16_384;
+
+/// A durable-layer failure.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The in-memory session refused the operation.
+    Session(CqError),
+    /// The log refused it (I/O, or typed corruption at recovery).
+    Wal(WalError),
+    /// The on-disk state is internally inconsistent (recovery only):
+    /// e.g. a checkpoint whose schema disagrees with the logged
+    /// registrations, or malformed transaction framing mid-log.
+    Recovery(String),
+    /// The operation is not available on this backend.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Session(e) => write!(f, "{e}"),
+            DurableError::Wal(e) => write!(f, "{e}"),
+            DurableError::Recovery(msg) => write!(f, "recovery failed: {msg}"),
+            DurableError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<CqError> for DurableError {
+    fn from(e: CqError) -> DurableError {
+        DurableError::Session(e)
+    }
+}
+
+impl From<WalError> for DurableError {
+    fn from(e: WalError) -> DurableError {
+        DurableError::Wal(e)
+    }
+}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> DurableError {
+        DurableError::Wal(WalError::Io(e))
+    }
+}
+
+/// Tuning for a durable session's log.
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// When commits fsync (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Segment rotation threshold in bytes.
+    pub segment_bytes: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> DurableOptions {
+        DurableOptions {
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 8 << 20,
+        }
+    }
+}
+
+impl DurableOptions {
+    fn wal(&self) -> WalOptions {
+        WalOptions {
+            fsync: self.fsync,
+            segment_bytes: self.segment_bytes,
+        }
+    }
+}
+
+/// The wrapped in-memory session.
+enum Backend {
+    Single(SharedSession),
+    Sharded(ShardedSession),
+}
+
+impl Backend {
+    fn schema(&self) -> Result<Schema, CqError> {
+        match self {
+            Backend::Single(s) => s.read(|s| s.schema().clone()),
+            Backend::Sharded(s) => Ok(s.schema().clone()),
+        }
+    }
+
+    fn seq(&self) -> Result<u64, CqError> {
+        match self {
+            Backend::Single(s) => s.read(|s| s.seq()),
+            Backend::Sharded(s) => Ok(s.seq()),
+        }
+    }
+
+    fn apply_batch(&self, updates: &[Update]) -> Result<UpdateReport, CqError> {
+        match self {
+            Backend::Single(s) => s.apply_batch(updates),
+            Backend::Sharded(s) => s.apply_batch(updates),
+        }
+    }
+
+    fn force_seq(&self, seq: u64) -> Result<(), CqError> {
+        match self {
+            Backend::Single(s) => s.write(|s| s.force_seq(seq)),
+            Backend::Sharded(s) => s.force_seq(seq),
+        }
+    }
+}
+
+/// Log state guarded by one mutex: the writer, plus the registration
+/// list (name, src, encoded choice) that checkpoints serialize.
+struct WalState {
+    wal: Wal,
+    regs: Vec<(String, String, u8)>,
+}
+
+/// A WAL-backed session. See the [module docs](self) for the logging
+/// discipline and recovery semantics.
+pub struct DurableSession {
+    wal: Mutex<WalState>,
+    backend: Backend,
+}
+
+impl std::fmt::Debug for DurableSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableSession")
+            .field("sharded", &self.is_sharded())
+            .finish_non_exhaustive()
+    }
+}
+
+fn lock_wal(wal: &Mutex<WalState>) -> Result<std::sync::MutexGuard<'_, WalState>, DurableError> {
+    wal.lock()
+        .map_err(|_| DurableError::Session(CqError::Poisoned))
+}
+
+fn encode_choice(choice: EngineChoice) -> u8 {
+    match choice {
+        EngineChoice::Auto => 0,
+        EngineChoice::Forced(EngineKind::QHierarchical) => 1,
+        EngineChoice::Forced(EngineKind::Recompute) => 2,
+        EngineChoice::Forced(EngineKind::DeltaIvm) => 3,
+        EngineChoice::Forced(EngineKind::SemiJoin) => 4,
+    }
+}
+
+fn decode_choice(byte: u8) -> Result<EngineChoice, DurableError> {
+    Ok(match byte {
+        0 => EngineChoice::Auto,
+        1 => EngineChoice::Forced(EngineKind::QHierarchical),
+        2 => EngineChoice::Forced(EngineKind::Recompute),
+        3 => EngineChoice::Forced(EngineKind::DeltaIvm),
+        4 => EngineChoice::Forced(EngineKind::SemiJoin),
+        b => {
+            return Err(DurableError::Recovery(format!(
+                "unknown engine choice byte {b}"
+            )))
+        }
+    })
+}
+
+/// Stages one `Update` record per entry of `effective`, stamped
+/// `seq0+1..`, onto the WAL's pending buffer.
+fn stage_updates(wal: &mut Wal, seq0: u64, effective: &[Update], shard_of: impl Fn(RelId) -> u16) {
+    for (i, u) in effective.iter().enumerate() {
+        let (insert, rel, tuple) = match u {
+            Update::Insert(r, t) => (true, *r, t),
+            Update::Delete(r, t) => (false, *r, t),
+        };
+        wal.append(&Rec::Update {
+            seq: seq0 + 1 + i as u64,
+            shard: shard_of(rel),
+            insert,
+            rel: rel.0,
+            tuple: tuple.clone(),
+        });
+    }
+}
+
+/// Validates `updates` and predicts the effective subset under set
+/// semantics: `present` reads the live relation, and an overlay carries
+/// within-batch dependencies — exactly the rule the session's dispatch
+/// applies, so the predicted seqs match the drawn ones.
+fn predict_effective(
+    schema: &Schema,
+    present: impl Fn(RelId, &[u64]) -> bool,
+    updates: &[Update],
+) -> Result<Vec<Update>, CqError> {
+    let mut overlay: FxHashMap<(u32, Tuple), bool> = FxHashMap::default();
+    let mut effective = Vec::new();
+    for u in updates {
+        validate_update(schema, u)?;
+        let (rel, tuple, insert) = match u {
+            Update::Insert(r, t) => (*r, t, true),
+            Update::Delete(r, t) => (*r, t, false),
+        };
+        let key = (rel.0, tuple.clone());
+        let cur = overlay
+            .get(&key)
+            .copied()
+            .unwrap_or_else(|| present(rel, tuple));
+        if insert != cur {
+            effective.push(u.clone());
+            overlay.insert(key, insert);
+        }
+    }
+    Ok(effective)
+}
+
+/// Decoded checkpoint body.
+struct CkptBody {
+    sharded: bool,
+    regs: Vec<(String, String, u8)>,
+    /// Per relation (in schema order): declared arity and tuples.
+    rels: Vec<(usize, Vec<Tuple>)>,
+}
+
+/// Checkpoint body layout (the WAL wraps it in magic + seq + CRC):
+///
+/// ```text
+/// u8 sharded
+/// u32 n_regs  { u8 choice, u32 name_len, name, u32 src_len, src }*
+/// u32 n_rels  { u16 arity, u64 count, count × arity × u64 }*
+/// ```
+fn encode_ckpt_body(
+    sharded: bool,
+    regs: &[(String, String, u8)],
+    schema: &Schema,
+    mut tuples_of: impl FnMut(RelId) -> Vec<Tuple>,
+) -> Vec<u8> {
+    let put_bytes = |out: &mut Vec<u8>, b: &[u8]| {
+        out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        out.extend_from_slice(b);
+    };
+    let mut out = Vec::new();
+    out.push(u8::from(sharded));
+    out.extend_from_slice(&(regs.len() as u32).to_le_bytes());
+    for (name, src, choice) in regs {
+        out.push(*choice);
+        put_bytes(&mut out, name.as_bytes());
+        put_bytes(&mut out, src.as_bytes());
+    }
+    out.extend_from_slice(&(schema.len() as u32).to_le_bytes());
+    for rel in schema.relations() {
+        let tuples = tuples_of(rel);
+        out.extend_from_slice(&(schema.arity(rel) as u16).to_le_bytes());
+        out.extend_from_slice(&(tuples.len() as u64).to_le_bytes());
+        for t in &tuples {
+            for c in t {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+fn decode_ckpt_body(body: &[u8]) -> Result<CkptBody, DurableError> {
+    struct R<'a>(&'a [u8]);
+    impl R<'_> {
+        fn take(&mut self, n: usize) -> Result<&[u8], DurableError> {
+            if self.0.len() < n {
+                return Err(DurableError::Recovery("checkpoint body truncated".into()));
+            }
+            let (head, tail) = self.0.split_at(n);
+            self.0 = tail;
+            Ok(head)
+        }
+        fn u8(&mut self) -> Result<u8, DurableError> {
+            Ok(self.take(1)?[0])
+        }
+        fn u16(&mut self) -> Result<u16, DurableError> {
+            Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        }
+        fn u32(&mut self) -> Result<u32, DurableError> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        }
+        fn u64(&mut self) -> Result<u64, DurableError> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        }
+        fn str(&mut self) -> Result<String, DurableError> {
+            let len = self.u32()? as usize;
+            String::from_utf8(self.take(len)?.to_vec())
+                .map_err(|_| DurableError::Recovery("checkpoint string not utf-8".into()))
+        }
+    }
+    let mut r = R(body);
+    let sharded = r.u8()? != 0;
+    let n_regs = r.u32()? as usize;
+    let mut regs = Vec::with_capacity(n_regs);
+    for _ in 0..n_regs {
+        let choice = r.u8()?;
+        let name = r.str()?;
+        let src = r.str()?;
+        regs.push((name, src, choice));
+    }
+    let n_rels = r.u32()? as usize;
+    let mut rels = Vec::with_capacity(n_rels);
+    for _ in 0..n_rels {
+        let arity = r.u16()? as usize;
+        let count = r.u64()? as usize;
+        let mut tuples = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut t = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                t.push(r.u64()?);
+            }
+            tuples.push(t);
+        }
+        rels.push((arity, tuples));
+    }
+    if !r.0.is_empty() {
+        return Err(DurableError::Recovery(
+            "trailing bytes after checkpoint body".into(),
+        ));
+    }
+    Ok(CkptBody {
+        sharded,
+        regs,
+        rels,
+    })
+}
+
+impl DurableSession {
+    /// Creates a fresh single-writer durable session over `dir`. Refuses
+    /// a directory that already holds a log — use
+    /// [`DurableSession::recover`] for that.
+    pub fn create(
+        dir: Box<dyn WalDir>,
+        opts: DurableOptions,
+    ) -> Result<DurableSession, DurableError> {
+        ensure_virgin(&*dir)?;
+        let mut wal = Wal::new(dir, opts.wal(), 1)?;
+        wal.append(&Rec::Mode { sharded: false });
+        wal.commit()?;
+        wal.sync()?;
+        Ok(DurableSession {
+            wal: Mutex::new(WalState {
+                wal,
+                regs: Vec::new(),
+            }),
+            backend: Backend::Single(SharedSession::new(Session::new())),
+        })
+    }
+
+    /// Creates a fresh sharded durable session over `dir`, registering
+    /// `regs` (name, query source) up front — the sharded plan seals at
+    /// build, so the query set arrives here rather than incrementally.
+    pub fn create_sharded(
+        dir: Box<dyn WalDir>,
+        opts: DurableOptions,
+        regs: &[(&str, &str)],
+    ) -> Result<DurableSession, DurableError> {
+        if regs.is_empty() {
+            return Err(DurableError::Unsupported(
+                "a sharded session needs at least one query",
+            ));
+        }
+        ensure_virgin(&*dir)?;
+        let mut builder = ShardedSessionBuilder::new();
+        for (name, src) in regs {
+            builder.register(name, src)?;
+        }
+        let session = builder.build()?;
+        let mut wal = Wal::new(dir, opts.wal(), 1)?;
+        wal.append(&Rec::Mode { sharded: true });
+        let mut reglist = Vec::with_capacity(regs.len());
+        for (name, src) in regs {
+            wal.append(&Rec::Register {
+                name: (*name).to_string(),
+                src: (*src).to_string(),
+                choice: 0,
+            });
+            reglist.push(((*name).to_string(), (*src).to_string(), 0u8));
+        }
+        wal.commit()?;
+        wal.sync()?;
+        Ok(DurableSession {
+            wal: Mutex::new(WalState { wal, regs: reglist }),
+            backend: Backend::Sharded(session),
+        })
+    }
+
+    /// [`DurableSession::create`] over a filesystem path.
+    pub fn create_at(
+        path: impl AsRef<Path>,
+        opts: DurableOptions,
+    ) -> Result<DurableSession, DurableError> {
+        DurableSession::create(Box::new(FsDir::open(path.as_ref())?), opts)
+    }
+
+    /// [`DurableSession::create_sharded`] over a filesystem path.
+    pub fn create_sharded_at(
+        path: impl AsRef<Path>,
+        opts: DurableOptions,
+        regs: &[(&str, &str)],
+    ) -> Result<DurableSession, DurableError> {
+        DurableSession::create_sharded(Box::new(FsDir::open(path.as_ref())?), opts, regs)
+    }
+
+    /// Rebuilds a session from `dir`: loads the newest valid checkpoint,
+    /// replays the log tail (skipping records the checkpoint already
+    /// covers and any uncommitted transaction suffix), repairs a torn
+    /// final segment by truncation, and refuses mid-log corruption with
+    /// a typed error. The recovered state is exactly
+    /// `timeline[last durable seq]`, and the sequence counter resumes
+    /// from that seq — subscriber cursors from the previous life stay
+    /// meaningful.
+    pub fn recover(
+        dir: Box<dyn WalDir>,
+        opts: DurableOptions,
+    ) -> Result<DurableSession, DurableError> {
+        let scan = cqu_wal::recover(&*dir)?;
+        let ckpt = match &scan.checkpoint {
+            Some((seq, body)) => Some((*seq, decode_ckpt_body(body)?)),
+            None => None,
+        };
+        if ckpt.is_none() && scan.records.is_empty() {
+            return Err(DurableError::Recovery(
+                "no durable state found in directory".into(),
+            ));
+        }
+        let sharded = match &ckpt {
+            Some((_, body)) => body.sharded,
+            None => match scan.records.first() {
+                Some(Rec::Mode { sharded }) => *sharded,
+                _ => {
+                    return Err(DurableError::Recovery(
+                        "log does not begin with a mode record".into(),
+                    ))
+                }
+            },
+        };
+        let ckpt_seq = ckpt.as_ref().map_or(0, |(seq, _)| *seq);
+        let mut regs: Vec<(String, String, u8)> =
+            ckpt.as_ref().map_or_else(Vec::new, |(_, b)| b.regs.clone());
+
+        let backend = if sharded {
+            // Sharded registrations all precede the first update, so the
+            // full set (checkpoint + tail) is known before the sealed
+            // plan must be built.
+            for rec in &scan.records {
+                if let Rec::Register { name, src, choice } = rec {
+                    if !regs.iter().any(|(n, _, _)| n == name) {
+                        regs.push((name.clone(), src.clone(), *choice));
+                    }
+                }
+            }
+            let mut builder = ShardedSessionBuilder::new();
+            for (name, src, choice) in &regs {
+                builder.register_with(name, src, decode_choice(*choice)?)?;
+            }
+            Backend::Sharded(builder.build()?)
+        } else {
+            let mut session = Session::new();
+            for (name, src, choice) in &regs {
+                session.register_with(name, src, decode_choice(*choice)?)?;
+            }
+            Backend::Single(SharedSession::new(session))
+        };
+
+        // Load checkpoint tuples, batched per relation.
+        if let Some((_, body)) = &ckpt {
+            let schema = backend.schema()?;
+            if body.rels.len() != schema.len() {
+                return Err(DurableError::Recovery(format!(
+                    "checkpoint has {} relations, schema has {}",
+                    body.rels.len(),
+                    schema.len()
+                )));
+            }
+            for (idx, (arity, tuples)) in body.rels.iter().enumerate() {
+                let rel = RelId(idx as u32);
+                if *arity != schema.arity(rel) {
+                    return Err(DurableError::Recovery(format!(
+                        "checkpoint arity mismatch on relation {idx}"
+                    )));
+                }
+                for chunk in tuples.chunks(REPLAY_CHUNK) {
+                    let batch: Vec<Update> = chunk
+                        .iter()
+                        .map(|t| Update::Insert(rel, t.clone()))
+                        .collect();
+                    replay_batch(&backend, &batch)?;
+                }
+            }
+        }
+
+        // Replay the tail.
+        let mut registered: std::collections::HashSet<String> =
+            regs.iter().map(|(n, _, _)| n.clone()).collect();
+        let mut last_seq = ckpt_seq;
+        let mut pending: Vec<Update> = Vec::new();
+        let mut tx_buf: Option<Vec<Update>> = None;
+        for rec in &scan.records {
+            match rec {
+                Rec::Mode { sharded: m } => {
+                    if *m != sharded {
+                        return Err(DurableError::Recovery(
+                            "conflicting mode records in log".into(),
+                        ));
+                    }
+                }
+                Rec::Register { name, src, choice } => {
+                    if sharded || registered.contains(name) {
+                        continue;
+                    }
+                    // Single mode interleaves DDL with updates: flush
+                    // what came before so relation ids intern in the
+                    // original order.
+                    flush_pending(&backend, &mut pending)?;
+                    let Backend::Single(sess) = &backend else {
+                        unreachable!("single-mode register on sharded backend");
+                    };
+                    sess.register_with(name, src, decode_choice(*choice)?)?;
+                    registered.insert(name.clone());
+                    regs.push((name.clone(), src.clone(), *choice));
+                }
+                Rec::Update {
+                    seq,
+                    insert,
+                    rel,
+                    tuple,
+                    ..
+                } => {
+                    if *seq <= ckpt_seq {
+                        continue; // stale segment the checkpoint covers
+                    }
+                    let u = if *insert {
+                        Update::Insert(RelId(*rel), tuple.clone())
+                    } else {
+                        Update::Delete(RelId(*rel), tuple.clone())
+                    };
+                    last_seq = last_seq.max(*seq);
+                    match &mut tx_buf {
+                        Some(buf) => buf.push(u),
+                        None => pending.push(u),
+                    }
+                }
+                Rec::TxBegin { .. } => {
+                    if tx_buf.is_some() {
+                        return Err(DurableError::Recovery(
+                            "transaction begin inside an open transaction".into(),
+                        ));
+                    }
+                    tx_buf = Some(Vec::new());
+                }
+                Rec::TxCommit { last_seq: ls } => {
+                    let Some(buf) = tx_buf.take() else {
+                        return Err(DurableError::Recovery(
+                            "transaction commit without begin".into(),
+                        ));
+                    };
+                    pending.extend(buf);
+                    last_seq = last_seq.max(*ls);
+                }
+                Rec::SeqBurn { upto } => {
+                    if tx_buf.is_some() {
+                        return Err(DurableError::Recovery(
+                            "seq burn inside an open transaction".into(),
+                        ));
+                    }
+                    last_seq = last_seq.max(*upto);
+                }
+            }
+        }
+        // A still-open tx_buf is the uncommitted suffix of the crash —
+        // dropped, exactly as it was never visible.
+        flush_pending(&backend, &mut pending)?;
+        backend.force_seq(last_seq)?;
+
+        let wal = Wal::new(dir, opts.wal(), scan.next_segment)?;
+        Ok(DurableSession {
+            wal: Mutex::new(WalState { wal, regs }),
+            backend,
+        })
+    }
+
+    /// [`DurableSession::recover`] over a filesystem path.
+    pub fn recover_at(
+        path: impl AsRef<Path>,
+        opts: DurableOptions,
+    ) -> Result<DurableSession, DurableError> {
+        DurableSession::recover(Box::new(FsDir::open(path.as_ref())?), opts)
+    }
+
+    /// Whether this session wraps a [`ShardedSession`].
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.backend, Backend::Sharded(_))
+    }
+
+    /// The wrapped [`SharedSession`] (single-writer mode). Read from it
+    /// freely (snapshots, readers, feeds, serving sources); never write
+    /// through it — that bypasses the log.
+    pub fn shared(&self) -> Option<&SharedSession> {
+        match &self.backend {
+            Backend::Single(s) => Some(s),
+            Backend::Sharded(_) => None,
+        }
+    }
+
+    /// The wrapped [`ShardedSession`] (sharded mode). Same contract as
+    /// [`DurableSession::shared`]: reads only.
+    pub fn sharded(&self) -> Option<&ShardedSession> {
+        match &self.backend {
+            Backend::Single(_) => None,
+            Backend::Sharded(s) => Some(s),
+        }
+    }
+
+    /// The global sequence counter.
+    pub fn seq(&self) -> Result<u64, DurableError> {
+        Ok(self.backend.seq()?)
+    }
+
+    /// Resolves a relation by name.
+    pub fn relation(&self, name: &str) -> Result<RelId, DurableError> {
+        match &self.backend {
+            Backend::Single(s) => Ok(s.relation(name)?),
+            Backend::Sharded(s) => Ok(s.relation(name)?),
+        }
+    }
+
+    /// Pins a snapshot of `name`'s current result.
+    pub fn snapshot(&self, name: &str) -> Result<QuerySnapshot, DurableError> {
+        match &self.backend {
+            Backend::Single(s) => Ok(s.snapshot(name)?),
+            Backend::Sharded(s) => Ok(s.snapshot(name)?),
+        }
+    }
+
+    /// O(1) count of `name`'s current result.
+    pub fn count(&self, name: &str) -> Result<u64, DurableError> {
+        match &self.backend {
+            Backend::Single(s) => Ok(s.read(|s| s.query(name).map(|h| h.count()))??),
+            Backend::Sharded(s) => Ok(s.count(name)?),
+        }
+    }
+
+    /// Registers a query (single-writer mode only — sharded sessions
+    /// seal their query set at creation). Logged as durable DDL and
+    /// fsynced regardless of policy: registrations are rare and losing
+    /// one desynchronizes relation ids for every later update record.
+    pub fn register(&self, name: &str, src: &str) -> Result<QueryId, DurableError> {
+        self.register_with(name, src, EngineChoice::Auto)
+    }
+
+    /// [`DurableSession::register`] with an explicit engine choice.
+    pub fn register_with(
+        &self,
+        name: &str,
+        src: &str,
+        choice: EngineChoice,
+    ) -> Result<QueryId, DurableError> {
+        let mut st = lock_wal(&self.wal)?;
+        let Backend::Single(sess) = &self.backend else {
+            return Err(DurableError::Unsupported(
+                "sharded sessions register their queries at creation",
+            ));
+        };
+        let id = sess.register_with(name, src, choice)?;
+        let byte = encode_choice(choice);
+        st.wal.append(&Rec::Register {
+            name: name.to_string(),
+            src: src.to_string(),
+            choice: byte,
+        });
+        st.wal.commit()?;
+        st.wal.sync()?;
+        st.regs.push((name.to_string(), src.to_string(), byte));
+        Ok(id)
+    }
+
+    /// Applies one update durably; returns `true` iff it was effective.
+    /// Log-before-publish: the record (if effective) is on the log —
+    /// synced per policy — before the session observes the change.
+    pub fn apply(&self, update: &Update) -> Result<bool, DurableError> {
+        Ok(self.apply_batch(std::slice::from_ref(update))?.applied > 0)
+    }
+
+    /// Applies a batch durably (equivalent to its members in order).
+    /// Only the effective subset is logged; seqs are predicted under the
+    /// WAL lock and asserted against the session's own assignment.
+    pub fn apply_batch(&self, updates: &[Update]) -> Result<UpdateReport, DurableError> {
+        let mut st = lock_wal(&self.wal)?;
+        let st = &mut *st;
+        match &self.backend {
+            Backend::Single(sess) => {
+                Ok(sess.write(|s| -> Result<UpdateReport, DurableError> {
+                    let effective = predict_effective(
+                        s.schema(),
+                        |rel, t| s.database().relation(rel).contains(t),
+                        updates,
+                    )?;
+                    if effective.is_empty() {
+                        return Ok(UpdateReport {
+                            total: updates.len(),
+                            applied: 0,
+                        });
+                    }
+                    let seq0 = s.seq();
+                    stage_updates(&mut st.wal, seq0, &effective, |_| 0);
+                    st.wal.commit()?;
+                    let report = s.apply_batch_prevalidated(updates);
+                    debug_assert_eq!(report.applied, effective.len());
+                    debug_assert_eq!(s.seq(), seq0 + effective.len() as u64);
+                    Ok(report)
+                })??)
+            }
+            Backend::Sharded(sess) => {
+                let effective = sess.read_all(|guards| {
+                    predict_effective(
+                        sess.schema(),
+                        |rel, t| {
+                            let sid = sess.plan().shard_of_relation(rel).unwrap_or(0);
+                            guards[sid].database().relation(rel).contains(t)
+                        },
+                        updates,
+                    )
+                })??;
+                if effective.is_empty() {
+                    return Ok(UpdateReport {
+                        total: updates.len(),
+                        applied: 0,
+                    });
+                }
+                let seq0 = sess.seq();
+                stage_updates(&mut st.wal, seq0, &effective, |rel| {
+                    sess.plan().shard_of_relation(rel).unwrap_or(0) as u16
+                });
+                st.wal.commit()?;
+                // No reader can interleave observations here: the WAL
+                // lock serializes writers, and per-update seq stamps are
+                // never observable below event granularity — the log
+                // keeps submission order even when the sharded batch
+                // commits per-shard sub-batches.
+                let report = sess.apply_batch(updates)?;
+                debug_assert_eq!(report.applied, effective.len());
+                debug_assert_eq!(sess.seq(), seq0 + effective.len() as u64);
+                Ok(report)
+            }
+        }
+    }
+
+    /// Runs `f` inside a durable all-or-nothing transaction. On `Ok`,
+    /// the effective updates are framed `TxBegin … TxCommit`, logged,
+    /// and synced per policy *before* the in-memory commit publishes
+    /// events; a crash before the commit record lands replays nothing.
+    /// On `Err` (or a log failure), the in-memory transaction rolls
+    /// back and a `SeqBurn` compensation record keeps the on-disk seq
+    /// budget aligned with the burned in-memory numbers.
+    pub fn transaction<R>(
+        &self,
+        f: impl FnOnce(&mut DurableTransaction<'_, '_>) -> Result<R, CqError>,
+    ) -> Result<R, DurableError> {
+        let mut st = lock_wal(&self.wal)?;
+        let st = &mut *st;
+        match &self.backend {
+            Backend::Single(sess) => Ok(sess.write(|s| -> Result<R, DurableError> {
+                let seq0 = s.seq();
+                let mut txn = s.transaction();
+                let mut dtx = DurableTransaction {
+                    inner: TxInner::Single(&mut txn),
+                    logged: Vec::new(),
+                };
+                let res = f(&mut dtx);
+                let logged = std::mem::take(&mut dtx.logged);
+                drop(dtx);
+                let n = logged.len() as u64;
+                match res {
+                    Ok(r) => {
+                        if n > 0 {
+                            st.wal.append(&Rec::TxBegin {
+                                first_seq: seq0 + 1,
+                            });
+                            stage_updates(&mut st.wal, seq0, &logged, |_| 0);
+                            st.wal.append(&Rec::TxCommit { last_seq: seq0 + n });
+                            if let Err(e) = st.wal.commit() {
+                                txn.rollback();
+                                st.wal.append(&Rec::SeqBurn { upto: seq0 + n });
+                                let _ = st.wal.commit();
+                                return Err(e.into());
+                            }
+                        }
+                        txn.commit();
+                        Ok(r)
+                    }
+                    Err(e) => {
+                        txn.rollback();
+                        if n > 0 {
+                            st.wal.append(&Rec::SeqBurn { upto: seq0 + n });
+                            let _ = st.wal.commit();
+                        }
+                        Err(DurableError::Session(e))
+                    }
+                }
+            })??),
+            Backend::Sharded(sess) => {
+                let seq0 = sess.seq();
+                let mut burn: u64 = 0;
+                let plan_shard =
+                    |rel: RelId| -> u16 { sess.plan().shard_of_relation(rel).unwrap_or(0) as u16 };
+                let res = sess.transaction_generic(|tx| -> Result<R, DurableError> {
+                    let mut dtx = DurableTransaction {
+                        inner: TxInner::Sharded(tx),
+                        logged: Vec::new(),
+                    };
+                    let res = f(&mut dtx);
+                    let logged = std::mem::take(&mut dtx.logged);
+                    drop(dtx);
+                    let n = logged.len() as u64;
+                    match res {
+                        Ok(r) => {
+                            if n > 0 {
+                                // Armed until the log lands: the driver
+                                // rolls back on error and the burn
+                                // record is written below.
+                                burn = n;
+                                st.wal.append(&Rec::TxBegin {
+                                    first_seq: seq0 + 1,
+                                });
+                                stage_updates(&mut st.wal, seq0, &logged, plan_shard);
+                                st.wal.append(&Rec::TxCommit { last_seq: seq0 + n });
+                                st.wal.commit()?;
+                                burn = 0;
+                            }
+                            Ok(r)
+                        }
+                        Err(e) => {
+                            burn = n;
+                            Err(DurableError::Session(e))
+                        }
+                    }
+                });
+                if burn > 0 {
+                    st.wal.append(&Rec::SeqBurn { upto: seq0 + burn });
+                    let _ = st.wal.commit();
+                }
+                res
+            }
+        }
+    }
+
+    /// Serializes the full database state at the current seq, publishes
+    /// it as a checkpoint (temp-file + rename + directory sync), and
+    /// prunes every log segment the checkpoint supersedes. Returns the
+    /// checkpointed seq.
+    pub fn checkpoint(&self) -> Result<u64, DurableError> {
+        let mut st = lock_wal(&self.wal)?;
+        let st = &mut *st;
+        let regs = &st.regs;
+        let (seq, body) = match &self.backend {
+            Backend::Single(sess) => sess.read(|s| {
+                (
+                    s.seq(),
+                    encode_ckpt_body(false, regs, s.schema(), |rel| {
+                        s.database().relation(rel).sorted()
+                    }),
+                )
+            })?,
+            Backend::Sharded(sess) => sess.read_all(|guards| {
+                (
+                    sess.seq(),
+                    encode_ckpt_body(true, regs, sess.schema(), |rel| {
+                        let sid = sess.plan().shard_of_relation(rel).unwrap_or(0);
+                        guards[sid].database().relation(rel).sorted()
+                    }),
+                )
+            })?,
+        };
+        st.wal.checkpoint(seq, &body)?;
+        Ok(seq)
+    }
+
+    /// Forces an fsync of the current log segment — the manual floor
+    /// for the lazy policies (`EveryN`/`Interval`/`Never`).
+    pub fn sync(&self) -> Result<(), DurableError> {
+        let mut st = lock_wal(&self.wal)?;
+        st.wal.sync()?;
+        Ok(())
+    }
+}
+
+fn ensure_virgin(dir: &dyn WalDir) -> Result<(), DurableError> {
+    let has_log = dir
+        .list()?
+        .iter()
+        .any(|f| f.starts_with("wal-") || f.starts_with("ckpt"));
+    if has_log {
+        return Err(DurableError::Unsupported(
+            "directory already holds a log — use DurableSession::recover",
+        ));
+    }
+    Ok(())
+}
+
+fn replay_batch(backend: &Backend, batch: &[Update]) -> Result<(), DurableError> {
+    backend
+        .apply_batch(batch)
+        .map_err(|e| DurableError::Recovery(format!("log replay failed: {e}")))?;
+    Ok(())
+}
+
+fn flush_pending(backend: &Backend, pending: &mut Vec<Update>) -> Result<(), DurableError> {
+    for chunk in pending.chunks(REPLAY_CHUNK) {
+        replay_batch(backend, chunk)?;
+    }
+    pending.clear();
+    Ok(())
+}
+
+enum TxInner<'a, 'b> {
+    Single(&'b mut SessionTransaction<'a>),
+    Sharded(&'b mut ShardedTransaction<'a>),
+}
+
+/// The handle a durable transaction closure writes through: forwards to
+/// the backend transaction and records each effective update so the
+/// commit hook can frame and log them.
+pub struct DurableTransaction<'a, 'b> {
+    inner: TxInner<'a, 'b>,
+    logged: Vec<Update>,
+}
+
+impl DurableTransaction<'_, '_> {
+    /// Validates and applies one update inside the transaction; returns
+    /// `true` iff it was effective. Errors leave the transaction open.
+    pub fn apply(&mut self, update: &Update) -> Result<bool, CqError> {
+        let changed = match &mut self.inner {
+            TxInner::Single(t) => t.apply(update)?,
+            TxInner::Sharded(t) => t.apply(update)?,
+        };
+        if changed {
+            self.logged.push(update.clone());
+        }
+        Ok(changed)
+    }
+
+    /// Applies a batch; returns how many members were effective.
+    pub fn apply_all(&mut self, updates: &[Update]) -> Result<usize, CqError> {
+        let mut applied = 0;
+        for u in updates {
+            if self.apply(u)? {
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Effective updates so far across the whole transaction.
+    pub fn effective_len(&self) -> usize {
+        self.logged.len()
+    }
+}

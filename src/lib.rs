@@ -73,6 +73,7 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod error;
 pub mod serve;
 pub mod session;
@@ -85,7 +86,9 @@ pub use cqu_lowerbounds as lowerbounds;
 pub use cqu_query as query;
 pub use cqu_serve as serving;
 pub use cqu_storage as storage;
+pub use cqu_wal as wal;
 
+pub use durable::{DurableError, DurableOptions, DurableSession, DurableTransaction};
 pub use error::CqError;
 pub use session::{
     BoundedSubscription, ChangeEvent, EngineChoice, QueryHandle, QueryId, QuerySnapshot,
@@ -95,6 +98,7 @@ pub use shard::{ShardPlan, ShardSpec, ShardedSession, ShardedSessionBuilder, Sha
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use crate::durable::{DurableError, DurableOptions, DurableSession, DurableTransaction};
     pub use crate::error::CqError;
     pub use crate::serve::{ServerHandle, SessionSource, ShardedSource};
     pub use crate::session::{
@@ -114,4 +118,5 @@ pub mod prelude {
         core_of, parse_query, Classification, Query, QueryBuilder, QueryError, Schema, Var, Verdict,
     };
     pub use cqu_storage::{ApplyUpdate, Const, Database, Transaction, Update, UpdateLog};
+    pub use cqu_wal::{FsDir, FsyncPolicy, WalDir};
 }

@@ -646,6 +646,28 @@ impl Session {
         self.seq
     }
 
+    /// Recovery hook: forces the sequence counter to `seq` and
+    /// republishes every registration's epoch stamped with it.
+    ///
+    /// Replaying a log applies updates through the normal dispatch path,
+    /// which draws fresh sequence numbers from zero — numbers that do
+    /// not match the log's stamps whenever rollbacks burned part of the
+    /// budget in a previous life. The durable layer replays first, then
+    /// forces the counter to the last durable seq so post-recovery
+    /// updates and subscriber cursors continue the original timeline.
+    /// Only sound while no readers are attached (recovery runs before
+    /// the session is shared), which is why it stays crate-private.
+    pub(crate) fn force_seq(&mut self, seq: u64) {
+        if let Some(source) = &self.seq_source {
+            source.store(seq, Ordering::Relaxed);
+        }
+        self.seq = seq;
+        for reg in &mut self.regs {
+            reg.touch();
+            reg.publish_epoch(seq, reg.footprint_gen);
+        }
+    }
+
     /// Opens a session with an empty schema (relations are interned by
     /// the queries that mention them).
     pub fn new() -> Session {

@@ -77,7 +77,7 @@ use cqu_dynamic::UpdateReport;
 use cqu_query::{parse_query, Query, RelId, Schema};
 use cqu_storage::{ApplyUpdate, Update};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockWriteGuard};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Collects query registrations, then partitions them into independent
 /// write shards ([`ShardedSessionBuilder::build`]).
@@ -514,6 +514,18 @@ impl ShardedSession {
         self.run_transaction(&all, None, f)
     }
 
+    /// [`ShardedSession::transaction`] with a caller-chosen error type:
+    /// the durable layer's commit hook runs *inside* the closure (log
+    /// before publish) and needs its I/O failures to flow out through
+    /// the rollback path without masquerading as session errors.
+    pub(crate) fn transaction_generic<R, E: From<CqError>>(
+        &self,
+        f: impl FnOnce(&mut ShardedTransaction<'_>) -> Result<R, E>,
+    ) -> Result<R, E> {
+        let all: Vec<usize> = (0..self.inner.shards.len()).collect();
+        self.run_transaction(&all, None, f)
+    }
+
     /// Runs `f` inside an all-or-nothing transaction scoped to
     /// `footprint`: only the shards owning those relations are locked
     /// (in canonical order), and the declared relations are the write
@@ -543,13 +555,13 @@ impl ShardedSession {
     /// then commit (or roll back) every shard behind the cross-shard
     /// barrier — all locks stay held until the last shard finished, so
     /// the transaction is atomic for every locked reader.
-    fn run_transaction<R>(
+    fn run_transaction<R, E: From<CqError>>(
         &self,
         shards: &[usize],
         scope: Option<Vec<bool>>,
-        f: impl FnOnce(&mut ShardedTransaction<'_>) -> Result<R, CqError>,
-    ) -> Result<R, CqError> {
-        let mut guards = self.lock_shards(shards)?;
+        f: impl FnOnce(&mut ShardedTransaction<'_>) -> Result<R, E>,
+    ) -> Result<R, E> {
+        let mut guards = self.lock_shards(shards).map_err(E::from)?;
         let mut txns: Vec<Option<SessionTransaction<'_>>> =
             (0..self.inner.shards.len()).map(|_| None).collect();
         for (guard, &sid) in guards.iter_mut().zip(shards) {
@@ -651,6 +663,34 @@ impl ShardedSession {
     /// O(1) count of `name`'s current result.
     pub fn count(&self, name: &str) -> Result<u64, CqError> {
         self.read_shard(name, |s| s.query(name).map(|h| h.count()))?
+    }
+
+    /// Recovery hook: forces the shared sequence counter to `seq` and
+    /// restamps every shard (see [`Session::force_seq`]). All shards are
+    /// write-locked together, so the restamp is one atomic cut — sound
+    /// only before the session is shared, hence crate-private.
+    pub(crate) fn force_seq(&self, seq: u64) -> Result<(), CqError> {
+        let all: Vec<usize> = (0..self.inner.shards.len()).collect();
+        let mut guards = self.lock_shards(&all)?;
+        for guard in guards.iter_mut() {
+            guard.force_seq(seq);
+        }
+        Ok(())
+    }
+
+    /// Checkpoint hook: runs `f` with read guards on every shard session
+    /// (acquired in canonical order), handing the caller one consistent
+    /// cut of the whole database — the same discipline
+    /// [`ShardedSession::generation`] uses.
+    pub(crate) fn read_all<R>(
+        &self,
+        f: impl FnOnce(&[RwLockReadGuard<'_, Session>]) -> R,
+    ) -> Result<R, CqError> {
+        let mut guards = Vec::with_capacity(self.inner.shards.len());
+        for shard in &self.inner.shards {
+            guards.push(shard.read().map_err(|_| CqError::Poisoned)?);
+        }
+        Ok(f(&guards))
     }
 }
 

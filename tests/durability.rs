@@ -1,0 +1,676 @@
+//! Crash-recovery suite for the durability subsystem.
+//!
+//! The driver runs a random script of applies, batches, transactions,
+//! rollbacks, and checkpoints against a [`DurableSession`] over a
+//! [`SimDisk`] armed to kill the "process" at a random byte offset or
+//! fsync count. After the crash it rebuilds from the two survivor
+//! views — `strict_view` (only fsynced bytes survived) and
+//! `crash_view` (a random prefix of the page cache also survived,
+//! possibly tearing a record mid-frame) — and checks the recovered
+//! session against a brute-force oracle:
+//!
+//! * the recovered seq `R` must be a **valid cut** of the executed
+//!   script: a committed frame, a prefix of the mid-flight batch, or
+//!   the all-or-nothing boundary of the mid-flight transaction;
+//! * every registered query's recovered result must equal the oracle's
+//!   `timeline[R]` (brute force over the database at that cut);
+//! * under `FsyncPolicy::Always`, the strict view must retain every
+//!   operation that completed before the crash — the durability floor:
+//!   no committed-and-fsynced update may be lost;
+//! * a transaction whose commit record did not survive must be invisible
+//!   in full — no partial transactions, ever.
+//!
+//! Deterministic satellites cover the checkpoint/rotation edge cases:
+//! checkpoint with an empty tail, tail-only recovery, a stale leftover
+//! segment older than the checkpoint, and a crash mid-checkpoint-write.
+//!
+//! Case count scales with `CQ_STRESS_CRASHES` (the CI crash matrix sets
+//! 200; the default keeps local runs quick).
+
+use cq_updates::prelude::*;
+use cq_updates::query::RelId;
+use cqu_testutil::{brute_force, random_updates, Lcg, SimDisk, WorkloadConfig};
+use proptest::prelude::*;
+
+fn stress_crashes() -> u32 {
+    std::env::var("CQ_STRESS_CRASHES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24)
+}
+
+/// Three footprint components, all engine routes — the same zoo the
+/// sharded equivalence suite uses, so a sharded durable session splits
+/// into three shards: `{E,T}`, `{F}`, `{S,G,U}`.
+const QUERIES: &[(&str, &str)] = &[
+    ("qh", "Q(x, y) :- E(x, y), T(y)."),
+    ("via_core", "Q() :- F(x,x), F(x,y), F(y,y)."),
+    ("ivm", "Q(x, y) :- S(x), G(x, y), U(y)."),
+];
+
+/// Registers the zoo into a scratch [`Session`] to obtain the union
+/// schema and per-query ASTs with the session's interned relation ids
+/// (registration order fixes the interning, so these match what any
+/// durable session built from `QUERIES` uses).
+fn scratch() -> (Schema, Vec<(String, Query)>) {
+    let mut s = Session::new();
+    for (name, src) in QUERIES {
+        s.register(name, src).unwrap();
+    }
+    let schema = s.schema().clone();
+    let queries = QUERIES
+        .iter()
+        .map(|(name, _)| ((*name).to_string(), s.query(name).unwrap().query().clone()))
+        .collect();
+    (schema, queries)
+}
+
+fn small_opts(fsync: FsyncPolicy) -> DurableOptions {
+    DurableOptions {
+        fsync,
+        // Tiny segments force rotation constantly, so recoveries span
+        // many segments instead of one.
+        segment_bytes: 512,
+    }
+}
+
+fn fresh(disk: &SimDisk, opts: DurableOptions, sharded: bool) -> DurableSession {
+    if sharded {
+        DurableSession::create_sharded(Box::new(disk.clone()), opts, QUERIES).unwrap()
+    } else {
+        let sess = DurableSession::create(Box::new(disk.clone()), opts).unwrap();
+        for (name, src) in QUERIES {
+            sess.register(name, src).unwrap();
+        }
+        sess
+    }
+}
+
+/// One scripted operation against the durable session.
+#[derive(Debug)]
+enum Op {
+    Batch(Vec<Update>),
+    Tx { updates: Vec<Update>, commit: bool },
+    Checkpoint,
+}
+
+fn script_ops(schema: &Schema, seed: u64, steps: usize) -> Vec<Op> {
+    let stream = random_updates(
+        schema,
+        seed,
+        WorkloadConfig {
+            steps,
+            domain: 4,
+            insert_permille: 600,
+        },
+    );
+    let mut rng = Lcg::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut ops = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    while it.peek().is_some() {
+        let roll = rng.below(100);
+        if roll < 8 {
+            ops.push(Op::Checkpoint);
+            continue;
+        }
+        let chunk: Vec<Update> = it.by_ref().take(1 + rng.below(5)).collect();
+        if roll < 40 {
+            ops.push(Op::Tx {
+                updates: chunk,
+                commit: rng.below(100) < 70,
+            });
+        } else {
+            ops.push(Op::Batch(chunk));
+        }
+    }
+    ops
+}
+
+/// Predicts the effective subset of `updates` against `db` under set
+/// semantics with a within-batch overlay — the driver-side twin of the
+/// session's own dispatch rule.
+fn effective(db: &Database, updates: &[Update]) -> Vec<Update> {
+    let mut overlay: std::collections::HashMap<(RelId, Vec<Const>), bool> =
+        std::collections::HashMap::new();
+    let mut eff = Vec::new();
+    for u in updates {
+        let (rel, tuple, insert) = match u {
+            Update::Insert(r, t) => (*r, t, true),
+            Update::Delete(r, t) => (*r, t, false),
+        };
+        let cur = overlay
+            .get(&(rel, tuple.clone()))
+            .copied()
+            .unwrap_or_else(|| db.relation(rel).contains(tuple));
+        if insert != cur {
+            eff.push(u.clone());
+            overlay.insert((rel, tuple.clone()), insert);
+        }
+    }
+    eff
+}
+
+/// What the operation in flight at crash time had staged.
+#[derive(Debug)]
+enum Mid {
+    /// A batch's effective updates: records are independent, so any
+    /// durable prefix is a valid recovery.
+    Batch(Vec<Update>),
+    /// A transaction's effective updates: all (commit record survived)
+    /// or nothing.
+    Tx(Vec<Update>),
+    /// A checkpoint: no new seqs, any committed cut is valid.
+    Checkpoint,
+}
+
+/// Executed history: `frames[i]` is seq `i+1` — `Some(update)` for a
+/// committed effective update, `None` for a seq burned by a rollback.
+struct Run {
+    frames: Vec<Option<Update>>,
+    mid: Option<Mid>,
+    /// Last seq known fsynced when the op that drew it returned — the
+    /// strict-view floor under `FsyncPolicy::Always`. Burned seqs stay
+    /// out (their compensation record is written best-effort).
+    floor: u64,
+}
+
+fn drive(sess: &DurableSession, schema: &Schema, ops: &[Op], always: bool) -> Run {
+    let mut db = Database::new(schema.clone());
+    let mut frames: Vec<Option<Update>> = Vec::new();
+    let mut floor = 0u64;
+    for op in ops {
+        match op {
+            Op::Batch(updates) => {
+                let eff = effective(&db, updates);
+                match sess.apply_batch(updates) {
+                    Ok(report) => {
+                        assert_eq!(report.applied, eff.len(), "driver misprediction");
+                        for u in &eff {
+                            assert!(db.apply(u));
+                            frames.push(Some(u.clone()));
+                        }
+                        // Only an op that actually committed records can
+                        // raise the floor: a no-op batch never touches
+                        // the log, so it proves nothing about burned
+                        // seqs before it (whose compensation record is
+                        // best-effort).
+                        if always && !eff.is_empty() {
+                            floor = frames.len() as u64;
+                        }
+                    }
+                    Err(DurableError::Wal(_)) => {
+                        return Run {
+                            frames,
+                            mid: Some(Mid::Batch(eff)),
+                            floor,
+                        }
+                    }
+                    Err(e) => panic!("unexpected batch error: {e}"),
+                }
+            }
+            Op::Tx { updates, commit } => {
+                let eff = effective(&db, updates);
+                let eff_n = eff.len();
+                let res = sess.transaction(|tx| {
+                    for u in updates {
+                        tx.apply(u)?;
+                    }
+                    assert_eq!(tx.effective_len(), eff_n, "driver misprediction");
+                    if *commit {
+                        Ok(())
+                    } else {
+                        Err(CqError::UnknownQuery("scripted rollback".into()))
+                    }
+                });
+                match res {
+                    Ok(()) => {
+                        assert!(*commit);
+                        for u in &eff {
+                            assert!(db.apply(u));
+                            frames.push(Some(u.clone()));
+                        }
+                        if always && !eff.is_empty() {
+                            floor = frames.len() as u64;
+                        }
+                    }
+                    // The intended rollback: seqs burn without frames.
+                    // (A crash during the best-effort burn write also
+                    // lands here — the next op then reports the crash.)
+                    Err(DurableError::Session(_)) => {
+                        assert!(!*commit, "committing transaction rejected");
+                        frames.extend(std::iter::repeat_with(|| None).take(eff_n));
+                    }
+                    Err(DurableError::Wal(_)) => {
+                        assert!(*commit, "rollback path surfaced a wal error");
+                        return Run {
+                            frames,
+                            mid: Some(Mid::Tx(eff)),
+                            floor,
+                        };
+                    }
+                    Err(e) => panic!("unexpected tx error: {e}"),
+                }
+            }
+            Op::Checkpoint => match sess.checkpoint() {
+                Ok(_) => {}
+                Err(DurableError::Wal(_)) => {
+                    return Run {
+                        frames,
+                        mid: Some(Mid::Checkpoint),
+                        floor,
+                    }
+                }
+                Err(e) => panic!("unexpected checkpoint error: {e}"),
+            },
+        }
+    }
+    Run {
+        frames,
+        mid: None,
+        floor,
+    }
+}
+
+/// Database at cut `r` of the committed history, plus `extra` mid-flight
+/// updates.
+fn db_at(schema: &Schema, frames: &[Option<Update>], r: usize, extra: &[Update]) -> Database {
+    let mut db = Database::new(schema.clone());
+    for u in frames.iter().take(r).flatten() {
+        assert!(db.apply(u), "committed frame must be effective");
+    }
+    for u in extra {
+        assert!(db.apply(u), "mid-flight frame must be effective");
+    }
+    db
+}
+
+/// Recovers from `view` and checks the oracle invariants. Returns the
+/// recovered session so callers can keep writing to it.
+fn check_recovery(
+    view: SimDisk,
+    schema: &Schema,
+    queries: &[(String, Query)],
+    run: &Run,
+    sharded: bool,
+) -> DurableSession {
+    let sess = DurableSession::recover(Box::new(view), small_opts(FsyncPolicy::Always))
+        .expect("recovery must succeed on a crash-consistent view");
+    assert_eq!(sess.is_sharded(), sharded, "recovered mode");
+    let r = sess.seq().unwrap();
+    assert!(
+        r >= run.floor,
+        "durability floor violated: recovered seq {r} < floor {}",
+        run.floor
+    );
+    let committed = run.frames.len() as u64;
+
+    // Candidate states at cut `r`. Usually one; a mid-flight transaction
+    // whose update records all survived is ambiguous at its boundary seq
+    // (with the commit record → applied; without → dropped, the buffered
+    // records still advancing the counter).
+    let mut candidates: Vec<Database> = Vec::new();
+    if r <= committed {
+        candidates.push(db_at(schema, &run.frames, r as usize, &[]));
+    } else {
+        let over = (r - committed) as usize;
+        match &run.mid {
+            Some(Mid::Batch(eff)) => {
+                assert!(over <= eff.len(), "recovered seq beyond mid-flight batch");
+                candidates.push(db_at(schema, &run.frames, run.frames.len(), &eff[..over]));
+            }
+            Some(Mid::Tx(eff)) => {
+                assert!(over <= eff.len(), "recovered seq beyond mid-flight tx");
+                candidates.push(db_at(schema, &run.frames, run.frames.len(), &[]));
+                if over == eff.len() {
+                    candidates.push(db_at(schema, &run.frames, run.frames.len(), eff));
+                }
+            }
+            Some(Mid::Checkpoint) | None => {
+                panic!("recovered seq {r} beyond durable history {committed}")
+            }
+        }
+    }
+
+    let got: Vec<(String, Vec<Vec<Const>>)> = queries
+        .iter()
+        .map(|(name, _)| (name.clone(), sess.snapshot(name).unwrap().results_sorted()))
+        .collect();
+    let matched = candidates.iter().any(|db| {
+        queries
+            .iter()
+            .zip(&got)
+            .all(|((_, q), (_, rows))| brute_force(q, db) == *rows)
+    });
+    assert!(
+        matched,
+        "recovered state at seq {r} matches no valid cut ({} candidate(s)); got {got:?}",
+        candidates.len()
+    );
+    sess
+}
+
+fn crash_run(seed: u64, arm_bytes: Option<u64>, arm_syncs: Option<u64>, sharded: bool) {
+    let (schema, queries) = scratch();
+    let ops = script_ops(&schema, seed, 60);
+    let disk = SimDisk::new();
+    let sess = fresh(&disk, small_opts(FsyncPolicy::Always), sharded);
+    // Arm only after creation + registration: DDL is part of the fixture
+    // here (mid-stream registration crashes get their own test below).
+    if let Some(n) = arm_bytes {
+        disk.arm_bytes(n);
+    }
+    if let Some(n) = arm_syncs {
+        disk.arm_syncs(n);
+    }
+    let run = drive(&sess, &schema, &ops, true);
+    drop(sess);
+    check_recovery(disk.strict_view(), &schema, &queries, &run, sharded);
+    let mut rng = Lcg::new(seed.wrapping_mul(0x5851_f42d_4c95_7f2d) | 1);
+    check_recovery(disk.crash_view(&mut rng), &schema, &queries, &run, sharded);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: stress_crashes(), ..ProptestConfig::default() })]
+
+    /// Single-writer crash points: kill at a random byte offset.
+    #[test]
+    fn single_writer_survives_byte_crashes(seed in 0u64..1_000_000, bytes in 0u64..6_000) {
+        crash_run(seed, Some(bytes), None, false);
+    }
+
+    /// Single-writer crash points: kill at a random fsync.
+    #[test]
+    fn single_writer_survives_sync_crashes(seed in 0u64..1_000_000, syncs in 0u64..60) {
+        crash_run(seed, None, Some(syncs), false);
+    }
+
+    /// Sharded crash points: kill at a random byte offset.
+    #[test]
+    fn sharded_survives_byte_crashes(seed in 0u64..1_000_000, bytes in 0u64..6_000) {
+        crash_run(seed, Some(bytes), None, true);
+    }
+
+    /// Sharded crash points: kill at a random fsync.
+    #[test]
+    fn sharded_survives_sync_crashes(seed in 0u64..1_000_000, syncs in 0u64..60) {
+        crash_run(seed, None, Some(syncs), true);
+    }
+
+    /// Lazy fsync policies lose only an unsynced suffix: recovery from
+    /// the strict view must still land on a valid cut (no floor).
+    #[test]
+    fn lazy_policies_lose_only_a_suffix(seed in 0u64..1_000_000, every in 1u32..8) {
+        let (schema, queries) = scratch();
+        let ops = script_ops(&schema, seed, 40);
+        let disk = SimDisk::new();
+        let sess = fresh(&disk, small_opts(FsyncPolicy::EveryN(every)), false);
+        let run = drive(&sess, &schema, &ops, false);
+        prop_assert!(run.mid.is_none(), "unarmed disk cannot crash");
+        drop(sess);
+        check_recovery(disk.strict_view(), &schema, &queries, &run, false);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic checkpoint / rotation / recovery edge cases.
+// ---------------------------------------------------------------------
+
+fn seeded_session(
+    disk: &SimDisk,
+    steps: usize,
+) -> (Schema, Vec<(String, Query)>, Run, DurableSession) {
+    let (schema, queries) = scratch();
+    let ops = script_ops(&schema, 42, steps);
+    let sess = fresh(disk, small_opts(FsyncPolicy::Always), false);
+    let run = drive(&sess, &schema, &ops, true);
+    assert!(run.mid.is_none());
+    (schema, queries, run, sess)
+}
+
+/// Checkpoint with an empty tail: everything lives in the checkpoint,
+/// old segments are pruned, and recovery replays no records.
+#[test]
+fn checkpoint_only_recovery() {
+    let disk = SimDisk::new();
+    let (schema, queries, run, sess) = seeded_session(&disk, 50);
+    let seq = sess.checkpoint().unwrap();
+    assert_eq!(seq, sess.seq().unwrap());
+    drop(sess);
+    let names = disk.names();
+    assert_eq!(
+        names.iter().filter(|n| n.starts_with("ckpt-")).count(),
+        1,
+        "exactly one checkpoint: {names:?}"
+    );
+    assert_eq!(
+        names.iter().filter(|n| n.starts_with("wal-")).count(),
+        1,
+        "checkpoint prunes all sealed segments: {names:?}"
+    );
+    let rec = check_recovery(disk.strict_view(), &schema, &queries, &run, false);
+    assert_eq!(rec.seq().unwrap(), seq);
+}
+
+/// No checkpoint at all: recovery is a pure tail replay across many
+/// rotated segments.
+#[test]
+fn tail_only_recovery_spans_segments() {
+    let disk = SimDisk::new();
+    let (schema, queries, run, sess) = seeded_session(&disk, 50);
+    drop(sess);
+    assert!(
+        disk.names()
+            .iter()
+            .filter(|n| n.starts_with("wal-"))
+            .count()
+            > 1,
+        "512-byte segments must rotate under a 50-step script"
+    );
+    check_recovery(disk.strict_view(), &schema, &queries, &run, false);
+}
+
+/// A stale segment older than the checkpoint (a crash window between
+/// checkpoint publish and segment removal): its records' seqs are
+/// covered by the checkpoint and must be skipped, not replayed twice.
+#[test]
+fn checkpoint_newer_than_stale_leftover_segment() {
+    let disk = SimDisk::new();
+    let (schema, queries, run, sess) = seeded_session(&disk, 50);
+    // Save a sealed early segment, checkpoint (which prunes it), then
+    // plant it back — the on-disk shape of a crash before the remove.
+    let early = disk
+        .names()
+        .into_iter()
+        .filter(|n| n.starts_with("wal-"))
+        .min()
+        .unwrap();
+    let bytes = disk.file(&early).unwrap();
+    sess.checkpoint().unwrap();
+    drop(sess);
+    assert!(disk.file(&early).is_none(), "checkpoint must prune {early}");
+    disk.put_file(&early, &bytes);
+    check_recovery(disk.strict_view(), &schema, &queries, &run, false);
+}
+
+/// A crash while writing the checkpoint body: the torn `ckpt.tmp` is
+/// ignored, nothing was pruned, and recovery falls back to the full
+/// tail replay.
+#[test]
+fn crash_during_checkpoint_write_falls_back_to_tail() {
+    let disk = SimDisk::new();
+    let (schema, queries, run, sess) = seeded_session(&disk, 50);
+    disk.arm_bytes(64); // enough for the header, not the body
+    assert!(matches!(sess.checkpoint(), Err(DurableError::Wal(_))));
+    drop(sess);
+    let view = disk.strict_view();
+    assert!(
+        !view.names().iter().any(|n| n.starts_with("ckpt-")),
+        "no checkpoint may publish from a torn ckpt.tmp"
+    );
+    let rec = check_recovery(view, &schema, &queries, &run, false);
+    assert_eq!(
+        rec.seq().unwrap(),
+        run.frames.len() as u64,
+        "fsynced tail is complete, so recovery lands on the last frame"
+    );
+}
+
+/// Registration mid-stream (single mode) is durable DDL: recovery
+/// re-registers in log order and the late query's state is exact.
+#[test]
+fn mid_stream_registration_survives() {
+    let disk = SimDisk::new();
+    let sess =
+        DurableSession::create(Box::new(disk.clone()), small_opts(FsyncPolicy::Always)).unwrap();
+    sess.register("qh", QUERIES[0].1).unwrap();
+    let e = sess.relation("E").unwrap();
+    let t = sess.relation("T").unwrap();
+    sess.apply_batch(&[Update::Insert(e, vec![1, 2]), Update::Insert(t, vec![2])])
+        .unwrap();
+    sess.register("late", "Q(y) :- T(y).").unwrap();
+    sess.apply(&Update::Insert(t, vec![7])).unwrap();
+    drop(sess);
+
+    let rec = DurableSession::recover(
+        Box::new(disk.strict_view()),
+        small_opts(FsyncPolicy::Always),
+    )
+    .unwrap();
+    assert_eq!(rec.seq().unwrap(), 3);
+    assert_eq!(
+        rec.snapshot("qh").unwrap().results_sorted(),
+        vec![vec![1, 2]]
+    );
+    assert_eq!(
+        rec.snapshot("late").unwrap().results_sorted(),
+        vec![vec![2], vec![7]]
+    );
+}
+
+/// The recovered session is live: it keeps accepting durable writes,
+/// and a second recovery sees them.
+#[test]
+fn recovery_roundtrips_and_stays_writable() {
+    let disk = SimDisk::new();
+    let (schema, queries, mut run, sess) = seeded_session(&disk, 30);
+    drop(sess);
+    check_recovery(disk.strict_view(), &schema, &queries, &run, false);
+
+    // The recovered session writes to the *view* disk; keep driving it.
+    let view = disk.strict_view();
+    let rec =
+        DurableSession::recover(Box::new(view.clone()), small_opts(FsyncPolicy::Always)).unwrap();
+    assert_eq!(rec.seq().unwrap(), run.frames.len() as u64);
+    let more = script_ops(&schema, 43, 20);
+    let run2 = {
+        // Seed the oracle db with the recovered state, then extend.
+        let mut db = Database::new(schema.clone());
+        for u in run.frames.iter().flatten() {
+            db.apply(u);
+        }
+        let mut frames = std::mem::take(&mut run.frames);
+        for op in &more {
+            if let Op::Batch(updates) = op {
+                let eff = effective(&db, updates);
+                let report = rec.apply_batch(updates).unwrap();
+                assert_eq!(report.applied, eff.len());
+                for u in &eff {
+                    assert!(db.apply(u));
+                    frames.push(Some(u.clone()));
+                }
+            }
+        }
+        Run {
+            frames,
+            mid: None,
+            floor: 0,
+        }
+    };
+    drop(rec);
+    let rec2 = check_recovery(view.strict_view(), &schema, &queries, &run2, false);
+    assert_eq!(rec2.seq().unwrap(), run2.frames.len() as u64);
+}
+
+/// An empty directory is not a recoverable state — typed error, and
+/// `create` refuses a directory that already holds a log.
+#[test]
+fn recover_empty_and_create_nonvirgin_refuse() {
+    let disk = SimDisk::new();
+    assert!(matches!(
+        DurableSession::recover(Box::new(disk.clone()), DurableOptions::default()),
+        Err(DurableError::Recovery(_))
+    ));
+    let sess = DurableSession::create(Box::new(disk.clone()), DurableOptions::default()).unwrap();
+    drop(sess);
+    assert!(matches!(
+        DurableSession::create(Box::new(disk.clone()), DurableOptions::default()),
+        Err(DurableError::Unsupported(_))
+    ));
+    // But recovery of the (query-less) log now succeeds.
+    let rec = DurableSession::recover(Box::new(disk), DurableOptions::default()).unwrap();
+    assert_eq!(rec.seq().unwrap(), 0);
+    assert!(!rec.is_sharded());
+}
+
+/// Flipping a synced byte mid-log is corruption, not a torn tail:
+/// recovery must refuse with a typed error rather than silently
+/// truncating history.
+#[test]
+fn mid_log_corruption_is_refused() {
+    let disk = SimDisk::new();
+    let (_schema, _queries, _run, sess) = seeded_session(&disk, 50);
+    drop(sess);
+    let view = disk.strict_view();
+    let first = view
+        .names()
+        .into_iter()
+        .filter(|n| n.starts_with("wal-"))
+        .min()
+        .unwrap();
+    let mut bytes = view.file(&first).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    view.put_file(&first, &bytes);
+    assert!(
+        matches!(
+            DurableSession::recover(Box::new(view), DurableOptions::default()),
+            Err(DurableError::Wal(cq_updates::wal::WalError::Corrupt { .. }))
+        ),
+        "corrupt non-final segment must be refused"
+    );
+}
+
+/// Sharded creation seals the query set; `register` on it is a typed
+/// refusal, and the sharded mode round-trips through recovery.
+#[test]
+fn sharded_mode_roundtrip_and_sealed_registration() {
+    let disk = SimDisk::new();
+    let sess = fresh(&disk, small_opts(FsyncPolicy::Always), true);
+    assert!(sess.is_sharded());
+    assert!(matches!(
+        sess.register("extra", "Q(x) :- E(x, x)."),
+        Err(DurableError::Unsupported(_))
+    ));
+    let e = sess.relation("E").unwrap();
+    let t = sess.relation("T").unwrap();
+    let f = sess.relation("F").unwrap();
+    sess.apply_batch(&[
+        Update::Insert(e, vec![1, 2]),
+        Update::Insert(t, vec![2]),
+        Update::Insert(f, vec![3, 3]),
+    ])
+    .unwrap();
+    drop(sess);
+    let rec = DurableSession::recover(
+        Box::new(disk.strict_view()),
+        small_opts(FsyncPolicy::Always),
+    )
+    .unwrap();
+    assert!(rec.is_sharded());
+    assert_eq!(rec.seq().unwrap(), 3);
+    assert_eq!(
+        rec.snapshot("qh").unwrap().results_sorted(),
+        vec![vec![1, 2]]
+    );
+    assert_eq!(rec.snapshot("via_core").unwrap().count(), 1);
+}

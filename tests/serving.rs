@@ -529,6 +529,9 @@ fn tcp_lag_disconnect_policy_sheds_the_slow_consumer() {
 
     shared.apply(&Update::Insert(t, vec![1])).unwrap();
     let mut client = Client::connect(server.local_addr()).unwrap();
+    // This test exercises the *manual* recovery flow, so the default
+    // transparent re-subscribe must stay out of the way.
+    client.set_auto_resubscribe(false);
     client.subscribe("feed", None).unwrap();
     client.next(Duration::from_millis(200)).unwrap();
 
@@ -574,6 +577,157 @@ fn tcp_lag_disconnect_policy_sheds_the_slow_consumer() {
         "feed",
         &final_rows,
         Duration::from_secs(30),
+    );
+    assert!(server.stats().lagged >= 1);
+}
+
+/// A snapshot bigger than `snapshot_chunk_bytes` must arrive as a run
+/// of `SnapshotChunk` frames — bounded per-frame allocations — that the
+/// `Mirror` (and `Client::query`) reassemble into exactly the result a
+/// one-frame snapshot would have carried. A mirror with a too-small
+/// reassembly budget must freeze (`overflowed`) instead of buffering
+/// without bound.
+#[test]
+fn tcp_large_snapshots_arrive_chunked_and_reassemble() {
+    let mut session = Session::new();
+    session.register("feed", ROUTES[0].1).unwrap();
+    let e = session.relation("E").unwrap();
+    let t = session.relation("T").unwrap();
+    let shared = SharedSession::new(session);
+    let source = Arc::new(SessionSource::new(shared.clone(), 1 << 16).unwrap());
+    let server = ServerHandle::bind_with(
+        "127.0.0.1:0",
+        source,
+        ServeConfig {
+            // 16-byte rows through a 256-byte budget: 500 result rows
+            // must split into ~32 chunks.
+            snapshot_chunk_bytes: 256,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    shared.apply(&Update::Insert(t, vec![1])).unwrap();
+    let ins: Vec<Update> = (0..500u64).map(|i| Update::Insert(e, vec![i, 1])).collect();
+    shared.apply_batch(&ins).unwrap();
+    let final_rows = shared.snapshot("feed").unwrap().results_sorted();
+    assert_eq!(final_rows.len(), 500);
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let (mode, _) = client.subscribe("feed", None).unwrap();
+    assert_eq!(mode, SubscribeMode::Live);
+
+    let mut mirror = Mirror::new();
+    let mut tiny = Mirror::with_budget(100); // fits ~6 rows, not 500
+    let mut chunks = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while mirror.rows_sorted() != final_rows {
+        let now = Instant::now();
+        assert!(now < deadline, "chunked snapshot never reassembled");
+        if let Some(frame) = client.next(deadline - now).unwrap() {
+            match &frame {
+                Frame::SnapshotChunk { .. } => chunks += 1,
+                Frame::Snapshot { .. } => panic!("snapshot over budget must be chunked"),
+                _ => {}
+            }
+            mirror.apply("feed", &frame);
+            tiny.apply("feed", &frame);
+        }
+    }
+    assert!(chunks > 1, "expected a multi-chunk run, saw {chunks}");
+    assert!(!mirror.overflowed());
+    assert!(
+        tiny.overflowed(),
+        "a 100-byte budget cannot hold a 8000-byte snapshot"
+    );
+    assert!(tiny.rows().is_empty(), "overflowed mirror stays frozen");
+
+    // The one-shot path reassembles too.
+    let (_, rows) = client.query("feed").unwrap();
+    assert_eq!(sorted(rows), final_rows);
+
+    // Deltas after the chunked snapshot keep folding normally.
+    shared.apply(&Update::Insert(e, vec![9999, 1])).unwrap();
+    let final_rows = shared.snapshot("feed").unwrap().results_sorted();
+    wait_rows(
+        &mut client,
+        &mut mirror,
+        "feed",
+        &final_rows,
+        Duration::from_secs(10),
+    );
+}
+
+/// Under `LagPolicy::Disconnect` with auto-resubscribe (the default),
+/// the client heals transparently: the `Lagged` frame and the reply to
+/// the automatic re-`Subscribe` are swallowed inside the client, the
+/// mirror never observes the detach, and the replica still converges to
+/// the exact result.
+#[test]
+fn tcp_lagged_client_auto_resubscribes() {
+    let mut session = Session::new();
+    session.register("feed", ROUTES[0].1).unwrap();
+    let e = session.relation("E").unwrap();
+    let t = session.relation("T").unwrap();
+    let shared = SharedSession::new(session);
+    let source = Arc::new(SessionSource::new(shared.clone(), 1 << 16).unwrap());
+    let server = ServerHandle::bind_with(
+        "127.0.0.1:0",
+        source,
+        ServeConfig {
+            queue_cap: 2,
+            hard_cap: 1 << 20,
+            lag: LagPolicy::Disconnect,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    shared.apply(&Update::Insert(t, vec![1])).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.subscribe("feed", None).unwrap();
+    client.next(Duration::from_millis(200)).unwrap();
+
+    // Stall until the server sheds the subscription.
+    let rows_per_batch = 4096u64;
+    let started = Instant::now();
+    let mut round = 0u64;
+    while server.stats().lagged == 0 {
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "queue cap 2 with a stalled reader must trip Lagged"
+        );
+        let base = 10 + round * rows_per_batch;
+        let ins: Vec<Update> = (base..base + rows_per_batch)
+            .map(|i| Update::Insert(e, vec![i, 1]))
+            .collect();
+        shared.apply_batch(&ins).unwrap();
+        let del: Vec<Update> = (base..base + rows_per_batch)
+            .map(|i| Update::Delete(e, vec![i, 1]))
+            .collect();
+        shared.apply_batch(&del).unwrap();
+        round += 1;
+    }
+    shared.apply(&Update::Insert(e, vec![7, 1])).unwrap();
+    let final_rows = shared.snapshot("feed").unwrap().results_sorted();
+
+    // Wake up and just keep folding: the client re-subscribes under the
+    // hood and the mirror heals without ever seeing `Lagged`.
+    let mut mirror = Mirror::new();
+    wait_rows(
+        &mut client,
+        &mut mirror,
+        "feed",
+        &final_rows,
+        Duration::from_secs(30),
+    );
+    assert!(
+        client.resubscribes() >= 1,
+        "the detach must have been healed transparently"
+    );
+    assert!(
+        mirror.lagged_at().is_none(),
+        "Lagged must be swallowed by auto-resubscribe"
     );
     assert!(server.stats().lagged >= 1);
 }
