@@ -259,10 +259,16 @@ impl Client {
                 Frame::Snapshot { seq, rows: all, .. } => return Ok((seq, all)),
                 Frame::SnapshotChunk {
                     seq,
+                    first,
                     last,
                     rows: chunk,
                     ..
                 } => {
+                    if first {
+                        // A restarted run (same seq or not) supersedes
+                        // whatever the aborted one delivered.
+                        rows.clear();
+                    }
                     rows.extend(chunk);
                     if last {
                         return Ok((seq, rows));
@@ -459,14 +465,27 @@ impl Mirror {
             Frame::SnapshotChunk {
                 name: n,
                 seq,
+                first,
                 last,
                 rows,
             } if n == name => {
-                // A different pin seq starts a new run (the server never
-                // interleaves two snapshots of one query).
-                if self.chunks.as_ref().is_none_or(|(s, _)| s != seq) {
+                // Only the `first` flag opens a run: a restarted snapshot
+                // can pin the *same* seq as a stale partial run (a
+                // reconnect resuming into the server's cached snapshot),
+                // so the seq alone cannot distinguish "continuation" from
+                // "start over". Anything buffered from the old run is
+                // discarded — no double-charged budget, no stale rows.
+                if *first {
                     self.chunks = Some((*seq, Vec::new()));
                     self.chunk_bytes = 0;
+                } else if self.chunks.as_ref().is_none_or(|(s, _)| s != seq) {
+                    // A continuation with no matching in-flight run is an
+                    // orphan (its opening chunk was lost to a reconnect).
+                    // Drop any mismatched partial and wait for a fresh
+                    // `first` rather than merging rows from two runs.
+                    self.chunks = None;
+                    self.chunk_bytes = 0;
+                    return true;
                 }
                 self.chunk_bytes += rows.iter().map(|r| (r.len() * 8).max(1)).sum::<usize>();
                 if self.chunk_bytes > self.budget {
@@ -534,5 +553,57 @@ impl Mirror {
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(seq: u64, first: bool, last: bool, rows: Vec<Row>) -> Frame {
+        Frame::SnapshotChunk {
+            name: "q".into(),
+            seq,
+            first,
+            last,
+            rows,
+        }
+    }
+
+    /// A restarted run at the *same* pin seq (a reconnect resuming into
+    /// the server's cached snapshot) must supersede the stale partial:
+    /// the budget is not double-charged and no stale rows survive.
+    #[test]
+    fn restarted_run_at_same_seq_supersedes_stale_partial() {
+        // Budget fits exactly one complete 4-row run (8 bytes per row).
+        let mut m = Mirror::with_budget(32);
+        assert!(m.apply("q", &chunk(5, true, false, vec![vec![1], vec![2]])));
+        // The run is cut short; the server restarts the snapshot at the
+        // same seq. Charging the stale 16 bytes again would overflow.
+        assert!(m.apply("q", &chunk(5, true, false, vec![vec![7], vec![8]])));
+        assert!(m.apply("q", &chunk(5, false, true, vec![vec![9], vec![10]])));
+        assert!(!m.overflowed(), "restart must not double-charge the budget");
+        assert_eq!(
+            m.rows_sorted(),
+            vec![vec![7], vec![8], vec![9], vec![10]],
+            "stale partial rows must not merge into the restarted run"
+        );
+        assert_eq!(m.seq(), 5);
+    }
+
+    /// A continuation whose opening chunk was never seen (it was lost to
+    /// a reconnect) must be ignored — even a `last` orphan must not be
+    /// installed as an authoritative snapshot.
+    #[test]
+    fn orphan_continuation_is_ignored() {
+        let mut m = Mirror::new();
+        assert!(m.apply("q", &chunk(5, false, true, vec![vec![1]])));
+        assert!(m.rows().is_empty());
+        assert_eq!(m.seq(), 0);
+        // The server's retried run then lands whole.
+        assert!(m.apply("q", &chunk(5, true, false, vec![vec![2]])));
+        assert!(m.apply("q", &chunk(5, false, true, vec![vec![3]])));
+        assert_eq!(m.rows_sorted(), vec![vec![2], vec![3]]);
+        assert_eq!(m.seq(), 5);
     }
 }

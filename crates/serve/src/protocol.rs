@@ -17,7 +17,7 @@
 //! | `Ack` | both | `name`, `seq` | client: cursor progress (observability); server: command confirmation |
 //! | `Subscribed` | s→c | `name`, `mode`, `seq` | feed opened: `Live`, `Resumed` (netted catch-up `Delta` follows if nonempty) or `Resync` (`Snapshot` follows) |
 //! | `Snapshot` | s→c | `name`, `seq`, rows | full result pinned at `seq` |
-//! | `SnapshotChunk` | s→c | `name`, `seq`, `last`, rows | one slice of a large snapshot pinned at `seq`; the receiver concatenates until `last` |
+//! | `SnapshotChunk` | s→c | `name`, `seq`, flags (`last`/`first`), rows | one slice of a large snapshot pinned at `seq`; `first` opens a run, the receiver concatenates until `last` |
 //! | `Delta` | s→c | `name`, `seq`, added, removed | netted result delta, cursor advances to `seq` |
 //! | `Lagged` | s→c | `name`, `resync_at` | the feed overran its bounded queue and was detached; re-`Subscribe` with your cursor (ring replay makes that cheap) |
 //! | `Error` | s→c | `code`, `msg` | command failed |
@@ -33,8 +33,11 @@ use std::io::{self, Read, Write};
 ///
 /// History: v1 shipped the base frame set; v2 added `SnapshotChunk`
 /// (servers may split large snapshots, so a v1 client would choke on
-/// the unknown tag — hence the bump).
-pub const PROTOCOL_VERSION: u32 = 2;
+/// the unknown tag — hence the bump); v3 widened the chunk's `last`
+/// byte into a flags byte with a `first` bit, so a receiver can tell a
+/// restarted chunk run from the continuation of a stale partial one
+/// even when both pin the same seq (a v2 peer would mis-read the flag).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Upper bound on a frame body; larger length prefixes are rejected
 /// before any allocation.
@@ -147,11 +150,17 @@ pub enum Frame {
     /// concatenates their rows (server-sent in order) and treats the
     /// whole as an authoritative `Snapshot` once `last` arrives. A chunk
     /// run is never interleaved with another snapshot of the same query.
+    /// `first` marks the opening chunk, which is what lets a receiver
+    /// discard a stale partial run when the server restarts a snapshot
+    /// at the *same* pin seq (e.g. a reconnect resumes into the cached
+    /// snapshot) — the seq alone cannot tell those apart.
     SnapshotChunk {
         /// Query name.
         name: String,
         /// Pin position on the global timeline (same for every chunk).
         seq: u64,
+        /// Whether this chunk opens a new snapshot run.
+        first: bool,
         /// Whether this is the final chunk of the snapshot.
         last: bool,
         /// This chunk's slice of the pinned result rows.
@@ -340,13 +349,14 @@ impl Frame {
             Frame::SnapshotChunk {
                 name,
                 seq,
+                first,
                 last,
                 rows,
             } => {
                 buf.push(tag::SNAPSHOT_CHUNK);
                 put_str(buf, name);
                 put_u64(buf, *seq);
-                buf.push(*last as u8);
+                buf.push(chunk_flags(*first, *last));
                 put_rows(buf, rows);
             }
             Frame::Delta {
@@ -415,16 +425,27 @@ pub fn encode_snapshot_frame(name: &str, seq: u64, rows: &[Row]) -> Vec<u8> {
 
 /// Encodes a complete `SnapshotChunk` wire message directly from
 /// borrowed rows (see [`encode_delta_frame`]).
-pub fn encode_snapshot_chunk_frame(name: &str, seq: u64, last: bool, rows: &[Row]) -> Vec<u8> {
+pub fn encode_snapshot_chunk_frame(
+    name: &str,
+    seq: u64,
+    first: bool,
+    last: bool,
+    rows: &[Row],
+) -> Vec<u8> {
     let mut buf = vec![0u8; 4];
     buf.push(tag::SNAPSHOT_CHUNK);
     put_str(&mut buf, name);
     put_u64(&mut buf, seq);
-    buf.push(last as u8);
+    buf.push(chunk_flags(first, last));
     put_rows(&mut buf, rows);
     let len = (buf.len() - 4) as u32;
     buf[..4].copy_from_slice(&len.to_le_bytes());
     buf
+}
+
+/// The `SnapshotChunk` flags byte: bit 0 = `last`, bit 1 = `first`.
+fn chunk_flags(first: bool, last: bool) -> u8 {
+    (last as u8) | ((first as u8) << 1)
 }
 
 /// How many rows fit a `chunk_bytes` payload budget (at least one —
@@ -456,6 +477,7 @@ pub fn encode_snapshot_frames(
         out.push(encode_snapshot_chunk_frame(
             name,
             seq,
+            start == 0,
             end == rows.len(),
             &rows[start..end],
         ));
@@ -483,6 +505,7 @@ pub fn snapshot_frames(name: &str, seq: u64, rows: Vec<Row>, chunk_bytes: usize)
         out.push(Frame::SnapshotChunk {
             name: name.into(),
             seq,
+            first: out.is_empty(),
             last: tail.is_empty(),
             rows: rest,
         });
@@ -605,16 +628,21 @@ impl Frame {
                 seq: cur.u64()?,
                 rows: cur.rows()?,
             },
-            tag::SNAPSHOT_CHUNK => Frame::SnapshotChunk {
-                name: cur.str()?,
-                seq: cur.u64()?,
-                last: match cur.u8()? {
-                    0 => false,
-                    1 => true,
-                    _ => return Err(WireError::Malformed("bad last-chunk flag")),
-                },
-                rows: cur.rows()?,
-            },
+            tag::SNAPSHOT_CHUNK => {
+                let name = cur.str()?;
+                let seq = cur.u64()?;
+                let flags = cur.u8()?;
+                if flags > 3 {
+                    return Err(WireError::Malformed("bad chunk flags"));
+                }
+                Frame::SnapshotChunk {
+                    name,
+                    seq,
+                    first: flags & 2 != 0,
+                    last: flags & 1 != 0,
+                    rows: cur.rows()?,
+                }
+            }
             tag::DELTA => Frame::Delta {
                 name: cur.str()?,
                 seq: cur.u64()?,
@@ -733,12 +761,14 @@ mod tests {
         roundtrip(Frame::SnapshotChunk {
             name: "feed".into(),
             seq: 7,
+            first: true,
             last: false,
             rows: vec![vec![1, 2], vec![3, 4]],
         });
         roundtrip(Frame::SnapshotChunk {
             name: "feed".into(),
             seq: 7,
+            first: false,
             last: true,
             rows: vec![],
         });
@@ -859,23 +889,24 @@ mod tests {
     }
 
     #[test]
-    fn bad_last_chunk_flag_is_rejected() {
+    fn bad_chunk_flags_are_rejected() {
         let mut bytes = Vec::new();
         Frame::SnapshotChunk {
             name: "q".into(),
             seq: 3,
+            first: true,
             last: true,
             rows: vec![vec![1]],
         }
         .encode_body(&mut bytes);
-        // The `last` byte sits right after the name (u16 len + 1 byte)
-        // and the u64 seq.
+        // The flags byte sits right after the name (u16 len + 1 byte)
+        // and the u64 seq: bit 0 = last, bit 1 = first.
         let flag_at = 1 + 2 + 1 + 8;
-        assert_eq!(bytes[flag_at], 1);
-        bytes[flag_at] = 2;
+        assert_eq!(bytes[flag_at], 3);
+        bytes[flag_at] = 4;
         assert!(matches!(
             Frame::decode_body(&bytes),
-            Err(WireError::Malformed("bad last-chunk flag"))
+            Err(WireError::Malformed("bad chunk flags"))
         ));
     }
 
@@ -890,6 +921,7 @@ mod tests {
             let Frame::SnapshotChunk {
                 name,
                 seq,
+                first,
                 last,
                 rows: chunk,
             } = frame
@@ -898,6 +930,7 @@ mod tests {
             };
             assert_eq!(name, "q");
             assert_eq!(*seq, 9);
+            assert_eq!(*first, i == 0);
             assert_eq!(*last, i == 49);
             assert_eq!(chunk.len(), 2);
             rebuilt.extend(chunk.iter().cloned());

@@ -376,6 +376,40 @@ impl OutQueue {
         true
     }
 
+    /// Enqueues a multi-frame control run — a chunked snapshot or a
+    /// chunked `Query` reply — as one unit: the hard cap is checked
+    /// once against the queue depth *before* the run, so a response
+    /// whose chunk count alone exceeds `hard_cap` still goes out
+    /// instead of killing the connection. Runs stay safe against
+    /// flooding because each one answers exactly one client command;
+    /// a client that issues another command without draining the
+    /// previous run finds the cap check waiting at the run boundary.
+    fn push_ctl_run(&self, frames: impl IntoIterator<Item = Arc<[u8]>>) -> bool {
+        let mut frames = frames.into_iter().peekable();
+        if frames.peek().is_none() {
+            // An empty run enqueues nothing, so it must not count as a
+            // push against the cap — handle_subscribe returns no reply
+            // frames right after attach() filled the queue with the
+            // snapshot run it already sent.
+            return true;
+        }
+        let mut st = lock(&self.state);
+        if st.closed {
+            return false;
+        }
+        if st.items.len() >= self.hard_cap {
+            st.closed = true;
+            st.items.clear();
+            drop(st);
+            self.cond.notify_all();
+            return false;
+        }
+        st.items.extend(frames.map(Out::Ctl));
+        drop(st);
+        self.cond.notify_one();
+        true
+    }
+
     fn push_delta(
         &self,
         query: &Arc<str>,
@@ -830,10 +864,13 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
                 msg: e.to_string(),
             }],
         };
-        for reply in replies {
-            if !conn.out.push_ctl(reply.encode().into()) {
-                return;
-            }
+        // One command, one run: a chunked Query reply counts against the
+        // hard cap as a unit, like the snapshot run in `attach`.
+        if !conn
+            .out
+            .push_ctl_run(replies.into_iter().map(|reply| reply.encode().into()))
+        {
+            return;
         }
     }
 }
@@ -977,10 +1014,8 @@ fn attach(
     if let Some(old) = lock(&conn.subs).remove(name) {
         old.store(false, Ordering::Relaxed);
     }
-    for frame in frames {
-        if !conn.out.push_ctl(frame) {
-            return Err(SourceError::Invalid("connection closed".into()));
-        }
+    if !conn.out.push_ctl_run(frames) {
+        return Err(SourceError::Invalid("connection closed".into()));
     }
     let live = Arc::new(AtomicBool::new(true));
     subs.push(ConnSub {
@@ -1087,5 +1122,60 @@ fn pump_loop(shared: &Shared, fanout: &FanOut, mut feed: Box<dyn FeedStream>) {
                 DeltaPush::Dead => false,
             }
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Arc<[u8]> {
+        Arc::from(vec![0u8; 4])
+    }
+
+    fn depth(q: &OutQueue) -> usize {
+        lock(&q.state).items.len()
+    }
+
+    /// A single bounded run may overshoot the hard cap; it is the *next*
+    /// push that finds the cap waiting. This is what lets a snapshot of
+    /// more than `hard_cap` chunks reach a fresh subscriber.
+    #[test]
+    fn ctl_run_is_admitted_as_a_unit() {
+        let q = OutQueue::new(1, 8);
+        assert!(q.push_ctl_run((0..100).map(|_| frame())));
+        assert_eq!(depth(&q), 100);
+        // The queue is now far past the hard cap: the next ctl push (or
+        // run) kills the connection, so a command flood cannot stack runs.
+        assert!(!q.push_ctl(frame()));
+        assert!(lock(&q.state).closed);
+    }
+
+    /// Per-frame pushes keep the original hard-cap behavior: the 8th
+    /// frame on an undrained queue closes it.
+    #[test]
+    fn per_frame_pushes_still_trip_the_hard_cap() {
+        let q = OutQueue::new(1, 8);
+        for _ in 0..8 {
+            assert!(q.push_ctl(frame()));
+        }
+        assert!(!q.push_ctl(frame()));
+        assert!(
+            !q.push_ctl_run(std::iter::once(frame())),
+            "closed for runs too"
+        );
+    }
+
+    /// The cap check happens at the run boundary: a second non-empty run
+    /// against an undrained queue closes it, while an empty run (no
+    /// frames to enqueue) is a no-op even then.
+    #[test]
+    fn run_boundary_checks_cap_before_admitting() {
+        let q = OutQueue::new(1, 4);
+        assert!(q.push_ctl_run((0..4).map(|_| frame())));
+        assert!(q.push_ctl_run(std::iter::empty()), "empty run is a no-op");
+        assert!(!lock(&q.state).closed);
+        assert!(!q.push_ctl_run((0..4).map(|_| frame())));
+        assert!(lock(&q.state).closed);
     }
 }

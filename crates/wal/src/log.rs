@@ -127,11 +127,20 @@ pub struct Wal {
     opts: WalOptions,
     seg: Box<dyn WalFile>,
     seg_index: u64,
+    /// Bytes of the current segment known good: header plus every fully
+    /// committed frame. Bytes past it are suspect after a failed commit.
     seg_len: u64,
     /// Frames staged by [`Wal::append`], written at [`Wal::commit`].
     pending: Vec<u8>,
     commits_since_sync: u32,
     last_sync: Instant,
+    /// Set when a commit failed mid-write: the segment tail past
+    /// `seg_len` may hold torn — or worse, *complete but
+    /// unacknowledged* — frames. No commit is accepted until
+    /// [`Wal::repair`] truncates the suspect tail and rotates, so an
+    /// acknowledged frame can never land after bytes recovery would
+    /// truncate at (or refuse as mid-log corruption).
+    torn: bool,
 }
 
 impl std::fmt::Debug for Wal {
@@ -159,6 +168,7 @@ impl Wal {
             pending: Vec::new(),
             commits_since_sync: 0,
             last_sync: Instant::now(),
+            torn: false,
         };
         wal.open_segment(next_segment)?;
         Ok(wal)
@@ -197,31 +207,90 @@ impl Wal {
     /// Writes staged frames to the segment and applies the fsync
     /// policy. Returns `true` if the commit is durably synced. Rotates
     /// afterward if the segment outgrew its budget.
+    ///
+    /// A failed commit **poisons the writer**: the frames it staged are
+    /// dropped (the caller's operation failed and must not be logged),
+    /// the segment tail past the last committed frame is suspect — it
+    /// may hold torn bytes, or complete frames the caller was told did
+    /// *not* commit — and every later commit first has to
+    /// [`Wal::repair`] (truncate the suspect tail, open a fresh
+    /// segment) before any new frame is accepted. Repair is also
+    /// attempted eagerly on the failure itself, so on the happy
+    /// transient-fault path (ENOSPC blip, one bad fsync) the disk never
+    /// holds an unacknowledged frame across the error return.
     pub fn commit(&mut self) -> io::Result<bool> {
+        if self.torn {
+            if let Err(e) = self.repair() {
+                // Still poisoned: the staged frames of THIS operation
+                // must not survive either — its caller sees the error.
+                self.pending.clear();
+                return Err(e);
+            }
+        }
         if self.pending.is_empty() {
             return Ok(true);
         }
         let pending = std::mem::take(&mut self.pending);
-        self.seg.append(&pending)?;
-        self.seg_len += pending.len() as u64;
-        self.commits_since_sync += 1;
+        if let Err(e) = self.seg.append(&pending) {
+            return Err(self.poison(e));
+        }
+        let commits = self.commits_since_sync + 1;
         let sync = match self.opts.fsync {
             FsyncPolicy::Always => true,
-            FsyncPolicy::EveryN(n) => self.commits_since_sync >= n.max(1),
+            FsyncPolicy::EveryN(n) => commits >= n.max(1),
             FsyncPolicy::Interval(d) => self.last_sync.elapsed() >= d,
             FsyncPolicy::Never => false,
         };
         if sync {
-            self.sync()?;
+            if let Err(e) = self.sync_seg() {
+                return Err(self.poison(e));
+            }
+        } else {
+            self.commits_since_sync = commits;
         }
-        if self.seg_len >= self.opts.segment_bytes {
-            self.rotate()?;
+        self.seg_len += pending.len() as u64;
+        if self.seg_len >= self.opts.segment_bytes && self.rotate().is_err() {
+            // The commit itself is complete and acknowledged; fold the
+            // failed rotation into the next commit's repair (which
+            // truncates nothing — seg_len is current — and opens the
+            // next segment, exactly what rotation wanted).
+            self.torn = true;
         }
         Ok(sync)
     }
 
-    /// Forces an fsync of the current segment.
+    /// Marks the segment tail suspect and attempts an immediate repair
+    /// (best effort — if it fails too, the next commit retries).
+    /// Returns `e` for the caller to propagate.
+    fn poison(&mut self, e: io::Error) -> io::Error {
+        self.torn = true;
+        let _ = self.repair();
+        e
+    }
+
+    /// Cuts the suspect tail off the current segment (back to the last
+    /// committed frame) and seals it by opening the next segment — the
+    /// stale handle is never appended to again, so the truncated file
+    /// can't grow a hole. Only on full success does the writer accept
+    /// commits again.
+    fn repair(&mut self) -> io::Result<()> {
+        self.dir
+            .truncate(&segment_name(self.seg_index), self.seg_len)?;
+        self.open_segment(self.seg_index + 1)?;
+        self.torn = false;
+        Ok(())
+    }
+
+    /// Forces an fsync of the current segment (repairing a poisoned
+    /// writer first, so the sync covers a clean tail).
     pub fn sync(&mut self) -> io::Result<()> {
+        if self.torn {
+            self.repair()?;
+        }
+        self.sync_seg()
+    }
+
+    fn sync_seg(&mut self) -> io::Result<()> {
         self.seg.sync()?;
         self.commits_since_sync = 0;
         self.last_sync = Instant::now();
@@ -455,6 +524,117 @@ fn scan_segment(
 mod tests {
     use super::*;
     use crate::vfs::FsDir;
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex};
+
+    /// An in-memory dir with *transient* fault injection: unlike a
+    /// crash simulator, the dir keeps working after a fault — modeling
+    /// an ENOSPC blip or one failed fsync in a process that lives on.
+    #[derive(Clone, Default)]
+    struct FlakyDir {
+        inner: Arc<Mutex<FlakyState>>,
+    }
+
+    #[derive(Default)]
+    struct FlakyState {
+        files: BTreeMap<String, Vec<u8>>,
+        /// Queued append faults: each entry makes one append write only
+        /// that many bytes, then error.
+        fail_append: std::collections::VecDeque<usize>,
+        /// Next file sync errors once.
+        fail_sync: bool,
+    }
+
+    impl FlakyDir {
+        fn arm_append(&self, partial: usize) {
+            self.inner.lock().unwrap().fail_append.push_back(partial);
+        }
+        fn arm_sync(&self) {
+            self.inner.lock().unwrap().fail_sync = true;
+        }
+    }
+
+    struct FlakyFile {
+        name: String,
+        inner: Arc<Mutex<FlakyState>>,
+    }
+
+    impl WalFile for FlakyFile {
+        fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+            let mut st = self.inner.lock().unwrap();
+            let landed = match st.fail_append.pop_front() {
+                Some(partial) => partial.min(buf.len()),
+                None => buf.len(),
+            };
+            st.files
+                .get_mut(&self.name)
+                .expect("open handle")
+                .extend_from_slice(&buf[..landed]);
+            if landed < buf.len() {
+                return Err(io::Error::other("transient write fault"));
+            }
+            Ok(())
+        }
+        fn sync(&mut self) -> io::Result<()> {
+            let mut st = self.inner.lock().unwrap();
+            if std::mem::take(&mut st.fail_sync) {
+                return Err(io::Error::other("transient fsync fault"));
+            }
+            Ok(())
+        }
+    }
+
+    impl WalDir for FlakyDir {
+        fn create(&self, name: &str) -> io::Result<Box<dyn WalFile>> {
+            let mut st = self.inner.lock().unwrap();
+            st.files.insert(name.to_string(), Vec::new());
+            Ok(Box::new(FlakyFile {
+                name: name.to_string(),
+                inner: Arc::clone(&self.inner),
+            }))
+        }
+        fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+            self.inner
+                .lock()
+                .unwrap()
+                .files
+                .get(name)
+                .cloned()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+        }
+        fn list(&self) -> io::Result<Vec<String>> {
+            Ok(self.inner.lock().unwrap().files.keys().cloned().collect())
+        }
+        fn remove(&self, name: &str) -> io::Result<()> {
+            self.inner
+                .lock()
+                .unwrap()
+                .files
+                .remove(name)
+                .map(|_| ())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+        }
+        fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+            let mut st = self.inner.lock().unwrap();
+            let body = st
+                .files
+                .remove(from)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, from.to_string()))?;
+            st.files.insert(to.to_string(), body);
+            Ok(())
+        }
+        fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+            let mut st = self.inner.lock().unwrap();
+            st.files
+                .get_mut(name)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?
+                .truncate(len as usize);
+            Ok(())
+        }
+        fn sync_dir(&self) -> io::Result<()> {
+            Ok(())
+        }
+    }
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("cqu-wal-test-{tag}-{}", std::process::id()));
@@ -568,6 +748,90 @@ mod tests {
         assert_eq!(rec.checkpoint, Some((5, b"state-at-5".to_vec())));
         assert_eq!(rec.records, vec![upd(6)]);
         std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    /// A torn append must not let later acknowledged commits land
+    /// after the torn bytes: the writer repairs (truncate + rotate)
+    /// before accepting them, so recovery replays exactly the
+    /// acknowledged set — never `Corrupt`, never a silent drop.
+    #[test]
+    fn failed_commit_poisons_and_repairs_before_later_commits() {
+        let dir = FlakyDir::default();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        wal.append(&upd(1));
+        wal.commit().unwrap();
+
+        // Tear the next commit 5 bytes into its frame.
+        dir.arm_append(5);
+        wal.append(&upd(2));
+        assert!(wal.commit().is_err());
+
+        // The eager repair already cut the torn tail and rotated; the
+        // next commit is acknowledged on a clean segment.
+        wal.append(&upd(3));
+        assert!(wal.commit().unwrap());
+        assert!(wal.segment_index() > 1, "repair must seal the torn segment");
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records, vec![upd(1), upd(3)]);
+        assert!(rec.truncated.is_none(), "repair left no torn tail behind");
+    }
+
+    /// A failed fsync leaves *complete but unacknowledged* frames in
+    /// the file; repair must remove them so recovery cannot replay a
+    /// commit whose caller was told it failed.
+    #[test]
+    fn failed_sync_discards_the_unacknowledged_frames() {
+        let dir = FlakyDir::default();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        wal.append(&upd(1));
+        wal.commit().unwrap();
+
+        dir.arm_sync();
+        wal.append(&upd(2));
+        assert!(wal.commit().is_err());
+
+        wal.append(&upd(3));
+        assert!(wal.commit().unwrap());
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(
+            rec.records,
+            vec![upd(1), upd(3)],
+            "the unacknowledged frame of the failed commit must not survive"
+        );
+    }
+
+    /// While repair itself keeps failing, no commit may be
+    /// acknowledged — and staged frames of failed operations must not
+    /// leak into a later successful commit.
+    #[test]
+    fn unrepaired_writer_refuses_commits_without_leaking_frames() {
+        let dir = FlakyDir::default();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        wal.append(&upd(1));
+        wal.commit().unwrap();
+
+        // Three queued faults: tear a frame, fail the eager repair
+        // (fresh segment's header append), then fail the deferred
+        // repair on the next commit too.
+        dir.arm_append(3);
+        dir.arm_append(0);
+        dir.arm_append(0);
+        wal.append(&upd(2));
+        assert!(wal.commit().is_err());
+        // Deferred repair fails as well: this commit must error and
+        // drop its staged frame.
+        wal.append(&upd(3));
+        assert!(wal.commit().is_err());
+
+        // Fault clears; the next commit repairs and succeeds — with
+        // only its own frame.
+        wal.append(&upd(4));
+        assert!(wal.commit().unwrap());
+
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records, vec![upd(1), upd(4)]);
     }
 
     #[test]

@@ -813,6 +813,14 @@ impl DurableSession {
     /// On `Err` (or a log failure), the in-memory transaction rolls
     /// back and a `SeqBurn` compensation record keeps the on-disk seq
     /// budget aligned with the burned in-memory numbers.
+    ///
+    /// A *failed* log commit cannot haunt recovery: the WAL poisons
+    /// itself on any mid-commit error and repairs by truncating the
+    /// suspect tail — including a fully framed `TxBegin … TxCommit`
+    /// that reached the file but whose caller was told `Err` — before
+    /// accepting another frame. The `SeqBurn` therefore lands on a
+    /// fresh segment after the repair (or not at all if the fault
+    /// persists), never behind torn bytes that recovery would truncate.
     pub fn transaction<R>(
         &self,
         f: impl FnOnce(&mut DurableTransaction<'_, '_>) -> Result<R, CqError>,

@@ -674,3 +674,217 @@ fn sharded_mode_roundtrip_and_sealed_registration() {
     );
     assert_eq!(rec.snapshot("via_core").unwrap().count(), 1);
 }
+
+// ---------------------------------------------------------------------------
+// Transient-fault regressions: a commit the caller saw fail must never be
+// replayed, and commits acknowledged *after* a fault must always survive.
+// ---------------------------------------------------------------------------
+
+use cq_updates::wal::WalFile;
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// Pending one-shot faults for [`FaultyDir`].
+#[derive(Default)]
+struct Faults {
+    /// Next append writes only this many bytes, then errors (torn write).
+    append_partial: Option<usize>,
+    /// Next fsync errors without flushing (fsyncgate).
+    sync_fail: bool,
+}
+
+/// A [`WalDir`] over a [`SimDisk`] that injects *transient* faults: one
+/// append or fsync fails, the process survives, and every later call
+/// succeeds. `SimDisk` itself can only model fail-stop crashes (once
+/// crashed, everything fails forever), so this wrapper is what lets a
+/// test exercise the writer's poison-and-repair path and then keep
+/// using the same session.
+#[derive(Clone)]
+struct FaultyDir {
+    disk: SimDisk,
+    faults: Arc<Mutex<Faults>>,
+}
+
+impl FaultyDir {
+    fn new(disk: &SimDisk) -> FaultyDir {
+        FaultyDir {
+            disk: disk.clone(),
+            faults: Arc::default(),
+        }
+    }
+
+    fn fail_next_append(&self, partial: usize) {
+        self.faults.lock().unwrap().append_partial = Some(partial);
+    }
+
+    fn fail_next_sync(&self) {
+        self.faults.lock().unwrap().sync_fail = true;
+    }
+}
+
+struct FaultyFile {
+    inner: Box<dyn WalFile>,
+    faults: Arc<Mutex<Faults>>,
+}
+
+impl WalFile for FaultyFile {
+    fn append(&mut self, buf: &[u8]) -> io::Result<()> {
+        let armed = self.faults.lock().unwrap().append_partial.take();
+        match armed {
+            Some(k) => {
+                // The torn prefix reaches the page cache before the error
+                // surfaces, exactly like a short write under ENOSPC.
+                self.inner.append(&buf[..k.min(buf.len())])?;
+                Err(io::Error::other("injected torn write"))
+            }
+            None => self.inner.append(buf),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if std::mem::take(&mut self.faults.lock().unwrap().sync_fail) {
+            // Fail WITHOUT flushing: the appended bytes stay dirty in the
+            // page cache, free to hit disk later via OS writeback.
+            return Err(io::Error::other("injected fsync fault"));
+        }
+        self.inner.sync()
+    }
+}
+
+impl WalDir for FaultyDir {
+    fn create(&self, name: &str) -> io::Result<Box<dyn WalFile>> {
+        Ok(Box::new(FaultyFile {
+            inner: self.disk.create(name)?,
+            faults: Arc::clone(&self.faults),
+        }))
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.disk.read(name)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.disk.list()
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.disk.remove(name)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        self.disk.rename(from, to)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        self.disk.truncate(name, len)
+    }
+
+    fn sync_dir(&self) -> io::Result<()> {
+        self.disk.sync_dir()
+    }
+}
+
+/// The most adversarial recovery view: every byte the process ever
+/// wrote reached disk, fsynced or not — the OS flushed the whole page
+/// cache before the "crash". Anything the repair path left in a
+/// segment file is visible to recovery here.
+fn full_view(disk: &SimDisk) -> SimDisk {
+    let view = SimDisk::new();
+    for name in disk.names() {
+        view.put_file(&name, &disk.file(&name).unwrap());
+    }
+    view
+}
+
+/// REVIEW finding 2: a transaction whose `wal.commit()` failed on fsync
+/// has a fully framed `TxBegin … TxCommit` sitting in the page cache.
+/// The caller was told `Err` and rolled back in memory — so even if the
+/// OS later flushes everything, recovery must not replay the tx, and
+/// the compensating `SeqBurn` must keep the seq counter in lockstep.
+#[test]
+fn failed_tx_commit_is_never_replayed() {
+    let disk = SimDisk::new();
+    let faulty = FaultyDir::new(&disk);
+    let sess =
+        DurableSession::create(Box::new(faulty.clone()), small_opts(FsyncPolicy::Always)).unwrap();
+    for (name, src) in QUERIES {
+        sess.register(name, src).unwrap();
+    }
+    let e = sess.relation("E").unwrap();
+    let t = sess.relation("T").unwrap();
+    sess.apply_batch(&[Update::Insert(e, vec![1, 2]), Update::Insert(t, vec![2])])
+        .unwrap();
+    let before = sess.snapshot("qh").unwrap().results_sorted();
+    assert_eq!(before, vec![vec![1, 2]]);
+
+    // The tx frames append cleanly; the commit's fsync fails.
+    faulty.fail_next_sync();
+    let res = sess.transaction(|tx| {
+        tx.apply(&Update::Insert(e, vec![7, 2]))?;
+        Ok(())
+    });
+    assert!(matches!(res, Err(DurableError::Wal(_))));
+    assert_eq!(sess.snapshot("qh").unwrap().results_sorted(), before);
+
+    let rec = DurableSession::recover(Box::new(full_view(&disk)), small_opts(FsyncPolicy::Always))
+        .unwrap();
+    assert_eq!(
+        rec.snapshot("qh").unwrap().results_sorted(),
+        before,
+        "a transaction whose caller saw Err must not be replayed"
+    );
+    assert_eq!(
+        rec.seq().unwrap(),
+        sess.seq().unwrap(),
+        "the SeqBurn must survive the repair so recovery lands on the live seq"
+    );
+
+    // The survivor session keeps working, and its post-fault commits are
+    // durable: recovery sees them even through the strictest view.
+    sess.apply_batch(&[Update::Insert(e, vec![9, 2])]).unwrap();
+    let after = sess.snapshot("qh").unwrap().results_sorted();
+    let rec2 = DurableSession::recover(Box::new(full_view(&disk)), small_opts(FsyncPolicy::Always))
+        .unwrap();
+    assert_eq!(rec2.snapshot("qh").unwrap().results_sorted(), after);
+    assert_eq!(rec2.seq().unwrap(), sess.seq().unwrap());
+}
+
+/// REVIEW finding 1: a torn append must not leave the writer appending
+/// acknowledged commits behind suspect bytes. Batch B tears mid-frame;
+/// batch C is then acknowledged. Recovery — even from a view where the
+/// torn bytes reached disk — must produce exactly A + C.
+#[test]
+fn acknowledged_writes_survive_a_torn_predecessor() {
+    let disk = SimDisk::new();
+    let faulty = FaultyDir::new(&disk);
+    let sess =
+        DurableSession::create(Box::new(faulty.clone()), small_opts(FsyncPolicy::Always)).unwrap();
+    for (name, src) in QUERIES {
+        sess.register(name, src).unwrap();
+    }
+    let e = sess.relation("E").unwrap();
+    let t = sess.relation("T").unwrap();
+
+    // Batch A: committed and fsynced.
+    sess.apply_batch(&[Update::Insert(e, vec![1, 2]), Update::Insert(t, vec![2])])
+        .unwrap();
+
+    // Batch B: the frame tears three bytes in.
+    faulty.fail_next_append(3);
+    let res = sess.apply_batch(&[Update::Insert(e, vec![5, 2])]);
+    assert!(matches!(res, Err(DurableError::Wal(_))));
+
+    // Batch C: acknowledged after the fault — a durability promise.
+    sess.apply_batch(&[Update::Insert(e, vec![9, 2])]).unwrap();
+    let live = sess.snapshot("qh").unwrap().results_sorted();
+    assert_eq!(live, vec![vec![1, 2], vec![9, 2]]);
+
+    let rec = DurableSession::recover(Box::new(full_view(&disk)), small_opts(FsyncPolicy::Always))
+        .unwrap();
+    assert_eq!(
+        rec.snapshot("qh").unwrap().results_sorted(),
+        live,
+        "acknowledged commits after a torn write must survive recovery"
+    );
+    assert_eq!(rec.seq().unwrap(), sess.seq().unwrap());
+}

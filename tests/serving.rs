@@ -933,3 +933,53 @@ fn tcp_silent_connections_time_out_and_the_conn_cap_holds() {
     drop(c2);
     let _ = connect_by(Instant::now() + Duration::from_secs(10));
 }
+
+/// A snapshot whose chunk count dwarfs the connection's hard cap must
+/// still be servable: the run is admitted against the cap as one unit
+/// (it answers a single command) instead of killing the connection
+/// mid-run, for both the `Subscribe` and the one-shot `Query` paths.
+#[test]
+fn tcp_snapshot_runs_longer_than_hard_cap_still_serve() {
+    let mut session = Session::new();
+    session.register("feed", ROUTES[0].1).unwrap();
+    let e = session.relation("E").unwrap();
+    let t = session.relation("T").unwrap();
+    let shared = SharedSession::new(session);
+    let source = Arc::new(SessionSource::new(shared.clone(), 1 << 16).unwrap());
+    let server = ServerHandle::bind_with(
+        "127.0.0.1:0",
+        source,
+        ServeConfig {
+            queue_cap: 1,
+            hard_cap: 4,
+            // One row per chunk: a 300-row snapshot is a 300-chunk run,
+            // 75x the hard cap.
+            snapshot_chunk_bytes: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    shared.apply(&Update::Insert(t, vec![1])).unwrap();
+    let ins: Vec<Update> = (0..300u64).map(|i| Update::Insert(e, vec![i, 1])).collect();
+    shared.apply_batch(&ins).unwrap();
+    let final_rows = shared.snapshot("feed").unwrap().results_sorted();
+    assert_eq!(final_rows.len(), 300);
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    // One-shot Query: the reply run alone exceeds the hard cap.
+    let (_, rows) = client.query("feed").unwrap();
+    assert_eq!(sorted(rows), final_rows);
+
+    // Subscribe: Subscribed + 300 chunks, again one run.
+    let (mode, _) = client.subscribe("feed", None).unwrap();
+    assert_eq!(mode, SubscribeMode::Live);
+    let mut mirror = Mirror::new();
+    wait_rows(
+        &mut client,
+        &mut mirror,
+        "feed",
+        &final_rows,
+        Duration::from_secs(30),
+    );
+}
