@@ -1,0 +1,160 @@
+//! E15: replication costs.
+//!
+//! Two claims from the log-shipping tentpole, measured:
+//!
+//! * **Replication lag vs commit rate** — round-trip time from a leader
+//!   commit to the follower's `applied_seq()` watermark covering it,
+//!   per batch size. The shipped bytes ride the already-framed WAL
+//!   records (one encode per commit, shared by every follower), so lag
+//!   should track batch size roughly linearly and stay in the
+//!   microsecond band on loopback.
+//! * **Follower read throughput scaling** — aggregate pinned-read
+//!   throughput across N fully synced replicas, all reading
+//!   concurrently. Replica reads are lock-free pins on replica-local
+//!   state, so aggregate throughput should scale with N — the point of
+//!   log-shipping read replicas.
+
+use cq_updates::prelude::*;
+use cq_updates::storage::workload::{churn_updates, rng, ChurnConfig};
+use cq_updates::{ReplicaSession, ReplicationServer};
+use cqu_testutil::SimDisk;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use std::time::Duration;
+
+const QUERY: (&str, &str) = ("q", "Q(x, y) :- E(x, y), T(y).");
+const SYNC: Duration = Duration::from_secs(10);
+
+fn workload(schema: &Schema, steps: usize) -> Vec<Update> {
+    let mut r = rng(0x5EED);
+    churn_updates(
+        &mut r,
+        schema,
+        steps,
+        ChurnConfig {
+            domain: 300,
+            insert_bias: 0.6,
+        },
+    )
+}
+
+fn leader() -> Arc<DurableSession> {
+    let opts = DurableOptions {
+        fsync: FsyncPolicy::Never, // isolate shipping, not fsync
+        segment_bytes: 32 << 20,
+    };
+    let sess = DurableSession::create(Box::new(SimDisk::new()), opts).unwrap();
+    sess.register(QUERY.0, QUERY.1).unwrap();
+    Arc::new(sess)
+}
+
+fn schema_of(sess: &DurableSession) -> Schema {
+    sess.shared()
+        .expect("single-writer mode")
+        .read(|s| s.schema().clone())
+        .unwrap()
+}
+
+/// Commit-to-watermark lag per batch: each iteration commits one batch
+/// on the leader and blocks until the follower's watermark covers it.
+fn bench_replication_lag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_replication_lag");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+
+    for batch in [1usize, 16, 128, 1024] {
+        let sess = leader();
+        let server =
+            ReplicationServer::bind("127.0.0.1:0", Arc::clone(&sess), LeaderConfig::default())
+                .unwrap();
+        let replica =
+            ReplicaSession::connect(server.local_addr(), ReplicaOptions::default()).unwrap();
+        let script = workload(&schema_of(&sess), 1 << 16);
+        let mut at = 0;
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_function(BenchmarkId::new("commit_to_watermark", batch), |b| {
+            b.iter(|| {
+                let chunk = &script[at..at + batch];
+                at = (at + batch) % (script.len() - batch);
+                sess.apply_batch(chunk).unwrap();
+                let head = sess.seq().unwrap();
+                assert!(replica.wait_for_seq(head, SYNC), "follower fell behind");
+                head
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Aggregate pinned-read throughput over N synced replicas, each read
+/// a lock-free pin + O(1) count on replica-local state.
+fn bench_follower_read_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_follower_read_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(600));
+
+    let sess = leader();
+    let server =
+        ReplicationServer::bind("127.0.0.1:0", Arc::clone(&sess), LeaderConfig::default()).unwrap();
+    for chunk in workload(&schema_of(&sess), 20_000).chunks(512) {
+        sess.apply_batch(chunk).unwrap();
+    }
+    let head = sess.seq().unwrap();
+
+    // The single-node baseline: the same pinned read on the leader.
+    {
+        let reader = sess
+            .shared()
+            .unwrap()
+            .read(|s| s.query(QUERY.0).map(|h| h.pin_reader()))
+            .unwrap()
+            .unwrap();
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("pins", "leader_only"), |b| {
+            b.iter(|| reader.pin().count())
+        });
+    }
+
+    for n in [1usize, 2, 4] {
+        let replicas: Vec<ReplicaSession> = (0..n)
+            .map(|_| {
+                ReplicaSession::connect(server.local_addr(), ReplicaOptions::default()).unwrap()
+            })
+            .collect();
+        let readers: Vec<PinReader> = replicas
+            .iter()
+            .map(|r| {
+                assert!(r.wait_for_seq(head, SYNC));
+                r.reader(QUERY.0).unwrap()
+            })
+            .collect();
+        // One iteration = `READS` pinned reads on each of the N
+        // replicas concurrently, so per-element time falling with N is
+        // aggregate throughput scaling.
+        const READS: usize = 256;
+        group.throughput(Throughput::Elements((n * READS) as u64));
+        group.bench_function(BenchmarkId::new("pins", format!("{n}_replicas")), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for reader in &readers {
+                        scope.spawn(move || {
+                            let mut acc = 0u64;
+                            for _ in 0..READS {
+                                acc += reader.pin().count();
+                            }
+                            std::hint::black_box(acc)
+                        });
+                    }
+                });
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(e15, bench_replication_lag, bench_follower_read_scaling);
+criterion_main!(e15);

@@ -1,0 +1,400 @@
+//! The follower runtime: a reconnect loop that handshakes, bootstraps
+//! or resumes, and feeds decoded records to a [`ReplicaApply`].
+//!
+//! The network half lives here; the *semantic* half — rebuilding a
+//! session from a checkpoint body, applying update records, tracking
+//! the applied watermark — is behind the [`ReplicaApply`] trait, which
+//! `cq-updates` implements over its session machinery. Keeping the two
+//! apart keeps this crate engine-agnostic (and lets protocol tests
+//! script a follower against an in-memory applier).
+//!
+//! The loop's lifecycle:
+//!
+//! ```text
+//! connect ── Hello{epoch, cursor} ──▶ Welcome
+//!    ▲            │ reset? ── CkptChunk* ──▶ apply.reset(..)
+//!    │            ▼
+//!    │        Records / Heartbeat ──▶ apply ──▶ Ack{applied_seq}
+//!    │            │ socket error, kick(), leader restart
+//!    └── backoff ─┘   (on_disconnect: drop partial state, keep cursor)
+//! ```
+//!
+//! Any stream error tears the connection down and re-enters the
+//! handshake with the applier's durable `(epoch, cursor)`; the leader
+//! then decides resume vs. re-bootstrap. [`Follower::kick`] forces that
+//! path on demand — the fault-injection hook the convergence tests use.
+
+use crate::protocol::{read_frame, Frame, REPL_VERSION};
+use cqu_wal::Rec;
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The state-machine half of a follower: everything the network loop
+/// needs from the replica's session layer.
+///
+/// Methods run on the follower thread; implementations publish applied
+/// state to readers however they like (the `cq-updates` glue swaps a
+/// backend behind an `RwLock` and bumps an atomic watermark).
+pub trait ReplicaApply: Send + 'static {
+    /// Starts over from a leader bootstrap: discard local state and
+    /// rebuild from `checkpoint` (`None` means the leader ships its
+    /// whole log from seq 0). `sharded` is the leader's session mode.
+    fn reset(&mut self, sharded: bool, checkpoint: Option<(u64, Vec<u8>)>) -> Result<(), String>;
+
+    /// Applies a decoded record batch (catch-up or live), returning the
+    /// new applied watermark. Records at or below the current cursor
+    /// must be skipped — resume boundaries and the attach splice can
+    /// replay overlap.
+    fn apply_records(&mut self, recs: &[Rec]) -> Result<u64, String>;
+
+    /// The durable applied watermark — the resume cursor offered at the
+    /// next handshake.
+    fn cursor(&self) -> u64;
+
+    /// The leader epoch this replica's state was built against (0 =
+    /// never synced; always bootstraps).
+    fn epoch(&self) -> u64;
+
+    /// Records the epoch of the leader that accepted the handshake.
+    fn set_epoch(&mut self, epoch: u64);
+
+    /// An idle heartbeat carrying the leader's head seq. Returns the
+    /// applied watermark to ack (a chance to flush buffered work).
+    fn on_heartbeat(&mut self, head_seq: u64) -> Result<u64, String>;
+
+    /// The connection died: drop partial in-flight state (buffered
+    /// transactions) but keep everything applied — the cursor must
+    /// reflect only completed work.
+    fn on_disconnect(&mut self);
+}
+
+/// Follower tuning knobs.
+#[derive(Debug, Clone)]
+pub struct FollowerConfig {
+    /// Backoff between reconnect attempts.
+    pub reconnect: Duration,
+    /// Timeout for connect and for each handshake/bootstrap frame.
+    pub handshake_timeout: Duration,
+    /// If no frame (heartbeats included) arrives for this long, the
+    /// connection is presumed dead and re-established. Must exceed the
+    /// leader's heartbeat interval. `None` waits forever.
+    pub dead_after: Option<Duration>,
+}
+
+impl Default for FollowerConfig {
+    fn default() -> FollowerConfig {
+        FollowerConfig {
+            reconnect: Duration::from_millis(200),
+            handshake_timeout: Duration::from_secs(10),
+            dead_after: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// A point-in-time copy of the follower's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FollowerStats {
+    /// Successful handshakes over the follower's lifetime.
+    pub connects: u64,
+    /// Handshakes that required a bootstrap (reset).
+    pub bootstraps: u64,
+    /// Handshakes satisfied by cursor resume.
+    pub resumes: u64,
+    /// Connections lost after a successful handshake.
+    pub disconnects: u64,
+    /// Whether a connection is currently established.
+    pub connected: bool,
+    /// The leader's committed head seq as last reported (0 before the
+    /// first welcome).
+    pub leader_head: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connects: AtomicU64,
+    bootstraps: AtomicU64,
+    resumes: AtomicU64,
+    disconnects: AtomicU64,
+    connected: AtomicBool,
+    leader_head: AtomicU64,
+}
+
+struct Shared {
+    stop: AtomicBool,
+    kick: AtomicBool,
+    /// The live socket, for `kick`/`stop` to shut down from outside.
+    conn: Mutex<Option<TcpStream>>,
+    stats: Counters,
+}
+
+impl Shared {
+    fn sever(&self) {
+        if let Some(s) = lock(&self.conn).as_ref() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running follower: owns the network thread driving a
+/// [`ReplicaApply`] (see the module docs). Dropping it stops the
+/// thread.
+pub struct Follower {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Follower {
+    /// Starts the reconnect loop against the leader at `addr`.
+    pub fn spawn(
+        addr: SocketAddr,
+        apply: Box<dyn ReplicaApply>,
+        config: FollowerConfig,
+    ) -> io::Result<Follower> {
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            kick: AtomicBool::new(false),
+            conn: Mutex::new(None),
+            stats: Counters::default(),
+        });
+        let handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cqu-repl-follow".into())
+                .spawn(move || follow_loop(addr, apply, config, &shared))?
+        };
+        Ok(Follower {
+            shared,
+            handle: Some(handle),
+        })
+    }
+
+    /// A point-in-time copy of the follower counters.
+    pub fn stats(&self) -> FollowerStats {
+        let c = &self.shared.stats;
+        FollowerStats {
+            connects: c.connects.load(Ordering::Relaxed),
+            bootstraps: c.bootstraps.load(Ordering::Relaxed),
+            resumes: c.resumes.load(Ordering::Relaxed),
+            disconnects: c.disconnects.load(Ordering::Relaxed),
+            connected: c.connected.load(Ordering::Relaxed),
+            leader_head: c.leader_head.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Severs the current connection (if any), forcing a disconnect /
+    /// resume cycle — the fault-injection hook for tests.
+    pub fn kick(&self) {
+        self.shared.kick.store(true, Ordering::SeqCst);
+        self.shared.sever();
+    }
+
+    /// Stops the network thread and joins it. Idempotent; also runs on
+    /// drop.
+    pub fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.sever();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Follower {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for Follower {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Follower")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Sleeps `total` in short slices so `stop()` is honored promptly.
+fn backoff(shared: &Shared, total: Duration) {
+    let slice = Duration::from_millis(20);
+    let mut left = total;
+    while !left.is_zero() && !shared.stop.load(Ordering::SeqCst) {
+        let step = left.min(slice);
+        std::thread::sleep(step);
+        left -= step;
+    }
+}
+
+fn follow_loop(
+    addr: SocketAddr,
+    mut apply: Box<dyn ReplicaApply>,
+    config: FollowerConfig,
+    shared: &Shared,
+) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        shared.kick.store(false, Ordering::SeqCst);
+        let stream = match TcpStream::connect_timeout(&addr, config.handshake_timeout) {
+            Ok(s) => s,
+            Err(_) => {
+                backoff(shared, config.reconnect);
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        *lock(&shared.conn) = stream.try_clone().ok();
+        let synced = run_session(&stream, apply.as_mut(), &config, shared);
+        *lock(&shared.conn) = None;
+        let _ = stream.shutdown(Shutdown::Both);
+        shared.stats.connected.store(false, Ordering::Relaxed);
+        if synced {
+            // Completed a handshake before dying: count the loss and
+            // let the applier drop partial in-flight state.
+            apply.on_disconnect();
+            shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        backoff(shared, config.reconnect);
+    }
+}
+
+/// Reads the chunked checkpoint transfer that follows a
+/// `Welcome { ckpt: true }`. A repeated `first` flag restarts the
+/// buffer (a leader would only re-send from the top).
+fn read_ckpt(stream: &mut &TcpStream) -> Result<(u64, Vec<u8>), ()> {
+    let mut seq = 0u64;
+    let mut body: Option<Vec<u8>> = None;
+    loop {
+        match read_frame(stream) {
+            Ok(Frame::CkptChunk {
+                seq: s,
+                first,
+                last,
+                bytes,
+            }) => {
+                match &mut body {
+                    Some(buf) if !first => {
+                        if s != seq {
+                            return Err(()); // interleaved transfers
+                        }
+                        buf.extend_from_slice(&bytes);
+                    }
+                    _ if first => {
+                        seq = s;
+                        body = Some(bytes);
+                    }
+                    _ => return Err(()), // continuation with no start
+                }
+                if last {
+                    return Ok((seq, body.take().unwrap_or_default()));
+                }
+            }
+            _ => return Err(()),
+        }
+    }
+}
+
+/// One connection's lifetime, handshake through stream error. Returns
+/// whether the handshake completed (i.e. the loss counts as a
+/// disconnect).
+fn run_session(
+    stream: &TcpStream,
+    apply: &mut dyn ReplicaApply,
+    config: &FollowerConfig,
+    shared: &Shared,
+) -> bool {
+    let timeout = Some(config.handshake_timeout).filter(|t| !t.is_zero());
+    if stream.set_read_timeout(timeout).is_err() {
+        return false;
+    }
+    let mut r = stream;
+    let mut w = stream;
+
+    let hello = Frame::Hello {
+        version: REPL_VERSION,
+        epoch: apply.epoch(),
+        cursor: apply.cursor(),
+    };
+    if w.write_all(&hello.encode()).is_err() {
+        return false;
+    }
+    let (epoch, head_seq, sharded, reset, ckpt) = match read_frame(&mut r) {
+        Ok(Frame::Welcome {
+            epoch,
+            head_seq,
+            sharded,
+            reset,
+            ckpt,
+        }) => (epoch, head_seq, sharded, reset, ckpt),
+        // Deny, malformed, or socket error: back off and retry.
+        _ => return false,
+    };
+
+    if reset {
+        let checkpoint = if ckpt {
+            match read_ckpt(&mut r) {
+                Ok(c) => Some(c),
+                Err(()) => return false,
+            }
+        } else {
+            None
+        };
+        if apply.reset(sharded, checkpoint).is_err() {
+            return false;
+        }
+        shared.stats.bootstraps.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.stats.resumes.fetch_add(1, Ordering::Relaxed);
+    }
+    apply.set_epoch(epoch);
+    shared.stats.leader_head.store(head_seq, Ordering::Relaxed);
+    shared.stats.connects.fetch_add(1, Ordering::Relaxed);
+    shared.stats.connected.store(true, Ordering::Relaxed);
+
+    // Live loop. `dead_after` bounds silence (the leader heartbeats
+    // when idle); any timeout or error abandons the whole connection,
+    // so a mid-frame timeout can never desync the stream.
+    if stream.set_read_timeout(config.dead_after).is_err() {
+        return true;
+    }
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || shared.kick.load(Ordering::SeqCst) {
+            return true;
+        }
+        let applied = match read_frame(&mut r) {
+            Ok(Frame::Records { bytes }) => {
+                let recs = match crate::protocol::decode_records(&bytes) {
+                    Ok(recs) => recs,
+                    Err(_) => return true, // corrupt stream: resync
+                };
+                match apply.apply_records(&recs) {
+                    Ok(applied) => applied,
+                    Err(_) => return true, // applier asked for a resync
+                }
+            }
+            Ok(Frame::Heartbeat { head_seq }) => {
+                shared.stats.leader_head.store(head_seq, Ordering::Relaxed);
+                match apply.on_heartbeat(head_seq) {
+                    Ok(applied) => applied,
+                    Err(_) => return true,
+                }
+            }
+            Ok(_) => return true,  // protocol violation
+            Err(_) => return true, // timeout, socket loss, malformed
+        };
+        let ack = Frame::Ack {
+            applied_seq: applied,
+        };
+        if w.write_all(&ack.encode()).is_err() {
+            return true;
+        }
+    }
+}

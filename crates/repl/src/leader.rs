@@ -1,0 +1,585 @@
+//! The leader runtime: acceptor, per-follower handshake (resume or
+//! bootstrap), and the ship pump.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                   ┌──────────────────────────────┐
+//!  commits ─────────▶ ReplSource (durable session)  │ one encode per commit
+//!                   └──────┬───────────────────────┘
+//!                          │ attach(): checkpoint + tail + queue,
+//!                          │ spliced under the leader's commit lock
+//!                   ┌──────▼──────┐          ┌─────────────┐
+//!                   │ ShipQueue A  │          │ ShipQueue B  │   (bounded bytes)
+//!                   └──────┬──────┘          └──────┬──────┘
+//!                     pump thread               pump thread
+//!                          ▼                        ▼
+//!                      follower A               follower B
+//! ```
+//!
+//! Each follower connection runs two threads: a **pump** draining the
+//! follower's [`ShipQueue`] onto the socket (heartbeating when idle)
+//! and an **ack reader** tracking the follower's applied cursor. The
+//! handshake decides resume vs. bootstrap:
+//!
+//! * **resume** — the follower's `(epoch, cursor)` matches this log
+//!   lifetime and its cursor is still at or above the shipping floor
+//!   (the newest checkpoint seq): only records past the cursor are
+//!   sent. A follower of a *previous* epoch never resumes, even at a
+//!   plausible cursor — the old leader may have lost an un-fsynced
+//!   suffix whose seqs this lifetime reassigned to different updates.
+//! * **bootstrap** — anything else: the checkpoint body is transferred
+//!   in bounded chunks (or, when no checkpoint exists, the log is
+//!   shipped from seq 0) and the tail follows.
+//!
+//! The splice between catch-up and live stream is exact because
+//! [`ReplSource::attach`] registers the queue and scans the log under
+//! one commit-lock hold: every commit is either in the scan or in the
+//! queue, never neither, and the follower's monotone seq filter
+//! deduplicates any overlap.
+
+use crate::protocol::{encode_records_frame, read_frame, Frame, REPL_VERSION};
+use crate::queue::{ShipPop, ShipQueue};
+use cqu_wal::Rec;
+use std::io::{self, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long blocking loops wait before re-checking the shutdown flag.
+const TICK: Duration = Duration::from_millis(50);
+
+/// Records per catch-up `Records` frame (bounds the frame size without
+/// re-measuring byte-exact budgets; update records are small).
+const CATCHUP_RECORDS_PER_FRAME: usize = 1024;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Everything a follower needs to start, captured atomically under the
+/// leader's commit lock by [`ReplSource::attach`].
+#[derive(Debug)]
+pub struct Attach {
+    /// Handle for [`ReplSource::detach`].
+    pub id: u64,
+    /// The leader's current epoch (one log lifetime).
+    pub epoch: u64,
+    /// Whether the leader session is sharded.
+    pub sharded: bool,
+    /// The committed head seq at attach time.
+    pub head_seq: u64,
+    /// The newest durable checkpoint, if any: `(seq, body)`.
+    pub checkpoint: Option<(u64, Vec<u8>)>,
+    /// Every committed record after the checkpoint (plus any stale
+    /// pre-checkpoint stragglers, which the seq filter drops).
+    pub records: Vec<Rec>,
+}
+
+/// The leader-side contract: the durable session implements it; unit
+/// tests script it by hand.
+pub trait ReplSource: Send + Sync + 'static {
+    /// Atomically scans the committed log and registers `queue` to
+    /// receive every later commit — under one commit-lock hold, so no
+    /// commit falls between the scan and the live stream.
+    fn attach(&self, queue: Arc<ShipQueue>) -> Result<Attach, String>;
+
+    /// Unregisters the queue of a departed follower.
+    fn detach(&self, id: u64);
+}
+
+/// Leader tuning knobs.
+#[derive(Debug, Clone)]
+pub struct LeaderConfig {
+    /// How long a fresh connection gets to complete the handshake.
+    pub handshake_timeout: Duration,
+    /// Idle interval between `Heartbeat` frames.
+    pub heartbeat: Duration,
+    /// Per-follower ship-queue byte budget; overflow disconnects the
+    /// follower (it resumes from its cursor).
+    pub queue_bytes: usize,
+    /// Byte budget per `CkptChunk` frame during bootstrap.
+    pub ckpt_chunk_bytes: usize,
+    /// Maximum concurrently attached followers; further handshakes are
+    /// denied.
+    pub max_followers: usize,
+}
+
+impl Default for LeaderConfig {
+    fn default() -> LeaderConfig {
+        LeaderConfig {
+            handshake_timeout: Duration::from_secs(10),
+            heartbeat: Duration::from_millis(500),
+            queue_bytes: 64 << 20,
+            ckpt_chunk_bytes: 1 << 20,
+            max_followers: 64,
+        }
+    }
+}
+
+/// A point-in-time copy of the leader's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaderStats {
+    /// Followers currently attached.
+    pub followers: u64,
+    /// Handshakes accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Handshakes satisfied by cursor resume.
+    pub resumes: u64,
+    /// Handshakes that required a bootstrap (checkpoint transfer or
+    /// full log stream).
+    pub bootstraps: u64,
+    /// Follower connections torn down (socket loss, queue overflow,
+    /// shutdown).
+    pub disconnects: u64,
+    /// `Ack` frames received from followers.
+    pub acks: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    followers: AtomicU64,
+    accepted: AtomicU64,
+    resumes: AtomicU64,
+    bootstraps: AtomicU64,
+    disconnects: AtomicU64,
+    acks: AtomicU64,
+}
+
+struct Shared {
+    source: Arc<dyn ReplSource>,
+    config: LeaderConfig,
+    shutdown: AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    stats: Counters,
+}
+
+/// The replication leader server (see the module docs).
+///
+/// Dropping the server shuts it down: the acceptor stops, every
+/// follower connection is torn down, and all threads are joined.
+pub struct LeaderServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl LeaderServer {
+    /// Binds and starts shipping `source`'s log on `addr` (use port 0
+    /// to let the OS pick; read it back with
+    /// [`LeaderServer::local_addr`]).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        source: Arc<dyn ReplSource>,
+        config: LeaderConfig,
+    ) -> io::Result<LeaderServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            source,
+            config,
+            shutdown: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+            stats: Counters::default(),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cqu-repl-accept".into())
+                .spawn(move || accept_loop(listener, shared))?
+        };
+        Ok(LeaderServer {
+            shared,
+            addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the leader counters.
+    pub fn stats(&self) -> LeaderStats {
+        let c = &self.shared.stats;
+        LeaderStats {
+            followers: c.followers.load(Ordering::Relaxed),
+            accepted: c.accepted.load(Ordering::Relaxed),
+            resumes: c.resumes.load(Ordering::Relaxed),
+            bootstraps: c.bootstraps.load(Ordering::Relaxed),
+            disconnects: c.disconnects.load(Ordering::Relaxed),
+            acks: c.acks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, tears down every follower connection, and joins
+    /// all server threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Connection threads observe the flag within one tick.
+        let threads: Vec<_> = lock(&self.shared.threads).drain(..).collect();
+        for h in threads {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LeaderServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for LeaderServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaderServer")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Reap finished connection threads so a long-lived leader does
+        // not accumulate a handle pair per follower ever served.
+        {
+            let mut threads = lock(&shared.threads);
+            let mut i = 0;
+            while i < threads.len() {
+                if threads[i].is_finished() {
+                    let _ = threads.swap_remove(i).join();
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        let handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cqu-repl-ship".into())
+                .spawn(move || follower_conn(&shared, stream))
+        };
+        lock(&shared.threads).extend(handle);
+    }
+}
+
+/// Keeps the records a resuming follower still needs: everything above
+/// `cursor`, with transaction groups kept or dropped whole (by their
+/// commit seq) and registrations/mode always kept — the follower
+/// deduplicates those by name. A dangling `TxBegin …` group (no commit
+/// record) is dropped, mirroring recovery.
+fn filter_tail(records: Vec<Rec>, cursor: u64) -> Vec<Rec> {
+    let mut out = Vec::new();
+    let mut group: Option<Vec<Rec>> = None;
+    for rec in records {
+        match &rec {
+            Rec::TxBegin { .. } => {
+                group = Some(vec![rec]);
+            }
+            Rec::TxCommit { last_seq } => {
+                if let Some(mut g) = group.take() {
+                    if *last_seq > cursor {
+                        g.push(rec);
+                        out.append(&mut g);
+                    }
+                }
+            }
+            Rec::Update { seq, .. } => match &mut group {
+                Some(g) => g.push(rec),
+                None => {
+                    if *seq > cursor {
+                        out.push(rec);
+                    }
+                }
+            },
+            Rec::SeqBurn { upto } => {
+                if *upto > cursor {
+                    out.push(rec);
+                }
+            }
+            Rec::Mode { .. } | Rec::Register { .. } => out.push(rec),
+        }
+    }
+    out
+}
+
+/// Guards the follower count and source registration so every exit path
+/// of [`follower_conn`] detaches exactly once.
+struct AttachGuard<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl Drop for AttachGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.source.detach(self.id);
+        self.shared.stats.followers.fetch_sub(1, Ordering::Relaxed);
+        self.shared
+            .stats
+            .disconnects
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn follower_conn(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let timeout = Some(shared.config.handshake_timeout).filter(|t| !t.is_zero());
+    if stream.set_read_timeout(timeout).is_err() {
+        return;
+    }
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut w = BufWriter::new(&stream);
+
+    // Handshake.
+    let hello = match read_frame(&mut reader) {
+        Ok(Frame::Hello {
+            version,
+            epoch,
+            cursor,
+        }) if version == REPL_VERSION => (epoch, cursor),
+        Ok(Frame::Hello { version, .. }) => {
+            let deny = Frame::Deny {
+                msg: format!("replication protocol version {version} not supported"),
+            };
+            let _ = w.write_all(&deny.encode());
+            let _ = w.flush();
+            return;
+        }
+        _ => return,
+    };
+    if shared.stats.followers.load(Ordering::Relaxed) >= shared.config.max_followers as u64 {
+        let deny = Frame::Deny {
+            msg: "leader at follower capacity".into(),
+        };
+        let _ = w.write_all(&deny.encode());
+        let _ = w.flush();
+        return;
+    }
+
+    // Attach: checkpoint + tail + live queue, one atomic splice.
+    let queue = ShipQueue::new(shared.config.queue_bytes);
+    let attach = match shared.source.attach(Arc::clone(&queue)) {
+        Ok(a) => a,
+        Err(msg) => {
+            let _ = w.write_all(&Frame::Deny { msg }.encode());
+            let _ = w.flush();
+            return;
+        }
+    };
+    queue.seed_head(attach.head_seq);
+    shared.stats.followers.fetch_add(1, Ordering::Relaxed);
+    shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+    let guard = AttachGuard {
+        shared,
+        id: attach.id,
+    };
+
+    let floor = attach.checkpoint.as_ref().map_or(0, |(seq, _)| *seq);
+    let (hello_epoch, hello_cursor) = hello;
+    let resume =
+        hello_epoch == attach.epoch && hello_cursor >= floor && hello_cursor <= attach.head_seq;
+    let cursor = if resume { hello_cursor } else { floor };
+    let send_ckpt = !resume && attach.checkpoint.is_some();
+    if resume {
+        shared.stats.resumes.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.stats.bootstraps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    let welcome = Frame::Welcome {
+        epoch: attach.epoch,
+        head_seq: attach.head_seq,
+        sharded: attach.sharded,
+        reset: !resume,
+        ckpt: send_ckpt,
+    };
+    if w.write_all(&welcome.encode()).is_err() {
+        return; // guard detaches
+    }
+
+    // Bootstrap: the checkpoint body, in bounded chunks.
+    if send_ckpt {
+        let (seq, body) = attach.checkpoint.as_ref().expect("send_ckpt checked");
+        let chunk = shared.config.ckpt_chunk_bytes.max(1);
+        let mut start = 0;
+        loop {
+            let end = (start + chunk).min(body.len());
+            let frame = Frame::CkptChunk {
+                seq: *seq,
+                first: start == 0,
+                last: end == body.len(),
+                bytes: body[start..end].to_vec(),
+            };
+            if w.write_all(&frame.encode()).is_err() {
+                return;
+            }
+            if end == body.len() {
+                break;
+            }
+            start = end;
+        }
+    }
+
+    // Catch-up: the committed tail past the cursor, batched.
+    let tail = filter_tail(attach.records, cursor);
+    for chunk in tail.chunks(CATCHUP_RECORDS_PER_FRAME) {
+        if w.write_all(&encode_records_frame(chunk)).is_err() {
+            return;
+        }
+    }
+    if w.flush().is_err() {
+        return;
+    }
+
+    // Ack reader: drains follower progress reports; its exit (EOF,
+    // socket loss) tells the pump the follower is gone.
+    let conn_gone = Arc::new(AtomicBool::new(false));
+    let ack_thread = {
+        let gone = Arc::clone(&conn_gone);
+        let mut reader = reader;
+        std::thread::Builder::new()
+            .name("cqu-repl-ack".into())
+            .spawn(move || {
+                // Acks are counted locally and folded into the shared
+                // stats by the pump after the join — the thread cannot
+                // borrow `shared` without an Arc it does not need.
+                let mut acks = 0u64;
+                let _ = reader.set_read_timeout(None);
+                while let Ok(Frame::Ack { .. }) = read_frame(&mut reader) {
+                    acks += 1;
+                }
+                gone.store(true, Ordering::SeqCst);
+                acks
+            })
+    };
+
+    // Pump: drain the live queue; heartbeat when idle.
+    let mut last_beat = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) || conn_gone.load(Ordering::SeqCst) {
+            break;
+        }
+        match queue.pop(TICK) {
+            ShipPop::Frame(bytes) => {
+                if w.write_all(&bytes).is_err() || w.flush().is_err() {
+                    break;
+                }
+                last_beat = Instant::now();
+            }
+            ShipPop::Empty => {
+                if last_beat.elapsed() >= shared.config.heartbeat {
+                    let beat = Frame::Heartbeat {
+                        head_seq: queue.head(),
+                    };
+                    if w.write_all(&beat.encode()).is_err() || w.flush().is_err() {
+                        break;
+                    }
+                    last_beat = Instant::now();
+                }
+            }
+            // Overflow: drop the follower; it reconnects and resumes
+            // from its durable cursor.
+            ShipPop::Dead | ShipPop::Closed => break,
+        }
+    }
+    queue.close();
+    let _ = stream.shutdown(Shutdown::Both);
+    if let Ok(handle) = ack_thread {
+        if let Ok(acks) = handle.join() {
+            shared.stats.acks.fetch_add(acks, Ordering::Relaxed);
+        }
+    }
+    drop(guard);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn upd(seq: u64) -> Rec {
+        Rec::Update {
+            seq,
+            shard: 0,
+            insert: true,
+            rel: 0,
+            tuple: vec![seq],
+        }
+    }
+
+    #[test]
+    fn filter_tail_drops_covered_records_but_keeps_ddl() {
+        let recs = vec![
+            Rec::Mode { sharded: false },
+            Rec::Register {
+                name: "q".into(),
+                src: "Q(x) :- E(x, y).".into(),
+                choice: 0,
+            },
+            upd(1),
+            upd(2),
+            Rec::SeqBurn { upto: 3 },
+            upd(4),
+        ];
+        let out = filter_tail(recs, 3);
+        assert_eq!(
+            out,
+            vec![
+                Rec::Mode { sharded: false },
+                Rec::Register {
+                    name: "q".into(),
+                    src: "Q(x) :- E(x, y).".into(),
+                    choice: 0,
+                },
+                upd(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn filter_tail_keeps_or_drops_tx_groups_whole() {
+        let recs = vec![
+            Rec::TxBegin { first_seq: 1 },
+            upd(1),
+            upd(2),
+            Rec::TxCommit { last_seq: 2 },
+            Rec::TxBegin { first_seq: 3 },
+            upd(3),
+            Rec::TxCommit { last_seq: 3 },
+        ];
+        // Cursor 2: the first group is fully covered, the second ships.
+        let out = filter_tail(recs.clone(), 2);
+        assert_eq!(
+            out,
+            vec![
+                Rec::TxBegin { first_seq: 3 },
+                upd(3),
+                Rec::TxCommit { last_seq: 3 },
+            ]
+        );
+        // Cursor 1 (mid-group): groups are atomic — the whole first
+        // group ships again; the follower skips it by seq per update.
+        let out = filter_tail(recs, 1);
+        assert_eq!(out.len(), 7);
+        // A dangling group is dropped.
+        let out = filter_tail(vec![upd(1), Rec::TxBegin { first_seq: 2 }, upd(2)], 0);
+        assert_eq!(out, vec![upd(1)]);
+    }
+}

@@ -164,6 +164,81 @@ mod tests {
     }
 
     #[test]
+    fn zero_capacity_floor_tracks_every_push() {
+        let mut ring = SeqRing::new(0, 5);
+        assert_eq!(ring.head(), 5);
+        for seq in [6u64, 9, 40] {
+            ring.push(seq, ());
+            assert!(ring.is_empty());
+            assert_eq!(ring.floor(), seq);
+            // The floor *is* the head: only a fully caught-up cursor
+            // (or a future one) is servable, and it gets nothing.
+            assert_eq!(ring.head(), seq);
+            assert!(ring.covers(seq));
+            assert!(!ring.covers(seq - 1));
+            assert_eq!(ring.since(seq).count(), 0);
+        }
+        // Resizing a populated ring down to zero evicts everything and
+        // parks the floor on the last evicted seq.
+        let mut ring = SeqRing::new(3, 0);
+        for seq in 1..=3u64 {
+            ring.push(seq, ());
+        }
+        ring.resize(0);
+        assert!(ring.is_empty());
+        assert_eq!(ring.floor(), 3);
+        assert!(ring.covers(3) && !ring.covers(2));
+        // And it behaves like a born-zero ring afterwards.
+        ring.push(7, ());
+        assert_eq!((ring.len(), ring.floor()), (0, 7));
+    }
+
+    #[test]
+    fn cursor_exactly_at_floor_is_lossless() {
+        let mut ring = SeqRing::new(2, 0);
+        for seq in [3u64, 5, 8] {
+            ring.push(seq, seq);
+        }
+        // Evicted: 3 → floor 3. A cursor sitting exactly on the floor
+        // saw the evicted event (it *is* that seq), so service is
+        // lossless: everything after it is retained.
+        assert_eq!(ring.floor(), 3);
+        assert!(ring.covers(3));
+        let got: Vec<u64> = ring.since(3).map(|(s, _)| s).collect();
+        assert_eq!(got, vec![5, 8]);
+        // One below the floor, event 3 itself is gone: not servable.
+        assert!(!ring.covers(2));
+    }
+
+    #[test]
+    fn multi_wrap_keeps_exactly_the_suffix() {
+        let mut ring = SeqRing::new(4, 0);
+        for seq in 1..=20u64 {
+            ring.push(seq, seq * 100);
+        }
+        // Five full wraps: only the last `cap` survive, floor trails
+        // the oldest survivor by exactly one.
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.floor(), 16);
+        assert_eq!(ring.head(), 20);
+        assert!(ring.covers(16) && !ring.covers(15));
+        let got: Vec<(u64, u64)> = ring.since(16).map(|(s, &v)| (s, v)).collect();
+        assert_eq!(got, vec![(17, 1700), (18, 1800), (19, 1900), (20, 2000)]);
+        // Growing mid-stream widens retention from now on without
+        // resurrecting anything already evicted.
+        ring.resize(6);
+        for seq in 21..=23u64 {
+            ring.push(seq, seq * 100);
+        }
+        assert_eq!(ring.len(), 6);
+        assert_eq!(ring.floor(), 17);
+        assert_eq!(
+            ring.since(17).map(|(s, _)| s).collect::<Vec<_>>(),
+            (18..=23).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn resize_shrink_evicts_oldest() {
         let mut ring = SeqRing::new(4, 0);
         for seq in 1..=4u64 {

@@ -317,6 +317,13 @@ impl Wal {
     /// Crash-safe: the body is staged as `ckpt.tmp`, synced, renamed to
     /// its final name, and the directory synced — a crash mid-write
     /// leaves a `ckpt.tmp` the recovery scan discards.
+    ///
+    /// Failures *before* the rename + dir sync are fatal (`Err`) — the
+    /// checkpoint did not publish. Failures after it are not: the
+    /// checkpoint is already durable, so a failed rotation folds into
+    /// the next commit's repair and a failed prune just leaves stale
+    /// files (their records are ≤ `seq`; recovery skips them by seq and
+    /// the next checkpoint retries the deletes).
     pub fn checkpoint(&mut self, seq: u64, body: &[u8]) -> io::Result<()> {
         let mut file = self.dir.create(CKPT_TMP)?;
         let mut head = Vec::with_capacity(24);
@@ -332,23 +339,104 @@ impl Wal {
         let name = checkpoint_name(seq);
         self.dir.rename(CKPT_TMP, &name)?;
         self.dir.sync_dir()?;
-        // Seal the log at the checkpoint boundary, then prune everything
-        // the checkpoint supersedes.
+        // Published. Seal the log at the checkpoint boundary, then prune
+        // everything the checkpoint supersedes — best effort from here.
         let sealed = self.seg_index;
-        self.rotate()?;
-        for file in self.dir.list()? {
+        if self.rotate().is_err() {
+            // The current segment is still `sealed`; pruning now would
+            // delete the live file out from under the writer. Skip the
+            // prune entirely and let the next commit's repair rotate.
+            self.torn = true;
+            return Ok(());
+        }
+        let Ok(files) = self.dir.list() else {
+            return Ok(());
+        };
+        for file in files {
             if let Some(idx) = parse_name(&file, "wal-", ".seg") {
                 if idx <= sealed {
-                    self.dir.remove(&file)?;
+                    let _ = self.dir.remove(&file);
                 }
             } else if let Some(s) = parse_name(&file, "ckpt-", ".ck") {
                 if s < seq {
-                    self.dir.remove(&file)?;
+                    let _ = self.dir.remove(&file);
                 }
             }
         }
-        self.dir.sync_dir()?;
+        let _ = self.dir.sync_dir();
         Ok(())
+    }
+
+    /// A read-only scan of the retained log — the shipping read path for
+    /// replication. Must be called between commits (the durable layer
+    /// holds its commit lock): the current segment is read only up to
+    /// its committed length, so suspect bytes left by a failed commit
+    /// are never shipped, and sealed segments must parse cleanly
+    /// end-to-end (their torn tails were truncated by repair or a prior
+    /// recovery).
+    ///
+    /// The returned records cover every committed seq above the
+    /// checkpoint seq (or all of them when no checkpoint exists); stale
+    /// pre-checkpoint segments that survived a crashed prune may
+    /// contribute extra records ≤ the checkpoint seq, which consumers
+    /// skip by seq exactly like recovery does.
+    pub fn ship_scan(&self) -> Result<Shipped, WalError> {
+        let files = self.dir.list()?;
+        let mut ckpt_seqs: Vec<u64> = files
+            .iter()
+            .filter_map(|f| parse_name(f, "ckpt-", ".ck"))
+            .collect();
+        ckpt_seqs.sort_unstable_by(|a, b| b.cmp(a));
+        let mut checkpoint = None;
+        for seq in ckpt_seqs {
+            if let Some(body) = read_checkpoint(&*self.dir, &checkpoint_name(seq), seq)? {
+                checkpoint = Some((seq, body));
+                break;
+            }
+        }
+        let mut seg_indices: Vec<u64> = files
+            .iter()
+            .filter_map(|f| parse_name(f, "wal-", ".seg"))
+            .filter(|&idx| idx <= self.seg_index)
+            .collect();
+        seg_indices.sort_unstable();
+        let mut records = Vec::new();
+        for &index in &seg_indices {
+            let name = segment_name(index);
+            let mut bytes = self.dir.read(&name)?;
+            if index == self.seg_index {
+                bytes.truncate(self.seg_len as usize);
+            }
+            let seg_start = records.len();
+            scan_segment(&name, &bytes, false, &mut records)?;
+            drop_dangling_tx(&mut records, seg_start);
+        }
+        Ok(Shipped {
+            checkpoint,
+            records,
+        })
+    }
+}
+
+/// What [`Wal::ship_scan`] found on disk: the newest valid checkpoint
+/// plus every committed record in the retained segments, in log order.
+#[derive(Debug)]
+pub struct Shipped {
+    /// Newest valid checkpoint, as `(seq, body)`.
+    pub checkpoint: Option<(u64, Vec<u8>)>,
+    /// Every committed record, log-ordered; may include records at or
+    /// below the checkpoint seq (stale segments a crashed prune left
+    /// behind) — consumers skip those by seq.
+    pub records: Vec<Rec>,
+}
+
+impl Shipped {
+    /// The floor of guaranteed record coverage: every committed seq
+    /// strictly above it appears in [`Shipped::records`]. A consumer
+    /// whose cursor is ≥ the floor can resume from the records alone;
+    /// below it the checkpoint transfer is required.
+    pub fn floor(&self) -> u64 {
+        self.checkpoint.as_ref().map_or(0, |(seq, _)| *seq)
     }
 }
 
@@ -390,7 +478,10 @@ pub fn recover(dir: &dyn WalDir) -> Result<Recovery, WalError> {
     let files = dir.list()?;
     if files.iter().any(|f| f == CKPT_TMP) {
         // An unfinished checkpoint publish; the log tail supersedes it.
-        dir.remove(CKPT_TMP)?;
+        // Best effort: the scan ignores `ckpt.tmp` by name, so a failed
+        // delete must not turn a cleanup hiccup into an unrecoverable
+        // store — a later life (or the next checkpoint) retries.
+        let _ = dir.remove(CKPT_TMP);
     }
 
     let mut ckpt_seqs: Vec<u64> = files
@@ -422,6 +513,7 @@ pub fn recover(dir: &dyn WalDir) -> Result<Recovery, WalError> {
         let is_last = pos + 1 == seg_indices.len();
         let name = segment_name(index);
         let bytes = dir.read(&name)?;
+        let seg_start = records.len();
         match scan_segment(&name, &bytes, is_last, &mut records)? {
             None => {}
             Some(valid_len) => {
@@ -429,6 +521,7 @@ pub fn recover(dir: &dyn WalDir) -> Result<Recovery, WalError> {
                 truncated = Some((name, valid_len));
             }
         }
+        drop_dangling_tx(&mut records, seg_start);
     }
 
     Ok(Recovery {
@@ -437,6 +530,30 @@ pub fn recover(dir: &dyn WalDir) -> Result<Recovery, WalError> {
         truncated,
         next_segment,
     })
+}
+
+/// Drops an unterminated transaction group from the end of the records
+/// just scanned out of one segment (`seg_start` is where they begin).
+///
+/// A transaction's frames land in a single commit and therefore a
+/// single segment, so a `TxBegin` with no matching `TxCommit` can only
+/// be the unacknowledged suffix of a crashed commit. It must be cut at
+/// the *segment* boundary: a later life appends to a fresh segment, and
+/// a replayer that carried the open group across the boundary would
+/// silently swallow every subsequent record into the never-committed
+/// transaction.
+fn drop_dangling_tx(records: &mut Vec<Rec>, seg_start: usize) {
+    let mut open = None;
+    for (i, rec) in records.iter().enumerate().skip(seg_start) {
+        match rec {
+            Rec::TxBegin { .. } => open = Some(i),
+            Rec::TxCommit { .. } => open = None,
+            _ => {}
+        }
+    }
+    if let Some(begin) = open {
+        records.truncate(begin);
+    }
 }
 
 /// Validates one checkpoint file; `Ok(None)` means invalid (skip it).
@@ -541,8 +658,13 @@ mod tests {
         /// Queued append faults: each entry makes one append write only
         /// that many bytes, then error.
         fail_append: std::collections::VecDeque<usize>,
-        /// Next file sync errors once.
-        fail_sync: bool,
+        /// Queued sync outcomes: each file sync pops one (`true` = fail);
+        /// an empty queue means syncs succeed.
+        fail_sync: std::collections::VecDeque<bool>,
+        /// That many upcoming `remove` calls error (the file survives).
+        fail_remove: u32,
+        /// That many upcoming `truncate` calls error.
+        fail_truncate: u32,
     }
 
     impl FlakyDir {
@@ -550,7 +672,21 @@ mod tests {
             self.inner.lock().unwrap().fail_append.push_back(partial);
         }
         fn arm_sync(&self) {
-            self.inner.lock().unwrap().fail_sync = true;
+            self.arm_sync_nth(1);
+        }
+        /// Lets `n - 1` syncs through, then fails the `n`-th.
+        fn arm_sync_nth(&self, n: usize) {
+            let mut st = self.inner.lock().unwrap();
+            for _ in 1..n {
+                st.fail_sync.push_back(false);
+            }
+            st.fail_sync.push_back(true);
+        }
+        fn arm_remove(&self, times: u32) {
+            self.inner.lock().unwrap().fail_remove = times;
+        }
+        fn arm_truncate(&self, times: u32) {
+            self.inner.lock().unwrap().fail_truncate = times;
         }
     }
 
@@ -577,7 +713,7 @@ mod tests {
         }
         fn sync(&mut self) -> io::Result<()> {
             let mut st = self.inner.lock().unwrap();
-            if std::mem::take(&mut st.fail_sync) {
+            if st.fail_sync.pop_front() == Some(true) {
                 return Err(io::Error::other("transient fsync fault"));
             }
             Ok(())
@@ -606,10 +742,12 @@ mod tests {
             Ok(self.inner.lock().unwrap().files.keys().cloned().collect())
         }
         fn remove(&self, name: &str) -> io::Result<()> {
-            self.inner
-                .lock()
-                .unwrap()
-                .files
+            let mut st = self.inner.lock().unwrap();
+            if st.fail_remove > 0 {
+                st.fail_remove -= 1;
+                return Err(io::Error::other("transient remove fault"));
+            }
+            st.files
                 .remove(name)
                 .map(|_| ())
                 .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
@@ -625,6 +763,10 @@ mod tests {
         }
         fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
             let mut st = self.inner.lock().unwrap();
+            if st.fail_truncate > 0 {
+                st.fail_truncate -= 1;
+                return Err(io::Error::other("transient truncate fault"));
+            }
             st.files
                 .get_mut(name)
                 .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?
@@ -832,6 +974,177 @@ mod tests {
 
         let rec = recover(&dir).unwrap();
         assert_eq!(rec.records, vec![upd(1), upd(4)]);
+    }
+
+    /// A prune fault *after* the rename + dir-sync must not fail the
+    /// checkpoint: it is already durable, and the stale files it could
+    /// not delete are skipped by seq at recovery and reclaimed by the
+    /// next checkpoint. (Pre-fix, `checkpoint` returned `Err` here and
+    /// callers re-serialized the whole database to "retry" a publish
+    /// that had already happened.)
+    #[test]
+    fn checkpoint_post_publish_prune_fault_is_not_fatal() {
+        let dir = FlakyDir::default();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        for seq in 1..=4 {
+            wal.append(&upd(seq));
+            wal.commit().unwrap();
+        }
+        dir.arm_remove(1); // first post-rename remove fails
+        wal.checkpoint(4, b"state-at-4").unwrap();
+        // The stale segment survived the failed delete; recovery skips
+        // it by seq and still lands on the checkpoint.
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.checkpoint, Some((4, b"state-at-4".to_vec())));
+        wal.append(&upd(5));
+        wal.commit().unwrap();
+        // The next checkpoint retries the prune and reclaims everything.
+        wal.checkpoint(5, b"state-at-5").unwrap();
+        let names = dir.list().unwrap();
+        assert!(
+            !names.contains(&checkpoint_name(4)),
+            "retried prune reclaims the stale checkpoint: {names:?}"
+        );
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.checkpoint, Some((5, b"state-at-5".to_vec())));
+        assert!(rec.records.is_empty());
+    }
+
+    /// A rotation fault after the checkpoint published: the prune must
+    /// be skipped wholesale (the live segment is still the sealed one —
+    /// deleting it would pull the file out from under the writer), the
+    /// checkpoint still reports success, and the writer repairs on the
+    /// next commit.
+    #[test]
+    fn checkpoint_rotate_fault_skips_prune_and_repairs() {
+        let dir = FlakyDir::default();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        for seq in 1..=3 {
+            wal.append(&upd(seq));
+            wal.commit().unwrap();
+        }
+        // The ckpt.tmp sync (pre-publish) must succeed; the *second*
+        // sync is the rotation sealing the old segment — fail that one.
+        dir.arm_sync_nth(2);
+        wal.checkpoint(3, b"state-at-3").unwrap();
+        // Later commits repair (rotate) and are acknowledged normally.
+        wal.append(&upd(4));
+        assert!(wal.commit().unwrap());
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.checkpoint, Some((3, b"state-at-3".to_vec())));
+        assert!(rec.records.contains(&upd(4)));
+    }
+
+    /// A failed `ckpt.tmp` delete during recovery is a cleanup hiccup,
+    /// not an unrecoverable store: the scan already ignores the file by
+    /// name. (Pre-fix, `recover` propagated the error.)
+    #[test]
+    fn recover_tolerates_ckpt_tmp_remove_failure() {
+        let dir = FlakyDir::default();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        wal.append(&upd(1));
+        wal.commit().unwrap();
+        drop(wal);
+        dir.inner
+            .lock()
+            .unwrap()
+            .files
+            .insert(CKPT_TMP.to_string(), b"half-written garbage".to_vec());
+        dir.arm_remove(1);
+        let rec = recover(&dir).unwrap();
+        assert!(rec.checkpoint.is_none());
+        assert_eq!(rec.records, vec![upd(1)]);
+        // The husk survived the failed delete; the next recovery (fault
+        // cleared) reclaims it.
+        assert!(dir.list().unwrap().contains(&CKPT_TMP.to_string()));
+        recover(&dir).unwrap();
+        assert!(!dir.list().unwrap().contains(&CKPT_TMP.to_string()));
+    }
+
+    /// Regression: a crash can leave a *complete but uncommitted*
+    /// `TxBegin …` suffix in a sealed segment (the commit record never
+    /// landed, and the process died before repair could truncate). A
+    /// later life appends to a fresh segment; replaying the joined log
+    /// must not swallow the new records into the dead transaction — the
+    /// open group is dropped at the segment boundary.
+    #[test]
+    fn dangling_tx_suffix_does_not_swallow_later_segments() {
+        let dir = FlakyDir::default();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        wal.append(&upd(1));
+        wal.commit().unwrap();
+        // Simulate the crashed commit: TxBegin + one update reach the
+        // file, the TxCommit and the acknowledgment never do.
+        let mut suffix = Vec::new();
+        Rec::TxBegin { first_seq: 2 }.frame(&mut suffix);
+        upd(2).frame(&mut suffix);
+        dir.inner
+            .lock()
+            .unwrap()
+            .files
+            .get_mut(&segment_name(1))
+            .unwrap()
+            .extend_from_slice(&suffix);
+        // Next life recovers (sees and drops the dangling group) …
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records, vec![upd(1)]);
+        // … and appends to a fresh segment.
+        let mut wal = Wal::new(
+            Box::new(dir.clone()),
+            WalOptions::default(),
+            rec.next_segment,
+        )
+        .unwrap();
+        wal.append(&upd(3));
+        wal.commit().unwrap();
+        drop(wal);
+        // The life after *that* must replay the new record, not bury it
+        // inside the never-committed transaction.
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.records, vec![upd(1), upd(3)]);
+    }
+
+    /// `ship_scan` reads the committed log without mutating anything:
+    /// suspect bytes past a failed commit are excluded, checkpoints and
+    /// records match what recovery would see, and the floor reflects
+    /// the checkpoint.
+    #[test]
+    fn ship_scan_reads_committed_records_only() {
+        let dir = FlakyDir::default();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        for seq in 1..=3 {
+            wal.append(&upd(seq));
+            wal.commit().unwrap();
+        }
+        let shipped = wal.ship_scan().unwrap();
+        assert!(shipped.checkpoint.is_none());
+        assert_eq!(shipped.floor(), 0);
+        assert_eq!(shipped.records, (1..=3).map(upd).collect::<Vec<_>>());
+
+        // A failed fsync leaves a complete-but-unacknowledged frame in
+        // the file; fail the eager repair's truncate too, so the frame
+        // is still on disk when the scan runs — it must not ship.
+        dir.arm_sync();
+        dir.arm_truncate(1);
+        wal.append(&upd(4));
+        assert!(wal.commit().is_err());
+        let shipped = wal.ship_scan().unwrap();
+        assert_eq!(
+            shipped.records,
+            (1..=3).map(upd).collect::<Vec<_>>(),
+            "unacknowledged frame of the failed commit must not ship"
+        );
+
+        // After a checkpoint the scan reports it, raising the floor.
+        wal.append(&upd(4));
+        wal.commit().unwrap();
+        wal.checkpoint(4, b"state-at-4").unwrap();
+        wal.append(&upd(5));
+        wal.commit().unwrap();
+        let shipped = wal.ship_scan().unwrap();
+        assert_eq!(shipped.floor(), 4);
+        assert_eq!(shipped.checkpoint, Some((4, b"state-at-4".to_vec())));
+        assert_eq!(shipped.records, vec![upd(5)]);
     }
 
     #[test]

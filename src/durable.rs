@@ -57,11 +57,11 @@ use cqu_query::{RelId, Schema};
 use cqu_storage::{Tuple, Update};
 use cqu_wal::{FsDir, FsyncPolicy, Rec, Wal, WalDir, WalError, WalOptions};
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Batch size for checkpoint loading and log replay (bounds peak
 /// allocation without changing semantics — batches apply in order).
-const REPLAY_CHUNK: usize = 16_384;
+pub(crate) const REPLAY_CHUNK: usize = 16_384;
 
 /// A durable-layer failure.
 #[derive(Debug)]
@@ -136,47 +136,76 @@ impl DurableOptions {
     }
 }
 
-/// The wrapped in-memory session.
-enum Backend {
+/// The wrapped in-memory session. `pub(crate)` (and cheaply clonable —
+/// both variants are handles) so the replica glue in [`crate::replica`]
+/// can drive the same machinery from a replication stream.
+#[derive(Clone)]
+pub(crate) enum Backend {
     Single(SharedSession),
     Sharded(ShardedSession),
 }
 
 impl Backend {
-    fn schema(&self) -> Result<Schema, CqError> {
+    pub(crate) fn schema(&self) -> Result<Schema, CqError> {
         match self {
             Backend::Single(s) => s.read(|s| s.schema().clone()),
             Backend::Sharded(s) => Ok(s.schema().clone()),
         }
     }
 
-    fn seq(&self) -> Result<u64, CqError> {
+    pub(crate) fn seq(&self) -> Result<u64, CqError> {
         match self {
             Backend::Single(s) => s.read(|s| s.seq()),
             Backend::Sharded(s) => Ok(s.seq()),
         }
     }
 
-    fn apply_batch(&self, updates: &[Update]) -> Result<UpdateReport, CqError> {
+    pub(crate) fn apply_batch(&self, updates: &[Update]) -> Result<UpdateReport, CqError> {
         match self {
             Backend::Single(s) => s.apply_batch(updates),
             Backend::Sharded(s) => s.apply_batch(updates),
         }
     }
 
-    fn force_seq(&self, seq: u64) -> Result<(), CqError> {
+    pub(crate) fn force_seq(&self, seq: u64) -> Result<(), CqError> {
         match self {
             Backend::Single(s) => s.write(|s| s.force_seq(seq)),
             Backend::Sharded(s) => s.force_seq(seq),
         }
     }
+
+    /// Applies `updates` inside one backend transaction — all-or-nothing
+    /// with a single published event, which is how a replica replays a
+    /// leader's `TxBegin … TxCommit` group.
+    pub(crate) fn apply_tx(&self, updates: &[Update]) -> Result<(), CqError> {
+        match self {
+            Backend::Single(s) => s.transaction(|t| {
+                for u in updates {
+                    t.apply(u)?;
+                }
+                Ok(())
+            }),
+            Backend::Sharded(s) => s.transaction(|t| {
+                for u in updates {
+                    t.apply(u)?;
+                }
+                Ok(())
+            }),
+        }
+    }
 }
 
-/// Log state guarded by one mutex: the writer, plus the registration
-/// list (name, src, encoded choice) that checkpoints serialize.
+/// Log state guarded by one mutex: the writer, the registration list
+/// (name, src, encoded choice) that checkpoints serialize, and the
+/// attached replication queues.
 struct WalState {
     wal: Wal,
     regs: Vec<(String, String, u8)>,
+    /// Live replication queues `(follower id, queue)`. Commits push
+    /// into every queue under this lock; a queue that reports itself
+    /// dead or closed is dropped on the spot.
+    sinks: Vec<(u64, Arc<cqu_repl::ShipQueue>)>,
+    next_sink: u64,
 }
 
 /// A WAL-backed session. See the [module docs](self) for the logging
@@ -184,6 +213,10 @@ struct WalState {
 pub struct DurableSession {
     wal: Mutex<WalState>,
     backend: Backend,
+    /// One value per log lifetime (the startup segment index — strictly
+    /// increasing across recoveries). Followers resume by cursor only
+    /// within the epoch their state was built against.
+    epoch: u64,
 }
 
 impl std::fmt::Debug for DurableSession {
@@ -209,7 +242,7 @@ fn encode_choice(choice: EngineChoice) -> u8 {
     }
 }
 
-fn decode_choice(byte: u8) -> Result<EngineChoice, DurableError> {
+pub(crate) fn decode_choice(byte: u8) -> Result<EngineChoice, DurableError> {
     Ok(match byte {
         0 => EngineChoice::Auto,
         1 => EngineChoice::Forced(EngineKind::QHierarchical),
@@ -224,22 +257,41 @@ fn decode_choice(byte: u8) -> Result<EngineChoice, DurableError> {
     })
 }
 
-/// Stages one `Update` record per entry of `effective`, stamped
-/// `seq0+1..`, onto the WAL's pending buffer.
-fn stage_updates(wal: &mut Wal, seq0: u64, effective: &[Update], shard_of: impl Fn(RelId) -> u16) {
-    for (i, u) in effective.iter().enumerate() {
-        let (insert, rel, tuple) = match u {
-            Update::Insert(r, t) => (true, *r, t),
-            Update::Delete(r, t) => (false, *r, t),
-        };
-        wal.append(&Rec::Update {
-            seq: seq0 + 1 + i as u64,
-            shard: shard_of(rel),
-            insert,
-            rel: rel.0,
-            tuple: tuple.clone(),
-        });
+/// Builds one `Update` record per entry of `effective`, stamped
+/// `seq0+1..` — the commit path appends them to the log and then ships
+/// the same values to any attached replication queues.
+fn update_recs(seq0: u64, effective: &[Update], shard_of: impl Fn(RelId) -> u16) -> Vec<Rec> {
+    effective
+        .iter()
+        .enumerate()
+        .map(|(i, u)| {
+            let (insert, rel, tuple) = match u {
+                Update::Insert(r, t) => (true, *r, t),
+                Update::Delete(r, t) => (false, *r, t),
+            };
+            Rec::Update {
+                seq: seq0 + 1 + i as u64,
+                shard: shard_of(rel),
+                insert,
+                rel: rel.0,
+                tuple: tuple.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Fans one committed record group out to every attached replication
+/// queue: one serialization shared by all followers, and pushes that
+/// never block — a queue that overflowed (or whose connection closed)
+/// is dropped here, and its follower resumes by cursor on reconnect.
+/// Runs after `wal.commit()` succeeds, so followers only ever see
+/// records that are durable on the leader.
+fn ship(st: &mut WalState, head: u64, recs: &[Rec]) {
+    if st.sinks.is_empty() || recs.is_empty() {
+        return;
     }
+    let frame: Arc<[u8]> = cqu_repl::protocol::encode_records_frame(recs).into();
+    st.sinks.retain(|(_, q)| q.push(head, Arc::clone(&frame)));
 }
 
 /// Validates `updates` and predicts the effective subset under set
@@ -273,11 +325,11 @@ fn predict_effective(
 }
 
 /// Decoded checkpoint body.
-struct CkptBody {
-    sharded: bool,
-    regs: Vec<(String, String, u8)>,
+pub(crate) struct CkptBody {
+    pub(crate) sharded: bool,
+    pub(crate) regs: Vec<(String, String, u8)>,
     /// Per relation (in schema order): declared arity and tuples.
-    rels: Vec<(usize, Vec<Tuple>)>,
+    pub(crate) rels: Vec<(usize, Vec<Tuple>)>,
 }
 
 /// Checkpoint body layout (the WAL wraps it in magic + seq + CRC):
@@ -319,7 +371,7 @@ fn encode_ckpt_body(
     out
 }
 
-fn decode_ckpt_body(body: &[u8]) -> Result<CkptBody, DurableError> {
+pub(crate) fn decode_ckpt_body(body: &[u8]) -> Result<CkptBody, DurableError> {
     struct R<'a>(&'a [u8]);
     impl R<'_> {
         fn take(&mut self, n: usize) -> Result<&[u8], DurableError> {
@@ -402,8 +454,11 @@ impl DurableSession {
             wal: Mutex::new(WalState {
                 wal,
                 regs: Vec::new(),
+                sinks: Vec::new(),
+                next_sink: 1,
             }),
             backend: Backend::Single(SharedSession::new(Session::new())),
+            epoch: 1,
         })
     }
 
@@ -440,8 +495,14 @@ impl DurableSession {
         wal.commit()?;
         wal.sync()?;
         Ok(DurableSession {
-            wal: Mutex::new(WalState { wal, regs: reglist }),
+            wal: Mutex::new(WalState {
+                wal,
+                regs: reglist,
+                sinks: Vec::new(),
+                next_sink: 1,
+            }),
             backend: Backend::Sharded(session),
+            epoch: 1,
         })
     }
 
@@ -499,7 +560,7 @@ impl DurableSession {
         let mut regs: Vec<(String, String, u8)> =
             ckpt.as_ref().map_or_else(Vec::new, |(_, b)| b.regs.clone());
 
-        let backend = if sharded {
+        if sharded {
             // Sharded registrations all precede the first update, so the
             // full set (checkpoint + tail) is known before the sealed
             // plan must be built.
@@ -510,44 +571,12 @@ impl DurableSession {
                     }
                 }
             }
-            let mut builder = ShardedSessionBuilder::new();
-            for (name, src, choice) in &regs {
-                builder.register_with(name, src, decode_choice(*choice)?)?;
-            }
-            Backend::Sharded(builder.build()?)
-        } else {
-            let mut session = Session::new();
-            for (name, src, choice) in &regs {
-                session.register_with(name, src, decode_choice(*choice)?)?;
-            }
-            Backend::Single(SharedSession::new(session))
-        };
+        }
+        let backend = build_backend(sharded, &regs)?;
 
         // Load checkpoint tuples, batched per relation.
         if let Some((_, body)) = &ckpt {
-            let schema = backend.schema()?;
-            if body.rels.len() != schema.len() {
-                return Err(DurableError::Recovery(format!(
-                    "checkpoint has {} relations, schema has {}",
-                    body.rels.len(),
-                    schema.len()
-                )));
-            }
-            for (idx, (arity, tuples)) in body.rels.iter().enumerate() {
-                let rel = RelId(idx as u32);
-                if *arity != schema.arity(rel) {
-                    return Err(DurableError::Recovery(format!(
-                        "checkpoint arity mismatch on relation {idx}"
-                    )));
-                }
-                for chunk in tuples.chunks(REPLAY_CHUNK) {
-                    let batch: Vec<Update> = chunk
-                        .iter()
-                        .map(|t| Update::Insert(rel, t.clone()))
-                        .collect();
-                    replay_batch(&backend, &batch)?;
-                }
-            }
+            load_ckpt_tuples(&backend, body)?;
         }
 
         // Replay the tail.
@@ -635,8 +664,17 @@ impl DurableSession {
 
         let wal = Wal::new(dir, opts.wal(), scan.next_segment)?;
         Ok(DurableSession {
-            wal: Mutex::new(WalState { wal, regs }),
+            wal: Mutex::new(WalState {
+                wal,
+                regs,
+                sinks: Vec::new(),
+                next_sink: 1,
+            }),
             backend,
+            // The startup segment index is strictly increasing across
+            // lives (recovery always opens past every existing segment),
+            // which is exactly what an epoch needs.
+            epoch: scan.next_segment,
         })
     }
 
@@ -724,13 +762,16 @@ impl DurableSession {
         };
         let id = sess.register_with(name, src, choice)?;
         let byte = encode_choice(choice);
-        st.wal.append(&Rec::Register {
+        let rec = Rec::Register {
             name: name.to_string(),
             src: src.to_string(),
             choice: byte,
-        });
+        };
+        st.wal.append(&rec);
         st.wal.commit()?;
         st.wal.sync()?;
+        let head = sess.read(|s| s.seq())?;
+        ship(&mut st, head, std::slice::from_ref(&rec));
         st.regs.push((name.to_string(), src.to_string(), byte));
         Ok(id)
     }
@@ -763,8 +804,12 @@ impl DurableSession {
                         });
                     }
                     let seq0 = s.seq();
-                    stage_updates(&mut st.wal, seq0, &effective, |_| 0);
+                    let recs = update_recs(seq0, &effective, |_| 0);
+                    for rec in &recs {
+                        st.wal.append(rec);
+                    }
                     st.wal.commit()?;
+                    ship(st, seq0 + effective.len() as u64, &recs);
                     let report = s.apply_batch_prevalidated(updates);
                     debug_assert_eq!(report.applied, effective.len());
                     debug_assert_eq!(s.seq(), seq0 + effective.len() as u64);
@@ -789,10 +834,14 @@ impl DurableSession {
                     });
                 }
                 let seq0 = sess.seq();
-                stage_updates(&mut st.wal, seq0, &effective, |rel| {
+                let recs = update_recs(seq0, &effective, |rel| {
                     sess.plan().shard_of_relation(rel).unwrap_or(0) as u16
                 });
+                for rec in &recs {
+                    st.wal.append(rec);
+                }
                 st.wal.commit()?;
+                ship(st, seq0 + effective.len() as u64, &recs);
                 // No reader can interleave observations here: the WAL
                 // lock serializes writers, and per-update seq stamps are
                 // never observable below event granularity — the log
@@ -842,17 +891,29 @@ impl DurableSession {
                 match res {
                     Ok(r) => {
                         if n > 0 {
-                            st.wal.append(&Rec::TxBegin {
+                            let mut recs = Vec::with_capacity(logged.len() + 2);
+                            recs.push(Rec::TxBegin {
                                 first_seq: seq0 + 1,
                             });
-                            stage_updates(&mut st.wal, seq0, &logged, |_| 0);
-                            st.wal.append(&Rec::TxCommit { last_seq: seq0 + n });
+                            recs.extend(update_recs(seq0, &logged, |_| 0));
+                            recs.push(Rec::TxCommit { last_seq: seq0 + n });
+                            for rec in &recs {
+                                st.wal.append(rec);
+                            }
                             if let Err(e) = st.wal.commit() {
                                 txn.rollback();
-                                st.wal.append(&Rec::SeqBurn { upto: seq0 + n });
-                                let _ = st.wal.commit();
+                                let burn = Rec::SeqBurn { upto: seq0 + n };
+                                st.wal.append(&burn);
+                                if st.wal.commit().is_ok() {
+                                    ship(st, seq0 + n, std::slice::from_ref(&burn));
+                                }
+                                // The tx-commit failure wins: the caller
+                                // already has a log error to act on, and
+                                // a failed burn leaves the WAL poisoned
+                                // for the next commit to surface.
                                 return Err(e.into());
                             }
+                            ship(st, seq0 + n, &recs);
                         }
                         txn.commit();
                         Ok(r)
@@ -860,8 +921,18 @@ impl DurableSession {
                     Err(e) => {
                         txn.rollback();
                         if n > 0 {
-                            st.wal.append(&Rec::SeqBurn { upto: seq0 + n });
-                            let _ = st.wal.commit();
+                            let burn = Rec::SeqBurn { upto: seq0 + n };
+                            st.wal.append(&burn);
+                            // A burn that fails to land is a real
+                            // durability fault — the on-disk counter no
+                            // longer covers the burned numbers, so a
+                            // recovery could reissue them to subscriber
+                            // cursors. Surface it instead of pretending
+                            // the rollback was clean.
+                            match st.wal.commit() {
+                                Ok(_) => ship(st, seq0 + n, std::slice::from_ref(&burn)),
+                                Err(we) => return Err(we.into()),
+                            }
                         }
                         Err(DurableError::Session(e))
                     }
@@ -888,13 +959,18 @@ impl DurableSession {
                                 // rolls back on error and the burn
                                 // record is written below.
                                 burn = n;
-                                st.wal.append(&Rec::TxBegin {
+                                let mut recs = Vec::with_capacity(logged.len() + 2);
+                                recs.push(Rec::TxBegin {
                                     first_seq: seq0 + 1,
                                 });
-                                stage_updates(&mut st.wal, seq0, &logged, plan_shard);
-                                st.wal.append(&Rec::TxCommit { last_seq: seq0 + n });
+                                recs.extend(update_recs(seq0, &logged, plan_shard));
+                                recs.push(Rec::TxCommit { last_seq: seq0 + n });
+                                for rec in &recs {
+                                    st.wal.append(rec);
+                                }
                                 st.wal.commit()?;
                                 burn = 0;
+                                ship(st, seq0 + n, &recs);
                             }
                             Ok(r)
                         }
@@ -905,8 +981,20 @@ impl DurableSession {
                     }
                 });
                 if burn > 0 {
-                    st.wal.append(&Rec::SeqBurn { upto: seq0 + burn });
-                    let _ = st.wal.commit();
+                    let rec = Rec::SeqBurn { upto: seq0 + burn };
+                    st.wal.append(&rec);
+                    match st.wal.commit() {
+                        Ok(_) => ship(st, seq0 + burn, std::slice::from_ref(&rec)),
+                        // Surface the failed burn — unless the log
+                        // already failed, in which case the original
+                        // error is the better diagnostic.
+                        Err(we) => {
+                            return match res {
+                                Err(DurableError::Wal(_)) => res,
+                                _ => Err(we.into()),
+                            };
+                        }
+                    }
                 }
                 res
             }
@@ -951,6 +1039,48 @@ impl DurableSession {
         st.wal.sync()?;
         Ok(())
     }
+
+    /// This log lifetime's replication epoch. A follower's resume
+    /// cursor is only meaningful within the epoch it was built against:
+    /// after a leader restart, an un-fsynced suffix may have been
+    /// truncated and its seqs reassigned, so followers re-handshake and
+    /// the leader re-bootstraps them as needed.
+    pub fn replication_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Registers a replication follower: scans the committed log
+    /// (newest checkpoint plus the record tail) and attaches `queue` to
+    /// receive every later commit — all under one hold of the WAL lock,
+    /// so no commit can fall between the scan and the live stream.
+    pub(crate) fn attach_follower(
+        &self,
+        queue: Arc<cqu_repl::ShipQueue>,
+    ) -> Result<cqu_repl::Attach, DurableError> {
+        let mut st = lock_wal(&self.wal)?;
+        let shipped = st.wal.ship_scan()?;
+        // Stable under the WAL lock: every durable writer serializes
+        // through it, and seqs only move inside a commit.
+        let head_seq = self.backend.seq()?;
+        let id = st.next_sink;
+        st.next_sink += 1;
+        st.sinks.push((id, queue));
+        Ok(cqu_repl::Attach {
+            id,
+            epoch: self.epoch,
+            sharded: self.is_sharded(),
+            head_seq,
+            checkpoint: shipped.checkpoint,
+            records: shipped.records,
+        })
+    }
+
+    /// Unregisters a departed follower's queue (idempotent).
+    pub(crate) fn detach_follower(&self, id: u64) {
+        if let Ok(mut st) = lock_wal(&self.wal) {
+            st.sinks.retain(|(sid, _)| *sid != id);
+        }
+    }
 }
 
 fn ensure_virgin(dir: &dyn WalDir) -> Result<(), DurableError> {
@@ -966,14 +1096,68 @@ fn ensure_virgin(dir: &dyn WalDir) -> Result<(), DurableError> {
     Ok(())
 }
 
-fn replay_batch(backend: &Backend, batch: &[Update]) -> Result<(), DurableError> {
+/// Builds a fresh backend from a registration list — shared by recovery
+/// and by replica bootstrap, which both must reproduce relation ids by
+/// re-registering in the original order.
+pub(crate) fn build_backend(
+    sharded: bool,
+    regs: &[(String, String, u8)],
+) -> Result<Backend, DurableError> {
+    if sharded {
+        let mut builder = ShardedSessionBuilder::new();
+        for (name, src, choice) in regs {
+            builder.register_with(name, src, decode_choice(*choice)?)?;
+        }
+        Ok(Backend::Sharded(builder.build()?))
+    } else {
+        let mut session = Session::new();
+        for (name, src, choice) in regs {
+            session.register_with(name, src, decode_choice(*choice)?)?;
+        }
+        Ok(Backend::Single(SharedSession::new(session)))
+    }
+}
+
+/// Loads a decoded checkpoint body's tuples into a freshly built
+/// backend, batched per relation, with schema/arity cross-checks.
+pub(crate) fn load_ckpt_tuples(backend: &Backend, body: &CkptBody) -> Result<(), DurableError> {
+    let schema = backend.schema()?;
+    if body.rels.len() != schema.len() {
+        return Err(DurableError::Recovery(format!(
+            "checkpoint has {} relations, schema has {}",
+            body.rels.len(),
+            schema.len()
+        )));
+    }
+    for (idx, (arity, tuples)) in body.rels.iter().enumerate() {
+        let rel = RelId(idx as u32);
+        if *arity != schema.arity(rel) {
+            return Err(DurableError::Recovery(format!(
+                "checkpoint arity mismatch on relation {idx}"
+            )));
+        }
+        for chunk in tuples.chunks(REPLAY_CHUNK) {
+            let batch: Vec<Update> = chunk
+                .iter()
+                .map(|t| Update::Insert(rel, t.clone()))
+                .collect();
+            replay_batch(backend, &batch)?;
+        }
+    }
+    Ok(())
+}
+
+pub(crate) fn replay_batch(backend: &Backend, batch: &[Update]) -> Result<(), DurableError> {
     backend
         .apply_batch(batch)
         .map_err(|e| DurableError::Recovery(format!("log replay failed: {e}")))?;
     Ok(())
 }
 
-fn flush_pending(backend: &Backend, pending: &mut Vec<Update>) -> Result<(), DurableError> {
+pub(crate) fn flush_pending(
+    backend: &Backend,
+    pending: &mut Vec<Update>,
+) -> Result<(), DurableError> {
     for chunk in pending.chunks(REPLAY_CHUNK) {
         replay_batch(backend, chunk)?;
     }

@@ -70,11 +70,16 @@
 //! * [`serve`] / [`serving`] — the streaming subscription server: a TCP
 //!   front end with resumable seq cursors, per-client backpressure, and
 //!   one-serialization fan-out (`cqu-serve`).
+//! * [`replica`] / [`repl`] — log-shipping read replicas: the leader
+//!   streams committed WAL records (with checkpoint transfer for
+//!   catch-up) to follower sessions that serve reads at an explicit
+//!   `applied_seq()` watermark (`cqu-repl`).
 
 #![warn(missing_docs)]
 
 pub mod durable;
 pub mod error;
+pub mod replica;
 pub mod serve;
 pub mod session;
 pub mod shard;
@@ -84,12 +89,14 @@ pub use cqu_common as common;
 pub use cqu_dynamic as dynamic;
 pub use cqu_lowerbounds as lowerbounds;
 pub use cqu_query as query;
+pub use cqu_repl as repl;
 pub use cqu_serve as serving;
 pub use cqu_storage as storage;
 pub use cqu_wal as wal;
 
 pub use durable::{DurableError, DurableOptions, DurableSession, DurableTransaction};
 pub use error::CqError;
+pub use replica::{ReplicaOptions, ReplicaSession, ReplicationServer};
 pub use session::{
     BoundedSubscription, ChangeEvent, EngineChoice, QueryHandle, QueryId, QuerySnapshot,
     ReplayOutcome, Resume, RouteReason, Session, SessionTransaction, SharedSession, Subscription,
@@ -100,7 +107,10 @@ pub use shard::{ShardPlan, ShardSpec, ShardedSession, ShardedSessionBuilder, Sha
 pub mod prelude {
     pub use crate::durable::{DurableError, DurableOptions, DurableSession, DurableTransaction};
     pub use crate::error::CqError;
-    pub use crate::serve::{ServerHandle, SessionSource, ShardedSource};
+    pub use crate::replica::{
+        FollowerConfig, LeaderConfig, ReplicaOptions, ReplicaSession, ReplicationServer,
+    };
+    pub use crate::serve::{ReplicaSource, ServerHandle, SessionSource, ShardedSource};
     pub use crate::session::{
         BoundedSubscription, ChangeEvent, EngineChoice, PinReader, QueryHandle, QueryId,
         QuerySnapshot, ReplayOutcome, Resume, RouteReason, Session, SessionTransaction,

@@ -1,0 +1,682 @@
+//! Read replicas: follower sessions fed by a leader's log stream.
+//!
+//! The leader side is one call — [`ReplicationServer::bind`] over an
+//! `Arc<DurableSession>` — and the follower side is
+//! [`ReplicaSession::connect`], which maintains a live, crash-tolerant
+//! copy of the leader's session and serves the full read API
+//! (snapshots, O(1) counts, lock-free [`PinReader`] pins, `subscribe()`
+//! feeds, cursor replay) at an explicit [`applied_seq`] watermark.
+//!
+//! [`applied_seq`]: ReplicaSession::applied_seq
+//!
+//! ```text
+//!   DurableSession ── WAL commits ──▶ ReplicationServer (leader)
+//!                                         │ checkpoint transfer + record stream
+//!              ReplicaSession (follower) ◀┘
+//!                  │ applied_seq() watermark
+//!              readers / subscribers / cqu-serve front end
+//! ```
+//!
+//! ## Consistency model
+//!
+//! Replication is asynchronous: a replica is *eventually consistent*
+//! with the leader, and **exact** at its watermark — after
+//! `wait_for_seq(s)` returns, every read observes precisely
+//! `timeline[s']` for some `s' ≥ s` on the leader's one true timeline.
+//! There are no torn states: transaction groups apply atomically, and
+//! each record batch is applied before the watermark moves past it.
+//!
+//! ## Bootstrap, resume, epochs
+//!
+//! A fresh follower (or one whose cursor fell behind the leader's
+//! checkpoint floor) is **bootstrapped**: the leader streams its newest
+//! checkpoint body in bounded chunks, the replica rebuilds a backend
+//! from it (same code path as crash recovery), and the record tail
+//! follows. A follower that disconnects briefly **resumes**: it offers
+//! its `(epoch, cursor)` and receives only records past the cursor.
+//! Epochs fence leader restarts — a restarted leader may have truncated
+//! an un-fsynced suffix whose seqs were reassigned, so a cursor from an
+//! older epoch is never resumed, only re-bootstrapped.
+//!
+//! The in-memory apply machinery is identical to recovery's: updates
+//! replay through the same backend, so a replica's engine states,
+//! relation ids, and subscriber seq stamps match the leader's exactly.
+
+use crate::durable::{
+    build_backend, decode_choice, decode_ckpt_body, load_ckpt_tuples, Backend, DurableSession,
+    REPLAY_CHUNK,
+};
+use crate::error::CqError;
+use crate::session::{
+    PinReader, QuerySnapshot, ReplayOutcome, Resume, SharedSession, Subscription,
+};
+use crate::shard::ShardedSession;
+use cqu_query::RelId;
+use cqu_storage::Update;
+use cqu_wal::Rec;
+use std::collections::HashSet;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+pub use cqu_repl::{FollowerConfig, FollowerStats, LeaderConfig, LeaderStats};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn err_str(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+/// Tuning for a [`ReplicaSession`].
+#[derive(Debug, Clone)]
+pub struct ReplicaOptions {
+    /// Network behavior (reconnect backoff, timeouts) — see
+    /// [`FollowerConfig`].
+    pub follower: FollowerConfig,
+    /// Delta-retention ring capacity enabled on every replicated query,
+    /// so cursor replay ([`ReplicaSession::replay_since`]) and the
+    /// serving front end work on the replica. `0` disables retention.
+    pub ring_cap: usize,
+}
+
+impl Default for ReplicaOptions {
+    fn default() -> ReplicaOptions {
+        ReplicaOptions {
+            follower: FollowerConfig::default(),
+            ring_cap: 1024,
+        }
+    }
+}
+
+/// State shared between the applier (follower thread) and reader
+/// handles.
+struct ReplicaShared {
+    /// The live backend — `None` until the first bootstrap completes;
+    /// swapped wholesale on re-bootstrap.
+    backend: RwLock<Option<Backend>>,
+    /// The applied watermark, guarded for [`ReplicaSession::wait_for_seq`].
+    applied: Mutex<u64>,
+    bumped: Condvar,
+    /// The leader epoch the current state was built against.
+    epoch: AtomicU64,
+}
+
+impl ReplicaShared {
+    fn backend(&self) -> Option<Backend> {
+        self.backend
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// An open transaction group being collected off the stream.
+struct TxGroup {
+    first_seq: u64,
+    updates: Vec<Update>,
+}
+
+/// The [`cqu_repl::ReplicaApply`] implementation: drives the same
+/// backend machinery as crash recovery, from a socket instead of a
+/// directory scan.
+struct SessionApplier {
+    shared: Arc<ReplicaShared>,
+    ring_cap: usize,
+    sharded: bool,
+    /// Registrations in arrival order (name, src, encoded choice).
+    regs: Vec<(String, String, u8)>,
+    registered: HashSet<String>,
+    /// Local handle to the published backend (`None` while a sharded
+    /// bootstrap waits for its `Register` records — the sealed plan
+    /// needs the full query set before it can build).
+    backend: Option<Backend>,
+    /// Buffered plain updates `(seq, update)` awaiting a flush.
+    pending: Vec<(u64, Update)>,
+    /// An open `TxBegin … TxCommit` group (may span record frames).
+    tx: Option<TxGroup>,
+    /// Applied watermark: every seq ≤ cursor is fully applied.
+    cursor: u64,
+    epoch: u64,
+}
+
+impl SessionApplier {
+    fn install(&mut self, backend: Backend) -> Result<(), String> {
+        self.enable_retention(&backend)?;
+        *self
+            .shared
+            .backend
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Some(backend.clone());
+        self.backend = Some(backend);
+        Ok(())
+    }
+
+    fn enable_retention(&self, backend: &Backend) -> Result<(), String> {
+        if self.ring_cap == 0 {
+            return Ok(());
+        }
+        match backend {
+            Backend::Single(s) => s
+                .read(|s| {
+                    for h in s.queries() {
+                        h.retain_deltas(self.ring_cap);
+                    }
+                })
+                .map_err(err_str),
+            Backend::Sharded(s) => {
+                let names: Vec<String> = s
+                    .plan()
+                    .shards()
+                    .iter()
+                    .flat_map(|sh| sh.queries().iter().cloned())
+                    .collect();
+                for name in names {
+                    s.retain_deltas(&name, self.ring_cap).map_err(err_str)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Builds the deferred sharded backend once its registrations are
+    /// all in hand.
+    fn ensure_backend(&mut self) -> Result<(), String> {
+        if self.backend.is_some() {
+            return Ok(());
+        }
+        let backend = build_backend(self.sharded, &self.regs).map_err(err_str)?;
+        backend.force_seq(self.cursor).map_err(err_str)?;
+        self.install(backend)
+    }
+
+    fn publish_applied(&self) {
+        let mut applied = lock(&self.shared.applied);
+        if self.cursor > *applied {
+            *applied = self.cursor;
+            self.shared.bumped.notify_all();
+        }
+    }
+
+    /// Applies the buffered plain updates: per maximal contiguous seq
+    /// run, pin the counter just below the run and batch-apply. Every
+    /// update the leader shipped was effective there, so it must be
+    /// effective here too — a shortfall means the replica diverged, and
+    /// the caller escalates to a re-bootstrap.
+    fn flush(&mut self) -> Result<(), String> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.ensure_backend()?;
+        let backend = self.backend.as_ref().expect("ensured").clone();
+        let pending = std::mem::take(&mut self.pending);
+        let mut i = 0;
+        while i < pending.len() {
+            let mut j = i + 1;
+            while j < pending.len() && pending[j].0 == pending[j - 1].0 + 1 {
+                j += 1;
+            }
+            let last = pending[j - 1].0;
+            backend.force_seq(pending[i].0 - 1).map_err(err_str)?;
+            let run: Vec<Update> = pending[i..j].iter().map(|(_, u)| u.clone()).collect();
+            for chunk in run.chunks(REPLAY_CHUNK) {
+                backend.apply_batch(chunk).map_err(err_str)?;
+            }
+            let now = backend.seq().map_err(err_str)?;
+            if now != last {
+                return Err(format!(
+                    "replica diverged: expected seq {last} after run, backend at {now}"
+                ));
+            }
+            self.cursor = self.cursor.max(last);
+            i = j;
+        }
+        Ok(())
+    }
+
+    fn apply_inner(&mut self, recs: &[Rec]) -> Result<u64, String> {
+        for rec in recs {
+            match rec {
+                Rec::Mode { sharded } => {
+                    if *sharded != self.sharded {
+                        return Err("stream mode disagrees with handshake".into());
+                    }
+                }
+                Rec::Register { name, src, choice } => {
+                    if self.registered.contains(name) {
+                        continue; // catch-up overlap: DDL is idempotent by name
+                    }
+                    self.flush()?;
+                    if self.sharded {
+                        if self.backend.is_some() {
+                            return Err("late registration on a sealed sharded replica".into());
+                        }
+                        self.regs.push((name.clone(), src.clone(), *choice));
+                    } else {
+                        self.ensure_backend()?;
+                        let Some(Backend::Single(sess)) = &self.backend else {
+                            unreachable!("single-mode register on sharded backend");
+                        };
+                        sess.register_with(name, src, decode_choice(*choice).map_err(err_str)?)
+                            .map_err(err_str)?;
+                        if self.ring_cap > 0 {
+                            sess.read(|s| {
+                                if let Ok(h) = s.query(name) {
+                                    h.retain_deltas(self.ring_cap);
+                                }
+                            })
+                            .map_err(err_str)?;
+                        }
+                        self.regs.push((name.clone(), src.clone(), *choice));
+                    }
+                    self.registered.insert(name.clone());
+                }
+                Rec::Update {
+                    seq,
+                    insert,
+                    rel,
+                    tuple,
+                    ..
+                } => {
+                    let u = if *insert {
+                        Update::Insert(RelId(*rel), tuple.clone())
+                    } else {
+                        Update::Delete(RelId(*rel), tuple.clone())
+                    };
+                    match &mut self.tx {
+                        // Group members are filtered by the commit seq,
+                        // not per update — groups apply whole or not at
+                        // all.
+                        Some(g) => g.updates.push(u),
+                        None => {
+                            if *seq > self.cursor {
+                                self.pending.push((*seq, u));
+                            }
+                        }
+                    }
+                }
+                Rec::TxBegin { first_seq } => {
+                    if self.tx.is_some() {
+                        return Err("transaction begin inside an open transaction".into());
+                    }
+                    self.flush()?;
+                    self.tx = Some(TxGroup {
+                        first_seq: *first_seq,
+                        updates: Vec::new(),
+                    });
+                }
+                Rec::TxCommit { last_seq } => {
+                    let Some(g) = self.tx.take() else {
+                        return Err("transaction commit without begin".into());
+                    };
+                    if *last_seq <= self.cursor {
+                        continue; // already applied before a resume
+                    }
+                    self.flush()?;
+                    self.ensure_backend()?;
+                    let backend = self.backend.as_ref().expect("ensured");
+                    backend.force_seq(g.first_seq - 1).map_err(err_str)?;
+                    backend.apply_tx(&g.updates).map_err(err_str)?;
+                    let now = backend.seq().map_err(err_str)?;
+                    if now != *last_seq {
+                        return Err(format!(
+                            "replica diverged: transaction expected seq {last_seq}, backend at {now}"
+                        ));
+                    }
+                    self.cursor = *last_seq;
+                }
+                Rec::SeqBurn { upto } => {
+                    if self.tx.is_some() {
+                        return Err("seq burn inside an open transaction".into());
+                    }
+                    if *upto > self.cursor {
+                        self.flush()?;
+                        self.ensure_backend()?;
+                        let backend = self.backend.as_ref().expect("ensured");
+                        backend.force_seq(*upto).map_err(err_str)?;
+                        self.cursor = *upto;
+                    }
+                }
+            }
+        }
+        self.flush()?;
+        self.publish_applied();
+        Ok(self.cursor)
+    }
+}
+
+impl cqu_repl::ReplicaApply for SessionApplier {
+    fn reset(&mut self, sharded: bool, checkpoint: Option<(u64, Vec<u8>)>) -> Result<(), String> {
+        self.pending.clear();
+        self.tx = None;
+        self.sharded = sharded;
+        self.regs.clear();
+        self.registered.clear();
+        self.backend = None;
+        *self
+            .shared
+            .backend
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+        self.cursor = 0;
+        match checkpoint {
+            Some((seq, bytes)) => {
+                let body = decode_ckpt_body(&bytes).map_err(err_str)?;
+                if body.sharded != sharded {
+                    return Err("checkpoint mode disagrees with handshake".into());
+                }
+                let backend = build_backend(sharded, &body.regs).map_err(err_str)?;
+                load_ckpt_tuples(&backend, &body).map_err(err_str)?;
+                backend.force_seq(seq).map_err(err_str)?;
+                self.registered = body.regs.iter().map(|(n, _, _)| n.clone()).collect();
+                self.regs = body.regs;
+                self.cursor = seq;
+                self.install(backend)?;
+            }
+            None => {
+                // No checkpoint: the leader ships its log from seq 0. A
+                // single-writer backend can build empty right away; a
+                // sharded one must wait for its Register records.
+                if !sharded {
+                    let backend = build_backend(false, &[]).map_err(err_str)?;
+                    self.install(backend)?;
+                }
+            }
+        }
+        // The watermark restarts with the state; readers of the old
+        // backend keep their pins, new reads see the bootstrap.
+        *lock(&self.shared.applied) = self.cursor;
+        self.shared.bumped.notify_all();
+        Ok(())
+    }
+
+    fn apply_records(&mut self, recs: &[Rec]) -> Result<u64, String> {
+        let res = self.apply_inner(recs);
+        if res.is_err() {
+            // Divergence or replay failure: poison the epoch so the
+            // reconnect handshake re-bootstraps from the leader's
+            // checkpoint instead of resuming atop bad state.
+            self.epoch = 0;
+            self.shared.epoch.store(0, Ordering::SeqCst);
+        }
+        res
+    }
+
+    fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+        self.shared.epoch.store(epoch, Ordering::SeqCst);
+    }
+
+    fn on_heartbeat(&mut self, _head_seq: u64) -> Result<u64, String> {
+        // Heartbeats only flow once catch-up is fully written, so a
+        // deferred sharded build can safely seal here.
+        self.flush()?;
+        if self.backend.is_none() && !self.regs.is_empty() {
+            self.ensure_backend()?;
+        }
+        self.publish_applied();
+        Ok(self.cursor)
+    }
+
+    fn on_disconnect(&mut self) {
+        // Drop in-flight partial state; everything applied stays. The
+        // cursor only ever covers completed work, so the resume
+        // handshake re-ships whatever was dropped here.
+        self.tx = None;
+        self.pending.clear();
+    }
+}
+
+/// A live read replica of a leader's [`DurableSession`] (see the
+/// [module docs](self) for the consistency model). Dropping it stops
+/// the network thread.
+pub struct ReplicaSession {
+    shared: Arc<ReplicaShared>,
+    follower: cqu_repl::Follower,
+}
+
+impl ReplicaSession {
+    /// Connects to the replication listener of a
+    /// [`ReplicationServer`] at `addr` and starts following. Returns
+    /// immediately; use [`ReplicaSession::wait_for_seq`] (or poll
+    /// [`ReplicaSession::applied_seq`]) to observe sync progress.
+    pub fn connect(addr: SocketAddr, options: ReplicaOptions) -> io::Result<ReplicaSession> {
+        let shared = Arc::new(ReplicaShared {
+            backend: RwLock::new(None),
+            applied: Mutex::new(0),
+            bumped: Condvar::new(),
+            epoch: AtomicU64::new(0),
+        });
+        let applier = SessionApplier {
+            shared: Arc::clone(&shared),
+            ring_cap: options.ring_cap,
+            sharded: false,
+            regs: Vec::new(),
+            registered: HashSet::new(),
+            backend: None,
+            pending: Vec::new(),
+            tx: None,
+            cursor: 0,
+            epoch: 0,
+        };
+        let follower = cqu_repl::Follower::spawn(addr, Box::new(applier), options.follower)?;
+        Ok(ReplicaSession { shared, follower })
+    }
+
+    /// The applied watermark: every leader seq ≤ this value is fully
+    /// reflected in reads. `0` until the first bootstrap lands.
+    pub fn applied_seq(&self) -> u64 {
+        *lock(&self.shared.applied)
+    }
+
+    /// Blocks until the watermark reaches `seq` (true) or `timeout`
+    /// elapses (false).
+    pub fn wait_for_seq(&self, seq: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut applied = lock(&self.shared.applied);
+        while *applied < seq {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _) = self
+                .shared
+                .bumped
+                .wait_timeout(applied, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            applied = g;
+        }
+        true
+    }
+
+    /// The leader epoch this replica's state was built against (`0`
+    /// before the first sync, or after a divergence forced the next
+    /// handshake to re-bootstrap).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Whether the replication connection is currently up.
+    pub fn is_connected(&self) -> bool {
+        self.follower.stats().connected
+    }
+
+    /// Network counters (connects, bootstraps, resumes, disconnects).
+    pub fn stats(&self) -> FollowerStats {
+        self.follower.stats()
+    }
+
+    /// Severs the current connection, forcing a disconnect/resume cycle
+    /// — fault injection for tests.
+    pub fn kick(&self) {
+        self.follower.kick();
+    }
+
+    /// Stops the network thread and joins it (also happens on drop).
+    pub fn shutdown(&mut self) {
+        self.follower.stop();
+    }
+
+    fn backend(&self) -> Result<Backend, CqError> {
+        self.shared
+            .backend()
+            .ok_or_else(|| CqError::UnknownQuery("replica not yet bootstrapped".into()))
+    }
+
+    /// Resolves a relation by name (available once bootstrapped).
+    pub fn relation(&self, name: &str) -> Result<RelId, CqError> {
+        match self.backend()? {
+            Backend::Single(s) => s.relation(name),
+            Backend::Sharded(s) => s.relation(name),
+        }
+    }
+
+    /// Pins a snapshot of `name`'s result at the replica's watermark.
+    pub fn snapshot(&self, name: &str) -> Result<QuerySnapshot, CqError> {
+        match self.backend()? {
+            Backend::Single(s) => s.snapshot(name),
+            Backend::Sharded(s) => s.snapshot(name),
+        }
+    }
+
+    /// O(1) count of `name`'s result at the watermark.
+    pub fn count(&self, name: &str) -> Result<u64, CqError> {
+        match self.backend()? {
+            Backend::Single(s) => s.count(name),
+            Backend::Sharded(s) => s.count(name),
+        }
+    }
+
+    /// A lock-free [`PinReader`] over `name` — constant-delay
+    /// enumeration against a pinned epoch, never blocked by the apply
+    /// stream.
+    pub fn reader(&self, name: &str) -> Result<PinReader, CqError> {
+        match self.backend()? {
+            Backend::Single(s) => s.reader(name),
+            Backend::Sharded(s) => s.reader(name),
+        }
+    }
+
+    /// Subscribes to `name`'s result deltas as the replica applies the
+    /// leader's commits. Seq stamps match the leader's timeline.
+    pub fn subscribe(&self, name: &str) -> Result<Subscription, CqError> {
+        match self.backend()? {
+            Backend::Single(s) => s.subscribe(name),
+            Backend::Sharded(s) => s.subscribe(name),
+        }
+    }
+
+    /// Resumes a subscription from a seq cursor, netting missed deltas
+    /// from the retention ring where possible.
+    pub fn subscribe_from(&self, name: &str, from_seq: u64) -> Result<Resume, CqError> {
+        match self.backend()? {
+            Backend::Single(s) => s.subscribe_from(name, from_seq),
+            Backend::Sharded(s) => s.subscribe_from(name, from_seq),
+        }
+    }
+
+    /// Nets the retained deltas of `name` since `from_seq` (the replay
+    /// half of [`ReplicaSession::subscribe_from`]).
+    pub fn replay_since(&self, name: &str, from_seq: u64) -> Result<ReplayOutcome, CqError> {
+        match self.backend()? {
+            Backend::Single(s) => s.read(|s| s.query(name).map(|h| h.replay_since(from_seq)))?,
+            Backend::Sharded(s) => s.replay_since(name, from_seq),
+        }
+    }
+
+    /// The replica's [`SharedSession`] handle (single-writer leaders).
+    /// Read from it freely; never write through it — replicas are
+    /// read-only by construction.
+    pub fn shared(&self) -> Option<SharedSession> {
+        match self.shared.backend()? {
+            Backend::Single(s) => Some(s),
+            Backend::Sharded(_) => None,
+        }
+    }
+
+    /// The replica's [`ShardedSession`] handle (sharded leaders). Same
+    /// contract as [`ReplicaSession::shared`]: reads only.
+    pub fn sharded(&self) -> Option<ShardedSession> {
+        match self.shared.backend()? {
+            Backend::Single(_) => None,
+            Backend::Sharded(s) => Some(s),
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplicaSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaSession")
+            .field("applied_seq", &self.applied_seq())
+            .field("epoch", &self.epoch())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Adapts a [`DurableSession`] to the leader-side replication contract.
+struct LeaderSource(Arc<DurableSession>);
+
+impl cqu_repl::ReplSource for LeaderSource {
+    fn attach(&self, queue: Arc<cqu_repl::ShipQueue>) -> Result<cqu_repl::Attach, String> {
+        self.0.attach_follower(queue).map_err(err_str)
+    }
+
+    fn detach(&self, id: u64) {
+        self.0.detach_follower(id);
+    }
+}
+
+/// The leader's replication listener: binds a TCP port and ships the
+/// session's WAL to every connecting [`ReplicaSession`]. Dropping it
+/// stops the listener and tears down follower connections (followers
+/// reconnect and resume when a new server binds).
+pub struct ReplicationServer {
+    inner: cqu_repl::LeaderServer,
+}
+
+impl ReplicationServer {
+    /// Starts shipping `session`'s log on `addr` (use port 0 for an
+    /// OS-assigned port).
+    pub fn bind(
+        addr: impl std::net::ToSocketAddrs,
+        session: Arc<DurableSession>,
+        config: LeaderConfig,
+    ) -> io::Result<ReplicationServer> {
+        Ok(ReplicationServer {
+            inner: cqu_repl::LeaderServer::bind(addr, Arc::new(LeaderSource(session)), config)?,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr()
+    }
+
+    /// Leader counters (attached followers, resumes, bootstraps, …).
+    pub fn stats(&self) -> LeaderStats {
+        self.inner.stats()
+    }
+
+    /// Stops the listener and joins its threads (also happens on drop).
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ReplicationServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}

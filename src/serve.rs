@@ -214,6 +214,62 @@ impl FeedSource for ShardedSource {
     }
 }
 
+/// Serves a [`ReplicaSession`](crate::replica::ReplicaSession): a
+/// follower can front the same streaming TCP protocol as its leader,
+/// which is how read throughput scales horizontally — point subscribers
+/// at replicas, keep the leader for writes. Reads are served at the
+/// replica's `applied_seq()` watermark (eventually consistent with the
+/// leader; seq stamps stay on the leader's timeline, so a client cursor
+/// is portable between leader and replica front ends). Delegates to the
+/// replica's *current* backend per call, so a re-bootstrap behind the
+/// scenes is picked up transparently. Registration is rejected —
+/// replicas are read-only.
+pub struct ReplicaSource {
+    replica: Arc<crate::replica::ReplicaSession>,
+}
+
+impl ReplicaSource {
+    /// Wraps `replica` for serving. Delta retention is governed by the
+    /// replica's own `ring_cap` option ([`crate::replica::ReplicaOptions`]).
+    pub fn new(replica: Arc<crate::replica::ReplicaSession>) -> ReplicaSource {
+        ReplicaSource { replica }
+    }
+
+    /// The wrapped replica.
+    pub fn replica(&self) -> &Arc<crate::replica::ReplicaSession> {
+        &self.replica
+    }
+}
+
+impl FeedSource for ReplicaSource {
+    fn seq(&self) -> u64 {
+        self.replica.applied_seq()
+    }
+
+    fn register(&self, _name: &str, _src: &str) -> Result<u64, SourceError> {
+        Err(SourceError::Unsupported(
+            "replicas are read-only; register on the leader".into(),
+        ))
+    }
+
+    fn snapshot(&self, name: &str) -> Result<(u64, Vec<Row>), SourceError> {
+        let snap = self.replica.snapshot(name).map_err(source_err)?;
+        Ok((snap.seq(), snap.results_sorted()))
+    }
+
+    fn replay(&self, name: &str, from_seq: u64) -> Result<Replay, SourceError> {
+        self.replica
+            .replay_since(name, from_seq)
+            .map(to_replay)
+            .map_err(source_err)
+    }
+
+    fn open_feed(&self, name: &str) -> Result<Box<dyn FeedStream>, SourceError> {
+        let sub = self.replica.subscribe(name).map_err(source_err)?;
+        Ok(Box::new(SubscriptionFeed(sub)))
+    }
+}
+
 /// A running server plus its address — the convenience most callers
 /// want (see [`cqu_serve::Server`] for the full API).
 pub struct ServerHandle {

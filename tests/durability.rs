@@ -241,10 +241,22 @@ fn drive(sess: &DurableSession, schema: &Schema, ops: &[Op], always: bool) -> Ru
                         frames.extend(std::iter::repeat_with(|| None).take(eff_n));
                     }
                     Err(DurableError::Wal(_)) => {
-                        assert!(*commit, "rollback path surfaced a wal error");
+                        if *commit {
+                            return Run {
+                                frames,
+                                mid: Some(Mid::Tx(eff)),
+                                floor,
+                            };
+                        }
+                        // Rollback path: the seqs burned in memory but
+                        // the compensating SeqBurn failed to commit —
+                        // surfaced as a Wal error since the fix. The
+                        // burned numbers may or may not be covered on
+                        // disk; either cut is a valid recovery.
+                        frames.extend(std::iter::repeat_with(|| None).take(eff_n));
                         return Run {
                             frames,
-                            mid: Some(Mid::Tx(eff)),
+                            mid: None,
                             floor,
                         };
                     }
@@ -887,4 +899,54 @@ fn acknowledged_writes_survive_a_torn_predecessor() {
         "acknowledged commits after a torn write must survive recovery"
     );
     assert_eq!(rec.seq().unwrap(), sess.seq().unwrap());
+}
+
+/// A rollback burns the seq numbers the aborted transaction consumed,
+/// and that burn is itself a WAL commit. If *it* fails, the caller used
+/// to see only the scripted rollback error (`Session`) while the log
+/// silently lost the burn — recovery could then reissue the burned
+/// numbers. The fix surfaces the log fault: the caller must see
+/// `DurableError::Wal`, not the rollback reason.
+#[test]
+fn failed_rollback_burn_surfaces_the_wal_error() {
+    let disk = SimDisk::new();
+    let faulty = FaultyDir::new(&disk);
+    let sess =
+        DurableSession::create(Box::new(faulty.clone()), small_opts(FsyncPolicy::Always)).unwrap();
+    for (name, src) in QUERIES {
+        sess.register(name, src).unwrap();
+    }
+    let e = sess.relation("E").unwrap();
+    let t = sess.relation("T").unwrap();
+    sess.apply_batch(&[Update::Insert(e, vec![1, 2]), Update::Insert(t, vec![2])])
+        .unwrap();
+    let before = sess.snapshot("qh").unwrap().results_sorted();
+
+    // The tx rolls back by script; the compensating SeqBurn's fsync
+    // fails. The burn commit is the only WAL write on this path.
+    faulty.fail_next_sync();
+    let res = sess.transaction(|tx| {
+        tx.apply(&Update::Insert(e, vec![7, 2]))?;
+        Err::<(), _>(CqError::UnknownQuery("scripted rollback".into()))
+    });
+    assert!(
+        matches!(res, Err(DurableError::Wal(_))),
+        "a burn that failed to commit must surface the log fault, got {res:?}"
+    );
+    assert_eq!(sess.snapshot("qh").unwrap().results_sorted(), before);
+
+    // The writer repairs on the next commit; acknowledged work after
+    // the fault is durable and recovery lands on the live counter (the
+    // later record's higher seq covers the burned number even though
+    // the burn record itself was lost).
+    sess.apply_batch(&[Update::Insert(e, vec![9, 2])]).unwrap();
+    let after = sess.snapshot("qh").unwrap().results_sorted();
+    let rec = DurableSession::recover(Box::new(full_view(&disk)), small_opts(FsyncPolicy::Always))
+        .unwrap();
+    assert_eq!(rec.snapshot("qh").unwrap().results_sorted(), after);
+    assert_eq!(
+        rec.seq().unwrap(),
+        sess.seq().unwrap(),
+        "recovery must land on the live counter, burned numbers included"
+    );
 }
