@@ -24,7 +24,7 @@
 //! then decides resume vs. re-bootstrap. [`Follower::kick`] forces that
 //! path on demand — the fault-injection hook the convergence tests use.
 
-use crate::protocol::{read_frame, Frame, REPL_VERSION};
+use crate::protocol::{read_frame, DenyReason, Frame, REPL_VERSION};
 use cqu_wal::Rec;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -79,8 +79,15 @@ pub trait ReplicaApply: Send + 'static {
 /// Follower tuning knobs.
 #[derive(Debug, Clone)]
 pub struct FollowerConfig {
-    /// Backoff between reconnect attempts.
+    /// Initial backoff between reconnect attempts. Doubles (with
+    /// jitter) on each consecutive failure up to
+    /// [`reconnect_max`](FollowerConfig::reconnect_max); a successful
+    /// handshake resets it.
     pub reconnect: Duration,
+    /// Cap on the exponential reconnect backoff. Also the floor a
+    /// permanently denied follower retries at (the target may change —
+    /// a VIP repointed at a new leader — so retries never fully stop).
+    pub reconnect_max: Duration,
     /// Timeout for connect and for each handshake/bootstrap frame.
     pub handshake_timeout: Duration,
     /// If no frame (heartbeats included) arrives for this long, the
@@ -93,6 +100,7 @@ impl Default for FollowerConfig {
     fn default() -> FollowerConfig {
         FollowerConfig {
             reconnect: Duration::from_millis(200),
+            reconnect_max: Duration::from_secs(5),
             handshake_timeout: Duration::from_secs(10),
             dead_after: Some(Duration::from_secs(5)),
         }
@@ -115,6 +123,13 @@ pub struct FollowerStats {
     /// The leader's committed head seq as last reported (0 before the
     /// first welcome).
     pub leader_head: u64,
+    /// `Deny` handshake refusals received over the follower's lifetime.
+    pub denies: u64,
+    /// The reason of the most recent *permanent* denial (version
+    /// mismatch, stale epoch), cleared by the next successful
+    /// handshake. While set, the follower retries only at the backoff
+    /// cap — the status API's signal that this endpoint fenced us off.
+    pub fenced: Option<DenyReason>,
 }
 
 #[derive(Default)]
@@ -125,6 +140,9 @@ struct Counters {
     disconnects: AtomicU64,
     connected: AtomicBool,
     leader_head: AtomicU64,
+    denies: AtomicU64,
+    /// 0 = none, else `DenyReason::to_u8() + 1`.
+    fenced: AtomicU64,
 }
 
 struct Shared {
@@ -186,6 +204,14 @@ impl Follower {
             disconnects: c.disconnects.load(Ordering::Relaxed),
             connected: c.connected.load(Ordering::Relaxed),
             leader_head: c.leader_head.load(Ordering::Relaxed),
+            denies: c.denies.load(Ordering::Relaxed),
+            fenced: match c.fenced.load(Ordering::Relaxed) {
+                1 => Some(DenyReason::Other),
+                2 => Some(DenyReason::Version),
+                3 => Some(DenyReason::AtCapacity),
+                4 => Some(DenyReason::StaleEpoch),
+                _ => None,
+            },
         }
     }
 
@@ -222,7 +248,7 @@ impl std::fmt::Debug for Follower {
 }
 
 /// Sleeps `total` in short slices so `stop()` is honored promptly.
-fn backoff(shared: &Shared, total: Duration) {
+fn sleep_interruptibly(shared: &Shared, total: Duration) {
     let slice = Duration::from_millis(20);
     let mut left = total;
     while !left.is_zero() && !shared.stop.load(Ordering::SeqCst) {
@@ -232,37 +258,114 @@ fn backoff(shared: &Shared, total: Duration) {
     }
 }
 
+/// Capped exponential reconnect backoff with jitter. The jitter draws
+/// from a per-follower LCG so a herd of followers orphaned by one
+/// leader restart decorrelates instead of hammering the new leader in
+/// lockstep; a successful handshake resets the delay to the floor.
+struct Backoff {
+    base: Duration,
+    cap: Duration,
+    current: Duration,
+    rng: u64,
+}
+
+impl Backoff {
+    fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        let cap = cap.max(base);
+        Backoff {
+            base,
+            cap,
+            current: base,
+            // An LCG ignores a zero seed gracefully but mix one anyway.
+            rng: seed | 1,
+        }
+    }
+
+    /// The delay to sleep after a failure, in `[current/2, current]`;
+    /// the undrawn delay then doubles toward the cap.
+    fn next(&mut self) -> Duration {
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let nanos = self.current.as_nanos() as u64;
+        let jitter = if nanos == 0 {
+            0
+        } else {
+            (self.rng >> 16) % (nanos / 2 + 1)
+        };
+        let drawn = Duration::from_nanos(nanos - jitter);
+        self.current = (self.current * 2).min(self.cap);
+        drawn
+    }
+
+    /// A successful handshake: the next failure starts over at the floor.
+    fn reset(&mut self) {
+        self.current = self.base;
+    }
+
+    /// A permanent denial: skip straight to the cap — retries continue
+    /// (the endpoint may be repointed at a new leader) but never hot.
+    fn jump_to_cap(&mut self) {
+        self.current = self.cap;
+    }
+}
+
+/// How one connection attempt ended, driving the backoff policy.
+enum SessionEnd {
+    /// Never completed a handshake (socket error, transient deny).
+    Failed,
+    /// Handshook and streamed until the connection died.
+    Synced,
+    /// The leader refused permanently (version mismatch, stale epoch).
+    Refused,
+}
+
 fn follow_loop(
     addr: SocketAddr,
     mut apply: Box<dyn ReplicaApply>,
     config: FollowerConfig,
     shared: &Shared,
 ) {
+    static SPAWNS: AtomicU64 = AtomicU64::new(0);
+    let seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos() as u64 ^ d.as_secs())
+        ^ (u64::from(addr.port()) << 32)
+        ^ SPAWNS
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(0x9E37_79B9);
+    let mut backoff = Backoff::new(config.reconnect, config.reconnect_max, seed);
     while !shared.stop.load(Ordering::SeqCst) {
         shared.kick.store(false, Ordering::SeqCst);
         let stream = match TcpStream::connect_timeout(&addr, config.handshake_timeout) {
             Ok(s) => s,
             Err(_) => {
-                backoff(shared, config.reconnect);
+                sleep_interruptibly(shared, backoff.next());
                 continue;
             }
         };
         let _ = stream.set_nodelay(true);
         *lock(&shared.conn) = stream.try_clone().ok();
-        let synced = run_session(&stream, apply.as_mut(), &config, shared);
+        let end = run_session(&stream, apply.as_mut(), &config, shared);
         *lock(&shared.conn) = None;
         let _ = stream.shutdown(Shutdown::Both);
         shared.stats.connected.store(false, Ordering::Relaxed);
-        if synced {
-            // Completed a handshake before dying: count the loss and
-            // let the applier drop partial in-flight state.
-            apply.on_disconnect();
-            shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+        match end {
+            SessionEnd::Synced => {
+                // Completed a handshake before dying: count the loss
+                // and let the applier drop partial in-flight state.
+                apply.on_disconnect();
+                shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                backoff.reset();
+            }
+            SessionEnd::Failed => {}
+            SessionEnd::Refused => backoff.jump_to_cap(),
         }
         if shared.stop.load(Ordering::SeqCst) {
             return;
         }
-        backoff(shared, config.reconnect);
+        sleep_interruptibly(shared, backoff.next());
     }
 }
 
@@ -302,18 +405,18 @@ fn read_ckpt(stream: &mut &TcpStream) -> Result<(u64, Vec<u8>), ()> {
     }
 }
 
-/// One connection's lifetime, handshake through stream error. Returns
-/// whether the handshake completed (i.e. the loss counts as a
-/// disconnect).
+/// One connection's lifetime, handshake through stream error. The
+/// returned [`SessionEnd`] tells the reconnect loop whether the loss
+/// counts as a disconnect and how to back off.
 fn run_session(
     stream: &TcpStream,
     apply: &mut dyn ReplicaApply,
     config: &FollowerConfig,
     shared: &Shared,
-) -> bool {
+) -> SessionEnd {
     let timeout = Some(config.handshake_timeout).filter(|t| !t.is_zero());
     if stream.set_read_timeout(timeout).is_err() {
-        return false;
+        return SessionEnd::Failed;
     }
     let mut r = stream;
     let mut w = stream;
@@ -324,7 +427,7 @@ fn run_session(
         cursor: apply.cursor(),
     };
     if w.write_all(&hello.encode()).is_err() {
-        return false;
+        return SessionEnd::Failed;
     }
     let (epoch, head_seq, sharded, reset, ckpt) = match read_frame(&mut r) {
         Ok(Frame::Welcome {
@@ -334,21 +437,45 @@ fn run_session(
             reset,
             ckpt,
         }) => (epoch, head_seq, sharded, reset, ckpt),
-        // Deny, malformed, or socket error: back off and retry.
-        _ => return false,
+        Ok(Frame::Deny { reason, .. }) => {
+            shared.stats.denies.fetch_add(1, Ordering::Relaxed);
+            if reason.is_permanent() {
+                shared
+                    .stats
+                    .fenced
+                    .store(u64::from(reason.to_u8()) + 1, Ordering::Relaxed);
+                return SessionEnd::Refused;
+            }
+            return SessionEnd::Failed;
+        }
+        // Malformed or socket error: back off and retry.
+        _ => return SessionEnd::Failed,
     };
+
+    // Backstop fence: a leader welcoming us from an epoch *below* the
+    // one our state was built against is deposed (it would reset us
+    // behind the true leader's history). Refuse its bootstrap even if
+    // it never learned to deny us.
+    if epoch < apply.epoch() {
+        shared.stats.denies.fetch_add(1, Ordering::Relaxed);
+        shared.stats.fenced.store(
+            u64::from(DenyReason::StaleEpoch.to_u8()) + 1,
+            Ordering::Relaxed,
+        );
+        return SessionEnd::Refused;
+    }
 
     if reset {
         let checkpoint = if ckpt {
             match read_ckpt(&mut r) {
                 Ok(c) => Some(c),
-                Err(()) => return false,
+                Err(()) => return SessionEnd::Failed,
             }
         } else {
             None
         };
         if apply.reset(sharded, checkpoint).is_err() {
-            return false;
+            return SessionEnd::Failed;
         }
         shared.stats.bootstraps.fetch_add(1, Ordering::Relaxed);
     } else {
@@ -358,43 +485,45 @@ fn run_session(
     shared.stats.leader_head.store(head_seq, Ordering::Relaxed);
     shared.stats.connects.fetch_add(1, Ordering::Relaxed);
     shared.stats.connected.store(true, Ordering::Relaxed);
+    // This endpoint accepted us; any earlier fencing no longer holds.
+    shared.stats.fenced.store(0, Ordering::Relaxed);
 
     // Live loop. `dead_after` bounds silence (the leader heartbeats
     // when idle); any timeout or error abandons the whole connection,
     // so a mid-frame timeout can never desync the stream.
     if stream.set_read_timeout(config.dead_after).is_err() {
-        return true;
+        return SessionEnd::Synced;
     }
     loop {
         if shared.stop.load(Ordering::SeqCst) || shared.kick.load(Ordering::SeqCst) {
-            return true;
+            return SessionEnd::Synced;
         }
         let applied = match read_frame(&mut r) {
             Ok(Frame::Records { bytes }) => {
                 let recs = match crate::protocol::decode_records(&bytes) {
                     Ok(recs) => recs,
-                    Err(_) => return true, // corrupt stream: resync
+                    Err(_) => return SessionEnd::Synced, // corrupt stream: resync
                 };
                 match apply.apply_records(&recs) {
                     Ok(applied) => applied,
-                    Err(_) => return true, // applier asked for a resync
+                    Err(_) => return SessionEnd::Synced, // applier asked for a resync
                 }
             }
             Ok(Frame::Heartbeat { head_seq }) => {
                 shared.stats.leader_head.store(head_seq, Ordering::Relaxed);
                 match apply.on_heartbeat(head_seq) {
                     Ok(applied) => applied,
-                    Err(_) => return true,
+                    Err(_) => return SessionEnd::Synced,
                 }
             }
-            Ok(_) => return true,  // protocol violation
-            Err(_) => return true, // timeout, socket loss, malformed
+            Ok(_) => return SessionEnd::Synced, // protocol violation
+            Err(_) => return SessionEnd::Synced, // timeout, socket loss, malformed
         };
         let ack = Frame::Ack {
             applied_seq: applied,
         };
         if w.write_all(&ack.encode()).is_err() {
-            return true;
+            return SessionEnd::Synced;
         }
     }
 }

@@ -38,7 +38,7 @@
 //! queue, never neither, and the follower's monotone seq filter
 //! deduplicates any overlap.
 
-use crate::protocol::{encode_records_frame, read_frame, Frame, REPL_VERSION};
+use crate::protocol::{encode_records_frame, read_frame, DenyReason, Frame, REPL_VERSION};
 use crate::queue::{ShipPop, ShipQueue};
 use cqu_wal::Rec;
 use std::io::{self, BufWriter, Write};
@@ -136,6 +136,39 @@ pub struct LeaderStats {
     pub disconnects: u64,
     /// `Ack` frames received from followers.
     pub acks: u64,
+    /// Handshakes denied because the peer's epoch was ahead of this
+    /// leader's — a deposed leader being knocked by fenced followers.
+    pub denied_stale: u64,
+}
+
+/// One attached follower's progress, as seen from the leader — the raw
+/// material for failover candidate selection and lag observability.
+#[derive(Debug, Clone)]
+pub struct FollowerProgress {
+    /// The attach id (stable for the connection's lifetime).
+    pub id: u64,
+    /// The follower's socket address.
+    pub addr: SocketAddr,
+    /// The epoch the follower is synced to — the leader's epoch at
+    /// handshake, since every accepted follower (resumed or
+    /// bootstrapped) lands on the current epoch.
+    pub epoch: u64,
+    /// The last applied seq the follower acked (starts at its resume
+    /// cursor, or the bootstrap floor).
+    pub acked_seq: u64,
+    /// When the follower last acked.
+    pub last_seen: Instant,
+    /// How long the follower has been silent — the leader-side liveness
+    /// signal, symmetric to the follower's `dead_after`.
+    pub silent_for: Duration,
+}
+
+struct ProgressEntry {
+    id: u64,
+    addr: SocketAddr,
+    epoch: u64,
+    acked_seq: u64,
+    last_seen: Instant,
 }
 
 #[derive(Default)]
@@ -146,6 +179,7 @@ struct Counters {
     bootstraps: AtomicU64,
     disconnects: AtomicU64,
     acks: AtomicU64,
+    denied_stale: AtomicU64,
 }
 
 struct Shared {
@@ -154,6 +188,7 @@ struct Shared {
     shutdown: AtomicBool,
     threads: Mutex<Vec<JoinHandle<()>>>,
     stats: Counters,
+    progress: Mutex<Vec<ProgressEntry>>,
 }
 
 /// The replication leader server (see the module docs).
@@ -183,6 +218,7 @@ impl LeaderServer {
             shutdown: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
             stats: Counters::default(),
+            progress: Mutex::new(Vec::new()),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -212,7 +248,29 @@ impl LeaderServer {
             bootstraps: c.bootstraps.load(Ordering::Relaxed),
             disconnects: c.disconnects.load(Ordering::Relaxed),
             acks: c.acks.load(Ordering::Relaxed),
+            denied_stale: c.denied_stale.load(Ordering::Relaxed),
         }
+    }
+
+    /// A snapshot of every attached follower's progress, sorted by
+    /// attach id. `silent_for` measures heartbeat/ack silence — the
+    /// leader-side liveness view (a candidate selector skips followers
+    /// silent past its deadline).
+    pub fn followers(&self) -> Vec<FollowerProgress> {
+        let now = Instant::now();
+        let mut out: Vec<FollowerProgress> = lock(&self.shared.progress)
+            .iter()
+            .map(|e| FollowerProgress {
+                id: e.id,
+                addr: e.addr,
+                epoch: e.epoch,
+                acked_seq: e.acked_seq,
+                last_seen: e.last_seen,
+                silent_for: now.saturating_duration_since(e.last_seen),
+            })
+            .collect();
+        out.sort_by_key(|p| p.id);
+        out
     }
 
     /// Stops accepting, tears down every follower connection, and joins
@@ -328,6 +386,7 @@ struct AttachGuard<'a> {
 impl Drop for AttachGuard<'_> {
     fn drop(&mut self) {
         self.shared.source.detach(self.id);
+        lock(&self.shared.progress).retain(|e| e.id != self.id);
         self.shared.stats.followers.fetch_sub(1, Ordering::Relaxed);
         self.shared
             .stats
@@ -336,7 +395,7 @@ impl Drop for AttachGuard<'_> {
     }
 }
 
-fn follower_conn(shared: &Shared, stream: TcpStream) {
+fn follower_conn(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let timeout = Some(shared.config.handshake_timeout).filter(|t| !t.is_zero());
     if stream.set_read_timeout(timeout).is_err() {
@@ -357,6 +416,7 @@ fn follower_conn(shared: &Shared, stream: TcpStream) {
         }) if version == REPL_VERSION => (epoch, cursor),
         Ok(Frame::Hello { version, .. }) => {
             let deny = Frame::Deny {
+                reason: DenyReason::Version,
                 msg: format!("replication protocol version {version} not supported"),
             };
             let _ = w.write_all(&deny.encode());
@@ -367,6 +427,7 @@ fn follower_conn(shared: &Shared, stream: TcpStream) {
     };
     if shared.stats.followers.load(Ordering::Relaxed) >= shared.config.max_followers as u64 {
         let deny = Frame::Deny {
+            reason: DenyReason::AtCapacity,
             msg: "leader at follower capacity".into(),
         };
         let _ = w.write_all(&deny.encode());
@@ -379,11 +440,38 @@ fn follower_conn(shared: &Shared, stream: TcpStream) {
     let attach = match shared.source.attach(Arc::clone(&queue)) {
         Ok(a) => a,
         Err(msg) => {
-            let _ = w.write_all(&Frame::Deny { msg }.encode());
+            let deny = Frame::Deny {
+                reason: DenyReason::Other,
+                msg,
+            };
+            let _ = w.write_all(&deny.encode());
             let _ = w.flush();
             return;
         }
     };
+
+    let floor = attach.checkpoint.as_ref().map_or(0, |(seq, _)| *seq);
+    let (hello_epoch, hello_cursor) = hello;
+
+    // Epoch fence: a peer greeting from a *higher* epoch has applied
+    // records this leader never shipped — this node is deposed (or the
+    // cluster moved on without it). Serving the peer a reset would roll
+    // it back behind the true leader; refuse instead, permanently.
+    if hello_epoch > attach.epoch {
+        shared.source.detach(attach.id);
+        shared.stats.denied_stale.fetch_add(1, Ordering::Relaxed);
+        let deny = Frame::Deny {
+            reason: DenyReason::StaleEpoch,
+            msg: format!(
+                "peer epoch {hello_epoch} is ahead of leader epoch {} — stale leader",
+                attach.epoch
+            ),
+        };
+        let _ = w.write_all(&deny.encode());
+        let _ = w.flush();
+        return;
+    }
+
     queue.seed_head(attach.head_seq);
     shared.stats.followers.fetch_add(1, Ordering::Relaxed);
     shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
@@ -391,9 +479,6 @@ fn follower_conn(shared: &Shared, stream: TcpStream) {
         shared,
         id: attach.id,
     };
-
-    let floor = attach.checkpoint.as_ref().map_or(0, |(seq, _)| *seq);
-    let (hello_epoch, hello_cursor) = hello;
     let resume =
         hello_epoch == attach.epoch && hello_cursor >= floor && hello_cursor <= attach.head_seq;
     let cursor = if resume { hello_cursor } else { floor };
@@ -402,6 +487,19 @@ fn follower_conn(shared: &Shared, stream: TcpStream) {
         shared.stats.resumes.fetch_add(1, Ordering::Relaxed);
     } else {
         shared.stats.bootstraps.fetch_add(1, Ordering::Relaxed);
+    }
+    if let Ok(addr) = stream.peer_addr() {
+        // Record the leader's epoch, not the greeted one: the handshake
+        // lands every accepted follower on the current epoch, and
+        // candidate selection must not let a resumed follower's old
+        // greeting outrank a fresh bootstrap that is further ahead.
+        lock(&shared.progress).push(ProgressEntry {
+            id: attach.id,
+            addr,
+            epoch: attach.epoch,
+            acked_seq: cursor,
+            last_seen: Instant::now(),
+        });
     }
 
     let welcome = Frame::Welcome {
@@ -449,25 +547,29 @@ fn follower_conn(shared: &Shared, stream: TcpStream) {
         return;
     }
 
-    // Ack reader: drains follower progress reports; its exit (EOF,
-    // socket loss) tells the pump the follower is gone.
+    // Ack reader: records follower progress; its exit (EOF, socket
+    // loss) tells the pump the follower is gone.
     let conn_gone = Arc::new(AtomicBool::new(false));
     let ack_thread = {
         let gone = Arc::clone(&conn_gone);
+        let shared = Arc::clone(shared);
+        let follower_id = attach.id;
         let mut reader = reader;
         std::thread::Builder::new()
             .name("cqu-repl-ack".into())
             .spawn(move || {
-                // Acks are counted locally and folded into the shared
-                // stats by the pump after the join — the thread cannot
-                // borrow `shared` without an Arc it does not need.
-                let mut acks = 0u64;
                 let _ = reader.set_read_timeout(None);
-                while let Ok(Frame::Ack { .. }) = read_frame(&mut reader) {
-                    acks += 1;
+                while let Ok(Frame::Ack { applied_seq }) = read_frame(&mut reader) {
+                    shared.stats.acks.fetch_add(1, Ordering::Relaxed);
+                    let mut progress = lock(&shared.progress);
+                    if let Some(e) = progress.iter_mut().find(|e| e.id == follower_id) {
+                        // Acks can only move forward; a reordered read
+                        // must not roll the snapshot back.
+                        e.acked_seq = e.acked_seq.max(applied_seq);
+                        e.last_seen = Instant::now();
+                    }
                 }
                 gone.store(true, Ordering::SeqCst);
-                acks
             })
     };
 
@@ -503,9 +605,7 @@ fn follower_conn(shared: &Shared, stream: TcpStream) {
     queue.close();
     let _ = stream.shutdown(Shutdown::Both);
     if let Ok(handle) = ack_thread {
-        if let Ok(acks) = handle.join() {
-            shared.stats.acks.fetch_add(acks, Ordering::Relaxed);
-        }
+        let _ = handle.join();
     }
     drop(guard);
 }

@@ -41,6 +41,6 @@ pub mod protocol;
 pub mod queue;
 
 pub use follower::{Follower, FollowerConfig, FollowerStats, ReplicaApply};
-pub use leader::{Attach, LeaderConfig, LeaderServer, LeaderStats, ReplSource};
-pub use protocol::{Frame, WireError, REPL_VERSION};
+pub use leader::{Attach, FollowerProgress, LeaderConfig, LeaderServer, LeaderStats, ReplSource};
+pub use protocol::{DenyReason, Frame, WireError, REPL_VERSION};
 pub use queue::{ShipPop, ShipQueue};

@@ -16,7 +16,7 @@
 //! | `Records` | l→f | WAL record frames | committed records, in log order |
 //! | `Heartbeat` | l→f | `head_seq` | keep-alive carrying the leader's committed head |
 //! | `Ack` | f→l | `applied_seq` | follower progress (lag observability on the leader) |
-//! | `Deny` | l→f | `msg` | handshake refused (version mismatch, at capacity) |
+//! | `Deny` | l→f | `reason`, `msg` | handshake refused (version mismatch, at capacity, stale epoch) |
 //!
 //! Decoding is strict: trailing bytes, truncated fields, or an unknown
 //! tag are [`WireError`]s, and the body length is capped
@@ -26,8 +26,9 @@ use cqu_wal::{crc32, Rec, MAX_RECORD_LEN};
 use std::io::{self, Read, Write};
 
 /// Replication protocol version spoken by this build. The leader denies
-/// a `Hello` with a different version.
-pub const REPL_VERSION: u32 = 1;
+/// a `Hello` with a different version. Version 2 added the typed
+/// [`DenyReason`] byte to `Deny` (and with it the stale-epoch fence).
+pub const REPL_VERSION: u32 = 2;
 
 /// Upper bound on a frame body; larger length prefixes are rejected
 /// before any allocation.
@@ -41,6 +42,63 @@ mod tag {
     pub const HEARTBEAT: u8 = 0x05;
     pub const ACK: u8 = 0x06;
     pub const DENY: u8 = 0x07;
+}
+
+/// Why a leader refused a handshake (or fenced a live session). Carried
+/// as one byte in [`Frame::Deny`] so followers can tell a transient
+/// refusal (retry later) from a permanent one (stop hot-retrying and
+/// surface the denial).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenyReason {
+    /// Unclassified refusal — treated as transient.
+    Other,
+    /// Protocol version mismatch. Permanent: no amount of retrying
+    /// changes the binary on either end.
+    Version,
+    /// The leader is at its follower capacity. Transient: a slot may
+    /// free up.
+    AtCapacity,
+    /// The peer's epoch is behind the cluster's — a deposed leader (or a
+    /// follower of one) knocking after a promotion. Permanent for this
+    /// endpoint: the fence never lifts until the target changes.
+    StaleEpoch,
+}
+
+impl DenyReason {
+    /// True when retrying the same endpoint can never succeed.
+    pub fn is_permanent(self) -> bool {
+        matches!(self, DenyReason::Version | DenyReason::StaleEpoch)
+    }
+
+    pub(crate) fn to_u8(self) -> u8 {
+        match self {
+            DenyReason::Other => 0,
+            DenyReason::Version => 1,
+            DenyReason::AtCapacity => 2,
+            DenyReason::StaleEpoch => 3,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<DenyReason, WireError> {
+        Ok(match b {
+            0 => DenyReason::Other,
+            1 => DenyReason::Version,
+            2 => DenyReason::AtCapacity,
+            3 => DenyReason::StaleEpoch,
+            _ => return Err(WireError::Malformed("unknown deny reason")),
+        })
+    }
+}
+
+impl std::fmt::Display for DenyReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DenyReason::Other => "refused",
+            DenyReason::Version => "protocol version mismatch",
+            DenyReason::AtCapacity => "at capacity",
+            DenyReason::StaleEpoch => "stale epoch",
+        })
+    }
 }
 
 /// Every frame either side can put on the wire. See the module docs for
@@ -102,7 +160,9 @@ pub enum Frame {
     },
     /// Handshake refused; the connection closes after this frame.
     Deny {
-        /// Human-readable reason.
+        /// Typed refusal class (drives the follower's retry policy).
+        reason: DenyReason,
+        /// Human-readable detail.
         msg: String,
     },
 }
@@ -219,8 +279,9 @@ impl Frame {
                 buf.push(tag::ACK);
                 put_u64(buf, *applied_seq);
             }
-            Frame::Deny { msg } => {
+            Frame::Deny { reason, msg } => {
                 buf.push(tag::DENY);
+                buf.push(reason.to_u8());
                 put_str(buf, msg);
             }
         }
@@ -370,7 +431,10 @@ impl Frame {
             tag::ACK => Frame::Ack {
                 applied_seq: cur.u64()?,
             },
-            tag::DENY => Frame::Deny { msg: cur.str()? },
+            tag::DENY => Frame::Deny {
+                reason: DenyReason::from_u8(cur.u8()?)?,
+                msg: cur.str()?,
+            },
             _ => return Err(WireError::Malformed("unknown tag")),
         };
         cur.finish()?;
@@ -443,9 +507,38 @@ mod tests {
         });
         roundtrip(Frame::Heartbeat { head_seq: 7 });
         roundtrip(Frame::Ack { applied_seq: 6 });
-        roundtrip(Frame::Deny {
-            msg: "version 9 not supported".into(),
-        });
+        for reason in [
+            DenyReason::Other,
+            DenyReason::Version,
+            DenyReason::AtCapacity,
+            DenyReason::StaleEpoch,
+        ] {
+            roundtrip(Frame::Deny {
+                reason,
+                msg: format!("{reason}"),
+            });
+        }
+    }
+
+    #[test]
+    fn deny_reason_permanence_and_unknown_byte() {
+        assert!(DenyReason::Version.is_permanent());
+        assert!(DenyReason::StaleEpoch.is_permanent());
+        assert!(!DenyReason::Other.is_permanent());
+        assert!(!DenyReason::AtCapacity.is_permanent());
+        // An unknown reason byte is a malformed frame, not a silent
+        // downgrade to some default class.
+        let mut bytes = Vec::new();
+        Frame::Deny {
+            reason: DenyReason::Other,
+            msg: "x".into(),
+        }
+        .encode_body(&mut bytes);
+        bytes[1] = 9; // reason byte after the tag
+        assert!(matches!(
+            Frame::decode_body(&bytes),
+            Err(WireError::Malformed("unknown deny reason"))
+        ));
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub mod record;
 pub mod vfs;
 
 pub use crc32::crc32;
-pub use log::{recover, FsyncPolicy, Recovery, Shipped, Wal, WalError, WalOptions, CKPT_TMP};
+pub use log::{
+    epoch, recover, FsyncPolicy, Recovery, Shipped, Wal, WalError, WalOptions, CKPT_TMP,
+};
 pub use record::{Rec, MAX_RECORD_LEN};
 pub use vfs::{FsDir, WalDir, WalFile};

@@ -4,8 +4,8 @@
 //! On-disk layout (all in one flat [`WalDir`]):
 //!
 //! ```text
-//! wal-00000000000000000001.seg    segment: "CQWS" u32 version, then frames
-//! wal-00000000000000000002.seg    (see `record` for the frame format)
+//! wal-00000000000000000001.seg    segment: "CQWS" u32 version u64 term,
+//! wal-00000000000000000002.seg    then frames (see `record`)
 //! ckpt-00000000000000000317.ck    checkpoint: "CQCK" u32 version u64 seq
 //! ckpt.tmp                        u32 body_len u32 crc32(body) body
 //! ```
@@ -27,12 +27,46 @@ use std::time::{Duration, Instant};
 const SEG_MAGIC: &[u8; 4] = b"CQWS";
 /// Magic prefix of every checkpoint file.
 const CKPT_MAGIC: &[u8; 4] = b"CQCK";
-/// Format version for both file kinds.
-const FORMAT_VERSION: u32 = 1;
-/// Segment header length (magic + version).
-const SEG_HEADER: usize = 8;
+/// Format version for both file kinds. Version 2 added the leadership
+/// term to the segment header.
+const FORMAT_VERSION: u32 = 2;
+/// Segment header length (magic + version + term).
+const SEG_HEADER: usize = 16;
 /// Temp name a checkpoint is staged under before its rename.
 pub const CKPT_TMP: &str = "ckpt.tmp";
+
+/// Replication epochs, packed as `(term, lifetime)` in one ordered
+/// `u64`.
+///
+/// The *lifetime* half is the log's startup segment index — it bumps on
+/// every restart of the same node, making each log lifetime distinct so
+/// followers know when an equality-based `(epoch, cursor)` resume is
+/// impossible. The *term* half is the leadership term persisted in
+/// every segment header: restarts keep it, promotion bumps it. Packing
+/// term above lifetime makes plain `u64` comparison term-dominant, so a
+/// promoted node (higher term) always outranks any later restart of the
+/// old leader (same term, however many segments it churned through).
+pub mod epoch {
+    /// Bits reserved for the lifetime (startup segment index) half.
+    pub const LIFETIME_BITS: u32 = 40;
+    const LIFETIME_MASK: u64 = (1 << LIFETIME_BITS) - 1;
+
+    /// Packs a `(term, lifetime)` pair into one ordered epoch.
+    pub fn compose(term: u64, lifetime: u64) -> u64 {
+        debug_assert!(lifetime <= LIFETIME_MASK, "lifetime overflows its bits");
+        (term << LIFETIME_BITS) | (lifetime & LIFETIME_MASK)
+    }
+
+    /// The leadership term half of a packed epoch.
+    pub fn term(epoch: u64) -> u64 {
+        epoch >> LIFETIME_BITS
+    }
+
+    /// The lifetime (startup segment index) half of a packed epoch.
+    pub fn lifetime(epoch: u64) -> u64 {
+        epoch & LIFETIME_MASK
+    }
+}
 
 /// When the log fsyncs after a commit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +161,10 @@ pub struct Wal {
     opts: WalOptions,
     seg: Box<dyn WalFile>,
     seg_index: u64,
+    /// Leadership term stamped into every segment header this writer
+    /// opens. Fixed for the writer's lifetime — only promotion (a new
+    /// [`Wal::seed`] into a fresh dir) mints a higher term.
+    term: u64,
     /// Bytes of the current segment known good: header plus every fully
     /// committed frame. Bytes past it are suspect after a failed commit.
     seg_len: u64,
@@ -154,16 +192,23 @@ impl std::fmt::Debug for Wal {
 }
 
 impl Wal {
-    /// Opens a writer appending to a brand-new segment `next_segment`.
+    /// Opens a writer appending to a brand-new segment `next_segment`,
+    /// stamping `term` into its header (and every later rotation's).
     /// Existing segments are left alone — the recovery scan reads them;
     /// the writer never reopens old files (a torn tail stays quarantined
     /// in its own segment).
-    pub fn new(dir: Box<dyn WalDir>, opts: WalOptions, next_segment: u64) -> io::Result<Wal> {
+    pub fn new(
+        dir: Box<dyn WalDir>,
+        opts: WalOptions,
+        next_segment: u64,
+        term: u64,
+    ) -> io::Result<Wal> {
         let mut wal = Wal {
             dir,
             opts,
             seg: Box::new(NullFile),
             seg_index: next_segment,
+            term,
             seg_len: 0,
             pending: Vec::new(),
             commits_since_sync: 0,
@@ -174,11 +219,30 @@ impl Wal {
         Ok(wal)
     }
 
+    /// Seeds a brand-new log dir from a foreign checkpoint — the
+    /// promotion path: a replica turning leader publishes its applied
+    /// state as the checkpoint of an empty log, then appends at a term
+    /// of its own. The checkpoint lands with the same temp-file +
+    /// rename + dir-sync dance as [`Wal::checkpoint`], so a crash
+    /// mid-seed leaves either nothing (re-promote) or a complete pair.
+    pub fn seed(
+        dir: Box<dyn WalDir>,
+        opts: WalOptions,
+        start_segment: u64,
+        term: u64,
+        ckpt_seq: u64,
+        ckpt_body: &[u8],
+    ) -> io::Result<Wal> {
+        publish_checkpoint(&*dir, ckpt_seq, ckpt_body)?;
+        Wal::new(dir, opts, start_segment, term)
+    }
+
     fn open_segment(&mut self, index: u64) -> io::Result<()> {
         let mut seg = self.dir.create(&segment_name(index))?;
         let mut header = Vec::with_capacity(SEG_HEADER);
         header.extend_from_slice(SEG_MAGIC);
         header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        header.extend_from_slice(&self.term.to_le_bytes());
         seg.append(&header)?;
         self.dir.sync_dir()?;
         self.seg = seg;
@@ -309,6 +373,11 @@ impl Wal {
         self.seg_index
     }
 
+    /// The leadership term this writer stamps into segment headers.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
     /// Publishes a checkpoint of `body` at sequence `seq`, then prunes:
     /// rotates to a fresh segment and deletes every older segment and
     /// checkpoint (all their records are ≤ `seq` by construction — the
@@ -325,20 +394,7 @@ impl Wal {
     /// files (their records are ≤ `seq`; recovery skips them by seq and
     /// the next checkpoint retries the deletes).
     pub fn checkpoint(&mut self, seq: u64, body: &[u8]) -> io::Result<()> {
-        let mut file = self.dir.create(CKPT_TMP)?;
-        let mut head = Vec::with_capacity(24);
-        head.extend_from_slice(CKPT_MAGIC);
-        head.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        head.extend_from_slice(&seq.to_le_bytes());
-        head.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        head.extend_from_slice(&crc32(body).to_le_bytes());
-        file.append(&head)?;
-        file.append(body)?;
-        file.sync()?;
-        drop(file);
-        let name = checkpoint_name(seq);
-        self.dir.rename(CKPT_TMP, &name)?;
-        self.dir.sync_dir()?;
+        publish_checkpoint(&*self.dir, seq, body)?;
         // Published. Seal the log at the checkpoint boundary, then prune
         // everything the checkpoint supersedes — best effort from here.
         let sealed = self.seg_index;
@@ -440,6 +496,26 @@ impl Shipped {
     }
 }
 
+/// Stages a checkpoint body as `ckpt.tmp`, syncs it, renames it into
+/// place, and syncs the directory — the crash-safe publish dance shared
+/// by [`Wal::checkpoint`] and [`Wal::seed`].
+fn publish_checkpoint(dir: &dyn WalDir, seq: u64, body: &[u8]) -> io::Result<()> {
+    let mut file = dir.create(CKPT_TMP)?;
+    let mut head = Vec::with_capacity(24);
+    head.extend_from_slice(CKPT_MAGIC);
+    head.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    head.extend_from_slice(&seq.to_le_bytes());
+    head.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    head.extend_from_slice(&crc32(body).to_le_bytes());
+    file.append(&head)?;
+    file.append(body)?;
+    file.sync()?;
+    drop(file);
+    dir.rename(CKPT_TMP, &checkpoint_name(seq))?;
+    dir.sync_dir()?;
+    Ok(())
+}
+
 /// Stand-in before the first segment opens (never written).
 struct NullFile;
 
@@ -468,6 +544,10 @@ pub struct Recovery {
     pub truncated: Option<(String, u64)>,
     /// The segment index a new writer should open next.
     pub next_segment: u64,
+    /// The highest leadership term found in any segment header. A
+    /// restart reopens the log at this same term (restarts bump the
+    /// lifetime half of the epoch, never the term).
+    pub term: u64,
 }
 
 /// Scans `dir`: discards a stale `ckpt.tmp`, loads the newest valid
@@ -509,6 +589,7 @@ pub fn recover(dir: &dyn WalDir) -> Result<Recovery, WalError> {
 
     let mut records = Vec::new();
     let mut truncated = None;
+    let mut term = 0;
     for (pos, &index) in seg_indices.iter().enumerate() {
         let is_last = pos + 1 == seg_indices.len();
         let name = segment_name(index);
@@ -521,6 +602,11 @@ pub fn recover(dir: &dyn WalDir) -> Result<Recovery, WalError> {
                 truncated = Some((name, valid_len));
             }
         }
+        // Terms only grow; the max tolerates a torn final header (which
+        // scan_segment truncated away) by keeping the prior segment's.
+        if let Some(t) = segment_term(&bytes) {
+            term = term.max(t);
+        }
         drop_dangling_tx(&mut records, seg_start);
     }
 
@@ -529,6 +615,7 @@ pub fn recover(dir: &dyn WalDir) -> Result<Recovery, WalError> {
         records,
         truncated,
         next_segment,
+        term,
     })
 }
 
@@ -574,6 +661,18 @@ fn read_checkpoint(dir: &dyn WalDir, name: &str, seq: u64) -> Result<Option<Vec<
         return Ok(None);
     }
     Ok(Some(body.to_vec()))
+}
+
+/// Reads the leadership term out of one segment's header, if the header
+/// is intact.
+fn segment_term(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < SEG_HEADER
+        || &bytes[..4] != SEG_MAGIC
+        || u32::from_le_bytes(bytes[4..8].try_into().unwrap()) != FORMAT_VERSION
+    {
+        return None;
+    }
+    Some(u64::from_le_bytes(bytes[8..16].try_into().unwrap()))
 }
 
 /// Walks one segment's frames into `records`. Returns `Some(valid_len)`
@@ -798,7 +897,7 @@ mod tests {
     fn append_recover_roundtrip() {
         let path = tmpdir("roundtrip");
         let dir = FsDir::open(&path).unwrap();
-        let mut wal = Wal::new(Box::new(dir), WalOptions::default(), 1).unwrap();
+        let mut wal = Wal::new(Box::new(dir), WalOptions::default(), 1, 0).unwrap();
         for seq in 1..=10 {
             wal.append(&upd(seq));
             wal.commit().unwrap();
@@ -820,7 +919,7 @@ mod tests {
             fsync: FsyncPolicy::Never,
             segment_bytes: 64,
         };
-        let mut wal = Wal::new(Box::new(dir), opts, 1).unwrap();
+        let mut wal = Wal::new(Box::new(dir), opts, 1, 0).unwrap();
         for seq in 1..=20 {
             wal.append(&upd(seq));
             wal.commit().unwrap();
@@ -837,7 +936,7 @@ mod tests {
     fn torn_tail_truncates_and_mid_log_corruption_refuses() {
         let path = tmpdir("torn");
         let dir = FsDir::open(&path).unwrap();
-        let mut wal = Wal::new(Box::new(dir), WalOptions::default(), 1).unwrap();
+        let mut wal = Wal::new(Box::new(dir), WalOptions::default(), 1, 0).unwrap();
         for seq in 1..=5 {
             wal.append(&upd(seq));
             wal.commit().unwrap();
@@ -862,7 +961,7 @@ mod tests {
         bytes[SEG_HEADER + 9] ^= 0xFF;
         std::fs::write(&seg, &bytes).unwrap();
         let dir2 = FsDir::open(&path).unwrap();
-        let mut wal = Wal::new(Box::new(dir2), WalOptions::default(), 2).unwrap();
+        let mut wal = Wal::new(Box::new(dir2), WalOptions::default(), 2, 0).unwrap();
         wal.append(&upd(6));
         wal.commit().unwrap();
         drop(wal);
@@ -877,7 +976,7 @@ mod tests {
     fn checkpoint_prunes_and_recovers() {
         let path = tmpdir("ckpt");
         let dir = FsDir::open(&path).unwrap();
-        let mut wal = Wal::new(Box::new(dir), WalOptions::default(), 1).unwrap();
+        let mut wal = Wal::new(Box::new(dir), WalOptions::default(), 1, 0).unwrap();
         for seq in 1..=5 {
             wal.append(&upd(seq));
             wal.commit().unwrap();
@@ -899,7 +998,7 @@ mod tests {
     #[test]
     fn failed_commit_poisons_and_repairs_before_later_commits() {
         let dir = FlakyDir::default();
-        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1, 0).unwrap();
         wal.append(&upd(1));
         wal.commit().unwrap();
 
@@ -925,7 +1024,7 @@ mod tests {
     #[test]
     fn failed_sync_discards_the_unacknowledged_frames() {
         let dir = FlakyDir::default();
-        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1, 0).unwrap();
         wal.append(&upd(1));
         wal.commit().unwrap();
 
@@ -950,7 +1049,7 @@ mod tests {
     #[test]
     fn unrepaired_writer_refuses_commits_without_leaking_frames() {
         let dir = FlakyDir::default();
-        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1, 0).unwrap();
         wal.append(&upd(1));
         wal.commit().unwrap();
 
@@ -985,7 +1084,7 @@ mod tests {
     #[test]
     fn checkpoint_post_publish_prune_fault_is_not_fatal() {
         let dir = FlakyDir::default();
-        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1, 0).unwrap();
         for seq in 1..=4 {
             wal.append(&upd(seq));
             wal.commit().unwrap();
@@ -1018,7 +1117,7 @@ mod tests {
     #[test]
     fn checkpoint_rotate_fault_skips_prune_and_repairs() {
         let dir = FlakyDir::default();
-        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1, 0).unwrap();
         for seq in 1..=3 {
             wal.append(&upd(seq));
             wal.commit().unwrap();
@@ -1041,7 +1140,7 @@ mod tests {
     #[test]
     fn recover_tolerates_ckpt_tmp_remove_failure() {
         let dir = FlakyDir::default();
-        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1, 0).unwrap();
         wal.append(&upd(1));
         wal.commit().unwrap();
         drop(wal);
@@ -1070,7 +1169,7 @@ mod tests {
     #[test]
     fn dangling_tx_suffix_does_not_swallow_later_segments() {
         let dir = FlakyDir::default();
-        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1, 0).unwrap();
         wal.append(&upd(1));
         wal.commit().unwrap();
         // Simulate the crashed commit: TxBegin + one update reach the
@@ -1093,6 +1192,7 @@ mod tests {
             Box::new(dir.clone()),
             WalOptions::default(),
             rec.next_segment,
+            rec.term,
         )
         .unwrap();
         wal.append(&upd(3));
@@ -1111,7 +1211,7 @@ mod tests {
     #[test]
     fn ship_scan_reads_committed_records_only() {
         let dir = FlakyDir::default();
-        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1).unwrap();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1, 0).unwrap();
         for seq in 1..=3 {
             wal.append(&upd(seq));
             wal.commit().unwrap();
@@ -1151,7 +1251,7 @@ mod tests {
     fn stale_ckpt_tmp_is_discarded() {
         let path = tmpdir("tmp");
         let dir = FsDir::open(&path).unwrap();
-        let mut wal = Wal::new(Box::new(dir), WalOptions::default(), 1).unwrap();
+        let mut wal = Wal::new(Box::new(dir), WalOptions::default(), 1, 0).unwrap();
         wal.append(&upd(1));
         wal.commit().unwrap();
         drop(wal);
@@ -1161,5 +1261,57 @@ mod tests {
         assert_eq!(rec.records, vec![upd(1)]);
         assert!(!path.join(CKPT_TMP).exists());
         std::fs::remove_dir_all(&path).unwrap();
+    }
+
+    /// The leadership term survives restarts and rotations (every
+    /// segment header carries it), and packed epochs order
+    /// term-dominantly — a promoted term 2 outranks any lifetime churn
+    /// at term 1.
+    #[test]
+    fn term_persists_across_rotations_and_orders_epochs() {
+        let e = epoch::compose(3, 7);
+        assert_eq!(epoch::term(e), 3);
+        assert_eq!(epoch::lifetime(e), 7);
+        let max_lifetime = (1u64 << epoch::LIFETIME_BITS) - 1;
+        assert!(epoch::compose(2, 1) > epoch::compose(1, max_lifetime));
+
+        let dir = FlakyDir::default();
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1, 3).unwrap();
+        assert_eq!(wal.term(), 3);
+        wal.append(&upd(1));
+        wal.commit().unwrap();
+        wal.rotate().unwrap();
+        wal.append(&upd(2));
+        wal.commit().unwrap();
+        drop(wal);
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.term, 3);
+        assert_eq!(rec.next_segment, 3);
+        assert_eq!(rec.records, vec![upd(1), upd(2)]);
+    }
+
+    /// `Wal::seed` publishes the foreign checkpoint and opens an append
+    /// segment at the given term — the promotion bootstrap.
+    #[test]
+    fn seed_publishes_checkpoint_and_opens_at_term() {
+        let dir = FlakyDir::default();
+        let mut wal = Wal::seed(
+            Box::new(dir.clone()),
+            WalOptions::default(),
+            1,
+            5,
+            42,
+            b"promoted-state",
+        )
+        .unwrap();
+        assert_eq!(wal.term(), 5);
+        wal.append(&upd(43));
+        wal.commit().unwrap();
+        drop(wal);
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.checkpoint, Some((42, b"promoted-state".to_vec())));
+        assert_eq!(rec.records, vec![upd(43)]);
+        assert_eq!(rec.term, 5);
+        assert_eq!(rec.next_segment, 2);
     }
 }

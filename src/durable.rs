@@ -55,7 +55,7 @@ use cqu_common::FxHashMap;
 use cqu_dynamic::UpdateReport;
 use cqu_query::{RelId, Schema};
 use cqu_storage::{Tuple, Update};
-use cqu_wal::{FsDir, FsyncPolicy, Rec, Wal, WalDir, WalError, WalOptions};
+use cqu_wal::{epoch, FsDir, FsyncPolicy, Rec, Wal, WalDir, WalError, WalOptions};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
@@ -213,9 +213,12 @@ struct WalState {
 pub struct DurableSession {
     wal: Mutex<WalState>,
     backend: Backend,
-    /// One value per log lifetime (the startup segment index — strictly
-    /// increasing across recoveries). Followers resume by cursor only
-    /// within the epoch their state was built against.
+    /// Packed [`epoch`] `(term, lifetime)`: the lifetime half is the
+    /// startup segment index (strictly increasing across recoveries of
+    /// one log), the term half is the leadership term (bumped only by
+    /// promotion). Followers resume by cursor only within the epoch
+    /// their state was built against; ordering is term-dominant for the
+    /// stale-leader fence.
     epoch: u64,
 }
 
@@ -446,7 +449,7 @@ impl DurableSession {
         opts: DurableOptions,
     ) -> Result<DurableSession, DurableError> {
         ensure_virgin(&*dir)?;
-        let mut wal = Wal::new(dir, opts.wal(), 1)?;
+        let mut wal = Wal::new(dir, opts.wal(), 1, 0)?;
         wal.append(&Rec::Mode { sharded: false });
         wal.commit()?;
         wal.sync()?;
@@ -458,7 +461,7 @@ impl DurableSession {
                 next_sink: 1,
             }),
             backend: Backend::Single(SharedSession::new(Session::new())),
-            epoch: 1,
+            epoch: epoch::compose(0, 1),
         })
     }
 
@@ -481,7 +484,7 @@ impl DurableSession {
             builder.register(name, src)?;
         }
         let session = builder.build()?;
-        let mut wal = Wal::new(dir, opts.wal(), 1)?;
+        let mut wal = Wal::new(dir, opts.wal(), 1, 0)?;
         wal.append(&Rec::Mode { sharded: true });
         let mut reglist = Vec::with_capacity(regs.len());
         for (name, src) in regs {
@@ -502,7 +505,7 @@ impl DurableSession {
                 next_sink: 1,
             }),
             backend: Backend::Sharded(session),
-            epoch: 1,
+            epoch: epoch::compose(0, 1),
         })
     }
 
@@ -662,7 +665,7 @@ impl DurableSession {
         flush_pending(&backend, &mut pending)?;
         backend.force_seq(last_seq)?;
 
-        let wal = Wal::new(dir, opts.wal(), scan.next_segment)?;
+        let wal = Wal::new(dir, opts.wal(), scan.next_segment, scan.term)?;
         Ok(DurableSession {
             wal: Mutex::new(WalState {
                 wal,
@@ -672,9 +675,10 @@ impl DurableSession {
             }),
             backend,
             // The startup segment index is strictly increasing across
-            // lives (recovery always opens past every existing segment),
-            // which is exactly what an epoch needs.
-            epoch: scan.next_segment,
+            // lives (recovery always opens past every existing segment)
+            // — the lifetime half of the epoch. The term half survives
+            // restarts untouched: only promotion mints a higher term.
+            epoch: epoch::compose(scan.term, scan.next_segment),
         })
     }
 
@@ -684,6 +688,39 @@ impl DurableSession {
         opts: DurableOptions,
     ) -> Result<DurableSession, DurableError> {
         DurableSession::recover(Box::new(FsDir::open(path.as_ref())?), opts)
+    }
+
+    /// Turns a replica's applied state into a fresh durable leader log —
+    /// the promotion path behind [`crate::replica::ReplicaSession::promote`].
+    ///
+    /// The backend (already at its applied seq) is checkpointed into a
+    /// virgin `dir` via [`Wal::seed`], and the log opens at a leadership
+    /// term strictly above the one observed from the old leader:
+    /// `epoch = (term(observed) + 1, lifetime 1)`. Every epoch the old
+    /// leader can ever present again — including after restarts, which
+    /// bump only the lifetime half — orders below this one, so the
+    /// fence holds.
+    pub(crate) fn promote_from(
+        dir: Box<dyn WalDir>,
+        opts: DurableOptions,
+        backend: Backend,
+        regs: Vec<(String, String, u8)>,
+        observed_epoch: u64,
+    ) -> Result<DurableSession, DurableError> {
+        ensure_virgin(&*dir)?;
+        let (seq, body) = snapshot_ckpt_body(&backend, &regs)?;
+        let term = epoch::term(observed_epoch) + 1;
+        let wal = Wal::seed(dir, opts.wal(), 1, term, seq, &body)?;
+        Ok(DurableSession {
+            wal: Mutex::new(WalState {
+                wal,
+                regs,
+                sinks: Vec::new(),
+                next_sink: 1,
+            }),
+            backend,
+            epoch: epoch::compose(term, 1),
+        })
     }
 
     /// Whether this session wraps a [`ShardedSession`].
@@ -1008,26 +1045,7 @@ impl DurableSession {
     pub fn checkpoint(&self) -> Result<u64, DurableError> {
         let mut st = lock_wal(&self.wal)?;
         let st = &mut *st;
-        let regs = &st.regs;
-        let (seq, body) = match &self.backend {
-            Backend::Single(sess) => sess.read(|s| {
-                (
-                    s.seq(),
-                    encode_ckpt_body(false, regs, s.schema(), |rel| {
-                        s.database().relation(rel).sorted()
-                    }),
-                )
-            })?,
-            Backend::Sharded(sess) => sess.read_all(|guards| {
-                (
-                    sess.seq(),
-                    encode_ckpt_body(true, regs, sess.schema(), |rel| {
-                        let sid = sess.plan().shard_of_relation(rel).unwrap_or(0);
-                        guards[sid].database().relation(rel).sorted()
-                    }),
-                )
-            })?,
-        };
+        let (seq, body) = snapshot_ckpt_body(&self.backend, &st.regs)?;
         st.wal.checkpoint(seq, &body)?;
         Ok(seq)
     }
@@ -1081,6 +1099,36 @@ impl DurableSession {
             st.sinks.retain(|(sid, _)| *sid != id);
         }
     }
+}
+
+/// Serializes the backend's full state at its current seq into a
+/// checkpoint body — shared by [`DurableSession::checkpoint`] and the
+/// promotion seeding path. The caller must hold whatever lock makes the
+/// seq stable (the WAL lock for a live leader; a stopped follower for
+/// promotion).
+pub(crate) fn snapshot_ckpt_body(
+    backend: &Backend,
+    regs: &[(String, String, u8)],
+) -> Result<(u64, Vec<u8>), DurableError> {
+    Ok(match backend {
+        Backend::Single(sess) => sess.read(|s| {
+            (
+                s.seq(),
+                encode_ckpt_body(false, regs, s.schema(), |rel| {
+                    s.database().relation(rel).sorted()
+                }),
+            )
+        })?,
+        Backend::Sharded(sess) => sess.read_all(|guards| {
+            (
+                sess.seq(),
+                encode_ckpt_body(true, regs, sess.schema(), |rel| {
+                    let sid = sess.plan().shard_of_relation(rel).unwrap_or(0);
+                    guards[sid].database().relation(rel).sorted()
+                }),
+            )
+        })?,
+    })
 }
 
 fn ensure_virgin(dir: &dyn WalDir) -> Result<(), DurableError> {

@@ -96,7 +96,7 @@ pub use cqu_wal as wal;
 
 pub use durable::{DurableError, DurableOptions, DurableSession, DurableTransaction};
 pub use error::CqError;
-pub use replica::{ReplicaOptions, ReplicaSession, ReplicationServer};
+pub use replica::{promotion_candidate, ReplicaOptions, ReplicaSession, ReplicationServer};
 pub use session::{
     BoundedSubscription, ChangeEvent, EngineChoice, QueryHandle, QueryId, QuerySnapshot,
     ReplayOutcome, Resume, RouteReason, Session, SessionTransaction, SharedSession, Subscription,
@@ -108,7 +108,8 @@ pub mod prelude {
     pub use crate::durable::{DurableError, DurableOptions, DurableSession, DurableTransaction};
     pub use crate::error::CqError;
     pub use crate::replica::{
-        FollowerConfig, LeaderConfig, ReplicaOptions, ReplicaSession, ReplicationServer,
+        promotion_candidate, DenyReason, FollowerConfig, FollowerProgress, LeaderConfig,
+        ReplicaOptions, ReplicaSession, ReplicationServer,
     };
     pub use crate::serve::{ReplicaSource, ServerHandle, SessionSource, ShardedSource};
     pub use crate::session::{

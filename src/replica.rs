@@ -41,10 +41,24 @@
 //! The in-memory apply machinery is identical to recovery's: updates
 //! replay through the same backend, so a replica's engine states,
 //! relation ids, and subscriber seq stamps match the leader's exactly.
+//!
+//! ## Failover
+//!
+//! When the leader dies, pick the most caught-up live follower
+//! deterministically ([`promotion_candidate`] over
+//! [`ReplicationServer::followers`] progress, or the replicas' own
+//! `(epoch, applied_seq)` pairs) and call
+//! [`ReplicaSession::promote`]: the follower loop is fenced off, the
+//! applied state is checkpointed into a fresh WAL directory, and the
+//! result is a [`DurableSession`] at a **bumped epoch term** that a new
+//! [`ReplicationServer`] can bind. Surviving followers re-handshake
+//! onto the new epoch through the ordinary re-bootstrap path; the old
+//! leader, if restarted and pointed at the new one, is refused with a
+//! permanent stale-epoch deny (surfaced via [`FollowerStats::fenced`]).
 
 use crate::durable::{
-    build_backend, decode_choice, decode_ckpt_body, load_ckpt_tuples, Backend, DurableSession,
-    REPLAY_CHUNK,
+    build_backend, decode_choice, decode_ckpt_body, load_ckpt_tuples, Backend, DurableError,
+    DurableOptions, DurableSession, REPLAY_CHUNK,
 };
 use crate::error::CqError;
 use crate::session::{
@@ -53,15 +67,17 @@ use crate::session::{
 use crate::shard::ShardedSession;
 use cqu_query::RelId;
 use cqu_storage::Update;
-use cqu_wal::Rec;
+use cqu_wal::{Rec, WalDir};
 use std::collections::HashSet;
 use std::io;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
-pub use cqu_repl::{FollowerConfig, FollowerStats, LeaderConfig, LeaderStats};
+pub use cqu_repl::{
+    DenyReason, FollowerConfig, FollowerProgress, FollowerStats, LeaderConfig, LeaderStats,
+};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -103,6 +119,11 @@ struct ReplicaShared {
     bumped: Condvar,
     /// The leader epoch the current state was built against.
     epoch: AtomicU64,
+    /// Mirror of the applier's registration list (name, src, encoded
+    /// choice), kept in sync on every DDL apply and re-bootstrap so
+    /// [`ReplicaSession::promote`] can seed a checkpoint without the
+    /// applier thread.
+    regs: Mutex<Vec<(String, String, u8)>>,
 }
 
 impl ReplicaShared {
@@ -144,6 +165,12 @@ struct SessionApplier {
 }
 
 impl SessionApplier {
+    /// Publishes the current registration list to the shared mirror
+    /// (cheap: DDL and re-bootstrap only).
+    fn sync_regs(&self) {
+        *lock(&self.shared.regs) = self.regs.clone();
+    }
+
     fn install(&mut self, backend: Backend) -> Result<(), String> {
         self.enable_retention(&backend)?;
         *self
@@ -273,6 +300,7 @@ impl SessionApplier {
                         self.regs.push((name.clone(), src.clone(), *choice));
                     }
                     self.registered.insert(name.clone());
+                    self.sync_regs();
                 }
                 Rec::Update {
                     seq,
@@ -386,6 +414,7 @@ impl cqu_repl::ReplicaApply for SessionApplier {
                 }
             }
         }
+        self.sync_regs();
         // The watermark restarts with the state; readers of the old
         // backend keep their pins, new reads see the bootstrap.
         *lock(&self.shared.applied) = self.cursor;
@@ -443,7 +472,12 @@ impl cqu_repl::ReplicaApply for SessionApplier {
 /// the network thread.
 pub struct ReplicaSession {
     shared: Arc<ReplicaShared>,
-    follower: cqu_repl::Follower,
+    /// Behind a mutex so [`ReplicaSession::promote`] can stop and join
+    /// the network thread through a shared handle.
+    follower: Mutex<cqu_repl::Follower>,
+    /// Latched by [`ReplicaSession::promote`]; a promoted replica's
+    /// follower loop is permanently fenced off.
+    promoted: AtomicBool,
 }
 
 impl ReplicaSession {
@@ -457,6 +491,7 @@ impl ReplicaSession {
             applied: Mutex::new(0),
             bumped: Condvar::new(),
             epoch: AtomicU64::new(0),
+            regs: Mutex::new(Vec::new()),
         });
         let applier = SessionApplier {
             shared: Arc::clone(&shared),
@@ -471,7 +506,11 @@ impl ReplicaSession {
             epoch: 0,
         };
         let follower = cqu_repl::Follower::spawn(addr, Box::new(applier), options.follower)?;
-        Ok(ReplicaSession { shared, follower })
+        Ok(ReplicaSession {
+            shared,
+            follower: Mutex::new(follower),
+            promoted: AtomicBool::new(false),
+        })
     }
 
     /// The applied watermark: every leader seq ≤ this value is fully
@@ -509,23 +548,78 @@ impl ReplicaSession {
 
     /// Whether the replication connection is currently up.
     pub fn is_connected(&self) -> bool {
-        self.follower.stats().connected
+        self.stats().connected
     }
 
-    /// Network counters (connects, bootstraps, resumes, disconnects).
+    /// Network counters (connects, bootstraps, resumes, disconnects) and
+    /// the fencing status: [`FollowerStats::fenced`] is set when the
+    /// leader permanently refused this replica (version mismatch,
+    /// stale-epoch fence) — the reconnect loop then idles at its backoff
+    /// cap instead of hot-retrying, and clears the flag if a later
+    /// handshake succeeds.
     pub fn stats(&self) -> FollowerStats {
-        self.follower.stats()
+        lock(&self.follower).stats()
     }
 
     /// Severs the current connection, forcing a disconnect/resume cycle
     /// — fault injection for tests.
     pub fn kick(&self) {
-        self.follower.kick();
+        lock(&self.follower).kick();
     }
 
     /// Stops the network thread and joins it (also happens on drop).
     pub fn shutdown(&mut self) {
-        self.follower.stop();
+        lock(&self.follower).stop();
+    }
+
+    /// Promotes this replica to a standalone leader: permanently stops
+    /// the follower loop, checkpoints the applied state into `dir`, and
+    /// opens a fresh WAL at a **bumped epoch term** — strictly greater
+    /// than any epoch the old leader can ever present, even across its
+    /// restarts. The returned [`DurableSession`] accepts writes and can
+    /// be handed to [`ReplicationServer::bind`]; surviving replicas
+    /// re-handshake onto the new epoch (re-bootstrap path), and the old
+    /// leader, if it comes back and connects as a follower, is fenced
+    /// with a stale-epoch deny.
+    ///
+    /// The promotion point is the replica's applied watermark: any
+    /// leader suffix past it is lost (asynchronous replication), which
+    /// is why callers should promote the follower with the highest
+    /// `(epoch, acked_seq)` — see [`promotion_candidate`].
+    ///
+    /// Errors if the replica was already promoted, never bootstrapped,
+    /// or in a diverged/unsynced state (epoch 0), or if `dir` is not
+    /// virgin. On error (other than double promotion) the session is
+    /// left stopped but unpromoted, so a retry with a fresh `dir` works.
+    pub fn promote(
+        &self,
+        dir: Box<dyn WalDir>,
+        options: DurableOptions,
+    ) -> Result<DurableSession, DurableError> {
+        if self.promoted.swap(true, Ordering::SeqCst) {
+            return Err(DurableError::Unsupported("replica already promoted"));
+        }
+        // Joining the network thread quiesces the applier: the backend
+        // rests exactly at the applied watermark, with no in-flight
+        // batches.
+        lock(&self.follower).stop();
+        let result = (|| {
+            let epoch = self.shared.epoch.load(Ordering::SeqCst);
+            if epoch == 0 {
+                return Err(DurableError::Recovery(
+                    "replica never synced (or diverged) — no epoch to fence against".into(),
+                ));
+            }
+            let backend = self.shared.backend().ok_or_else(|| {
+                DurableError::Recovery("replica not yet bootstrapped — nothing to promote".into())
+            })?;
+            let regs = lock(&self.shared.regs).clone();
+            DurableSession::promote_from(dir, options, backend, regs, epoch)
+        })();
+        if result.is_err() {
+            self.promoted.store(false, Ordering::SeqCst);
+        }
+        result
     }
 
     fn backend(&self) -> Result<Backend, CqError> {
@@ -625,6 +719,26 @@ impl std::fmt::Debug for ReplicaSession {
     }
 }
 
+/// Picks the follower to promote after a leader failure: the live
+/// follower with the highest `(epoch, acked_seq)` — the most caught-up
+/// view of the timeline — with the lowest attach id breaking exact
+/// ties, so every observer of the same progress snapshot names the
+/// same candidate.
+///
+/// `dead_after` is the liveness horizon (the leader-side mirror of
+/// [`FollowerConfig::dead_after`]): followers whose ack stream has been
+/// silent longer are presumed dead and skipped. `None` considers every
+/// follower. Returns `None` when no follower qualifies.
+pub fn promotion_candidate(
+    followers: &[FollowerProgress],
+    dead_after: Option<Duration>,
+) -> Option<&FollowerProgress> {
+    followers
+        .iter()
+        .filter(|f| dead_after.is_none_or(|horizon| f.silent_for <= horizon))
+        .max_by_key(|f| (f.epoch, f.acked_seq, std::cmp::Reverse(f.id)))
+}
+
 /// Adapts a [`DurableSession`] to the leader-side replication contract.
 struct LeaderSource(Arc<DurableSession>);
 
@@ -667,6 +781,14 @@ impl ReplicationServer {
     /// Leader counters (attached followers, resumes, bootstraps, …).
     pub fn stats(&self) -> LeaderStats {
         self.inner.stats()
+    }
+
+    /// A progress snapshot of every attached follower: attach id,
+    /// address, greeted epoch, highest acked seq, and how long its ack
+    /// stream has been silent. Feed this to [`promotion_candidate`] to
+    /// pick a failover target deterministically.
+    pub fn followers(&self) -> Vec<FollowerProgress> {
+        self.inner.followers()
     }
 
     /// Stops the listener and joins its threads (also happens on drop).

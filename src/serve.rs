@@ -51,6 +51,13 @@ fn source_err(e: CqError) -> SourceError {
     }
 }
 
+fn durable_err(e: crate::durable::DurableError) -> SourceError {
+    match e {
+        crate::durable::DurableError::Session(e) => source_err(e),
+        other => SourceError::Invalid(other.to_string()),
+    }
+}
+
 fn to_delta(event: &ChangeEvent) -> FeedDelta {
     FeedDelta {
         seq: event.seq,
@@ -214,6 +221,14 @@ impl FeedSource for ShardedSource {
     }
 }
 
+/// What a [`ReplicaSource`] is currently fronting: a live follower, or
+/// the [`DurableSession`](crate::durable::DurableSession) it promoted
+/// into after a leader failover.
+enum ServedReplica {
+    Following(Arc<crate::replica::ReplicaSession>),
+    Promoted(Arc<crate::durable::DurableSession>),
+}
+
 /// Serves a [`ReplicaSession`](crate::replica::ReplicaSession): a
 /// follower can front the same streaming TCP protocol as its leader,
 /// which is how read throughput scales horizontally — point subscribers
@@ -224,26 +239,60 @@ impl FeedSource for ShardedSource {
 /// replica's *current* backend per call, so a re-bootstrap behind the
 /// scenes is picked up transparently. Registration is rejected —
 /// replicas are read-only.
+///
+/// After a failover, [`ReplicaSource::handoff`] swaps the source onto
+/// the promoted [`DurableSession`](crate::durable::DurableSession)
+/// without restarting the server: client cursors stay valid (promotion
+/// continues the same seq timeline), feeds keep flowing from the same
+/// backend, and `seq()` starts tracking the new leader's commits
+/// instead of the frozen follower watermark.
 pub struct ReplicaSource {
-    replica: Arc<crate::replica::ReplicaSession>,
+    inner: std::sync::RwLock<ServedReplica>,
 }
 
 impl ReplicaSource {
     /// Wraps `replica` for serving. Delta retention is governed by the
     /// replica's own `ring_cap` option ([`crate::replica::ReplicaOptions`]).
     pub fn new(replica: Arc<crate::replica::ReplicaSession>) -> ReplicaSource {
-        ReplicaSource { replica }
+        ReplicaSource {
+            inner: std::sync::RwLock::new(ServedReplica::Following(replica)),
+        }
     }
 
-    /// The wrapped replica.
-    pub fn replica(&self) -> &Arc<crate::replica::ReplicaSession> {
-        &self.replica
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, ServedReplica> {
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The wrapped replica, while still following (`None` once
+    /// [`ReplicaSource::handoff`] has swapped in a promoted session).
+    pub fn replica(&self) -> Option<Arc<crate::replica::ReplicaSession>> {
+        match &*self.read() {
+            ServedReplica::Following(r) => Some(Arc::clone(r)),
+            ServedReplica::Promoted(_) => None,
+        }
+    }
+
+    /// Swaps the source onto the session this replica promoted into
+    /// (see [`ReplicaSession::promote`](crate::replica::ReplicaSession::promote)).
+    /// In-flight reads finish against the old arm; every later call
+    /// serves from `promoted`. Idempotent in effect — handing off twice
+    /// just replaces the session handle.
+    pub fn handoff(&self, promoted: Arc<crate::durable::DurableSession>) {
+        *self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = ServedReplica::Promoted(promoted);
     }
 }
 
 impl FeedSource for ReplicaSource {
     fn seq(&self) -> u64 {
-        self.replica.applied_seq()
+        match &*self.read() {
+            ServedReplica::Following(r) => r.applied_seq(),
+            ServedReplica::Promoted(d) => d.seq().unwrap_or(0),
+        }
     }
 
     fn register(&self, _name: &str, _src: &str) -> Result<u64, SourceError> {
@@ -253,19 +302,42 @@ impl FeedSource for ReplicaSource {
     }
 
     fn snapshot(&self, name: &str) -> Result<(u64, Vec<Row>), SourceError> {
-        let snap = self.replica.snapshot(name).map_err(source_err)?;
+        let snap = match &*self.read() {
+            ServedReplica::Following(r) => r.snapshot(name).map_err(source_err)?,
+            ServedReplica::Promoted(d) => d.snapshot(name).map_err(durable_err)?,
+        };
         Ok((snap.seq(), snap.results_sorted()))
     }
 
     fn replay(&self, name: &str, from_seq: u64) -> Result<Replay, SourceError> {
-        self.replica
-            .replay_since(name, from_seq)
-            .map(to_replay)
-            .map_err(source_err)
+        match &*self.read() {
+            ServedReplica::Following(r) => r
+                .replay_since(name, from_seq)
+                .map(to_replay)
+                .map_err(source_err),
+            ServedReplica::Promoted(d) => {
+                let outcome = match (d.shared(), d.sharded()) {
+                    (Some(s), _) => s
+                        .read(|s| s.query(name).map(|h| h.replay_since(from_seq)))
+                        .map_err(source_err)?
+                        .map_err(source_err)?,
+                    (_, Some(s)) => s.replay_since(name, from_seq).map_err(source_err)?,
+                    _ => unreachable!("backend is single or sharded"),
+                };
+                Ok(to_replay(outcome))
+            }
+        }
     }
 
     fn open_feed(&self, name: &str) -> Result<Box<dyn FeedStream>, SourceError> {
-        let sub = self.replica.subscribe(name).map_err(source_err)?;
+        let sub = match &*self.read() {
+            ServedReplica::Following(r) => r.subscribe(name).map_err(source_err)?,
+            ServedReplica::Promoted(d) => match (d.shared(), d.sharded()) {
+                (Some(s), _) => s.subscribe(name).map_err(source_err)?,
+                (_, Some(s)) => s.subscribe(name).map_err(source_err)?,
+                _ => unreachable!("backend is single or sharded"),
+            },
+        };
         Ok(Box::new(SubscriptionFeed(sub)))
     }
 }

@@ -19,8 +19,16 @@
 //! re-bootstrap, sharded leaders, and the serving front end over a
 //! replica.
 //!
-//! Case count scales with `CQ_STRESS_REPL_KILLS` (the CI replication
-//! stress cell raises it; the default keeps local runs quick).
+//! Failover edges ride the same oracle: kill the leader, promote the
+//! most caught-up follower ([`promotion_candidate`] over the leader's
+//! ack-progress snapshot), truncate the timeline to the promotion
+//! point (async replication loses the unreplicated suffix), and the
+//! survivor must re-handshake onto the bumped epoch and converge —
+//! while a restarted stale leader is fenced with a permanent deny.
+//!
+//! Case count scales with `CQ_STRESS_REPL_KILLS` /
+//! `CQ_STRESS_PROMOTE_KILLS` (the CI replication and failover stress
+//! cells raise them; the defaults keep local runs quick).
 
 use cq_updates::prelude::*;
 use cq_updates::query::RelId;
@@ -40,6 +48,13 @@ fn stress_cases() -> u32 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(4)
+}
+
+fn promote_stress_cases() -> u32 {
+    std::env::var("CQ_STRESS_PROMOTE_KILLS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
 }
 
 /// The same engine-route zoo as the durability suite, so a sharded
@@ -96,6 +111,9 @@ fn fast_replica() -> ReplicaOptions {
     ReplicaOptions {
         follower: FollowerConfig {
             reconnect: Duration::from_millis(25),
+            // A low cap keeps fenced/denied followers probing fast
+            // enough for the failover tests' VIP flips.
+            reconnect_max: Duration::from_millis(200),
             dead_after: Some(Duration::from_secs(2)),
             ..FollowerConfig::default()
         },
@@ -578,6 +596,268 @@ fn replica_serves_the_subscription_protocol() {
 }
 
 // ---------------------------------------------------------------------------
+// Failover: promotion, candidate selection, stale-leader fencing
+// ---------------------------------------------------------------------------
+
+/// Candidate selection is a pure total order: highest `(epoch,
+/// acked_seq)` wins, the lowest attach id breaks exact ties, and
+/// followers silent past the liveness horizon are skipped.
+#[test]
+fn promotion_candidate_is_deterministic() {
+    let now = std::time::Instant::now();
+    let f = |id, epoch, acked_seq, silent_ms| FollowerProgress {
+        id,
+        addr: "127.0.0.1:1".parse().unwrap(),
+        epoch,
+        acked_seq,
+        last_seen: now,
+        silent_for: Duration::from_millis(silent_ms),
+    };
+    // A higher epoch beats any seq lead from an older one.
+    let set = [f(1, 10, 99, 0), f(2, 11, 5, 0)];
+    assert_eq!(promotion_candidate(&set, None).unwrap().id, 2);
+    // Same epoch: the highest acked seq.
+    let set = [f(1, 10, 50, 0), f(2, 10, 60, 0)];
+    assert_eq!(promotion_candidate(&set, None).unwrap().id, 2);
+    // Exact tie: the lowest id, whatever the input order.
+    let set = [f(3, 10, 50, 0), f(1, 10, 50, 0), f(2, 10, 50, 0)];
+    assert_eq!(promotion_candidate(&set, None).unwrap().id, 1);
+    // Dead followers are skipped under a horizon, considered without.
+    let set = [f(1, 10, 99, 5_000), f(2, 10, 10, 0)];
+    let horizon = Some(Duration::from_secs(2));
+    assert_eq!(promotion_candidate(&set, horizon).unwrap().id, 2);
+    assert_eq!(promotion_candidate(&set, None).unwrap().id, 1);
+    assert!(promotion_candidate(&set[..1], horizon).is_none());
+    assert!(promotion_candidate(&[], None).is_none());
+}
+
+/// Promotion refuses a replica that never synced (nothing to fence
+/// against, nothing to serve) — and the refusal is retryable, not a
+/// latched "already promoted".
+#[test]
+fn promote_requires_a_synced_replica() {
+    // A port with nothing behind it: connects fail, epoch stays 0.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let r = ReplicaSession::connect(addr, fast_replica()).unwrap();
+    assert!(matches!(
+        r.promote(Box::new(SimDisk::new()), small_opts()),
+        Err(DurableError::Recovery(_))
+    ));
+    // Still Recovery (not Unsupported): the failed attempt unlatched.
+    assert!(matches!(
+        r.promote(Box::new(SimDisk::new()), small_opts()),
+        Err(DurableError::Recovery(_))
+    ));
+}
+
+/// The full failover story: the leader's ack-progress snapshot names
+/// the candidate, the killed leader's most caught-up follower promotes
+/// onto a bumped epoch term, the survivor re-handshakes and converges
+/// against the oracle timeline, the promoted replica refuses a second
+/// promotion, and a restarted stale leader both *orders below* the new
+/// epoch and *fences* a new-epoch follower that lands on it — without
+/// disturbing the follower's state.
+#[test]
+fn promotion_failover_and_stale_leader_fence() {
+    let (schema, queries) = scratch();
+    let old_disk = SimDisk::new();
+    let sess1 = leader(&old_disk, false);
+    let server1 =
+        ReplicationServer::bind("127.0.0.1:0", Arc::clone(&sess1), fast_leader()).unwrap();
+    let front = vip(server1.local_addr());
+    let a = ReplicaSession::connect(front.addr, fast_replica()).unwrap();
+    let b = ReplicaSession::connect(front.addr, fast_replica()).unwrap();
+
+    let mut db = Database::new(schema.clone());
+    let mut frames: Vec<Option<Update>> = Vec::new();
+    for op in script_ops(&schema, 51, 30) {
+        run_op(&sess1, &mut db, &mut frames, &op);
+    }
+    let head = frames.len() as u64;
+    assert!(a.wait_for_seq(head, SYNC), "{a:?}");
+    assert!(b.wait_for_seq(head, SYNC), "{b:?}");
+
+    // Leader-side ack plumbing: both followers' acked progress reaches
+    // the head (acks ride applies and heartbeats, so poll briefly).
+    let deadline = std::time::Instant::now() + SYNC;
+    let progress = loop {
+        let progress = server1.followers();
+        if progress.len() == 2 && progress.iter().all(|f| f.acked_seq == head) {
+            break progress;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "acks never reached the head: {progress:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let candidate = promotion_candidate(&progress, Some(Duration::from_secs(2))).unwrap();
+    assert_eq!(candidate.acked_seq, head);
+    // Both followers tie on (epoch, acked): the lowest attach id wins.
+    assert_eq!(
+        candidate.id,
+        progress.iter().map(|f| f.id).min().unwrap(),
+        "tie must break deterministically"
+    );
+    let epoch1 = a.epoch();
+    assert_eq!(epoch1, sess1.replication_epoch());
+
+    // The leader dies. Promote the fully caught-up follower.
+    drop(server1);
+    drop(sess1);
+    let new_disk = SimDisk::new();
+    let promoted = Arc::new(a.promote(Box::new(new_disk.clone()), small_opts()).unwrap());
+    assert_eq!(
+        promoted.seq().unwrap(),
+        head,
+        "promotion point is the watermark"
+    );
+    assert!(
+        promoted.replication_epoch() > epoch1,
+        "promotion must open a strictly higher epoch"
+    );
+    assert!(
+        matches!(
+            a.promote(Box::new(SimDisk::new()), small_opts()),
+            Err(DurableError::Unsupported(_))
+        ),
+        "a second promotion must be refused"
+    );
+
+    // The survivor re-handshakes onto the new leader behind the VIP,
+    // and writes continue on the promoted session.
+    let server2 =
+        ReplicationServer::bind("127.0.0.1:0", Arc::clone(&promoted), fast_leader()).unwrap();
+    *front.target.lock().unwrap() = server2.local_addr();
+    b.kick();
+    for op in script_ops(&schema, 52, 20) {
+        run_op(&promoted, &mut db, &mut frames, &op);
+    }
+    assert_converged("survivor", &promoted, &b, &schema, &queries, &frames);
+    assert_eq!(b.epoch(), promoted.replication_epoch());
+    assert!(
+        b.stats().bootstraps >= 2,
+        "an old-epoch cursor must re-bootstrap onto the new timeline: {:?}",
+        b.stats()
+    );
+
+    // The old leader comes back from its own disk. Its recovery bumps
+    // the lifetime half of its epoch, but its term is stale — it orders
+    // below the promoted leader no matter how many times it restarts.
+    let old = Arc::new(DurableSession::recover(Box::new(old_disk.clone()), small_opts()).unwrap());
+    assert!(
+        old.replication_epoch() < promoted.replication_epoch(),
+        "a restarted stale leader must order below the promoted epoch"
+    );
+    let old_server =
+        ReplicationServer::bind("127.0.0.1:0", Arc::clone(&old), fast_leader()).unwrap();
+
+    // Misrouted VIP: the survivor lands on the stale leader, which must
+    // fence it with a permanent deny rather than reset it backwards.
+    *front.target.lock().unwrap() = old_server.local_addr();
+    let applied_before = b.applied_seq();
+    b.kick();
+    let deadline = std::time::Instant::now() + SYNC;
+    while b.stats().fenced != Some(DenyReason::StaleEpoch) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stale-epoch fence never surfaced: {:?}",
+            b.stats()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        b.applied_seq(),
+        applied_before,
+        "a fenced follower must not reset onto the stale timeline"
+    );
+    assert!(b.stats().denies >= 1, "{:?}", b.stats());
+    assert!(
+        old_server.stats().denied_stale >= 1,
+        "the stale leader must count the fence: {:?}",
+        old_server.stats()
+    );
+
+    // Routing fixed: the follower recovers, clears the fence, and
+    // converges on the true timeline.
+    *front.target.lock().unwrap() = server2.local_addr();
+    b.kick();
+    for op in script_ops(&schema, 53, 10) {
+        if !matches!(op, Op::Checkpoint) {
+            run_op(&promoted, &mut db, &mut frames, &op);
+        }
+    }
+    assert_converged("recovered", &promoted, &b, &schema, &queries, &frames);
+    assert_eq!(
+        b.stats().fenced,
+        None,
+        "a successful handshake must clear the fence"
+    );
+}
+
+/// A promoted replica keeps fronting the serving protocol: after
+/// [`ReplicaSource::handoff`] the same server (same port, same client
+/// cursors) serves from the promoted session, and `seq()` tracks new
+/// commits instead of the frozen follower watermark.
+#[test]
+fn replica_source_hands_off_to_promoted_session() {
+    use cq_updates::serve::{Client, Mirror, ReplicaSource, ServerHandle};
+
+    let disk = SimDisk::new();
+    let sess = leader(&disk, false);
+    let repl_server =
+        ReplicationServer::bind("127.0.0.1:0", Arc::clone(&sess), fast_leader()).unwrap();
+    let replica =
+        Arc::new(ReplicaSession::connect(repl_server.local_addr(), fast_replica()).unwrap());
+
+    let e = sess.relation("E").unwrap();
+    let t = sess.relation("T").unwrap();
+    sess.apply_batch(&[Update::Insert(e, vec![1, 2]), Update::Insert(t, vec![2])])
+        .unwrap();
+    assert!(replica.wait_for_seq(2, SYNC));
+
+    let source = Arc::new(ReplicaSource::new(Arc::clone(&replica)));
+    let front = ServerHandle::bind("127.0.0.1:0", Arc::clone(&source) as _).unwrap();
+    let mut client = Client::connect(front.local_addr()).unwrap();
+    client.subscribe("qh", None).unwrap();
+    let mut mirror = Mirror::new();
+
+    // Failover: kill the leader, promote the replica, hand the source
+    // off. The serving client is none the wiser.
+    drop(repl_server);
+    drop(sess);
+    assert!(source.replica().is_some());
+    let promoted = Arc::new(
+        replica
+            .promote(Box::new(SimDisk::new()), small_opts())
+            .unwrap(),
+    );
+    source.handoff(Arc::clone(&promoted));
+    assert!(
+        source.replica().is_none(),
+        "handoff leaves the follower arm"
+    );
+
+    // Writes now land on the promoted session; the same subscription
+    // keeps flowing (same backend, same feed), and seq() tracks them.
+    let e = promoted.relation("E").unwrap();
+    promoted.apply(&Update::Insert(e, vec![5, 2])).unwrap();
+    assert_eq!(promoted.seq().unwrap(), 3);
+    let want = vec![vec![1, 2], vec![5, 2]];
+    let deadline = std::time::Instant::now() + SYNC;
+    while mirror.rows_sorted() != want {
+        let now = std::time::Instant::now();
+        assert!(now < deadline, "promoted front end never converged");
+        if let Some(frame) = client.next(deadline - now).unwrap() {
+            mirror.apply("qh", &frame);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Convergence under churn
 // ---------------------------------------------------------------------------
 
@@ -647,5 +927,97 @@ proptest! {
     #[test]
     fn followers_converge_under_churn(seed in any::<u64>(), sharded in any::<bool>()) {
         churn_case(seed, sharded);
+    }
+}
+
+/// Churn with a mid-script leader kill and promotion: run half the
+/// script against the original leader (with injected kicks), kill it,
+/// promote the deterministically-selected replica — highest
+/// `(epoch, applied_seq)`, lowest index on ties — truncate the oracle
+/// timeline to the promotion point (the unreplicated suffix is lost by
+/// design), then run the rest of the script against the promoted
+/// leader while the survivor re-handshakes through the VIP.
+fn promote_churn_case(seed: u64, sharded: bool) {
+    let (schema, queries) = scratch();
+    let disk = SimDisk::new();
+    let sess = leader(&disk, sharded);
+    let server = ReplicationServer::bind("127.0.0.1:0", Arc::clone(&sess), fast_leader()).unwrap();
+    let front = vip(server.local_addr());
+    let replicas: Vec<ReplicaSession> = (0..2)
+        .map(|_| ReplicaSession::connect(front.addr, fast_replica()).unwrap())
+        .collect();
+
+    let ops = script_ops(&schema, seed, 50);
+    let mut rng = Lcg::new(seed ^ 0x0b4c_9d2f_8e61_a753);
+    let mut db = Database::new(schema.clone());
+    let mut frames: Vec<Option<Update>> = Vec::new();
+    let split = ops.len() / 2;
+    for op in ops.iter().take(split) {
+        run_op(&sess, &mut db, &mut frames, op);
+        if rng.below(100) < 10 {
+            replicas[rng.below(2)].kick();
+        }
+    }
+    // Guarantee a promotable candidate: replica 0 fully synced (so its
+    // epoch is set and its watermark is the head); replica 1 is
+    // wherever churn left it.
+    let head = frames.len() as u64;
+    assert!(replicas[0].wait_for_seq(head, SYNC), "{:?}", replicas[0]);
+    assert_ne!(replicas[0].epoch(), 0, "synced replica must carry an epoch");
+
+    // The leader dies at an arbitrary point in the script.
+    drop(server);
+    drop(sess);
+
+    // Deterministic selection over the replicas' own (epoch, applied)
+    // pairs — the same order promotion_candidate imposes on the
+    // leader's ack snapshot, observed from the follower side.
+    let states: Vec<(u64, u64)> = replicas
+        .iter()
+        .map(|r| (r.epoch(), r.applied_seq()))
+        .collect();
+    let winner = (0..replicas.len())
+        .max_by_key(|&i| (states[i].0, states[i].1, std::cmp::Reverse(i)))
+        .unwrap();
+    let cut = states[winner].1;
+    // Async replication: everything past the promotion point is lost.
+    frames.truncate(cut as usize);
+    let mut db = db_at(&schema, &frames, cut);
+
+    let promoted = Arc::new(
+        replicas[winner]
+            .promote(Box::new(SimDisk::new()), small_opts())
+            .unwrap(),
+    );
+    assert_eq!(promoted.seq().unwrap(), cut);
+    assert!(promoted.replication_epoch() > states[winner].0);
+    let server2 =
+        ReplicationServer::bind("127.0.0.1:0", Arc::clone(&promoted), fast_leader()).unwrap();
+    *front.target.lock().unwrap() = server2.local_addr();
+    let survivor = &replicas[1 - winner];
+    survivor.kick();
+
+    for op in ops.iter().skip(split) {
+        run_op(&promoted, &mut db, &mut frames, op);
+        if rng.below(100) < 10 {
+            survivor.kick();
+        }
+    }
+    assert_converged("survivor", &promoted, survivor, &schema, &queries, &frames);
+    assert_eq!(survivor.epoch(), promoted.replication_epoch());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: promote_stress_cases(),
+        ..ProptestConfig::default()
+    })]
+
+    /// Leader-kill-and-promote under churn: the survivor converges to
+    /// the promoted leader and the truncated-timeline oracle,
+    /// single-writer and sharded alike.
+    #[test]
+    fn promotion_converges_under_churn(seed in any::<u64>(), sharded in any::<bool>()) {
+        promote_churn_case(seed, sharded);
     }
 }
