@@ -39,6 +39,7 @@ fn durable_on(disk: SimDisk, fsync: FsyncPolicy) -> DurableSession {
     let opts = DurableOptions {
         fsync,
         segment_bytes: 32 << 20, // no rotation mid-measurement
+        ..DurableOptions::default()
     };
     let sess = DurableSession::create(Box::new(disk), opts).unwrap();
     sess.register(QUERY.0, QUERY.1).unwrap();
@@ -110,6 +111,7 @@ fn bench_fsync_policies(c: &mut Criterion) {
         let opts = DurableOptions {
             fsync,
             segment_bytes: 32 << 20,
+            ..DurableOptions::default()
         };
         let sess = DurableSession::create_at(&dir, opts).unwrap();
         sess.register(QUERY.0, QUERY.1).unwrap();
@@ -159,10 +161,12 @@ fn bench_recovery(c: &mut Criterion) {
             let opts = DurableOptions {
                 fsync: FsyncPolicy::Never, // recovery itself writes nothing hot
                 segment_bytes: 32 << 20,
+                ..DurableOptions::default()
             };
             group.bench_function(BenchmarkId::new(kind, steps), |b| {
                 b.iter(|| {
-                    let back = DurableSession::recover(Box::new(disk.strict_view()), opts).unwrap();
+                    let back = DurableSession::recover(Box::new(disk.strict_view()), opts.clone())
+                        .unwrap();
                     back.seq().unwrap()
                 })
             });

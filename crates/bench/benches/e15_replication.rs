@@ -42,6 +42,7 @@ fn leader() -> Arc<DurableSession> {
     let opts = DurableOptions {
         fsync: FsyncPolicy::Never, // isolate shipping, not fsync
         segment_bytes: 32 << 20,
+        ..DurableOptions::default()
     };
     let sess = DurableSession::create(Box::new(SimDisk::new()), opts).unwrap();
     sess.register(QUERY.0, QUERY.1).unwrap();

@@ -1,0 +1,128 @@
+//! E16: observability overhead on the hot commit path.
+//!
+//! The `cqu-obs` acceptance gate, measured head-to-head: the same
+//! e12-style churn script (cancelling insert/delete batches through a
+//! single-writer [`SharedSession`]) committed by an **instrumented**
+//! session (a shared [`Registry`]: commit counters, latency histograms,
+//! per-batch bookkeeping on every dispatch) and by an **uninstrumented**
+//! twin (`registry: None` — the `Option` is the zero-cost off switch).
+//!
+//! Rounds are interleaved A/B so frequency drift and allocator state
+//! cancel instead of biasing one arm, and both sessions evolve through
+//! identical states (round *i* of each arm sees the same set-semantics
+//! history). The headline number is the median-round overhead:
+//!
+//! ```text
+//! overhead% = (instrumented_p50 / uninstrumented_p50 − 1) × 100
+//! ```
+//!
+//! The run always writes `BENCH_E16.json` (see
+//! [`cqu_bench::measure::JsonReport`]) and prints both arms; with
+//! `CQ_ENFORCE_OVERHEAD=1` it additionally **fails** if the median
+//! overhead exceeds 5% — the CI cell that keeps instrumentation honest.
+//! (Unenforced by default: a laptop running a browser next to the bench
+//! produces ±5% noise on its own.)
+
+use cq_updates::prelude::*;
+use cq_updates::storage::workload::{churn_updates, rng, ChurnConfig};
+use cqu_bench::measure::{JsonReport, Stats};
+use std::sync::Arc;
+use std::time::Instant;
+
+const QUERY: (&str, &str) = ("q", "Q(x, y) :- E(x, y), T(y).");
+/// Updates per commit batch (the e12/e14 batch shape).
+const BATCH: usize = 64;
+/// Script length per round.
+const STEPS: usize = 1 << 14;
+/// Measured rounds per arm (odd, so the median is a real sample).
+const ROUNDS: usize = 9;
+
+/// A session over the standard query, instrumented iff `registry` is
+/// supplied (shared in *before* registration, so the per-query series
+/// wire up too).
+fn build(registry: Option<&Arc<Registry>>) -> (SharedSession, Schema) {
+    let mut session = Session::new();
+    if let Some(r) = registry {
+        session.share_registry(Arc::clone(r));
+    }
+    session.register(QUERY.0, QUERY.1).unwrap();
+    let schema = session.schema().clone();
+    (SharedSession::new(session), schema)
+}
+
+/// One full pass of the script in `BATCH`-update commits; returns the
+/// wall time in nanoseconds.
+fn run_round(session: &SharedSession, script: &[Update]) -> u64 {
+    let t0 = Instant::now();
+    for chunk in script.chunks(BATCH) {
+        session.apply_batch(chunk).unwrap();
+    }
+    t0.elapsed().as_nanos() as u64
+}
+
+fn main() {
+    // `cargo bench` passes harness flags (`--bench`); nothing to parse.
+    let registry = Arc::new(Registry::new());
+    let (instrumented, schema) = build(Some(&registry));
+    let (bare, _) = build(None);
+    let script = {
+        let mut r = rng(0xE16);
+        churn_updates(
+            &mut r,
+            &schema,
+            STEPS,
+            ChurnConfig {
+                domain: 300,
+                insert_bias: 0.6,
+            },
+        )
+    };
+
+    // Warm-up round per arm: page in code, size internal tables.
+    run_round(&bare, &script);
+    run_round(&instrumented, &script);
+
+    let mut bare_ns = Vec::with_capacity(ROUNDS);
+    let mut inst_ns = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        bare_ns.push(run_round(&bare, &script));
+        inst_ns.push(run_round(&instrumented, &script));
+    }
+    let bare_stats = Stats::from_samples(bare_ns);
+    let inst_stats = Stats::from_samples(inst_ns);
+    let overhead_pct = (inst_stats.p50_ns as f64 / bare_stats.p50_ns as f64 - 1.0) * 100.0;
+
+    // The instrumented arm must actually have been instrumented —
+    // otherwise the comparison silently measures nothing.
+    let batches = registry.counter("session_batches_total").get();
+    assert!(
+        batches >= ROUNDS as u64,
+        "instrumented session recorded no batches (got {batches})"
+    );
+
+    println!("E16: metrics overhead on the commit path ({STEPS} updates/round, batch {BATCH})");
+    println!("  uninstrumented  {bare_stats}");
+    println!("  instrumented    {inst_stats}");
+    println!("  median-round overhead: {overhead_pct:+.2}%");
+
+    let mut report = JsonReport::new("E16");
+    report
+        .add("uninstrumented_round", &bare_stats)
+        .add("instrumented_round", &inst_stats)
+        .add_fact("overhead_pct", overhead_pct)
+        .add_fact("rounds", ROUNDS as f64)
+        .add_fact("steps_per_round", STEPS as f64);
+    match report.write() {
+        Ok(path) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  could not write BENCH_E16.json: {e}"),
+    }
+
+    if std::env::var("CQ_ENFORCE_OVERHEAD").as_deref() == Ok("1") {
+        assert!(
+            overhead_pct <= 5.0,
+            "instrumented commit path is {overhead_pct:.2}% slower than the \
+             uninstrumented twin (gate: 5%)"
+        );
+        println!("  overhead gate (≤5%): PASS");
+    }
+}

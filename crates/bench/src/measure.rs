@@ -54,6 +54,110 @@ impl std::fmt::Display for Stats {
     }
 }
 
+/// A machine-readable per-experiment report: named [`Stats`] rows plus
+/// free-form scalar facts, serialized as JSON (hand-rolled — the
+/// harness has no serialization dependency) to `BENCH_<EXPERIMENT>.json`.
+///
+/// Every experiment runner can drop one of these next to its console
+/// output so plots and regression checks consume stable numbers instead
+/// of scraping logs:
+///
+/// ```
+/// use cqu_bench::measure::{JsonReport, Stats};
+/// let mut report = JsonReport::new("E0");
+/// report.add("update", &Stats::from_samples(vec![10, 20, 30]));
+/// report.add_fact("steps", 3.0);
+/// let json = report.to_json();
+/// assert!(json.contains("\"experiment\": \"E0\""));
+/// assert!(json.contains("\"p50_ns\": 20"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct JsonReport {
+    experiment: String,
+    entries: Vec<(String, Stats)>,
+    facts: Vec<(String, f64)>,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl JsonReport {
+    /// A fresh report for `experiment` (e.g. `"E16"` — names the output
+    /// file `BENCH_E16.json`).
+    pub fn new(experiment: &str) -> JsonReport {
+        JsonReport {
+            experiment: experiment.to_string(),
+            entries: Vec::new(),
+            facts: Vec::new(),
+        }
+    }
+
+    /// Adds a named statistics row (median/p95/mean/max over samples).
+    pub fn add(&mut self, name: &str, stats: &Stats) -> &mut Self {
+        self.entries.push((name.to_string(), *stats));
+        self
+    }
+
+    /// Adds a named scalar (a ratio, a count, a derived percentage).
+    pub fn add_fact(&mut self, name: &str, value: f64) -> &mut Self {
+        self.facts.push((name.to_string(), value));
+        self
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"experiment\": \"{}\",\n",
+            json_escape(&self.experiment)
+        ));
+        out.push_str("  \"entries\": {\n");
+        for (i, (name, s)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    \"{}\": {{ \"n\": {}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \"p95_ns\": {}, \"max_ns\": {} }}{comma}\n",
+                json_escape(name), s.n, s.mean_ns, s.p50_ns, s.p95_ns, s.max_ns
+            ));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"facts\": {\n");
+        for (i, (name, v)) in self.facts.iter().enumerate() {
+            let comma = if i + 1 < self.facts.len() { "," } else { "" };
+            out.push_str(&format!("    \"{}\": {v}{comma}\n", json_escape(name)));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Writes `BENCH_<EXPERIMENT>.json` into `CQ_BENCH_JSON_DIR` (or the
+    /// current directory when unset) and returns the path. Errors are
+    /// returned, not panicked — a read-only checkout shouldn't kill a
+    /// benchmark run.
+    pub fn write(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::env::var_os("CQ_BENCH_JSON_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("."));
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
 /// Times each update individually through `engine`.
 pub fn time_updates(engine: &mut dyn DynamicEngine, updates: &[Update]) -> Stats {
     let mut samples = Vec::with_capacity(updates.len());
@@ -141,5 +245,23 @@ mod tests {
         assert_eq!(s.p50_ns, 42);
         assert_eq!(s.p95_ns, 42);
         assert_eq!(s.max_ns, 42);
+    }
+
+    #[test]
+    fn json_report_shape_and_escaping() {
+        let mut report = JsonReport::new("E99");
+        report.add("commit \"hot\"", &Stats::from_samples(vec![5, 10, 15]));
+        report.add_fact("overhead_pct", 2.5);
+        let json = report.to_json();
+        assert!(json.contains("\"experiment\": \"E99\""));
+        assert!(json.contains("\"commit \\\"hot\\\"\""));
+        assert!(json.contains("\"p50_ns\": 10"));
+        assert!(json.contains("\"overhead_pct\": 2.5"));
+        // Crude balance check: every opened brace closes.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON:\n{json}"
+        );
     }
 }

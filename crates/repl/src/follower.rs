@@ -25,6 +25,7 @@
 //! path on demand — the fault-injection hook the convergence tests use.
 
 use crate::protocol::{read_frame, DenyReason, Frame, REPL_VERSION};
+use cqu_obs::{Counter, Gauge, Registry};
 use cqu_wal::Rec;
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -94,6 +95,10 @@ pub struct FollowerConfig {
     /// connection is presumed dead and re-established. Must exceed the
     /// leader's heartbeat interval. `None` waits forever.
     pub dead_after: Option<Duration>,
+    /// Metrics registry the follower publishes `repl_follower_*` series
+    /// and journal events (bootstrap, resume, fence) into. `None`
+    /// keeps only the built-in [`FollowerStats`] counters.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for FollowerConfig {
@@ -103,6 +108,7 @@ impl Default for FollowerConfig {
             reconnect_max: Duration::from_secs(5),
             handshake_timeout: Duration::from_secs(10),
             dead_after: Some(Duration::from_secs(5)),
+            registry: None,
         }
     }
 }
@@ -132,17 +138,61 @@ pub struct FollowerStats {
     pub fenced: Option<DenyReason>,
 }
 
-#[derive(Default)]
-struct Counters {
-    connects: AtomicU64,
-    bootstraps: AtomicU64,
-    resumes: AtomicU64,
-    disconnects: AtomicU64,
-    connected: AtomicBool,
-    leader_head: AtomicU64,
-    denies: AtomicU64,
-    /// 0 = none, else `DenyReason::to_u8() + 1`.
+/// Registry handles for the follower's `repl_follower_*` series,
+/// resolved once at spawn. The [`FollowerStats`] snapshot reads these
+/// same handles — the registry IS the store, there is no shadow copy.
+struct FollowerMetrics {
+    registry: Option<Arc<Registry>>,
+    connects: Arc<Counter>,
+    bootstraps: Arc<Counter>,
+    resumes: Arc<Counter>,
+    disconnects: Arc<Counter>,
+    denies: Arc<Counter>,
+    /// 0/1: whether a handshaken connection is currently live.
+    connected: Arc<Gauge>,
+    /// The leader's committed head seq as last reported.
+    leader_head: Arc<Gauge>,
+    /// The applied watermark last acked back to the leader.
+    applied_seq: Arc<Gauge>,
+    /// 0 = none, else `DenyReason::to_u8() + 1`. Kept out of the
+    /// registry (it encodes an enum, not a quantity).
     fenced: AtomicU64,
+}
+
+impl FollowerMetrics {
+    fn new(registry: Option<Arc<Registry>>) -> FollowerMetrics {
+        // Without a registry the handles are private atomics — same
+        // code paths, just not rendered anywhere.
+        let r = registry
+            .clone()
+            .unwrap_or_else(|| Arc::new(Registry::with_journal_capacity(0)));
+        FollowerMetrics {
+            connects: r.counter("repl_follower_connects_total"),
+            bootstraps: r.counter("repl_follower_bootstraps_total"),
+            resumes: r.counter("repl_follower_resumes_total"),
+            disconnects: r.counter("repl_follower_disconnects_total"),
+            denies: r.counter("repl_follower_denies_total"),
+            connected: r.gauge("repl_follower_connected"),
+            leader_head: r.gauge("repl_follower_leader_head"),
+            applied_seq: r.gauge("repl_follower_applied_seq"),
+            fenced: AtomicU64::new(0),
+            registry,
+        }
+    }
+
+    /// Journals a structural event if a registry was supplied.
+    fn journal(&self, kind: &'static str, detail: String) {
+        if let Some(r) = &self.registry {
+            r.journal().record(kind, detail);
+        }
+    }
+
+    /// Records a permanent denial: metric, fence latch, journal.
+    fn fence(&self, reason: DenyReason) {
+        self.fenced
+            .store(u64::from(reason.to_u8()) + 1, Ordering::Relaxed);
+        self.journal("follower_fence", format!("denied permanently: {reason:?}"));
+    }
 }
 
 struct Shared {
@@ -150,7 +200,7 @@ struct Shared {
     kick: AtomicBool,
     /// The live socket, for `kick`/`stop` to shut down from outside.
     conn: Mutex<Option<TcpStream>>,
-    stats: Counters,
+    stats: FollowerMetrics,
 }
 
 impl Shared {
@@ -180,7 +230,7 @@ impl Follower {
             stop: AtomicBool::new(false),
             kick: AtomicBool::new(false),
             conn: Mutex::new(None),
-            stats: Counters::default(),
+            stats: FollowerMetrics::new(config.registry.clone()),
         });
         let handle = {
             let shared = Arc::clone(&shared);
@@ -194,17 +244,19 @@ impl Follower {
         })
     }
 
-    /// A point-in-time copy of the follower counters.
+    /// A point-in-time copy of the follower counters — a typed view
+    /// over the registry handles. Advisory across fields (each is its
+    /// own relaxed load), exact per counter.
     pub fn stats(&self) -> FollowerStats {
         let c = &self.shared.stats;
         FollowerStats {
-            connects: c.connects.load(Ordering::Relaxed),
-            bootstraps: c.bootstraps.load(Ordering::Relaxed),
-            resumes: c.resumes.load(Ordering::Relaxed),
-            disconnects: c.disconnects.load(Ordering::Relaxed),
-            connected: c.connected.load(Ordering::Relaxed),
-            leader_head: c.leader_head.load(Ordering::Relaxed),
-            denies: c.denies.load(Ordering::Relaxed),
+            connects: c.connects.get(),
+            bootstraps: c.bootstraps.get(),
+            resumes: c.resumes.get(),
+            disconnects: c.disconnects.get(),
+            connected: c.connected.get() != 0,
+            leader_head: c.leader_head.get(),
+            denies: c.denies.get(),
             fenced: match c.fenced.load(Ordering::Relaxed) {
                 1 => Some(DenyReason::Other),
                 2 => Some(DenyReason::Version),
@@ -350,13 +402,13 @@ fn follow_loop(
         let end = run_session(&stream, apply.as_mut(), &config, shared);
         *lock(&shared.conn) = None;
         let _ = stream.shutdown(Shutdown::Both);
-        shared.stats.connected.store(false, Ordering::Relaxed);
+        shared.stats.connected.set(0);
         match end {
             SessionEnd::Synced => {
                 // Completed a handshake before dying: count the loss
                 // and let the applier drop partial in-flight state.
                 apply.on_disconnect();
-                shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                shared.stats.disconnects.inc();
                 backoff.reset();
             }
             SessionEnd::Failed => {}
@@ -438,12 +490,9 @@ fn run_session(
             ckpt,
         }) => (epoch, head_seq, sharded, reset, ckpt),
         Ok(Frame::Deny { reason, .. }) => {
-            shared.stats.denies.fetch_add(1, Ordering::Relaxed);
+            shared.stats.denies.inc();
             if reason.is_permanent() {
-                shared
-                    .stats
-                    .fenced
-                    .store(u64::from(reason.to_u8()) + 1, Ordering::Relaxed);
+                shared.stats.fence(reason);
                 return SessionEnd::Refused;
             }
             return SessionEnd::Failed;
@@ -457,11 +506,8 @@ fn run_session(
     // behind the true leader's history). Refuse its bootstrap even if
     // it never learned to deny us.
     if epoch < apply.epoch() {
-        shared.stats.denies.fetch_add(1, Ordering::Relaxed);
-        shared.stats.fenced.store(
-            u64::from(DenyReason::StaleEpoch.to_u8()) + 1,
-            Ordering::Relaxed,
-        );
+        shared.stats.denies.inc();
+        shared.stats.fence(DenyReason::StaleEpoch);
         return SessionEnd::Refused;
     }
 
@@ -477,14 +523,25 @@ fn run_session(
         if apply.reset(sharded, checkpoint).is_err() {
             return SessionEnd::Failed;
         }
-        shared.stats.bootstraps.fetch_add(1, Ordering::Relaxed);
+        shared.stats.bootstraps.inc();
+        shared.stats.journal(
+            "follower_bootstrap",
+            format!("rebuilt from leader epoch {epoch}, head seq {head_seq}"),
+        );
     } else {
-        shared.stats.resumes.fetch_add(1, Ordering::Relaxed);
+        shared.stats.resumes.inc();
+        shared.stats.journal(
+            "follower_resume",
+            format!(
+                "resumed at cursor {} against leader epoch {epoch}",
+                apply.cursor()
+            ),
+        );
     }
     apply.set_epoch(epoch);
-    shared.stats.leader_head.store(head_seq, Ordering::Relaxed);
-    shared.stats.connects.fetch_add(1, Ordering::Relaxed);
-    shared.stats.connected.store(true, Ordering::Relaxed);
+    shared.stats.leader_head.set(head_seq);
+    shared.stats.connects.inc();
+    shared.stats.connected.set(1);
     // This endpoint accepted us; any earlier fencing no longer holds.
     shared.stats.fenced.store(0, Ordering::Relaxed);
 
@@ -510,7 +567,7 @@ fn run_session(
                 }
             }
             Ok(Frame::Heartbeat { head_seq }) => {
-                shared.stats.leader_head.store(head_seq, Ordering::Relaxed);
+                shared.stats.leader_head.set(head_seq);
                 match apply.on_heartbeat(head_seq) {
                     Ok(applied) => applied,
                     Err(_) => return SessionEnd::Synced,
@@ -519,6 +576,7 @@ fn run_session(
             Ok(_) => return SessionEnd::Synced, // protocol violation
             Err(_) => return SessionEnd::Synced, // timeout, socket loss, malformed
         };
+        shared.stats.applied_seq.set(applied);
         let ack = Frame::Ack {
             applied_seq: applied,
         };

@@ -40,10 +40,11 @@
 
 use crate::protocol::{encode_records_frame, read_frame, DenyReason, Frame, REPL_VERSION};
 use crate::queue::{ShipPop, ShipQueue};
+use cqu_obs::{Counter, Gauge, Registry};
 use cqu_wal::Rec;
 use std::io::{self, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -105,6 +106,11 @@ pub struct LeaderConfig {
     /// Maximum concurrently attached followers; further handshakes are
     /// denied.
     pub max_followers: usize,
+    /// Metrics registry the leader publishes `repl_leader_*` series
+    /// (including the per-follower `repl_leader_ack_lag` gauge) and
+    /// journal events into. `None` keeps only the built-in
+    /// [`LeaderStats`] counters.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for LeaderConfig {
@@ -115,6 +121,7 @@ impl Default for LeaderConfig {
             queue_bytes: 64 << 20,
             ckpt_chunk_bytes: 1 << 20,
             max_followers: 64,
+            registry: None,
         }
     }
 }
@@ -139,6 +146,9 @@ pub struct LeaderStats {
     /// Handshakes denied because the peer's epoch was ahead of this
     /// leader's — a deposed leader being knocked by fenced followers.
     pub denied_stale: u64,
+    /// Followers dropped because their ship queue overflowed its byte
+    /// budget (they reconnect and resume from their durable cursor).
+    pub queue_overflows: u64,
 }
 
 /// One attached follower's progress, as seen from the leader — the raw
@@ -171,15 +181,63 @@ struct ProgressEntry {
     last_seen: Instant,
 }
 
-#[derive(Default)]
-struct Counters {
-    followers: AtomicU64,
-    accepted: AtomicU64,
-    resumes: AtomicU64,
-    bootstraps: AtomicU64,
-    disconnects: AtomicU64,
-    acks: AtomicU64,
-    denied_stale: AtomicU64,
+/// Registry handles for the leader's `repl_leader_*` series, resolved
+/// once at bind. [`LeaderStats`] is a typed view over these handles.
+struct LeaderMetrics {
+    registry: Option<Arc<Registry>>,
+    /// Followers currently attached (gauge, not a lifetime counter).
+    followers: Arc<Gauge>,
+    accepted: Arc<Counter>,
+    resumes: Arc<Counter>,
+    bootstraps: Arc<Counter>,
+    disconnects: Arc<Counter>,
+    acks: Arc<Counter>,
+    denied_stale: Arc<Counter>,
+    queue_overflows: Arc<Counter>,
+}
+
+impl LeaderMetrics {
+    fn new(registry: Option<Arc<Registry>>) -> LeaderMetrics {
+        // Without a registry the handles live in a private one — same
+        // code paths, just not rendered anywhere.
+        let r = registry
+            .clone()
+            .unwrap_or_else(|| Arc::new(Registry::with_journal_capacity(0)));
+        LeaderMetrics {
+            followers: r.gauge("repl_leader_followers"),
+            accepted: r.counter("repl_leader_accepted_total"),
+            resumes: r.counter("repl_leader_resumes_total"),
+            bootstraps: r.counter("repl_leader_bootstraps_total"),
+            disconnects: r.counter("repl_leader_disconnects_total"),
+            acks: r.counter("repl_leader_acks_total"),
+            denied_stale: r.counter("repl_leader_denied_stale_total"),
+            queue_overflows: r.counter("repl_leader_queue_overflows_total"),
+            registry,
+        }
+    }
+
+    /// Journals a structural event if a registry was supplied.
+    fn journal(&self, kind: &'static str, detail: String) {
+        if let Some(r) = &self.registry {
+            r.journal().record(kind, detail);
+        }
+    }
+
+    /// The per-follower ack-lag gauge, labelled by attach id. Lives
+    /// only while the follower is attached ([`AttachGuard`] removes it
+    /// on detach, so a departed follower's last lag can't linger as a
+    /// stale series).
+    fn ack_lag(&self, id: u64) -> Option<Arc<Gauge>> {
+        self.registry
+            .as_ref()
+            .map(|r| r.gauge_with("repl_leader_ack_lag", &[("follower", &id.to_string())]))
+    }
+
+    fn drop_ack_lag(&self, id: u64) {
+        if let Some(r) = &self.registry {
+            r.remove("repl_leader_ack_lag", &[("follower", &id.to_string())]);
+        }
+    }
 }
 
 struct Shared {
@@ -187,7 +245,7 @@ struct Shared {
     config: LeaderConfig,
     shutdown: AtomicBool,
     threads: Mutex<Vec<JoinHandle<()>>>,
-    stats: Counters,
+    stats: LeaderMetrics,
     progress: Mutex<Vec<ProgressEntry>>,
 }
 
@@ -212,12 +270,13 @@ impl LeaderServer {
     ) -> io::Result<LeaderServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let stats = LeaderMetrics::new(config.registry.clone());
         let shared = Arc::new(Shared {
             source,
             config,
             shutdown: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
-            stats: Counters::default(),
+            stats,
             progress: Mutex::new(Vec::new()),
         });
         let acceptor = {
@@ -238,17 +297,20 @@ impl LeaderServer {
         self.addr
     }
 
-    /// A point-in-time copy of the leader counters.
+    /// A point-in-time copy of the leader counters — a typed view over
+    /// the registry handles. Advisory across fields (each is its own
+    /// relaxed load), exact per counter.
     pub fn stats(&self) -> LeaderStats {
         let c = &self.shared.stats;
         LeaderStats {
-            followers: c.followers.load(Ordering::Relaxed),
-            accepted: c.accepted.load(Ordering::Relaxed),
-            resumes: c.resumes.load(Ordering::Relaxed),
-            bootstraps: c.bootstraps.load(Ordering::Relaxed),
-            disconnects: c.disconnects.load(Ordering::Relaxed),
-            acks: c.acks.load(Ordering::Relaxed),
-            denied_stale: c.denied_stale.load(Ordering::Relaxed),
+            followers: c.followers.get(),
+            accepted: c.accepted.get(),
+            resumes: c.resumes.get(),
+            bootstraps: c.bootstraps.get(),
+            disconnects: c.disconnects.get(),
+            acks: c.acks.get(),
+            denied_stale: c.denied_stale.get(),
+            queue_overflows: c.queue_overflows.get(),
         }
     }
 
@@ -387,11 +449,11 @@ impl Drop for AttachGuard<'_> {
     fn drop(&mut self) {
         self.shared.source.detach(self.id);
         lock(&self.shared.progress).retain(|e| e.id != self.id);
-        self.shared.stats.followers.fetch_sub(1, Ordering::Relaxed);
-        self.shared
-            .stats
-            .disconnects
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.followers.sub(1);
+        self.shared.stats.disconnects.inc();
+        // Retire the per-follower lag series with the follower, so a
+        // scrape never reports the frozen lag of a dead connection.
+        self.shared.stats.drop_ack_lag(self.id);
     }
 }
 
@@ -425,7 +487,7 @@ fn follower_conn(shared: &Arc<Shared>, stream: TcpStream) {
         }
         _ => return,
     };
-    if shared.stats.followers.load(Ordering::Relaxed) >= shared.config.max_followers as u64 {
+    if shared.stats.followers.get() >= shared.config.max_followers as u64 {
         let deny = Frame::Deny {
             reason: DenyReason::AtCapacity,
             msg: "leader at follower capacity".into(),
@@ -459,7 +521,14 @@ fn follower_conn(shared: &Arc<Shared>, stream: TcpStream) {
     // it back behind the true leader; refuse instead, permanently.
     if hello_epoch > attach.epoch {
         shared.source.detach(attach.id);
-        shared.stats.denied_stale.fetch_add(1, Ordering::Relaxed);
+        shared.stats.denied_stale.inc();
+        shared.stats.journal(
+            "leader_fence",
+            format!(
+                "denied peer at epoch {hello_epoch}: ahead of leader epoch {}",
+                attach.epoch
+            ),
+        );
         let deny = Frame::Deny {
             reason: DenyReason::StaleEpoch,
             msg: format!(
@@ -473,8 +542,8 @@ fn follower_conn(shared: &Arc<Shared>, stream: TcpStream) {
     }
 
     queue.seed_head(attach.head_seq);
-    shared.stats.followers.fetch_add(1, Ordering::Relaxed);
-    shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+    shared.stats.followers.add(1);
+    shared.stats.accepted.inc();
     let guard = AttachGuard {
         shared,
         id: attach.id,
@@ -484,9 +553,24 @@ fn follower_conn(shared: &Arc<Shared>, stream: TcpStream) {
     let cursor = if resume { hello_cursor } else { floor };
     let send_ckpt = !resume && attach.checkpoint.is_some();
     if resume {
-        shared.stats.resumes.fetch_add(1, Ordering::Relaxed);
+        shared.stats.resumes.inc();
     } else {
-        shared.stats.bootstraps.fetch_add(1, Ordering::Relaxed);
+        shared.stats.bootstraps.inc();
+    }
+    shared.stats.journal(
+        "leader_attach",
+        format!(
+            "follower {} {} at cursor {cursor} (head {})",
+            attach.id,
+            if resume { "resumed" } else { "bootstrapped" },
+            attach.head_seq
+        ),
+    );
+    // Per-follower lag series, seeded with the catch-up distance; the
+    // ack reader keeps it current and AttachGuard retires it.
+    let lag_gauge = shared.stats.ack_lag(attach.id);
+    if let Some(g) = &lag_gauge {
+        g.set(attach.head_seq.saturating_sub(cursor));
     }
     if let Ok(addr) = stream.peer_addr() {
         // Record the leader's epoch, not the greeted one: the handshake
@@ -554,13 +638,18 @@ fn follower_conn(shared: &Arc<Shared>, stream: TcpStream) {
         let gone = Arc::clone(&conn_gone);
         let shared = Arc::clone(shared);
         let follower_id = attach.id;
+        let queue = Arc::clone(&queue);
+        let lag_gauge = lag_gauge.clone();
         let mut reader = reader;
         std::thread::Builder::new()
             .name("cqu-repl-ack".into())
             .spawn(move || {
                 let _ = reader.set_read_timeout(None);
                 while let Ok(Frame::Ack { applied_seq }) = read_frame(&mut reader) {
-                    shared.stats.acks.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.acks.inc();
+                    if let Some(g) = &lag_gauge {
+                        g.set(queue.head().saturating_sub(applied_seq));
+                    }
                     let mut progress = lock(&shared.progress);
                     if let Some(e) = progress.iter_mut().find(|e| e.id == follower_id) {
                         // Acks can only move forward; a reordered read
@@ -599,7 +688,18 @@ fn follower_conn(shared: &Arc<Shared>, stream: TcpStream) {
             }
             // Overflow: drop the follower; it reconnects and resumes
             // from its durable cursor.
-            ShipPop::Dead | ShipPop::Closed => break,
+            ShipPop::Dead => {
+                shared.stats.queue_overflows.inc();
+                shared.stats.journal(
+                    "leader_lag_disconnect",
+                    format!(
+                        "follower {} dropped: ship queue overflowed {} bytes",
+                        attach.id, shared.config.queue_bytes
+                    ),
+                );
+                break;
+            }
+            ShipPop::Closed => break,
         }
     }
     queue.close();

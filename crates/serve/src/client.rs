@@ -339,6 +339,17 @@ impl Client {
         })
     }
 
+    /// Fetches the server's metrics registry rendered in Prometheus
+    /// text format — a remote scrape of everything the server (and, when
+    /// it shares a registry with its engine, the whole process) records.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        self.send(&Frame::StatsRequest)?;
+        match self.wait_for(|f| matches!(f, Frame::StatsReply { .. }))? {
+            Frame::StatsReply { text } => Ok(text),
+            _ => unreachable!("wait_for matched StatsReply"),
+        }
+    }
+
     /// The next stream frame (buffered or from the wire), or `None` if
     /// nothing arrives within `timeout`.
     pub fn next(&mut self, timeout: Duration) -> Result<Option<Frame>, ClientError> {

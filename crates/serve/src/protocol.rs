@@ -21,6 +21,8 @@
 //! | `Delta` | s→c | `name`, `seq`, added, removed | netted result delta, cursor advances to `seq` |
 //! | `Lagged` | s→c | `name`, `resync_at` | the feed overran its bounded queue and was detached; re-`Subscribe` with your cursor (ring replay makes that cheap) |
 //! | `Error` | s→c | `code`, `msg` | command failed |
+//! | `StatsRequest` | c→s | — | ask for the server's metrics registry |
+//! | `StatsReply` | s→c | `text` (`u32` length + UTF-8) | the registry rendered in Prometheus text format |
 //!
 //! Decoding is strict: trailing bytes, truncated fields, or an unknown
 //! tag are [`WireError`]s, and the body length is capped
@@ -36,8 +38,10 @@ use std::io::{self, Read, Write};
 /// the unknown tag — hence the bump); v3 widened the chunk's `last`
 /// byte into a flags byte with a `first` bit, so a receiver can tell a
 /// restarted chunk run from the continuation of a stale partial one
-/// even when both pin the same seq (a v2 peer would mis-read the flag).
-pub const PROTOCOL_VERSION: u32 = 3;
+/// even when both pin the same seq (a v2 peer would mis-read the flag);
+/// v4 added `StatsRequest`/`StatsReply` (metrics scrape over the wire —
+/// a v3 client would choke on the reply tag).
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Upper bound on a frame body; larger length prefixes are rejected
 /// before any allocation.
@@ -193,6 +197,16 @@ pub enum Frame {
         /// Human-readable detail.
         msg: String,
     },
+    /// Ask the server to render its metrics registry.
+    StatsRequest,
+    /// The server's metrics registry in Prometheus text format. The
+    /// text carries a `u32` length (not the `u16` of wire strings) —
+    /// a busy registry easily renders past 64 KiB.
+    StatsReply {
+        /// `Registry::render()` output (empty when the server has no
+        /// registry attached).
+        text: String,
+    },
 }
 
 /// Error codes carried by [`Frame::Error`].
@@ -224,6 +238,8 @@ mod tag {
     pub const LAGGED: u8 = 0x0A;
     pub const ERROR: u8 = 0x0B;
     pub const SNAPSHOT_CHUNK: u8 = 0x0C;
+    pub const STATS_REQUEST: u8 = 0x0D;
+    pub const STATS_REPLY: u8 = 0x0E;
 }
 
 /// Anything that can go wrong while encoding, decoding, or transporting
@@ -380,6 +396,14 @@ impl Frame {
                 buf.push(tag::ERROR);
                 buf.push(*code);
                 put_str(buf, msg);
+            }
+            Frame::StatsRequest => {
+                buf.push(tag::STATS_REQUEST);
+            }
+            Frame::StatsReply { text } => {
+                buf.push(tag::STATS_REPLY);
+                put_u32(buf, text.len() as u32);
+                buf.extend_from_slice(text.as_bytes());
             }
         }
     }
@@ -657,6 +681,15 @@ impl Frame {
                 code: cur.u8()?,
                 msg: cur.str()?,
             },
+            tag::STATS_REQUEST => Frame::StatsRequest,
+            tag::STATS_REPLY => {
+                let len = cur.u32()? as usize;
+                let bytes = cur.take(len)?;
+                Frame::StatsReply {
+                    text: String::from_utf8(bytes.to_vec())
+                        .map_err(|_| WireError::Malformed("non-UTF-8 stats text"))?,
+                }
+            }
             _ => return Err(WireError::Malformed("unknown tag")),
         };
         cur.finish()?;
@@ -785,6 +818,14 @@ mod tests {
         roundtrip(Frame::Error {
             code: ErrorCode::UnknownQuery as u8,
             msg: "no query \"nope\"".into(),
+        });
+        roundtrip(Frame::StatsRequest);
+        roundtrip(Frame::StatsReply {
+            text: String::new(),
+        });
+        roundtrip(Frame::StatsReply {
+            // Past the u16 wire-string cap: the u32 length must carry it.
+            text: "# metric\nwal_commits_total 12\n".repeat(4_000),
         });
     }
 

@@ -38,10 +38,11 @@ use crate::protocol::{
     encode_delta_frame, encode_snapshot_frames, read_frame, snapshot_frames, ErrorCode, Frame, Row,
     SubscribeMode, PROTOCOL_VERSION,
 };
+use cqu_obs::{Counter, Gauge, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -205,6 +206,14 @@ pub trait FeedSource: Send + Sync + 'static {
 
     /// Opens a live delta feed for `name`.
     fn open_feed(&self, name: &str) -> Result<Box<dyn FeedStream>, SourceError>;
+
+    /// The metrics registry the source's engine records into, if any.
+    /// When [`ServeConfig::registry`] is unset the server adopts this
+    /// one, so a `StatsRequest` renders engine and server metrics in
+    /// one scrape.
+    fn registry(&self) -> Option<Arc<Registry>> {
+        None
+    }
 }
 
 /// What to do with a subscription whose connection queue is full.
@@ -248,6 +257,11 @@ pub struct ServeConfig {
     /// both sides of the wire and letting a writer's deltas interleave
     /// with a multi-gigabyte snapshot on other subscriptions.
     pub snapshot_chunk_bytes: usize,
+    /// Metrics registry the server records into. `None` falls back to
+    /// [`FeedSource::registry`], and then to a private registry — the
+    /// server's own counters always exist, so [`Server::stats`] and
+    /// `StatsRequest` work regardless.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for ServeConfig {
@@ -259,11 +273,17 @@ impl Default for ServeConfig {
             handshake_timeout: Duration::from_secs(10),
             max_conns: 1024,
             snapshot_chunk_bytes: 1 << 20,
+            registry: None,
         }
     }
 }
 
-/// A point-in-time copy of the server's counters.
+/// A point-in-time copy of the server's counters — a typed view over
+/// the metrics registry (see [`ServeMetrics`] for the metric names).
+///
+/// The snapshot is **advisory, not tear-free**: each field is its own
+/// relaxed atomic load, so a racing commit may be reflected in one
+/// counter and not yet in another. Individual counters are exact.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Connections accepted over the server's lifetime.
@@ -284,14 +304,39 @@ pub struct ServerStats {
     pub snapshots_built: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    connections: AtomicU64,
-    deltas_sent: AtomicU64,
-    coalesced: AtomicU64,
-    lagged: AtomicU64,
-    acks: AtomicU64,
-    snapshots_built: AtomicU64,
+/// The server's registry-backed counters, resolved once at bind. The
+/// registry itself is the scrape surface (`StatsRequest` renders it);
+/// these handles are the hot-path recording surface.
+struct ServeMetrics {
+    registry: Arc<Registry>,
+    connections: Arc<Counter>,
+    open_connections: Arc<Gauge>,
+    deltas_sent: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    lagged: Arc<Counter>,
+    acks: Arc<Counter>,
+    snapshots_built: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    stats_requests: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    fn new(registry: Arc<Registry>) -> ServeMetrics {
+        ServeMetrics {
+            connections: registry.counter("serve_connections_total"),
+            open_connections: registry.gauge("serve_open_connections"),
+            deltas_sent: registry.counter("serve_deltas_sent_total"),
+            coalesced: registry.counter("serve_coalesced_total"),
+            lagged: registry.counter("serve_lagged_total"),
+            acks: registry.counter("serve_acks_total"),
+            snapshots_built: registry.counter("serve_snapshots_built_total"),
+            bytes_out: registry.counter("serve_bytes_out_total"),
+            queue_depth: registry.gauge("serve_queue_depth"),
+            stats_requests: registry.counter("serve_stats_requests_total"),
+            registry,
+        }
+    }
 }
 
 // ---- per-connection outbound queue ---------------------------------------
@@ -339,10 +384,14 @@ struct OutQueue {
     hard_cap: usize,
     state: Mutex<OutState>,
     cond: Condvar,
+    /// Server-wide queued-frame gauge (`serve_queue_depth`), shared by
+    /// every connection's queue. Adjusted under the queue lock by
+    /// diffing the item count across each mutation.
+    depth: Arc<Gauge>,
 }
 
 impl OutQueue {
-    fn new(cap: usize, hard_cap: usize) -> OutQueue {
+    fn new(cap: usize, hard_cap: usize, depth: Arc<Gauge>) -> OutQueue {
         OutQueue {
             cap: cap.max(1),
             hard_cap: hard_cap.max(cap.max(1) * 2),
@@ -351,6 +400,16 @@ impl OutQueue {
                 closed: false,
             }),
             cond: Condvar::new(),
+            depth,
+        }
+    }
+
+    /// Folds an item-count change into the shared depth gauge.
+    fn track(&self, before: usize, after: usize) {
+        if after > before {
+            self.depth.add((after - before) as u64);
+        } else {
+            self.depth.sub((before - after) as u64);
         }
     }
 
@@ -364,13 +423,16 @@ impl OutQueue {
             return false;
         }
         if st.items.len() >= self.hard_cap {
+            let before = st.items.len();
             st.closed = true;
             st.items.clear();
+            self.track(before, 0);
             drop(st);
             self.cond.notify_all();
             return false;
         }
         st.items.push_back(Out::Ctl(bytes));
+        self.track(0, 1);
         drop(st);
         self.cond.notify_one();
         true
@@ -398,13 +460,17 @@ impl OutQueue {
             return false;
         }
         if st.items.len() >= self.hard_cap {
+            let before = st.items.len();
             st.closed = true;
             st.items.clear();
+            self.track(before, 0);
             drop(st);
             self.cond.notify_all();
             return false;
         }
+        let before = st.items.len();
         st.items.extend(frames.map(Out::Ctl));
+        self.track(before, st.items.len());
         drop(st);
         self.cond.notify_one();
         true
@@ -427,6 +493,7 @@ impl OutQueue {
                 delta: Arc::clone(delta),
                 bytes: Arc::clone(bytes),
             });
+            self.track(0, 1);
             drop(st);
             self.cond.notify_one();
             return DeltaPush::Sent;
@@ -434,6 +501,7 @@ impl OutQueue {
         // Overflow: this subscription is lagging. Pull the query's
         // pending deltas out of the queue (frames of other queries and
         // control frames stay put, in order).
+        let before = st.items.len();
         let mut kept = VecDeque::with_capacity(st.items.len());
         let mut backlog: Vec<Out> = Vec::new();
         for item in st.items.drain(..) {
@@ -467,11 +535,15 @@ impl OutQueue {
                     query: Arc::clone(query),
                     delta: netted,
                 });
+                self.track(before, st.items.len());
                 drop(st);
                 self.cond.notify_one();
                 DeltaPush::Coalesced
             }
-            LagPolicy::Disconnect => DeltaPush::Lagged,
+            LagPolicy::Disconnect => {
+                self.track(before, st.items.len());
+                DeltaPush::Lagged
+            }
         }
     }
 
@@ -480,6 +552,7 @@ impl OutQueue {
         let mut st = lock(&self.state);
         loop {
             if let Some(item) = st.items.pop_front() {
+                self.track(1, 0);
                 return Ok(Some(item));
             }
             if st.closed {
@@ -502,7 +575,9 @@ impl OutQueue {
     fn close(&self) {
         let mut st = lock(&self.state);
         st.closed = true;
+        let before = st.items.len();
         st.items.clear();
+        self.track(before, 0);
         drop(st);
         self.cond.notify_all();
     }
@@ -568,13 +643,7 @@ struct Shared {
     pumps: Mutex<HashMap<String, Arc<FanOut>>>,
     conns: Mutex<Vec<std::sync::Weak<Conn>>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
-    stats: Counters,
-}
-
-impl Shared {
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
+    metrics: ServeMetrics,
 }
 
 /// The streaming subscription server (see the module docs).
@@ -597,6 +666,11 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let registry = config
+            .registry
+            .clone()
+            .or_else(|| source.registry())
+            .unwrap_or_else(|| Arc::new(Registry::new()));
         let shared = Arc::new(Shared {
             source,
             config,
@@ -604,7 +678,7 @@ impl Server {
             pumps: Mutex::new(HashMap::new()),
             conns: Mutex::new(Vec::new()),
             threads: Mutex::new(Vec::new()),
-            stats: Counters::default(),
+            metrics: ServeMetrics::new(registry),
         });
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -624,17 +698,24 @@ impl Server {
         self.addr
     }
 
-    /// A point-in-time copy of the server counters.
+    /// A point-in-time copy of the server counters (advisory across
+    /// fields — see [`ServerStats`]).
     pub fn stats(&self) -> ServerStats {
-        let c = &self.shared.stats;
+        let m = &self.shared.metrics;
         ServerStats {
-            connections: c.connections.load(Ordering::Relaxed),
-            deltas_sent: c.deltas_sent.load(Ordering::Relaxed),
-            coalesced: c.coalesced.load(Ordering::Relaxed),
-            lagged: c.lagged.load(Ordering::Relaxed),
-            acks: c.acks.load(Ordering::Relaxed),
-            snapshots_built: c.snapshots_built.load(Ordering::Relaxed),
+            connections: m.connections.get(),
+            deltas_sent: m.deltas_sent.get(),
+            coalesced: m.coalesced.get(),
+            lagged: m.lagged.get(),
+            acks: m.acks.get(),
+            snapshots_built: m.snapshots_built.get(),
         }
+    }
+
+    /// The metrics registry the server records into — the one from
+    /// [`ServeConfig::registry`], the source's, or a private one.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.metrics.registry)
     }
 
     /// Stops accepting, tears down every connection and pump, and joins
@@ -660,6 +741,7 @@ impl Server {
             let _ = h.join();
         }
         lock(&self.shared.pumps).clear();
+        self.shared.metrics.open_connections.set(0);
     }
 }
 
@@ -706,13 +788,20 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
             drop(stream);
             continue;
         }
-        Shared::bump(&shared.stats.connections);
+        shared.metrics.connections.inc();
         let conn = Arc::new(Conn {
-            out: OutQueue::new(shared.config.queue_cap, shared.config.hard_cap),
+            out: OutQueue::new(
+                shared.config.queue_cap,
+                shared.config.hard_cap,
+                Arc::clone(&shared.metrics.queue_depth),
+            ),
             subs: Mutex::new(HashMap::new()),
             stream,
         });
         conns.push(Arc::downgrade(&conn));
+        // The gauge reconciles on every accept (dead entries were just
+        // pruned above) — advisory between accepts, exact at each one.
+        shared.metrics.open_connections.set(conns.len() as u64);
         drop(conns);
 
         let reader = {
@@ -758,14 +847,20 @@ fn writer_loop(shared: &Shared, conn: &Conn) {
             }
             Ok(Some(item)) => {
                 let result = match &item {
-                    Out::Ctl(bytes) => w.write_all(bytes),
-                    Out::Delta { bytes, .. } => w.write_all(bytes),
-                    Out::Coalesced { query, delta } => w.write_all(&encode_delta_frame(
-                        query,
-                        delta.seq,
-                        &delta.added,
-                        &delta.removed,
-                    )),
+                    Out::Ctl(bytes) => {
+                        shared.metrics.bytes_out.add(bytes.len() as u64);
+                        w.write_all(bytes)
+                    }
+                    Out::Delta { bytes, .. } => {
+                        shared.metrics.bytes_out.add(bytes.len() as u64);
+                        w.write_all(bytes)
+                    }
+                    Out::Coalesced { query, delta } => {
+                        let bytes =
+                            encode_delta_frame(query, delta.seq, &delta.added, &delta.removed);
+                        shared.metrics.bytes_out.add(bytes.len() as u64);
+                        w.write_all(&bytes)
+                    }
                 };
                 if result.is_err() || (conn.out.state_is_empty() && w.flush().is_err()) {
                     return;
@@ -850,8 +945,14 @@ fn reader_loop(shared: &Arc<Shared>, conn: &Arc<Conn>) {
                 }])
             }
             Frame::Ack { .. } => {
-                Shared::bump(&shared.stats.acks);
+                shared.metrics.acks.inc();
                 Ok(Vec::new())
+            }
+            Frame::StatsRequest => {
+                shared.metrics.stats_requests.inc();
+                Ok(vec![Frame::StatsReply {
+                    text: shared.metrics.registry.render(),
+                }])
             }
             // Server-to-client frames arriving from a client are a
             // protocol violation.
@@ -949,7 +1050,7 @@ fn handle_subscribe(
     // retains nothing, or the cache went stale past the ring): rebuild
     // while holding the subscriber lock so nothing slips past.
     let (seq, rows) = shared.source.snapshot(name)?;
-    Shared::bump(&shared.stats.snapshots_built);
+    shared.metrics.snapshots_built.inc();
     let encoded: Vec<Arc<[u8]>> =
         encode_snapshot_frames(name, seq, &rows, shared.config.snapshot_chunk_bytes)
             .into_iter()
@@ -990,7 +1091,7 @@ fn cached_snapshot(
         }
     }
     let (seq, rows) = shared.source.snapshot(name)?;
-    Shared::bump(&shared.stats.snapshots_built);
+    shared.metrics.snapshots_built.inc();
     let frames: Vec<Arc<[u8]>> =
         encode_snapshot_frames(name, seq, &rows, shared.config.snapshot_chunk_bytes)
             .into_iter()
@@ -1099,17 +1200,21 @@ fn pump_loop(shared: &Shared, fanout: &FanOut, mut feed: Box<dyn FeedStream>) {
                 .push_delta(&fanout.query, &delta, &bytes, shared.config.lag)
             {
                 DeltaPush::Sent => {
-                    Shared::bump(&shared.stats.deltas_sent);
+                    shared.metrics.deltas_sent.inc();
                     sub.cursor = delta.seq;
                     true
                 }
                 DeltaPush::Coalesced => {
-                    Shared::bump(&shared.stats.coalesced);
+                    shared.metrics.coalesced.inc();
                     sub.cursor = delta.seq;
                     true
                 }
                 DeltaPush::Lagged => {
-                    Shared::bump(&shared.stats.lagged);
+                    shared.metrics.lagged.inc();
+                    shared.metrics.registry.journal().record(
+                        "serve_lag_disconnect",
+                        format!("query {} detached at seq {}", fanout.query, delta.seq),
+                    );
                     sub.live.store(false, Ordering::Relaxed);
                     lock(&sub.conn.subs).remove(fanout.query.as_ref());
                     let lagged = Frame::Lagged {
@@ -1142,20 +1247,24 @@ mod tests {
     /// more than `hard_cap` chunks reach a fresh subscriber.
     #[test]
     fn ctl_run_is_admitted_as_a_unit() {
-        let q = OutQueue::new(1, 8);
+        let depth_gauge = Arc::new(Gauge::default());
+        let q = OutQueue::new(1, 8, Arc::clone(&depth_gauge));
         assert!(q.push_ctl_run((0..100).map(|_| frame())));
         assert_eq!(depth(&q), 100);
+        assert_eq!(depth_gauge.get(), 100);
         // The queue is now far past the hard cap: the next ctl push (or
         // run) kills the connection, so a command flood cannot stack runs.
         assert!(!q.push_ctl(frame()));
         assert!(lock(&q.state).closed);
+        // The hard-cap teardown cleared the queue: the gauge follows.
+        assert_eq!(depth_gauge.get(), 0);
     }
 
     /// Per-frame pushes keep the original hard-cap behavior: the 8th
     /// frame on an undrained queue closes it.
     #[test]
     fn per_frame_pushes_still_trip_the_hard_cap() {
-        let q = OutQueue::new(1, 8);
+        let q = OutQueue::new(1, 8, Arc::new(Gauge::default()));
         for _ in 0..8 {
             assert!(q.push_ctl(frame()));
         }
@@ -1171,7 +1280,7 @@ mod tests {
     /// frames to enqueue) is a no-op even then.
     #[test]
     fn run_boundary_checks_cap_before_admitting() {
-        let q = OutQueue::new(1, 4);
+        let q = OutQueue::new(1, 4, Arc::new(Gauge::default()));
         assert!(q.push_ctl_run((0..4).map(|_| frame())));
         assert!(q.push_ctl_run(std::iter::empty()), "empty run is a no-op");
         assert!(!lock(&q.state).closed);

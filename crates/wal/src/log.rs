@@ -20,7 +20,9 @@
 use crate::crc32::crc32;
 use crate::record::{Rec, MAX_RECORD_LEN};
 use crate::vfs::{WalDir, WalFile};
+use cqu_obs::{Counter, Histogram, Registry};
 use std::io;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Magic + version prefix of every segment file.
@@ -155,6 +157,36 @@ fn parse_name(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// Registry handles for the append path, resolved once at attach so the
+/// hot path never touches the registry's name table.
+struct WalMetrics {
+    registry: Arc<Registry>,
+    commits: Arc<Counter>,
+    append_bytes: Arc<Counter>,
+    append_latency_ns: Arc<Histogram>,
+    fsyncs: Arc<Counter>,
+    fsync_latency_ns: Arc<Histogram>,
+    rotations: Arc<Counter>,
+    repairs: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+}
+
+impl WalMetrics {
+    fn new(registry: Arc<Registry>) -> WalMetrics {
+        WalMetrics {
+            commits: registry.counter("wal_commits_total"),
+            append_bytes: registry.counter("wal_append_bytes_total"),
+            append_latency_ns: registry.histogram("wal_append_latency_ns"),
+            fsyncs: registry.counter("wal_fsyncs_total"),
+            fsync_latency_ns: registry.histogram("wal_fsync_latency_ns"),
+            rotations: registry.counter("wal_rotations_total"),
+            repairs: registry.counter("wal_repairs_total"),
+            checkpoints: registry.counter("wal_checkpoints_total"),
+            registry,
+        }
+    }
+}
+
 /// The append half: an open segment plus the fsync/rotation state.
 pub struct Wal {
     dir: Box<dyn WalDir>,
@@ -179,6 +211,9 @@ pub struct Wal {
     /// acknowledged frame can never land after bytes recovery would
     /// truncate at (or refuse as mid-log corruption).
     torn: bool,
+    /// Pre-resolved metric handles; `None` keeps the append path free of
+    /// clock reads and atomic traffic.
+    metrics: Option<WalMetrics>,
 }
 
 impl std::fmt::Debug for Wal {
@@ -214,9 +249,19 @@ impl Wal {
             commits_since_sync: 0,
             last_sync: Instant::now(),
             torn: false,
+            metrics: None,
         };
         wal.open_segment(next_segment)?;
         Ok(wal)
+    }
+
+    /// Points the writer at a shared metrics registry: commit, fsync,
+    /// rotation, repair, and checkpoint activity is counted there and
+    /// structural events (poison/repair/rotation/checkpoint) land in its
+    /// journal. Handles are resolved once; the commit path then pays only
+    /// a few relaxed atomic ops per frame.
+    pub fn attach_registry(&mut self, registry: Arc<Registry>) {
+        self.metrics = Some(WalMetrics::new(registry));
     }
 
     /// Seeds a brand-new log dir from a foreign checkpoint — the
@@ -295,8 +340,13 @@ impl Wal {
             return Ok(true);
         }
         let pending = std::mem::take(&mut self.pending);
+        let append_start = self.metrics.as_ref().map(|_| Instant::now());
         if let Err(e) = self.seg.append(&pending) {
             return Err(self.poison(e));
+        }
+        if let (Some(m), Some(t0)) = (self.metrics.as_ref(), append_start) {
+            m.append_latency_ns.record(t0.elapsed().as_nanos() as u64);
+            m.append_bytes.add(pending.len() as u64);
         }
         let commits = self.commits_since_sync + 1;
         let sync = match self.opts.fsync {
@@ -320,6 +370,9 @@ impl Wal {
             // next segment, exactly what rotation wanted).
             self.torn = true;
         }
+        if let Some(m) = self.metrics.as_ref() {
+            m.commits.inc();
+        }
         Ok(sync)
     }
 
@@ -328,6 +381,11 @@ impl Wal {
     /// Returns `e` for the caller to propagate.
     fn poison(&mut self, e: io::Error) -> io::Error {
         self.torn = true;
+        if let Some(m) = self.metrics.as_ref() {
+            m.registry
+                .journal()
+                .record("wal_poison", format!("segment {}: {e}", self.seg_index));
+        }
         let _ = self.repair();
         e
     }
@@ -338,10 +396,18 @@ impl Wal {
     /// can't grow a hole. Only on full success does the writer accept
     /// commits again.
     fn repair(&mut self) -> io::Result<()> {
-        self.dir
-            .truncate(&segment_name(self.seg_index), self.seg_len)?;
-        self.open_segment(self.seg_index + 1)?;
+        let sealed = self.seg_index;
+        let kept = self.seg_len;
+        self.dir.truncate(&segment_name(sealed), kept)?;
+        self.open_segment(sealed + 1)?;
         self.torn = false;
+        if let Some(m) = self.metrics.as_ref() {
+            m.repairs.inc();
+            m.registry.journal().record(
+                "wal_repair",
+                format!("sealed segment {sealed} at {kept} bytes"),
+            );
+        }
         Ok(())
     }
 
@@ -355,7 +421,12 @@ impl Wal {
     }
 
     fn sync_seg(&mut self) -> io::Result<()> {
+        let sync_start = self.metrics.as_ref().map(|_| Instant::now());
         self.seg.sync()?;
+        if let (Some(m), Some(t0)) = (self.metrics.as_ref(), sync_start) {
+            m.fsyncs.inc();
+            m.fsync_latency_ns.record(t0.elapsed().as_nanos() as u64);
+        }
         self.commits_since_sync = 0;
         self.last_sync = Instant::now();
         Ok(())
@@ -364,7 +435,14 @@ impl Wal {
     /// Seals the current segment (with a final sync) and opens the next.
     pub fn rotate(&mut self) -> io::Result<()> {
         self.sync()?;
-        self.open_segment(self.seg_index + 1)?;
+        let sealed = self.seg_index;
+        self.open_segment(sealed + 1)?;
+        if let Some(m) = self.metrics.as_ref() {
+            m.rotations.inc();
+            m.registry
+                .journal()
+                .record("segment_rotation", format!("sealed segment {sealed}"));
+        }
         Ok(())
     }
 
@@ -395,6 +473,13 @@ impl Wal {
     /// the next checkpoint retries the deletes).
     pub fn checkpoint(&mut self, seq: u64, body: &[u8]) -> io::Result<()> {
         publish_checkpoint(&*self.dir, seq, body)?;
+        if let Some(m) = self.metrics.as_ref() {
+            m.checkpoints.inc();
+            m.registry.journal().record(
+                "checkpoint",
+                format!("seq {seq}, {} body bytes", body.len()),
+            );
+        }
         // Published. Seal the log at the checkpoint boundary, then prune
         // everything the checkpoint supersedes — best effort from here.
         let sealed = self.seg_index;
@@ -1288,6 +1373,44 @@ mod tests {
         assert_eq!(rec.term, 3);
         assert_eq!(rec.next_segment, 3);
         assert_eq!(rec.records, vec![upd(1), upd(2)]);
+    }
+
+    /// An attached registry counts commits/fsyncs/repairs/checkpoints
+    /// exactly and journals the structural events; a writer without one
+    /// pays nothing and records nothing.
+    #[test]
+    fn attached_registry_counts_wal_activity() {
+        let dir = FlakyDir::default();
+        let registry = Arc::new(Registry::new());
+        let mut wal = Wal::new(Box::new(dir.clone()), WalOptions::default(), 1, 0).unwrap();
+        wal.attach_registry(Arc::clone(&registry));
+        for seq in 1..=3 {
+            wal.append(&upd(seq));
+            wal.commit().unwrap();
+        }
+        assert_eq!(registry.counter("wal_commits_total").get(), 3);
+        assert_eq!(registry.counter("wal_fsyncs_total").get(), 3);
+        assert!(registry.counter("wal_append_bytes_total").get() > 0);
+        assert_eq!(registry.histogram("wal_append_latency_ns").count(), 3);
+
+        // A torn commit journals the poison and the eager repair.
+        dir.arm_append(5);
+        wal.append(&upd(4));
+        assert!(wal.commit().is_err());
+        assert_eq!(registry.counter("wal_commits_total").get(), 3);
+        assert_eq!(registry.counter("wal_repairs_total").get(), 1);
+        let kinds: Vec<&str> = registry.journal().events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"wal_poison"), "journal: {kinds:?}");
+        assert!(kinds.contains(&"wal_repair"), "journal: {kinds:?}");
+
+        wal.append(&upd(4));
+        wal.commit().unwrap();
+        wal.checkpoint(4, b"state-at-4").unwrap();
+        assert_eq!(registry.counter("wal_checkpoints_total").get(), 1);
+        assert!(registry.counter("wal_rotations_total").get() >= 1);
+        let kinds: Vec<&str> = registry.journal().events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"checkpoint"), "journal: {kinds:?}");
+        assert!(kinds.contains(&"segment_rotation"), "journal: {kinds:?}");
     }
 
     /// `Wal::seed` publishes the foreign checkpoint and opens an append

@@ -50,6 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = DurableOptions {
         fsync: FsyncPolicy::EveryN(8),
         segment_bytes: 64 << 10,
+        ..DurableOptions::default()
     };
 
     // The leader: an ordinary durable session, plus one bind call.

@@ -47,8 +47,9 @@ fn restart_survival() -> Result<(), Box<dyn std::error::Error>> {
     let opts = DurableOptions {
         fsync: FsyncPolicy::EveryN(8),
         segment_bytes: 64 << 10, // small segments so rotation shows up
+        ..DurableOptions::default()
     };
-    let session = DurableSession::create_at(&dir, opts)?;
+    let session = DurableSession::create_at(&dir, opts.clone())?;
     session.register(QUERY.0, QUERY.1)?;
     let schema = session
         .shared()
@@ -92,8 +93,9 @@ fn crash_recovery() -> Result<(), Box<dyn std::error::Error>> {
     let opts = DurableOptions {
         fsync: FsyncPolicy::Always, // every Ok(..) is a durability promise
         segment_bytes: 8 << 10,
+        ..DurableOptions::default()
     };
-    let session = DurableSession::create(Box::new(disk.clone()), opts)?;
+    let session = DurableSession::create(Box::new(disk.clone()), opts.clone())?;
     session.register(QUERY.0, QUERY.1)?;
     let schema = session
         .shared()

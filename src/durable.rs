@@ -53,6 +53,7 @@ use crate::shard::{ShardedSession, ShardedSessionBuilder, ShardedTransaction};
 use cqu_baseline::EngineKind;
 use cqu_common::FxHashMap;
 use cqu_dynamic::UpdateReport;
+use cqu_obs::Registry;
 use cqu_query::{RelId, Schema};
 use cqu_storage::{Tuple, Update};
 use cqu_wal::{epoch, FsDir, FsyncPolicy, Rec, Wal, WalDir, WalError, WalOptions};
@@ -110,12 +111,16 @@ impl From<std::io::Error> for DurableError {
 }
 
 /// Tuning for a durable session's log.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct DurableOptions {
     /// When commits fsync (see [`FsyncPolicy`]).
     pub fsync: FsyncPolicy,
     /// Segment rotation threshold in bytes.
     pub segment_bytes: u64,
+    /// Metrics registry shared into every layer of the session (WAL,
+    /// backend, shards). `None` leaves the session uninstrumented —
+    /// the record paths then skip metric work entirely.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for DurableOptions {
@@ -123,6 +128,7 @@ impl Default for DurableOptions {
         DurableOptions {
             fsync: FsyncPolicy::Always,
             segment_bytes: 8 << 20,
+            registry: None,
         }
     }
 }
@@ -450,9 +456,16 @@ impl DurableSession {
     ) -> Result<DurableSession, DurableError> {
         ensure_virgin(&*dir)?;
         let mut wal = Wal::new(dir, opts.wal(), 1, 0)?;
+        if let Some(r) = &opts.registry {
+            wal.attach_registry(Arc::clone(r));
+        }
         wal.append(&Rec::Mode { sharded: false });
         wal.commit()?;
         wal.sync()?;
+        let mut session = Session::new();
+        if let Some(r) = &opts.registry {
+            session.share_registry(Arc::clone(r));
+        }
         Ok(DurableSession {
             wal: Mutex::new(WalState {
                 wal,
@@ -460,7 +473,7 @@ impl DurableSession {
                 sinks: Vec::new(),
                 next_sink: 1,
             }),
-            backend: Backend::Single(SharedSession::new(Session::new())),
+            backend: Backend::Single(SharedSession::new(session)),
             epoch: epoch::compose(0, 1),
         })
     }
@@ -483,8 +496,14 @@ impl DurableSession {
         for (name, src) in regs {
             builder.register(name, src)?;
         }
+        if let Some(r) = &opts.registry {
+            builder.share_registry(Arc::clone(r));
+        }
         let session = builder.build()?;
         let mut wal = Wal::new(dir, opts.wal(), 1, 0)?;
+        if let Some(r) = &opts.registry {
+            wal.attach_registry(Arc::clone(r));
+        }
         wal.append(&Rec::Mode { sharded: true });
         let mut reglist = Vec::with_capacity(regs.len());
         for (name, src) in regs {
@@ -575,7 +594,7 @@ impl DurableSession {
                 }
             }
         }
-        let backend = build_backend(sharded, &regs)?;
+        let backend = build_backend(sharded, &regs, opts.registry.as_ref())?;
 
         // Load checkpoint tuples, batched per relation.
         if let Some((_, body)) = &ckpt {
@@ -665,7 +684,10 @@ impl DurableSession {
         flush_pending(&backend, &mut pending)?;
         backend.force_seq(last_seq)?;
 
-        let wal = Wal::new(dir, opts.wal(), scan.next_segment, scan.term)?;
+        let mut wal = Wal::new(dir, opts.wal(), scan.next_segment, scan.term)?;
+        if let Some(r) = &opts.registry {
+            wal.attach_registry(Arc::clone(r));
+        }
         Ok(DurableSession {
             wal: Mutex::new(WalState {
                 wal,
@@ -710,7 +732,16 @@ impl DurableSession {
         ensure_virgin(&*dir)?;
         let (seq, body) = snapshot_ckpt_body(&backend, &regs)?;
         let term = epoch::term(observed_epoch) + 1;
-        let wal = Wal::seed(dir, opts.wal(), 1, term, seq, &body)?;
+        let mut wal = Wal::seed(dir, opts.wal(), 1, term, seq, &body)?;
+        if let Some(r) = &opts.registry {
+            wal.attach_registry(Arc::clone(r));
+            // A single-writer backend can adopt the registry after the
+            // fact; a sharded one seals its metrics at build, so the
+            // replica must have carried the registry from bootstrap.
+            if let Backend::Single(s) = &backend {
+                s.write(|s| s.share_registry(Arc::clone(r)))?;
+            }
+        }
         Ok(DurableSession {
             wal: Mutex::new(WalState {
                 wal,
@@ -726,6 +757,16 @@ impl DurableSession {
     /// Whether this session wraps a [`ShardedSession`].
     pub fn is_sharded(&self) -> bool {
         matches!(self.backend, Backend::Sharded(_))
+    }
+
+    /// The metrics registry this session was built with, if any. All
+    /// layers (WAL, backend, shards) record into this one registry, so
+    /// [`Registry::render`] here is the full picture.
+    pub fn registry(&self) -> Option<Arc<Registry>> {
+        match &self.backend {
+            Backend::Single(s) => s.read(|s| s.registry().cloned()).ok().flatten(),
+            Backend::Sharded(s) => s.registry().cloned(),
+        }
     }
 
     /// The wrapped [`SharedSession`] (single-writer mode). Read from it
@@ -1150,15 +1191,22 @@ fn ensure_virgin(dir: &dyn WalDir) -> Result<(), DurableError> {
 pub(crate) fn build_backend(
     sharded: bool,
     regs: &[(String, String, u8)],
+    registry: Option<&Arc<Registry>>,
 ) -> Result<Backend, DurableError> {
     if sharded {
         let mut builder = ShardedSessionBuilder::new();
         for (name, src, choice) in regs {
             builder.register_with(name, src, decode_choice(*choice)?)?;
         }
+        if let Some(r) = registry {
+            builder.share_registry(Arc::clone(r));
+        }
         Ok(Backend::Sharded(builder.build()?))
     } else {
         let mut session = Session::new();
+        if let Some(r) = registry {
+            session.share_registry(Arc::clone(r));
+        }
         for (name, src, choice) in regs {
             session.register_with(name, src, decode_choice(*choice)?)?;
         }

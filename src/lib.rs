@@ -74,6 +74,10 @@
 //!   streams committed WAL records (with checkpoint transfer for
 //!   catch-up) to follower sessions that serve reads at an explicit
 //!   `applied_seq()` watermark (`cqu-repl`).
+//! * [`obs`] — the observability core: a lock-free metrics registry
+//!   (counters, gauges, log2-bucket histograms), a bounded structural
+//!   event journal, and a Prometheus-style text exposition, shared by
+//!   every layer above through `Registry` handles (`cqu-obs`).
 
 #![warn(missing_docs)]
 
@@ -88,6 +92,7 @@ pub use cqu_baseline as baseline;
 pub use cqu_common as common;
 pub use cqu_dynamic as dynamic;
 pub use cqu_lowerbounds as lowerbounds;
+pub use cqu_obs as obs;
 pub use cqu_query as query;
 pub use cqu_repl as repl;
 pub use cqu_serve as serving;
@@ -124,6 +129,7 @@ pub mod prelude {
     pub use cqu_dynamic::{
         selfjoin::Phi2Engine, DynamicEngine, QhEngine, ResultDelta, ResultSnapshot, UpdateReport,
     };
+    pub use cqu_obs::{Counter, Event, EventJournal, Gauge, Histogram, Registry};
     pub use cqu_query::classify::classify;
     pub use cqu_query::{
         core_of, parse_query, Classification, Query, QueryBuilder, QueryError, Schema, Var, Verdict,

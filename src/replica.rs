@@ -97,6 +97,10 @@ pub struct ReplicaOptions {
     /// so cursor replay ([`ReplicaSession::replay_since`]) and the
     /// serving front end work on the replica. `0` disables retention.
     pub ring_cap: usize,
+    /// Metrics registry shared into every backend this replica builds
+    /// (bootstrap and re-bootstrap alike). `None` leaves the replica
+    /// uninstrumented.
+    pub registry: Option<Arc<cqu_obs::Registry>>,
 }
 
 impl Default for ReplicaOptions {
@@ -104,6 +108,7 @@ impl Default for ReplicaOptions {
         ReplicaOptions {
             follower: FollowerConfig::default(),
             ring_cap: 1024,
+            registry: None,
         }
     }
 }
@@ -147,6 +152,8 @@ struct TxGroup {
 struct SessionApplier {
     shared: Arc<ReplicaShared>,
     ring_cap: usize,
+    /// Registry shared into every backend built here.
+    registry: Option<Arc<cqu_obs::Registry>>,
     sharded: bool,
     /// Registrations in arrival order (name, src, encoded choice).
     regs: Vec<(String, String, u8)>,
@@ -215,7 +222,8 @@ impl SessionApplier {
         if self.backend.is_some() {
             return Ok(());
         }
-        let backend = build_backend(self.sharded, &self.regs).map_err(err_str)?;
+        let backend =
+            build_backend(self.sharded, &self.regs, self.registry.as_ref()).map_err(err_str)?;
         backend.force_seq(self.cursor).map_err(err_str)?;
         self.install(backend)
     }
@@ -396,7 +404,8 @@ impl cqu_repl::ReplicaApply for SessionApplier {
                 if body.sharded != sharded {
                     return Err("checkpoint mode disagrees with handshake".into());
                 }
-                let backend = build_backend(sharded, &body.regs).map_err(err_str)?;
+                let backend =
+                    build_backend(sharded, &body.regs, self.registry.as_ref()).map_err(err_str)?;
                 load_ckpt_tuples(&backend, &body).map_err(err_str)?;
                 backend.force_seq(seq).map_err(err_str)?;
                 self.registered = body.regs.iter().map(|(n, _, _)| n.clone()).collect();
@@ -409,7 +418,8 @@ impl cqu_repl::ReplicaApply for SessionApplier {
                 // single-writer backend can build empty right away; a
                 // sharded one must wait for its Register records.
                 if !sharded {
-                    let backend = build_backend(false, &[]).map_err(err_str)?;
+                    let backend =
+                        build_backend(false, &[], self.registry.as_ref()).map_err(err_str)?;
                     self.install(backend)?;
                 }
             }
@@ -478,6 +488,9 @@ pub struct ReplicaSession {
     /// Latched by [`ReplicaSession::promote`]; a promoted replica's
     /// follower loop is permanently fenced off.
     promoted: AtomicBool,
+    /// The registry from [`ReplicaOptions`], for the serving front end
+    /// and promotion journaling.
+    registry: Option<Arc<cqu_obs::Registry>>,
 }
 
 impl ReplicaSession {
@@ -496,6 +509,7 @@ impl ReplicaSession {
         let applier = SessionApplier {
             shared: Arc::clone(&shared),
             ring_cap: options.ring_cap,
+            registry: options.registry.clone(),
             sharded: false,
             regs: Vec::new(),
             registered: HashSet::new(),
@@ -505,11 +519,19 @@ impl ReplicaSession {
             cursor: 0,
             epoch: 0,
         };
-        let follower = cqu_repl::Follower::spawn(addr, Box::new(applier), options.follower)?;
+        // The replica-wide registry also feeds the follower's
+        // `repl_follower_*` series, unless the caller pointed the
+        // follower at a registry of its own.
+        let mut follower_config = options.follower;
+        if follower_config.registry.is_none() {
+            follower_config.registry = options.registry.clone();
+        }
+        let follower = cqu_repl::Follower::spawn(addr, Box::new(applier), follower_config)?;
         Ok(ReplicaSession {
             shared,
             follower: Mutex::new(follower),
             promoted: AtomicBool::new(false),
+            registry: options.registry,
         })
     }
 
@@ -559,6 +581,12 @@ impl ReplicaSession {
     /// handshake succeeds.
     pub fn stats(&self) -> FollowerStats {
         lock(&self.follower).stats()
+    }
+
+    /// The metrics registry from [`ReplicaOptions::registry`], if this
+    /// replica runs instrumented.
+    pub fn registry(&self) -> Option<&Arc<cqu_obs::Registry>> {
+        self.registry.as_ref()
     }
 
     /// Severs the current connection, forcing a disconnect/resume cycle
@@ -616,8 +644,21 @@ impl ReplicaSession {
             let regs = lock(&self.shared.regs).clone();
             DurableSession::promote_from(dir, options, backend, regs, epoch)
         })();
-        if result.is_err() {
-            self.promoted.store(false, Ordering::SeqCst);
+        match &result {
+            Ok(promoted) => {
+                // Journal into the replica's registry, or the one the
+                // promotion options threaded into the new session.
+                if let Some(r) = self.registry.clone().or_else(|| promoted.registry()) {
+                    r.journal().record(
+                        "promotion",
+                        format!(
+                            "replica promoted to leader at seq {}, fencing epochs below its term",
+                            self.applied_seq()
+                        ),
+                    );
+                }
+            }
+            Err(_) => self.promoted.store(false, Ordering::SeqCst),
         }
         result
     }
@@ -763,11 +804,19 @@ pub struct ReplicationServer {
 impl ReplicationServer {
     /// Starts shipping `session`'s log on `addr` (use port 0 for an
     /// OS-assigned port).
+    ///
+    /// When [`LeaderConfig::registry`] is unset, the session's own
+    /// registry (from [`DurableOptions::registry`]) is used, so one
+    /// scrape carries the `repl_leader_*` series alongside the WAL and
+    /// session metrics.
     pub fn bind(
         addr: impl std::net::ToSocketAddrs,
         session: Arc<DurableSession>,
-        config: LeaderConfig,
+        mut config: LeaderConfig,
     ) -> io::Result<ReplicationServer> {
+        if config.registry.is_none() {
+            config.registry = session.registry();
+        }
         Ok(ReplicationServer {
             inner: cqu_repl::LeaderServer::bind(addr, Arc::new(LeaderSource(session)), config)?,
         })

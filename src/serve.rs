@@ -154,6 +154,10 @@ impl FeedSource for SessionSource {
         let sub = self.session.subscribe(name).map_err(source_err)?;
         Ok(Box::new(SubscriptionFeed(sub)))
     }
+
+    fn registry(&self) -> Option<Arc<cqu_obs::Registry>> {
+        self.session.read(|s| s.registry().cloned()).ok().flatten()
+    }
 }
 
 /// Serves a [`ShardedSession`]: per-query feeds, snapshots, and replay
@@ -218,6 +222,10 @@ impl FeedSource for ShardedSource {
     fn open_feed(&self, name: &str) -> Result<Box<dyn FeedStream>, SourceError> {
         let sub = self.session.subscribe(name).map_err(source_err)?;
         Ok(Box::new(SubscriptionFeed(sub)))
+    }
+
+    fn registry(&self) -> Option<Arc<cqu_obs::Registry>> {
+        self.session.registry().cloned()
     }
 }
 
@@ -340,6 +348,13 @@ impl FeedSource for ReplicaSource {
         };
         Ok(Box::new(SubscriptionFeed(sub)))
     }
+
+    fn registry(&self) -> Option<Arc<cqu_obs::Registry>> {
+        match &*self.read() {
+            ServedReplica::Following(r) => r.registry().cloned(),
+            ServedReplica::Promoted(d) => d.registry(),
+        }
+    }
 }
 
 /// A running server plus its address — the convenience most callers
@@ -376,6 +391,13 @@ impl ServerHandle {
     /// Server counters.
     pub fn stats(&self) -> ServerStats {
         self.server.stats()
+    }
+
+    /// The metrics registry the server publishes into — the source's
+    /// own registry when it has one (so WAL/session/replication series
+    /// share the scrape), else a private server-only registry.
+    pub fn registry(&self) -> Arc<cqu_obs::Registry> {
+        self.server.registry()
     }
 
     /// Stops the server and joins its threads (also happens on drop).

@@ -72,6 +72,7 @@ use crate::error::CqError;
 use cqu_baseline::EngineKind;
 use cqu_common::{EpochCell, FxHashMap};
 use cqu_dynamic::{DynamicEngine, ResultDelta, ResultSnapshot, UpdateReport};
+use cqu_obs::{Counter, Histogram, Registry};
 use cqu_query::classify::{classify, Classification, Verdict};
 use cqu_query::hierarchical::{q_hierarchical_violation, Violation};
 use cqu_query::{parse_query, Query, QueryBuilder, QueryError, RelId, Schema};
@@ -81,7 +82,7 @@ use cqu_storage::{ApplyUpdate, Database, Tuple, Update};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Locks an internal fine-grained mutex, shrugging off poisoning: the
 /// guarded state (subscriber lists, snapshot caches) is replaced
@@ -413,6 +414,9 @@ struct Registered {
     /// Never touched by [`PinReader::pin`].
     build_lock: Mutex<()>,
     feed: Mutex<FeedState>,
+    /// Shared `session_epoch_publications_total` handle, present once the
+    /// session shares a metrics registry ([`Session::share_registry`]).
+    epoch_pubs: Option<Arc<Counter>>,
 }
 
 /// The storage-level generation stamp of a query footprint: the max
@@ -509,6 +513,9 @@ impl Registered {
             generation,
             snap,
         }));
+        if let Some(c) = self.epoch_pubs.as_ref() {
+            c.inc();
+        }
     }
 
     /// Writer-side bookkeeping around an engine mutation: bump the state
@@ -529,6 +536,34 @@ impl Registered {
     fn republish_on_demand(&self, seq: u64) {
         if self.engine.snapshot_is_cheap() && self.cell.take_refresh_request() {
             self.publish_epoch(seq, self.footprint_gen);
+        }
+    }
+}
+
+/// Registry handles for the write path, resolved once at
+/// [`Session::share_registry`] so each dispatch pays only relaxed atomic
+/// ops (and one clock read for the latency histogram), never a registry
+/// lookup.
+struct SessionMetrics {
+    registry: Arc<Registry>,
+    updates: Arc<Counter>,
+    batches: Arc<Counter>,
+    transactions: Arc<Counter>,
+    rollbacks: Arc<Counter>,
+    commit_latency_ns: Arc<Histogram>,
+    epoch_publications: Arc<Counter>,
+}
+
+impl SessionMetrics {
+    fn new(registry: Arc<Registry>) -> SessionMetrics {
+        SessionMetrics {
+            updates: registry.counter("session_updates_total"),
+            batches: registry.counter("session_batches_total"),
+            transactions: registry.counter("session_transactions_total"),
+            rollbacks: registry.counter("session_rollbacks_total"),
+            commit_latency_ns: registry.histogram("session_commit_latency_ns"),
+            epoch_publications: registry.counter("session_epoch_publications_total"),
+            registry,
         }
     }
 }
@@ -580,6 +615,9 @@ pub struct Session {
     /// discarded, so extracting deltas would be pure waste — up to two
     /// full result enumerations per inverse on diff-fallback engines).
     rolling_back: bool,
+    /// Write-path instrumentation ([`Session::share_registry`]); `None`
+    /// keeps dispatch free of clock reads and atomic traffic.
+    metrics: Option<SessionMetrics>,
 }
 
 impl Default for Session {
@@ -616,6 +654,7 @@ impl Session {
             seq_source: None,
             tx_buffer: None,
             rolling_back: false,
+            metrics: None,
         }
     }
 
@@ -629,6 +668,30 @@ impl Session {
         debug_assert_eq!(self.seq, 0, "seq sharing must precede all updates");
         self.seq = source.load(Ordering::Relaxed);
         self.seq_source = Some(source);
+    }
+
+    /// Points this session at a shared metrics registry: effective
+    /// updates, batches, transactions, rollbacks, commit latency, and
+    /// epoch publications are counted there from now on. Handles are
+    /// resolved once; the write path then pays a few relaxed atomic ops
+    /// (plus one clock read per commit for the latency histogram). A
+    /// session without a registry pays neither — the knob the overhead
+    /// bench (E16) flips.
+    ///
+    /// Layers stack onto *one* registry: the durable layer attaches the
+    /// same instance to its WAL, the shard layer shares it across every
+    /// shard session, and the serving layer renders it over the wire.
+    pub fn share_registry(&mut self, registry: Arc<Registry>) {
+        let metrics = SessionMetrics::new(registry);
+        for reg in &mut self.regs {
+            reg.epoch_pubs = Some(Arc::clone(&metrics.epoch_publications));
+        }
+        self.metrics = Some(metrics);
+    }
+
+    /// The shared metrics registry, when one is attached.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.metrics.as_ref().map(|m| &m.registry)
     }
 
     /// Draws the next `n` sequence numbers (one per effective update just
@@ -790,6 +853,10 @@ impl Session {
             cell,
             build_lock: Mutex::new(()),
             feed: Mutex::new(FeedState::default()),
+            epoch_pubs: self
+                .metrics
+                .as_ref()
+                .map(|m| Arc::clone(&m.epoch_publications)),
         });
         Ok(id)
     }
@@ -899,6 +966,9 @@ impl Session {
         // pins the equality.
         if !self.rolling_back {
             self.advance_seq(1);
+            if let Some(m) = self.metrics.as_ref() {
+                m.updates.inc();
+            }
         }
         let in_tx = self.tx_buffer.is_some();
         // This update's relation was the database's latest effective
@@ -960,7 +1030,12 @@ impl Session {
     /// the database changed.
     pub fn apply(&mut self, update: &Update) -> Result<bool, CqError> {
         self.validate(update)?;
-        Ok(self.dispatch(update))
+        let start = self.metrics.as_ref().map(|_| Instant::now());
+        let changed = self.dispatch(update);
+        if let (Some(m), Some(t0)) = (self.metrics.as_ref(), start) {
+            m.commit_latency_ns.record(t0.elapsed().as_nanos() as u64);
+        }
+        Ok(changed)
     }
 
     /// Applies a batch of updates to every registered query, equivalent
@@ -982,6 +1057,7 @@ impl Session {
     /// shard router, which has already validated every update against
     /// the (identical) union schema and must not pay for it twice.
     pub(crate) fn apply_batch_prevalidated(&mut self, updates: &[Update]) -> UpdateReport {
+        let start = self.metrics.as_ref().map(|_| Instant::now());
         // Only updates that change the master database can concern any
         // engine: set-semantics no-ops are dropped here, so an engine
         // whose relations saw only no-ops is skipped entirely — no batch
@@ -1050,6 +1126,11 @@ impl Session {
             // it holds the session `&mut`).
             reg.republish_on_demand(self.seq);
         }
+        if let (Some(m), Some(t0)) = (self.metrics.as_ref(), start) {
+            m.batches.inc();
+            m.updates.add(applied as u64);
+            m.commit_latency_ns.record(t0.elapsed().as_nanos() as u64);
+        }
         UpdateReport {
             total: updates.len(),
             applied,
@@ -1071,6 +1152,9 @@ impl Session {
     /// the inverse replay skips delta extraction entirely).
     pub fn transaction(&mut self) -> SessionTransaction<'_> {
         debug_assert!(self.tx_buffer.is_none(), "transactions cannot nest");
+        if let Some(m) = self.metrics.as_ref() {
+            m.transactions.inc();
+        }
         self.tx_buffer = Some(vec![TxTrack::Untouched; self.regs.len()]);
         SessionTransaction {
             session: self,
@@ -1190,6 +1274,9 @@ impl SessionTransaction<'_> {
 impl Drop for SessionTransaction<'_> {
     fn drop(&mut self) {
         if !self.committed {
+            if let Some(m) = self.session.metrics.as_ref() {
+                m.rollbacks.inc();
+            }
             // Replay inverses in reverse order with delta tracking
             // suppressed: the buffered deltas are discarded wholesale, so
             // nothing is published and no extraction work is done.

@@ -74,10 +74,12 @@ use crate::session::{
 };
 use cqu_common::{FxHashMap, UnionFind};
 use cqu_dynamic::UpdateReport;
+use cqu_obs::{Counter, Histogram, Registry};
 use cqu_query::{parse_query, Query, RelId, Schema};
 use cqu_storage::{ApplyUpdate, Update};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 /// Collects query registrations, then partitions them into independent
 /// write shards ([`ShardedSessionBuilder::build`]).
@@ -92,6 +94,7 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 pub struct ShardedSessionBuilder {
     schema: Schema,
     regs: Vec<(String, Query, EngineChoice)>,
+    registry: Option<Arc<Registry>>,
 }
 
 impl ShardedSessionBuilder {
@@ -109,7 +112,19 @@ impl ShardedSessionBuilder {
         ShardedSessionBuilder {
             schema,
             regs: Vec::new(),
+            registry: None,
         }
+    }
+
+    /// Shares one metrics registry across every shard session (see
+    /// [`Session::share_registry`]) and adds the shard layer's own
+    /// series: per-shard commit counters
+    /// (`session_shard_commits_total{shard="i"}`) and a writer-lock
+    /// acquisition-wait histogram (`session_shard_lock_wait_ns`) that
+    /// makes cross-writer contention visible at runtime.
+    pub fn share_registry(&mut self, registry: Arc<Registry>) -> &mut Self {
+        self.registry = Some(registry);
+        self
     }
 
     /// Parses and registers a query under `name`, classifier-routed.
@@ -175,6 +190,9 @@ impl ShardedSessionBuilder {
             .map(|_| {
                 let mut s = Session::open(self.schema.clone());
                 s.share_seq(Arc::clone(&seq));
+                if let Some(registry) = &self.registry {
+                    s.share_registry(Arc::clone(registry));
+                }
                 s
             })
             .collect();
@@ -184,6 +202,16 @@ impl ShardedSessionBuilder {
             sessions[sid].register_query(name, query, *choice)?;
             query_shard.insert(name.clone(), sid);
         }
+        let metrics = self.registry.map(|registry| ShardMetrics {
+            lock_wait_ns: registry.histogram("session_shard_lock_wait_ns"),
+            shard_commits: (0..plan.shards.len())
+                .map(|i| {
+                    registry
+                        .counter_with("session_shard_commits_total", &[("shard", &i.to_string())])
+                })
+                .collect(),
+            registry,
+        });
         let shards: Vec<RwLock<Session>> = sessions.into_iter().map(RwLock::new).collect();
         Ok(ShardedSession {
             inner: Arc::new(Inner {
@@ -192,6 +220,7 @@ impl ShardedSessionBuilder {
                 query_shard,
                 seq,
                 plan,
+                metrics,
             }),
         })
     }
@@ -316,6 +345,15 @@ fn partition(schema: &Schema, regs: &[(String, Query, EngineChoice)]) -> ShardPl
     }
 }
 
+/// The shard router's own registry handles: per-shard commit counters
+/// and the writer-lock wait histogram, resolved once at build.
+struct ShardMetrics {
+    registry: Arc<Registry>,
+    lock_wait_ns: Arc<Histogram>,
+    /// `session_shard_commits_total{shard="i"}`, indexed by shard id.
+    shard_commits: Vec<Arc<Counter>>,
+}
+
 struct Inner {
     schema: Schema,
     /// One shard per footprint component: a full private session behind
@@ -325,6 +363,9 @@ struct Inner {
     /// The global sequence counter every shard session draws from.
     seq: Arc<AtomicU64>,
     plan: ShardPlan,
+    /// Router-level instrumentation
+    /// ([`ShardedSessionBuilder::share_registry`]).
+    metrics: Option<ShardMetrics>,
 }
 
 /// A cloneable, thread-safe, footprint-sharded session: independent
@@ -389,6 +430,12 @@ impl ShardedSession {
         self.inner.seq.load(Ordering::Relaxed)
     }
 
+    /// The shared metrics registry, when the builder attached one
+    /// ([`ShardedSessionBuilder::share_registry`]).
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.inner.metrics.as_ref().map(|m| &m.registry)
+    }
+
     /// Total effective changes committed across all shards, summed from
     /// the shards' own storage-level generation counters — no global
     /// stamp is maintained anywhere; each shard's
@@ -426,13 +473,24 @@ impl ShardedSession {
     pub fn apply(&self, update: &Update) -> Result<bool, CqError> {
         validate_update(&self.inner.schema, update)?;
         let sid = self.inner.plan.rel_shard[update.relation().index()];
+        let metrics = self.inner.metrics.as_ref();
+        let lock_start = metrics.map(|_| Instant::now());
         let mut guard = self.inner.shards[sid]
             .write()
             .map_err(|_| CqError::Poisoned)?;
+        if let (Some(m), Some(t0)) = (metrics, lock_start) {
+            m.lock_wait_ns.record(t0.elapsed().as_nanos() as u64);
+        }
         // Pre-validated dispatch: every shard session carries the same
         // union schema this router just validated against, so the
         // delegated session must not pay for validation again.
-        Ok(guard.apply_update(update))
+        let changed = guard.apply_update(update);
+        if changed {
+            if let Some(m) = metrics {
+                m.shard_commits[sid].inc();
+            }
+        }
+        Ok(changed)
     }
 
     /// Applies a batch, equivalent to applying its members in order.
@@ -460,10 +518,19 @@ impl ShardedSession {
             .iter()
             .all(|u| rel_shard[u.relation().index()] == first_sid)
         {
+            let metrics = self.inner.metrics.as_ref();
+            let lock_start = metrics.map(|_| Instant::now());
             let mut guard = self.inner.shards[first_sid]
                 .write()
                 .map_err(|_| CqError::Poisoned)?;
-            return Ok(guard.apply_batch_prevalidated(updates));
+            if let (Some(m), Some(t0)) = (metrics, lock_start) {
+                m.lock_wait_ns.record(t0.elapsed().as_nanos() as u64);
+            }
+            let report = guard.apply_batch_prevalidated(updates);
+            if let Some(m) = metrics {
+                m.shard_commits[first_sid].add(report.applied as u64);
+            }
+            return Ok(report);
         }
         // Multi-shard: split into per-shard sub-batches (order preserved
         // within each), lock ascending, commit each sub-batch.
@@ -477,7 +544,11 @@ impl ShardedSession {
         let mut guards = self.lock_shards(&touched)?;
         let mut applied = 0;
         for (guard, &sid) in guards.iter_mut().zip(&touched) {
-            applied += guard.apply_batch_prevalidated(&groups[sid]).applied;
+            let sub = guard.apply_batch_prevalidated(&groups[sid]).applied;
+            if let Some(m) = self.inner.metrics.as_ref() {
+                m.shard_commits[sid].add(sub as u64);
+            }
+            applied += sub;
         }
         Ok(UpdateReport {
             total: updates.len(),

@@ -71,6 +71,7 @@ fn small_opts(fsync: FsyncPolicy) -> DurableOptions {
         // Tiny segments force rotation constantly, so recoveries span
         // many segments instead of one.
         segment_bytes: 512,
+        ..DurableOptions::default()
     }
 }
 
@@ -949,4 +950,78 @@ fn failed_rollback_burn_surfaces_the_wal_error() {
         sess.seq().unwrap(),
         "recovery must land on the live counter, burned numbers included"
     );
+}
+
+/// Satellite check for the observability layer: with a registry
+/// threaded through [`DurableOptions`], `wal_commits_total` is *exact*
+/// — it equals the oracle count of commit-record writes. The oracle is
+/// driven alongside the session: one commit for the `Mode` record at
+/// create, one per registration, one per batch with a non-empty
+/// effective subset (no-op batches never touch the log), one per
+/// committed transaction, and one for a rollback's compensating
+/// `SeqBurn`.
+#[test]
+fn wal_commit_counter_matches_oracle() {
+    let registry = Arc::new(cq_updates::obs::Registry::new());
+    let disk = SimDisk::new();
+    let opts = DurableOptions {
+        registry: Some(Arc::clone(&registry)),
+        ..small_opts(FsyncPolicy::Always)
+    };
+    let sess = DurableSession::create(Box::new(disk.clone()), opts).unwrap();
+    let mut oracle = 1u64; // the Mode record committed at create
+    for (name, src) in QUERIES {
+        sess.register(name, src).unwrap();
+        oracle += 1;
+    }
+    let e = sess.relation("E").unwrap();
+    let t = sess.relation("T").unwrap();
+
+    // Effective batches: one commit each.
+    for i in 0..10u64 {
+        let report = sess
+            .apply_batch(&[
+                Update::Insert(e, vec![i, i + 1]),
+                Update::Insert(t, vec![i + 1]),
+            ])
+            .unwrap();
+        assert_eq!(report.applied, 2);
+        oracle += 1;
+    }
+    // A fully no-op batch: nothing reaches the log.
+    let report = sess
+        .apply_batch(&[Update::Insert(e, vec![0, 1]), Update::Delete(t, vec![999])])
+        .unwrap();
+    assert_eq!(report.applied, 0);
+
+    // A committed transaction: one commit for the whole group.
+    sess.transaction(|tx| {
+        tx.apply(&Update::Insert(e, vec![100, 101]))?;
+        tx.apply(&Update::Insert(t, vec![101]))?;
+        Ok(())
+    })
+    .unwrap();
+    oracle += 1;
+
+    // A rollback with consumed seqs: one commit for the SeqBurn.
+    let res = sess.transaction(|tx| {
+        tx.apply(&Update::Insert(e, vec![200, 201]))?;
+        Err::<(), _>(CqError::UnknownQuery("scripted rollback".into()))
+    });
+    assert!(matches!(res, Err(DurableError::Session(_))));
+    oracle += 1;
+
+    let commits = registry.counter("wal_commits_total").get();
+    assert_eq!(
+        commits, oracle,
+        "wal_commits_total must equal the oracle commit count"
+    );
+    // The same number must be visible through the text exposition.
+    let rendered = registry.render();
+    assert!(
+        rendered.contains(&format!("wal_commits_total {oracle}")),
+        "render() missing the commit counter:\n{rendered}"
+    );
+    // And the session layer counted every effective update batch too.
+    assert!(registry.counter("session_batches_total").get() > 0);
 }

@@ -84,6 +84,7 @@ fn small_opts() -> DurableOptions {
         // Tiny segments force rotation, so checkpoints prune history and
         // catch-up genuinely depends on the checkpoint transfer path.
         segment_bytes: 512,
+        ..DurableOptions::default()
     }
 }
 
@@ -1019,5 +1020,100 @@ proptest! {
     #[test]
     fn promotion_converges_under_churn(seed in any::<u64>(), sharded in any::<bool>()) {
         promote_churn_case(seed, sharded);
+    }
+}
+
+/// Observability satellite: one registry threaded through the leader
+/// session, the replication listener, and the follower carries the
+/// whole `repl_*` family. After the follower converges, the
+/// per-follower `repl_leader_ack_lag` gauge must read 0, and once the
+/// follower detaches the labelled series is retired from the scrape.
+#[test]
+fn leader_ack_lag_gauge_converges_to_zero() {
+    let registry = Arc::new(cq_updates::obs::Registry::new());
+    let disk = SimDisk::new();
+    let lead = Arc::new(
+        DurableSession::create(
+            Box::new(disk.clone()),
+            DurableOptions {
+                registry: Some(Arc::clone(&registry)),
+                ..small_opts()
+            },
+        )
+        .unwrap(),
+    );
+    for (name, src) in QUERIES {
+        lead.register(name, src).unwrap();
+    }
+    // LeaderConfig.registry is unset: bind must fall back to the
+    // session's own registry, unifying the scrape.
+    let server = ReplicationServer::bind("127.0.0.1:0", Arc::clone(&lead), fast_leader()).unwrap();
+    let mut replica = ReplicaSession::connect(
+        server.local_addr(),
+        ReplicaOptions {
+            registry: Some(Arc::clone(&registry)),
+            ..fast_replica()
+        },
+    )
+    .unwrap();
+
+    let e = lead.relation("E").unwrap();
+    let t = lead.relation("T").unwrap();
+    for i in 0..50u64 {
+        lead.apply_batch(&[
+            Update::Insert(e, vec![i, i + 1]),
+            Update::Insert(t, vec![i + 1]),
+        ])
+        .unwrap();
+    }
+    let head = lead.seq().unwrap();
+    assert!(replica.wait_for_seq(head, SYNC), "{replica:?}");
+
+    // The applied watermark converged; the leader's lag gauge follows
+    // as soon as the final ack lands. Poll briefly for it.
+    let followers = server.followers();
+    assert_eq!(followers.len(), 1);
+    let lag = registry.gauge_with(
+        "repl_leader_ack_lag",
+        &[("follower", &followers[0].id.to_string())],
+    );
+    let deadline = std::time::Instant::now() + SYNC;
+    while lag.get() != 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "ack lag never reached 0 (stuck at {})",
+            lag.get()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The same registry carries all four repl vantage points.
+    let rendered = registry.render();
+    for name in [
+        "repl_leader_accepted_total",
+        "repl_leader_followers",
+        "repl_follower_connects_total",
+        "repl_follower_applied_seq",
+        "wal_commits_total",
+    ] {
+        assert!(rendered.contains(name), "render() missing {name}");
+    }
+    // The follower journaled its bootstrap into the shared journal.
+    assert!(registry
+        .journal()
+        .events()
+        .iter()
+        .any(|ev| ev.kind == "follower_bootstrap"));
+
+    // Detach retires the labelled lag series.
+    replica.shutdown();
+    drop(replica);
+    let deadline = std::time::Instant::now() + SYNC;
+    while registry.render().contains("repl_leader_ack_lag{") {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "per-follower lag series must be removed on detach"
+        );
+        std::thread::sleep(Duration::from_millis(10));
     }
 }

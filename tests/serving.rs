@@ -983,3 +983,45 @@ fn tcp_snapshot_runs_longer_than_hard_cap_still_serve() {
         Duration::from_secs(30),
     );
 }
+
+/// Observability satellite: `StatsRequest` over the wire returns the
+/// server's full text exposition. When the source session carries a
+/// registry, one scrape spans the session layer and the serving layer;
+/// the request counter itself moves, proving the reply came from the
+/// live registry and not a cached render.
+#[test]
+fn tcp_stats_request_returns_cross_layer_exposition() {
+    let registry = Arc::new(cq_updates::obs::Registry::new());
+    let mut session = Session::new();
+    session.share_registry(Arc::clone(&registry));
+    session.register("feed", ROUTES[0].1).unwrap();
+    let schema = session.schema().clone();
+    let shared = SharedSession::new(session);
+    let source = Arc::new(SessionSource::new(shared.clone(), 1 << 10).unwrap());
+    let server = ServerHandle::bind("127.0.0.1:0", source).unwrap();
+
+    // The server must have adopted the source's registry.
+    assert!(Arc::ptr_eq(&server.registry(), &registry));
+
+    for u in churn(&schema, 0x57A7, 20) {
+        shared.apply(&u).unwrap();
+    }
+
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let text = client.stats().unwrap();
+    for name in [
+        "session_updates_total",
+        "session_commit_latency_ns",
+        "serve_connections_total",
+        "serve_stats_requests_total",
+    ] {
+        assert!(text.contains(name), "stats reply missing {name}:\n{text}");
+    }
+
+    // A second scrape observes the first one's count.
+    let again = client.stats().unwrap();
+    assert!(
+        again.contains("serve_stats_requests_total 2"),
+        "second scrape must count the first:\n{again}"
+    );
+}
